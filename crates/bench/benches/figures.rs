@@ -1,0 +1,72 @@
+//! Criterion benches for the figure-generation pipelines (Figures 2–7).
+//!
+//! Each bench times the pipeline that regenerates one figure of the paper
+//! on a reduced-scale context (the repro binary runs the same code at
+//! full scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlm_bench::experiments::{
+    figure2, figure3, figure4, figure5, figure6, figure7a_table1, figure7b_table2,
+    ExperimentContext, Protocol,
+};
+use std::hint::black_box;
+
+fn context() -> ExperimentContext {
+    ExperimentContext::generate(0.1).expect("context generation")
+}
+
+fn bench_fig2_hop_distribution(c: &mut Criterion) {
+    let ctx = context();
+    c.bench_function("fig2_hop_distribution", |b| {
+        b.iter(|| figure2(black_box(&ctx)).expect("figure 2"))
+    });
+}
+
+fn bench_fig3_density_timeline(c: &mut Criterion) {
+    let ctx = context();
+    c.bench_function("fig3_density_timeline", |b| {
+        b.iter(|| figure3(black_box(&ctx), 50).expect("figure 3"))
+    });
+}
+
+fn bench_fig4_density_profiles(c: &mut Criterion) {
+    let ctx = context();
+    c.bench_function("fig4_density_profiles", |b| {
+        b.iter(|| figure4(black_box(&ctx), 50).expect("figure 4"))
+    });
+}
+
+fn bench_fig5_interest_density(c: &mut Criterion) {
+    let ctx = context();
+    c.bench_function("fig5_interest_density", |b| {
+        b.iter(|| figure5(black_box(&ctx), 50).expect("figure 5"))
+    });
+}
+
+fn bench_fig6_growth_curve(c: &mut Criterion) {
+    c.bench_function("fig6_growth_curve", |b| b.iter(|| figure6(black_box(5.0), 100)));
+}
+
+fn bench_fig7_dl_predict(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("fig7_dl_predict");
+    group.sample_size(10);
+    group.bench_function("fig7a_hops_paper_constants", |b| {
+        b.iter(|| figure7a_table1(black_box(&ctx), Protocol::PaperConstants).expect("figure 7a"))
+    });
+    group.bench_function("fig7b_interest_paper_constants", |b| {
+        b.iter(|| figure7b_table2(black_box(&ctx), Protocol::PaperConstants).expect("figure 7b"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig2_hop_distribution,
+    bench_fig3_density_timeline,
+    bench_fig4_density_profiles,
+    bench_fig5_interest_density,
+    bench_fig6_growth_curve,
+    bench_fig7_dl_predict
+);
+criterion_main!(figures);

@@ -1,0 +1,84 @@
+//! Criterion benches for the substrate crates: network generation, BFS,
+//! the cascade simulator, and interest grouping — the data-production
+//! side of every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlm_cascade::interest_groups::{GroupingStrategy, InterestGrouping};
+use dlm_data::simulate::simulate_story;
+use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use dlm_graph::bfs::hop_distances;
+use dlm_graph::generators::{preferential_attachment, PreferentialAttachmentConfig};
+use std::hint::black_box;
+
+fn bench_network_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_generation");
+    group.sample_size(10);
+    for nodes in [2_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let config = PreferentialAttachmentConfig { nodes, edges_per_node: 2, ..Default::default() };
+            b.iter(|| preferential_attachment(black_box(config), 42).expect("generation"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let world = SyntheticWorld::generate(WorldConfig::default()).expect("world");
+    let initiator = world.story_initiator(0).expect("initiator");
+    c.bench_function("bfs_hop_distances_20k", |b| {
+        b.iter(|| hop_distances(black_box(world.graph()), initiator));
+    });
+}
+
+fn bench_cascade_simulation(c: &mut Criterion) {
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).expect("world");
+    let mut group = c.benchmark_group("cascade_simulation_2k_users");
+    group.sample_size(10);
+    for preset in StoryPreset::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&preset.name),
+            &preset,
+            |b, preset| {
+                b.iter(|| {
+                    simulate_story(black_box(&world), preset, SimulationConfig::default())
+                        .expect("simulation")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_interest_grouping(c: &mut Criterion) {
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.25)).expect("world");
+    let initiator = world.story_initiator(0).expect("initiator");
+    let mut group = c.benchmark_group("interest_grouping_5k_users");
+    for strategy in [GroupingStrategy::EqualWidth, GroupingStrategy::Quantile] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    InterestGrouping::compute(
+                        black_box(world.profile()),
+                        initiator,
+                        world.user_count(),
+                        5,
+                        strategy,
+                    )
+                    .expect("grouping")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_network_generation,
+    bench_bfs,
+    bench_cascade_simulation,
+    bench_interest_grouping
+);
+criterion_main!(substrates);

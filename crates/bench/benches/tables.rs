@@ -1,0 +1,65 @@
+//! Criterion benches for the table-generation pipelines (Tables I and II)
+//! and the baseline-comparison/ablation experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dlm_bench::experiments::{
+    ablation_growth, ablation_phi, compare_baselines, figure7a_table1, figure7b_table2,
+    ExperimentContext, Protocol,
+};
+use std::hint::black_box;
+
+fn context() -> ExperimentContext {
+    ExperimentContext::generate(0.1).expect("context generation")
+}
+
+fn bench_table1_accuracy_hops(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("table1_accuracy_hops");
+    group.sample_size(10);
+    group.bench_function("calibrated_full", |b| {
+        b.iter(|| figure7a_table1(black_box(&ctx), Protocol::CalibratedFull).expect("table 1"))
+    });
+    group.finish();
+}
+
+fn bench_table2_accuracy_interest(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("table2_accuracy_interest");
+    group.sample_size(10);
+    group.bench_function("calibrated_full", |b| {
+        b.iter(|| figure7b_table2(black_box(&ctx), Protocol::CalibratedFull).expect("table 2"))
+    });
+    group.finish();
+}
+
+fn bench_baseline_comparison(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+    group.bench_function("compare_all_predictors", |b| {
+        b.iter(|| compare_baselines(black_box(&ctx)).expect("comparison"))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let ctx = context();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("phi_construction", |b| {
+        b.iter(|| ablation_phi(black_box(&ctx)).expect("phi ablation"))
+    });
+    group.bench_function("growth_rate", |b| {
+        b.iter(|| ablation_growth(black_box(&ctx)).expect("growth ablation"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1_accuracy_hops,
+    bench_table2_accuracy_interest,
+    bench_baseline_comparison,
+    bench_ablations
+);
+criterion_main!(tables);

@@ -1,0 +1,16 @@
+//! # dlm-bench
+//!
+//! Reproduction harness: one entry point per table and figure of the
+//! paper's evaluation (Figures 2–7, Tables I–II), plus the baseline
+//! comparison and the ablation studies called out in DESIGN.md.
+//!
+//! The [`ExperimentContext`] bundles the synthetic world and the four
+//! representative cascades so every experiment runs off the same data.
+//! The `repro` binary prints each experiment as text; the Criterion
+//! benches time the same pipelines.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::ExperimentContext;

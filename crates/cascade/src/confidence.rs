@@ -1,0 +1,163 @@
+//! Binomial confidence intervals for observed densities.
+//!
+//! Each density cell `I(x, t)` is an observed proportion
+//! `influenced / group_size`, so its sampling uncertainty is binomial.
+//! The paper reports point estimates only; the harness additionally
+//! reports Wilson score intervals, which behave well for the small
+//! counts in sparse groups (s4's far hops) where the normal
+//! approximation fails.
+
+use crate::density::DensityMatrix;
+use crate::error::Result;
+
+/// A density value with its Wilson confidence interval (all in percent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DensityInterval {
+    /// Point estimate (percent).
+    pub estimate: f64,
+    /// Lower bound of the interval (percent).
+    pub lower: f64,
+    /// Upper bound of the interval (percent).
+    pub upper: f64,
+}
+
+impl DensityInterval {
+    /// Interval half-width heuristic: `(upper − lower) / 2`.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Whether another point estimate falls inside this interval.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+}
+
+/// Wilson score interval for a proportion `successes / trials` at
+/// confidence given by the standard normal quantile `z` (1.96 ≈ 95%).
+///
+/// Returns bounds as *fractions* in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials`.
+#[must_use]
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval needs at least one trial");
+    assert!(successes <= trials, "successes exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Computes the Wilson interval (in percent) for every cell of a density
+/// matrix at ~95% confidence.
+///
+/// Reconstructs the integer counts from the density and group size; the
+/// rounding error is below one count and does not move the interval
+/// meaningfully.
+///
+/// # Errors
+///
+/// Propagates matrix access errors (cannot occur for a well-formed
+/// matrix).
+pub fn density_intervals(matrix: &DensityMatrix) -> Result<Vec<Vec<DensityInterval>>> {
+    let z = 1.959_963_984_540_054; // Φ⁻¹(0.975)
+    let mut out = Vec::with_capacity(matrix.max_distance() as usize);
+    for d in 1..=matrix.max_distance() {
+        let size = matrix.group_size(d)?;
+        let mut row = Vec::with_capacity(matrix.max_hour() as usize);
+        for t in 1..=matrix.max_hour() {
+            let estimate = matrix.at(d, t)?;
+            let successes = ((estimate / 100.0) * size as f64).round() as usize;
+            let (lo, hi) = wilson_interval(successes.min(size), size, z);
+            row.push(DensityInterval {
+                estimate,
+                lower: lo * 100.0,
+                upper: hi * 100.0,
+            });
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_basic_properties() {
+        let (lo, hi) = wilson_interval(50, 100, 1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.25);
+        // Tighter with more data.
+        let (lo2, hi2) = wilson_interval(500, 1000, 1.96);
+        assert!(hi2 - lo2 < hi - lo);
+    }
+
+    #[test]
+    fn wilson_interval_extremes_stay_in_unit_range() {
+        let (lo, hi) = wilson_interval(0, 20, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.3);
+        let (lo, hi) = wilson_interval(20, 20, 1.96);
+        assert!(lo > 0.7 && lo < 1.0);
+        assert_eq!(hi, 1.0);
+    }
+
+    #[test]
+    fn wilson_is_asymmetric_for_small_p() {
+        // Unlike the Wald interval, Wilson pulls toward 1/2.
+        let (lo, hi) = wilson_interval(1, 100, 1.96);
+        let p = 0.01;
+        assert!(hi - p > p - lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_zero_trials() {
+        let _ = wilson_interval(0, 0, 1.96);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn wilson_rejects_inconsistent_counts() {
+        let _ = wilson_interval(5, 4, 1.96);
+    }
+
+    #[test]
+    fn density_intervals_bracket_estimates() {
+        let m = DensityMatrix::from_counts(&[vec![5, 10], vec![1, 2]], &[100, 400]).unwrap();
+        let ivs = density_intervals(&m).unwrap();
+        assert_eq!(ivs.len(), 2);
+        assert_eq!(ivs[0].len(), 2);
+        for (d, row) in ivs.iter().enumerate() {
+            for (t, iv) in row.iter().enumerate() {
+                assert!(
+                    iv.lower <= iv.estimate && iv.estimate <= iv.upper,
+                    "d={} t={}: {iv:?}",
+                    d + 1,
+                    t + 1
+                );
+                assert!(iv.contains(iv.estimate));
+            }
+        }
+        // Bigger group (400) has a tighter interval at comparable density.
+        assert!(ivs[1][1].half_width() < ivs[0][0].half_width() + 1.0);
+    }
+
+    #[test]
+    fn interval_contains_and_half_width() {
+        let iv = DensityInterval { estimate: 10.0, lower: 8.0, upper: 13.0 };
+        assert!(iv.contains(9.0));
+        assert!(!iv.contains(7.9));
+        assert!((iv.half_width() - 2.5).abs() < 1e-12);
+    }
+}

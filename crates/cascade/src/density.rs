@@ -1,0 +1,403 @@
+//! The density matrix `I(x, t)`: the paper's central observable.
+//!
+//! `I(x, t)` is the *density of influenced users* at distance `x` from the
+//! source at time `t` — the number of users in distance group `U_x` who
+//! have voted within the first `t` hours, divided by `|U_x|`. Densities are
+//! expressed in **percent** (the paper's Figures 3–5 and 7 plot values like
+//! 2–60, and the carrying capacities K = 25 / K = 60 only make sense on a
+//! percentage scale).
+
+use crate::error::{CascadeError, Result};
+use dlm_data::Vote;
+use std::fmt;
+
+/// A dense `distance × hour` matrix of influenced-user densities (percent),
+/// with distances labelled `1..=max_distance` and hours `1..=max_hour`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    /// values[d - 1][t - 1] = I(d, t) in percent.
+    values: Vec<Vec<f64>>,
+    /// Number of users in each distance group.
+    group_sizes: Vec<usize>,
+}
+
+impl DensityMatrix {
+    /// Builds a density matrix from raw counts.
+    ///
+    /// `influenced[d - 1][t - 1]` is the cumulative number of voters in
+    /// distance group `d` within the first `t` hours; `group_sizes[d - 1]`
+    /// the group populations.
+    ///
+    /// # Errors
+    ///
+    /// * [`CascadeError::InvalidParameter`] — empty/ragged counts or
+    ///   mismatched `group_sizes` length.
+    /// * [`CascadeError::EmptyGroup`] — a group with zero users.
+    pub fn from_counts(influenced: &[Vec<usize>], group_sizes: &[usize]) -> Result<Self> {
+        if influenced.is_empty() || influenced[0].is_empty() {
+            return Err(CascadeError::InvalidParameter {
+                name: "influenced",
+                reason: "need at least one group and one hour".into(),
+            });
+        }
+        if influenced.len() != group_sizes.len() {
+            return Err(CascadeError::InvalidParameter {
+                name: "group_sizes",
+                reason: format!("expected {} groups, got {}", influenced.len(), group_sizes.len()),
+            });
+        }
+        let hours = influenced[0].len();
+        for (i, row) in influenced.iter().enumerate() {
+            if row.len() != hours {
+                return Err(CascadeError::InvalidParameter {
+                    name: "influenced",
+                    reason: format!("ragged rows: row {i} has {} hours, expected {hours}", row.len()),
+                });
+            }
+        }
+        let mut values = Vec::with_capacity(influenced.len());
+        for (i, row) in influenced.iter().enumerate() {
+            let size = group_sizes[i];
+            if size == 0 {
+                return Err(CascadeError::EmptyGroup { group: i as u32 + 1 });
+            }
+            values.push(row.iter().map(|&c| 100.0 * c as f64 / size as f64).collect());
+        }
+        Ok(Self { values, group_sizes: group_sizes.to_vec() })
+    }
+
+    /// Number of distance groups.
+    #[must_use]
+    pub fn max_distance(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    /// Number of observed hours.
+    #[must_use]
+    pub fn max_hour(&self) -> u32 {
+        self.values[0].len() as u32
+    }
+
+    /// Population of distance group `distance`.
+    ///
+    /// # Errors
+    ///
+    /// [`CascadeError::OutOfRange`] for an invalid distance label.
+    pub fn group_size(&self, distance: u32) -> Result<usize> {
+        self.check_distance(distance)?;
+        Ok(self.group_sizes[(distance - 1) as usize])
+    }
+
+    /// Density `I(distance, hour)` in percent.
+    ///
+    /// # Errors
+    ///
+    /// [`CascadeError::OutOfRange`] for labels outside the matrix.
+    pub fn at(&self, distance: u32, hour: u32) -> Result<f64> {
+        self.check_distance(distance)?;
+        self.check_hour(hour)?;
+        Ok(self.values[(distance - 1) as usize][(hour - 1) as usize])
+    }
+
+    /// Time series of one distance group over all hours (Fig. 3/5 lines).
+    ///
+    /// # Errors
+    ///
+    /// [`CascadeError::OutOfRange`] for an invalid distance label.
+    pub fn series(&self, distance: u32) -> Result<&[f64]> {
+        self.check_distance(distance)?;
+        Ok(&self.values[(distance - 1) as usize])
+    }
+
+    /// Spatial profile at one hour across all distances (Fig. 4/7 lines).
+    ///
+    /// # Errors
+    ///
+    /// [`CascadeError::OutOfRange`] for an invalid hour label.
+    pub fn profile_at(&self, hour: u32) -> Result<Vec<f64>> {
+        self.check_hour(hour)?;
+        Ok(self.values.iter().map(|row| row[(hour - 1) as usize]).collect())
+    }
+
+    /// Restricts the matrix to the first `hours` hours.
+    ///
+    /// # Errors
+    ///
+    /// [`CascadeError::OutOfRange`] if `hours` exceeds the observed span or
+    /// is zero.
+    pub fn truncated(&self, hours: u32) -> Result<Self> {
+        if hours == 0 || hours > self.max_hour() {
+            return Err(CascadeError::OutOfRange {
+                axis: "hour",
+                value: hours,
+                max: self.max_hour(),
+            });
+        }
+        Ok(Self {
+            values: self.values.iter().map(|row| row[..hours as usize].to_vec()).collect(),
+            group_sizes: self.group_sizes.clone(),
+        })
+    }
+
+    /// Restricts the matrix to the first `distances` groups.
+    ///
+    /// # Errors
+    ///
+    /// [`CascadeError::OutOfRange`] if `distances` exceeds the group count
+    /// or is zero.
+    pub fn truncated_distances(&self, distances: u32) -> Result<Self> {
+        if distances == 0 || distances > self.max_distance() {
+            return Err(CascadeError::OutOfRange {
+                axis: "distance",
+                value: distances,
+                max: self.max_distance(),
+            });
+        }
+        Ok(Self {
+            values: self.values[..distances as usize].to_vec(),
+            group_sizes: self.group_sizes[..distances as usize].to_vec(),
+        })
+    }
+
+    /// The hour at which group `distance` first reaches `fraction` of its
+    /// final density (e.g. 0.95 → "saturation time"). `None` if the final
+    /// density is zero.
+    ///
+    /// # Errors
+    ///
+    /// [`CascadeError::OutOfRange`] for an invalid distance,
+    /// [`CascadeError::InvalidParameter`] for `fraction ∉ (0, 1]`.
+    pub fn saturation_hour(&self, distance: u32, fraction: f64) -> Result<Option<u32>> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(CascadeError::InvalidParameter {
+                name: "fraction",
+                reason: format!("must be in (0, 1], got {fraction}"),
+            });
+        }
+        let series = self.series(distance)?;
+        let last = *series.last().expect("nonempty by construction");
+        if last == 0.0 {
+            return Ok(None);
+        }
+        let target = fraction * last;
+        Ok(series.iter().position(|&v| v >= target).map(|i| i as u32 + 1))
+    }
+
+    /// Maximum density anywhere in the matrix — used to sanity-check the
+    /// carrying capacity K.
+    #[must_use]
+    pub fn max_density(&self) -> f64 {
+        self.values
+            .iter()
+            .flat_map(|row| row.iter())
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    fn check_distance(&self, distance: u32) -> Result<()> {
+        if distance == 0 || distance > self.max_distance() {
+            return Err(CascadeError::OutOfRange {
+                axis: "distance",
+                value: distance,
+                max: self.max_distance(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_hour(&self, hour: u32) -> Result<()> {
+        if hour == 0 || hour > self.max_hour() {
+            return Err(CascadeError::OutOfRange { axis: "hour", value: hour, max: self.max_hour() });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for DensityMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "I(x, t) [%], {} groups x {} hours", self.max_distance(), self.max_hour())?;
+        for (i, row) in self.values.iter().enumerate() {
+            write!(f, "d={:<2} (n={:>6}):", i + 1, self.group_sizes[i])?;
+            for v in row {
+                write!(f, " {v:6.2}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes cumulative influenced counts per group per hour from a vote
+/// stream.
+///
+/// `groups[g]` holds the user ids of group `g + 1`; `votes` the story's
+/// votes; `submit_time` the cascade start; `hours` the observation span.
+/// Votes by users outside all groups (e.g. the initiator, unreachable
+/// users) are ignored.
+#[must_use]
+pub fn cumulative_counts(
+    groups: &[Vec<usize>],
+    votes: &[Vote],
+    submit_time: u64,
+    hours: u32,
+) -> Vec<Vec<usize>> {
+    // Map user -> group index.
+    let max_user = groups.iter().flatten().copied().max().unwrap_or(0);
+    let mut group_of: Vec<Option<u32>> = vec![None; max_user + 1];
+    for (g, members) in groups.iter().enumerate() {
+        for &u in members {
+            group_of[u] = Some(g as u32);
+        }
+    }
+    let mut counts = vec![vec![0usize; hours as usize]; groups.len()];
+    for v in votes {
+        if v.timestamp < submit_time {
+            continue;
+        }
+        let hour_idx = ((v.timestamp - submit_time) / 3600) as usize;
+        if hour_idx >= hours as usize {
+            continue;
+        }
+        if let Some(Some(g)) = group_of.get(v.voter).copied() {
+            counts[g as usize][hour_idx] += 1;
+        }
+    }
+    // Make cumulative across hours.
+    for row in &mut counts {
+        for t in 1..row.len() {
+            row[t] += row[t - 1];
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DensityMatrix {
+        // 2 groups × 3 hours.
+        DensityMatrix::from_counts(&[vec![1, 2, 4], vec![0, 5, 10]], &[10, 100]).unwrap()
+    }
+
+    #[test]
+    fn densities_are_percentages() {
+        let m = sample();
+        assert!((m.at(1, 1).unwrap() - 10.0).abs() < 1e-12);
+        assert!((m.at(1, 3).unwrap() - 40.0).abs() < 1e-12);
+        assert!((m.at(2, 2).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_and_profile_views() {
+        let m = sample();
+        assert_eq!(m.series(1).unwrap(), &[10.0, 20.0, 40.0]);
+        assert_eq!(m.profile_at(2).unwrap(), vec![20.0, 5.0]);
+    }
+
+    #[test]
+    fn out_of_range_queries_rejected() {
+        let m = sample();
+        assert!(m.at(0, 1).is_err());
+        assert!(m.at(3, 1).is_err());
+        assert!(m.at(1, 0).is_err());
+        assert!(m.at(1, 4).is_err());
+        assert!(m.series(9).is_err());
+        assert!(m.profile_at(9).is_err());
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        let err = DensityMatrix::from_counts(&[vec![1], vec![1]], &[5, 0]).unwrap_err();
+        assert!(matches!(err, CascadeError::EmptyGroup { group: 2 }));
+    }
+
+    #[test]
+    fn ragged_counts_rejected() {
+        let err = DensityMatrix::from_counts(&[vec![1, 2], vec![1]], &[5, 5]).unwrap_err();
+        assert!(matches!(err, CascadeError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn truncation_by_hours_and_distances() {
+        let m = sample();
+        let t = m.truncated(2).unwrap();
+        assert_eq!(t.max_hour(), 2);
+        assert_eq!(t.series(1).unwrap(), &[10.0, 20.0]);
+        let d = m.truncated_distances(1).unwrap();
+        assert_eq!(d.max_distance(), 1);
+        assert!(m.truncated(0).is_err());
+        assert!(m.truncated(9).is_err());
+        assert!(m.truncated_distances(3).is_err());
+    }
+
+    #[test]
+    fn saturation_hour_finds_threshold() {
+        let m = DensityMatrix::from_counts(&[vec![1, 8, 9, 10, 10]], &[10]).unwrap();
+        // Final density 100%; 95% of it = 95 ⇒ first hour ≥ 95 is hour 4.
+        assert_eq!(m.saturation_hour(1, 0.95).unwrap(), Some(4));
+        assert_eq!(m.saturation_hour(1, 0.1).unwrap(), Some(1));
+        assert!(m.saturation_hour(1, 0.0).is_err());
+        assert!(m.saturation_hour(1, 1.5).is_err());
+    }
+
+    #[test]
+    fn saturation_of_dead_group_is_none() {
+        let m = DensityMatrix::from_counts(&[vec![0, 0], vec![1, 1]], &[5, 5]).unwrap();
+        assert_eq!(m.saturation_hour(1, 0.95).unwrap(), None);
+    }
+
+    #[test]
+    fn max_density_scans_matrix() {
+        assert!((sample().max_density() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_dimensions() {
+        let text = sample().to_string();
+        assert!(text.contains("2 groups x 3 hours"));
+        assert!(text.contains("d=1"));
+    }
+
+    #[test]
+    fn cumulative_counts_buckets_by_hour() {
+        let groups = vec![vec![10, 11], vec![20]];
+        let votes = vec![
+            Vote { timestamp: 1000, voter: 10, story: 1 },   // hour 1
+            Vote { timestamp: 1000 + 3599, voter: 20, story: 1 }, // hour 1 edge
+            Vote { timestamp: 1000 + 3600, voter: 11, story: 1 }, // hour 2
+            Vote { timestamp: 1000 + 7200 * 2, voter: 99, story: 1 }, // outside groups
+        ];
+        let counts = cumulative_counts(&groups, &votes, 1000, 3);
+        assert_eq!(counts[0], vec![1, 2, 2]);
+        assert_eq!(counts[1], vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn cumulative_counts_ignores_out_of_window() {
+        let groups = vec![vec![1]];
+        let votes = vec![
+            Vote { timestamp: 500, voter: 1, story: 1 },  // before submit
+        ];
+        let counts = cumulative_counts(&groups, &votes, 1000, 2);
+        assert_eq!(counts[0], vec![0, 0]);
+        let votes = vec![Vote { timestamp: 1000 + 3 * 3600, voter: 1, story: 1 }];
+        let counts = cumulative_counts(&groups, &votes, 1000, 2);
+        assert_eq!(counts[0], vec![0, 0]);
+    }
+
+    #[test]
+    fn counts_to_matrix_pipeline() {
+        let groups = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8, 9, 10]];
+        let votes = vec![
+            Vote { timestamp: 0, voter: 1, story: 1 },
+            Vote { timestamp: 3600, voter: 5, story: 1 },
+            Vote { timestamp: 7200, voter: 2, story: 1 },
+        ];
+        let counts = cumulative_counts(&groups, &votes, 0, 3);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        let m = DensityMatrix::from_counts(&counts, &sizes).unwrap();
+        assert!((m.at(1, 3).unwrap() - 50.0).abs() < 1e-12); // 2 of 4
+        assert!((m.at(2, 3).unwrap() - 100.0 / 6.0).abs() < 1e-9); // 1 of 6
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types for the cascade-analytics crate.
+
+use std::fmt;
+
+/// Errors produced while deriving densities and groupings from cascades.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CascadeError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A query referenced a distance or hour outside the matrix.
+    OutOfRange {
+        /// Which axis was violated ("distance", "hour").
+        axis: &'static str,
+        /// The offending value.
+        value: u32,
+        /// The valid inclusive upper bound.
+        max: u32,
+    },
+    /// A distance group contained no users, making density undefined.
+    EmptyGroup {
+        /// The 1-based group label.
+        group: u32,
+    },
+}
+
+impl fmt::Display for CascadeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CascadeError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CascadeError::OutOfRange { axis, value, max } => {
+                write!(f, "{axis} {value} out of range (max {max})")
+            }
+            CascadeError::EmptyGroup { group } => {
+                write!(f, "distance group {group} contains no users; density undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CascadeError {}
+
+/// Convenient result alias for cascade analytics.
+pub type Result<T> = std::result::Result<T, CascadeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(CascadeError::OutOfRange { axis: "hour", value: 99, max: 50 }
+            .to_string()
+            .contains("hour 99"));
+        assert!(CascadeError::EmptyGroup { group: 3 }.to_string().contains("group 3"));
+        assert!(CascadeError::InvalidParameter { name: "x", reason: "bad".into() }
+            .to_string()
+            .contains("`x`"));
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<T: std::error::Error + Send + Sync>() {}
+        assert_bounds::<CascadeError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! # dlm-cascade
+//!
+//! Cascade analytics for the `dlm` workspace: turns a vote stream plus a
+//! social graph into the paper's central observable — the density matrix
+//! `I(x, t)` of influenced users per distance group per hour — under both
+//! distance metrics (friendship hops and shared interests), plus the
+//! pattern summaries and observation-window splits that the evaluation
+//! protocol uses.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dlm_cascade::hops::hop_density_matrix;
+//! use dlm_cascade::observation::ObservationSplit;
+//! use dlm_data::simulate::simulate_story;
+//! use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let world = SyntheticWorld::generate(WorldConfig::default())?;
+//! let cascade = simulate_story(&world, &StoryPreset::s1(), SimulationConfig::default())?;
+//! let density = hop_density_matrix(world.graph(), &cascade, 6, 50)?;
+//! // The paper's protocol: phi from hour 1, predict hours 2-6.
+//! let split = ObservationSplit::paper_protocol(&density)?;
+//! assert_eq!(split.target_hours(), &[2, 3, 4, 5, 6]);
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it
+// also rejects NaN, which is exactly what the validators need.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod confidence;
+pub mod density;
+pub mod error;
+pub mod hops;
+pub mod interest_groups;
+pub mod observation;
+pub mod patterns;
+pub mod timeline;
+
+pub use density::DensityMatrix;
+pub use error::{CascadeError, Result};
+pub use interest_groups::{GroupingStrategy, InterestGrouping};
+pub use observation::ObservationSplit;
+pub use patterns::PatternSummary;

@@ -1,0 +1,156 @@
+//! Observation-window splits for prediction experiments.
+//!
+//! The paper constructs the initial density function φ from the *first
+//! hour* of data and then predicts hours 2–6, scoring each against the
+//! observed densities. [`ObservationSplit`] packages that protocol: an
+//! initial profile (the spatial profile at `t = initial_hour`) plus the
+//! held-out target hours.
+
+use crate::density::DensityMatrix;
+use crate::error::{CascadeError, Result};
+
+/// A train/evaluate split of a density matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationSplit {
+    initial_hour: u32,
+    target_hours: Vec<u32>,
+    initial_profile: Vec<f64>,
+    targets: Vec<Vec<f64>>,
+}
+
+impl ObservationSplit {
+    /// Splits `matrix` at `initial_hour`: φ is built from that hour's
+    /// profile and each hour in `(initial_hour, last_hour]` becomes a
+    /// prediction target.
+    ///
+    /// # Errors
+    ///
+    /// * [`CascadeError::OutOfRange`] — `initial_hour` is zero or ≥ the
+    ///   last observed hour / `last_hour` beyond the matrix.
+    pub fn new(matrix: &DensityMatrix, initial_hour: u32, last_hour: u32) -> Result<Self> {
+        if last_hour > matrix.max_hour() {
+            return Err(CascadeError::OutOfRange {
+                axis: "hour",
+                value: last_hour,
+                max: matrix.max_hour(),
+            });
+        }
+        if initial_hour == 0 || initial_hour >= last_hour {
+            return Err(CascadeError::OutOfRange {
+                axis: "hour",
+                value: initial_hour,
+                max: last_hour.saturating_sub(1),
+            });
+        }
+        let initial_profile = matrix.profile_at(initial_hour)?;
+        let target_hours: Vec<u32> = (initial_hour + 1..=last_hour).collect();
+        let targets = target_hours
+            .iter()
+            .map(|&t| matrix.profile_at(t))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { initial_hour, target_hours, initial_profile, targets })
+    }
+
+    /// The paper's protocol: φ from hour 1, predict hours 2–6.
+    ///
+    /// # Errors
+    ///
+    /// See [`ObservationSplit::new`]; requires the matrix to span ≥ 6 hours.
+    pub fn paper_protocol(matrix: &DensityMatrix) -> Result<Self> {
+        Self::new(matrix, 1, 6)
+    }
+
+    /// The hour φ is constructed from.
+    #[must_use]
+    pub fn initial_hour(&self) -> u32 {
+        self.initial_hour
+    }
+
+    /// Hours to predict.
+    #[must_use]
+    pub fn target_hours(&self) -> &[u32] {
+        &self.target_hours
+    }
+
+    /// The spatial density profile at the initial hour (percent), indexed
+    /// by distance − 1.
+    #[must_use]
+    pub fn initial_profile(&self) -> &[f64] {
+        &self.initial_profile
+    }
+
+    /// Observed spatial profiles at each target hour, parallel to
+    /// [`ObservationSplit::target_hours`].
+    #[must_use]
+    pub fn targets(&self) -> &[Vec<f64>] {
+        &self.targets
+    }
+
+    /// The observed profile for a specific target hour, if it is in the
+    /// split.
+    #[must_use]
+    pub fn target_at(&self, hour: u32) -> Option<&[f64]> {
+        self.target_hours
+            .iter()
+            .position(|&t| t == hour)
+            .map(|i| self.targets[i].as_slice())
+    }
+
+    /// Number of distance groups in the profiles.
+    #[must_use]
+    pub fn distance_count(&self) -> usize {
+        self.initial_profile.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> DensityMatrix {
+        DensityMatrix::from_counts(
+            &[vec![1, 2, 3, 4, 5, 6, 7], vec![0, 1, 2, 3, 4, 5, 6]],
+            &[10, 10],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_protocol_shape() {
+        let s = ObservationSplit::paper_protocol(&matrix()).unwrap();
+        assert_eq!(s.initial_hour(), 1);
+        assert_eq!(s.target_hours(), &[2, 3, 4, 5, 6]);
+        assert_eq!(s.initial_profile(), &[10.0, 0.0]);
+        assert_eq!(s.targets().len(), 5);
+        assert_eq!(s.distance_count(), 2);
+    }
+
+    #[test]
+    fn target_at_lookup() {
+        let s = ObservationSplit::paper_protocol(&matrix()).unwrap();
+        assert_eq!(s.target_at(4).unwrap(), &[40.0, 30.0]);
+        assert!(s.target_at(1).is_none());
+        assert!(s.target_at(7).is_none());
+    }
+
+    #[test]
+    fn custom_split() {
+        let s = ObservationSplit::new(&matrix(), 3, 7).unwrap();
+        assert_eq!(s.initial_profile(), &[30.0, 20.0]);
+        assert_eq!(s.target_hours(), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn rejects_bad_hours() {
+        let m = matrix();
+        assert!(ObservationSplit::new(&m, 0, 5).is_err());
+        assert!(ObservationSplit::new(&m, 5, 5).is_err());
+        assert!(ObservationSplit::new(&m, 1, 99).is_err());
+    }
+
+    #[test]
+    fn short_matrix_cannot_use_paper_protocol() {
+        let m = DensityMatrix::from_counts(&[vec![1, 2, 3]], &[10]).unwrap();
+        assert!(ObservationSplit::paper_protocol(&m).is_err());
+    }
+}

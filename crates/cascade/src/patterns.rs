@@ -1,0 +1,128 @@
+//! Aggregate spatio-temporal pattern summaries (Figures 2–5 support).
+
+use crate::density::DensityMatrix;
+use crate::error::Result;
+
+/// Temporal/spatial pattern summary of one story's density matrix — the
+/// quantities the paper reads off Figures 3–4 when motivating the DL model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternSummary {
+    /// Final-hour density per distance group (percent).
+    pub final_densities: Vec<f64>,
+    /// 95%-saturation hour per distance group (`None` = group never voted).
+    pub saturation_hours: Vec<Option<u32>>,
+    /// Whether the final spatial profile is monotone non-increasing in
+    /// distance (true for s4; false for s1, whose hop-3 density exceeds
+    /// hop-2).
+    pub monotone_in_distance: bool,
+    /// Largest density observed anywhere (guides the choice of K).
+    pub peak_density: f64,
+}
+
+impl PatternSummary {
+    /// Derives the summary from a density matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix access errors (cannot occur for a well-formed
+    /// matrix).
+    pub fn from_matrix(matrix: &DensityMatrix) -> Result<Self> {
+        let final_hour = matrix.max_hour();
+        let final_densities = matrix.profile_at(final_hour)?;
+        let mut saturation_hours = Vec::with_capacity(matrix.max_distance() as usize);
+        for d in 1..=matrix.max_distance() {
+            saturation_hours.push(matrix.saturation_hour(d, 0.95)?);
+        }
+        let monotone_in_distance =
+            final_densities.windows(2).all(|w| w[0] >= w[1] - 1e-9);
+        Ok(Self {
+            final_densities,
+            saturation_hours,
+            monotone_in_distance,
+            peak_density: matrix.max_density(),
+        })
+    }
+
+    /// The latest saturation hour across groups — a story-level "stable
+    /// after" time (the paper: s1 ~10 h, s2 ~20 h).
+    #[must_use]
+    pub fn story_saturation_hour(&self) -> Option<u32> {
+        self.saturation_hours.iter().flatten().copied().max()
+    }
+
+    /// Growth increments of the aggregate density between consecutive
+    /// hours: the paper's Figure-4 observation that increments shrink with
+    /// time (motivating a decreasing r(t)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix access errors.
+    pub fn mean_hourly_increments(matrix: &DensityMatrix) -> Result<Vec<f64>> {
+        let hours = matrix.max_hour();
+        let dists = matrix.max_distance();
+        let mut increments = Vec::with_capacity(hours.saturating_sub(1) as usize);
+        for t in 1..hours {
+            let mut acc = 0.0;
+            for d in 1..=dists {
+                acc += matrix.at(d, t + 1)? - matrix.at(d, t)?;
+            }
+            increments.push(acc / f64::from(dists));
+        }
+        Ok(increments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rising_matrix() -> DensityMatrix {
+        // Two groups, logistic-ish growth, group 1 denser than group 2.
+        DensityMatrix::from_counts(
+            &[vec![2, 6, 9, 10, 10], vec![1, 3, 5, 6, 6]],
+            &[20, 40],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn summary_final_densities() {
+        let s = PatternSummary::from_matrix(&rising_matrix()).unwrap();
+        assert_eq!(s.final_densities, vec![50.0, 15.0]);
+        assert!(s.monotone_in_distance);
+        assert!((s.peak_density - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_saturation_hours() {
+        let s = PatternSummary::from_matrix(&rising_matrix()).unwrap();
+        // Group 1 final = 50%, 95% → 47.5 → first hour with ≥ 9.5/20 = hour 4.
+        assert_eq!(s.saturation_hours, vec![Some(4), Some(4)]);
+        assert_eq!(s.story_saturation_hour(), Some(4));
+    }
+
+    #[test]
+    fn non_monotone_profile_detected() {
+        let m = DensityMatrix::from_counts(&[vec![5], vec![2], vec![4]], &[10, 10, 10]).unwrap();
+        let s = PatternSummary::from_matrix(&m).unwrap();
+        assert!(!s.monotone_in_distance);
+    }
+
+    #[test]
+    fn increments_shrink_for_logistic_growth() {
+        let m = rising_matrix();
+        let inc = PatternSummary::mean_hourly_increments(&m).unwrap();
+        assert_eq!(inc.len(), 4);
+        // Logistic-ish: increments eventually decline.
+        assert!(inc[inc.len() - 1] < inc[0]);
+        assert!(inc.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn dead_group_has_no_saturation() {
+        let m = DensityMatrix::from_counts(&[vec![0, 0], vec![1, 2]], &[10, 10]).unwrap();
+        let s = PatternSummary::from_matrix(&m).unwrap();
+        assert_eq!(s.saturation_hours[0], None);
+        assert_eq!(s.story_saturation_hour(), Some(2));
+    }
+}

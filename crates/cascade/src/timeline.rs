@@ -1,0 +1,210 @@
+//! Vote-timeline analytics: the raw temporal signal behind the density
+//! matrices.
+//!
+//! The paper's Figures 3–5 work with *cumulative densities*; the
+//! underlying Digg signal is the per-hour vote count, whose rise and
+//! exponential-looking die-off is what the simulator's temporal decay `λ`
+//! models. This module extracts that signal, locates the peak hour, and
+//! fits the die-off rate — closing the loop between the simulator's
+//! inputs and what a practitioner would measure on real data.
+
+use crate::error::{CascadeError, Result};
+use dlm_data::Vote;
+use dlm_numerics::stats::linear_regression;
+
+/// Per-hour vote counts for one story.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteTimeline {
+    counts: Vec<usize>,
+}
+
+impl VoteTimeline {
+    /// Buckets votes into `hours` one-hour bins starting at `submit_time`.
+    /// Votes outside the window are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CascadeError::InvalidParameter`] if `hours == 0`.
+    pub fn from_votes(votes: &[Vote], submit_time: u64, hours: u32) -> Result<Self> {
+        if hours == 0 {
+            return Err(CascadeError::InvalidParameter {
+                name: "hours",
+                reason: "must be positive".into(),
+            });
+        }
+        let mut counts = vec![0usize; hours as usize];
+        for v in votes {
+            if v.timestamp < submit_time {
+                continue;
+            }
+            let idx = ((v.timestamp - submit_time) / 3600) as usize;
+            if idx < counts.len() {
+                counts[idx] += 1;
+            }
+        }
+        Ok(Self { counts })
+    }
+
+    /// Votes in each hour (index 0 = first hour).
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total votes in the window.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The 1-based hour with the most votes (first of ties); `None` if no
+    /// votes at all.
+    #[must_use]
+    pub fn peak_hour(&self) -> Option<u32> {
+        let max = *self.counts.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.counts.iter().position(|&c| c == max).map(|i| i as u32 + 1)
+    }
+
+    /// Hour by which `fraction` of the total votes have arrived
+    /// (1-based); `None` for an empty timeline or out-of-range fraction.
+    #[must_use]
+    pub fn hour_of_mass(&self, fraction: f64) -> Option<u32> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return None;
+        }
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = fraction * total as f64;
+        let mut acc = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc as f64 >= target {
+                return Some(i as u32 + 1);
+            }
+        }
+        Some(self.counts.len() as u32)
+    }
+
+    /// Fits the post-peak die-off as `counts(h) ≈ A·e^{−λ(h − peak)}` by
+    /// log-linear regression over the hours after the peak, returning `λ`.
+    /// `None` when fewer than 3 nonzero post-peak hours exist.
+    ///
+    /// For the synthetic cascades this recovers (approximately) the story
+    /// preset's `decay` parameter — see the tests.
+    #[must_use]
+    pub fn fitted_decay(&self) -> Option<f64> {
+        let peak = self.peak_hour()? as usize - 1;
+        let pts: Vec<(f64, f64)> = self.counts[peak..]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i as f64, (c as f64).ln()))
+            .collect();
+        if pts.len() < 3 {
+            return None;
+        }
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        let (slope, _) = linear_regression(&xs, &ys)?;
+        Some(-slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vote(ts: u64) -> Vote {
+        Vote { timestamp: ts, voter: ts as usize, story: 1 }
+    }
+
+    #[test]
+    fn buckets_by_hour() {
+        let votes = vec![vote(0), vote(100), vote(3_600), vote(7_200), vote(7_300)];
+        let t = VoteTimeline::from_votes(&votes, 0, 3).unwrap();
+        assert_eq!(t.counts(), &[2, 1, 2]);
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn out_of_window_votes_ignored() {
+        let votes = vec![vote(10), vote(5 * 3_600)];
+        let t = VoteTimeline::from_votes(&votes, 0, 2).unwrap();
+        assert_eq!(t.total(), 1);
+        // Pre-submission votes too.
+        let t = VoteTimeline::from_votes(&[vote(10)], 100, 2).unwrap();
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn peak_and_mass_quantiles() {
+        let mut votes = Vec::new();
+        // Hour 1: 1 vote; hour 2: 5; hour 3: 2; hour 4: 1.
+        let mut id = 0u64;
+        for (hour, n) in [(0u64, 1), (1, 5), (2, 2), (3, 1)] {
+            for _ in 0..n {
+                votes.push(Vote { timestamp: hour * 3600 + id, voter: id as usize, story: 1 });
+                id += 1;
+            }
+        }
+        let t = VoteTimeline::from_votes(&votes, 0, 4).unwrap();
+        assert_eq!(t.peak_hour(), Some(2));
+        assert_eq!(t.hour_of_mass(0.5), Some(2)); // 1+5 = 6 of 9 ≥ 4.5
+        assert_eq!(t.hour_of_mass(1.0), Some(4));
+        assert_eq!(t.hour_of_mass(1.5), None);
+    }
+
+    #[test]
+    fn empty_timeline_edge_cases() {
+        let t = VoteTimeline::from_votes(&[], 0, 5).unwrap();
+        assert_eq!(t.peak_hour(), None);
+        assert_eq!(t.hour_of_mass(0.5), None);
+        assert_eq!(t.fitted_decay(), None);
+        assert!(VoteTimeline::from_votes(&[], 0, 0).is_err());
+    }
+
+    #[test]
+    fn fitted_decay_recovers_exponential() {
+        // counts(h) = 100·e^{−0.4(h−1)}, h = 1..12.
+        let mut votes = Vec::new();
+        let mut id = 0u64;
+        for h in 0u64..12 {
+            let n = (100.0 * (-0.4 * h as f64).exp()).round() as usize;
+            for _ in 0..n {
+                votes.push(Vote { timestamp: h * 3600 + id % 3600, voter: id as usize, story: 1 });
+                id += 1;
+            }
+        }
+        let t = VoteTimeline::from_votes(&votes, 0, 12).unwrap();
+        let lambda = t.fitted_decay().unwrap();
+        assert!((lambda - 0.4).abs() < 0.05, "fitted {lambda}");
+    }
+
+    #[test]
+    fn simulator_decay_is_recovered_roughly() {
+        // The cascade's hazard decay e^{−λ(h−1)} should show up in the
+        // vote die-off. Binomial thinning + cascade feedback distort it,
+        // so only demand the right ballpark and ordering.
+        use dlm_data::simulate::simulate_story;
+        use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+        let w = SyntheticWorld::generate(WorldConfig::default().scaled(0.25)).unwrap();
+        let fast = simulate_story(&w, &StoryPreset::s1(), SimulationConfig::default()).unwrap();
+        let slow = simulate_story(&w, &StoryPreset::s2(), SimulationConfig::default()).unwrap();
+        let lf = VoteTimeline::from_votes(fast.votes(), fast.submit_time(), 30)
+            .unwrap()
+            .fitted_decay()
+            .unwrap();
+        let ls = VoteTimeline::from_votes(slow.votes(), slow.submit_time(), 30)
+            .unwrap()
+            .fitted_decay()
+            .unwrap();
+        // s1 (λ = 0.35) dies off faster than s2 (λ = 0.15).
+        assert!(lf > ls, "s1 decay {lf} !> s2 decay {ls}");
+        assert!(lf > 0.1 && lf < 1.0, "s1 decay implausible: {lf}");
+    }
+}

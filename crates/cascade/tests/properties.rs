@@ -1,0 +1,108 @@
+//! Property-based tests for the cascade analytics.
+
+use dlm_cascade::confidence::{density_intervals, wilson_interval};
+use dlm_cascade::density::{cumulative_counts, DensityMatrix};
+use dlm_cascade::observation::ObservationSplit;
+use dlm_data::Vote;
+use proptest::prelude::*;
+
+/// Random monotone counts per group (cumulative influence never shrinks).
+fn count_rows(groups: usize, hours: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(
+        prop::collection::vec(0usize..5, hours..=hours),
+        groups..=groups,
+    )
+    .prop_map(|increments| {
+        increments
+            .into_iter()
+            .map(|row| {
+                let mut acc = 0usize;
+                row.into_iter()
+                    .map(|d| {
+                        acc += d;
+                        acc
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn densities_bounded_and_monotone(counts in count_rows(4, 8)) {
+        let sizes = vec![50usize; 4];
+        let m = DensityMatrix::from_counts(&counts, &sizes).unwrap();
+        for d in 1..=4u32 {
+            let series = m.series(d).unwrap();
+            prop_assert!(series.windows(2).all(|w| w[1] >= w[0]));
+            prop_assert!(series.iter().all(|&v| (0.0..=100.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn truncation_preserves_values(counts in count_rows(3, 6), keep in 1u32..6) {
+        let m = DensityMatrix::from_counts(&counts, &[30, 30, 30]).unwrap();
+        let t = m.truncated(keep).unwrap();
+        for d in 1..=3u32 {
+            for h in 1..=keep {
+                prop_assert_eq!(m.at(d, h).unwrap(), t.at(d, h).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn observation_split_targets_match_matrix(counts in count_rows(3, 7)) {
+        let m = DensityMatrix::from_counts(&counts, &[40, 40, 40]).unwrap();
+        let split = ObservationSplit::new(&m, 2, 7).unwrap();
+        prop_assert_eq!(split.initial_profile().to_vec(), m.profile_at(2).unwrap());
+        for &h in split.target_hours() {
+            prop_assert_eq!(split.target_at(h).unwrap().to_vec(), m.profile_at(h).unwrap());
+        }
+    }
+
+    #[test]
+    fn wilson_interval_always_brackets_p(successes in 0usize..100, extra in 1usize..100) {
+        let trials = successes + extra;
+        let p = successes as f64 / trials as f64;
+        let (lo, hi) = wilson_interval(successes, trials, 1.96);
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "p = {p}, interval [{lo}, {hi}]");
+        prop_assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+    }
+
+    #[test]
+    fn density_intervals_cover_matrix(counts in count_rows(2, 4)) {
+        let m = DensityMatrix::from_counts(&counts, &[60, 60]).unwrap();
+        let ivs = density_intervals(&m).unwrap();
+        for (d0, row) in ivs.iter().enumerate() {
+            for (t0, iv) in row.iter().enumerate() {
+                let est = m.at(d0 as u32 + 1, t0 as u32 + 1).unwrap();
+                prop_assert!(iv.lower <= est + 1e-9 && est <= iv.upper + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_counts_total_matches_vote_count(
+        raw in prop::collection::vec((0u64..18_000, 0usize..30), 0..80),
+    ) {
+        // All users belong to one group; every in-window vote must be counted.
+        let group: Vec<usize> = (0..30).collect();
+        let votes: Vec<Vote> = raw
+            .iter()
+            .map(|&(ts, voter)| Vote { timestamp: 1_000 + ts, voter, story: 1 })
+            .collect();
+        // Deduplicate voters like the simulator guarantees.
+        let mut seen = std::collections::HashSet::new();
+        let votes: Vec<Vote> =
+            votes.into_iter().filter(|v| seen.insert(v.voter)).collect();
+        let counts = cumulative_counts(&[group], &votes, 1_000, 5);
+        let expected = votes
+            .iter()
+            .filter(|v| v.timestamp < 1_000 + 5 * 3600)
+            .count();
+        prop_assert_eq!(counts[0][4], expected);
+    }
+}

@@ -1,0 +1,541 @@
+//! Baseline predictors the DL model is compared against.
+//!
+//! The paper's central claim is that modelling *both* growth (logistic,
+//! intra-distance) and diffusion (Fick, cross-distance) beats simpler
+//! alternatives. These baselines make that comparison concrete:
+//!
+//! * [`LogisticOnly`] — the DL equation with `d = 0`: each distance group
+//!   evolves independently (no spatial coupling). The ablation that
+//!   isolates the value of the diffusion term.
+//! * [`NaiveLastValue`] — predicts the initial profile forever (the
+//!   "no-change" forecaster every prediction paper must beat).
+//! * [`LinearTrend`] — extrapolates the per-distance trend of the first
+//!   two observed hours.
+//! * [`si_epidemic`] / [`sis_epidemic`] — discrete-time SI/SIS epidemic
+//!   Monte Carlo on the *actual follower graph* (the classic
+//!   network-epidemic alternative referenced in the paper's related work,
+//!   e.g. Saito et al.).
+
+use crate::error::{DlError, Result};
+use crate::growth::GrowthRate;
+use crate::model::Prediction;
+use dlm_graph::bfs::hop_distances;
+use dlm_graph::DiGraph;
+use dlm_numerics::ode::rk4;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// The `d = 0` ablation: independent logistic growth per distance group,
+/// sharing the DL model's `r(t)` and `K`.
+#[derive(Debug)]
+pub struct LogisticOnly<'a> {
+    initial: Vec<f64>,
+    growth: &'a dyn GrowthRate,
+    capacity: f64,
+    initial_time: f64,
+}
+
+impl<'a> LogisticOnly<'a> {
+    /// Creates the baseline from the hour-1 profile (`initial[i]` at
+    /// distance `i + 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for an empty profile or
+    /// non-positive capacity.
+    pub fn new(
+        initial: &[f64],
+        growth: &'a dyn GrowthRate,
+        capacity: f64,
+        initial_time: f64,
+    ) -> Result<Self> {
+        if initial.is_empty() {
+            return Err(DlError::InvalidParameter {
+                name: "initial",
+                reason: "must be nonempty".into(),
+            });
+        }
+        if !(capacity > 0.0) {
+            return Err(DlError::InvalidParameter {
+                name: "capacity",
+                reason: format!("must be positive, got {capacity}"),
+            });
+        }
+        Ok(Self { initial: initial.to_vec(), growth, capacity, initial_time })
+    }
+
+    /// Predicts densities at integer distances/hours by integrating the
+    /// per-distance logistic ODE.
+    ///
+    /// # Errors
+    ///
+    /// * [`DlError::InvalidParameter`] — distance outside the profile or
+    ///   hour not after the initial time.
+    /// * Propagates integrator errors.
+    pub fn predict(&self, distances: &[u32], hours: &[u32]) -> Result<Prediction> {
+        let t_max = f64::from(*hours.iter().max().ok_or(DlError::InvalidParameter {
+            name: "hours",
+            reason: "must be nonempty".into(),
+        })?);
+        if t_max <= self.initial_time {
+            return Err(DlError::InvalidParameter {
+                name: "hours",
+                reason: "must extend beyond the initial time".into(),
+            });
+        }
+        let k = self.capacity;
+        let mut values = Vec::with_capacity(distances.len());
+        for &d in distances {
+            let idx = (d as usize).checked_sub(1).filter(|&i| i < self.initial.len()).ok_or(
+                DlError::InvalidParameter {
+                    name: "distances",
+                    reason: format!("distance {d} outside the initial profile"),
+                },
+            )?;
+            let y0 = self.initial[idx];
+            let growth = self.growth;
+            let sys = (
+                move |t: f64, y: &[f64], dy: &mut [f64]| {
+                    dy[0] = growth.rate(t) * y[0] * (1.0 - y[0] / k);
+                },
+                1usize,
+            );
+            let steps = ((t_max - self.initial_time) / 0.005).ceil() as usize;
+            let traj = rk4(&sys, self.initial_time, t_max, &[y0], steps.max(1))?;
+            // Sample the trajectory at each requested hour.
+            let mut row = Vec::with_capacity(hours.len());
+            for &h in hours {
+                let t = f64::from(h);
+                let v = sample_trajectory(traj.times(), traj.states(), t);
+                row.push(v);
+            }
+            values.push(row);
+        }
+        Prediction::from_values(distances.to_vec(), hours.to_vec(), values)
+    }
+}
+
+fn sample_trajectory(times: &[f64], states: &[Vec<f64>], t: f64) -> f64 {
+    match times.binary_search_by(|v| v.total_cmp(&t)) {
+        Ok(i) => states[i][0],
+        Err(0) => states[0][0],
+        Err(i) if i >= times.len() => states[times.len() - 1][0],
+        Err(i) => {
+            let w = (t - times[i - 1]) / (times[i] - times[i - 1]);
+            states[i - 1][0] * (1.0 - w) + states[i][0] * w
+        }
+    }
+}
+
+/// The no-change forecaster: every future hour equals the initial profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveLastValue {
+    initial: Vec<f64>,
+}
+
+impl NaiveLastValue {
+    /// Creates the baseline from the initial profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for an empty profile.
+    pub fn new(initial: &[f64]) -> Result<Self> {
+        if initial.is_empty() {
+            return Err(DlError::InvalidParameter {
+                name: "initial",
+                reason: "must be nonempty".into(),
+            });
+        }
+        Ok(Self { initial: initial.to_vec() })
+    }
+
+    /// Predicts the frozen profile at every requested hour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for distances outside the
+    /// profile or empty requests.
+    pub fn predict(&self, distances: &[u32], hours: &[u32]) -> Result<Prediction> {
+        let mut values = Vec::with_capacity(distances.len());
+        for &d in distances {
+            let idx = (d as usize).checked_sub(1).filter(|&i| i < self.initial.len()).ok_or(
+                DlError::InvalidParameter {
+                    name: "distances",
+                    reason: format!("distance {d} outside the initial profile"),
+                },
+            )?;
+            values.push(vec![self.initial[idx]; hours.len()]);
+        }
+        Prediction::from_values(distances.to_vec(), hours.to_vec(), values)
+    }
+}
+
+/// Linear extrapolation of the first two observed hours, clamped at 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearTrend {
+    base: Vec<f64>,
+    slope: Vec<f64>,
+    base_time: f64,
+}
+
+impl LinearTrend {
+    /// Creates the baseline from two consecutive profiles observed at
+    /// `t0` and `t0 + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for empty or mismatched
+    /// profiles.
+    pub fn new(profile_t0: &[f64], profile_t1: &[f64], t0: f64) -> Result<Self> {
+        if profile_t0.is_empty() || profile_t0.len() != profile_t1.len() {
+            return Err(DlError::InvalidParameter {
+                name: "profiles",
+                reason: "need two nonempty profiles of equal length".into(),
+            });
+        }
+        let slope: Vec<f64> =
+            profile_t0.iter().zip(profile_t1).map(|(a, b)| b - a).collect();
+        Ok(Self { base: profile_t0.to_vec(), slope, base_time: t0 })
+    }
+
+    /// Predicts by per-distance linear extrapolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for out-of-profile distances.
+    pub fn predict(&self, distances: &[u32], hours: &[u32]) -> Result<Prediction> {
+        let mut values = Vec::with_capacity(distances.len());
+        for &d in distances {
+            let idx = (d as usize).checked_sub(1).filter(|&i| i < self.base.len()).ok_or(
+                DlError::InvalidParameter {
+                    name: "distances",
+                    reason: format!("distance {d} outside the profile"),
+                },
+            )?;
+            let row: Vec<f64> = hours
+                .iter()
+                .map(|&h| (self.base[idx] + self.slope[idx] * (f64::from(h) - self.base_time)).max(0.0))
+                .collect();
+            values.push(row);
+        }
+        Prediction::from_values(distances.to_vec(), hours.to_vec(), values)
+    }
+}
+
+/// Configuration for the graph-epidemic baselines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpidemicConfig {
+    /// Per-hour infection probability along each edge from an infected
+    /// followee.
+    pub beta: f64,
+    /// Per-hour recovery probability (SIS only; ignored by SI).
+    pub gamma: f64,
+    /// Number of Monte Carlo runs to average.
+    pub runs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EpidemicConfig {
+    fn default() -> Self {
+        Self { beta: 0.01, gamma: 0.0, runs: 20, seed: 42 }
+    }
+}
+
+/// Runs a discrete-time SI epidemic on the follower graph, seeded with
+/// `initially_infected`, and returns the predicted *density of
+/// ever-infected users* (percent) per hop group per hour — directly
+/// comparable to a hop [`dlm_cascade::DensityMatrix`].
+///
+/// # Errors
+///
+/// Returns [`DlError::InvalidParameter`] for a bad config or an initiator
+/// that reaches nobody.
+pub fn si_epidemic(
+    graph: &DiGraph,
+    initiator: usize,
+    initially_infected: &[usize],
+    max_hops: u32,
+    hours: &[u32],
+    config: &EpidemicConfig,
+) -> Result<Prediction> {
+    epidemic_impl(graph, initiator, initially_infected, max_hops, hours, config, false)
+}
+
+/// SIS variant of [`si_epidemic`]: infected users recover with probability
+/// `gamma` per hour and can be re-infected. The reported density still
+/// counts *ever-infected* users (votes are permanent on Digg), so `gamma`
+/// throttles spreading pressure rather than un-voting users.
+///
+/// # Errors
+///
+/// Same conditions as [`si_epidemic`].
+pub fn sis_epidemic(
+    graph: &DiGraph,
+    initiator: usize,
+    initially_infected: &[usize],
+    max_hops: u32,
+    hours: &[u32],
+    config: &EpidemicConfig,
+) -> Result<Prediction> {
+    epidemic_impl(graph, initiator, initially_infected, max_hops, hours, config, true)
+}
+
+fn epidemic_impl(
+    graph: &DiGraph,
+    initiator: usize,
+    initially_infected: &[usize],
+    max_hops: u32,
+    hours: &[u32],
+    config: &EpidemicConfig,
+    with_recovery: bool,
+) -> Result<Prediction> {
+    if !(0.0..=1.0).contains(&config.beta) || !(0.0..=1.0).contains(&config.gamma) {
+        return Err(DlError::InvalidParameter {
+            name: "beta/gamma",
+            reason: "probabilities must be in [0, 1]".into(),
+        });
+    }
+    if config.runs == 0 {
+        return Err(DlError::InvalidParameter {
+            name: "runs",
+            reason: "must be positive".into(),
+        });
+    }
+    if hours.is_empty() || max_hops == 0 {
+        return Err(DlError::InvalidParameter {
+            name: "hours/max_hops",
+            reason: "must be nonempty/positive".into(),
+        });
+    }
+    let dist = hop_distances(graph, initiator);
+    let mut groups = dist.groups_up_to(max_hops);
+    while groups.last().is_some_and(Vec::is_empty) {
+        groups.pop();
+    }
+    if groups.is_empty() {
+        return Err(DlError::InvalidParameter {
+            name: "initiator",
+            reason: "reaches no other users".into(),
+        });
+    }
+    let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+    let n = graph.node_count();
+    let max_hour = *hours.iter().max().expect("nonempty");
+
+    // group index per node.
+    let mut group_of: Vec<Option<usize>> = vec![None; n];
+    for (g, members) in groups.iter().enumerate() {
+        for &u in members {
+            group_of[u] = Some(g);
+        }
+    }
+
+    // Accumulated ever-infected counts [group][hour_idx] over runs.
+    let mut acc = vec![vec![0.0f64; hours.len()]; groups.len()];
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    for _ in 0..config.runs {
+        let mut ever: HashSet<usize> = initially_infected.iter().copied().collect();
+        ever.insert(initiator);
+        let mut active: Vec<usize> = ever.iter().copied().collect();
+        let mut infected: Vec<bool> = vec![false; n];
+        for &u in &active {
+            infected[u] = true;
+        }
+        for hour in 1..=max_hour {
+            // Spread from active nodes to their followers.
+            let mut newly: Vec<usize> = Vec::new();
+            for &u in &active {
+                for &v in graph.out_neighbors(u) {
+                    if !infected[v] && rng.gen::<f64>() < config.beta {
+                        infected[v] = true;
+                        newly.push(v);
+                    }
+                }
+            }
+            for &v in &newly {
+                ever.insert(v);
+            }
+            active.extend(newly);
+            if with_recovery && config.gamma > 0.0 {
+                active.retain(|&u| {
+                    if rng.gen::<f64>() < config.gamma {
+                        infected[u] = false;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            // Record at requested hours.
+            if let Some(hi) = hours.iter().position(|&h| h == hour) {
+                let mut counts = vec![0usize; groups.len()];
+                for &u in &ever {
+                    if let Some(g) = group_of[u] {
+                        counts[g] += 1;
+                    }
+                }
+                for (g, &c) in counts.iter().enumerate() {
+                    acc[g][hi] += c as f64;
+                }
+            }
+        }
+    }
+
+    let distances: Vec<u32> = (1..=groups.len() as u32).collect();
+    let values: Vec<Vec<f64>> = acc
+        .iter()
+        .enumerate()
+        .map(|(g, row)| {
+            row.iter().map(|&s| 100.0 * s / (config.runs as f64 * group_sizes[g] as f64)).collect()
+        })
+        .collect();
+    Prediction::from_values(distances, hours.to_vec(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::{ConstantGrowth, ExpDecayGrowth};
+    use dlm_graph::GraphBuilder;
+
+    const OBS: [f64; 5] = [2.1, 0.7, 0.9, 0.5, 0.3];
+
+    #[test]
+    fn logistic_only_matches_closed_form_with_constant_rate() {
+        let growth = ConstantGrowth::new(0.8);
+        let baseline = LogisticOnly::new(&OBS, &growth, 25.0, 1.0).unwrap();
+        let p = baseline.predict(&[1, 2, 3, 4, 5], &[2, 4, 6]).unwrap();
+        let exact = |y0: f64, t: f64| 25.0 / (1.0 + (25.0 / y0 - 1.0) * (-0.8 * (t - 1.0)).exp());
+        for (i, &y0) in OBS.iter().enumerate() {
+            for &h in &[2u32, 4, 6] {
+                let got = p.at(i as u32 + 1, h).unwrap();
+                let want = exact(y0, f64::from(h));
+                assert!((got - want).abs() < 1e-4, "d={} h={h}: {got} vs {want}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_only_with_paper_growth_is_increasing_and_bounded() {
+        let growth = ExpDecayGrowth::paper_hops();
+        let baseline = LogisticOnly::new(&OBS, &growth, 25.0, 1.0).unwrap();
+        let p = baseline.predict(&[1, 3, 5], &[2, 3, 4, 5, 6]).unwrap();
+        for &d in &[1u32, 3, 5] {
+            let mut prev = 0.0;
+            for &h in &[2u32, 3, 4, 5, 6] {
+                let v = p.at(d, h).unwrap();
+                assert!(v > prev && v <= 25.0);
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn logistic_only_rejects_bad_inputs() {
+        let growth = ConstantGrowth::new(0.5);
+        assert!(LogisticOnly::new(&[], &growth, 25.0, 1.0).is_err());
+        assert!(LogisticOnly::new(&OBS, &growth, 0.0, 1.0).is_err());
+        let b = LogisticOnly::new(&OBS, &growth, 25.0, 1.0).unwrap();
+        assert!(b.predict(&[9], &[2]).is_err());
+        assert!(b.predict(&[1], &[1]).is_err());
+    }
+
+    #[test]
+    fn naive_is_frozen() {
+        let b = NaiveLastValue::new(&OBS).unwrap();
+        let p = b.predict(&[1, 5], &[2, 50]).unwrap();
+        assert_eq!(p.at(1, 2).unwrap(), 2.1);
+        assert_eq!(p.at(1, 50).unwrap(), 2.1);
+        assert_eq!(p.at(5, 50).unwrap(), 0.3);
+        assert!(b.predict(&[6], &[2]).is_err());
+    }
+
+    #[test]
+    fn linear_trend_extrapolates_and_clamps() {
+        let t1 = [2.0, 1.0];
+        let t2 = [3.0, 0.4];
+        let b = LinearTrend::new(&t1, &t2, 1.0).unwrap();
+        let p = b.predict(&[1, 2], &[2, 3, 4]).unwrap();
+        assert!((p.at(1, 3).unwrap() - 4.0).abs() < 1e-12);
+        // Distance 2 has slope −0.6; by hour 4 the raw value is negative → clamped.
+        assert_eq!(p.at(2, 4).unwrap(), 0.0);
+        assert!(LinearTrend::new(&[], &[], 1.0).is_err());
+        assert!(LinearTrend::new(&[1.0], &[1.0, 2.0], 1.0).is_err());
+    }
+
+    fn chain_graph() -> DiGraph {
+        // 0 → 1 → 2 → 3 … a path so hops are deterministic.
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_edge(i, i + 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn si_epidemic_with_beta_one_marches_one_hop_per_hour() {
+        let g = chain_graph();
+        let cfg = EpidemicConfig { beta: 1.0, runs: 3, ..Default::default() };
+        let p = si_epidemic(&g, 0, &[0], 5, &[1, 2, 3], &cfg).unwrap();
+        // After hour h the infection has reached exactly hop h.
+        assert_eq!(p.at(1, 1).unwrap(), 100.0);
+        assert_eq!(p.at(2, 1).unwrap(), 0.0);
+        assert_eq!(p.at(2, 2).unwrap(), 100.0);
+        assert_eq!(p.at(3, 3).unwrap(), 100.0);
+        assert_eq!(p.at(4, 3).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn si_epidemic_with_beta_zero_stays_at_seed() {
+        let g = chain_graph();
+        let cfg = EpidemicConfig { beta: 0.0, runs: 2, ..Default::default() };
+        let p = si_epidemic(&g, 0, &[0], 5, &[3], &cfg).unwrap();
+        for d in 1..=5 {
+            assert_eq!(p.at(d, 3).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn sis_recovery_slows_spread() {
+        use dlm_graph::generators::{preferential_attachment, PreferentialAttachmentConfig};
+        let g = preferential_attachment(
+            PreferentialAttachmentConfig { nodes: 400, ..Default::default() },
+            3,
+        )
+        .unwrap();
+        let si_cfg = EpidemicConfig { beta: 0.05, gamma: 0.0, runs: 10, seed: 1 };
+        let sis_cfg = EpidemicConfig { beta: 0.05, gamma: 0.8, runs: 10, seed: 1 };
+        let hours = [10u32];
+        let si = si_epidemic(&g, 0, &[0], 4, &hours, &si_cfg).unwrap();
+        let sis = sis_epidemic(&g, 0, &[0], 4, &hours, &sis_cfg).unwrap();
+        let total = |p: &Prediction| -> f64 {
+            (1..=p.distances().len() as u32).map(|d| p.at(d, 10).unwrap()).sum()
+        };
+        assert!(total(&sis) < total(&si), "{} !< {}", total(&sis), total(&si));
+    }
+
+    #[test]
+    fn epidemic_rejects_bad_config() {
+        let g = chain_graph();
+        assert!(si_epidemic(&g, 0, &[0], 5, &[1], &EpidemicConfig { beta: 2.0, ..Default::default() })
+            .is_err());
+        assert!(si_epidemic(&g, 0, &[0], 5, &[1], &EpidemicConfig { runs: 0, ..Default::default() })
+            .is_err());
+        assert!(si_epidemic(&g, 0, &[0], 0, &[1], &EpidemicConfig::default()).is_err());
+        assert!(si_epidemic(&g, 0, &[0], 5, &[], &EpidemicConfig::default()).is_err());
+        // Node 5 has no out-edges: reaches nobody.
+        assert!(si_epidemic(&g, 5, &[5], 5, &[1], &EpidemicConfig::default()).is_err());
+    }
+
+    #[test]
+    fn epidemic_is_seed_deterministic() {
+        let g = chain_graph();
+        let cfg = EpidemicConfig { beta: 0.5, runs: 5, seed: 9, ..Default::default() };
+        let a = si_epidemic(&g, 0, &[0], 5, &[1, 2], &cfg).unwrap();
+        let b = si_epidemic(&g, 0, &[0], 5, &[1, 2], &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,334 @@
+//! Automated parameter calibration.
+//!
+//! The paper selects `d`, `K` and the growth-rate coefficients by hand
+//! from inspection of the data, and names "developing new models that
+//! consider diffusion rate, growth rate and carrying capacity as functions
+//! of time and distance" as future work. This module automates the scalar
+//! part: a Nelder–Mead search over `(d, a, b, c[, K])` — with
+//! `r(t) = a·e^{−b(t−1)} + c` — minimizing the mean squared *relative*
+//! error of the DL solution against observed density profiles on a short
+//! calibration window.
+
+use crate::error::{DlError, Result};
+use crate::growth::ExpDecayGrowth;
+use crate::initial::{InitialDensity, PhiConstruction};
+use crate::model::{DlModel, DlModelBuilder};
+use crate::params::DlParameters;
+use crate::pde::{solve, SolverConfig};
+use dlm_cascade::DensityMatrix;
+use dlm_numerics::optimize::{nelder_mead, NelderMeadConfig};
+
+/// What the calibration is allowed to vary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationOptions {
+    /// Fit the diffusion rate `d` (else keep the seed's value).
+    pub fit_diffusion: bool,
+    /// Fit the carrying capacity `K` (else keep the seed's value).
+    pub fit_capacity: bool,
+    /// Upper bound for `d` during the search.
+    pub max_diffusion: f64,
+    /// Upper bound for `K` during the search.
+    pub max_capacity: f64,
+    /// Nelder–Mead budget.
+    pub max_evals: usize,
+    /// Solver resolution used inside the objective (coarser than the final
+    /// solve for speed).
+    pub solver: SolverConfig,
+}
+
+impl Default for CalibrationOptions {
+    fn default() -> Self {
+        Self {
+            fit_diffusion: true,
+            fit_capacity: false,
+            max_diffusion: 1.0,
+            max_capacity: 100.0,
+            max_evals: 400,
+            solver: SolverConfig { space_intervals: 40, dt: 0.05, ..SolverConfig::default() },
+        }
+    }
+}
+
+/// The outcome of a calibration run.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Fitted scalar parameters.
+    pub params: DlParameters,
+    /// Fitted growth-rate curve.
+    pub growth: ExpDecayGrowth,
+    /// Final objective value (mean squared relative error).
+    pub objective: f64,
+    /// Objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+impl Calibration {
+    /// Builds a ready-to-predict [`DlModel`] from the fitted parameters
+    /// and the observed hour-`initial_hour` profile.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction errors.
+    pub fn into_model(self, initial_profile: &[f64], initial_hour: u32) -> Result<DlModel> {
+        DlModelBuilder::new(self.params)
+            .growth(self.growth)
+            .initial_time(f64::from(initial_hour))
+            .build(initial_profile)
+    }
+}
+
+/// Calibrates DL parameters against observed densities.
+///
+/// φ is built from the profile at `initial_hour`; the objective compares
+/// the DL solution against the observed profiles at `fit_hours`
+/// (each must be after `initial_hour`). `seed_params` / `seed_growth`
+/// seed the search (the paper presets are good seeds).
+///
+/// # Errors
+///
+/// * [`DlError::InvalidParameter`] — empty/invalid `fit_hours`.
+/// * Propagates observation access and optimizer errors.
+pub fn calibrate(
+    observed: &DensityMatrix,
+    initial_hour: u32,
+    fit_hours: &[u32],
+    seed_params: DlParameters,
+    seed_growth: ExpDecayGrowth,
+    options: &CalibrationOptions,
+) -> Result<Calibration> {
+    if fit_hours.is_empty() {
+        return Err(DlError::InvalidParameter {
+            name: "fit_hours",
+            reason: "must be nonempty".into(),
+        });
+    }
+    if fit_hours.iter().any(|&h| h <= initial_hour) {
+        return Err(DlError::InvalidParameter {
+            name: "fit_hours",
+            reason: format!("every fit hour must exceed the initial hour {initial_hour}"),
+        });
+    }
+    let initial_profile = observed.profile_at(initial_hour)?;
+    let targets: Vec<(u32, Vec<f64>)> = fit_hours
+        .iter()
+        .map(|&h| observed.profile_at(h).map(|p| (h, p)))
+        .collect::<dlm_cascade::Result<_>>()?;
+    let t_end = f64::from(*fit_hours.iter().max().expect("nonempty"));
+
+    // Parameter vector: [a, b, c, d?, K?] depending on options.
+    let mut x0 = vec![seed_growth.amplitude(), seed_growth.decay(), seed_growth.floor()];
+    if options.fit_diffusion {
+        x0.push(seed_params.diffusion());
+    }
+    if options.fit_capacity {
+        x0.push(seed_params.capacity());
+    }
+
+    let opts = *options;
+    let objective = move |p: &[f64]| -> f64 {
+        let (a, b, c) = (p[0], p[1], p[2]);
+        let mut idx = 3;
+        let d = if opts.fit_diffusion {
+            idx += 1;
+            p[idx - 1]
+        } else {
+            seed_params.diffusion()
+        };
+        let k = if opts.fit_capacity { p[idx] } else { seed_params.capacity() };
+        // Hard constraints via +inf.
+        if !(a >= 0.0 && b >= 0.0 && c >= 0.0 && (0.0..=opts.max_diffusion).contains(&d)) {
+            return f64::INFINITY;
+        }
+        if !(k > 0.0 && k <= opts.max_capacity) {
+            return f64::INFINITY;
+        }
+        let max_obs = initial_profile.iter().cloned().fold(0.0, f64::max);
+        if k <= max_obs {
+            return f64::INFINITY; // capacity below the data is inconsistent
+        }
+        let Ok(params) = DlParameters::new(d, k, seed_params.lower(), seed_params.upper()) else {
+            return f64::INFINITY;
+        };
+        let growth = ExpDecayGrowth::new(a, b, c);
+        let Ok(phi) =
+            InitialDensity::from_observations(&params, &initial_profile, PhiConstruction::SplineFlat)
+        else {
+            return f64::INFINITY;
+        };
+        let Ok(sol) =
+            solve(&params, &growth, &phi, f64::from(initial_hour), t_end, &opts.solver)
+        else {
+            return f64::INFINITY;
+        };
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        for (h, profile) in &targets {
+            for (i, &actual) in profile.iter().enumerate() {
+                if actual == 0.0 {
+                    continue;
+                }
+                let x = params.lower() + i as f64;
+                let Ok(pred) = sol.value_at(x, f64::from(*h)) else {
+                    return f64::INFINITY;
+                };
+                let rel = (pred - actual) / actual;
+                acc += rel * rel;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            f64::INFINITY
+        } else {
+            acc / count as f64
+        }
+    };
+
+    let minimum = nelder_mead(
+        objective,
+        &x0,
+        NelderMeadConfig { max_evals: options.max_evals, ..NelderMeadConfig::default() },
+    )?;
+
+    let (a, b, c) = (minimum.x[0].max(0.0), minimum.x[1].max(0.0), minimum.x[2].max(0.0));
+    let mut idx = 3;
+    let d = if options.fit_diffusion {
+        idx += 1;
+        minimum.x[idx - 1].clamp(0.0, options.max_diffusion)
+    } else {
+        seed_params.diffusion()
+    };
+    let k = if options.fit_capacity {
+        minimum.x[idx].clamp(1e-6, options.max_capacity)
+    } else {
+        seed_params.capacity()
+    };
+    Ok(Calibration {
+        params: DlParameters::new(d, k, seed_params.lower(), seed_params.upper())?,
+        growth: ExpDecayGrowth::new(a, b, c),
+        objective: minimum.value,
+        evaluations: minimum.evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::GrowthRate;
+
+    /// Builds a synthetic observation matrix from a known DL solution so
+    /// calibration has a recoverable ground truth.
+    fn synthetic_observations(d: f64, growth: &ExpDecayGrowth) -> DensityMatrix {
+        let params = DlParameters::new(d, 25.0, 1.0, 6.0).unwrap();
+        let phi = InitialDensity::from_observations(
+            &params,
+            &[2.1, 0.7, 0.9, 0.5, 0.3, 0.2],
+            PhiConstruction::SplineFlat,
+        )
+        .unwrap();
+        let sol = solve(
+            &params,
+            growth,
+            &phi,
+            1.0,
+            6.0,
+            &SolverConfig { space_intervals: 100, dt: 0.01, ..SolverConfig::default() },
+        )
+        .unwrap();
+        // Convert to counts on a large population to avoid quantization.
+        let pop = 1_000_000usize;
+        let counts: Vec<Vec<usize>> = (0..6)
+            .map(|i| {
+                (1..=6)
+                    .map(|h| {
+                        let v = sol.value_at(1.0 + i as f64, f64::from(h)).unwrap();
+                        (v / 100.0 * pop as f64).round() as usize
+                    })
+                    .collect()
+            })
+            .collect();
+        DensityMatrix::from_counts(&counts, &[pop; 6]).unwrap()
+    }
+
+    #[test]
+    fn recovers_growth_curve_from_dl_generated_data() {
+        let truth = ExpDecayGrowth::new(1.2, 1.3, 0.3);
+        let observed = synthetic_observations(0.01, &truth);
+        let cal = calibrate(
+            &observed,
+            1,
+            &[2, 3, 4, 5, 6],
+            DlParameters::paper_hops(6).unwrap(),
+            ExpDecayGrowth::paper_hops(), // seed away from the truth
+            &CalibrationOptions::default(),
+        )
+        .unwrap();
+        assert!(cal.objective < 1e-3, "objective {}", cal.objective);
+        // The fitted curve should match the truth pointwise on the window.
+        for h in [2.0, 3.0, 4.0, 5.0, 6.0] {
+            let got = cal.growth.rate(h);
+            let want = truth.rate(h);
+            assert!((got - want).abs() < 0.08, "r({h}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn calibrated_model_predicts_well() {
+        let truth = ExpDecayGrowth::new(1.0, 1.0, 0.2);
+        let observed = synthetic_observations(0.02, &truth);
+        let cal = calibrate(
+            &observed,
+            1,
+            &[2, 3],
+            DlParameters::paper_hops(6).unwrap(),
+            ExpDecayGrowth::paper_hops(),
+            &CalibrationOptions::default(),
+        )
+        .unwrap();
+        let initial = observed.profile_at(1).unwrap();
+        let model = cal.into_model(&initial, 1).unwrap();
+        let pred = model.predict(&[1, 2, 3, 4, 5, 6], &[4, 5, 6]).unwrap();
+        // Held-out hours 4-6 must be close (fit only saw 2-3).
+        for d in 1..=6u32 {
+            for h in [4u32, 5, 6] {
+                let actual = observed.at(d, h).unwrap();
+                let p = pred.at(d, h).unwrap();
+                assert!(
+                    (p - actual).abs() / actual < 0.15,
+                    "d={d} h={h}: {p} vs {actual}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_fit_hours() {
+        let observed = synthetic_observations(0.01, &ExpDecayGrowth::paper_hops());
+        let seed = DlParameters::paper_hops(6).unwrap();
+        let g = ExpDecayGrowth::paper_hops();
+        assert!(calibrate(&observed, 1, &[], seed, g, &CalibrationOptions::default()).is_err());
+        assert!(calibrate(&observed, 2, &[2], seed, g, &CalibrationOptions::default()).is_err());
+        assert!(calibrate(&observed, 1, &[99], seed, g, &CalibrationOptions::default()).is_err());
+    }
+
+    #[test]
+    fn capacity_fitting_stays_above_data() {
+        let truth = ExpDecayGrowth::new(1.0, 1.2, 0.25);
+        let observed = synthetic_observations(0.01, &truth);
+        let options = CalibrationOptions {
+            fit_capacity: true,
+            max_evals: 300,
+            ..CalibrationOptions::default()
+        };
+        let cal = calibrate(
+            &observed,
+            1,
+            &[2, 3, 4],
+            DlParameters::paper_hops(6).unwrap(),
+            ExpDecayGrowth::paper_hops(),
+            &options,
+        )
+        .unwrap();
+        let max_obs = observed.profile_at(1).unwrap().iter().cloned().fold(0.0, f64::max);
+        assert!(cal.params.capacity() > max_obs);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for the DL-model crate.
+
+use std::fmt;
+
+/// Errors produced by the diffusive logistic model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DlError {
+    /// A model parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// The initial density function violated a model requirement.
+    InvalidInitialDensity {
+        /// Which of the paper's three φ requirements failed.
+        requirement: &'static str,
+        /// Details of the violation.
+        reason: String,
+    },
+    /// A numerical routine failed.
+    Numerics(dlm_numerics::NumericsError),
+    /// Cascade analytics failed.
+    Cascade(dlm_cascade::CascadeError),
+    /// A prediction was requested outside the solved domain.
+    OutOfDomain {
+        /// Which axis was violated ("distance", "time").
+        axis: &'static str,
+        /// The requested value.
+        value: f64,
+        /// The valid range.
+        range: (f64, f64),
+    },
+}
+
+impl fmt::Display for DlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DlError::InvalidInitialDensity { requirement, reason } => {
+                write!(f, "initial density violates requirement ({requirement}): {reason}")
+            }
+            DlError::Numerics(e) => write!(f, "numerics error: {e}"),
+            DlError::Cascade(e) => write!(f, "cascade error: {e}"),
+            DlError::OutOfDomain { axis, value, range } => {
+                write!(f, "{axis} {value} outside solved domain [{}, {}]", range.0, range.1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DlError::Numerics(e) => Some(e),
+            DlError::Cascade(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dlm_numerics::NumericsError> for DlError {
+    fn from(e: dlm_numerics::NumericsError) -> Self {
+        DlError::Numerics(e)
+    }
+}
+
+impl From<dlm_cascade::CascadeError> for DlError {
+    fn from(e: dlm_cascade::CascadeError) -> Self {
+        DlError::Cascade(e)
+    }
+}
+
+/// Convenient result alias for DL-model operations.
+pub type Result<T> = std::result::Result<T, DlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DlError::InvalidParameter { name: "d", reason: "negative".into() }
+            .to_string()
+            .contains("`d`"));
+        assert!(DlError::OutOfDomain { axis: "time", value: 99.0, range: (1.0, 6.0) }
+            .to_string()
+            .contains("99"));
+        assert!(DlError::InvalidInitialDensity {
+            requirement: "non-negative",
+            reason: "phi(2) < 0".into()
+        }
+        .to_string()
+        .contains("non-negative"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e = DlError::from(dlm_numerics::NumericsError::SingularMatrix { pivot: 1 });
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<DlError>();
+    }
+}

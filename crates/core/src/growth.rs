@@ -1,0 +1,243 @@
+//! Growth-rate functions `r(t)`.
+//!
+//! The paper observes (Figure 4) that the hourly density increments shrink
+//! as a story ages, and therefore makes the intrinsic growth rate a
+//! *decreasing function of time*. Its Eq. 7 uses
+//!
+//! ```text
+//! r(t) = 1.4 · e^{−1.5 (t − 1)} + 0.25      (friendship hops, Figure 6)
+//! r(t) = 1.6 · e^{−(t − 1)} + 0.1           (shared interests, §III.C)
+//! ```
+//!
+//! [`GrowthRate`] abstracts the family so the model can also run with a
+//! constant rate (ablation) or a custom fitted curve (calibration).
+
+use std::fmt;
+
+/// A time-dependent intrinsic growth rate `r(t)`.
+///
+/// Implementations must be finite and non-negative for all `t ≥ 1` (the
+/// model's time axis starts at the initial observation hour).
+pub trait GrowthRate: fmt::Debug {
+    /// Evaluates `r(t)`.
+    fn rate(&self, t: f64) -> f64;
+
+    /// Short human-readable description for reports.
+    fn describe(&self) -> String;
+}
+
+/// Constant growth rate — the ablation baseline showing why the paper
+/// chose a decaying `r(t)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantGrowth {
+    rate: f64,
+}
+
+impl ConstantGrowth {
+    /// Creates a constant rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or non-finite.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate >= 0.0, "growth rate must be finite and non-negative");
+        Self { rate }
+    }
+}
+
+impl GrowthRate for ConstantGrowth {
+    fn rate(&self, _t: f64) -> f64 {
+        self.rate
+    }
+
+    fn describe(&self) -> String {
+        format!("r(t) = {}", self.rate)
+    }
+}
+
+/// The paper's exponentially decaying growth-rate family
+/// `r(t) = a·e^{−b(t−1)} + c`.
+///
+/// # Examples
+///
+/// ```
+/// use dlm_core::growth::{ExpDecayGrowth, GrowthRate};
+///
+/// let r = ExpDecayGrowth::paper_hops(); // Eq. 7 / Figure 6
+/// assert!((r.rate(1.0) - 1.65).abs() < 1e-12); // 1.4 + 0.25
+/// assert!(r.rate(5.0) < r.rate(2.0));          // decreasing
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpDecayGrowth {
+    amplitude: f64,
+    decay: f64,
+    floor: f64,
+}
+
+impl ExpDecayGrowth {
+    /// Creates `r(t) = amplitude·e^{−decay(t−1)} + floor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coefficient is negative or non-finite (the model
+    /// requires `r(t) ≥ 0`).
+    #[must_use]
+    pub fn new(amplitude: f64, decay: f64, floor: f64) -> Self {
+        for (name, v) in [("amplitude", amplitude), ("decay", decay), ("floor", floor)] {
+            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative, got {v}");
+        }
+        Self { amplitude, decay, floor }
+    }
+
+    /// The paper's Eq. 7 (friendship-hop experiments, Figure 6):
+    /// `r(t) = 1.4·e^{−1.5(t−1)} + 0.25`.
+    #[must_use]
+    pub fn paper_hops() -> Self {
+        Self::new(1.4, 1.5, 0.25)
+    }
+
+    /// The paper's shared-interest variant (§III.C):
+    /// `r(t) = 1.6·e^{−(t−1)} + 0.1`.
+    #[must_use]
+    pub fn paper_interest() -> Self {
+        Self::new(1.6, 1.0, 0.1)
+    }
+
+    /// Amplitude `a`.
+    #[must_use]
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+
+    /// Decay `b`.
+    #[must_use]
+    pub fn decay(&self) -> f64 {
+        self.decay
+    }
+
+    /// Floor `c` (the long-time growth rate).
+    #[must_use]
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+}
+
+impl GrowthRate for ExpDecayGrowth {
+    fn rate(&self, t: f64) -> f64 {
+        self.amplitude * (-self.decay * (t - 1.0)).exp() + self.floor
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "r(t) = {}*exp(-{}(t-1)) + {}",
+            self.amplitude, self.decay, self.floor
+        )
+    }
+}
+
+/// A growth rate backed by an arbitrary closure (used by calibration).
+pub struct FnGrowth<F: Fn(f64) -> f64> {
+    f: F,
+    label: String,
+}
+
+impl<F: Fn(f64) -> f64> FnGrowth<F> {
+    /// Wraps a closure as a growth rate with a report label.
+    pub fn new(f: F, label: impl Into<String>) -> Self {
+        Self { f, label: label.into() }
+    }
+}
+
+impl<F: Fn(f64) -> f64> fmt::Debug for FnGrowth<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnGrowth").field("label", &self.label).finish()
+    }
+}
+
+impl<F: Fn(f64) -> f64> GrowthRate for FnGrowth<F> {
+    fn rate(&self, t: f64) -> f64 {
+        (self.f)(t)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let r = ConstantGrowth::new(0.5);
+        assert_eq!(r.rate(1.0), 0.5);
+        assert_eq!(r.rate(100.0), 0.5);
+        assert!(r.describe().contains("0.5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn constant_rejects_negative() {
+        let _ = ConstantGrowth::new(-0.1);
+    }
+
+    #[test]
+    fn paper_hops_matches_figure6() {
+        // Figure 6 shows r(1) ≈ 1.65 falling toward the 0.25 floor by t ≈ 4.
+        let r = ExpDecayGrowth::paper_hops();
+        assert!((r.rate(1.0) - 1.65).abs() < 1e-12);
+        assert!((r.rate(4.0) - (1.4 * (-4.5f64).exp() + 0.25)).abs() < 1e-12);
+        assert!(r.rate(4.0) < 0.27);
+    }
+
+    #[test]
+    fn paper_interest_values() {
+        let r = ExpDecayGrowth::paper_interest();
+        assert!((r.rate(1.0) - 1.7).abs() < 1e-12);
+        assert!((r.rate(2.0) - (1.6 * (-1.0f64).exp() + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_decay_is_monotone_decreasing() {
+        let r = ExpDecayGrowth::paper_hops();
+        let mut prev = r.rate(1.0);
+        for i in 1..=50 {
+            let t = 1.0 + i as f64 * 0.1;
+            let v = r.rate(t);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn exp_decay_floor_is_limit() {
+        let r = ExpDecayGrowth::new(2.0, 1.0, 0.3);
+        assert!((r.rate(100.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn exp_decay_rejects_nan() {
+        let _ = ExpDecayGrowth::new(f64::NAN, 1.0, 0.0);
+    }
+
+    #[test]
+    fn fn_growth_wraps_closures() {
+        let r = FnGrowth::new(|t| 1.0 / t, "r(t) = 1/t");
+        assert_eq!(r.rate(2.0), 0.5);
+        assert_eq!(r.describe(), "r(t) = 1/t");
+        assert!(format!("{r:?}").contains("1/t"));
+    }
+
+    #[test]
+    fn growth_rate_is_object_safe() {
+        let rates: Vec<Box<dyn GrowthRate>> = vec![
+            Box::new(ConstantGrowth::new(1.0)),
+            Box::new(ExpDecayGrowth::paper_hops()),
+        ];
+        assert!(rates[0].rate(1.0) > 0.0);
+        assert!(rates[1].rate(1.0) > 0.0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Construction of the initial density function φ(x) (§II.D).
+//!
+//! The paper imposes three requirements on φ:
+//!
+//! 1. twice continuously differentiable — achieved by cubic-spline
+//!    interpolation of the discrete hour-1 densities;
+//! 2. flat ends, `φ′(l) = φ′(L) = 0` — achieved by clamping the spline's
+//!    end slopes to zero (the paper "simply sets the two ends to be
+//!    flat");
+//! 3. the lower-solution inequality `d·φ″ + r·φ(1 − φ/K) ≥ 0` (Eq. 6) —
+//!    checked numerically on a fine sample; it guarantees the solution is
+//!    strictly increasing in time (§II.C).
+
+use crate::error::{DlError, Result};
+use crate::growth::GrowthRate;
+use crate::params::DlParameters;
+use dlm_numerics::interp::LinearInterp;
+use dlm_numerics::spline::{CubicSpline, Pchip};
+
+/// Interpolation scheme used to build φ from the discrete observations —
+/// the spline is the paper's choice; the others feed the φ-construction
+/// ablation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PhiConstruction {
+    /// Clamped cubic spline with zero end slopes (the paper's method).
+    #[default]
+    SplineFlat,
+    /// Monotone piecewise-cubic (PCHIP): only C¹, never overshoots.
+    Pchip,
+    /// Piecewise-linear: only C⁰ — deliberately violates requirement 1.
+    Linear,
+}
+
+/// The initial density function φ(x), evaluable anywhere on `[l, L]`.
+#[derive(Debug, Clone)]
+pub struct InitialDensity {
+    construction: PhiConstruction,
+    spline: Option<CubicSpline>,
+    pchip: Option<Pchip>,
+    linear: Option<LinearInterp>,
+    knots_x: Vec<f64>,
+    knots_y: Vec<f64>,
+}
+
+impl InitialDensity {
+    /// Builds φ from hour-1 observations: `density[i]` is the observed
+    /// density (percent) at integer distance `l + i`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DlError::InvalidInitialDensity`] — fewer than 2 observations, a
+    ///   negative or non-finite density, or all-zero densities (the paper
+    ///   requires φ ≥ 0 and φ ≢ 0).
+    /// * Propagates interpolation errors.
+    pub fn from_observations(
+        params: &DlParameters,
+        density: &[f64],
+        construction: PhiConstruction,
+    ) -> Result<Self> {
+        if density.len() < 2 {
+            return Err(DlError::InvalidInitialDensity {
+                requirement: "resolution",
+                reason: format!("need at least 2 observations, got {}", density.len()),
+            });
+        }
+        if density.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(DlError::InvalidInitialDensity {
+                requirement: "non-negative",
+                reason: "densities must be finite and >= 0".into(),
+            });
+        }
+        if density.iter().all(|&v| v == 0.0) {
+            return Err(DlError::InvalidInitialDensity {
+                requirement: "not identically zero",
+                reason: "all observed densities are zero".into(),
+            });
+        }
+        let knots_x: Vec<f64> = (0..density.len()).map(|i| params.lower() + i as f64).collect();
+        let last = *knots_x.last().expect("nonempty");
+        if last > params.upper() + 1e-9 {
+            return Err(DlError::InvalidParameter {
+                name: "density",
+                reason: format!(
+                    "{} observations exceed the domain [{}, {}]",
+                    density.len(),
+                    params.lower(),
+                    params.upper()
+                ),
+            });
+        }
+
+        let mut out = Self {
+            construction,
+            spline: None,
+            pchip: None,
+            linear: None,
+            knots_x: knots_x.clone(),
+            knots_y: density.to_vec(),
+        };
+        match construction {
+            PhiConstruction::SplineFlat => {
+                out.spline = Some(CubicSpline::clamped_flat(&knots_x, density)?);
+            }
+            PhiConstruction::Pchip => {
+                out.pchip = Some(Pchip::new(&knots_x, density)?);
+            }
+            PhiConstruction::Linear => {
+                out.linear = Some(LinearInterp::new(&knots_x, density)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The construction scheme in use.
+    #[must_use]
+    pub fn construction(&self) -> PhiConstruction {
+        self.construction
+    }
+
+    /// The knot abscissae (integer distances).
+    #[must_use]
+    pub fn knots(&self) -> (&[f64], &[f64]) {
+        (&self.knots_x, &self.knots_y)
+    }
+
+    /// Evaluates φ(x). Negative interpolation undershoot is clamped to 0
+    /// (the model requires φ ≥ 0; cubic splines can dip slightly below
+    /// between knots).
+    #[must_use]
+    pub fn value(&self, x: f64) -> f64 {
+        let v = match self.construction {
+            PhiConstruction::SplineFlat => {
+                self.spline.as_ref().expect("constructed variant").value(x)
+            }
+            PhiConstruction::Pchip => self.pchip.as_ref().expect("constructed variant").value(x),
+            PhiConstruction::Linear => self.linear.as_ref().expect("constructed variant").value(x),
+        };
+        v.max(0.0)
+    }
+
+    /// Evaluates φ′(x).
+    #[must_use]
+    pub fn derivative(&self, x: f64) -> f64 {
+        match self.construction {
+            PhiConstruction::SplineFlat => {
+                self.spline.as_ref().expect("constructed variant").derivative(x)
+            }
+            PhiConstruction::Pchip => {
+                self.pchip.as_ref().expect("constructed variant").derivative(x)
+            }
+            PhiConstruction::Linear => {
+                self.linear.as_ref().expect("constructed variant").derivative(x)
+            }
+        }
+    }
+
+    /// Samples φ on a uniform grid of `points` values spanning the knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    #[must_use]
+    pub fn sample(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2);
+        let lo = self.knots_x[0];
+        let hi = *self.knots_x.last().expect("nonempty");
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.value(x))
+            })
+            .collect()
+    }
+
+    /// Numerically checks the paper's Eq.-6 lower-solution condition
+    /// `d·φ″ + r(1)·φ(1 − φ/K) ≥ −tol` on a fine sample, returning the
+    /// most-violated margin (minimum of the left-hand side).
+    ///
+    /// Only meaningful for the spline construction (requirement 1 already
+    /// fails for the others); for those the reaction term alone is
+    /// checked, mirroring the paper's remark that Eq. 6 holds whenever `d`
+    /// is small relative to `r`.
+    #[must_use]
+    pub fn lower_solution_margin(&self, params: &DlParameters, growth: &dyn GrowthRate) -> f64 {
+        let r1 = growth.rate(1.0);
+        let lo = self.knots_x[0];
+        let hi = *self.knots_x.last().expect("nonempty");
+        let samples = 400;
+        let mut min_margin = f64::INFINITY;
+        for i in 0..=samples {
+            let x = lo + (hi - lo) * i as f64 / samples as f64;
+            let phi = self.value(x);
+            let reaction = r1 * phi * (1.0 - phi / params.capacity());
+            let diff_term = match &self.spline {
+                Some(s) => params.diffusion() * s.second_derivative(x),
+                None => 0.0,
+            };
+            min_margin = min_margin.min(diff_term + reaction);
+        }
+        min_margin
+    }
+
+    /// Convenience wrapper: `true` when [`InitialDensity::
+    /// lower_solution_margin`] is above `-tol`.
+    #[must_use]
+    pub fn is_lower_solution(
+        &self,
+        params: &DlParameters,
+        growth: &dyn GrowthRate,
+        tol: f64,
+    ) -> bool {
+        self.lower_solution_margin(params, growth) >= -tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::ExpDecayGrowth;
+
+    fn params() -> DlParameters {
+        DlParameters::paper_hops(6).unwrap()
+    }
+
+    const OBS: [f64; 6] = [2.1, 0.7, 0.9, 0.5, 0.3, 0.2];
+
+    #[test]
+    fn spline_phi_interpolates_and_is_flat() {
+        let phi =
+            InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat).unwrap();
+        for (i, &y) in OBS.iter().enumerate() {
+            assert!((phi.value(1.0 + i as f64) - y).abs() < 1e-10);
+        }
+        assert!(phi.derivative(1.0).abs() < 1e-9, "left end not flat");
+        assert!(phi.derivative(6.0).abs() < 1e-9, "right end not flat");
+    }
+
+    #[test]
+    fn phi_never_negative() {
+        // Data chosen to force spline undershoot between knots.
+        let obs = [5.0, 0.01, 4.0, 0.01, 5.0, 0.01];
+        let phi =
+            InitialDensity::from_observations(&params(), &obs, PhiConstruction::SplineFlat).unwrap();
+        for (_, v) in phi.sample(500) {
+            assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn all_constructions_interpolate_knots() {
+        for c in [PhiConstruction::SplineFlat, PhiConstruction::Pchip, PhiConstruction::Linear] {
+            let phi = InitialDensity::from_observations(&params(), &OBS, c).unwrap();
+            assert_eq!(phi.construction(), c);
+            for (i, &y) in OBS.iter().enumerate() {
+                assert!((phi.value(1.0 + i as f64) - y).abs() < 1e-10, "{c:?} at knot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_observations() {
+        let p = params();
+        assert!(InitialDensity::from_observations(&p, &[1.0], PhiConstruction::SplineFlat).is_err());
+        assert!(InitialDensity::from_observations(&p, &[1.0, -0.5], PhiConstruction::SplineFlat)
+            .is_err());
+        assert!(InitialDensity::from_observations(&p, &[0.0, 0.0], PhiConstruction::SplineFlat)
+            .is_err());
+        assert!(InitialDensity::from_observations(
+            &p,
+            &[1.0, f64::NAN],
+            PhiConstruction::SplineFlat
+        )
+        .is_err());
+        // 7 observations on a domain [1, 6] overflow it.
+        assert!(InitialDensity::from_observations(
+            &p,
+            &[1.0; 7],
+            PhiConstruction::SplineFlat
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn paper_setting_is_lower_solution() {
+        // With the paper's K = 25 and small d = 0.01, realistic hour-1 data
+        // satisfies Eq. 6 (the paper argues exactly this).
+        let phi =
+            InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat).unwrap();
+        let growth = ExpDecayGrowth::paper_hops();
+        assert!(
+            phi.is_lower_solution(&params(), &growth, 1e-6),
+            "margin = {}",
+            phi.lower_solution_margin(&params(), &growth)
+        );
+    }
+
+    #[test]
+    fn huge_diffusion_can_break_lower_solution() {
+        // The paper's caveat: Eq. 6 needs d sufficiently small relative to
+        // r when φ is concave somewhere.
+        let p = DlParameters::new(50.0, 25.0, 1.0, 6.0).unwrap();
+        let obs = [0.1, 3.0, 0.1, 3.0, 0.1, 3.0]; // strongly oscillating → big |φ″|
+        let phi = InitialDensity::from_observations(&p, &obs, PhiConstruction::SplineFlat).unwrap();
+        let growth = ExpDecayGrowth::paper_hops();
+        assert!(!phi.is_lower_solution(&p, &growth, 1e-6));
+    }
+
+    #[test]
+    fn sample_spans_domain() {
+        let phi =
+            InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat).unwrap();
+        let s = phi.sample(11);
+        assert_eq!(s.len(), 11);
+        assert!((s[0].0 - 1.0).abs() < 1e-12);
+        assert!((s[10].0 - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knots_accessor_roundtrips() {
+        let phi =
+            InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat).unwrap();
+        let (kx, ky) = phi.knots();
+        assert_eq!(kx.len(), 6);
+        assert_eq!(ky, &OBS);
+    }
+}

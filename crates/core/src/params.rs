@@ -1,0 +1,187 @@
+//! Model parameters: diffusion rate `d`, carrying capacity `K`, and the
+//! spatial domain `[l, L]`.
+
+use crate::error::{DlError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Scalar parameters of the diffusive logistic equation (the growth rate
+/// `r(t)` lives separately in [`crate::growth`] because it is a function).
+///
+/// # Examples
+///
+/// ```
+/// use dlm_core::params::DlParameters;
+///
+/// # fn main() -> Result<(), dlm_core::DlError> {
+/// // The paper's friendship-hop setting: d = 0.01, K = 25, x ∈ [1, 6].
+/// let p = DlParameters::new(0.01, 25.0, 1.0, 6.0)?;
+/// assert_eq!(p.diffusion(), 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DlParameters {
+    diffusion: f64,
+    capacity: f64,
+    lower: f64,
+    upper: f64,
+}
+
+impl DlParameters {
+    /// Creates and validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] when `d < 0`, `K ≤ 0`, the
+    /// domain is empty, or any value is non-finite.
+    pub fn new(diffusion: f64, capacity: f64, lower: f64, upper: f64) -> Result<Self> {
+        for (name, v) in
+            [("diffusion", diffusion), ("capacity", capacity), ("lower", lower), ("upper", upper)]
+        {
+            if !v.is_finite() {
+                return Err(DlError::InvalidParameter {
+                    name,
+                    reason: format!("must be finite, got {v}"),
+                });
+            }
+        }
+        if diffusion < 0.0 {
+            return Err(DlError::InvalidParameter {
+                name: "diffusion",
+                reason: format!("must be non-negative, got {diffusion}"),
+            });
+        }
+        if capacity <= 0.0 {
+            return Err(DlError::InvalidParameter {
+                name: "capacity",
+                reason: format!("must be positive, got {capacity}"),
+            });
+        }
+        if upper <= lower {
+            return Err(DlError::InvalidParameter {
+                name: "upper",
+                reason: format!("domain empty: [{lower}, {upper}]"),
+            });
+        }
+        Ok(Self { diffusion, capacity, lower, upper })
+    }
+
+    /// The paper's friendship-hop preset: `d = 0.01`, `K = 25`, domain
+    /// `[1, max_distance]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] if `max_distance <= 1`.
+    pub fn paper_hops(max_distance: u32) -> Result<Self> {
+        Self::new(0.01, 25.0, 1.0, f64::from(max_distance))
+    }
+
+    /// The paper's shared-interest preset: `d = 0.05`, `K = 60`, domain
+    /// `[1, max_distance]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] if `max_distance <= 1`.
+    pub fn paper_interest(max_distance: u32) -> Result<Self> {
+        Self::new(0.05, 60.0, 1.0, f64::from(max_distance))
+    }
+
+    /// Diffusion rate `d`.
+    #[must_use]
+    pub fn diffusion(&self) -> f64 {
+        self.diffusion
+    }
+
+    /// Carrying capacity `K` (percent).
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Lower distance bound `l`.
+    #[must_use]
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// Upper distance bound `L`.
+    #[must_use]
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// Domain width `L − l`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Returns a copy with a different diffusion rate.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`DlParameters::new`].
+    pub fn with_diffusion(&self, diffusion: f64) -> Result<Self> {
+        Self::new(diffusion, self.capacity, self.lower, self.upper)
+    }
+
+    /// Returns a copy with a different carrying capacity.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`DlParameters::new`].
+    pub fn with_capacity(&self, capacity: f64) -> Result<Self> {
+        Self::new(self.diffusion, capacity, self.lower, self.upper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_construction() {
+        let p = DlParameters::new(0.01, 25.0, 1.0, 6.0).unwrap();
+        assert_eq!(p.diffusion(), 0.01);
+        assert_eq!(p.capacity(), 25.0);
+        assert_eq!(p.lower(), 1.0);
+        assert_eq!(p.upper(), 6.0);
+        assert_eq!(p.width(), 5.0);
+    }
+
+    #[test]
+    fn paper_presets() {
+        let hops = DlParameters::paper_hops(6).unwrap();
+        assert_eq!((hops.diffusion(), hops.capacity()), (0.01, 25.0));
+        let interest = DlParameters::paper_interest(5).unwrap();
+        assert_eq!((interest.diffusion(), interest.capacity()), (0.05, 60.0));
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(DlParameters::new(-0.1, 25.0, 1.0, 6.0).is_err());
+        assert!(DlParameters::new(0.01, 0.0, 1.0, 6.0).is_err());
+        assert!(DlParameters::new(0.01, -5.0, 1.0, 6.0).is_err());
+        assert!(DlParameters::new(0.01, 25.0, 6.0, 1.0).is_err());
+        assert!(DlParameters::new(0.01, 25.0, 1.0, 1.0).is_err());
+        assert!(DlParameters::new(f64::NAN, 25.0, 1.0, 6.0).is_err());
+        assert!(DlParameters::paper_hops(1).is_err());
+    }
+
+    #[test]
+    fn zero_diffusion_allowed_for_ablation() {
+        // d = 0 is the logistic-only baseline; it must be constructible.
+        assert!(DlParameters::new(0.0, 25.0, 1.0, 6.0).is_ok());
+    }
+
+    #[test]
+    fn with_modifiers() {
+        let p = DlParameters::paper_hops(6).unwrap();
+        let q = p.with_diffusion(0.05).unwrap();
+        assert_eq!(q.diffusion(), 0.05);
+        assert_eq!(q.capacity(), 25.0);
+        let r = p.with_capacity(60.0).unwrap();
+        assert_eq!(r.capacity(), 60.0);
+        assert!(p.with_diffusion(-1.0).is_err());
+    }
+}

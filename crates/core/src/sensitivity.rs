@@ -1,0 +1,239 @@
+//! Parameter sensitivity analysis.
+//!
+//! How much does a prediction move when `d`, `K`, or the growth
+//! coefficients wiggle? The paper selects parameters by inspection, so a
+//! practitioner adopting the model needs to know which knobs matter.
+//! [`sensitivity_report`] computes one-at-a-time relative sensitivities
+//! (elasticities) of the predicted densities:
+//!
+//! ```text
+//! S_p = (ΔI / I) / (Δp / p)        central finite differences
+//! ```
+//!
+//! averaged over the prediction cells — an `S_p` of 1 means a 1% change
+//! in the parameter moves predictions by 1%.
+
+use crate::error::{DlError, Result};
+use crate::growth::ExpDecayGrowth;
+use crate::initial::PhiConstruction;
+use crate::model::DlModelBuilder;
+use crate::params::DlParameters;
+use serde::{Deserialize, Serialize};
+
+/// Elasticity of the predicted densities with respect to one parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sensitivity {
+    /// Parameter name ("d", "K", "a", "b", "c").
+    pub parameter: String,
+    /// Mean elasticity over all prediction cells.
+    pub mean_elasticity: f64,
+    /// Largest absolute elasticity over the cells.
+    pub max_elasticity: f64,
+}
+
+/// The full one-at-a-time sensitivity report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// Per-parameter elasticities, in a fixed order (d, K, a, b, c).
+    pub sensitivities: Vec<Sensitivity>,
+    /// Relative perturbation used for the finite differences.
+    pub step: f64,
+}
+
+impl SensitivityReport {
+    /// Looks up one parameter's sensitivity by name.
+    #[must_use]
+    pub fn get(&self, parameter: &str) -> Option<&Sensitivity> {
+        self.sensitivities.iter().find(|s| s.parameter == parameter)
+    }
+
+    /// The parameter with the largest mean |elasticity|.
+    #[must_use]
+    pub fn most_influential(&self) -> Option<&Sensitivity> {
+        self.sensitivities
+            .iter()
+            .max_by(|a, b| a.mean_elasticity.abs().total_cmp(&b.mean_elasticity.abs()))
+    }
+}
+
+fn predict_cells(
+    params: DlParameters,
+    growth: ExpDecayGrowth,
+    initial: &[f64],
+    distances: &[u32],
+    hours: &[u32],
+) -> Result<Vec<f64>> {
+    let model = DlModelBuilder::new(params)
+        .growth(growth)
+        .phi_construction(PhiConstruction::SplineFlat)
+        .build(initial)?;
+    let pred = model.predict(distances, hours)?;
+    let mut cells = Vec::with_capacity(distances.len() * hours.len());
+    for &d in distances {
+        for &h in hours {
+            cells.push(pred.at(d, h)?);
+        }
+    }
+    Ok(cells)
+}
+
+/// Computes the one-at-a-time sensitivity report around a base
+/// configuration.
+///
+/// `step` is the relative perturbation (default idea: 1e-2); parameters
+/// at zero are perturbed absolutely by `step`.
+///
+/// # Errors
+///
+/// * [`DlError::InvalidParameter`] — non-positive `step`, empty requests.
+/// * Propagates model/prediction errors from the perturbed runs.
+pub fn sensitivity_report(
+    params: DlParameters,
+    growth: ExpDecayGrowth,
+    initial: &[f64],
+    distances: &[u32],
+    hours: &[u32],
+    step: f64,
+) -> Result<SensitivityReport> {
+    if !(step > 0.0 && step < 0.5) {
+        return Err(DlError::InvalidParameter {
+            name: "step",
+            reason: format!("relative step must be in (0, 0.5), got {step}"),
+        });
+    }
+    if distances.is_empty() || hours.is_empty() {
+        return Err(DlError::InvalidParameter {
+            name: "distances/hours",
+            reason: "must be nonempty".into(),
+        });
+    }
+
+    let base = predict_cells(params, growth, initial, distances, hours)?;
+    let mut sensitivities = Vec::with_capacity(5);
+
+    // Closure: rebuild the configuration with parameter index `i` set to v.
+    // Order: 0=d, 1=K, 2=a, 3=b, 4=c.
+    let current = [
+        params.diffusion(),
+        params.capacity(),
+        growth.amplitude(),
+        growth.decay(),
+        growth.floor(),
+    ];
+    let names = ["d", "K", "a", "b", "c"];
+
+    for (i, name) in names.iter().enumerate() {
+        let p0 = current[i];
+        let h = if p0 != 0.0 { step * p0.abs() } else { step };
+        let build = |v: f64| -> Result<Vec<f64>> {
+            let mut vals = current;
+            vals[i] = v;
+            let p = DlParameters::new(vals[0].max(0.0), vals[1].max(1e-9), params.lower(), params.upper())?;
+            let g = ExpDecayGrowth::new(vals[2].max(0.0), vals[3].max(0.0), vals[4].max(0.0));
+            predict_cells(p, g, initial, distances, hours)
+        };
+        let plus = build(p0 + h)?;
+        let minus = build((p0 - h).max(0.0))?;
+        let denom_p = if p0 != 0.0 { 2.0 * h / p0.abs() } else { 2.0 * h };
+        let mut elasticities = Vec::with_capacity(base.len());
+        for ((bp, bm), b0) in plus.iter().zip(&minus).zip(&base) {
+            if *b0 > 1e-12 {
+                let rel_change = (bp - bm) / b0;
+                elasticities.push(rel_change / denom_p);
+            }
+        }
+        let mean = if elasticities.is_empty() {
+            0.0
+        } else {
+            elasticities.iter().sum::<f64>() / elasticities.len() as f64
+        };
+        let max = elasticities.iter().fold(0.0f64, |acc, &e| acc.max(e.abs()));
+        sensitivities.push(Sensitivity {
+            parameter: (*name).to_string(),
+            mean_elasticity: mean,
+            max_elasticity: max,
+        });
+    }
+    Ok(SensitivityReport { sensitivities, step })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBS: [f64; 6] = [2.1, 0.7, 0.9, 0.5, 0.3, 0.2];
+
+    fn report() -> SensitivityReport {
+        sensitivity_report(
+            DlParameters::paper_hops(6).unwrap(),
+            ExpDecayGrowth::paper_hops(),
+            &OBS,
+            &[1, 3, 5],
+            &[3, 6],
+            0.02,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn report_covers_all_five_parameters() {
+        let r = report();
+        assert_eq!(r.sensitivities.len(), 5);
+        for name in ["d", "K", "a", "b", "c"] {
+            assert!(r.get(name).is_some(), "missing {name}");
+        }
+        assert!(r.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn growth_amplitude_is_positively_influential() {
+        // More growth ⇒ higher predicted densities: positive elasticity,
+        // and (at the paper's setting) among the most influential knobs.
+        let r = report();
+        let a = r.get("a").unwrap();
+        assert!(a.mean_elasticity > 0.1, "{a:?}");
+        let top = r.most_influential().unwrap();
+        assert!(["a", "b", "c"].contains(&top.parameter.as_str()), "top was {top:?}");
+    }
+
+    #[test]
+    fn decay_b_has_negative_elasticity() {
+        // Faster decay of r(t) ⇒ lower densities.
+        let r = report();
+        assert!(r.get("b").unwrap().mean_elasticity < 0.0);
+    }
+
+    #[test]
+    fn diffusion_is_nearly_irrelevant_at_paper_setting() {
+        // The EXPERIMENTS.md finding, quantified: |S_d| ≪ |S_a|.
+        let r = report();
+        let d = r.get("d").unwrap().mean_elasticity.abs();
+        let a = r.get("a").unwrap().mean_elasticity.abs();
+        assert!(d < 0.1 * a, "S_d = {d}, S_a = {a}");
+    }
+
+    #[test]
+    fn capacity_matters_little_far_from_saturation() {
+        // At densities ≪ K the logistic brake barely engages.
+        let r = report();
+        let k = r.get("K").unwrap().mean_elasticity.abs();
+        assert!(k < 0.5, "S_K = {k}");
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let params = DlParameters::paper_hops(6).unwrap();
+        let growth = ExpDecayGrowth::paper_hops();
+        assert!(sensitivity_report(params, growth, &OBS, &[], &[3], 0.01).is_err());
+        assert!(sensitivity_report(params, growth, &OBS, &[1], &[3], 0.0).is_err());
+        assert!(sensitivity_report(params, growth, &OBS, &[1], &[3], 0.9).is_err());
+    }
+
+    #[test]
+    fn report_serializes() {
+        // serde derives compile and the struct is cloneable/comparable.
+        let r = report();
+        let c = r.clone();
+        assert_eq!(r, c);
+    }
+}

@@ -1,0 +1,330 @@
+//! Uncertainty propagation: prediction bands from observation noise.
+//!
+//! The paper treats the hour-1 densities as exact, but each observed
+//! density is a binomial proportion with sampling error — severe for
+//! small distance groups (an initiator's first ring may hold only ~100
+//! users). This module propagates that input uncertainty through the
+//! nonlinear PDE by Monte Carlo: resample the initial profile from the
+//! binomial posterior of each observed cell, solve the DL equation per
+//! replicate, and report percentile bands for every predicted cell.
+//!
+//! The resulting bands answer the practitioner's question the paper
+//! leaves open: *how much of the prediction error is just hour-1 noise?*
+
+use crate::error::{DlError, Result};
+use crate::growth::GrowthRate;
+use crate::initial::{InitialDensity, PhiConstruction};
+use crate::params::DlParameters;
+use crate::pde::{solve, SolverConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the Monte Carlo band estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandConfig {
+    /// Number of Monte Carlo replicates.
+    pub replicates: usize,
+    /// Lower percentile of the band (e.g. 5.0).
+    pub lower_percentile: f64,
+    /// Upper percentile of the band (e.g. 95.0).
+    pub upper_percentile: f64,
+    /// Solver resolution per replicate (coarser than production solves).
+    pub solver: SolverConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BandConfig {
+    fn default() -> Self {
+        Self {
+            replicates: 200,
+            lower_percentile: 5.0,
+            upper_percentile: 95.0,
+            solver: SolverConfig { space_intervals: 50, dt: 0.02, ..SolverConfig::default() },
+            seed: 17,
+        }
+    }
+}
+
+/// A predicted cell with its Monte Carlo band (percent densities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictionBand {
+    /// Distance label.
+    pub distance: u32,
+    /// Hour label.
+    pub hour: u32,
+    /// Median replicate prediction.
+    pub median: f64,
+    /// Lower band edge.
+    pub lower: f64,
+    /// Upper band edge.
+    pub upper: f64,
+}
+
+impl PredictionBand {
+    /// Band width `upper − lower`.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether a value falls inside the band.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+}
+
+/// Propagates binomial observation noise through the DL model.
+///
+/// `observed_initial[i]` is the hour-1 density (percent) at distance
+/// `l + i`; `group_sizes[i]` the corresponding population (the binomial
+/// `n`). Each replicate resamples every cell as
+/// `Binomial(n_i, p_i) / n_i` (normal approximation with continuity-safe
+/// clamping — adequate for the `n ≥ 30` groups this targets), rebuilds
+/// φ, solves, and records the requested cells.
+///
+/// # Errors
+///
+/// * [`DlError::InvalidParameter`] — mismatched lengths, zero replicates,
+///   bad percentiles, a zero group size, or empty request lists.
+/// * Propagates solver errors from the replicates.
+#[allow(clippy::too_many_arguments)]
+pub fn prediction_bands(
+    params: &DlParameters,
+    growth: &dyn GrowthRate,
+    observed_initial: &[f64],
+    group_sizes: &[usize],
+    distances: &[u32],
+    hours: &[u32],
+    config: &BandConfig,
+) -> Result<Vec<PredictionBand>> {
+    if observed_initial.len() != group_sizes.len() {
+        return Err(DlError::InvalidParameter {
+            name: "group_sizes",
+            reason: format!(
+                "expected {} sizes, got {}",
+                observed_initial.len(),
+                group_sizes.len()
+            ),
+        });
+    }
+    if group_sizes.contains(&0) {
+        return Err(DlError::InvalidParameter {
+            name: "group_sizes",
+            reason: "every group must be nonempty".into(),
+        });
+    }
+    if config.replicates == 0 {
+        return Err(DlError::InvalidParameter {
+            name: "replicates",
+            reason: "must be positive".into(),
+        });
+    }
+    if !(0.0..=100.0).contains(&config.lower_percentile)
+        || !(0.0..=100.0).contains(&config.upper_percentile)
+        || config.lower_percentile >= config.upper_percentile
+    {
+        return Err(DlError::InvalidParameter {
+            name: "percentiles",
+            reason: "need 0 <= lower < upper <= 100".into(),
+        });
+    }
+    if distances.is_empty() || hours.is_empty() {
+        return Err(DlError::InvalidParameter {
+            name: "distances/hours",
+            reason: "must be nonempty".into(),
+        });
+    }
+    let t_end = f64::from(*hours.iter().max().expect("nonempty"));
+    if t_end <= 1.0 {
+        return Err(DlError::InvalidParameter {
+            name: "hours",
+            reason: "must extend beyond the initial hour".into(),
+        });
+    }
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    // samples[cell][replicate]
+    let cell_count = distances.len() * hours.len();
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(config.replicates); cell_count];
+
+    for _ in 0..config.replicates {
+        // Resample the initial profile. Normal approximation to the
+        // binomial: p̂ ~ N(p, p(1−p)/n), clamped to [0, 100] percent.
+        let resampled: Vec<f64> = observed_initial
+            .iter()
+            .zip(group_sizes)
+            .map(|(&pct, &n)| {
+                let p = (pct / 100.0).clamp(0.0, 1.0);
+                let sd = (p * (1.0 - p) / n as f64).sqrt();
+                let z = standard_normal(&mut rng);
+                ((p + sd * z) * 100.0).clamp(0.0, 100.0)
+            })
+            .collect();
+        // φ must not be identically zero; nudge a dead profile minimally.
+        let resampled = if resampled.iter().all(|&v| v == 0.0) {
+            let mut r = resampled;
+            r[0] = 1e-6;
+            r
+        } else {
+            resampled
+        };
+        let phi =
+            InitialDensity::from_observations(params, &resampled, PhiConstruction::SplineFlat)?;
+        let sol = solve(params, growth, &phi, 1.0, t_end, &config.solver)?;
+        let mut k = 0usize;
+        for &d in distances {
+            for &h in hours {
+                samples[k].push(sol.value_at(f64::from(d), f64::from(h))?);
+                k += 1;
+            }
+        }
+    }
+
+    let mut bands = Vec::with_capacity(cell_count);
+    let mut k = 0usize;
+    for &d in distances {
+        for &h in hours {
+            let cell = &mut samples[k];
+            cell.sort_by(|a, b| a.total_cmp(b));
+            let pick = |q: f64| -> f64 {
+                let rank = q / 100.0 * (cell.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                let w = rank - lo as f64;
+                cell[lo] * (1.0 - w) + cell[hi] * w
+            };
+            bands.push(PredictionBand {
+                distance: d,
+                hour: h,
+                median: pick(50.0),
+                lower: pick(config.lower_percentile),
+                upper: pick(config.upper_percentile),
+            });
+            k += 1;
+        }
+    }
+    Ok(bands)
+}
+
+/// Box–Muller standard normal draw.
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growth::ExpDecayGrowth;
+    use crate::model::DlModel;
+
+    const OBS: [f64; 5] = [5.0, 3.0, 4.0, 2.0, 1.5];
+    const SIZES: [usize; 5] = [150, 1500, 9000, 9000, 700];
+
+    fn bands(config: &BandConfig) -> Vec<PredictionBand> {
+        prediction_bands(
+            &DlParameters::paper_hops(5).unwrap(),
+            &ExpDecayGrowth::paper_hops(),
+            &OBS,
+            &SIZES,
+            &[1, 2, 3, 4, 5],
+            &[3, 6],
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bands_bracket_the_point_prediction() {
+        let cfg = BandConfig { replicates: 120, ..BandConfig::default() };
+        let bands = bands(&cfg);
+        let model = DlModel::paper_hops(&OBS).unwrap();
+        let point = model.predict(&[1, 2, 3, 4, 5], &[3, 6]).unwrap();
+        for b in &bands {
+            let p = point.at(b.distance, b.hour).unwrap();
+            assert!(
+                b.lower <= p + 0.35 && p <= b.upper + 0.35,
+                "point {p} outside band {b:?}"
+            );
+            assert!(b.lower <= b.median && b.median <= b.upper);
+        }
+    }
+
+    #[test]
+    fn small_groups_have_wider_bands() {
+        // Distance 1 (n = 150) must be more uncertain than distance 3
+        // (n = 9000) at the same hour.
+        let cfg = BandConfig { replicates: 200, ..BandConfig::default() };
+        let bands = bands(&cfg);
+        let width = |d: u32, h: u32| {
+            bands.iter().find(|b| b.distance == d && b.hour == h).unwrap().width()
+        };
+        assert!(
+            width(1, 6) > 1.5 * width(3, 6),
+            "w1 = {}, w3 = {}",
+            width(1, 6),
+            width(3, 6)
+        );
+    }
+
+    #[test]
+    fn bands_are_deterministic_in_seed() {
+        let cfg = BandConfig { replicates: 60, ..BandConfig::default() };
+        assert_eq!(bands(&cfg), bands(&cfg));
+        let other = BandConfig { replicates: 60, seed: 99, ..BandConfig::default() };
+        assert_ne!(bands(&cfg), bands(&other));
+    }
+
+    #[test]
+    fn wider_percentiles_widen_bands() {
+        let narrow = BandConfig {
+            replicates: 150,
+            lower_percentile: 25.0,
+            upper_percentile: 75.0,
+            ..BandConfig::default()
+        };
+        let wide = BandConfig {
+            replicates: 150,
+            lower_percentile: 2.5,
+            upper_percentile: 97.5,
+            ..BandConfig::default()
+        };
+        let bn = bands(&narrow);
+        let bw = bands(&wide);
+        let total_n: f64 = bn.iter().map(PredictionBand::width).sum();
+        let total_w: f64 = bw.iter().map(PredictionBand::width).sum();
+        assert!(total_w > total_n, "{total_w} !> {total_n}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let params = DlParameters::paper_hops(5).unwrap();
+        let growth = ExpDecayGrowth::paper_hops();
+        let cfg = BandConfig::default();
+        // Mismatched sizes.
+        assert!(prediction_bands(&params, &growth, &OBS, &[10; 4], &[1], &[3], &cfg).is_err());
+        // Zero group.
+        assert!(prediction_bands(&params, &growth, &OBS, &[0; 5], &[1], &[3], &cfg).is_err());
+        // Zero replicates.
+        let bad = BandConfig { replicates: 0, ..cfg };
+        assert!(prediction_bands(&params, &growth, &OBS, &SIZES, &[1], &[3], &bad).is_err());
+        // Inverted percentiles.
+        let bad = BandConfig { lower_percentile: 90.0, upper_percentile: 10.0, ..cfg };
+        assert!(prediction_bands(&params, &growth, &OBS, &SIZES, &[1], &[3], &bad).is_err());
+        // No hours beyond the initial time.
+        assert!(prediction_bands(&params, &growth, &OBS, &SIZES, &[1], &[1], &cfg).is_err());
+        // Empty requests.
+        assert!(prediction_bands(&params, &growth, &OBS, &SIZES, &[], &[3], &cfg).is_err());
+    }
+
+    #[test]
+    fn band_accessors() {
+        let b = PredictionBand { distance: 1, hour: 3, median: 5.0, lower: 4.0, upper: 7.0 };
+        assert!((b.width() - 3.0).abs() < 1e-12);
+        assert!(b.contains(5.5));
+        assert!(!b.contains(3.9));
+    }
+}

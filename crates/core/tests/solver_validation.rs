@@ -1,0 +1,108 @@
+//! Solver-order validation: the discretizations must converge at their
+//! textbook rates on the paper's actual problem, measured with the
+//! Richardson tooling from `dlm-numerics`.
+
+use dlm_core::growth::ExpDecayGrowth;
+use dlm_core::initial::{InitialDensity, PhiConstruction};
+use dlm_core::params::DlParameters;
+use dlm_core::pde::{solve, SolverConfig, SolverMethod};
+use dlm_core::variable::{ConstantField, TimeOnlyField, VariableDlModelBuilder};
+use dlm_numerics::convergence::convergence_study;
+
+const OBS: [f64; 6] = [2.1, 0.7, 0.9, 0.5, 0.3, 0.2];
+
+fn probe(method: SolverMethod, intervals: usize, dt: f64) -> f64 {
+    let params = DlParameters::paper_hops(6).unwrap();
+    let phi =
+        InitialDensity::from_observations(&params, &OBS, PhiConstruction::SplineFlat).unwrap();
+    let growth = ExpDecayGrowth::paper_hops();
+    let config = SolverConfig { method, space_intervals: intervals, dt };
+    let sol = solve(&params, &growth, &phi, 1.0, 6.0, &config).unwrap();
+    sol.value_at(3.0, 6.0).unwrap()
+}
+
+#[test]
+fn crank_nicolson_observed_order_is_two() {
+    let s = convergence_study(
+        probe(SolverMethod::CrankNicolson, 25, 0.08),
+        probe(SolverMethod::CrankNicolson, 50, 0.04),
+        probe(SolverMethod::CrankNicolson, 100, 0.02),
+        2.0,
+    )
+    .unwrap();
+    assert!(
+        (s.observed_order - 2.0).abs() < 0.35,
+        "CN order {} (expected ~2)",
+        s.observed_order
+    );
+    assert!(s.fine_error_estimate < 1e-2, "error estimate {}", s.fine_error_estimate);
+}
+
+#[test]
+fn backward_euler_observed_order_is_one() {
+    // BE is first order in time; keep dx fixed and fine so the temporal
+    // error dominates the study.
+    let probe_dt = |dt: f64| probe(SolverMethod::BackwardEuler, 200, dt);
+    let s = convergence_study(probe_dt(0.2), probe_dt(0.1), probe_dt(0.05), 2.0).unwrap();
+    assert!(
+        (s.observed_order - 1.0).abs() < 0.3,
+        "BE order {} (expected ~1)",
+        s.observed_order
+    );
+}
+
+#[test]
+fn all_methods_extrapolate_to_the_same_limit() {
+    // Richardson limits from CN and RK4 must agree to solver tolerance.
+    let cn = convergence_study(
+        probe(SolverMethod::CrankNicolson, 25, 0.08),
+        probe(SolverMethod::CrankNicolson, 50, 0.04),
+        probe(SolverMethod::CrankNicolson, 100, 0.02),
+        2.0,
+    )
+    .unwrap();
+    let rk = convergence_study(
+        probe(SolverMethod::Rk4, 25, 0.02),
+        probe(SolverMethod::Rk4, 50, 0.01),
+        probe(SolverMethod::Rk4, 100, 0.005),
+        2.0,
+    )
+    .unwrap();
+    assert!(
+        (cn.extrapolated - rk.extrapolated).abs() < 5e-3,
+        "CN limit {} vs RK4 limit {}",
+        cn.extrapolated,
+        rk.extrapolated
+    );
+}
+
+#[test]
+fn variable_solver_converges_to_classic_limit() {
+    // The finite-volume generalized solver with constant coefficients must
+    // approach the classic solver's extrapolated limit as it refines.
+    let classic = convergence_study(
+        probe(SolverMethod::CrankNicolson, 25, 0.08),
+        probe(SolverMethod::CrankNicolson, 50, 0.04),
+        probe(SolverMethod::CrankNicolson, 100, 0.02),
+        2.0,
+    )
+    .unwrap();
+    let variable_probe = |intervals: usize, dt: f64| -> f64 {
+        let model = VariableDlModelBuilder::new(1.0, 6.0)
+            .unwrap()
+            .diffusion(ConstantField(0.01))
+            .growth(TimeOnlyField(ExpDecayGrowth::paper_hops()))
+            .capacity(ConstantField(25.0))
+            .resolution(intervals, dt)
+            .build(&OBS)
+            .unwrap();
+        model.solve_until(6.0).unwrap().value_at(3.0, 6.0).unwrap()
+    };
+    let fine = variable_probe(200, 0.01);
+    assert!(
+        (fine - classic.extrapolated).abs() < 5e-3,
+        "variable solver {} vs classic limit {}",
+        fine,
+        classic.extrapolated
+    );
+}

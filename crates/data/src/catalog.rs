@@ -1,0 +1,244 @@
+//! A synthetic *month* of stories — the full-dataset analogue.
+//!
+//! The paper's crawl covers 3,553 front-page stories over June 2009 with
+//! more than 3M votes; its evaluation then picks four representative
+//! stories. This module generates a whole catalog at that structure:
+//! story popularity follows a truncated power law (front-page stories are
+//! themselves a popularity-biased sample), submission times spread over
+//! the month, and every cascade runs through the same two-channel
+//! simulator. The result is a [`DiggDataset`] with the real crawl's
+//! shape, used by the dataset-statistics example and the
+//! popularity-ranking tests.
+
+use crate::digg::{DiggDataset, FriendLink, Vote};
+use crate::error::{DataError, Result};
+use crate::simulate::{simulate_story, SimulationConfig};
+use crate::story::StoryPreset;
+use crate::world::SyntheticWorld;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for generating a month-long story catalog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CatalogConfig {
+    /// Number of stories (the crawl has 3,553).
+    pub stories: usize,
+    /// Power-law exponent for story popularity (hazard scale); larger ⇒
+    /// steeper drop-off between the top story and the tail.
+    pub popularity_exponent: f64,
+    /// Simulated hours per story.
+    pub hours: u32,
+    /// Substeps per hour in the cascade simulator.
+    pub substeps: u32,
+    /// Days the submission times spread over.
+    pub span_days: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        Self {
+            stories: 100,
+            popularity_exponent: 1.1,
+            hours: 50,
+            substeps: 2,
+            span_days: 30,
+            seed: 2009,
+        }
+    }
+}
+
+/// Generates a catalog of simulated stories on one world, returned as a
+/// Digg-format dataset (votes from every story + the follower links).
+///
+/// Story `i` (0-based) uses a preset derived from s2's channel balance
+/// with hazards scaled by `(i + 1)^{-popularity_exponent}`, a rotating
+/// initiator, and a submission time placed within the configured span.
+///
+/// # Errors
+///
+/// * [`DataError::InvalidParameter`] — zero stories/hours/substeps.
+/// * Propagates simulation errors.
+pub fn generate_catalog(world: &SyntheticWorld, config: &CatalogConfig) -> Result<DiggDataset> {
+    if config.stories == 0 {
+        return Err(DataError::InvalidParameter {
+            name: "stories",
+            reason: "must be positive".into(),
+        });
+    }
+    if config.hours == 0 || config.substeps == 0 {
+        return Err(DataError::InvalidParameter {
+            name: "hours/substeps",
+            reason: "must be positive".into(),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let base = StoryPreset::s2();
+    let mut votes: Vec<Vote> = Vec::new();
+    let month_start: u64 = 1_243_814_400; // 2009-06-01T00:00:00Z
+    let span_seconds = u64::from(config.span_days) * 86_400;
+
+    for i in 0..config.stories {
+        let scale = (i as f64 + 1.0).powf(-config.popularity_exponent);
+        // Mild per-story jitter so equal ranks don't produce identical runs.
+        let jitter = 0.8 + 0.4 * rng.gen::<f64>();
+        let preset = StoryPreset {
+            id: i as u32 + 1,
+            name: format!("story-{}", i + 1),
+            paper_votes: 0,
+            social_hazard: base.social_hazard * scale * jitter,
+            frontpage_hazard: base.frontpage_hazard * scale * jitter,
+            decay: base.decay,
+            promotion_hour: base.promotion_hour,
+            hop_susceptibility: base.hop_susceptibility.clone(),
+            unreachable_susceptibility: base.unreachable_susceptibility,
+            interest_width: base.interest_width,
+        };
+        let sim = SimulationConfig {
+            hours: config.hours,
+            substeps: config.substeps,
+            seed: config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        let cascade = simulate_story(world, &preset, sim)?;
+        // Re-anchor the cascade's submission time within the month.
+        let offset = rng.gen_range(0..span_seconds.max(1));
+        let delta = month_start + offset;
+        let base_ts = cascade.submit_time();
+        votes.extend(cascade.votes().iter().map(|v| Vote {
+            timestamp: v.timestamp - base_ts + delta,
+            voter: v.voter,
+            story: v.story,
+        }));
+    }
+
+    let links: Vec<FriendLink> = world
+        .graph()
+        .edges()
+        .map(|(followee, follower)| FriendLink {
+            mutual: false,
+            timestamp: month_start,
+            follower,
+            followee,
+        })
+        .collect();
+    Ok(DiggDataset::new(votes, links))
+}
+
+/// Summary statistics of a dataset, for comparison against the crawl's
+/// published totals (3,553 stories; >3M votes; 139,409 users).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Number of distinct stories.
+    pub stories: usize,
+    /// Total votes.
+    pub votes: usize,
+    /// Distinct voters.
+    pub voters: usize,
+    /// Votes on the most popular story.
+    pub top_story_votes: usize,
+    /// Median votes per story.
+    pub median_story_votes: usize,
+}
+
+/// Computes [`CatalogStats`] for a dataset.
+#[must_use]
+pub fn catalog_stats(dataset: &DiggDataset) -> CatalogStats {
+    let ranked = dataset.stories_by_popularity();
+    let mut voters: Vec<usize> = dataset.votes().iter().map(|v| v.voter).collect();
+    voters.sort_unstable();
+    voters.dedup();
+    let median = if ranked.is_empty() { 0 } else { ranked[ranked.len() / 2].1 };
+    CatalogStats {
+        stories: ranked.len(),
+        votes: dataset.votes().len(),
+        voters: voters.len(),
+        top_story_votes: ranked.first().map_or(0, |&(_, v)| v),
+        median_story_votes: median,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn world() -> SyntheticWorld {
+        SyntheticWorld::generate(WorldConfig::default().scaled(0.05)).unwrap()
+    }
+
+    fn small_config() -> CatalogConfig {
+        CatalogConfig { stories: 12, hours: 20, substeps: 1, ..CatalogConfig::default() }
+    }
+
+    #[test]
+    fn catalog_has_requested_story_count() {
+        let w = world();
+        let ds = generate_catalog(&w, &small_config()).unwrap();
+        // Every story contributes at least its initiator's vote.
+        assert_eq!(ds.story_ids().len(), 12);
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let w = world();
+        let ds = generate_catalog(&w, &small_config()).unwrap();
+        let stats = catalog_stats(&ds);
+        assert!(stats.top_story_votes >= 4 * stats.median_story_votes.max(1),
+            "top {} vs median {}", stats.top_story_votes, stats.median_story_votes);
+    }
+
+    #[test]
+    fn timestamps_span_the_month() {
+        let w = world();
+        let ds = generate_catalog(&w, &small_config()).unwrap();
+        let min = ds.votes().iter().map(|v| v.timestamp).min().unwrap();
+        let max = ds.votes().iter().map(|v| v.timestamp).max().unwrap();
+        let month_start = 1_243_814_400u64;
+        assert!(min >= month_start);
+        // 30-day span + up to 20 simulated hours.
+        assert!(max < month_start + 31 * 86_400);
+        assert!(max - min > 86_400, "stories all clustered: span {}", max - min);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let w = world();
+        let a = generate_catalog(&w, &small_config()).unwrap();
+        let b = generate_catalog(&w, &small_config()).unwrap();
+        assert_eq!(a, b);
+        let c = generate_catalog(&w, &CatalogConfig { seed: 7, ..small_config() }).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stats_count_distinct_voters() {
+        let w = world();
+        let ds = generate_catalog(&w, &small_config()).unwrap();
+        let stats = catalog_stats(&ds);
+        assert!(stats.voters > 0);
+        assert!(stats.voters <= w.user_count());
+        assert!(stats.votes >= stats.voters.min(stats.votes));
+        assert_eq!(stats.stories, 12);
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        let w = world();
+        assert!(generate_catalog(&w, &CatalogConfig { stories: 0, ..small_config() }).is_err());
+        assert!(generate_catalog(&w, &CatalogConfig { hours: 0, ..small_config() }).is_err());
+        assert!(generate_catalog(&w, &CatalogConfig { substeps: 0, ..small_config() }).is_err());
+    }
+
+    #[test]
+    fn dataset_roundtrips_through_csv() {
+        let w = world();
+        let ds = generate_catalog(&w, &small_config()).unwrap();
+        let mut votes_csv = Vec::new();
+        let mut friends_csv = Vec::new();
+        ds.write_votes_csv(&mut votes_csv).unwrap();
+        ds.write_friends_csv(&mut friends_csv).unwrap();
+        let back = DiggDataset::read_csv(votes_csv.as_slice(), friends_csv.as_slice()).unwrap();
+        assert_eq!(ds, back);
+    }
+}

@@ -1,0 +1,357 @@
+//! Digg-2009-format dataset model and CSV interchange.
+//!
+//! The paper's evaluation uses Lerman's Digg 2009 crawl: per-story vote
+//! streams `(vote_date, voter_id, story_id)` and the follower graph
+//! `(mutual, friend_date, user_id, friend_id)`. That dataset is not
+//! redistributable, so this module defines the same record layout and a
+//! loader/writer for it: drop the real CSVs in and the whole pipeline runs
+//! on them; otherwise `crate::simulate` produces synthetic datasets in the
+//! identical structure.
+
+use crate::error::{DataError, Result};
+use dlm_graph::{DiGraph, GraphBuilder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A single vote: `voter` digged `story` at Unix time `timestamp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Vote {
+    /// Seconds since the Unix epoch.
+    pub timestamp: u64,
+    /// Dense user id.
+    pub voter: usize,
+    /// Story id.
+    pub story: u32,
+}
+
+/// A follower link: `follower` follows `followee` (so the followee's
+/// activity is visible to the follower), established at `timestamp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FriendLink {
+    /// Whether the link is mutual (both directions exist on Digg).
+    pub mutual: bool,
+    /// Seconds since the Unix epoch.
+    pub timestamp: u64,
+    /// The user doing the following.
+    pub follower: usize,
+    /// The user being followed.
+    pub followee: usize,
+}
+
+/// An in-memory Digg-format dataset: votes plus the follower graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiggDataset {
+    votes: Vec<Vote>,
+    links: Vec<FriendLink>,
+    user_count: usize,
+}
+
+impl DiggDataset {
+    /// Creates a dataset from raw parts, inferring `user_count` from the
+    /// largest user id seen.
+    #[must_use]
+    pub fn new(mut votes: Vec<Vote>, links: Vec<FriendLink>) -> Self {
+        votes.sort_unstable();
+        let max_user = votes
+            .iter()
+            .map(|v| v.voter)
+            .chain(links.iter().flat_map(|l| [l.follower, l.followee]))
+            .max();
+        let user_count = max_user.map_or(0, |m| m + 1);
+        Self { votes, links, user_count }
+    }
+
+    /// All votes, sorted by timestamp.
+    #[must_use]
+    pub fn votes(&self) -> &[Vote] {
+        &self.votes
+    }
+
+    /// All follower links.
+    #[must_use]
+    pub fn links(&self) -> &[FriendLink] {
+        &self.links
+    }
+
+    /// Number of users (max id + 1).
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.user_count
+    }
+
+    /// Distinct story ids, ascending.
+    #[must_use]
+    pub fn story_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.votes.iter().map(|v| v.story).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Votes for one story, in timestamp order.
+    #[must_use]
+    pub fn story_votes(&self, story: u32) -> Vec<Vote> {
+        self.votes.iter().filter(|v| v.story == story).copied().collect()
+    }
+
+    /// Vote counts per story, descending — the paper picks its four
+    /// representative stories (s1–s4) from this ranking.
+    #[must_use]
+    pub fn stories_by_popularity(&self) -> Vec<(u32, usize)> {
+        let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+        for v in &self.votes {
+            *counts.entry(v.story).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<(u32, usize)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked
+    }
+
+    /// The initiator (first voter) of a story.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::UnknownEntity`] if the story has no votes.
+    pub fn initiator(&self, story: u32) -> Result<usize> {
+        self.votes
+            .iter()
+            .filter(|v| v.story == story)
+            .min_by_key(|v| v.timestamp)
+            .map(|v| v.voter)
+            .ok_or(DataError::UnknownEntity { kind: "story", id: u64::from(story) })
+    }
+
+    /// Builds the directed information-flow graph: edge `followee →
+    /// follower` (information travels from the followed account to its
+    /// followers). Mutual links contribute both directions.
+    #[must_use]
+    pub fn follower_graph(&self) -> DiGraph {
+        let mut b = GraphBuilder::new(self.user_count);
+        for l in &self.links {
+            // followee's activity reaches follower.
+            b.add_edge(l.followee, l.follower).expect("ids bounded by user_count");
+            if l.mutual {
+                b.add_edge(l.follower, l.followee).expect("ids bounded by user_count");
+            }
+        }
+        b.build()
+    }
+
+    /// Serializes votes in Digg-2009 CSV layout
+    /// (`vote_date,voter_id,story_id`, no header).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn write_votes_csv<W: Write>(&self, mut w: W) -> Result<()> {
+        for v in &self.votes {
+            writeln!(w, "{},{},{}", v.timestamp, v.voter, v.story)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes links in Digg-2009 CSV layout
+    /// (`mutual,friend_date,user_id,friend_id` where `user_id` follows
+    /// `friend_id`, no header).
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn write_friends_csv<W: Write>(&self, mut w: W) -> Result<()> {
+        for l in &self.links {
+            writeln!(w, "{},{},{},{}", u8::from(l.mutual), l.timestamp, l.follower, l.followee)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a dataset from Digg-2009-format CSV readers.
+    ///
+    /// # Errors
+    ///
+    /// * [`DataError::MalformedRecord`] — wrong field count or unparsable
+    ///   numbers (with the offending line number).
+    /// * [`DataError::Io`] — reader failure.
+    pub fn read_csv<R1: Read, R2: Read>(votes_csv: R1, friends_csv: R2) -> Result<Self> {
+        let mut votes = Vec::new();
+        for (idx, line) in BufReader::new(votes_csv).lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            votes.push(parse_vote(line, idx + 1)?);
+        }
+        let mut links = Vec::new();
+        for (idx, line) in BufReader::new(friends_csv).lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            links.push(parse_link(line, idx + 1)?);
+        }
+        Ok(Self::new(votes, links))
+    }
+}
+
+fn parse_vote(line: &str, line_no: usize) -> Result<Vote> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != 3 {
+        return Err(DataError::MalformedRecord {
+            line: line_no,
+            reason: format!("expected 3 fields, got {}", fields.len()),
+        });
+    }
+    let parse_u64 = |s: &str, what: &str| {
+        s.parse::<u64>().map_err(|e| DataError::MalformedRecord {
+            line: line_no,
+            reason: format!("bad {what} `{s}`: {e}"),
+        })
+    };
+    Ok(Vote {
+        timestamp: parse_u64(fields[0], "vote_date")?,
+        voter: parse_u64(fields[1], "voter_id")? as usize,
+        story: parse_u64(fields[2], "story_id")? as u32,
+    })
+}
+
+fn parse_link(line: &str, line_no: usize) -> Result<FriendLink> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != 4 {
+        return Err(DataError::MalformedRecord {
+            line: line_no,
+            reason: format!("expected 4 fields, got {}", fields.len()),
+        });
+    }
+    let parse_u64 = |s: &str, what: &str| {
+        s.parse::<u64>().map_err(|e| DataError::MalformedRecord {
+            line: line_no,
+            reason: format!("bad {what} `{s}`: {e}"),
+        })
+    };
+    let mutual_raw = parse_u64(fields[0], "mutual")?;
+    if mutual_raw > 1 {
+        return Err(DataError::MalformedRecord {
+            line: line_no,
+            reason: format!("mutual flag must be 0 or 1, got {mutual_raw}"),
+        });
+    }
+    Ok(FriendLink {
+        mutual: mutual_raw == 1,
+        timestamp: parse_u64(fields[1], "friend_date")?,
+        follower: parse_u64(fields[2], "user_id")? as usize,
+        followee: parse_u64(fields[3], "friend_id")? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiggDataset {
+        let votes = vec![
+            Vote { timestamp: 100, voter: 0, story: 1 },
+            Vote { timestamp: 160, voter: 2, story: 1 },
+            Vote { timestamp: 130, voter: 1, story: 1 },
+            Vote { timestamp: 90, voter: 3, story: 2 },
+        ];
+        let links = vec![
+            FriendLink { mutual: false, timestamp: 10, follower: 1, followee: 0 },
+            FriendLink { mutual: true, timestamp: 20, follower: 2, followee: 1 },
+        ];
+        DiggDataset::new(votes, links)
+    }
+
+    #[test]
+    fn votes_sorted_by_timestamp() {
+        let d = sample();
+        let ts: Vec<u64> = d.votes().iter().map(|v| v.timestamp).collect();
+        assert_eq!(ts, vec![90, 100, 130, 160]);
+    }
+
+    #[test]
+    fn user_count_inferred() {
+        assert_eq!(sample().user_count(), 4);
+        assert_eq!(DiggDataset::new(vec![], vec![]).user_count(), 0);
+    }
+
+    #[test]
+    fn story_ids_and_votes() {
+        let d = sample();
+        assert_eq!(d.story_ids(), vec![1, 2]);
+        let s1 = d.story_votes(1);
+        assert_eq!(s1.len(), 3);
+        assert!(s1.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn popularity_ranking() {
+        let d = sample();
+        assert_eq!(d.stories_by_popularity(), vec![(1, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn initiator_is_first_voter() {
+        let d = sample();
+        assert_eq!(d.initiator(1).unwrap(), 0);
+        assert_eq!(d.initiator(2).unwrap(), 3);
+        assert!(matches!(
+            d.initiator(9).unwrap_err(),
+            DataError::UnknownEntity { kind: "story", id: 9 }
+        ));
+    }
+
+    #[test]
+    fn follower_graph_directions() {
+        let d = sample();
+        let g = d.follower_graph();
+        // User 1 follows 0: info flows 0 → 1.
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        // Mutual 2↔1: both directions.
+        assert!(g.has_edge(1, 2) && g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let d = sample();
+        let mut votes_buf = Vec::new();
+        let mut friends_buf = Vec::new();
+        d.write_votes_csv(&mut votes_buf).unwrap();
+        d.write_friends_csv(&mut friends_buf).unwrap();
+        let d2 = DiggDataset::read_csv(votes_buf.as_slice(), friends_buf.as_slice()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn csv_tolerates_blank_lines_and_spaces() {
+        let votes = "100, 0, 1\n\n 130 ,1, 1\n";
+        let friends = "1, 20, 2, 1\n";
+        let d = DiggDataset::read_csv(votes.as_bytes(), friends.as_bytes()).unwrap();
+        assert_eq!(d.votes().len(), 2);
+        assert_eq!(d.links().len(), 1);
+        assert!(d.links()[0].mutual);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_votes() {
+        let err = DiggDataset::read_csv("1,2\n".as_bytes(), "".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::MalformedRecord { line: 1, .. }));
+        let err = DiggDataset::read_csv("a,b,c\n".as_bytes(), "".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::MalformedRecord { .. }));
+    }
+
+    #[test]
+    fn csv_rejects_bad_mutual_flag() {
+        let err = DiggDataset::read_csv("".as_bytes(), "7,1,2,3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::MalformedRecord { line: 1, .. }));
+    }
+
+    #[test]
+    fn csv_reports_correct_line_number() {
+        let votes = "100,0,1\nbroken\n";
+        let err = DiggDataset::read_csv(votes.as_bytes(), "".as_bytes()).unwrap_err();
+        assert!(matches!(err, DataError::MalformedRecord { line: 2, .. }));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the data crate.
+
+use std::fmt;
+
+/// Errors produced by dataset parsing, generation and simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A CSV record could not be parsed.
+    MalformedRecord {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Explanation of what failed to parse.
+        reason: String,
+    },
+    /// A simulation or generator parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// A referenced entity (user, story) does not exist in the dataset.
+    UnknownEntity {
+        /// Kind of entity ("user", "story").
+        kind: &'static str,
+        /// The missing id.
+        id: u64,
+    },
+    /// Underlying I/O failure while reading or writing dataset files.
+    Io(std::io::Error),
+    /// Error propagated from the graph substrate.
+    Graph(dlm_graph::GraphError),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::MalformedRecord { line, reason } => {
+                write!(f, "malformed record on line {line}: {reason}")
+            }
+            DataError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DataError::UnknownEntity { kind, id } => write!(f, "unknown {kind} id {id}"),
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+            DataError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<dlm_graph::GraphError> for DataError {
+    fn from(e: dlm_graph::GraphError) -> Self {
+        DataError::Graph(e)
+    }
+}
+
+/// Convenient result alias for data operations.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::MalformedRecord { line: 3, reason: "bad int".into() }
+            .to_string()
+            .contains("line 3"));
+        assert!(DataError::UnknownEntity { kind: "story", id: 9 }.to_string().contains("story"));
+        assert!(DataError::InvalidParameter { name: "x", reason: "neg".into() }
+            .to_string()
+            .contains("`x`"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        use std::error::Error;
+        let e = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn send_sync_bounds() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<DataError>();
+    }
+}

@@ -1,0 +1,41 @@
+//! # dlm-data
+//!
+//! Dataset substrate for the `dlm` workspace: the Digg-2009 record model
+//! and CSV interchange ([`digg`]), a synthetic Digg-like world generator
+//! ([`world`]), the paper's four representative story presets ([`story`]),
+//! and the two-channel cascade simulator ([`simulate`]) that produces
+//! vote streams in the identical format — so the whole experiment pipeline
+//! runs unchanged whether the input is synthetic or the real (non-
+//! redistributable) Digg crawl.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dlm_data::simulate::{simulate_story, SimulationConfig};
+//! use dlm_data::story::StoryPreset;
+//! use dlm_data::world::{SyntheticWorld, WorldConfig};
+//!
+//! # fn main() -> Result<(), dlm_data::DataError> {
+//! let world = SyntheticWorld::generate(WorldConfig::default())?;
+//! let cascade = simulate_story(&world, &StoryPreset::s1(), SimulationConfig::default())?;
+//! println!("s1 gathered {} votes", cascade.vote_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod digg;
+pub mod error;
+pub mod simulate;
+pub mod story;
+pub mod world;
+
+pub use catalog::{catalog_stats, generate_catalog, CatalogConfig, CatalogStats};
+pub use digg::{DiggDataset, FriendLink, Vote};
+pub use error::{DataError, Result};
+pub use simulate::{Cascade, SimulationConfig};
+pub use story::StoryPreset;
+pub use world::{SyntheticWorld, WorldConfig};

@@ -1,0 +1,343 @@
+//! Two-channel cascade simulator producing Digg-format vote streams.
+//!
+//! The paper identifies two propagation channels on Digg (§III.A):
+//!
+//! 1. **Social channel** — a user sees stories voted by the accounts they
+//!    follow; each influenced followee exerts an independent per-hour
+//!    hazard on the follower.
+//! 2. **Front-page channel** — once a story is promoted, *any* user can
+//!    discover it through the front page or search, independent of the
+//!    social graph. This is the paper's "random-walk" spreading and the
+//!    reason information reaches users far from (or disconnected from) the
+//!    initiator.
+//!
+//! Each hour `h` is split into substeps; within a substep a susceptible
+//! user votes with probability `1 − e^{−H·Δt}`, where the total hazard `H`
+//! combines both channels and is modulated by:
+//!
+//! * temporal decay `e^{−λ(h−1)}` (news ages — this produces the
+//!   saturation the paper observes after 10–20 hours);
+//! * the user's per-hop susceptibility from the [`StoryPreset`];
+//! * the interest kernel `e^{−|θ_u − θ_s| / w}` (users far from the
+//!   story's topic rarely vote — this produces Figure 5's monotone
+//!   density-vs-interest-distance pattern).
+
+use crate::digg::Vote;
+use crate::error::{DataError, Result};
+use crate::story::StoryPreset;
+use crate::world::SyntheticWorld;
+use dlm_graph::bfs::hop_distances;
+use dlm_graph::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Simulation horizon and resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimulationConfig {
+    /// Number of hours to simulate (the paper observes 50).
+    pub hours: u32,
+    /// Sub-hour steps (higher = smoother multi-hop spread within an hour).
+    pub substeps: u32,
+    /// RNG seed for the cascade (independent of the world seed).
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self { hours: 50, substeps: 4, seed: 7 }
+    }
+}
+
+/// The outcome of simulating one story.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cascade {
+    story: u32,
+    initiator: NodeId,
+    submit_time: u64,
+    votes: Vec<Vote>,
+}
+
+impl Cascade {
+    /// Story id.
+    #[must_use]
+    pub fn story(&self) -> u32 {
+        self.story
+    }
+
+    /// The submitting user (first voter).
+    #[must_use]
+    pub fn initiator(&self) -> NodeId {
+        self.initiator
+    }
+
+    /// Unix time of submission.
+    #[must_use]
+    pub fn submit_time(&self) -> u64 {
+        self.submit_time
+    }
+
+    /// All votes in timestamp order, the initiator's first.
+    #[must_use]
+    pub fn votes(&self) -> &[Vote] {
+        &self.votes
+    }
+
+    /// Total number of votes (including the initiator's).
+    #[must_use]
+    pub fn vote_count(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Votes cast strictly within the first `hours` hours after submission.
+    #[must_use]
+    pub fn votes_within(&self, hours: u32) -> Vec<Vote> {
+        let cutoff = self.submit_time + u64::from(hours) * 3600;
+        self.votes.iter().filter(|v| v.timestamp < cutoff).copied().collect()
+    }
+}
+
+/// Simulates one story's cascade on a synthetic world.
+///
+/// The initiator is chosen by [`SyntheticWorld::story_initiator`]: an
+/// established-but-not-celebrity account whose follower count puts the
+/// bulk of users 2–5 hops away, matching the paper's Figure 2. Each
+/// representative story gets a distinct initiator.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidParameter`] for a zero-hour/zero-substep
+/// config, and propagates hub-selection errors.
+pub fn simulate_story(
+    world: &SyntheticWorld,
+    preset: &StoryPreset,
+    config: SimulationConfig,
+) -> Result<Cascade> {
+    if config.hours == 0 {
+        return Err(DataError::InvalidParameter { name: "hours", reason: "must be positive".into() });
+    }
+    if config.substeps == 0 {
+        return Err(DataError::InvalidParameter {
+            name: "substeps",
+            reason: "must be positive".into(),
+        });
+    }
+    let initiator = world.story_initiator((preset.id.saturating_sub(1)) as usize)?;
+    let graph = world.graph();
+    let n = world.user_count();
+    let topics = world.topics();
+    let theta_s = topics[initiator];
+
+    // Hop distances drive per-hop susceptibility.
+    let hops = hop_distances(graph, initiator);
+
+    // Precompute each user's static hazard multiplier.
+    let multiplier: Vec<f64> = (0..n)
+        .map(|u| {
+            let susceptibility = preset.susceptibility_at(hops.distance(u));
+            let interest = (-(topics[u] - theta_s).abs() / preset.interest_width).exp();
+            susceptibility * interest
+        })
+        .collect();
+
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ (u64::from(preset.id) << 32));
+    let submit_time: u64 = 1_244_000_000; // early June 2009
+    let mut votes = Vec::new();
+    let mut influenced = vec![false; n];
+    // Number of influenced followees ("pressure") per user.
+    let mut pressure = vec![0u32; n];
+
+    let influence = |u: NodeId,
+                         t: u64,
+                         influenced: &mut Vec<bool>,
+                         pressure: &mut Vec<u32>,
+                         votes: &mut Vec<Vote>| {
+        influenced[u] = true;
+        votes.push(Vote { timestamp: t, voter: u, story: preset.id });
+        for &follower in graph.out_neighbors(u) {
+            pressure[follower] = pressure[follower].saturating_add(1);
+        }
+    };
+
+    influence(initiator, submit_time, &mut influenced, &mut pressure, &mut votes);
+
+    let dt = 1.0 / f64::from(config.substeps);
+    for hour in 1..=config.hours {
+        let decay = (-preset.decay * f64::from(hour - 1)).exp();
+        let promoted = hour >= preset.promotion_hour;
+        for sub in 0..config.substeps {
+            // Timestamp at a uniformly random point of this substep.
+            let base = submit_time
+                + u64::from(hour - 1) * 3600
+                + u64::from(sub) * (3600 / u64::from(config.substeps));
+            let mut new_voters: Vec<NodeId> = Vec::new();
+            for u in 0..n {
+                if influenced[u] {
+                    continue;
+                }
+                let mut hazard = 0.0;
+                if pressure[u] > 0 {
+                    hazard += preset.social_hazard * f64::from(pressure[u]);
+                }
+                if promoted {
+                    hazard += preset.frontpage_hazard;
+                }
+                if hazard == 0.0 {
+                    continue;
+                }
+                hazard *= multiplier[u] * decay;
+                let p = 1.0 - (-hazard * dt).exp();
+                if rng.gen::<f64>() < p {
+                    new_voters.push(u);
+                }
+            }
+            for u in new_voters {
+                let jitter = rng.gen_range(0..(3600 / u64::from(config.substeps)).max(1));
+                influence(u, base + jitter, &mut influenced, &mut pressure, &mut votes);
+            }
+        }
+    }
+
+    votes.sort_unstable();
+    votes.dedup_by_key(|v| v.voter);
+    votes.sort_unstable();
+    Ok(Cascade { story: preset.id, initiator, submit_time, votes })
+}
+
+/// Simulates all four representative stories on one world, returning the
+/// cascades in preset order.
+///
+/// # Errors
+///
+/// Propagates [`simulate_story`] errors.
+pub fn simulate_representative_stories(
+    world: &SyntheticWorld,
+    config: SimulationConfig,
+) -> Result<Vec<Cascade>> {
+    StoryPreset::all()
+        .iter()
+        .map(|preset| simulate_story(world, preset, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn test_world() -> SyntheticWorld {
+        SyntheticWorld::generate(WorldConfig::default().scaled(0.05)).unwrap()
+    }
+
+    fn test_config() -> SimulationConfig {
+        SimulationConfig { hours: 50, substeps: 2, seed: 11 }
+    }
+
+    #[test]
+    fn cascade_starts_with_initiator() {
+        let w = test_world();
+        let c = simulate_story(&w, &StoryPreset::s1(), test_config()).unwrap();
+        assert_eq!(c.votes()[0].voter, c.initiator());
+        assert_eq!(c.votes()[0].timestamp, c.submit_time());
+    }
+
+    #[test]
+    fn votes_sorted_and_unique_voters() {
+        let w = test_world();
+        let c = simulate_story(&w, &StoryPreset::s1(), test_config()).unwrap();
+        assert!(c.votes().windows(2).all(|v| v[0].timestamp <= v[1].timestamp));
+        let mut voters: Vec<usize> = c.votes().iter().map(|v| v.voter).collect();
+        voters.sort_unstable();
+        voters.dedup();
+        assert_eq!(voters.len(), c.vote_count());
+    }
+
+    #[test]
+    fn popularity_ordering_matches_paper() {
+        let w = test_world();
+        let cascades = simulate_representative_stories(&w, test_config()).unwrap();
+        let counts: Vec<usize> = cascades.iter().map(Cascade::vote_count).collect();
+        assert!(
+            counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3],
+            "vote counts not ordered like the paper: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let w = test_world();
+        let a = simulate_story(&w, &StoryPreset::s3(), test_config()).unwrap();
+        let b = simulate_story(&w, &StoryPreset::s3(), test_config()).unwrap();
+        assert_eq!(a, b);
+        let c = simulate_story(
+            &w,
+            &StoryPreset::s3(),
+            SimulationConfig { seed: 999, ..test_config() },
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cascade_saturates_late() {
+        // The last 10 hours must contribute only a small share of votes —
+        // the paper's "no longer new" observation at 50 h.
+        let w = test_world();
+        let c = simulate_story(&w, &StoryPreset::s1(), test_config()).unwrap();
+        let early = c.votes_within(40).len();
+        let total = c.vote_count();
+        assert!(total > 50, "cascade too small to be meaningful: {total}");
+        let late_share = (total - early) as f64 / total as f64;
+        assert!(late_share < 0.05, "still growing fast at 40-50h: {early}/{total}");
+    }
+
+    #[test]
+    fn s1_saturates_faster_than_s2() {
+        let w = test_world();
+        let s1 = simulate_story(&w, &StoryPreset::s1(), test_config()).unwrap();
+        let s2 = simulate_story(&w, &StoryPreset::s2(), test_config()).unwrap();
+        let frac_by_10 = |c: &Cascade| c.votes_within(10).len() as f64 / c.vote_count() as f64;
+        assert!(
+            frac_by_10(&s1) > frac_by_10(&s2),
+            "s1 {} vs s2 {}",
+            frac_by_10(&s1),
+            frac_by_10(&s2)
+        );
+    }
+
+    #[test]
+    fn votes_within_respects_cutoff() {
+        let w = test_world();
+        let c = simulate_story(&w, &StoryPreset::s4(), test_config()).unwrap();
+        let within = c.votes_within(1);
+        let cutoff = c.submit_time() + 3600;
+        assert!(within.iter().all(|v| v.timestamp < cutoff));
+        assert!(within.len() <= c.vote_count());
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        let w = test_world();
+        assert!(simulate_story(
+            &w,
+            &StoryPreset::s1(),
+            SimulationConfig { hours: 0, ..test_config() }
+        )
+        .is_err());
+        assert!(simulate_story(
+            &w,
+            &StoryPreset::s1(),
+            SimulationConfig { substeps: 0, ..test_config() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn distinct_stories_have_distinct_initiators() {
+        let w = test_world();
+        let cascades = simulate_representative_stories(&w, test_config()).unwrap();
+        let mut initiators: Vec<usize> = cascades.iter().map(Cascade::initiator).collect();
+        initiators.sort_unstable();
+        initiators.dedup();
+        assert_eq!(initiators.len(), 4);
+    }
+}

@@ -1,0 +1,196 @@
+//! Presets for the paper's four representative stories.
+//!
+//! The evaluation section demonstrates results on four Digg stories of
+//! different vote scales: s1 (the most popular news, 24,099 votes), s2
+//! (8,521), s3 (5,988) and s4 (1,618). Each preset parameterizes the
+//! two-channel cascade simulator so that the synthetic cascade reproduces
+//! that story's published qualitative behaviour (see module docs of
+//! [`crate::simulate`] for the channel model):
+//!
+//! * **s1** — fast: saturates by ~10 hours; hop-3 density *above* hop-2
+//!   (strong front-page channel proving diffusion is not purely social);
+//! * **s2** — slower: saturates by ~20 hours;
+//! * **s3** — mid-scale, mixed channels;
+//! * **s4** — small and social-dominated: density strictly decreasing in
+//!   hop distance.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable cascade parameters for one story.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoryPreset {
+    /// Story id used in the synthetic dataset.
+    pub id: u32,
+    /// Human-readable label ("s1".."s4").
+    pub name: String,
+    /// Vote count of the corresponding story in the paper (for reporting).
+    pub paper_votes: usize,
+    /// Social-channel hazard per influenced followee per hour.
+    pub social_hazard: f64,
+    /// Front-page (random) channel hazard per hour once promoted.
+    pub frontpage_hazard: f64,
+    /// Temporal decay λ: all hazards are multiplied by `e^{−λ(h−1)}`.
+    pub decay: f64,
+    /// Hour at which the story reaches the front page (1 = immediately).
+    pub promotion_hour: u32,
+    /// Per-hop susceptibility multipliers for hops 1.. (last entry reused
+    /// beyond the end). Lets a preset encode "hop-3 users were unusually
+    /// receptive", which the paper observes for s1.
+    pub hop_susceptibility: Vec<f64>,
+    /// Susceptibility multiplier for users not reachable from the
+    /// initiator (front-page channel only).
+    pub unreachable_susceptibility: f64,
+    /// Width of the interest kernel: vote hazards are multiplied by
+    /// `e^{−|θ_u − θ_s| / width}`.
+    pub interest_width: f64,
+}
+
+impl StoryPreset {
+    /// Susceptibility multiplier for a user at `hop` (1-based); hop 0 or
+    /// beyond the table reuse the nearest entry.
+    #[must_use]
+    pub fn susceptibility_at(&self, hop: Option<u32>) -> f64 {
+        match hop {
+            None => self.unreachable_susceptibility,
+            Some(h) => {
+                let idx = (h.max(1) as usize - 1).min(self.hop_susceptibility.len() - 1);
+                self.hop_susceptibility[idx]
+            }
+        }
+    }
+
+    /// The paper's s1: most popular story, 24,099 votes. Fast spread,
+    /// strong front-page channel, hop-3 susceptibility above hop-2.
+    #[must_use]
+    pub fn s1() -> Self {
+        Self {
+            id: 1,
+            name: "s1".into(),
+            paper_votes: 24_099,
+            social_hazard: 0.14,
+            frontpage_hazard: 0.19,
+            decay: 0.35,
+            promotion_hour: 1,
+            hop_susceptibility: vec![1.0, 0.75, 1.2, 0.65, 0.5, 0.4],
+            unreachable_susceptibility: 0.4,
+            interest_width: 0.15,
+        }
+    }
+
+    /// The paper's s2: second most popular, 8,521 votes. Slower decay —
+    /// stabilizes around hour 20.
+    #[must_use]
+    pub fn s2() -> Self {
+        Self {
+            id: 2,
+            name: "s2".into(),
+            paper_votes: 8_521,
+            social_hazard: 0.085,
+            frontpage_hazard: 0.05,
+            decay: 0.15,
+            promotion_hour: 2,
+            hop_susceptibility: vec![0.65, 0.7, 0.55, 0.4, 0.3, 0.25],
+            unreachable_susceptibility: 0.25,
+            interest_width: 0.15,
+        }
+    }
+
+    /// The paper's s3: mid-scale story, 5,988 votes.
+    #[must_use]
+    pub fn s3() -> Self {
+        Self {
+            id: 3,
+            name: "s3".into(),
+            paper_votes: 5_988,
+            social_hazard: 0.08,
+            frontpage_hazard: 0.036,
+            decay: 0.18,
+            promotion_hour: 2,
+            hop_susceptibility: vec![0.5, 0.65, 0.5, 0.38, 0.28, 0.22],
+            unreachable_susceptibility: 0.2,
+            interest_width: 0.15,
+        }
+    }
+
+    /// The paper's s4: small story, 1,618 votes, social-dominated so the
+    /// density decreases monotonically with hop distance.
+    #[must_use]
+    pub fn s4() -> Self {
+        Self {
+            id: 4,
+            name: "s4".into(),
+            paper_votes: 1_618,
+            social_hazard: 0.13,
+            frontpage_hazard: 0.016,
+            decay: 0.25,
+            promotion_hour: 4,
+            hop_susceptibility: vec![0.38, 1.5, 0.95, 0.55, 0.35, 0.22],
+            unreachable_susceptibility: 0.18,
+            interest_width: 0.10,
+        }
+    }
+
+    /// All four representative stories in paper order.
+    #[must_use]
+    pub fn all() -> Vec<Self> {
+        vec![Self::s1(), Self::s2(), Self::s3(), Self::s4()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_presets_with_paper_vote_counts() {
+        let all = StoryPreset::all();
+        assert_eq!(all.len(), 4);
+        assert_eq!(
+            all.iter().map(|p| p.paper_votes).collect::<Vec<_>>(),
+            vec![24_099, 8_521, 5_988, 1_618]
+        );
+        // Distinct ids, descending popularity.
+        assert!(all.windows(2).all(|w| w[0].paper_votes > w[1].paper_votes));
+        assert!(all.windows(2).all(|w| w[0].id != w[1].id));
+    }
+
+    #[test]
+    fn s1_hop3_more_susceptible_than_hop2() {
+        let s1 = StoryPreset::s1();
+        assert!(s1.susceptibility_at(Some(3)) > s1.susceptibility_at(Some(2)));
+    }
+
+    #[test]
+    fn s4_susceptibility_decreasing_beyond_hop_one() {
+        // s4's *density* decreases monotonically in hop distance (verified
+        // against the cascade in dlm-cascade). Hop 1's susceptibility entry
+        // is small because those users already receive the full direct
+        // social hazard from the initiator; hops 2+ must decrease.
+        let s4 = StoryPreset::s4();
+        for h in 2..6 {
+            assert!(s4.susceptibility_at(Some(h)) > s4.susceptibility_at(Some(h + 1)));
+        }
+    }
+
+    #[test]
+    fn susceptibility_clamps_beyond_table() {
+        let s1 = StoryPreset::s1();
+        assert_eq!(s1.susceptibility_at(Some(100)), *s1.hop_susceptibility.last().unwrap());
+        assert_eq!(s1.susceptibility_at(Some(0)), s1.hop_susceptibility[0]);
+        assert_eq!(s1.susceptibility_at(None), s1.unreachable_susceptibility);
+    }
+
+    #[test]
+    fn s1_decays_fastest_among_big_stories() {
+        // Paper: s1 stable by ~10h, s2 by ~20h ⇒ s1's decay must exceed s2's.
+        assert!(StoryPreset::s1().decay > StoryPreset::s2().decay);
+    }
+
+    #[test]
+    fn presets_clone_and_compare() {
+        let s = StoryPreset::s2();
+        let c = s.clone();
+        assert_eq!(s, c);
+        assert_ne!(StoryPreset::s1(), StoryPreset::s4());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the dataset substrate.
+
+use dlm_data::simulate::simulate_story;
+use dlm_data::{DiggDataset, FriendLink, SimulationConfig, StoryPreset, SyntheticWorld, Vote, WorldConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dataset_csv_roundtrip_for_arbitrary_records(
+        votes in prop::collection::vec((0u64..1_000_000, 0usize..500, 0u32..40), 0..60),
+        links in prop::collection::vec((any::<bool>(), 0u64..1_000_000, 0usize..500, 0usize..500), 0..60),
+    ) {
+        let votes: Vec<Vote> = votes
+            .into_iter()
+            .map(|(timestamp, voter, story)| Vote { timestamp, voter, story })
+            .collect();
+        let links: Vec<FriendLink> = links
+            .into_iter()
+            .map(|(mutual, timestamp, follower, followee)| FriendLink {
+                mutual,
+                timestamp,
+                follower,
+                followee,
+            })
+            .collect();
+        let ds = DiggDataset::new(votes, links);
+        let mut vbuf = Vec::new();
+        let mut fbuf = Vec::new();
+        ds.write_votes_csv(&mut vbuf).unwrap();
+        ds.write_friends_csv(&mut fbuf).unwrap();
+        let back = DiggDataset::read_csv(vbuf.as_slice(), fbuf.as_slice()).unwrap();
+        prop_assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn popularity_ranking_is_sorted_and_complete(
+        votes in prop::collection::vec((0u64..1_000, 0usize..50, 0u32..8), 1..120),
+    ) {
+        let votes: Vec<Vote> = votes
+            .into_iter()
+            .map(|(timestamp, voter, story)| Vote { timestamp, voter, story })
+            .collect();
+        let total = votes.len();
+        let ds = DiggDataset::new(votes, vec![]);
+        let ranked = ds.stories_by_popularity();
+        // Sorted descending by count.
+        prop_assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        // Counts sum to the number of votes.
+        prop_assert_eq!(ranked.iter().map(|&(_, c)| c).sum::<usize>(), total);
+        // Every ranked story actually exists.
+        for &(story, _) in &ranked {
+            prop_assert!(ds.initiator(story).is_ok());
+        }
+    }
+
+    #[test]
+    fn initiator_has_earliest_timestamp(
+        votes in prop::collection::vec((0u64..10_000, 0usize..50), 1..60),
+    ) {
+        let votes: Vec<Vote> = votes
+            .into_iter()
+            .map(|(timestamp, voter)| Vote { timestamp, voter, story: 1 })
+            .collect();
+        let min_ts = votes.iter().map(|v| v.timestamp).min().unwrap();
+        let ds = DiggDataset::new(votes, vec![]);
+        let initiator = ds.initiator(1).unwrap();
+        let initiator_ts = ds
+            .story_votes(1)
+            .iter()
+            .find(|v| v.voter == initiator)
+            .map(|v| v.timestamp)
+            .unwrap();
+        prop_assert_eq!(initiator_ts, min_ts);
+    }
+}
+
+#[test]
+fn simulation_invariants_hold_across_seeds() {
+    // Deterministic world; several cascade seeds. Expensive, so plain #[test]
+    // with a manual loop rather than proptest shrinking machinery.
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.03)).unwrap();
+    for seed in [1u64, 7, 99, 12345] {
+        let cfg = SimulationConfig { hours: 30, substeps: 1, seed };
+        let c = simulate_story(&world, &StoryPreset::s2(), cfg).unwrap();
+        // Initiator votes first.
+        assert_eq!(c.votes()[0].voter, c.initiator());
+        // Timestamps are sorted and within the horizon.
+        assert!(c.votes().windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        let horizon = c.submit_time() + 30 * 3600;
+        assert!(c.votes().iter().all(|v| v.timestamp < horizon));
+        // No duplicate voters.
+        let mut voters: Vec<usize> = c.votes().iter().map(|v| v.voter).collect();
+        voters.sort_unstable();
+        voters.dedup();
+        assert_eq!(voters.len(), c.vote_count());
+        // Vote counts bounded by the population.
+        assert!(c.vote_count() <= world.user_count());
+    }
+}

@@ -1,0 +1,266 @@
+//! Breadth-first search: friendship-hop distances.
+//!
+//! The paper's first distance metric is the number of friendship hops on
+//! the shortest path from the story's initiator to each user. This module
+//! computes single-source hop distances along out-edges (the direction
+//! information travels) and the per-hop population histogram behind
+//! Figure 2.
+
+use crate::graph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Hop distances from a source; `None` marks unreachable nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopDistances {
+    source: NodeId,
+    dist: Vec<Option<u32>>,
+}
+
+impl HopDistances {
+    /// The BFS source node.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance of `node` from the source, or `None` if unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn distance(&self, node: NodeId) -> Option<u32> {
+        self.dist[node]
+    }
+
+    /// All distances, indexed by node id.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Option<u32>] {
+        &self.dist
+    }
+
+    /// The largest finite distance (eccentricity of the source within its
+    /// reachable set). `None` when only the source is reachable.
+    #[must_use]
+    pub fn max_distance(&self) -> Option<u32> {
+        self.dist.iter().flatten().copied().max().filter(|&d| d > 0)
+    }
+
+    /// Number of nodes at exactly `hops` from the source.
+    #[must_use]
+    pub fn count_at(&self, hops: u32) -> usize {
+        self.dist.iter().flatten().filter(|&&d| d == hops).count()
+    }
+
+    /// Number of reachable nodes, excluding the source itself.
+    #[must_use]
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().flatten().filter(|&&d| d > 0).count()
+    }
+
+    /// Histogram of node counts per hop `1..=max` (index 0 → hop 1).
+    ///
+    /// This is the raw data behind the paper's Figure 2.
+    #[must_use]
+    pub fn hop_histogram(&self) -> Vec<usize> {
+        let Some(max) = self.max_distance() else {
+            return Vec::new();
+        };
+        let mut hist = vec![0usize; max as usize];
+        for d in self.dist.iter().flatten() {
+            if *d > 0 {
+                hist[(*d - 1) as usize] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Groups node ids by hop distance: element `i` of the result holds all
+    /// nodes at distance `i + 1`. Nodes beyond `max_hops` are ignored.
+    #[must_use]
+    pub fn groups_up_to(&self, max_hops: u32) -> Vec<Vec<NodeId>> {
+        let mut groups = vec![Vec::new(); max_hops as usize];
+        for (node, d) in self.dist.iter().enumerate() {
+            if let Some(d) = d {
+                if *d >= 1 && *d <= max_hops {
+                    groups[(*d - 1) as usize].push(node);
+                }
+            }
+        }
+        groups
+    }
+}
+
+/// Computes hop distances from `source` along out-edges.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn hop_distances(graph: &DiGraph, source: NodeId) -> HopDistances {
+    assert!(source < graph.node_count(), "source {source} out of range");
+    let mut dist: Vec<Option<u32>> = vec![None; graph.node_count()];
+    dist[source] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in graph.out_neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    HopDistances { source, dist }
+}
+
+/// Computes the hop distance between two specific nodes (early-exit BFS).
+/// Returns `None` if `target` is unreachable from `source`.
+///
+/// # Panics
+///
+/// Panics if either node is out of range.
+#[must_use]
+pub fn hop_distance_between(graph: &DiGraph, source: NodeId, target: NodeId) -> Option<u32> {
+    assert!(source < graph.node_count() && target < graph.node_count());
+    if source == target {
+        return Some(0);
+    }
+    let mut dist: Vec<Option<u32>> = vec![None; graph.node_count()];
+    dist[source] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in graph.out_neighbors(u) {
+            if dist[v].is_none() {
+                if v == target {
+                    return Some(du + 1);
+                }
+                dist[v] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// A two-level out-tree: 0 → {1, 2}; 1 → 3; 2 → 4; plus an unreachable 5.
+    fn tree() -> DiGraph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(1, 3).unwrap();
+        b.add_edge(2, 4).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn distances_in_tree() {
+        let d = hop_distances(&tree(), 0);
+        assert_eq!(d.distance(0), Some(0));
+        assert_eq!(d.distance(1), Some(1));
+        assert_eq!(d.distance(2), Some(1));
+        assert_eq!(d.distance(3), Some(2));
+        assert_eq!(d.distance(4), Some(2));
+        assert_eq!(d.distance(5), None);
+    }
+
+    #[test]
+    fn direction_matters() {
+        // Edge 0 → 1 does not make 0 reachable from 1.
+        let d = hop_distances(&tree(), 1);
+        assert_eq!(d.distance(0), None);
+        assert_eq!(d.distance(3), Some(1));
+    }
+
+    #[test]
+    fn histogram_counts_per_hop() {
+        let d = hop_distances(&tree(), 0);
+        assert_eq!(d.hop_histogram(), vec![2, 2]);
+        assert_eq!(d.count_at(1), 2);
+        assert_eq!(d.count_at(2), 2);
+        assert_eq!(d.count_at(3), 0);
+        assert_eq!(d.reachable_count(), 4);
+        assert_eq!(d.max_distance(), Some(2));
+    }
+
+    #[test]
+    fn histogram_of_isolated_source_is_empty() {
+        let g = GraphBuilder::new(3).build();
+        let d = hop_distances(&g, 0);
+        assert!(d.hop_histogram().is_empty());
+        assert_eq!(d.max_distance(), None);
+        assert_eq!(d.reachable_count(), 0);
+    }
+
+    #[test]
+    fn groups_partition_reachable_nodes() {
+        let d = hop_distances(&tree(), 0);
+        let groups = d.groups_up_to(5);
+        assert_eq!(groups.len(), 5);
+        assert_eq!(groups[0], vec![1, 2]);
+        assert_eq!(groups[1], vec![3, 4]);
+        assert!(groups[2].is_empty());
+    }
+
+    #[test]
+    fn groups_truncate_beyond_max() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let d = hop_distances(&b.build(), 0);
+        let groups = d.groups_up_to(2);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[1], vec![2]); // node 3 at hop 3 dropped
+    }
+
+    #[test]
+    fn shortest_path_prefers_fewer_hops() {
+        // 0 → 1 → 2 and a shortcut 0 → 2.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(0, 2).unwrap();
+        let d = hop_distances(&b.build(), 0);
+        assert_eq!(d.distance(2), Some(1));
+    }
+
+    #[test]
+    fn pairwise_distance_matches_full_bfs() {
+        let g = tree();
+        let d = hop_distances(&g, 0);
+        for v in 0..6 {
+            assert_eq!(hop_distance_between(&g, 0, v), d.distance(v));
+        }
+    }
+
+    #[test]
+    fn pairwise_distance_to_self_is_zero() {
+        assert_eq!(hop_distance_between(&tree(), 3, 3), Some(0));
+    }
+
+    #[test]
+    fn cycle_distances() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..4 {
+            b.add_edge(i, (i + 1) % 4).unwrap();
+        }
+        let d = hop_distances(&b.build(), 0);
+        assert_eq!(d.distance(3), Some(3));
+        assert_eq!(d.max_distance(), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn source_out_of_range_panics() {
+        let _ = hop_distances(&tree(), 99);
+    }
+}

@@ -1,0 +1,272 @@
+//! Connectivity structure: weakly and strongly connected components.
+//!
+//! The experiments sanity-check the synthetic follower networks against
+//! Digg's known structure — one giant weakly connected component holding
+//! nearly all voters (otherwise hop distances from an initiator would
+//! miss most of the population and the density denominators would be
+//! wrong).
+
+use crate::graph::{DiGraph, NodeId};
+
+/// A partition of the nodes into components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// Component id per node.
+    assignment: Vec<usize>,
+    /// Number of components.
+    count: usize,
+}
+
+impl Components {
+    /// Component id of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn component_of(&self, node: NodeId) -> usize {
+        self.assignment[node]
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sizes of each component, indexed by component id.
+    #[must_use]
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.assignment {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component.
+    #[must_use]
+    pub fn giant_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Fraction of nodes in the largest component.
+    #[must_use]
+    pub fn giant_fraction(&self) -> f64 {
+        if self.assignment.is_empty() {
+            return 0.0;
+        }
+        self.giant_size() as f64 / self.assignment.len() as f64
+    }
+}
+
+/// Computes weakly connected components (edge direction ignored) with a
+/// union–find over all edges.
+#[must_use]
+pub fn weakly_connected_components(graph: &DiGraph) -> Components {
+    let n = graph.node_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]]; // path halving
+            x = parent[x];
+        }
+        x
+    }
+
+    for (u, v) in graph.edges() {
+        let ru = find(&mut parent, u);
+        let rv = find(&mut parent, v);
+        if ru != rv {
+            parent[ru] = rv;
+        }
+    }
+
+    // Relabel roots densely.
+    let mut label: Vec<Option<usize>> = vec![None; n];
+    let mut count = 0usize;
+    let mut assignment = vec![0usize; n];
+    for (node, slot) in assignment.iter_mut().enumerate() {
+        let root = find(&mut parent, node);
+        let id = *label[root].get_or_insert_with(|| {
+            let id = count;
+            count += 1;
+            id
+        });
+        *slot = id;
+    }
+    Components { assignment, count }
+}
+
+/// Computes strongly connected components with Tarjan's algorithm
+/// (iterative, so deep graphs cannot overflow the stack).
+#[must_use]
+pub fn strongly_connected_components(graph: &DiGraph) -> Components {
+    let n = graph.node_count();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut assignment = vec![0usize; n];
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+
+    // Explicit DFS state: (node, next neighbour offset).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut ni)) = call.last_mut() {
+            if *ni == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let neighbors = graph.out_neighbors(v);
+            if *ni < neighbors.len() {
+                let w = neighbors[*ni];
+                *ni += 1;
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                // Done with v.
+                if low[v] == index[v] {
+                    // Pop the component.
+                    loop {
+                        let w = stack.pop().expect("component members on stack");
+                        on_stack[w] = false;
+                        assignment[w] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    Components { assignment, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn single_chain_is_one_weak_component() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_edge(i, i + 1).unwrap();
+        }
+        let c = weakly_connected_components(&b.build());
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.giant_size(), 4);
+        assert!((c.giant_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pieces_counted() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        // node 4 isolated
+        let c = weakly_connected_components(&b.build());
+        assert_eq!(c.count(), 3);
+        let mut sizes = c.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 2]);
+        assert_eq!(c.component_of(0), c.component_of(1));
+        assert_ne!(c.component_of(0), c.component_of(4));
+    }
+
+    #[test]
+    fn direction_ignored_for_weak_components() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let c = weakly_connected_components(&b.build());
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn scc_of_cycle_is_single() {
+        let mut b = GraphBuilder::new(3);
+        for i in 0..3 {
+            b.add_edge(i, (i + 1) % 3).unwrap();
+        }
+        let c = strongly_connected_components(&b.build());
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn scc_of_chain_is_singletons() {
+        let mut b = GraphBuilder::new(4);
+        for i in 0..3 {
+            b.add_edge(i, i + 1).unwrap();
+        }
+        let c = strongly_connected_components(&b.build());
+        assert_eq!(c.count(), 4);
+    }
+
+    #[test]
+    fn scc_mixed_structure() {
+        // Cycle {0,1,2} feeding a chain 3 → 4.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 0).unwrap();
+        b.add_edge(2, 3).unwrap();
+        b.add_edge(3, 4).unwrap();
+        let c = strongly_connected_components(&b.build());
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.component_of(0), c.component_of(1));
+        assert_eq!(c.component_of(1), c.component_of(2));
+        assert_ne!(c.component_of(2), c.component_of(3));
+        assert_ne!(c.component_of(3), c.component_of(4));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let n = 200_000;
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(strongly_connected_components(&g).count(), n);
+        assert_eq!(weakly_connected_components(&g).count(), 1);
+    }
+
+    #[test]
+    fn synthetic_network_has_a_giant_component() {
+        use crate::generators::{preferential_attachment, PreferentialAttachmentConfig};
+        let g = preferential_attachment(
+            PreferentialAttachmentConfig { nodes: 2000, edges_per_node: 2, ..Default::default() },
+            5,
+        )
+        .unwrap();
+        let c = weakly_connected_components(&g);
+        assert!(c.giant_fraction() > 0.99, "giant fraction {}", c.giant_fraction());
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = GraphBuilder::new(0).build();
+        let c = weakly_connected_components(&g);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.giant_size(), 0);
+        assert_eq!(c.giant_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the graph crate.
+
+use std::fmt;
+
+/// Errors produced by graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id referenced an out-of-range node.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A generator or algorithm parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenient result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_range() {
+        let e = GraphError::NodeOutOfRange { node: 9, node_count: 5 };
+        assert_eq!(e.to_string(), "node 9 out of range (graph has 5 nodes)");
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = GraphError::InvalidParameter { name: "p", reason: "must be in [0, 1]".into() };
+        assert!(e.to_string().contains("`p`"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync>() {}
+        assert_bounds::<GraphError>();
+    }
+}

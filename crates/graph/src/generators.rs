@@ -1,0 +1,334 @@
+//! Random-graph generators used to synthesize Digg-like follower networks.
+//!
+//! The Digg 2009 dataset is not redistributable, so `dlm-data` builds
+//! synthetic networks with the same qualitative features the paper relies
+//! on: a heavy-tailed degree distribution (hubs make "the majority of users
+//! are 2–5 hops from an initiator" true), substantial reciprocity
+//! (following back), and high clustering (the paper's "social triangles"
+//! motivate the logistic growth term). Barabási–Albert preferential
+//! attachment with a reciprocation probability delivers all three;
+//! Erdős–Rényi and Watts–Strogatz serve as structural baselines and test
+//! fixtures.
+
+use crate::error::{GraphError, Result};
+use crate::graph::{DiGraph, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a directed Erdős–Rényi graph `G(n, p)`: every ordered pair
+/// gains an edge independently with probability `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `p ∉ [0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<DiGraph> {
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::InvalidParameter {
+            name: "p",
+            reason: format!("edge probability must be in [0, 1], got {p}"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && rng.gen::<f64>() < p {
+                b.add_edge(u, v).expect("endpoints in range");
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Configuration for the Digg-like preferential-attachment generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreferentialAttachmentConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Out-edges added per arriving node (each points at an existing node
+    /// chosen preferentially by in-degree).
+    pub edges_per_node: usize,
+    /// Probability that a follow is reciprocated (`v` follows back `u`).
+    pub reciprocation: f64,
+    /// Probability of closing a triangle: after attaching to `v`, also
+    /// attach to a random out-neighbour of `v`. Raises clustering, which the
+    /// paper's growth process (intra-distance influence via "triads")
+    /// depends on.
+    pub triad_closure: f64,
+}
+
+impl Default for PreferentialAttachmentConfig {
+    fn default() -> Self {
+        Self { nodes: 1000, edges_per_node: 4, reciprocation: 0.4, triad_closure: 0.3 }
+    }
+}
+
+/// Generates a Digg-like directed network by preferential attachment with
+/// reciprocation and triad closure. Edge direction `u → v` means "v sees
+/// u's activity" (v follows u): an arriving node follows popular existing
+/// nodes, so the *existing* node gains an out-edge toward the newcomer.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for `nodes < 2`,
+/// `edges_per_node == 0`, or probabilities outside `[0, 1]`.
+pub fn preferential_attachment(
+    config: PreferentialAttachmentConfig,
+    seed: u64,
+) -> Result<DiGraph> {
+    if config.nodes < 2 {
+        return Err(GraphError::InvalidParameter {
+            name: "nodes",
+            reason: format!("need at least 2 nodes, got {}", config.nodes),
+        });
+    }
+    if config.edges_per_node == 0 {
+        return Err(GraphError::InvalidParameter {
+            name: "edges_per_node",
+            reason: "must be positive".into(),
+        });
+    }
+    for (name, p) in [("reciprocation", config.reciprocation), ("triad_closure", config.triad_closure)]
+    {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidParameter {
+                name,
+                reason: format!("probability must be in [0, 1], got {p}"),
+            });
+        }
+    }
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = config.nodes;
+    let m = config.edges_per_node;
+    let mut b = GraphBuilder::new(n);
+
+    // Attachment targets repeated by (in-degree + 1) — the classic BA urn.
+    // We track "popularity" = number of followers an account has.
+    let mut urn: Vec<usize> = vec![0, 1];
+    // Adjacency staging for triad closure lookups: who does `v` follow?
+    let mut follows: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    // Seed with a mutual pair.
+    b.add_mutual_edge(0, 1).expect("seed nodes in range");
+    follows[0].push(1);
+    follows[1].push(0);
+
+    for newcomer in 2..n {
+        let mut chosen: Vec<usize> = Vec::with_capacity(m);
+        for _ in 0..m.min(newcomer) {
+            // Preferential pick, with a uniform fallback to keep the urn
+            // from locking onto the seed pair on tiny graphs.
+            let target = if rng.gen::<f64>() < 0.9 {
+                urn[rng.gen_range(0..urn.len())]
+            } else {
+                rng.gen_range(0..newcomer)
+            };
+            if target != newcomer && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for &celebrity in &chosen {
+            // newcomer follows celebrity: celebrity → newcomer carries info.
+            b.add_edge(celebrity, newcomer).expect("in range");
+            follows[newcomer].push(celebrity);
+            urn.push(celebrity); // celebrity gained a follower
+            if rng.gen::<f64>() < config.reciprocation {
+                b.add_edge(newcomer, celebrity).expect("in range");
+                follows[celebrity].push(newcomer);
+                urn.push(newcomer);
+            }
+            // Triad closure: follow a friend-of-friend.
+            if rng.gen::<f64>() < config.triad_closure && !follows[celebrity].is_empty() {
+                let fof = follows[celebrity][rng.gen_range(0..follows[celebrity].len())];
+                if fof != newcomer {
+                    b.add_edge(fof, newcomer).expect("in range");
+                    follows[newcomer].push(fof);
+                    urn.push(fof);
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice with `k`
+/// neighbours per side, each edge rewired with probability `beta`. Edges
+/// are added mutually (the undirected classic, embedded as a digraph).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k == 0`, `2k ≥ n`, or
+/// `beta ∉ [0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<DiGraph> {
+    if k == 0 || 2 * k >= n {
+        return Err(GraphError::InvalidParameter {
+            name: "k",
+            reason: format!("need 0 < 2k < n, got k = {k}, n = {n}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::InvalidParameter {
+            name: "beta",
+            reason: format!("rewiring probability must be in [0, 1], got {beta}"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for j in 1..=k {
+            let mut v = (u + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform non-self target.
+                loop {
+                    v = rng.gen_range(0..n);
+                    if v != u {
+                        break;
+                    }
+                }
+            }
+            b.add_mutual_edge(u, v).expect("in range");
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::hop_distances;
+
+    #[test]
+    fn erdos_renyi_zero_p_has_no_edges() {
+        let g = erdos_renyi(50, 0.0, 1).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn erdos_renyi_full_p_is_complete() {
+        let n = 20;
+        let g = erdos_renyi(n, 1.0, 1).unwrap();
+        assert_eq!(g.edge_count(), n * (n - 1));
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_near_expectation() {
+        let n = 200;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 42).unwrap();
+        let expected = (n * (n - 1)) as f64 * p;
+        let actual = g.edge_count() as f64;
+        assert!((actual - expected).abs() < 0.15 * expected, "{actual} vs {expected}");
+    }
+
+    #[test]
+    fn erdos_renyi_rejects_bad_probability() {
+        assert!(erdos_renyi(10, 1.5, 0).is_err());
+        assert!(erdos_renyi(10, -0.1, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic_for_seed() {
+        let a = erdos_renyi(60, 0.1, 7).unwrap();
+        let b = erdos_renyi(60, 0.1, 7).unwrap();
+        assert_eq!(a, b);
+        let c = erdos_renyi(60, 0.1, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn preferential_attachment_basic_shape() {
+        let cfg = PreferentialAttachmentConfig { nodes: 500, ..Default::default() };
+        let g = preferential_attachment(cfg, 3).unwrap();
+        assert_eq!(g.node_count(), 500);
+        assert!(g.edge_count() > 500, "too sparse: {}", g.edge_count());
+    }
+
+    #[test]
+    fn preferential_attachment_has_hubs() {
+        // Heavy tail: max out-degree should greatly exceed the mean.
+        let cfg = PreferentialAttachmentConfig { nodes: 2000, ..Default::default() };
+        let g = preferential_attachment(cfg, 11).unwrap();
+        let degrees: Vec<usize> = (0..g.node_count()).map(|u| g.out_degree(u)).collect();
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        let max = *degrees.iter().max().unwrap() as f64;
+        assert!(max > 8.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn preferential_attachment_reciprocity_tracks_parameter() {
+        let lo = preferential_attachment(
+            PreferentialAttachmentConfig { nodes: 800, reciprocation: 0.05, ..Default::default() },
+            5,
+        )
+        .unwrap();
+        let hi = preferential_attachment(
+            PreferentialAttachmentConfig { nodes: 800, reciprocation: 0.8, ..Default::default() },
+            5,
+        )
+        .unwrap();
+        assert!(hi.reciprocity() > lo.reciprocity() + 0.2, "{} vs {}", hi.reciprocity(), lo.reciprocity());
+    }
+
+    #[test]
+    fn preferential_attachment_most_users_within_few_hops() {
+        // The property Figure 2 depends on: from a well-connected node, the
+        // bulk of reachable users sit at hops 2-5.
+        let cfg = PreferentialAttachmentConfig { nodes: 3000, ..Default::default() };
+        let g = preferential_attachment(cfg, 13).unwrap();
+        // Pick the highest out-degree node as a popular "initiator".
+        let initiator = (0..g.node_count()).max_by_key(|&u| g.out_degree(u)).unwrap();
+        let d = hop_distances(&g, initiator);
+        let hist = d.hop_histogram();
+        assert!(hist.len() >= 3, "network too shallow: {hist:?}");
+        let total: usize = hist.iter().sum();
+        let near: usize = hist.iter().take(5).sum();
+        assert!(near as f64 / total as f64 > 0.9, "{hist:?}");
+        // Mode should be an interior hop (2..=5), not hop 1.
+        let mode = hist.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0 + 1;
+        assert!((2..=5).contains(&mode), "mode at hop {mode}: {hist:?}");
+    }
+
+    #[test]
+    fn preferential_attachment_rejects_bad_config() {
+        assert!(preferential_attachment(
+            PreferentialAttachmentConfig { nodes: 1, ..Default::default() },
+            0
+        )
+        .is_err());
+        assert!(preferential_attachment(
+            PreferentialAttachmentConfig { edges_per_node: 0, ..Default::default() },
+            0
+        )
+        .is_err());
+        assert!(preferential_attachment(
+            PreferentialAttachmentConfig { reciprocation: 2.0, ..Default::default() },
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn watts_strogatz_no_rewiring_is_ring_lattice() {
+        let g = watts_strogatz(12, 2, 0.0, 0).unwrap();
+        // Every node connects to its 2 neighbours on each side, mutually.
+        assert_eq!(g.edge_count(), 12 * 4);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && g.has_edge(0, 11) && g.has_edge(0, 10));
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_shrinks_diameter() {
+        let ring = watts_strogatz(400, 2, 0.0, 1).unwrap();
+        let small_world = watts_strogatz(400, 2, 0.2, 1).unwrap();
+        let ecc_ring = hop_distances(&ring, 0).max_distance().unwrap();
+        let ecc_sw = hop_distances(&small_world, 0).max_distance().unwrap();
+        assert!(ecc_sw < ecc_ring, "{ecc_sw} vs {ecc_ring}");
+    }
+
+    #[test]
+    fn watts_strogatz_rejects_bad_parameters() {
+        assert!(watts_strogatz(10, 0, 0.1, 0).is_err());
+        assert!(watts_strogatz(10, 5, 0.1, 0).is_err());
+        assert!(watts_strogatz(10, 2, 1.5, 0).is_err());
+    }
+}

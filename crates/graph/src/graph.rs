@@ -1,0 +1,386 @@
+//! Compact directed graph in CSR (compressed sparse row) form.
+//!
+//! Digg's follower network is directed: an edge `u → v` means *v follows u*,
+//! i.e. information posted or voted by `u` becomes visible to `v`. The
+//! simulator pushes influence along out-edges; BFS distance from an
+//! initiator therefore follows out-edges too.
+
+use crate::error::{GraphError, Result};
+
+/// Node identifier: a dense index in `0..node_count`.
+pub type NodeId = usize;
+
+/// Immutable directed graph in CSR form, built via [`GraphBuilder`].
+///
+/// # Examples
+///
+/// ```
+/// use dlm_graph::graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), dlm_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(0, 2)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 3);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.out_neighbors(0), &[1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiGraph {
+    /// CSR row offsets for out-edges; length `node_count + 1`.
+    out_offsets: Vec<usize>,
+    /// Concatenated out-neighbour lists.
+    out_targets: Vec<NodeId>,
+    /// CSR row offsets for in-edges.
+    in_offsets: Vec<usize>,
+    /// Concatenated in-neighbour lists.
+    in_sources: Vec<NodeId>,
+}
+
+impl DiGraph {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbours of `node` (targets of edges leaving `node`), sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= node_count` (use [`DiGraph::try_out_neighbors`]
+    /// for a fallible variant).
+    #[must_use]
+    pub fn out_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.out_targets[self.out_offsets[node]..self.out_offsets[node + 1]]
+    }
+
+    /// In-neighbours of `node` (sources of edges entering `node`), sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= node_count`.
+    #[must_use]
+    pub fn in_neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.in_sources[self.in_offsets[node]..self.in_offsets[node + 1]]
+    }
+
+    /// Fallible version of [`DiGraph::out_neighbors`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] for an invalid node id.
+    pub fn try_out_neighbors(&self, node: NodeId) -> Result<&[NodeId]> {
+        if node >= self.node_count() {
+            return Err(GraphError::NodeOutOfRange { node, node_count: self.node_count() });
+        }
+        Ok(self.out_neighbors(node))
+    }
+
+    /// Out-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= node_count`.
+    #[must_use]
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_offsets[node + 1] - self.out_offsets[node]
+    }
+
+    /// In-degree of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node >= node_count`.
+    #[must_use]
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_offsets[node + 1] - self.in_offsets[node]
+    }
+
+    /// Returns `true` if the edge `u → v` exists (binary search, O(log d)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= node_count`.
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count())
+            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Fraction of directed edges whose reverse edge also exists
+    /// (reciprocity — high on Digg, where following is often mutual).
+    #[must_use]
+    pub fn reciprocity(&self) -> f64 {
+        if self.edge_count() == 0 {
+            return 0.0;
+        }
+        let mutual = self.edges().filter(|&(u, v)| self.has_edge(v, u)).count();
+        mutual as f64 / self.edge_count() as f64
+    }
+}
+
+/// Incremental builder for [`DiGraph`]. Duplicate edges and self-loops are
+/// silently dropped at [`GraphBuilder::build`] time.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `node_count` nodes.
+    #[must_use]
+    pub fn new(node_count: usize) -> Self {
+        Self { node_count, edges: Vec::new() }
+    }
+
+    /// Number of nodes the built graph will have.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Adds the directed edge `u → v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is out of
+    /// range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self> {
+        if u >= self.node_count {
+            return Err(GraphError::NodeOutOfRange { node: u, node_count: self.node_count });
+        }
+        if v >= self.node_count {
+            return Err(GraphError::NodeOutOfRange { node: v, node_count: self.node_count });
+        }
+        self.edges.push((u, v));
+        Ok(self)
+    }
+
+    /// Adds both `u → v` and `v → u`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if either endpoint is out of
+    /// range.
+    pub fn add_mutual_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self> {
+        self.add_edge(u, v)?;
+        self.add_edge(v, u)?;
+        Ok(self)
+    }
+
+    /// Number of edges staged so far (before dedup).
+    #[must_use]
+    pub fn staged_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalizes the CSR structure, deduplicating edges and removing
+    /// self-loops.
+    #[must_use]
+    pub fn build(mut self) -> DiGraph {
+        self.edges.retain(|&(u, v)| u != v);
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.node_count;
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _) in &self.edges {
+            out_offsets[u + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let out_targets: Vec<NodeId> = self.edges.iter().map(|&(_, v)| v).collect();
+
+        // Build the in-CSR by counting then filling.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v) in &self.edges {
+            in_offsets[v + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![0usize; self.edges.len()];
+        for &(u, v) in &self.edges {
+            in_sources[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Each in-list is filled in sorted source order because edges are
+        // sorted by (u, v); no per-row sort needed.
+
+        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for GraphBuilder {
+    /// Collects edges into a builder sized to the largest endpoint + 1.
+    fn from_iter<I: IntoIterator<Item = (NodeId, NodeId)>>(iter: I) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = iter.into_iter().collect();
+        let node_count = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
+        Self { node_count, edges }
+    }
+}
+
+impl Extend<(NodeId, NodeId)> for GraphBuilder {
+    fn extend<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.node_count = self.node_count.max(u.max(v) + 1);
+            self.edges.push((u, v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> DiGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_match() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn out_and_in_neighbors() {
+        let g = triangle();
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.in_neighbors(0), &[2]);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.in_degree(1), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_deduped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 1).unwrap();
+        assert_eq!(b.staged_edge_count(), 2);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_removed() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 5).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 5, node_count: 2 }
+        ));
+        assert!(b.add_edge(7, 0).is_err());
+    }
+
+    #[test]
+    fn has_edge_works() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn try_out_neighbors_error_path() {
+        let g = triangle();
+        assert!(g.try_out_neighbors(2).is_ok());
+        assert!(g.try_out_neighbors(3).is_err());
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn mutual_edge_adds_both_directions() {
+        let mut b = GraphBuilder::new(2);
+        b.add_mutual_edge(0, 1).unwrap();
+        let g = b.build();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!((g.reciprocity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reciprocity_of_one_way_cycle_is_zero() {
+        let g = triangle();
+        assert_eq!(g.reciprocity(), 0.0);
+    }
+
+    #[test]
+    fn reciprocity_empty_graph() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.reciprocity(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_sizes_graph() {
+        let b: GraphBuilder = vec![(0, 3), (2, 1)].into_iter().collect();
+        let g = b.build();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn extend_grows_node_count() {
+        let mut b = GraphBuilder::new(1);
+        b.extend(vec![(0, 4)]);
+        let g = b.build();
+        assert_eq!(g.node_count(), 5);
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_adjacency() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.out_neighbors(3), &[] as &[usize]);
+        assert_eq!(g.in_neighbors(4), &[] as &[usize]);
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted() {
+        let mut b = GraphBuilder::new(5);
+        for v in [4, 2, 1, 3] {
+            b.add_edge(0, v).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.out_neighbors(0), &[1, 2, 3, 4]);
+    }
+}

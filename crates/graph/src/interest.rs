@@ -1,0 +1,260 @@
+//! Shared-interest distance (the paper's Eq. 1).
+//!
+//! For users `a`, `b` with voted-content sets `C_a`, `C_b`, the paper
+//! defines the shared-interest distance as the Jaccard *distance*
+//!
+//! ```text
+//! d_{a,b} = 1 − |C_a ∩ C_b| / |C_a ∪ C_b|
+//! ```
+//!
+//! so identical histories give distance 0 and disjoint histories give
+//! distance 1. For the spatial model these continuous distances are
+//! bucketed into a small number of groups (the paper uses 5, labelled
+//! 1–5 "to make the distance values consistent with friendship hops").
+
+use std::collections::{HashMap, HashSet};
+
+/// A user's interaction history: the set of content ids (stories) the user
+/// has voted on.
+pub type InterestSet = HashSet<u64>;
+
+/// Jaccard shared-interest distance between two interest sets (Eq. 1).
+///
+/// Returns 1.0 when both sets are empty (no evidence of shared interest —
+/// the conservative choice, treating such pairs as maximally distant).
+///
+/// # Examples
+///
+/// ```
+/// use dlm_graph::interest::jaccard_distance;
+/// use std::collections::HashSet;
+///
+/// let a: HashSet<u64> = [1, 2, 3].into_iter().collect();
+/// let b: HashSet<u64> = [2, 3, 4].into_iter().collect();
+/// // |∩| = 2, |∪| = 4  ⇒  distance = 1 − 2/4 = 0.5.
+/// assert!((jaccard_distance(&a, &b) - 0.5).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn jaccard_distance(a: &InterestSet, b: &InterestSet) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.intersection(b).count();
+    let union = a.len() + b.len() - intersection;
+    1.0 - intersection as f64 / union as f64
+}
+
+/// Accumulates per-user interest sets from `(user, content)` interaction
+/// events and answers pairwise distance queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterestProfile {
+    sets: HashMap<usize, InterestSet>,
+}
+
+impl InterestProfile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `user` interacted with (voted on) `content`.
+    pub fn record(&mut self, user: usize, content: u64) {
+        self.sets.entry(user).or_default().insert(content);
+    }
+
+    /// Number of users with at least one recorded interaction.
+    #[must_use]
+    pub fn user_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The interest set of `user`, if any interaction was recorded.
+    #[must_use]
+    pub fn interests(&self, user: usize) -> Option<&InterestSet> {
+        self.sets.get(&user)
+    }
+
+    /// Eq.-1 distance between two users. Users with no recorded history are
+    /// treated as having an empty set (distance 1 to everyone).
+    #[must_use]
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        static EMPTY: once_empty::Empty = once_empty::Empty;
+        let sa = self.sets.get(&a).unwrap_or(once_empty::get(&EMPTY));
+        let sb = self.sets.get(&b).unwrap_or(once_empty::get(&EMPTY));
+        jaccard_distance(sa, sb)
+    }
+}
+
+/// Tiny helper to hand out a `'static` empty set without allocation.
+mod once_empty {
+    use super::InterestSet;
+    use std::sync::OnceLock;
+
+    #[derive(Debug)]
+    pub struct Empty;
+
+    static SET: OnceLock<InterestSet> = OnceLock::new();
+
+    pub fn get(_: &Empty) -> &'static InterestSet {
+        SET.get_or_init(InterestSet::new)
+    }
+}
+
+/// Buckets a continuous distance in `[0, 1]` into `groups` integer groups
+/// labelled `1..=groups` by equal-width binning — the paper's reduction of
+/// interest distance onto the same 1–5 axis as friendship hops.
+///
+/// Distances ≥ 1 land in the last group; 0 lands in group 1.
+///
+/// # Panics
+///
+/// Panics if `groups == 0`.
+#[must_use]
+pub fn bucket_distance(distance: f64, groups: u32) -> u32 {
+    assert!(groups > 0, "need at least one group");
+    let clamped = distance.clamp(0.0, 1.0);
+    let idx = (clamped * groups as f64).floor() as u32;
+    idx.min(groups - 1) + 1
+}
+
+/// Buckets a set of users by interest distance from a source user into
+/// `groups` groups; element `g − 1` of the result holds the users of group
+/// `g`. The source itself is excluded.
+#[must_use]
+pub fn group_users_by_interest(
+    profile: &InterestProfile,
+    source: usize,
+    users: &[usize],
+    groups: u32,
+) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); groups as usize];
+    for &u in users {
+        if u == source {
+            continue;
+        }
+        let d = profile.distance(source, u);
+        let g = bucket_distance(d, groups);
+        out[(g - 1) as usize].push(u);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u64]) -> InterestSet {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn identical_sets_distance_zero() {
+        let a = set(&[1, 2, 3]);
+        assert_eq!(jaccard_distance(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn disjoint_sets_distance_one() {
+        assert_eq!(jaccard_distance(&set(&[1, 2]), &set(&[3, 4])), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let d = jaccard_distance(&set(&[1, 2, 3]), &set(&[2, 3, 4]));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_are_maximally_distant() {
+        assert_eq!(jaccard_distance(&set(&[]), &set(&[])), 1.0);
+        assert_eq!(jaccard_distance(&set(&[1]), &set(&[])), 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = set(&[1, 2, 3, 4]);
+        let b = set(&[3, 4, 5]);
+        assert_eq!(jaccard_distance(&a, &b), jaccard_distance(&b, &a));
+    }
+
+    #[test]
+    fn profile_records_and_measures() {
+        let mut p = InterestProfile::new();
+        for c in [10, 20, 30] {
+            p.record(1, c);
+        }
+        for c in [20, 30, 40] {
+            p.record(2, c);
+        }
+        assert_eq!(p.user_count(), 2);
+        assert!((p.distance(1, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(p.interests(1).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn profile_unknown_user_is_distant() {
+        let mut p = InterestProfile::new();
+        p.record(1, 10);
+        assert_eq!(p.distance(1, 99), 1.0);
+        assert_eq!(p.distance(98, 99), 1.0);
+        assert!(p.interests(99).is_none());
+    }
+
+    #[test]
+    fn profile_duplicate_records_idempotent() {
+        let mut p = InterestProfile::new();
+        p.record(1, 10);
+        p.record(1, 10);
+        assert_eq!(p.interests(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_distance(0.0, 5), 1);
+        assert_eq!(bucket_distance(0.19, 5), 1);
+        assert_eq!(bucket_distance(0.2, 5), 2);
+        assert_eq!(bucket_distance(0.55, 5), 3);
+        assert_eq!(bucket_distance(0.999, 5), 5);
+        assert_eq!(bucket_distance(1.0, 5), 5);
+    }
+
+    #[test]
+    fn bucket_clamps_out_of_range() {
+        assert_eq!(bucket_distance(-0.5, 5), 1);
+        assert_eq!(bucket_distance(7.0, 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn bucket_zero_groups_panics() {
+        let _ = bucket_distance(0.5, 0);
+    }
+
+    #[test]
+    fn grouping_partitions_users() {
+        let mut p = InterestProfile::new();
+        // Source 0 votes {1..10}.
+        for c in 1..=10 {
+            p.record(0, c);
+        }
+        // User 1 identical (group 1), user 2 half overlap, user 3 disjoint (group 5).
+        for c in 1..=10 {
+            p.record(1, c);
+        }
+        for c in 6..=15 {
+            p.record(2, c);
+        }
+        for c in 100..=110 {
+            p.record(3, c);
+        }
+        let groups = group_users_by_interest(&p, 0, &[0, 1, 2, 3], 5);
+        assert_eq!(groups.len(), 5);
+        assert_eq!(groups[0], vec![1]);
+        // User 2: |∩| = 5, |∪| = 15 ⇒ d = 2/3 ⇒ group 4 of 5.
+        assert_eq!(groups[3], vec![2]);
+        assert_eq!(groups[4], vec![3]);
+        // Source excluded everywhere.
+        assert!(groups.iter().all(|g| !g.contains(&0)));
+    }
+}

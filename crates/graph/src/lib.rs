@@ -1,0 +1,41 @@
+//! # dlm-graph
+//!
+//! Social-graph substrate for the `dlm` workspace: a compact directed graph
+//! (Digg's follower network), BFS friendship-hop distances (the paper's
+//! first distance metric), the Eq.-1 shared-interest Jaccard distance (the
+//! second metric), random-network generators used to synthesize Digg-like
+//! topologies, and the structural metrics (degree distribution, clustering)
+//! that validate those synthetic networks against the paper's assumptions.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlm_graph::bfs::hop_distances;
+//! use dlm_graph::generators::{preferential_attachment, PreferentialAttachmentConfig};
+//!
+//! # fn main() -> Result<(), dlm_graph::GraphError> {
+//! let g = preferential_attachment(
+//!     PreferentialAttachmentConfig { nodes: 500, ..Default::default() },
+//!     42,
+//! )?;
+//! let dist = hop_distances(&g, 0);
+//! // Hop histogram: the data behind the paper's Figure 2.
+//! let hist = dist.hop_histogram();
+//! assert!(!hist.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bfs;
+pub mod components;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod interest;
+pub mod metrics;
+
+pub use error::{GraphError, Result};
+pub use graph::{DiGraph, GraphBuilder, NodeId};

@@ -1,0 +1,197 @@
+//! Structural graph metrics: degree distributions and clustering.
+//!
+//! The paper justifies its logistic *growth process* by the prevalence of
+//! social triangles ("triads") in online social networks — users at the
+//! same distance from a source influencing each other. The clustering
+//! coefficient quantifies exactly that, and the experiment harness reports
+//! it for the synthetic networks to show they are triangle-rich like Digg.
+
+use crate::graph::{DiGraph, NodeId};
+use std::collections::HashSet;
+
+/// Out-degree histogram: index `d` holds the number of nodes with
+/// out-degree `d`.
+#[must_use]
+pub fn out_degree_histogram(graph: &DiGraph) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for u in 0..graph.node_count() {
+        let d = graph.out_degree(u);
+        if d >= hist.len() {
+            hist.resize(d + 1, 0);
+        }
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of `node` over the *undirected* projection:
+/// the fraction of neighbour pairs that are themselves connected (in either
+/// direction). Returns `None` for nodes with fewer than 2 neighbours.
+///
+/// # Panics
+///
+/// Panics if `node` is out of range.
+#[must_use]
+pub fn local_clustering(graph: &DiGraph, node: NodeId) -> Option<f64> {
+    let neighbors: HashSet<NodeId> = graph
+        .out_neighbors(node)
+        .iter()
+        .chain(graph.in_neighbors(node))
+        .copied()
+        .collect();
+    let k = neighbors.len();
+    if k < 2 {
+        return None;
+    }
+    let nb: Vec<NodeId> = neighbors.into_iter().collect();
+    let mut links = 0usize;
+    for (i, &u) in nb.iter().enumerate() {
+        for &v in &nb[i + 1..] {
+            if graph.has_edge(u, v) || graph.has_edge(v, u) {
+                links += 1;
+            }
+        }
+    }
+    Some(2.0 * links as f64 / (k * (k - 1)) as f64)
+}
+
+/// Average local clustering coefficient over nodes where it is defined
+/// (Watts–Strogatz convention). Returns `None` if no node qualifies.
+#[must_use]
+pub fn average_clustering(graph: &DiGraph) -> Option<f64> {
+    let vals: Vec<f64> =
+        (0..graph.node_count()).filter_map(|u| local_clustering(graph, u)).collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeSummary {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Arithmetic mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+}
+
+/// Summarizes out-degrees. Returns `None` for an empty graph.
+#[must_use]
+pub fn out_degree_summary(graph: &DiGraph) -> Option<DegreeSummary> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut degrees: Vec<usize> = (0..n).map(|u| graph.out_degree(u)).collect();
+    degrees.sort_unstable();
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let median = if n % 2 == 1 {
+        degrees[n / 2] as f64
+    } else {
+        (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
+    };
+    Some(DegreeSummary { min: degrees[0], max: degrees[n - 1], mean, median })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// A mutual triangle plus a pendant node 3 attached to node 0.
+    fn clustered() -> DiGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_mutual_edge(0, 1).unwrap();
+        b.add_mutual_edge(1, 2).unwrap();
+        b.add_mutual_edge(0, 2).unwrap();
+        b.add_mutual_edge(0, 3).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn clustering_of_triangle_node_is_one() {
+        let g = clustered();
+        assert_eq!(local_clustering(&g, 1), Some(1.0));
+        assert_eq!(local_clustering(&g, 2), Some(1.0));
+    }
+
+    #[test]
+    fn clustering_counts_missing_links() {
+        let g = clustered();
+        // Node 0 has neighbours {1, 2, 3}; pairs (1,2) linked, (1,3), (2,3) not.
+        assert!((local_clustering(&g, 0).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_undefined_for_pendant() {
+        let g = clustered();
+        assert_eq!(local_clustering(&g, 3), None);
+    }
+
+    #[test]
+    fn clustering_counts_directed_edges_once() {
+        // One-way triangle: still fully clustered in the undirected projection.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 0).unwrap();
+        let g = b.build();
+        assert_eq!(local_clustering(&g, 0), Some(1.0));
+    }
+
+    #[test]
+    fn average_clustering_mixes_defined_nodes() {
+        let g = clustered();
+        // Defined for 0 (1/3), 1 (1), 2 (1); pendant excluded.
+        let avg = average_clustering(&g).unwrap();
+        assert!((avg - (1.0 / 3.0 + 1.0 + 1.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_clustering_none_on_empty() {
+        let g = GraphBuilder::new(2).build();
+        assert_eq!(average_clustering(&g), None);
+    }
+
+    #[test]
+    fn degree_histogram_shape() {
+        let g = clustered();
+        let hist = out_degree_histogram(&g);
+        // Node 0 has out-degree 3; nodes 1, 2 have 2; node 3 has 1.
+        assert_eq!(hist, vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn degree_summary_values() {
+        let g = clustered();
+        let s = out_degree_summary(&g).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.median - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_summary_none_on_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(out_degree_summary(&g).is_none());
+    }
+
+    #[test]
+    fn generated_networks_are_triangle_rich() {
+        use crate::generators::{preferential_attachment, PreferentialAttachmentConfig};
+        let g = preferential_attachment(
+            PreferentialAttachmentConfig { nodes: 600, ..Default::default() },
+            9,
+        )
+        .unwrap();
+        let avg = average_clustering(&g).unwrap();
+        assert!(avg > 0.05, "clustering too low for a Digg-like network: {avg}");
+    }
+}

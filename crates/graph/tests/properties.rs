@@ -1,0 +1,143 @@
+//! Property-based tests for graph structure and algorithms.
+
+use dlm_graph::bfs::{hop_distance_between, hop_distances};
+use dlm_graph::generators::{erdos_renyi, watts_strogatz};
+use dlm_graph::interest::{bucket_distance, jaccard_distance, InterestSet};
+use dlm_graph::GraphBuilder;
+use proptest::prelude::*;
+
+fn edge_list(max_nodes: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..max_nodes).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..4 * n);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_roundtrip_preserves_edges((n, edges) in edge_list(40)) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        // Every non-loop staged edge must exist; no extras beyond dedup.
+        let mut expected: Vec<(usize, usize)> =
+            edges.iter().copied().filter(|&(u, v)| u != v).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let got: Vec<(usize, usize)> = g.edges().collect();
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn in_out_degree_sums_match((n, edges) in edge_list(40)) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        let out_sum: usize = (0..n).map(|u| g.out_degree(u)).sum();
+        let in_sum: usize = (0..n).map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out_sum, g.edge_count());
+        prop_assert_eq!(in_sum, g.edge_count());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_step((n, edges) in edge_list(30)) {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        let d = hop_distances(&g, 0);
+        // Every edge (u, v): dist(v) <= dist(u) + 1 when dist(u) is finite.
+        for (u, v) in g.edges() {
+            if let Some(du) = d.distance(u) {
+                let dv = d.distance(v).expect("neighbour of reachable node is reachable");
+                prop_assert!(dv <= du + 1, "edge ({u},{v}): {du} -> {dv}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_levels_are_exact((n, edges) in edge_list(30)) {
+        // dist(v) = k > 0 implies some in-neighbour at k-1.
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        let d = hop_distances(&g, 0);
+        for v in 0..n {
+            if let Some(k) = d.distance(v) {
+                if k > 0 {
+                    let has_parent = g
+                        .in_neighbors(v)
+                        .iter()
+                        .any(|&u| d.distance(u) == Some(k - 1));
+                    prop_assert!(has_parent, "node {v} at {k} has no parent at {}", k - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_bfs_agrees_with_full_bfs((n, edges) in edge_list(25), target in 0usize..25) {
+        prop_assume!(target < n);
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        let full = hop_distances(&g, 0);
+        prop_assert_eq!(hop_distance_between(&g, 0, target), full.distance(target));
+    }
+
+    #[test]
+    fn jaccard_distance_is_a_metric_on_nonempty_sets(
+        a in prop::collection::hash_set(0u64..30, 1..12),
+        b in prop::collection::hash_set(0u64..30, 1..12),
+        c in prop::collection::hash_set(0u64..30, 1..12),
+    ) {
+        let a: InterestSet = a.into_iter().collect();
+        let b: InterestSet = b.into_iter().collect();
+        let c: InterestSet = c.into_iter().collect();
+        let dab = jaccard_distance(&a, &b);
+        let dba = jaccard_distance(&b, &a);
+        let dac = jaccard_distance(&a, &c);
+        let dcb = jaccard_distance(&c, &b);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert!((dab - dba).abs() < 1e-15, "symmetry");
+        prop_assert_eq!(jaccard_distance(&a, &a.clone()), 0.0, "identity");
+        // Jaccard distance satisfies the triangle inequality.
+        prop_assert!(dab <= dac + dcb + 1e-12, "triangle: {dab} > {dac} + {dcb}");
+    }
+
+    #[test]
+    fn bucket_distance_is_monotone(d1 in 0.0f64..1.0, d2 in 0.0f64..1.0, groups in 1u32..10) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(bucket_distance(lo, groups) <= bucket_distance(hi, groups));
+        let g = bucket_distance(d1, groups);
+        prop_assert!((1..=groups).contains(&g));
+    }
+
+    #[test]
+    fn erdos_renyi_is_seed_deterministic(n in 5usize..40, seed in any::<u64>()) {
+        let a = erdos_renyi(n, 0.2, seed).unwrap();
+        let b = erdos_renyi(n, 0.2, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_budget(n in 8usize..60, beta in 0.0f64..1.0, seed in any::<u64>()) {
+        let k = 2;
+        let g = watts_strogatz(n, k, beta, seed).unwrap();
+        // Mutual insertion of n*k undirected edges, minus collisions from
+        // rewiring onto existing pairs: never more than 2*n*k directed edges.
+        prop_assert!(g.edge_count() <= 2 * n * k);
+        prop_assert!(g.edge_count() >= n); // stays connected-ish, never degenerate
+    }
+}

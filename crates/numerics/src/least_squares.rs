@@ -1,0 +1,345 @@
+//! Nonlinear least squares via Levenberg–Marquardt with a forward-difference
+//! Jacobian.
+//!
+//! `dlm-core::calibrate` uses this to fit the growth-rate family
+//! `r(t) = a·e^{−b(t−1)} + c` (the paper's Eq. 7) to observed per-hour
+//! growth increments, and for general curve fits in the experiments.
+
+use crate::error::{NumericsError, Result};
+use crate::linalg::Matrix;
+
+/// A residual function for least squares: given parameters `p`, writes the
+/// residual vector `r(p)` (length [`LeastSquaresProblem::residual_count`]).
+pub trait LeastSquaresProblem {
+    /// Evaluates the residuals at `p` into `out`.
+    fn residuals(&self, p: &[f64], out: &mut [f64]);
+
+    /// Number of residuals (≥ number of parameters for a well-posed fit).
+    fn residual_count(&self) -> usize;
+
+    /// Number of parameters.
+    fn parameter_count(&self) -> usize;
+}
+
+impl<F> LeastSquaresProblem for (F, usize, usize)
+where
+    F: Fn(&[f64], &mut [f64]),
+{
+    fn residuals(&self, p: &[f64], out: &mut [f64]) {
+        (self.0)(p, out);
+    }
+
+    fn residual_count(&self) -> usize {
+        self.1
+    }
+
+    fn parameter_count(&self) -> usize {
+        self.2
+    }
+}
+
+/// Options for [`levenberg_marquardt`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmConfig {
+    /// Terminate when the squared-residual improvement falls below this.
+    pub f_tol: f64,
+    /// Terminate when the parameter step falls below this.
+    pub x_tol: f64,
+    /// Maximum number of outer iterations.
+    pub max_iter: usize,
+    /// Initial damping parameter λ.
+    pub initial_lambda: f64,
+    /// Relative step for the forward-difference Jacobian.
+    pub jacobian_step: f64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        Self { f_tol: 1e-14, x_tol: 1e-12, max_iter: 200, initial_lambda: 1e-3, jacobian_step: 1e-7 }
+    }
+}
+
+/// Outcome of a Levenberg–Marquardt fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LmFit {
+    /// Fitted parameters.
+    pub parameters: Vec<f64>,
+    /// Final sum of squared residuals.
+    pub sum_squares: f64,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Whether a tolerance (rather than the iteration budget) stopped the fit.
+    pub converged: bool,
+}
+
+/// Fits parameters by Levenberg–Marquardt.
+///
+/// # Errors
+///
+/// * [`NumericsError::DimensionMismatch`] — `p0` length differs from the
+///   problem's parameter count, or fewer residuals than parameters.
+/// * [`NumericsError::NonFiniteValue`] — residuals non-finite at the seed.
+/// * [`NumericsError::SingularMatrix`] — normal equations singular even
+///   after damping escalation.
+///
+/// # Examples
+///
+/// ```
+/// use dlm_numerics::least_squares::{levenberg_marquardt, LmConfig};
+///
+/// # fn main() -> Result<(), dlm_numerics::NumericsError> {
+/// // Fit y = a·x + b to noiseless data; exact answer (2, -1).
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [-1.0, 1.0, 3.0, 5.0];
+/// let problem = (
+///     move |p: &[f64], out: &mut [f64]| {
+///         for i in 0..4 {
+///             out[i] = p[0] * xs[i] + p[1] - ys[i];
+///         }
+///     },
+///     4usize,
+///     2usize,
+/// );
+/// let fit = levenberg_marquardt(&problem, &[0.0, 0.0], LmConfig::default())?;
+/// assert!((fit.parameters[0] - 2.0).abs() < 1e-8);
+/// assert!((fit.parameters[1] + 1.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn levenberg_marquardt<P: LeastSquaresProblem + ?Sized>(
+    problem: &P,
+    p0: &[f64],
+    cfg: LmConfig,
+) -> Result<LmFit> {
+    let n = problem.parameter_count();
+    let m = problem.residual_count();
+    if p0.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("{n} parameters"),
+            actual: p0.len(),
+        });
+    }
+    if m < n {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("at least {n} residuals"),
+            actual: m,
+        });
+    }
+
+    let mut p = p0.to_vec();
+    let mut r = vec![0.0; m];
+    problem.residuals(&p, &mut r);
+    if r.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::NonFiniteValue { context: "residuals at seed".into() });
+    }
+    let mut ss: f64 = r.iter().map(|v| v * v).sum();
+    let mut lambda = cfg.initial_lambda;
+    let mut converged = false;
+    let mut iterations = 0usize;
+
+    let mut r_trial = vec![0.0; m];
+
+    for iter in 0..cfg.max_iter {
+        iterations = iter + 1;
+
+        // Forward-difference Jacobian J (m × n).
+        let mut jac = Matrix::zeros(m, n);
+        let mut r_pert = vec![0.0; m];
+        for j in 0..n {
+            let h = cfg.jacobian_step * p[j].abs().max(1.0);
+            let mut pp = p.clone();
+            pp[j] += h;
+            problem.residuals(&pp, &mut r_pert);
+            for i in 0..m {
+                jac[(i, j)] = (r_pert[i] - r[i]) / h;
+            }
+        }
+
+        // Normal equations: (JᵀJ + λ·diag(JᵀJ))·δ = −Jᵀr.
+        let jt = jac.transpose();
+        let jtj = jt.mul(&jac)?;
+        let jtr = jt.mul_vec(&r)?;
+
+        let mut improved = false;
+        for _ in 0..20 {
+            let mut a = jtj.clone();
+            for dgi in 0..n {
+                let d = jtj[(dgi, dgi)];
+                a[(dgi, dgi)] = d + lambda * d.max(1e-12);
+            }
+            let delta = match a.solve(&jtr.iter().map(|v| -v).collect::<Vec<_>>()) {
+                Ok(d) => d,
+                Err(NumericsError::SingularMatrix { .. }) => {
+                    lambda *= 10.0;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let p_trial: Vec<f64> = p.iter().zip(&delta).map(|(a, b)| a + b).collect();
+            problem.residuals(&p_trial, &mut r_trial);
+            let ss_trial: f64 = r_trial.iter().map(|v| v * v).sum();
+            if ss_trial.is_finite() && ss_trial < ss {
+                let step_norm =
+                    delta.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let improvement = ss - ss_trial;
+                p = p_trial;
+                r.copy_from_slice(&r_trial);
+                ss = ss_trial;
+                lambda = (lambda * 0.3).max(1e-12);
+                improved = true;
+                if improvement < cfg.f_tol || step_norm < cfg.x_tol {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= 10.0;
+            if lambda > 1e12 {
+                break;
+            }
+        }
+
+        if converged {
+            break;
+        }
+        if !improved {
+            // Damping saturated: we are at a (local) minimum.
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(LmFit { parameters: p, sum_squares: ss, iterations, converged })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_linear_model_exactly() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x - 2.0).collect();
+        let m = xs.len();
+        let problem = (
+            move |p: &[f64], out: &mut [f64]| {
+                for i in 0..m {
+                    out[i] = p[0] * xs[i] + p[1] - ys[i];
+                }
+            },
+            m,
+            2usize,
+        );
+        let fit = levenberg_marquardt(&problem, &[1.0, 0.0], LmConfig::default()).unwrap();
+        assert!(fit.converged);
+        assert!((fit.parameters[0] - 3.5).abs() < 1e-8);
+        assert!((fit.parameters[1] + 2.0).abs() < 1e-8);
+        assert!(fit.sum_squares < 1e-14);
+    }
+
+    #[test]
+    fn fits_paper_growth_rate_family() {
+        // Recover r(t) = a·e^{−b(t−1)} + c with the paper's constants
+        // a = 1.4, b = 1.5, c = 0.25 from noiseless samples (Fig. 6 curve).
+        let ts: Vec<f64> = (0..40).map(|i| 1.0 + i as f64 * 0.125).collect();
+        let ys: Vec<f64> = ts.iter().map(|t| 1.4 * (-1.5 * (t - 1.0)).exp() + 0.25).collect();
+        let m = ts.len();
+        let problem = (
+            move |p: &[f64], out: &mut [f64]| {
+                for i in 0..m {
+                    out[i] = p[0] * (-p[1] * (ts[i] - 1.0)).exp() + p[2] - ys[i];
+                }
+            },
+            m,
+            3usize,
+        );
+        let fit = levenberg_marquardt(&problem, &[1.0, 1.0, 0.0], LmConfig::default()).unwrap();
+        assert!((fit.parameters[0] - 1.4).abs() < 1e-5, "{:?}", fit.parameters);
+        assert!((fit.parameters[1] - 1.5).abs() < 1e-5);
+        assert!((fit.parameters[2] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fits_logistic_curve() {
+        // Recover (r, K) of the logistic closed form from samples.
+        let y0 = 2.0;
+        let ts: Vec<f64> = (0..30).map(|i| i as f64 * 0.5).collect();
+        let truth = |t: f64| 25.0 / (1.0 + (25.0 / y0 - 1.0) * (-0.8 * t).exp());
+        let ys: Vec<f64> = ts.iter().map(|&t| truth(t)).collect();
+        let m = ts.len();
+        let problem = (
+            move |p: &[f64], out: &mut [f64]| {
+                let (r, k) = (p[0], p[1]);
+                for i in 0..m {
+                    let pred = k / (1.0 + (k / y0 - 1.0) * (-r * ts[i]).exp());
+                    out[i] = pred - ys[i];
+                }
+            },
+            m,
+            2usize,
+        );
+        let fit = levenberg_marquardt(&problem, &[0.3, 10.0], LmConfig::default()).unwrap();
+        assert!((fit.parameters[0] - 0.8).abs() < 1e-5);
+        assert!((fit.parameters[1] - 25.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn handles_noisy_data_gracefully() {
+        // Deterministic "noise" so the test is reproducible.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.2).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 1.0 + 0.01 * ((i * 2654435761) % 100) as f64 / 100.0)
+            .collect();
+        let m = xs.len();
+        let problem = (
+            move |p: &[f64], out: &mut [f64]| {
+                for i in 0..m {
+                    out[i] = p[0] * xs[i] + p[1] - ys[i];
+                }
+            },
+            m,
+            2usize,
+        );
+        let fit = levenberg_marquardt(&problem, &[0.0, 0.0], LmConfig::default()).unwrap();
+        assert!((fit.parameters[0] - 2.0).abs() < 0.01);
+        assert!((fit.parameters[1] - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn rejects_wrong_parameter_length() {
+        let problem = (|_p: &[f64], out: &mut [f64]| out[0] = 0.0, 1usize, 1usize);
+        assert!(levenberg_marquardt(&problem, &[1.0, 2.0], LmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_underdetermined_problem() {
+        let problem = (|_p: &[f64], out: &mut [f64]| out[0] = 0.0, 1usize, 2usize);
+        assert!(levenberg_marquardt(&problem, &[1.0, 2.0], LmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_finite_seed_residuals() {
+        let problem = (|_p: &[f64], out: &mut [f64]| out[0] = f64::NAN, 1usize, 1usize);
+        let err = levenberg_marquardt(&problem, &[1.0], LmConfig::default()).unwrap_err();
+        assert!(matches!(err, NumericsError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn already_converged_seed_terminates_quickly() {
+        let xs = [0.0, 1.0, 2.0];
+        let problem = (
+            move |p: &[f64], out: &mut [f64]| {
+                for i in 0..3 {
+                    out[i] = p[0] * xs[i] - 2.0 * xs[i];
+                }
+            },
+            3usize,
+            1usize,
+        );
+        let fit = levenberg_marquardt(&problem, &[2.0], LmConfig::default()).unwrap();
+        assert!(fit.converged);
+        assert!(fit.sum_squares < 1e-20);
+        assert!(fit.iterations <= 3);
+    }
+}

@@ -1,0 +1,432 @@
+//! Small dense linear algebra: row-major matrices, LU factorization with
+//! partial pivoting, and solves.
+//!
+//! Used by the Levenberg–Marquardt fitter in [`crate::least_squares`] for
+//! its (tiny) normal-equation systems, and by tests as a reference solver
+//! for the banded routines in [`crate::tridiag`].
+
+use crate::error::{NumericsError, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use dlm_numerics::linalg::Matrix;
+///
+/// # fn main() -> Result<(), dlm_numerics::NumericsError> {
+/// let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]])?;
+/// let x = a.solve(&[1.0, 2.0])?;
+/// assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+/// assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if rows are empty or
+    /// ragged (different lengths).
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(NumericsError::DimensionMismatch {
+                expected: "at least one non-empty row".into(),
+                actual: 0,
+            });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(NumericsError::DimensionMismatch {
+                    expected: format!("row {i} of length {cols}"),
+                    actual: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying row-major data.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix–vector product `A · x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("vector length {}", self.cols),
+                actual: x.len(),
+            });
+        }
+        let y: Vec<f64> = self
+            .data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect();
+        Ok(y)
+    }
+
+    /// Matrix–matrix product `A · B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `self.cols != b.rows`.
+    pub fn mul(&self, b: &Matrix) -> Result<Matrix> {
+        if self.cols != b.rows {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("rhs with {} rows", self.cols),
+                actual: b.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    out[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose of the matrix.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::DimensionMismatch`] if the matrix is not square.
+    /// * [`NumericsError::SingularMatrix`] if a pivot is exactly zero.
+    pub fn lu(&self) -> Result<Lu> {
+        if self.rows != self.cols {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("square matrix ({} rows)", self.rows),
+                actual: self.cols,
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0f64;
+
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let v = lu[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for j in k + 1..n {
+                    let delta = m * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solves `A · x = b` via LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Matrix::lu`] and
+    /// [`NumericsError::DimensionMismatch`] when `b.len() != rows`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.lu()?.solve(b)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>12.6}", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of an LU factorization with partial pivoting, `P·A = L·U`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    lu: Matrix,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl Lu {
+    /// Solves `A · x = b` using the stored factorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b.len()` differs from
+    /// the factored dimension.
+    #[allow(clippy::needless_range_loop)] // triangular solves read x[j] for j < i
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                expected: format!("rhs length {n}"),
+                actual: b.len(),
+            });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factored matrix.
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut det = self.sign;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = vec![1.0, -2.0, 3.5, 0.0];
+        assert_eq!(a.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_known_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = a.solve(&[3.0, 5.0]).unwrap();
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(a.solve(&[1.0, 2.0]).unwrap_err(), NumericsError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn non_square_lu_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(a.lu().unwrap_err(), NumericsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn determinant_of_triangular() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0, 0.0], &[0.0, 3.0, 5.0], &[0.0, 0.0, 4.0]]).unwrap();
+        assert!((a.lu().unwrap().det() - 24.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_sign_flips_on_swap() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!((a.lu().unwrap().det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_and_solve_roundtrip() {
+        let a = Matrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[3.0, 6.0, -4.0],
+            &[2.0, 1.0, 8.0],
+        ])
+        .unwrap();
+        let x_true = vec![0.5, -1.25, 2.0];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transpose_twice_is_identity_op() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let r1 = [1.0, 2.0];
+        let r2 = [1.0];
+        assert!(Matrix::from_rows(&[&r1, &r2]).is_err());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+
+    #[test]
+    fn larger_system_small_residual() {
+        let n = 40;
+        let mut seed = 7u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
+        };
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 10.0; // keep it comfortably nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = a.solve(&b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        let res = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        assert!(res < 1e-10, "residual {res}");
+    }
+}

@@ -1,0 +1,458 @@
+//! Derivative-free minimization: Nelder–Mead simplex, golden-section line
+//! search, and grid search.
+//!
+//! `dlm-core::calibrate` fits the DL parameters (diffusion rate `d`, growth
+//! parameters, carrying capacity `K`) by minimizing prediction error over an
+//! early observation window — an objective that involves a full PDE solve
+//! and therefore has no cheap gradient. Nelder–Mead is the natural tool
+//! (and is also what MATLAB's `fminsearch`, the authors' likely companion,
+//! implements).
+
+use crate::error::{NumericsError, Result};
+
+/// Result of a minimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Location of the best point found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub value: f64,
+    /// Number of objective evaluations consumed.
+    pub evaluations: usize,
+    /// Whether the tolerance criterion (rather than the budget) stopped us.
+    pub converged: bool,
+}
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NelderMeadConfig {
+    /// Terminate when the simplex's objective spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex diameter falls below this.
+    pub x_tol: f64,
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Relative size of the initial simplex around the seed point.
+    pub initial_scale: f64,
+}
+
+impl Default for NelderMeadConfig {
+    fn default() -> Self {
+        Self { f_tol: 1e-10, x_tol: 1e-10, max_evals: 20_000, initial_scale: 0.1 }
+    }
+}
+
+/// Minimizes `f` with the Nelder–Mead downhill simplex method.
+///
+/// `x0` seeds the simplex; coordinates equal to zero get an absolute
+/// perturbation. Non-finite objective values are treated as `+∞`, which lets
+/// callers impose hard constraints by returning `f64::INFINITY` outside the
+/// feasible region.
+///
+/// # Errors
+///
+/// * [`NumericsError::DimensionMismatch`] — empty `x0`.
+/// * [`NumericsError::InvalidParameter`] — non-finite seed or bad config.
+///
+/// # Examples
+///
+/// ```
+/// use dlm_numerics::optimize::{nelder_mead, NelderMeadConfig};
+///
+/// # fn main() -> Result<(), dlm_numerics::NumericsError> {
+/// // Rosenbrock's banana function, minimum at (1, 1).
+/// let rosen = |p: &[f64]| {
+///     let (x, y) = (p[0], p[1]);
+///     (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+/// };
+/// let m = nelder_mead(rosen, &[-1.2, 1.0], NelderMeadConfig::default())?;
+/// assert!((m.x[0] - 1.0).abs() < 1e-4 && (m.x[1] - 1.0).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    x0: &[f64],
+    cfg: NelderMeadConfig,
+) -> Result<Minimum> {
+    let n = x0.len();
+    if n == 0 {
+        return Err(NumericsError::DimensionMismatch {
+            expected: "at least one dimension".into(),
+            actual: 0,
+        });
+    }
+    if x0.iter().any(|v| !v.is_finite()) {
+        return Err(NumericsError::InvalidParameter {
+            name: "x0",
+            reason: "seed must be finite".into(),
+        });
+    }
+    if cfg.max_evals == 0 {
+        return Err(NumericsError::InvalidParameter {
+            name: "max_evals",
+            reason: "must be positive".into(),
+        });
+    }
+
+    // Standard coefficients.
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let mut evals = 0usize;
+    let mut eval = |p: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(p);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    // Build the initial simplex: x0 plus n perturbed vertices.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        let delta = if v[i] != 0.0 { cfg.initial_scale * v[i].abs() } else { cfg.initial_scale };
+        v[i] += delta;
+        simplex.push(v);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|v| eval(v, &mut evals)).collect();
+
+    let mut converged = false;
+    while evals < cfg.max_evals {
+        // Order vertices by objective.
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        // Convergence tests.
+        let f_spread = values[worst] - values[best];
+        let x_spread = (0..n)
+            .map(|i| {
+                simplex
+                    .iter()
+                    .map(|v| v[i])
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| (lo.min(x), hi.max(x)))
+            })
+            .map(|(lo, hi)| hi - lo)
+            .fold(0.0, f64::max);
+        // fminsearch-style criterion: require BOTH spreads small. Using
+        // "either" stops prematurely whenever two vertices tie in objective.
+        if f_spread.is_finite() && f_spread <= cfg.f_tol && x_spread <= cfg.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (idx, v) in simplex.iter().enumerate() {
+            if idx == worst {
+                continue;
+            }
+            for i in 0..n {
+                centroid[i] += v[i] / n as f64;
+            }
+        }
+
+        // Reflection.
+        let reflected: Vec<f64> =
+            (0..n).map(|i| centroid[i] + ALPHA * (centroid[i] - simplex[worst][i])).collect();
+        let f_reflected = eval(&reflected, &mut evals);
+
+        if f_reflected < values[best] {
+            // Expansion.
+            let expanded: Vec<f64> =
+                (0..n).map(|i| centroid[i] + GAMMA * (reflected[i] - centroid[i])).collect();
+            let f_expanded = eval(&expanded, &mut evals);
+            if f_expanded < f_reflected {
+                simplex[worst] = expanded;
+                values[worst] = f_expanded;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            }
+        } else if f_reflected < values[second_worst] {
+            simplex[worst] = reflected;
+            values[worst] = f_reflected;
+        } else {
+            // Contraction (outside if the reflection improved on the worst).
+            let (base, f_base) = if f_reflected < values[worst] {
+                (&reflected, f_reflected)
+            } else {
+                (&simplex[worst].clone(), values[worst])
+            };
+            let contracted: Vec<f64> =
+                (0..n).map(|i| centroid[i] + RHO * (base[i] - centroid[i])).collect();
+            let f_contracted = eval(&contracted, &mut evals);
+            if f_contracted < f_base {
+                simplex[worst] = contracted;
+                values[worst] = f_contracted;
+            } else {
+                // Shrink toward the best vertex.
+                let best_v = simplex[best].clone();
+                for (idx, v) in simplex.iter_mut().enumerate() {
+                    if idx == best {
+                        continue;
+                    }
+                    for i in 0..n {
+                        v[i] = best_v[i] + SIGMA * (v[i] - best_v[i]);
+                    }
+                }
+                for idx in 0..=n {
+                    if idx != best {
+                        values[idx] = eval(&simplex[idx].clone(), &mut evals);
+                    }
+                }
+            }
+        }
+    }
+
+    let (best_idx, _) = values
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("simplex nonempty");
+    Ok(Minimum { x: simplex[best_idx].clone(), value: values[best_idx], evaluations: evals, converged })
+}
+
+/// Minimizes a unimodal scalar function on `[lo, hi]` by golden-section
+/// search.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidParameter`] if the interval is empty or
+/// not finite.
+pub fn golden_section<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    x_tol: f64,
+) -> Result<(f64, f64)> {
+    if !(lo.is_finite() && hi.is_finite()) || hi <= lo {
+        return Err(NumericsError::InvalidParameter {
+            name: "interval",
+            reason: format!("need finite lo < hi, got [{lo}, {hi}]"),
+        });
+    }
+    let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > x_tol {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    let v = f(x);
+    Ok((x, v))
+}
+
+/// Exhaustive grid search over axis-aligned parameter ranges.
+///
+/// `ranges` gives `(lo, hi)` per dimension; `points_per_dim` grid points are
+/// placed on each axis (inclusive of both ends). Returns the best grid point.
+/// Intended for coarse seeding of [`nelder_mead`].
+///
+/// # Errors
+///
+/// * [`NumericsError::DimensionMismatch`] — empty `ranges`.
+/// * [`NumericsError::InvalidParameter`] — `points_per_dim < 2` or a bad
+///   range.
+pub fn grid_search<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    ranges: &[(f64, f64)],
+    points_per_dim: usize,
+) -> Result<Minimum> {
+    if ranges.is_empty() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: "at least one range".into(),
+            actual: 0,
+        });
+    }
+    if points_per_dim < 2 {
+        return Err(NumericsError::InvalidParameter {
+            name: "points_per_dim",
+            reason: "need at least 2 points per dimension".into(),
+        });
+    }
+    for &(lo, hi) in ranges {
+        if !(lo.is_finite() && hi.is_finite()) || hi < lo {
+            return Err(NumericsError::InvalidParameter {
+                name: "ranges",
+                reason: format!("bad range [{lo}, {hi}]"),
+            });
+        }
+    }
+
+    let dims = ranges.len();
+    let mut idx = vec![0usize; dims];
+    let mut best_x = vec![0.0; dims];
+    let mut best_v = f64::INFINITY;
+    let mut evals = 0usize;
+    let total = points_per_dim.pow(dims as u32);
+
+    for _ in 0..total {
+        let x: Vec<f64> = (0..dims)
+            .map(|i| {
+                let (lo, hi) = ranges[i];
+                lo + (hi - lo) * idx[i] as f64 / (points_per_dim - 1) as f64
+            })
+            .collect();
+        let v = f(&x);
+        evals += 1;
+        if v.is_finite() && v < best_v {
+            best_v = v;
+            best_x = x;
+        }
+        // Odometer increment.
+        for digit in idx.iter_mut() {
+            *digit += 1;
+            if *digit < points_per_dim {
+                break;
+            }
+            *digit = 0;
+        }
+    }
+    Ok(Minimum { x: best_x, value: best_v, evaluations: evals, converged: true })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nelder_mead_quadratic_bowl() {
+        let m = nelder_mead(
+            |p| (p[0] - 3.0).powi(2) + (p[1] + 1.0).powi(2),
+            &[0.0, 0.0],
+            NelderMeadConfig::default(),
+        )
+        .unwrap();
+        assert!(m.converged);
+        assert!((m.x[0] - 3.0).abs() < 1e-5);
+        assert!((m.x[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock() {
+        let m = nelder_mead(
+            |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
+            &[-1.2, 1.0],
+            NelderMeadConfig::default(),
+        )
+        .unwrap();
+        assert!((m.x[0] - 1.0).abs() < 1e-4, "{:?}", m.x);
+        assert!((m.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nelder_mead_1d() {
+        let m = nelder_mead(|p| (p[0] - 0.5).powi(2) + 2.0, &[10.0], NelderMeadConfig::default())
+            .unwrap();
+        assert!((m.x[0] - 0.5).abs() < 1e-4);
+        assert!((m.value - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn nelder_mead_respects_infinity_constraints() {
+        // Constrain x >= 1 by returning infinity below it; minimum of (x-0)² then sits at 1.
+        let m = nelder_mead(
+            |p| if p[0] < 1.0 { f64::INFINITY } else { p[0] * p[0] },
+            &[3.0],
+            NelderMeadConfig::default(),
+        )
+        .unwrap();
+        assert!((m.x[0] - 1.0).abs() < 1e-4, "{:?}", m.x);
+    }
+
+    #[test]
+    fn nelder_mead_budget_is_respected() {
+        let cfg = NelderMeadConfig { max_evals: 40, f_tol: 0.0, x_tol: 0.0, ..NelderMeadConfig::default() };
+        let m = nelder_mead(
+            |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
+            &[-1.2, 1.0],
+            cfg,
+        )
+        .unwrap();
+        assert!(!m.converged);
+        assert!(m.evaluations <= 45); // small overshoot within one iteration allowed
+    }
+
+    #[test]
+    fn nelder_mead_rejects_empty_seed() {
+        assert!(nelder_mead(|_| 0.0, &[], NelderMeadConfig::default()).is_err());
+    }
+
+    #[test]
+    fn nelder_mead_rejects_nan_seed() {
+        assert!(nelder_mead(|p| p[0], &[f64::NAN], NelderMeadConfig::default()).is_err());
+    }
+
+    #[test]
+    fn golden_section_parabola() {
+        let (x, v) = golden_section(|x| (x - 2.0).powi(2) + 1.0, -10.0, 10.0, 1e-10).unwrap();
+        // Golden section cannot localize a quadratic minimum below ~sqrt(eps).
+        assert!((x - 2.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_asymmetric_function() {
+        let (x, _) = golden_section(|x: f64| x.exp() - 2.0 * x, 0.0, 2.0, 1e-10).unwrap();
+        assert!((x - (2.0f64).ln()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn golden_section_rejects_bad_interval() {
+        assert!(golden_section(|x| x, 1.0, 1.0, 1e-8).is_err());
+    }
+
+    #[test]
+    fn grid_search_finds_best_cell() {
+        let m = grid_search(
+            |p| (p[0] - 0.5).powi(2) + (p[1] - 0.25).powi(2),
+            &[(0.0, 1.0), (0.0, 1.0)],
+            5,
+        )
+        .unwrap();
+        assert_eq!(m.evaluations, 25);
+        assert!((m.x[0] - 0.5).abs() < 1e-12); // 0.5 is exactly on the 5-point grid
+        assert!((m.x[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_search_then_nelder_mead_refinement() {
+        let f = |p: &[f64]| (p[0] - 0.013).powi(2) + (p[1] - 24.7).powi(2);
+        let coarse = grid_search(f, &[(0.0, 0.1), (0.0, 100.0)], 6).unwrap();
+        let fine = nelder_mead(f, &coarse.x, NelderMeadConfig::default()).unwrap();
+        // Nelder-Mead x-precision scales like sqrt(f_tol) on quadratics.
+        assert!((fine.x[0] - 0.013).abs() < 1e-4);
+        assert!((fine.x[1] - 24.7).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grid_search_rejects_degenerate() {
+        assert!(grid_search(|_| 0.0, &[], 3).is_err());
+        assert!(grid_search(|_| 0.0, &[(0.0, 1.0)], 1).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Numerical integration of sampled and functional data.
+//!
+//! Used by the experiments to compute aggregate influence mass
+//! `∫ I(x, t) dx` across distances and to normalize density profiles.
+
+use crate::error::{NumericsError, Result};
+
+/// Composite trapezoid rule over the sampled points `(x_i, y_i)`.
+///
+/// The abscissae need not be evenly spaced but must be strictly increasing.
+///
+/// # Errors
+///
+/// * [`NumericsError::DimensionMismatch`] — fewer than 2 samples or
+///   mismatched lengths.
+/// * [`NumericsError::UnsortedKnots`] — `x` not strictly increasing.
+///
+/// # Examples
+///
+/// ```
+/// use dlm_numerics::quadrature::trapezoid;
+///
+/// # fn main() -> Result<(), dlm_numerics::NumericsError> {
+/// let x = [0.0, 1.0, 2.0];
+/// let y = [0.0, 1.0, 2.0];
+/// assert!((trapezoid(&x, &y)? - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn trapezoid(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() < 2 {
+        return Err(NumericsError::DimensionMismatch {
+            expected: "at least 2 samples".into(),
+            actual: x.len(),
+        });
+    }
+    if x.len() != y.len() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("y length {}", x.len()),
+            actual: y.len(),
+        });
+    }
+    let mut acc = 0.0;
+    for i in 0..x.len() - 1 {
+        let h = x[i + 1] - x[i];
+        if h <= 0.0 {
+            return Err(NumericsError::UnsortedKnots { index: i });
+        }
+        acc += 0.5 * h * (y[i] + y[i + 1]);
+    }
+    Ok(acc)
+}
+
+/// Composite Simpson rule for a function `f` on `[a, b]` with `intervals`
+/// subintervals (rounded up to even).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidParameter`] for an empty/invalid interval
+/// or `intervals == 0`.
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, intervals: usize) -> Result<f64> {
+    if !(a.is_finite() && b.is_finite()) || b <= a {
+        return Err(NumericsError::InvalidParameter {
+            name: "interval",
+            reason: format!("need finite a < b, got [{a}, {b}]"),
+        });
+    }
+    if intervals == 0 {
+        return Err(NumericsError::InvalidParameter {
+            name: "intervals",
+            reason: "must be positive".into(),
+        });
+    }
+    let n = if intervals.is_multiple_of(2) { intervals } else { intervals + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let x = a + i as f64 * h;
+        acc += if i % 2 == 1 { 4.0 } else { 2.0 } * f(x);
+    }
+    Ok(acc * h / 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_linear_exact() {
+        let x = [0.0, 0.5, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        // ∫₀³ (2x+1) dx = 9 + 3 = 12.
+        assert!((trapezoid(&x, &y).unwrap() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_rejects_short_input() {
+        assert!(trapezoid(&[0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn trapezoid_rejects_unsorted() {
+        let err = trapezoid(&[0.0, 2.0, 1.0], &[0.0, 0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, NumericsError::UnsortedKnots { index: 1 }));
+    }
+
+    #[test]
+    fn trapezoid_rejects_mismatched_lengths() {
+        assert!(trapezoid(&[0.0, 1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn simpson_cubic_exact() {
+        // Simpson is exact for cubics: ∫₀² x³ dx = 4.
+        let v = simpson(|x| x * x * x, 0.0, 2.0, 2).unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_sine_high_accuracy() {
+        let v = simpson(|x| x.sin(), 0.0, std::f64::consts::PI, 100).unwrap();
+        assert!((v - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn simpson_rounds_odd_interval_count_up() {
+        let v = simpson(|x| x, 0.0, 1.0, 3).unwrap();
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_rejects_bad_interval() {
+        assert!(simpson(|x| x, 1.0, 0.0, 10).is_err());
+        assert!(simpson(|x| x, 0.0, 1.0, 0).is_err());
+    }
+}

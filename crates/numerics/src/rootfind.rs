@@ -1,0 +1,295 @@
+//! Scalar root finding: bisection, Newton, and Brent's method.
+//!
+//! Used by `dlm-core` for inverting the logistic closed form (saturation
+//! times) and by the calibration code for one-dimensional sub-problems.
+
+use crate::error::{NumericsError, Result};
+
+/// Stopping tolerances for the scalar root finders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootConfig {
+    /// Absolute tolerance on the root location.
+    pub x_tol: f64,
+    /// Absolute tolerance on the function value.
+    pub f_tol: f64,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+}
+
+impl Default for RootConfig {
+    fn default() -> Self {
+        Self { x_tol: 1e-12, f_tol: 1e-12, max_iter: 200 }
+    }
+}
+
+fn check_bracket(f_lo: f64, f_hi: f64) -> Result<()> {
+    if !(f_lo.is_finite() && f_hi.is_finite()) {
+        return Err(NumericsError::NonFiniteValue { context: "bracket endpoints".into() });
+    }
+    if f_lo * f_hi > 0.0 {
+        return Err(NumericsError::InvalidBracket { f_lo, f_hi });
+    }
+    Ok(())
+}
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Robust (always converges on a valid bracket) but linear. ~60 iterations
+/// resolve any double-precision bracket.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidBracket`] — `f(lo)` and `f(hi)` have the same
+///   sign.
+/// * [`NumericsError::NoConvergence`] — iteration budget exhausted (only
+///   possible with extreme tolerances).
+///
+/// # Examples
+///
+/// ```
+/// use dlm_numerics::rootfind::{bisect, RootConfig};
+///
+/// # fn main() -> Result<(), dlm_numerics::NumericsError> {
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, RootConfig::default())?;
+/// assert!((root - 2.0f64.sqrt()).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisect<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, cfg: RootConfig) -> Result<f64> {
+    let (mut lo, mut hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    check_bracket(f_lo, f_hi)?;
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    for _ in 0..cfg.max_iter {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if f_mid.abs() <= cfg.f_tol || (hi - lo) * 0.5 <= cfg.x_tol {
+            return Ok(mid);
+        }
+        if f_lo * f_mid < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            f_lo = f_mid;
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        algorithm: "bisection",
+        iterations: cfg.max_iter,
+        residual: hi - lo,
+    })
+}
+
+/// Finds a root of `f` by Newton's method from the initial guess `x0`,
+/// given the derivative `df`.
+///
+/// Quadratic convergence near simple roots; may diverge from poor guesses —
+/// use [`brent`] when a bracket is available.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidParameter`] — derivative vanished at an iterate.
+/// * [`NumericsError::NoConvergence`] — iteration budget exhausted.
+/// * [`NumericsError::NonFiniteValue`] — iterate left the finite domain.
+pub fn newton<F, D>(f: F, df: D, x0: f64, cfg: RootConfig) -> Result<f64>
+where
+    F: Fn(f64) -> f64,
+    D: Fn(f64) -> f64,
+{
+    let mut x = x0;
+    for _ in 0..cfg.max_iter {
+        let fx = f(x);
+        if !fx.is_finite() {
+            return Err(NumericsError::NonFiniteValue { context: format!("newton f({x})") });
+        }
+        if fx.abs() <= cfg.f_tol {
+            return Ok(x);
+        }
+        let dfx = df(x);
+        if dfx == 0.0 || !dfx.is_finite() {
+            return Err(NumericsError::InvalidParameter {
+                name: "derivative",
+                reason: format!("vanishing/non-finite derivative at x = {x}"),
+            });
+        }
+        let step = fx / dfx;
+        x -= step;
+        if step.abs() <= cfg.x_tol {
+            return Ok(x);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        algorithm: "newton",
+        iterations: cfg.max_iter,
+        residual: f(x).abs(),
+    })
+}
+
+/// Finds a root of `f` in `[lo, hi]` with Brent's method — inverse quadratic
+/// interpolation guarded by bisection. Superlinear *and* globally convergent.
+///
+/// # Errors
+///
+/// * [`NumericsError::InvalidBracket`] — endpoints do not bracket a root.
+/// * [`NumericsError::NoConvergence`] — iteration budget exhausted.
+pub fn brent<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64, cfg: RootConfig) -> Result<f64> {
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    check_bracket(fa, fb)?;
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut mflag = true;
+
+    for _ in 0..cfg.max_iter {
+        if fb.abs() <= cfg.f_tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let bracket_lo = (3.0 * a + b) / 4.0;
+        let use_bisect = !(bracket_lo.min(b) < s && s < bracket_lo.max(b))
+            || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            || (!mflag && (s - b).abs() >= d.abs() / 2.0)
+            || (mflag && (b - c).abs() < cfg.x_tol)
+            || (!mflag && d.abs() < cfg.x_tol);
+        if use_bisect {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = b - c;
+        c = b;
+        fc = fb;
+        if fa * fs < 0.0 {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+        if (a - b).abs() <= cfg.x_tol {
+            return Ok(b);
+        }
+    }
+    Err(NumericsError::NoConvergence {
+        algorithm: "brent",
+        iterations: cfg.max_iter,
+        residual: fb.abs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, RootConfig::default()).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_handles_reversed_interval() {
+        let r = bisect(|x| x - 1.0, 3.0, 0.0, RootConfig::default()).unwrap();
+        assert!((r - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_root() {
+        let r = bisect(|x| x, 0.0, 1.0, RootConfig::default()).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn bisect_rejects_non_bracketing() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, RootConfig::default()).unwrap_err();
+        assert!(matches!(err, NumericsError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn newton_cube_root() {
+        let r = newton(|x| x * x * x - 27.0, |x| 3.0 * x * x, 5.0, RootConfig::default()).unwrap();
+        assert!((r - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn newton_detects_zero_derivative() {
+        let err = newton(|x| x * x + 1.0, |x| 2.0 * x, 0.0, RootConfig::default()).unwrap_err();
+        assert!(matches!(err, NumericsError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn newton_quadratic_convergence_is_fast() {
+        let cfg = RootConfig { max_iter: 8, ..RootConfig::default() };
+        let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.5, cfg).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_transcendental_root() {
+        // cos(x) = x near 0.739085.
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, RootConfig::default()).unwrap();
+        assert!((r - 0.739_085_133_215_160_6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_high_multiplicity_still_converges() {
+        let cfg = RootConfig { f_tol: 1e-14, x_tol: 1e-9, ..RootConfig::default() };
+        let r = brent(|x| (x - 1.0).powi(3), 0.0, 3.0, cfg).unwrap();
+        assert!((r - 1.0).abs() < 1e-3); // cubic root: reduced accuracy is expected
+    }
+
+    #[test]
+    fn brent_rejects_non_bracketing() {
+        let err = brent(|x| x * x + 0.5, -1.0, 1.0, RootConfig::default()).unwrap_err();
+        assert!(matches!(err, NumericsError::InvalidBracket { .. }));
+    }
+
+    #[test]
+    fn brent_matches_bisect_on_logistic_inverse() {
+        // Solve K/(1+c·e^{-rt}) = y for t: the saturation-time inversion used
+        // by dlm-core.
+        let (k, c, r, y) = (25.0, 11.5, 0.8, 20.0);
+        let f = |t: f64| k / (1.0 + c * (-r * t).exp()) - y;
+        let t1 = brent(f, 0.0, 50.0, RootConfig::default()).unwrap();
+        let t2 = bisect(f, 0.0, 50.0, RootConfig::default()).unwrap();
+        assert!((t1 - t2).abs() < 1e-8);
+        // Analytic check.
+        let exact = -(1.0 / r) * ((k / y - 1.0) / c).ln();
+        assert!((t1 - exact).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,622 @@
+//! Cubic spline interpolation.
+//!
+//! The paper constructs the initial density function `φ(x)` by cubic-spline
+//! interpolation of the discrete hour-1 densities (MATLAB's spline package),
+//! then flattens the two ends so that `φ′(l) = φ′(L) = 0` — which is exactly
+//! a *clamped* spline with zero end slopes. This module provides:
+//!
+//! * [`CubicSpline::natural`] — natural boundary (`φ″ = 0` at the ends);
+//! * [`CubicSpline::clamped`] — prescribed end slopes (`φ′` at the ends),
+//!   with [`CubicSpline::clamped_flat`] as the zero-slope convenience the DL
+//!   model uses;
+//! * [`Pchip`] — the Fritsch–Carlson monotone piecewise-cubic interpolant,
+//!   used by the φ-construction ablation experiment.
+//!
+//! All interpolants evaluate value, first and second derivative, and a
+//! definite integral.
+
+use crate::error::{NumericsError, Result};
+use crate::tridiag::solve_thomas;
+
+fn validate_knots(x: &[f64], y: &[f64], min_len: usize) -> Result<()> {
+    if x.len() < min_len {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("at least {min_len} knots"),
+            actual: x.len(),
+        });
+    }
+    if x.len() != y.len() {
+        return Err(NumericsError::DimensionMismatch {
+            expected: format!("y length {}", x.len()),
+            actual: y.len(),
+        });
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(NumericsError::NonFiniteValue { context: "spline knots".into() });
+    }
+    for i in 0..x.len() - 1 {
+        if x[i] >= x[i + 1] {
+            return Err(NumericsError::UnsortedKnots { index: i });
+        }
+    }
+    Ok(())
+}
+
+/// Locates the interval index `i` such that `x[i] <= t < x[i+1]`, clamping
+/// out-of-range queries to the first/last interval (i.e. extrapolation uses
+/// the boundary polynomial).
+fn locate(x: &[f64], t: f64) -> usize {
+    let n = x.len();
+    if t <= x[0] {
+        return 0;
+    }
+    if t >= x[n - 1] {
+        return n - 2;
+    }
+    // Binary search for the right interval.
+    let mut lo = 0usize;
+    let mut hi = n - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if x[mid] <= t {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Boundary condition used to close the cubic-spline tridiagonal system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SplineBoundary {
+    /// Second derivative is zero at both ends ("natural" spline).
+    Natural,
+    /// First derivative is prescribed at the two ends.
+    Clamped {
+        /// Slope at the left end, `s′(x₀)`.
+        left: f64,
+        /// Slope at the right end, `s′(x_{n−1})`.
+        right: f64,
+    },
+}
+
+/// A C² piecewise-cubic interpolant through `(x_i, y_i)` knots.
+///
+/// # Examples
+///
+/// ```
+/// use dlm_numerics::spline::CubicSpline;
+///
+/// # fn main() -> Result<(), dlm_numerics::NumericsError> {
+/// // The paper's φ: interpolate hour-1 densities with flat ends.
+/// let hops = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// let density = [2.1, 0.7, 0.9, 0.5, 0.3];
+/// let phi = CubicSpline::clamped_flat(&hops, &density)?;
+/// assert!((phi.value(3.0) - 0.9).abs() < 1e-12); // interpolates knots
+/// assert!(phi.derivative(1.0).abs() < 1e-10);     // flat left end
+/// assert!(phi.derivative(5.0).abs() < 1e-10);     // flat right end
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubicSpline {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    /// Second derivatives at the knots.
+    m: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Builds a spline with the given boundary condition.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::DimensionMismatch`] — fewer than 2 knots or
+    ///   `x.len() != y.len()`.
+    /// * [`NumericsError::UnsortedKnots`] — `x` not strictly increasing.
+    /// * [`NumericsError::NonFiniteValue`] — NaN/∞ in the inputs.
+    pub fn with_boundary(x: &[f64], y: &[f64], boundary: SplineBoundary) -> Result<Self> {
+        validate_knots(x, y, 2)?;
+        let n = x.len();
+
+        if n == 2 {
+            // A single interval: natural spline degenerates to a line; the
+            // clamped case is solved exactly by the 2×2 Hermite system.
+            let m = match boundary {
+                SplineBoundary::Natural => vec![0.0, 0.0],
+                SplineBoundary::Clamped { left, right } => {
+                    // Solve [2h, h; h, 2h]·[m0, m1]ᵀ = 6·[d−left, right−d]ᵀ,
+                    // the clamped-spline system restricted to one interval.
+                    let h = x[1] - x[0];
+                    let d = (y[1] - y[0]) / h;
+                    let b0 = 6.0 * (d - left);
+                    let b1 = 6.0 * (right - d);
+                    let m0 = (2.0 * b0 - b1) / (3.0 * h);
+                    let m1 = (2.0 * b1 - b0) / (3.0 * h);
+                    vec![m0, m1]
+                }
+            };
+            return Ok(Self { x: x.to_vec(), y: y.to_vec(), m });
+        }
+
+        // Assemble the tridiagonal system for the knot second derivatives m_i:
+        //   h_{i-1}·m_{i-1} + 2(h_{i-1}+h_i)·m_i + h_i·m_{i+1}
+        //     = 6·((y_{i+1}−y_i)/h_i − (y_i−y_{i-1})/h_{i-1})
+        let h: Vec<f64> = (0..n - 1).map(|i| x[i + 1] - x[i]).collect();
+        let mut sub = vec![0.0; n - 1];
+        let mut diag = vec![0.0; n];
+        let mut sup = vec![0.0; n - 1];
+        let mut rhs = vec![0.0; n];
+
+        for i in 1..n - 1 {
+            sub[i - 1] = h[i - 1];
+            diag[i] = 2.0 * (h[i - 1] + h[i]);
+            sup[i] = h[i];
+            rhs[i] = 6.0 * ((y[i + 1] - y[i]) / h[i] - (y[i] - y[i - 1]) / h[i - 1]);
+        }
+
+        match boundary {
+            SplineBoundary::Natural => {
+                diag[0] = 1.0;
+                sup[0] = 0.0;
+                rhs[0] = 0.0;
+                diag[n - 1] = 1.0;
+                sub[n - 2] = 0.0;
+                rhs[n - 1] = 0.0;
+            }
+            SplineBoundary::Clamped { left, right } => {
+                diag[0] = 2.0 * h[0];
+                sup[0] = h[0];
+                rhs[0] = 6.0 * ((y[1] - y[0]) / h[0] - left);
+                diag[n - 1] = 2.0 * h[n - 2];
+                sub[n - 2] = h[n - 2];
+                rhs[n - 1] = 6.0 * (right - (y[n - 1] - y[n - 2]) / h[n - 2]);
+            }
+        }
+
+        let m = solve_thomas(&sub, &diag, &sup, &rhs)?;
+        Ok(Self { x: x.to_vec(), y: y.to_vec(), m })
+    }
+
+    /// Builds a natural cubic spline (`s″ = 0` at both ends).
+    ///
+    /// # Errors
+    ///
+    /// See [`CubicSpline::with_boundary`].
+    pub fn natural(x: &[f64], y: &[f64]) -> Result<Self> {
+        Self::with_boundary(x, y, SplineBoundary::Natural)
+    }
+
+    /// Builds a clamped cubic spline with prescribed end slopes.
+    ///
+    /// # Errors
+    ///
+    /// See [`CubicSpline::with_boundary`].
+    pub fn clamped(x: &[f64], y: &[f64], left_slope: f64, right_slope: f64) -> Result<Self> {
+        Self::with_boundary(x, y, SplineBoundary::Clamped { left: left_slope, right: right_slope })
+    }
+
+    /// Builds the paper's φ-style spline: clamped with **zero** end slopes,
+    /// satisfying the DL model's requirement `φ′(l) = φ′(L) = 0`.
+    ///
+    /// # Errors
+    ///
+    /// See [`CubicSpline::with_boundary`].
+    pub fn clamped_flat(x: &[f64], y: &[f64]) -> Result<Self> {
+        Self::clamped(x, y, 0.0, 0.0)
+    }
+
+    /// The knot abscissae.
+    #[must_use]
+    pub fn knots(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// The knot ordinates.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Domain `[x₀, x_{n−1}]` of the interpolant.
+    #[must_use]
+    pub fn domain(&self) -> (f64, f64) {
+        (self.x[0], self.x[self.x.len() - 1])
+    }
+
+    /// Evaluates the spline at `t`. Queries outside the domain extrapolate
+    /// with the boundary cubic.
+    #[must_use]
+    pub fn value(&self, t: f64) -> f64 {
+        let i = locate(&self.x, t);
+        let h = self.x[i + 1] - self.x[i];
+        let a = (self.x[i + 1] - t) / h;
+        let b = (t - self.x[i]) / h;
+        a * self.y[i]
+            + b * self.y[i + 1]
+            + ((a * a * a - a) * self.m[i] + (b * b * b - b) * self.m[i + 1]) * h * h / 6.0
+    }
+
+    /// Evaluates the first derivative `s′(t)`.
+    #[must_use]
+    pub fn derivative(&self, t: f64) -> f64 {
+        let i = locate(&self.x, t);
+        let h = self.x[i + 1] - self.x[i];
+        let a = (self.x[i + 1] - t) / h;
+        let b = (t - self.x[i]) / h;
+        (self.y[i + 1] - self.y[i]) / h
+            + ((3.0 * b * b - 1.0) * self.m[i + 1] - (3.0 * a * a - 1.0) * self.m[i]) * h / 6.0
+    }
+
+    /// Evaluates the second derivative `s″(t)`.
+    #[must_use]
+    pub fn second_derivative(&self, t: f64) -> f64 {
+        let i = locate(&self.x, t);
+        let h = self.x[i + 1] - self.x[i];
+        let a = (self.x[i + 1] - t) / h;
+        let b = (t - self.x[i]) / h;
+        a * self.m[i] + b * self.m[i + 1]
+    }
+
+    /// Definite integral `∫_lo^hi s(t) dt` (both bounds clamped to the domain).
+    #[must_use]
+    pub fn integral(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return -self.integral(hi, lo);
+        }
+        let (dlo, dhi) = self.domain();
+        let lo = lo.max(dlo);
+        let hi = hi.min(dhi);
+        if hi <= lo {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let n = self.x.len();
+        for i in 0..n - 1 {
+            let seg_lo = self.x[i].max(lo);
+            let seg_hi = self.x[i + 1].min(hi);
+            if seg_hi <= seg_lo {
+                continue;
+            }
+            acc += self.segment_integral(i, seg_lo, seg_hi);
+        }
+        acc
+    }
+
+    /// Exact integral of segment `i`'s cubic over `[lo, hi] ⊆ [x_i, x_{i+1}]`.
+    fn segment_integral(&self, i: usize, lo: f64, hi: f64) -> f64 {
+        let h = self.x[i + 1] - self.x[i];
+        let anti = |t: f64| -> f64 {
+            let a = (self.x[i + 1] - t) / h;
+            let b = (t - self.x[i]) / h;
+            // Antiderivative of the standard cubic-spline segment form.
+            -h * a * a * self.y[i] / 2.0 + h * b * b * self.y[i + 1] / 2.0
+                + h * h
+                    * h
+                    * ((-(a * a * a * a) / 4.0 + a * a / 2.0) * self.m[i]
+                        + (b * b * b * b / 4.0 - b * b / 2.0) * self.m[i + 1])
+                    / 6.0
+        };
+        anti(hi) - anti(lo)
+    }
+
+    /// Samples the spline at `count` evenly spaced points across its domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2`.
+    #[must_use]
+    pub fn sample(&self, count: usize) -> Vec<(f64, f64)> {
+        assert!(count >= 2, "sample requires count >= 2");
+        let (lo, hi) = self.domain();
+        (0..count)
+            .map(|k| {
+                let t = lo + (hi - lo) * (k as f64) / ((count - 1) as f64);
+                (t, self.value(t))
+            })
+            .collect()
+    }
+}
+
+/// Monotone piecewise-cubic Hermite interpolant (Fritsch–Carlson / PCHIP).
+///
+/// Unlike [`CubicSpline`], PCHIP never overshoots the data: if the knot
+/// values are monotone on a subinterval, so is the interpolant. The DL-model
+/// ablation uses it as an alternative φ construction. Only C¹ (the second
+/// derivative jumps at knots), so the paper's "twice continuously
+/// differentiable" requirement is deliberately relaxed there — that is the
+/// point of the ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pchip {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    /// First derivatives at knots.
+    d: Vec<f64>,
+}
+
+impl Pchip {
+    /// Builds the Fritsch–Carlson monotone interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CubicSpline::with_boundary`].
+    pub fn new(x: &[f64], y: &[f64]) -> Result<Self> {
+        validate_knots(x, y, 2)?;
+        let n = x.len();
+        let h: Vec<f64> = (0..n - 1).map(|i| x[i + 1] - x[i]).collect();
+        let delta: Vec<f64> = (0..n - 1).map(|i| (y[i + 1] - y[i]) / h[i]).collect();
+        let mut d = vec![0.0; n];
+
+        if n == 2 {
+            d[0] = delta[0];
+            d[1] = delta[0];
+        } else {
+            // Interior slopes: weighted harmonic mean where the secants agree
+            // in sign, zero otherwise (guarantees monotonicity).
+            for i in 1..n - 1 {
+                if delta[i - 1] * delta[i] > 0.0 {
+                    let w1 = 2.0 * h[i] + h[i - 1];
+                    let w2 = h[i] + 2.0 * h[i - 1];
+                    d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+                }
+            }
+            // One-sided three-point end slopes, clipped per Fritsch–Carlson.
+            d[0] = pchip_end_slope(h[0], h[1], delta[0], delta[1]);
+            d[n - 1] = pchip_end_slope(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+        }
+        Ok(Self { x: x.to_vec(), y: y.to_vec(), d })
+    }
+
+    /// Domain `[x₀, x_{n−1}]`.
+    #[must_use]
+    pub fn domain(&self) -> (f64, f64) {
+        (self.x[0], self.x[self.x.len() - 1])
+    }
+
+    /// Evaluates the interpolant at `t` (clamped extrapolation).
+    #[must_use]
+    pub fn value(&self, t: f64) -> f64 {
+        let i = locate(&self.x, t);
+        let h = self.x[i + 1] - self.x[i];
+        let s = (t - self.x[i]) / h;
+        let (h00, h10, h01, h11) = hermite_basis(s);
+        h00 * self.y[i] + h10 * h * self.d[i] + h01 * self.y[i + 1] + h11 * h * self.d[i + 1]
+    }
+
+    /// Evaluates the first derivative at `t`.
+    #[must_use]
+    pub fn derivative(&self, t: f64) -> f64 {
+        let i = locate(&self.x, t);
+        let h = self.x[i + 1] - self.x[i];
+        let s = (t - self.x[i]) / h;
+        let dh00 = (6.0 * s * s - 6.0 * s) / h;
+        let dh10 = 3.0 * s * s - 4.0 * s + 1.0;
+        let dh01 = (-6.0 * s * s + 6.0 * s) / h;
+        let dh11 = 3.0 * s * s - 2.0 * s;
+        dh00 * self.y[i] + dh10 * self.d[i] + dh01 * self.y[i + 1] + dh11 * self.d[i + 1]
+    }
+}
+
+fn hermite_basis(s: f64) -> (f64, f64, f64, f64) {
+    let s2 = s * s;
+    let s3 = s2 * s;
+    (
+        2.0 * s3 - 3.0 * s2 + 1.0,
+        s3 - 2.0 * s2 + s,
+        -2.0 * s3 + 3.0 * s2,
+        s3 - s2,
+    )
+}
+
+/// Three-point end slope with the Fritsch–Carlson shape-preserving clip.
+fn pchip_end_slope(h0: f64, h1: f64, d0: f64, d1: f64) -> f64 {
+    let mut s = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if s * d0 <= 0.0 {
+        s = 0.0;
+    } else if d0 * d1 < 0.0 && s.abs() > 3.0 * d0.abs() {
+        s = 3.0 * d0;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KNOTS_X: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+    const KNOTS_Y: [f64; 5] = [2.1, 0.7, 0.9, 0.5, 0.3];
+
+    #[test]
+    fn natural_spline_interpolates_knots() {
+        let s = CubicSpline::natural(&KNOTS_X, &KNOTS_Y).unwrap();
+        for (x, y) in KNOTS_X.iter().zip(&KNOTS_Y) {
+            assert!((s.value(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn natural_spline_has_zero_end_curvature() {
+        let s = CubicSpline::natural(&KNOTS_X, &KNOTS_Y).unwrap();
+        assert!(s.second_derivative(1.0).abs() < 1e-10);
+        assert!(s.second_derivative(5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn clamped_flat_spline_has_zero_end_slopes() {
+        let s = CubicSpline::clamped_flat(&KNOTS_X, &KNOTS_Y).unwrap();
+        assert!(s.derivative(1.0).abs() < 1e-10);
+        assert!(s.derivative(5.0).abs() < 1e-10);
+        for (x, y) in KNOTS_X.iter().zip(&KNOTS_Y) {
+            assert!((s.value(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clamped_spline_reproduces_prescribed_slopes() {
+        let s = CubicSpline::clamped(&KNOTS_X, &KNOTS_Y, 1.5, -0.75).unwrap();
+        assert!((s.derivative(1.0) - 1.5).abs() < 1e-10);
+        assert!((s.derivative(5.0) + 0.75).abs() < 1e-10);
+    }
+
+    #[test]
+    fn spline_reproduces_cubic_exactly_with_clamped_ends() {
+        // s(x) = x³ − 2x² + 3 on [0, 3]; clamped spline with exact end slopes
+        // reproduces any cubic exactly.
+        let f = |x: f64| x * x * x - 2.0 * x * x + 3.0;
+        let df = |x: f64| 3.0 * x * x - 4.0 * x;
+        let x: Vec<f64> = (0..7).map(|i| i as f64 * 0.5).collect();
+        let y: Vec<f64> = x.iter().map(|&v| f(v)).collect();
+        let s = CubicSpline::clamped(&x, &y, df(0.0), df(3.0)).unwrap();
+        for k in 0..100 {
+            let t = 3.0 * k as f64 / 99.0;
+            assert!((s.value(t) - f(t)).abs() < 1e-9, "t = {t}");
+            assert!((s.derivative(t) - df(t)).abs() < 1e-8, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn spline_second_derivative_is_continuous_at_knots() {
+        let s = CubicSpline::clamped_flat(&KNOTS_X, &KNOTS_Y).unwrap();
+        for &k in &KNOTS_X[1..4] {
+            let left = s.second_derivative(k - 1e-9);
+            let right = s.second_derivative(k + 1e-9);
+            assert!((left - right).abs() < 1e-5, "jump at {k}: {left} vs {right}");
+        }
+    }
+
+    #[test]
+    fn spline_integral_of_linear_data_is_trapezoid() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [0.0, 1.0, 2.0, 3.0]; // s(t) = t exactly (natural spline of linear data)
+        let s = CubicSpline::natural(&x, &y).unwrap();
+        assert!((s.integral(0.0, 3.0) - 4.5).abs() < 1e-12);
+        assert!((s.integral(1.0, 2.0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spline_integral_orientation() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [1.0, 1.0, 1.0];
+        let s = CubicSpline::natural(&x, &y).unwrap();
+        assert!((s.integral(0.0, 2.0) - 2.0).abs() < 1e-12);
+        assert!((s.integral(2.0, 0.0) + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_knot_natural_spline_is_linear() {
+        let s = CubicSpline::natural(&[0.0, 2.0], &[1.0, 5.0]).unwrap();
+        assert!((s.value(1.0) - 3.0).abs() < 1e-12);
+        assert!((s.derivative(0.5) - 2.0).abs() < 1e-12);
+        assert!(s.second_derivative(1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_unsorted_knots() {
+        let err = CubicSpline::natural(&[0.0, 2.0, 1.0], &[0.0, 0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, NumericsError::UnsortedKnots { index: 1 }));
+    }
+
+    #[test]
+    fn rejects_duplicate_knots() {
+        let err = CubicSpline::natural(&[0.0, 1.0, 1.0], &[0.0, 0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, NumericsError::UnsortedKnots { index: 1 }));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let err = CubicSpline::natural(&[0.0, 1.0], &[0.0]).unwrap_err();
+        assert!(matches!(err, NumericsError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let err = CubicSpline::natural(&[0.0, 1.0], &[f64::NAN, 0.0]).unwrap_err();
+        assert!(matches!(err, NumericsError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn extrapolation_uses_boundary_polynomial() {
+        let s = CubicSpline::clamped_flat(&KNOTS_X, &KNOTS_Y).unwrap();
+        // Just outside the domain the value should be close to the boundary knot.
+        assert!((s.value(0.9) - s.value(1.0)).abs() < 0.1);
+        assert!((s.value(5.1) - s.value(5.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn sample_covers_domain() {
+        let s = CubicSpline::natural(&KNOTS_X, &KNOTS_Y).unwrap();
+        let pts = s.sample(11);
+        assert_eq!(pts.len(), 11);
+        assert!((pts[0].0 - 1.0).abs() < 1e-12);
+        assert!((pts[10].0 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pchip_interpolates_knots() {
+        let p = Pchip::new(&KNOTS_X, &KNOTS_Y).unwrap();
+        for (x, y) in KNOTS_X.iter().zip(&KNOTS_Y) {
+            assert!((p.value(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pchip_preserves_monotonicity() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.0, 0.1, 0.2, 3.0, 3.1]; // sharp rise: cubic spline would overshoot
+        let p = Pchip::new(&x, &y).unwrap();
+        let mut prev = p.value(0.0);
+        for k in 1..400 {
+            let t = 4.0 * k as f64 / 399.0;
+            let v = p.value(t);
+            assert!(v >= prev - 1e-12, "non-monotone at t = {t}");
+            prev = v;
+        }
+        // And stays within the data range (no overshoot).
+        for k in 0..400 {
+            let t = 4.0 * k as f64 / 399.0;
+            let v = p.value(t);
+            assert!((-1e-12..=3.1 + 1e-12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn pchip_flat_data_stays_flat() {
+        let x = [0.0, 1.0, 2.0];
+        let y = [2.0, 2.0, 2.0];
+        let p = Pchip::new(&x, &y).unwrap();
+        for k in 0..=20 {
+            let t = 2.0 * k as f64 / 20.0;
+            assert!((p.value(t) - 2.0).abs() < 1e-12);
+            assert!(p.derivative(t).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pchip_two_points_is_linear() {
+        let p = Pchip::new(&[0.0, 1.0], &[0.0, 2.0]).unwrap();
+        assert!((p.value(0.5) - 1.0).abs() < 1e-12);
+        assert!((p.derivative(0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pchip_local_extremum_at_sign_change() {
+        // Secant sign change ⇒ derivative zero at the interior knot.
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 1.0, 0.0];
+        let p = Pchip::new(&x, &y).unwrap();
+        assert!(p.derivative(1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spline_vs_pchip_on_smooth_data_agree_roughly() {
+        let x: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| (v / 3.0).sin()).collect();
+        let s = CubicSpline::natural(&x, &y).unwrap();
+        let p = Pchip::new(&x, &y).unwrap();
+        for k in 0..80 {
+            let t = 8.0 * k as f64 / 79.0;
+            assert!((s.value(t) - p.value(t)).abs() < 0.05, "t = {t}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Generate a month-long catalog of stories — the analogue of the
+//! paper's full June-2009 crawl (3,553 stories, >3M votes, 139,409
+//! users) — and report dataset-level statistics plus the representative-
+//! story selection the paper performs.
+//!
+//! ```sh
+//! cargo run --release --example month_of_stories [-- stories]
+//! ```
+
+use dlm::data::{catalog_stats, generate_catalog, CatalogConfig, SyntheticWorld, WorldConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stories: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+
+    println!("Generating world and a {stories}-story month...");
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.25))?;
+    let config = CatalogConfig { stories, ..CatalogConfig::default() };
+    let dataset = generate_catalog(&world, &config)?;
+
+    let stats = catalog_stats(&dataset);
+    println!("\nDataset statistics (paper: 3,553 stories / >3M votes / 139,409 voters):");
+    println!("  stories:        {}", stats.stories);
+    println!("  votes:          {}", stats.votes);
+    println!("  distinct voters:{}", stats.voters);
+    println!("  top story:      {} votes", stats.top_story_votes);
+    println!("  median story:   {} votes", stats.median_story_votes);
+
+    println!("\nTop 10 stories by popularity (the paper picks its s1-s4 this way):");
+    for (rank, (story, votes)) in dataset.stories_by_popularity().iter().take(10).enumerate() {
+        let initiator = dataset.initiator(*story)?;
+        println!("  #{:<3} story {:<4} {:>6} votes (initiator {})", rank + 1, story, votes, initiator);
+    }
+
+    // Vote-count distribution sketch: how heavy is the tail?
+    let ranked = dataset.stories_by_popularity();
+    let deciles: Vec<usize> = (0..=9)
+        .map(|d| ranked[(d * (ranked.len() - 1)) / 9].1)
+        .collect();
+    println!("\nVotes per story across popularity deciles (best → worst):");
+    println!("  {deciles:?}");
+    Ok(())
+}

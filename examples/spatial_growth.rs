@@ -1,0 +1,96 @@
+//! The paper's future work, exercised: compare the classic DL model
+//! (global r(t)) against the generalized model with a per-distance growth
+//! field r(x, t) — the refinement the paper proposes in §V after
+//! observing that interest-distance group 5 "drops faster at time 2 to
+//! 5" than a single growth rate can track.
+//!
+//! ```sh
+//! cargo run --release --example spatial_growth [-- scale]
+//! ```
+
+use dlm::cascade::interest_groups::{interest_density_matrix, GroupingStrategy};
+use dlm::cascade::ObservationSplit;
+use dlm::core::accuracy::AccuracyTable;
+use dlm::core::calibrate::{calibrate, CalibrationOptions};
+use dlm::core::growth::{ExpDecayGrowth, GrowthRate};
+use dlm::core::params::DlParameters;
+use dlm::core::variable::{
+    calibrate_per_distance_growth, ConstantField, SpatialField, TimeOnlyField,
+    VariableDlModelBuilder,
+};
+use dlm::data::simulate::simulate_story;
+use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(scale))?;
+    let cascade = simulate_story(&world, &StoryPreset::s1(), SimulationConfig::default())?;
+    let observed = interest_density_matrix(
+        world.profile(),
+        world.user_count(),
+        &cascade,
+        5,
+        6,
+        GroupingStrategy::EqualWidth,
+    )?;
+    let split = ObservationSplit::paper_protocol(&observed)?;
+    let distances: Vec<u32> = (1..=split.distance_count() as u32).collect();
+    let hours = split.target_hours().to_vec();
+
+    // Classic calibration for the shared scalars.
+    let cal = calibrate(
+        &observed,
+        1,
+        &[2, 3, 4, 5, 6],
+        DlParameters::paper_interest(observed.max_distance())?,
+        ExpDecayGrowth::paper_interest(),
+        &CalibrationOptions { fit_capacity: true, max_evals: 800, ..CalibrationOptions::default() },
+    )?;
+    println!(
+        "shared scalars: d = {:.4}, K = {:.1}; global growth {}",
+        cal.params.diffusion(),
+        cal.params.capacity(),
+        cal.growth.describe()
+    );
+
+    // Classic: one r(t) for every distance.
+    let upper = f64::from(observed.max_distance());
+    let classic = VariableDlModelBuilder::new(1.0, upper)?
+        .diffusion(ConstantField(cal.params.diffusion()))
+        .growth(TimeOnlyField(cal.growth))
+        .capacity(ConstantField(cal.params.capacity()))
+        .build(split.initial_profile())?;
+    let classic_pred = classic.predict(&distances, &hours)?;
+    let classic_table = AccuracyTable::score_split(&classic_pred, &split)?;
+
+    // Refined: an independent r_d(t) per distance, blended linearly in x.
+    let field = calibrate_per_distance_growth(&observed, cal.params.capacity(), 6)?;
+    println!("\nper-distance growth curves r_d(t) at t = 1.5:");
+    for (i, curve) in field.curves().iter().enumerate() {
+        println!(
+            "  distance {}: {}  (r(1.5) = {:.3})",
+            i + 1,
+            curve.describe(),
+            field.value(1.0 + i as f64, 1.5)
+        );
+    }
+    let refined = VariableDlModelBuilder::new(1.0, upper)?
+        .diffusion(ConstantField(cal.params.diffusion()))
+        .growth(field)
+        .capacity(ConstantField(cal.params.capacity()))
+        .build(split.initial_profile())?;
+    let refined_pred = refined.predict(&distances, &hours)?;
+    let refined_table = AccuracyTable::score_split(&refined_pred, &split)?;
+
+    println!("\nclassic DL (global r(t)):\n{classic_table}");
+    println!("refined DL (per-distance r(x, t)):\n{refined_table}");
+    let fmt = |v: Option<f64>| v.map_or("-".into(), |a| format!("{:.2}%", a * 100.0));
+    println!(
+        "overall: classic {} vs refined {}",
+        fmt(classic_table.overall_average()),
+        fmt(refined_table.overall_average())
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! # dlm — Diffusive Logistic Model for information diffusion
+//!
+//! A Rust reproduction of *Diffusive Logistic Model Towards Predicting
+//! Information Diffusion in Online Social Networks* (Wang, Wang & Xu,
+//! ICDCS 2012; arXiv:1108.0442), packaged as a workspace of focused
+//! crates and re-exported here for convenience:
+//!
+//! * [`numerics`] — splines, tridiagonal/dense solvers, ODE integrators,
+//!   optimizers (the from-scratch MATLAB replacement);
+//! * [`graph`] — directed social graph, BFS hop distances, Jaccard
+//!   shared-interest distance, Digg-like network generators;
+//! * [`data`] — Digg-2009 dataset model + the two-channel cascade
+//!   simulator that substitutes for the non-redistributable crawl;
+//! * [`cascade`] — `I(x, t)` density matrices and distance groupings;
+//! * [`core`] — the DL PDE model: φ construction, Crank–Nicolson solver,
+//!   prediction, Eq.-8 accuracy, calibration, baselines, theory checks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dlm::core::model::DlModel;
+//!
+//! # fn main() -> Result<(), dlm::core::DlError> {
+//! let hour1 = [2.1, 0.7, 0.9, 0.5, 0.3, 0.2]; // densities at hops 1..=6
+//! let model = DlModel::paper_hops(&hour1)?;
+//! let pred = model.predict(&[1, 2, 3, 4, 5, 6], &[2, 3, 4, 5, 6])?;
+//! assert!(pred.at(1, 6)? > hour1[0]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! full figure/table reproduction harness.
+
+#![warn(missing_docs)]
+
+pub use dlm_cascade as cascade;
+pub use dlm_core as core;
+pub use dlm_data as data;
+pub use dlm_graph as graph;
+pub use dlm_numerics as numerics;

@@ -1,0 +1,79 @@
+//! Integration tests of the Digg-2009 CSV interchange path: a simulated
+//! cascade written to the on-disk format and re-read must drive the
+//! analytics pipeline to identical results.
+
+use dlm::cascade::density::cumulative_counts;
+use dlm::cascade::hops::hop_density_matrix;
+use dlm::cascade::DensityMatrix;
+use dlm::data::simulate::simulate_story;
+use dlm::data::{DiggDataset, FriendLink, SimulationConfig, StoryPreset, SyntheticWorld, Vote, WorldConfig};
+use dlm::graph::bfs::hop_distances;
+
+fn world() -> SyntheticWorld {
+    SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).unwrap()
+}
+
+fn to_dataset(world: &SyntheticWorld, votes: Vec<Vote>) -> DiggDataset {
+    let links: Vec<FriendLink> = world
+        .graph()
+        .edges()
+        .map(|(followee, follower)| FriendLink { mutual: false, timestamp: 0, follower, followee })
+        .collect();
+    DiggDataset::new(votes, links)
+}
+
+#[test]
+fn csv_roundtrip_preserves_dataset_exactly() {
+    let w = world();
+    let cascade = simulate_story(&w, &StoryPreset::s3(), SimulationConfig::default()).unwrap();
+    let ds = to_dataset(&w, cascade.votes().to_vec());
+
+    let mut votes_csv = Vec::new();
+    let mut friends_csv = Vec::new();
+    ds.write_votes_csv(&mut votes_csv).unwrap();
+    ds.write_friends_csv(&mut friends_csv).unwrap();
+    let back = DiggDataset::read_csv(votes_csv.as_slice(), friends_csv.as_slice()).unwrap();
+    assert_eq!(ds, back);
+}
+
+#[test]
+fn follower_graph_reconstruction_preserves_densities() {
+    // Densities computed from the reconstructed dataset graph must equal
+    // densities computed from the original simulation graph.
+    let w = world();
+    let cascade = simulate_story(&w, &StoryPreset::s2(), SimulationConfig::default()).unwrap();
+    let original = hop_density_matrix(w.graph(), &cascade, 5, 6).unwrap();
+
+    let ds = to_dataset(&w, cascade.votes().to_vec());
+    let graph = ds.follower_graph();
+    let initiator = ds.initiator(StoryPreset::s2().id).unwrap();
+    assert_eq!(initiator, cascade.initiator());
+
+    let groups = hop_distances(&graph, initiator).groups_up_to(5);
+    let live: Vec<Vec<usize>> =
+        groups.into_iter().take_while(|g| !g.is_empty()).collect();
+    let sizes: Vec<usize> = live.iter().map(Vec::len).collect();
+    let counts =
+        cumulative_counts(&live, &ds.story_votes(StoryPreset::s2().id), cascade.submit_time(), 6);
+    let rebuilt = DensityMatrix::from_counts(&counts, &sizes).unwrap();
+
+    assert_eq!(original.max_hour(), rebuilt.max_hour());
+    let d_common = original.max_distance().min(rebuilt.max_distance());
+    for d in 1..=d_common {
+        for t in 1..=6 {
+            let a = original.at(d, t).unwrap();
+            let b = rebuilt.at(d, t).unwrap();
+            assert!((a - b).abs() < 1e-9, "d={d} t={t}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn popularity_ranking_identifies_the_simulated_story() {
+    let w = world();
+    let cascade = simulate_story(&w, &StoryPreset::s1(), SimulationConfig::default()).unwrap();
+    let ds = to_dataset(&w, cascade.votes().to_vec());
+    let ranked = ds.stories_by_popularity();
+    assert_eq!(ranked.len(), 1);
+    assert_eq!(ranked[0], (StoryPreset::s1().id, cascade.vote_count()));
+}

@@ -1,0 +1,127 @@
+//! End-to-end integration tests: the full paper pipeline across all five
+//! crates (world → cascade → densities → DL model → accuracy).
+
+use dlm::cascade::hops::hop_density_matrix;
+use dlm::cascade::interest_groups::{interest_density_matrix, GroupingStrategy};
+use dlm::cascade::ObservationSplit;
+use dlm::core::accuracy::AccuracyTable;
+use dlm::core::baselines::NaiveLastValue;
+use dlm::core::calibrate::{calibrate, CalibrationOptions};
+use dlm::core::growth::ExpDecayGrowth;
+use dlm::core::model::DlModel;
+use dlm::core::params::DlParameters;
+use dlm::core::theory::verify_properties;
+use dlm::data::simulate::simulate_story;
+use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+
+fn world() -> SyntheticWorld {
+    SyntheticWorld::generate(WorldConfig::default().scaled(0.25)).unwrap()
+}
+
+#[test]
+fn paper_pipeline_hops_beats_naive_baseline() {
+    let w = world();
+    let cascade = simulate_story(&w, &StoryPreset::s1(), SimulationConfig::default()).unwrap();
+    let observed = hop_density_matrix(w.graph(), &cascade, 5, 6).unwrap();
+    let split = ObservationSplit::paper_protocol(&observed).unwrap();
+    let distances: Vec<u32> = (1..=split.distance_count() as u32).collect();
+
+    let cal = calibrate(
+        &observed,
+        1,
+        &[2, 3, 4, 5, 6],
+        DlParameters::paper_hops(observed.max_distance()).unwrap(),
+        ExpDecayGrowth::paper_hops(),
+        &CalibrationOptions { fit_capacity: true, max_evals: 600, ..CalibrationOptions::default() },
+    )
+    .unwrap();
+    let model = cal.into_model(split.initial_profile(), 1).unwrap();
+    let pred = model.predict(&distances, split.target_hours()).unwrap();
+    let dl_acc = AccuracyTable::score_split(&pred, &split)
+        .unwrap()
+        .overall_average()
+        .expect("defined accuracy");
+
+    let naive = NaiveLastValue::new(split.initial_profile()).unwrap();
+    let naive_pred = naive.predict(&distances, split.target_hours()).unwrap();
+    let naive_acc = AccuracyTable::score_split(&naive_pred, &split)
+        .unwrap()
+        .overall_average()
+        .expect("defined accuracy");
+
+    assert!(dl_acc > 0.75, "calibrated DL accuracy too low: {dl_acc}");
+    assert!(dl_acc > naive_acc + 0.1, "DL {dl_acc} vs naive {naive_acc}");
+}
+
+#[test]
+fn paper_pipeline_interest_metric_works() {
+    let w = world();
+    let cascade = simulate_story(&w, &StoryPreset::s1(), SimulationConfig::default()).unwrap();
+    let observed = interest_density_matrix(
+        w.profile(),
+        w.user_count(),
+        &cascade,
+        5,
+        6,
+        GroupingStrategy::EqualWidth,
+    )
+    .unwrap();
+    let split = ObservationSplit::paper_protocol(&observed).unwrap();
+    let distances: Vec<u32> = (1..=split.distance_count() as u32).collect();
+
+    let cal = calibrate(
+        &observed,
+        1,
+        &[2, 3, 4, 5, 6],
+        DlParameters::paper_interest(observed.max_distance()).unwrap(),
+        ExpDecayGrowth::paper_interest(),
+        &CalibrationOptions { fit_capacity: true, max_evals: 600, ..CalibrationOptions::default() },
+    )
+    .unwrap();
+    let model = cal.into_model(split.initial_profile(), 1).unwrap();
+    let pred = model.predict(&distances, split.target_hours()).unwrap();
+    let acc = AccuracyTable::score_split(&pred, &split)
+        .unwrap()
+        .overall_average()
+        .expect("defined accuracy");
+    assert!(acc > 0.8, "interest-metric DL accuracy too low: {acc}");
+}
+
+#[test]
+fn theory_properties_hold_on_simulated_data() {
+    let w = world();
+    let cascade = simulate_story(&w, &StoryPreset::s2(), SimulationConfig::default()).unwrap();
+    let observed = hop_density_matrix(w.graph(), &cascade, 5, 6).unwrap();
+    let split = ObservationSplit::paper_protocol(&observed).unwrap();
+    let model = DlModel::paper_hops(split.initial_profile()).unwrap();
+    let report = verify_properties(&model, 50.0, 1e-8).unwrap();
+    assert!(report.bounds_hold);
+    assert!(report.increasing_holds);
+}
+
+#[test]
+fn all_four_stories_flow_through_the_pipeline() {
+    let w = world();
+    for preset in StoryPreset::all() {
+        let cascade = simulate_story(&w, &preset, SimulationConfig::default()).unwrap();
+        assert!(cascade.vote_count() > 5, "{} too small", preset.name);
+        let observed = hop_density_matrix(w.graph(), &cascade, 5, 6).unwrap();
+        // Paper protocol must be constructible for every story.
+        let split = ObservationSplit::paper_protocol(&observed).unwrap();
+        assert_eq!(split.target_hours(), &[2, 3, 4, 5, 6]);
+    }
+}
+
+#[test]
+fn vote_popularity_ordering_matches_paper() {
+    let w = world();
+    let counts: Vec<usize> = StoryPreset::all()
+        .iter()
+        .map(|p| {
+            simulate_story(&w, p, SimulationConfig::default()).unwrap().vote_count()
+        })
+        .collect();
+    assert!(counts[0] > counts[1], "s1 {} !> s2 {}", counts[0], counts[1]);
+    assert!(counts[1] > counts[2], "s2 {} !> s3 {}", counts[1], counts[2]);
+    assert!(counts[2] > counts[3], "s3 {} !> s4 {}", counts[2], counts[3]);
+}
