@@ -44,7 +44,9 @@ fn bench_fig5_interest_density(c: &mut Criterion) {
 }
 
 fn bench_fig6_growth_curve(c: &mut Criterion) {
-    c.bench_function("fig6_growth_curve", |b| b.iter(|| figure6(black_box(5.0), 100)));
+    c.bench_function("fig6_growth_curve", |b| {
+        b.iter(|| figure6(black_box(5.0), 100))
+    });
 }
 
 fn bench_fig7_dl_predict(c: &mut Criterion) {

@@ -34,7 +34,11 @@ fn bench_pde_solvers(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{method:?}")),
             &method,
             |b, &method| {
-                let config = SolverConfig { method, space_intervals: 100, dt: 0.01 };
+                let config = SolverConfig {
+                    method,
+                    space_intervals: 100,
+                    dt: 0.01,
+                };
                 b.iter(|| {
                     solve(
                         black_box(&params),
@@ -67,7 +71,10 @@ fn bench_grid_resolution(c: &mut Criterion) {
             BenchmarkId::from_parameter(intervals),
             &intervals,
             |b, &intervals| {
-                let config = SolverConfig { space_intervals: intervals, ..SolverConfig::default() };
+                let config = SolverConfig {
+                    space_intervals: intervals,
+                    ..SolverConfig::default()
+                };
                 b.iter(|| solve(&params, &growth, &phi, 1.0, 6.0, &config).expect("solve"));
             },
         );
@@ -82,7 +89,8 @@ fn bench_tridiagonal(c: &mut Criterion) {
         let sup = vec![-1.0; n - 1];
         let diag = vec![4.0; n];
         let rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
-        let matrix = TridiagonalMatrix::new(sub.clone(), diag.clone(), sup.clone()).expect("matrix");
+        let matrix =
+            TridiagonalMatrix::new(sub.clone(), diag.clone(), sup.clone()).expect("matrix");
         group.bench_with_input(BenchmarkId::new("thomas", n), &n, |b, _| {
             b.iter(|| solve_thomas(black_box(&sub), &diag, &sup, &rhs).expect("thomas"));
         });

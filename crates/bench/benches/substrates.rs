@@ -15,7 +15,11 @@ fn bench_network_generation(c: &mut Criterion) {
     group.sample_size(10);
     for nodes in [2_000usize, 20_000] {
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
-            let config = PreferentialAttachmentConfig { nodes, edges_per_node: 2, ..Default::default() };
+            let config = PreferentialAttachmentConfig {
+                nodes,
+                edges_per_node: 2,
+                ..Default::default()
+            };
             b.iter(|| preferential_attachment(black_box(config), 42).expect("generation"));
         });
     }

@@ -11,11 +11,11 @@
 //! (20,000 users). `--scale 0.1` shrinks the world for a quick pass.
 
 use dlm_bench::experiments::{
-    ablation_growth, ablation_phi, ablation_spatial_growth, convergence_analysis, compare_baselines, figure2, figure3, figure4, figure5, figure6,
-    figure7a_table1, figure7b_table2, sensitivity_analysis, verify_theory, wave_analysis, ExperimentContext, PredictionExperiment,
-    Protocol,
+    ablation_growth, ablation_phi, ablation_spatial_growth, compare_baselines,
+    convergence_analysis, figure2, figure3, figure4, figure5, figure6, figure7a_table1,
+    figure7b_table2, sensitivity_analysis, verify_theory, wave_analysis, ExperimentContext,
+    PredictionExperiment, Protocol,
 };
-use dlm_core::growth::GrowthRate as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -113,7 +113,10 @@ fn run(scale: f64, wanted: &[String]) -> dlm_bench::experiments::Result<()> {
             }
         }
         let early: f64 = data.increments[..5].iter().sum::<f64>() / 5.0;
-        let late: f64 = data.increments[data.increments.len() - 5..].iter().sum::<f64>() / 5.0;
+        let late: f64 = data.increments[data.increments.len() - 5..]
+            .iter()
+            .sum::<f64>()
+            / 5.0;
         println!("mean hourly increment: first 5 h = {early:.3}, last 5 h = {late:.3} (shrinking => decreasing r(t))\n");
     }
 
@@ -122,7 +125,10 @@ fn run(scale: f64, wanted: &[String]) -> dlm_bench::experiments::Result<()> {
         for panel in figure5(&ctx, 50)? {
             println!("--- story {} ---", panel.story);
             print_matrix_sampled(&panel.matrix);
-            println!("monotone-in-distance: {}", panel.summary.monotone_in_distance);
+            println!(
+                "monotone-in-distance: {}",
+                panel.summary.monotone_in_distance
+            );
         }
         println!();
     }
@@ -144,13 +150,8 @@ fn run(scale: f64, wanted: &[String]) -> dlm_bench::experiments::Result<()> {
         if want("table1") {
             println!("## Table I — prediction accuracy, friendship hops (calibrated, fit 2-6)");
             println!("{}", exp.table);
-            if let Some(cal) = &exp.calibration {
-                println!(
-                    "fitted: d = {:.4}, K = {:.1}, {}\n",
-                    cal.params.diffusion(),
-                    cal.params.capacity(),
-                    cal.growth.describe()
-                );
+            if exp.calibrated {
+                println!("fitted: {}\n", format_params(&exp.fitted_params));
             }
             let paper = figure7a_table1(&ctx, Protocol::PaperConstants)?;
             println!("(reference) paper constants K=25 d=0.01 Eq.7 r(t):");
@@ -177,11 +178,13 @@ fn run(scale: f64, wanted: &[String]) -> dlm_bench::experiments::Result<()> {
     }
 
     if want("compare") {
-        println!("## Baseline comparison — mean Eq.-8 accuracy on s1 (hops, hours 2-6)");
-        for row in compare_baselines(&ctx)? {
-            match row.overall {
-                Some(a) => println!("{:<24} {:6.2}%", row.name, a * 100.0),
-                None => println!("{:<24} {:>7}", row.name, "-"),
+        println!("## Model zoo comparison — mean Eq.-8 accuracy on s1 (hops, hours 2-6)");
+        println!("(one EvaluationPipeline::run over the registered models)");
+        let report = compare_baselines(&ctx)?;
+        for (spec, overall) in report.ranking() {
+            match overall {
+                Some(a) => println!("{spec:<52} {:6.2}%", a * 100.0),
+                None => println!("{spec:<52} {:>7}", "-"),
             }
         }
         println!();
@@ -221,7 +224,9 @@ fn run(scale: f64, wanted: &[String]) -> dlm_bench::experiments::Result<()> {
     }
 
     if want("wave") {
-        println!("## Fisher-wave validation — measured vs theoretical front speed c* = 2*sqrt(r*d)");
+        println!(
+            "## Fisher-wave validation — measured vs theoretical front speed c* = 2*sqrt(r*d)"
+        );
         for (label, m) in wave_analysis()? {
             println!(
                 "{label:<32} measured {:.4}  theoretical {:.4}  rel.err {:.1}%",
@@ -262,19 +267,35 @@ fn run(scale: f64, wanted: &[String]) -> dlm_bench::experiments::Result<()> {
         println!(
             "unique-property bounds (0 <= I <= K = {}): {} (observed [{:.4}, {:.4}])",
             report.capacity,
-            if report.bounds_hold { "HOLD" } else { "VIOLATED" },
+            if report.bounds_hold {
+                "HOLD"
+            } else {
+                "VIOLATED"
+            },
             report.min_value,
             report.max_value
         );
         println!(
             "strictly-increasing property: {} (worst decrease {:.2e}; phi lower-solution: {})\n",
-            if report.increasing_holds { "HOLDS" } else { "VIOLATED" },
+            if report.increasing_holds {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            },
             report.worst_decrease,
             report.phi_is_lower_solution
         );
     }
 
     Ok(())
+}
+
+fn format_params(params: &[(String, f64)]) -> String {
+    params
+        .iter()
+        .map(|(name, value)| format!("{name} = {value:.4}"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn print_matrix_sampled(matrix: &dlm_cascade::DensityMatrix) {
@@ -298,8 +319,16 @@ fn print_matrix_sampled(matrix: &dlm_cascade::DensityMatrix) {
 }
 
 fn print_fig7(exp: &PredictionExperiment) {
-    println!("(solid = DL prediction, obs = actual; rows are hours, columns distances {:?})", exp.distances);
-    let cells = |v: &[f64]| v.iter().map(|x| format!("{x:6.2}")).collect::<Vec<_>>().join(" ");
+    println!(
+        "(solid = DL prediction, obs = actual; rows are hours, columns distances {:?})",
+        exp.distances
+    );
+    let cells = |v: &[f64]| {
+        v.iter()
+            .map(|x| format!("{x:6.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
     println!("t=1 obs  {}   (= phi knots)", cells(&exp.observed[0]));
     for (i, pred) in exp.predicted.iter().enumerate() {
         let h = i + 2;

@@ -155,7 +155,11 @@ mod tests {
 
     #[test]
     fn interval_contains_and_half_width() {
-        let iv = DensityInterval { estimate: 10.0, lower: 8.0, upper: 13.0 };
+        let iv = DensityInterval {
+            estimate: 10.0,
+            lower: 8.0,
+            upper: 13.0,
+        };
         assert!(iv.contains(9.0));
         assert!(!iv.contains(7.9));
         assert!((iv.half_width() - 2.5).abs() < 1e-12);

@@ -43,7 +43,11 @@ impl DensityMatrix {
         if influenced.len() != group_sizes.len() {
             return Err(CascadeError::InvalidParameter {
                 name: "group_sizes",
-                reason: format!("expected {} groups, got {}", influenced.len(), group_sizes.len()),
+                reason: format!(
+                    "expected {} groups, got {}",
+                    influenced.len(),
+                    group_sizes.len()
+                ),
             });
         }
         let hours = influenced[0].len();
@@ -51,7 +55,10 @@ impl DensityMatrix {
             if row.len() != hours {
                 return Err(CascadeError::InvalidParameter {
                     name: "influenced",
-                    reason: format!("ragged rows: row {i} has {} hours, expected {hours}", row.len()),
+                    reason: format!(
+                        "ragged rows: row {i} has {} hours, expected {hours}",
+                        row.len()
+                    ),
                 });
             }
         }
@@ -59,11 +66,20 @@ impl DensityMatrix {
         for (i, row) in influenced.iter().enumerate() {
             let size = group_sizes[i];
             if size == 0 {
-                return Err(CascadeError::EmptyGroup { group: i as u32 + 1 });
+                return Err(CascadeError::EmptyGroup {
+                    group: i as u32 + 1,
+                });
             }
-            values.push(row.iter().map(|&c| 100.0 * c as f64 / size as f64).collect());
+            values.push(
+                row.iter()
+                    .map(|&c| 100.0 * c as f64 / size as f64)
+                    .collect(),
+            );
         }
-        Ok(Self { values, group_sizes: group_sizes.to_vec() })
+        Ok(Self {
+            values,
+            group_sizes: group_sizes.to_vec(),
+        })
     }
 
     /// Number of distance groups.
@@ -116,7 +132,11 @@ impl DensityMatrix {
     /// [`CascadeError::OutOfRange`] for an invalid hour label.
     pub fn profile_at(&self, hour: u32) -> Result<Vec<f64>> {
         self.check_hour(hour)?;
-        Ok(self.values.iter().map(|row| row[(hour - 1) as usize]).collect())
+        Ok(self
+            .values
+            .iter()
+            .map(|row| row[(hour - 1) as usize])
+            .collect())
     }
 
     /// Restricts the matrix to the first `hours` hours.
@@ -134,7 +154,11 @@ impl DensityMatrix {
             });
         }
         Ok(Self {
-            values: self.values.iter().map(|row| row[..hours as usize].to_vec()).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|row| row[..hours as usize].to_vec())
+                .collect(),
             group_sizes: self.group_sizes.clone(),
         })
     }
@@ -180,7 +204,10 @@ impl DensityMatrix {
             return Ok(None);
         }
         let target = fraction * last;
-        Ok(series.iter().position(|&v| v >= target).map(|i| i as u32 + 1))
+        Ok(series
+            .iter()
+            .position(|&v| v >= target)
+            .map(|i| i as u32 + 1))
     }
 
     /// Maximum density anywhere in the matrix — used to sanity-check the
@@ -207,7 +234,11 @@ impl DensityMatrix {
 
     fn check_hour(&self, hour: u32) -> Result<()> {
         if hour == 0 || hour > self.max_hour() {
-            return Err(CascadeError::OutOfRange { axis: "hour", value: hour, max: self.max_hour() });
+            return Err(CascadeError::OutOfRange {
+                axis: "hour",
+                value: hour,
+                max: self.max_hour(),
+            });
         }
         Ok(())
     }
@@ -215,7 +246,12 @@ impl DensityMatrix {
 
 impl fmt::Display for DensityMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "I(x, t) [%], {} groups x {} hours", self.max_distance(), self.max_hour())?;
+        writeln!(
+            f,
+            "I(x, t) [%], {} groups x {} hours",
+            self.max_distance(),
+            self.max_hour()
+        )?;
         for (i, row) in self.values.iter().enumerate() {
             write!(f, "d={:<2} (n={:>6}):", i + 1, self.group_sizes[i])?;
             for v in row {
@@ -363,10 +399,26 @@ mod tests {
     fn cumulative_counts_buckets_by_hour() {
         let groups = vec![vec![10, 11], vec![20]];
         let votes = vec![
-            Vote { timestamp: 1000, voter: 10, story: 1 },   // hour 1
-            Vote { timestamp: 1000 + 3599, voter: 20, story: 1 }, // hour 1 edge
-            Vote { timestamp: 1000 + 3600, voter: 11, story: 1 }, // hour 2
-            Vote { timestamp: 1000 + 7200 * 2, voter: 99, story: 1 }, // outside groups
+            Vote {
+                timestamp: 1000,
+                voter: 10,
+                story: 1,
+            }, // hour 1
+            Vote {
+                timestamp: 1000 + 3599,
+                voter: 20,
+                story: 1,
+            }, // hour 1 edge
+            Vote {
+                timestamp: 1000 + 3600,
+                voter: 11,
+                story: 1,
+            }, // hour 2
+            Vote {
+                timestamp: 1000 + 7200 * 2,
+                voter: 99,
+                story: 1,
+            }, // outside groups
         ];
         let counts = cumulative_counts(&groups, &votes, 1000, 3);
         assert_eq!(counts[0], vec![1, 2, 2]);
@@ -377,11 +429,19 @@ mod tests {
     fn cumulative_counts_ignores_out_of_window() {
         let groups = vec![vec![1]];
         let votes = vec![
-            Vote { timestamp: 500, voter: 1, story: 1 },  // before submit
+            Vote {
+                timestamp: 500,
+                voter: 1,
+                story: 1,
+            }, // before submit
         ];
         let counts = cumulative_counts(&groups, &votes, 1000, 2);
         assert_eq!(counts[0], vec![0, 0]);
-        let votes = vec![Vote { timestamp: 1000 + 3 * 3600, voter: 1, story: 1 }];
+        let votes = vec![Vote {
+            timestamp: 1000 + 3 * 3600,
+            voter: 1,
+            story: 1,
+        }];
         let counts = cumulative_counts(&groups, &votes, 1000, 2);
         assert_eq!(counts[0], vec![0, 0]);
     }
@@ -390,9 +450,21 @@ mod tests {
     fn counts_to_matrix_pipeline() {
         let groups = vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8, 9, 10]];
         let votes = vec![
-            Vote { timestamp: 0, voter: 1, story: 1 },
-            Vote { timestamp: 3600, voter: 5, story: 1 },
-            Vote { timestamp: 7200, voter: 2, story: 1 },
+            Vote {
+                timestamp: 0,
+                voter: 1,
+                story: 1,
+            },
+            Vote {
+                timestamp: 3600,
+                voter: 5,
+                story: 1,
+            },
+            Vote {
+                timestamp: 7200,
+                voter: 2,
+                story: 1,
+            },
         ];
         let counts = cumulative_counts(&groups, &votes, 0, 3);
         let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();

@@ -39,7 +39,10 @@ impl fmt::Display for CascadeError {
                 write!(f, "{axis} {value} out of range (max {max})")
             }
             CascadeError::EmptyGroup { group } => {
-                write!(f, "distance group {group} contains no users; density undefined")
+                write!(
+                    f,
+                    "distance group {group} contains no users; density undefined"
+                )
             }
         }
     }
@@ -56,13 +59,22 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(CascadeError::OutOfRange { axis: "hour", value: 99, max: 50 }
+        assert!(CascadeError::OutOfRange {
+            axis: "hour",
+            value: 99,
+            max: 50
+        }
+        .to_string()
+        .contains("hour 99"));
+        assert!(CascadeError::EmptyGroup { group: 3 }
             .to_string()
-            .contains("hour 99"));
-        assert!(CascadeError::EmptyGroup { group: 3 }.to_string().contains("group 3"));
-        assert!(CascadeError::InvalidParameter { name: "x", reason: "bad".into() }
-            .to_string()
-            .contains("`x`"));
+            .contains("group 3"));
+        assert!(CascadeError::InvalidParameter {
+            name: "x",
+            reason: "bad".into()
+        }
+        .to_string()
+        .contains("`x`"));
     }
 
     #[test]

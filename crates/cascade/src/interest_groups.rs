@@ -71,7 +71,10 @@ impl InterestGrouping {
             .collect();
 
         let min = dists.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
-        let max = dists.iter().map(|&(_, d)| d).fold(f64::NEG_INFINITY, f64::max);
+        let max = dists
+            .iter()
+            .map(|&(_, d)| d)
+            .fold(f64::NEG_INFINITY, f64::max);
         if !(max > min) {
             return Err(CascadeError::InvalidParameter {
                 name: "profile",
@@ -84,7 +87,9 @@ impl InterestGrouping {
         let edges: Vec<f64>;
         match strategy {
             GroupingStrategy::EqualWidth => {
-                edges = (0..=k).map(|i| min + (max - min) * i as f64 / k as f64).collect();
+                edges = (0..=k)
+                    .map(|i| min + (max - min) * i as f64 / k as f64)
+                    .collect();
                 for (u, d) in dists {
                     let mut g = ((d - min) / (max - min) * k as f64).floor() as usize;
                     if g >= k {
@@ -113,7 +118,11 @@ impl InterestGrouping {
                 edges = e;
             }
         }
-        Ok(Self { groups: out, edges, strategy })
+        Ok(Self {
+            groups: out,
+            edges,
+            strategy,
+        })
     }
 
     /// The user groups; element `g − 1` holds group `g`.
@@ -271,8 +280,16 @@ mod tests {
         // votes here) are checked on the noise-robust aggregate ordering.
         let w = world();
         for preset in StoryPreset::all() {
-            let c = simulate_story(&w, &preset, SimulationConfig { hours: 50, substeps: 2, seed: 5 })
-                .unwrap();
+            let c = simulate_story(
+                &w,
+                &preset,
+                SimulationConfig {
+                    hours: 50,
+                    substeps: 2,
+                    seed: 5,
+                },
+            )
+            .unwrap();
             let m = interest_density_matrix(
                 w.profile(),
                 w.user_count(),
@@ -305,7 +322,11 @@ mod tests {
                 );
                 let near = (profile[0] + profile[1]) / 2.0;
                 let far = (profile[k - 2] + profile[k - 1]) / 2.0;
-                assert!(near > far, "{}: near half not denser: {profile:?}", preset.name);
+                assert!(
+                    near > far,
+                    "{}: near half not denser: {profile:?}",
+                    preset.name
+                );
             }
         }
     }
@@ -313,8 +334,16 @@ mod tests {
     #[test]
     fn interest_density_monotone_in_time() {
         let w = world();
-        let c = simulate_story(&w, &StoryPreset::s1(), SimulationConfig { hours: 50, substeps: 2, seed: 5 })
-            .unwrap();
+        let c = simulate_story(
+            &w,
+            &StoryPreset::s1(),
+            SimulationConfig {
+                hours: 50,
+                substeps: 2,
+                seed: 5,
+            },
+        )
+        .unwrap();
         let m = interest_density_matrix(
             w.profile(),
             w.user_count(),
@@ -342,8 +371,10 @@ mod tests {
             GroupingStrategy::EqualWidth
         )
         .is_err());
-        assert!(InterestGrouping::compute(w.profile(), init, 3, 5, GroupingStrategy::EqualWidth)
-            .is_err());
+        assert!(
+            InterestGrouping::compute(w.profile(), init, 3, 5, GroupingStrategy::EqualWidth)
+                .is_err()
+        );
     }
 
     #[test]

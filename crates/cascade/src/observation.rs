@@ -48,7 +48,12 @@ impl ObservationSplit {
             .iter()
             .map(|&t| matrix.profile_at(t))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self { initial_hour, target_hours, initial_profile, targets })
+        Ok(Self {
+            initial_hour,
+            target_hours,
+            initial_profile,
+            targets,
+        })
     }
 
     /// The paper's protocol: φ from hour 1, predict hours 2–6.

@@ -33,8 +33,7 @@ impl PatternSummary {
         for d in 1..=matrix.max_distance() {
             saturation_hours.push(matrix.saturation_hour(d, 0.95)?);
         }
-        let monotone_in_distance =
-            final_densities.windows(2).all(|w| w[0] >= w[1] - 1e-9);
+        let monotone_in_distance = final_densities.windows(2).all(|w| w[0] >= w[1] - 1e-9);
         Ok(Self {
             final_densities,
             saturation_hours,
@@ -78,11 +77,8 @@ mod tests {
 
     fn rising_matrix() -> DensityMatrix {
         // Two groups, logistic-ish growth, group 1 denser than group 2.
-        DensityMatrix::from_counts(
-            &[vec![2, 6, 9, 10, 10], vec![1, 3, 5, 6, 6]],
-            &[20, 40],
-        )
-        .unwrap()
+        DensityMatrix::from_counts(&[vec![2, 6, 9, 10, 10], vec![1, 3, 5, 6, 6]], &[20, 40])
+            .unwrap()
     }
 
     #[test]

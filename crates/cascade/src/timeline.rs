@@ -65,7 +65,10 @@ impl VoteTimeline {
         if max == 0 {
             return None;
         }
-        self.counts.iter().position(|&c| c == max).map(|i| i as u32 + 1)
+        self.counts
+            .iter()
+            .position(|&c| c == max)
+            .map(|i| i as u32 + 1)
     }
 
     /// Hour by which `fraction` of the total votes have arrived
@@ -120,7 +123,11 @@ mod tests {
     use super::*;
 
     fn vote(ts: u64) -> Vote {
-        Vote { timestamp: ts, voter: ts as usize, story: 1 }
+        Vote {
+            timestamp: ts,
+            voter: ts as usize,
+            story: 1,
+        }
     }
 
     #[test]
@@ -148,7 +155,11 @@ mod tests {
         let mut id = 0u64;
         for (hour, n) in [(0u64, 1), (1, 5), (2, 2), (3, 1)] {
             for _ in 0..n {
-                votes.push(Vote { timestamp: hour * 3600 + id, voter: id as usize, story: 1 });
+                votes.push(Vote {
+                    timestamp: hour * 3600 + id,
+                    voter: id as usize,
+                    story: 1,
+                });
                 id += 1;
             }
         }
@@ -176,7 +187,11 @@ mod tests {
         for h in 0u64..12 {
             let n = (100.0 * (-0.4 * h as f64).exp()).round() as usize;
             for _ in 0..n {
-                votes.push(Vote { timestamp: h * 3600 + id % 3600, voter: id as usize, story: 1 });
+                votes.push(Vote {
+                    timestamp: h * 3600 + id % 3600,
+                    voter: id as usize,
+                    story: 1,
+                });
                 id += 1;
             }
         }

@@ -45,7 +45,11 @@ impl AccuracyTable {
             }
             cells.push(row);
         }
-        Ok(Self { distances, hours, cells })
+        Ok(Self {
+            distances,
+            hours,
+            cells,
+        })
     }
 
     /// Scores a [`Prediction`] against an [`ObservationSplit`]'s held-out
@@ -66,18 +70,23 @@ impl AccuracyTable {
                     name: "hours",
                     reason: format!("hour {h} not in the observation split"),
                 })?;
-                let idx = (d as usize).checked_sub(1).filter(|&i| i < profile.len()).ok_or(
-                    DlError::InvalidParameter {
+                let idx = (d as usize)
+                    .checked_sub(1)
+                    .filter(|&i| i < profile.len())
+                    .ok_or(DlError::InvalidParameter {
                         name: "distances",
                         reason: format!("distance {d} not in the observation split"),
-                    },
-                )?;
+                    })?;
                 let pred = prediction.at(d, h)?;
                 row.push(prediction_accuracy(pred, profile[idx]));
             }
             cells.push(row);
         }
-        Ok(Self { distances, hours, cells })
+        Ok(Self {
+            distances,
+            hours,
+            cells,
+        })
     }
 
     /// Distances (row labels).
@@ -117,8 +126,7 @@ impl AccuracyTable {
     /// prediction accuracy across all distances".
     #[must_use]
     pub fn overall_average(&self) -> Option<f64> {
-        let defined: Vec<f64> =
-            self.cells.iter().flatten().flatten().copied().collect();
+        let defined: Vec<f64> = self.cells.iter().flatten().flatten().copied().collect();
         if defined.is_empty() {
             None
         } else {
@@ -163,7 +171,10 @@ mod tests {
     const OBS: [f64; 6] = [2.1, 0.7, 0.9, 0.5, 0.3, 0.2];
 
     fn prediction() -> Prediction {
-        DlModel::paper_hops(&OBS).unwrap().predict(&[1, 2, 3], &[2, 3]).unwrap()
+        DlModel::paper_hops(&OBS)
+            .unwrap()
+            .predict(&[1, 2, 3], &[2, 3])
+            .unwrap()
     }
 
     #[test]
@@ -212,11 +223,9 @@ mod tests {
     #[test]
     fn display_matches_paper_layout() {
         let p = prediction();
-        let m = DensityMatrix::from_counts(
-            &[vec![1, 2, 3], vec![1, 2, 3], vec![1, 2, 3]],
-            &[100; 3],
-        )
-        .unwrap();
+        let m =
+            DensityMatrix::from_counts(&[vec![1, 2, 3], vec![1, 2, 3], vec![1, 2, 3]], &[100; 3])
+                .unwrap();
         let text = AccuracyTable::score(&p, &m).unwrap().to_string();
         assert!(text.contains("Distance"));
         assert!(text.contains("Average"));

@@ -25,20 +25,23 @@ use dlm_numerics::ode::rk4;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// The `d = 0` ablation: independent logistic growth per distance group,
 /// sharing the DL model's `r(t)` and `K`.
-#[derive(Debug)]
-pub struct LogisticOnly<'a> {
+#[derive(Debug, Clone)]
+pub struct LogisticOnly {
     initial: Vec<f64>,
-    growth: &'a dyn GrowthRate,
+    growth: Arc<dyn GrowthRate + Send + Sync>,
     capacity: f64,
     initial_time: f64,
 }
 
-impl<'a> LogisticOnly<'a> {
+impl LogisticOnly {
     /// Creates the baseline from the hour-1 profile (`initial[i]` at
-    /// distance `i + 1`).
+    /// distance `i + 1`). The growth curve is owned, so the baseline is
+    /// `'static` and usable behind the
+    /// [`crate::predict::FittedPredictor`] trait.
     ///
     /// # Errors
     ///
@@ -46,7 +49,21 @@ impl<'a> LogisticOnly<'a> {
     /// non-positive capacity.
     pub fn new(
         initial: &[f64],
-        growth: &'a dyn GrowthRate,
+        growth: impl GrowthRate + Send + Sync + 'static,
+        capacity: f64,
+        initial_time: f64,
+    ) -> Result<Self> {
+        Self::with_shared_growth(initial, Arc::new(growth), capacity, initial_time)
+    }
+
+    /// [`LogisticOnly::new`] taking an already-shared growth curve.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`LogisticOnly::new`].
+    pub fn with_shared_growth(
+        initial: &[f64],
+        growth: Arc<dyn GrowthRate + Send + Sync>,
         capacity: f64,
         initial_time: f64,
     ) -> Result<Self> {
@@ -62,7 +79,24 @@ impl<'a> LogisticOnly<'a> {
                 reason: format!("must be positive, got {capacity}"),
             });
         }
-        Ok(Self { initial: initial.to_vec(), growth, capacity, initial_time })
+        Ok(Self {
+            initial: initial.to_vec(),
+            growth,
+            capacity,
+            initial_time,
+        })
+    }
+
+    /// The shared capacity `K`.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// The shared growth curve `r(t)`.
+    #[must_use]
+    pub fn growth(&self) -> &(dyn GrowthRate + Send + Sync) {
+        self.growth.as_ref()
     }
 
     /// Predicts densities at integer distances/hours by integrating the
@@ -87,14 +121,15 @@ impl<'a> LogisticOnly<'a> {
         let k = self.capacity;
         let mut values = Vec::with_capacity(distances.len());
         for &d in distances {
-            let idx = (d as usize).checked_sub(1).filter(|&i| i < self.initial.len()).ok_or(
-                DlError::InvalidParameter {
+            let idx = (d as usize)
+                .checked_sub(1)
+                .filter(|&i| i < self.initial.len())
+                .ok_or(DlError::InvalidParameter {
                     name: "distances",
                     reason: format!("distance {d} outside the initial profile"),
-                },
-            )?;
+                })?;
             let y0 = self.initial[idx];
-            let growth = self.growth;
+            let growth = &self.growth;
             let sys = (
                 move |t: f64, y: &[f64], dy: &mut [f64]| {
                     dy[0] = growth.rate(t) * y[0] * (1.0 - y[0] / k);
@@ -147,7 +182,9 @@ impl NaiveLastValue {
                 reason: "must be nonempty".into(),
             });
         }
-        Ok(Self { initial: initial.to_vec() })
+        Ok(Self {
+            initial: initial.to_vec(),
+        })
     }
 
     /// Predicts the frozen profile at every requested hour.
@@ -159,12 +196,13 @@ impl NaiveLastValue {
     pub fn predict(&self, distances: &[u32], hours: &[u32]) -> Result<Prediction> {
         let mut values = Vec::with_capacity(distances.len());
         for &d in distances {
-            let idx = (d as usize).checked_sub(1).filter(|&i| i < self.initial.len()).ok_or(
-                DlError::InvalidParameter {
+            let idx = (d as usize)
+                .checked_sub(1)
+                .filter(|&i| i < self.initial.len())
+                .ok_or(DlError::InvalidParameter {
                     name: "distances",
                     reason: format!("distance {d} outside the initial profile"),
-                },
-            )?;
+                })?;
             values.push(vec![self.initial[idx]; hours.len()]);
         }
         Prediction::from_values(distances.to_vec(), hours.to_vec(), values)
@@ -188,15 +226,39 @@ impl LinearTrend {
     /// Returns [`DlError::InvalidParameter`] for empty or mismatched
     /// profiles.
     pub fn new(profile_t0: &[f64], profile_t1: &[f64], t0: f64) -> Result<Self> {
+        Self::with_step(profile_t0, profile_t1, t0, 1.0)
+    }
+
+    /// Creates the baseline from two profiles observed `step` hours apart
+    /// (the second at `t0 + step`); slopes are normalized per hour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for empty or mismatched
+    /// profiles or a non-positive step.
+    pub fn with_step(profile_t0: &[f64], profile_t1: &[f64], t0: f64, step: f64) -> Result<Self> {
         if profile_t0.is_empty() || profile_t0.len() != profile_t1.len() {
             return Err(DlError::InvalidParameter {
                 name: "profiles",
                 reason: "need two nonempty profiles of equal length".into(),
             });
         }
-        let slope: Vec<f64> =
-            profile_t0.iter().zip(profile_t1).map(|(a, b)| b - a).collect();
-        Ok(Self { base: profile_t0.to_vec(), slope, base_time: t0 })
+        if !(step > 0.0) {
+            return Err(DlError::InvalidParameter {
+                name: "step",
+                reason: format!("must be positive, got {step}"),
+            });
+        }
+        let slope: Vec<f64> = profile_t0
+            .iter()
+            .zip(profile_t1)
+            .map(|(a, b)| (b - a) / step)
+            .collect();
+        Ok(Self {
+            base: profile_t0.to_vec(),
+            slope,
+            base_time: t0,
+        })
     }
 
     /// Predicts by per-distance linear extrapolation.
@@ -207,15 +269,18 @@ impl LinearTrend {
     pub fn predict(&self, distances: &[u32], hours: &[u32]) -> Result<Prediction> {
         let mut values = Vec::with_capacity(distances.len());
         for &d in distances {
-            let idx = (d as usize).checked_sub(1).filter(|&i| i < self.base.len()).ok_or(
-                DlError::InvalidParameter {
+            let idx = (d as usize)
+                .checked_sub(1)
+                .filter(|&i| i < self.base.len())
+                .ok_or(DlError::InvalidParameter {
                     name: "distances",
                     reason: format!("distance {d} outside the profile"),
-                },
-            )?;
+                })?;
             let row: Vec<f64> = hours
                 .iter()
-                .map(|&h| (self.base[idx] + self.slope[idx] * (f64::from(h) - self.base_time)).max(0.0))
+                .map(|&h| {
+                    (self.base[idx] + self.slope[idx] * (f64::from(h) - self.base_time)).max(0.0)
+                })
                 .collect();
             values.push(row);
         }
@@ -239,7 +304,12 @@ pub struct EpidemicConfig {
 
 impl Default for EpidemicConfig {
     fn default() -> Self {
-        Self { beta: 0.01, gamma: 0.0, runs: 20, seed: 42 }
+        Self {
+            beta: 0.01,
+            gamma: 0.0,
+            runs: 20,
+            seed: 42,
+        }
     }
 }
 
@@ -260,7 +330,15 @@ pub fn si_epidemic(
     hours: &[u32],
     config: &EpidemicConfig,
 ) -> Result<Prediction> {
-    epidemic_impl(graph, initiator, initially_infected, max_hops, hours, config, false)
+    epidemic_impl(
+        graph,
+        initiator,
+        initially_infected,
+        max_hops,
+        hours,
+        config,
+        false,
+    )
 }
 
 /// SIS variant of [`si_epidemic`]: infected users recover with probability
@@ -279,7 +357,15 @@ pub fn sis_epidemic(
     hours: &[u32],
     config: &EpidemicConfig,
 ) -> Result<Prediction> {
-    epidemic_impl(graph, initiator, initially_infected, max_hops, hours, config, true)
+    epidemic_impl(
+        graph,
+        initiator,
+        initially_infected,
+        max_hops,
+        hours,
+        config,
+        true,
+    )
 }
 
 fn epidemic_impl(
@@ -389,7 +475,9 @@ fn epidemic_impl(
         .iter()
         .enumerate()
         .map(|(g, row)| {
-            row.iter().map(|&s| 100.0 * s / (config.runs as f64 * group_sizes[g] as f64)).collect()
+            row.iter()
+                .map(|&s| 100.0 * s / (config.runs as f64 * group_sizes[g] as f64))
+                .collect()
         })
         .collect();
     Prediction::from_values(distances, hours.to_vec(), values)
@@ -406,14 +494,18 @@ mod tests {
     #[test]
     fn logistic_only_matches_closed_form_with_constant_rate() {
         let growth = ConstantGrowth::new(0.8);
-        let baseline = LogisticOnly::new(&OBS, &growth, 25.0, 1.0).unwrap();
+        let baseline = LogisticOnly::new(&OBS, growth, 25.0, 1.0).unwrap();
         let p = baseline.predict(&[1, 2, 3, 4, 5], &[2, 4, 6]).unwrap();
         let exact = |y0: f64, t: f64| 25.0 / (1.0 + (25.0 / y0 - 1.0) * (-0.8 * (t - 1.0)).exp());
         for (i, &y0) in OBS.iter().enumerate() {
             for &h in &[2u32, 4, 6] {
                 let got = p.at(i as u32 + 1, h).unwrap();
                 let want = exact(y0, f64::from(h));
-                assert!((got - want).abs() < 1e-4, "d={} h={h}: {got} vs {want}", i + 1);
+                assert!(
+                    (got - want).abs() < 1e-4,
+                    "d={} h={h}: {got} vs {want}",
+                    i + 1
+                );
             }
         }
     }
@@ -421,7 +513,7 @@ mod tests {
     #[test]
     fn logistic_only_with_paper_growth_is_increasing_and_bounded() {
         let growth = ExpDecayGrowth::paper_hops();
-        let baseline = LogisticOnly::new(&OBS, &growth, 25.0, 1.0).unwrap();
+        let baseline = LogisticOnly::new(&OBS, growth, 25.0, 1.0).unwrap();
         let p = baseline.predict(&[1, 3, 5], &[2, 3, 4, 5, 6]).unwrap();
         for &d in &[1u32, 3, 5] {
             let mut prev = 0.0;
@@ -436,9 +528,9 @@ mod tests {
     #[test]
     fn logistic_only_rejects_bad_inputs() {
         let growth = ConstantGrowth::new(0.5);
-        assert!(LogisticOnly::new(&[], &growth, 25.0, 1.0).is_err());
-        assert!(LogisticOnly::new(&OBS, &growth, 0.0, 1.0).is_err());
-        let b = LogisticOnly::new(&OBS, &growth, 25.0, 1.0).unwrap();
+        assert!(LogisticOnly::new(&[], growth, 25.0, 1.0).is_err());
+        assert!(LogisticOnly::new(&OBS, growth, 0.0, 1.0).is_err());
+        let b = LogisticOnly::new(&OBS, growth, 25.0, 1.0).unwrap();
         assert!(b.predict(&[9], &[2]).is_err());
         assert!(b.predict(&[1], &[1]).is_err());
     }
@@ -478,7 +570,11 @@ mod tests {
     #[test]
     fn si_epidemic_with_beta_one_marches_one_hop_per_hour() {
         let g = chain_graph();
-        let cfg = EpidemicConfig { beta: 1.0, runs: 3, ..Default::default() };
+        let cfg = EpidemicConfig {
+            beta: 1.0,
+            runs: 3,
+            ..Default::default()
+        };
         let p = si_epidemic(&g, 0, &[0], 5, &[1, 2, 3], &cfg).unwrap();
         // After hour h the infection has reached exactly hop h.
         assert_eq!(p.at(1, 1).unwrap(), 100.0);
@@ -491,7 +587,11 @@ mod tests {
     #[test]
     fn si_epidemic_with_beta_zero_stays_at_seed() {
         let g = chain_graph();
-        let cfg = EpidemicConfig { beta: 0.0, runs: 2, ..Default::default() };
+        let cfg = EpidemicConfig {
+            beta: 0.0,
+            runs: 2,
+            ..Default::default()
+        };
         let p = si_epidemic(&g, 0, &[0], 5, &[3], &cfg).unwrap();
         for d in 1..=5 {
             assert_eq!(p.at(d, 3).unwrap(), 0.0);
@@ -502,28 +602,68 @@ mod tests {
     fn sis_recovery_slows_spread() {
         use dlm_graph::generators::{preferential_attachment, PreferentialAttachmentConfig};
         let g = preferential_attachment(
-            PreferentialAttachmentConfig { nodes: 400, ..Default::default() },
+            PreferentialAttachmentConfig {
+                nodes: 400,
+                ..Default::default()
+            },
             3,
         )
         .unwrap();
-        let si_cfg = EpidemicConfig { beta: 0.05, gamma: 0.0, runs: 10, seed: 1 };
-        let sis_cfg = EpidemicConfig { beta: 0.05, gamma: 0.8, runs: 10, seed: 1 };
+        let si_cfg = EpidemicConfig {
+            beta: 0.05,
+            gamma: 0.0,
+            runs: 10,
+            seed: 1,
+        };
+        let sis_cfg = EpidemicConfig {
+            beta: 0.05,
+            gamma: 0.8,
+            runs: 10,
+            seed: 1,
+        };
         let hours = [10u32];
         let si = si_epidemic(&g, 0, &[0], 4, &hours, &si_cfg).unwrap();
         let sis = sis_epidemic(&g, 0, &[0], 4, &hours, &sis_cfg).unwrap();
         let total = |p: &Prediction| -> f64 {
-            (1..=p.distances().len() as u32).map(|d| p.at(d, 10).unwrap()).sum()
+            (1..=p.distances().len() as u32)
+                .map(|d| p.at(d, 10).unwrap())
+                .sum()
         };
-        assert!(total(&sis) < total(&si), "{} !< {}", total(&sis), total(&si));
+        assert!(
+            total(&sis) < total(&si),
+            "{} !< {}",
+            total(&sis),
+            total(&si)
+        );
     }
 
     #[test]
     fn epidemic_rejects_bad_config() {
         let g = chain_graph();
-        assert!(si_epidemic(&g, 0, &[0], 5, &[1], &EpidemicConfig { beta: 2.0, ..Default::default() })
-            .is_err());
-        assert!(si_epidemic(&g, 0, &[0], 5, &[1], &EpidemicConfig { runs: 0, ..Default::default() })
-            .is_err());
+        assert!(si_epidemic(
+            &g,
+            0,
+            &[0],
+            5,
+            &[1],
+            &EpidemicConfig {
+                beta: 2.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(si_epidemic(
+            &g,
+            0,
+            &[0],
+            5,
+            &[1],
+            &EpidemicConfig {
+                runs: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(si_epidemic(&g, 0, &[0], 0, &[1], &EpidemicConfig::default()).is_err());
         assert!(si_epidemic(&g, 0, &[0], 5, &[], &EpidemicConfig::default()).is_err());
         // Node 5 has no out-edges: reaches nobody.
@@ -533,7 +673,12 @@ mod tests {
     #[test]
     fn epidemic_is_seed_deterministic() {
         let g = chain_graph();
-        let cfg = EpidemicConfig { beta: 0.5, runs: 5, seed: 9, ..Default::default() };
+        let cfg = EpidemicConfig {
+            beta: 0.5,
+            runs: 5,
+            seed: 9,
+            ..Default::default()
+        };
         let a = si_epidemic(&g, 0, &[0], 5, &[1, 2], &cfg).unwrap();
         let b = si_epidemic(&g, 0, &[0], 5, &[1, 2], &cfg).unwrap();
         assert_eq!(a, b);

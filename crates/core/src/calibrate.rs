@@ -44,7 +44,11 @@ impl Default for CalibrationOptions {
             max_diffusion: 1.0,
             max_capacity: 100.0,
             max_evals: 400,
-            solver: SolverConfig { space_intervals: 40, dt: 0.05, ..SolverConfig::default() },
+            solver: SolverConfig {
+                space_intervals: 40,
+                dt: 0.05,
+                ..SolverConfig::default()
+            },
         }
     }
 }
@@ -77,12 +81,11 @@ impl Calibration {
     }
 }
 
-/// Calibrates DL parameters against observed densities.
+/// Calibrates DL parameters against observed densities in a
+/// [`DensityMatrix`].
 ///
-/// φ is built from the profile at `initial_hour`; the objective compares
-/// the DL solution against the observed profiles at `fit_hours`
-/// (each must be after `initial_hour`). `seed_params` / `seed_growth`
-/// seed the search (the paper presets are good seeds).
+/// Thin wrapper over [`calibrate_profiles`] that extracts the initial and
+/// target profiles from the matrix.
 ///
 /// # Errors
 ///
@@ -102,21 +105,64 @@ pub fn calibrate(
             reason: "must be nonempty".into(),
         });
     }
-    if fit_hours.iter().any(|&h| h <= initial_hour) {
-        return Err(DlError::InvalidParameter {
-            name: "fit_hours",
-            reason: format!("every fit hour must exceed the initial hour {initial_hour}"),
-        });
-    }
     let initial_profile = observed.profile_at(initial_hour)?;
     let targets: Vec<(u32, Vec<f64>)> = fit_hours
         .iter()
         .map(|&h| observed.profile_at(h).map(|p| (h, p)))
         .collect::<dlm_cascade::Result<_>>()?;
-    let t_end = f64::from(*fit_hours.iter().max().expect("nonempty"));
+    calibrate_profiles(
+        initial_hour,
+        &initial_profile,
+        &targets,
+        seed_params,
+        seed_growth,
+        options,
+    )
+}
+
+/// Calibrates DL parameters against raw observed profiles — the form the
+/// [`crate::predict::DiffusionPredictor`] layer uses, where observations
+/// arrive as profiles rather than a full matrix.
+///
+/// φ is built from `initial_profile` (observed at `initial_hour`); the
+/// objective compares the DL solution against each `(hour, profile)` in
+/// `targets` (every hour must be after `initial_hour`). `seed_params` /
+/// `seed_growth` seed the search (the paper presets are good seeds).
+///
+/// # Errors
+///
+/// * [`DlError::InvalidParameter`] — empty/invalid targets.
+/// * Propagates optimizer errors.
+pub fn calibrate_profiles(
+    initial_hour: u32,
+    initial_profile: &[f64],
+    targets: &[(u32, Vec<f64>)],
+    seed_params: DlParameters,
+    seed_growth: ExpDecayGrowth,
+    options: &CalibrationOptions,
+) -> Result<Calibration> {
+    if targets.is_empty() {
+        return Err(DlError::InvalidParameter {
+            name: "fit_hours",
+            reason: "must be nonempty".into(),
+        });
+    }
+    if targets.iter().any(|&(h, _)| h <= initial_hour) {
+        return Err(DlError::InvalidParameter {
+            name: "fit_hours",
+            reason: format!("every fit hour must exceed the initial hour {initial_hour}"),
+        });
+    }
+    let initial_profile = initial_profile.to_vec();
+    let targets = targets.to_vec();
+    let t_end = f64::from(targets.iter().map(|&(h, _)| h).max().expect("nonempty"));
 
     // Parameter vector: [a, b, c, d?, K?] depending on options.
-    let mut x0 = vec![seed_growth.amplitude(), seed_growth.decay(), seed_growth.floor()];
+    let mut x0 = vec![
+        seed_growth.amplitude(),
+        seed_growth.decay(),
+        seed_growth.floor(),
+    ];
     if options.fit_diffusion {
         x0.push(seed_params.diffusion());
     }
@@ -134,7 +180,11 @@ pub fn calibrate(
         } else {
             seed_params.diffusion()
         };
-        let k = if opts.fit_capacity { p[idx] } else { seed_params.capacity() };
+        let k = if opts.fit_capacity {
+            p[idx]
+        } else {
+            seed_params.capacity()
+        };
         // Hard constraints via +inf.
         if !(a >= 0.0 && b >= 0.0 && c >= 0.0 && (0.0..=opts.max_diffusion).contains(&d)) {
             return f64::INFINITY;
@@ -150,14 +200,21 @@ pub fn calibrate(
             return f64::INFINITY;
         };
         let growth = ExpDecayGrowth::new(a, b, c);
-        let Ok(phi) =
-            InitialDensity::from_observations(&params, &initial_profile, PhiConstruction::SplineFlat)
-        else {
+        let Ok(phi) = InitialDensity::from_observations(
+            &params,
+            &initial_profile,
+            PhiConstruction::SplineFlat,
+        ) else {
             return f64::INFINITY;
         };
-        let Ok(sol) =
-            solve(&params, &growth, &phi, f64::from(initial_hour), t_end, &opts.solver)
-        else {
+        let Ok(sol) = solve(
+            &params,
+            &growth,
+            &phi,
+            f64::from(initial_hour),
+            t_end,
+            &opts.solver,
+        ) else {
             return f64::INFINITY;
         };
         let mut acc = 0.0;
@@ -186,10 +243,17 @@ pub fn calibrate(
     let minimum = nelder_mead(
         objective,
         &x0,
-        NelderMeadConfig { max_evals: options.max_evals, ..NelderMeadConfig::default() },
+        NelderMeadConfig {
+            max_evals: options.max_evals,
+            ..NelderMeadConfig::default()
+        },
     )?;
 
-    let (a, b, c) = (minimum.x[0].max(0.0), minimum.x[1].max(0.0), minimum.x[2].max(0.0));
+    let (a, b, c) = (
+        minimum.x[0].max(0.0),
+        minimum.x[1].max(0.0),
+        minimum.x[2].max(0.0),
+    );
     let mut idx = 3;
     let d = if options.fit_diffusion {
         idx += 1;
@@ -231,7 +295,11 @@ mod tests {
             &phi,
             1.0,
             6.0,
-            &SolverConfig { space_intervals: 100, dt: 0.01, ..SolverConfig::default() },
+            &SolverConfig {
+                space_intervals: 100,
+                dt: 0.01,
+                ..SolverConfig::default()
+            },
         )
         .unwrap();
         // Convert to counts on a large population to avoid quantization.
@@ -328,7 +396,12 @@ mod tests {
             &options,
         )
         .unwrap();
-        let max_obs = observed.profile_at(1).unwrap().iter().cloned().fold(0.0, f64::max);
+        let max_obs = observed
+            .profile_at(1)
+            .unwrap()
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
         assert!(cal.params.capacity() > max_obs);
     }
 }

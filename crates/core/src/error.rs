@@ -41,13 +41,23 @@ impl fmt::Display for DlError {
             DlError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
-            DlError::InvalidInitialDensity { requirement, reason } => {
-                write!(f, "initial density violates requirement ({requirement}): {reason}")
+            DlError::InvalidInitialDensity {
+                requirement,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "initial density violates requirement ({requirement}): {reason}"
+                )
             }
             DlError::Numerics(e) => write!(f, "numerics error: {e}"),
             DlError::Cascade(e) => write!(f, "cascade error: {e}"),
             DlError::OutOfDomain { axis, value, range } => {
-                write!(f, "{axis} {value} outside solved domain [{}, {}]", range.0, range.1)
+                write!(
+                    f,
+                    "{axis} {value} outside solved domain [{}, {}]",
+                    range.0, range.1
+                )
             }
         }
     }
@@ -84,12 +94,19 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DlError::InvalidParameter { name: "d", reason: "negative".into() }
-            .to_string()
-            .contains("`d`"));
-        assert!(DlError::OutOfDomain { axis: "time", value: 99.0, range: (1.0, 6.0) }
-            .to_string()
-            .contains("99"));
+        assert!(DlError::InvalidParameter {
+            name: "d",
+            reason: "negative".into()
+        }
+        .to_string()
+        .contains("`d`"));
+        assert!(DlError::OutOfDomain {
+            axis: "time",
+            value: 99.0,
+            range: (1.0, 6.0)
+        }
+        .to_string()
+        .contains("99"));
         assert!(DlError::InvalidInitialDensity {
             requirement: "non-negative",
             reason: "phi(2) < 0".into()

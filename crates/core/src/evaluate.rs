@@ -1,0 +1,508 @@
+//! Batch evaluation: run a set of registered models over a set of
+//! cascades and emit per-model Eq.-8 accuracy tables in one call.
+//!
+//! [`EvaluationCase`] packages one cascade's observed [`DensityMatrix`]
+//! with the evaluation protocol (which hours predictors may observe,
+//! which hours they must predict, and the optional graph context for
+//! epidemic models). [`EvaluationPipeline::run`] fits every
+//! [`ModelSpec`]-described predictor on every case through the
+//! [`crate::predict::DiffusionPredictor`] interface and scores each
+//! prediction with [`AccuracyTable`]; per-model failures (e.g. an
+//! epidemic model on a case without graph context) are recorded in the
+//! report instead of aborting the batch.
+
+use crate::accuracy::AccuracyTable;
+use crate::error::{DlError, Result};
+use crate::predict::{GraphContext, Observation, PredictionRequest};
+use crate::registry::{ModelRegistry, ModelSpec};
+use dlm_cascade::DensityMatrix;
+use std::fmt;
+
+/// One cascade plus its evaluation protocol.
+#[derive(Debug, Clone)]
+pub struct EvaluationCase {
+    name: String,
+    matrix: DensityMatrix,
+    initial_hour: u32,
+    observe_through: u32,
+    last_hour: u32,
+    graph: Option<GraphContext>,
+}
+
+impl EvaluationCase {
+    /// Creates a case where predictors may observe the full evaluation
+    /// window `initial_hour..=last_hour` while being scored on
+    /// `initial_hour+1..=last_hour` — the protocol methodologically
+    /// equivalent to the paper's hand tuning, which also saw the full
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for an empty window or hours
+    /// beyond the matrix.
+    pub fn new(
+        name: impl Into<String>,
+        matrix: DensityMatrix,
+        initial_hour: u32,
+        last_hour: u32,
+    ) -> Result<Self> {
+        Self::forecast(name, matrix, initial_hour, last_hour, last_hour)
+    }
+
+    /// Creates a strict forecasting case: predictors observe only
+    /// `initial_hour..=observe_through` and are scored on
+    /// `initial_hour+1..=last_hour`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for inconsistent hours.
+    pub fn forecast(
+        name: impl Into<String>,
+        matrix: DensityMatrix,
+        initial_hour: u32,
+        observe_through: u32,
+        last_hour: u32,
+    ) -> Result<Self> {
+        if initial_hour == 0
+            || initial_hour >= last_hour
+            || observe_through < initial_hour
+            || observe_through > last_hour
+            || last_hour > matrix.max_hour()
+        {
+            return Err(DlError::InvalidParameter {
+                name: "hours",
+                reason: format!(
+                    "need 1 <= initial ({initial_hour}) < last ({last_hour}) <= max observed \
+                     ({}) and initial <= observe_through ({observe_through}) <= last",
+                    matrix.max_hour()
+                ),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            matrix,
+            initial_hour,
+            observe_through,
+            last_hour,
+            graph: None,
+        })
+    }
+
+    /// The paper's protocol: observe hour 1 onward, predict hours 2–6.
+    ///
+    /// # Errors
+    ///
+    /// Requires the matrix to span at least 6 hours.
+    pub fn paper_protocol(name: impl Into<String>, matrix: DensityMatrix) -> Result<Self> {
+        Self::new(name, matrix, 1, 6)
+    }
+
+    /// Attaches the follower-graph context for epidemic predictors.
+    #[must_use]
+    pub fn with_graph(mut self, graph: GraphContext) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// The case label used in reports.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The observed density matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &DensityMatrix {
+        &self.matrix
+    }
+
+    /// Hours the case scores predictions on.
+    #[must_use]
+    pub fn target_hours(&self) -> Vec<u32> {
+        (self.initial_hour + 1..=self.last_hour).collect()
+    }
+
+    /// Distances the case scores predictions on.
+    #[must_use]
+    pub fn distances(&self) -> Vec<u32> {
+        (1..=self.matrix.max_distance()).collect()
+    }
+
+    /// The observation exposed to predictors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix access errors.
+    pub fn observation(&self) -> Result<Observation> {
+        let hours: Vec<u32> = (self.initial_hour..=self.observe_through).collect();
+        let observation = Observation::from_matrix(&self.matrix, &hours)?;
+        Ok(match &self.graph {
+            Some(ctx) => observation.with_graph(ctx.clone()),
+            None => observation,
+        })
+    }
+}
+
+/// The outcome of one model on one case.
+#[derive(Debug, Clone)]
+pub struct EvaluationOutcome {
+    /// The model's spec string.
+    pub spec: String,
+    /// The case label.
+    pub case: String,
+    /// The Eq.-8 accuracy table, when the model ran.
+    pub table: Option<AccuracyTable>,
+    /// Fitted parameter names, parallel to `params`.
+    pub param_names: Vec<String>,
+    /// Fitted parameter values.
+    pub params: Vec<f64>,
+    /// The failure message, when the model could not fit or predict.
+    pub error: Option<String>,
+}
+
+impl EvaluationOutcome {
+    /// Overall mean accuracy across defined cells, if the model ran.
+    #[must_use]
+    pub fn overall(&self) -> Option<f64> {
+        self.table.as_ref().and_then(AccuracyTable::overall_average)
+    }
+}
+
+/// The full per-model × per-case accuracy report.
+#[derive(Debug, Clone)]
+pub struct EvaluationReport {
+    specs: Vec<String>,
+    cases: Vec<String>,
+    /// outcomes[model_idx * cases.len() + case_idx]
+    outcomes: Vec<EvaluationOutcome>,
+}
+
+impl EvaluationReport {
+    /// Spec strings of the evaluated models, in run order.
+    #[must_use]
+    pub fn specs(&self) -> &[String] {
+        &self.specs
+    }
+
+    /// Labels of the evaluated cases, in run order.
+    #[must_use]
+    pub fn cases(&self) -> &[String] {
+        &self.cases
+    }
+
+    /// All outcomes, model-major.
+    #[must_use]
+    pub fn outcomes(&self) -> &[EvaluationOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome of one model on one case.
+    #[must_use]
+    pub fn outcome(&self, model_idx: usize, case_idx: usize) -> Option<&EvaluationOutcome> {
+        if model_idx >= self.specs.len() || case_idx >= self.cases.len() {
+            return None;
+        }
+        self.outcomes.get(model_idx * self.cases.len() + case_idx)
+    }
+
+    /// Mean overall accuracy of one model across the cases where it ran.
+    #[must_use]
+    pub fn mean_overall(&self, model_idx: usize) -> Option<f64> {
+        let values: Vec<f64> = (0..self.cases.len())
+            .filter_map(|c| {
+                self.outcome(model_idx, c)
+                    .and_then(EvaluationOutcome::overall)
+            })
+            .collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+
+    /// Models ranked by mean overall accuracy, best first; models that
+    /// never ran sort last.
+    #[must_use]
+    pub fn ranking(&self) -> Vec<(String, Option<f64>)> {
+        let mut rows: Vec<(String, Option<f64>)> = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), self.mean_overall(i)))
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.unwrap_or(f64::NEG_INFINITY)
+                .total_cmp(&a.1.unwrap_or(f64::NEG_INFINITY))
+        });
+        rows
+    }
+}
+
+impl fmt::Display for EvaluationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .specs
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(5)
+            .max("model".len())
+            + 2;
+        write!(f, "{:<width$}", "model")?;
+        for case in &self.cases {
+            write!(f, "{case:>12}")?;
+        }
+        writeln!(f, "{:>12}", "mean")?;
+        for (mi, spec) in self.specs.iter().enumerate() {
+            write!(f, "{spec:<width$}")?;
+            for ci in 0..self.cases.len() {
+                match self.outcome(mi, ci) {
+                    Some(o) if o.error.is_some() => write!(f, "{:>12}", "err")?,
+                    Some(o) => match o.overall() {
+                        Some(a) => write!(f, "{:>11.2}%", a * 100.0)?,
+                        None => write!(f, "{:>12}", "-")?,
+                    },
+                    None => write!(f, "{:>12}", "-")?,
+                }
+            }
+            match self.mean_overall(mi) {
+                Some(a) => writeln!(f, "{:>11.2}%", a * 100.0)?,
+                None => writeln!(f, "{:>12}", "-")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs a set of registered models over a set of cascades.
+#[derive(Debug, Default)]
+pub struct EvaluationPipeline {
+    registry: ModelRegistry,
+    specs: Vec<ModelSpec>,
+}
+
+impl EvaluationPipeline {
+    /// A pipeline over the built-in registry with no models selected yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            registry: ModelRegistry::with_builtins(),
+            specs: Vec::new(),
+        }
+    }
+
+    /// A pipeline over a custom registry.
+    #[must_use]
+    pub fn with_registry(registry: ModelRegistry) -> Self {
+        Self {
+            registry,
+            specs: Vec::new(),
+        }
+    }
+
+    /// A pipeline preloaded with [`ModelSpec::default_lineup`] — the full
+    /// zoo of seven predictor kinds.
+    #[must_use]
+    pub fn full_lineup() -> Self {
+        Self::new().models(ModelSpec::default_lineup())
+    }
+
+    /// Adds one model to the line-up.
+    #[must_use]
+    pub fn model(mut self, spec: ModelSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Adds several models to the line-up.
+    #[must_use]
+    pub fn models(mut self, specs: impl IntoIterator<Item = ModelSpec>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// The selected model specs.
+    #[must_use]
+    pub fn specs(&self) -> &[ModelSpec] {
+        &self.specs
+    }
+
+    /// Fits and scores every selected model on every case.
+    ///
+    /// Per-model fit/predict failures become [`EvaluationOutcome::error`]
+    /// entries; only structural problems (no models, no cases, a spec the
+    /// registry cannot construct) abort the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for an empty line-up or case
+    /// list; propagates registry construction and observation errors.
+    pub fn run(&self, cases: &[EvaluationCase]) -> Result<EvaluationReport> {
+        if self.specs.is_empty() || cases.is_empty() {
+            return Err(DlError::InvalidParameter {
+                name: "pipeline",
+                reason: "need at least one model spec and one case".into(),
+            });
+        }
+        // Observations and requests depend only on the case; build them
+        // once instead of once per model.
+        let prepared: Vec<(Observation, PredictionRequest)> = cases
+            .iter()
+            .map(|case| {
+                Ok((
+                    case.observation()?,
+                    PredictionRequest::new(case.distances(), case.target_hours())?,
+                ))
+            })
+            .collect::<Result<_>>()?;
+        let mut outcomes = Vec::with_capacity(self.specs.len() * cases.len());
+        for spec in &self.specs {
+            let predictor = self.registry.build(spec)?;
+            for (case, (observation, request)) in cases.iter().zip(&prepared) {
+                let outcome = match predictor.fit(observation).and_then(|fitted| {
+                    let prediction = fitted.predict(request)?;
+                    let table = AccuracyTable::score(&prediction, &case.matrix)?;
+                    Ok((fitted, table))
+                }) {
+                    Ok((fitted, table)) => EvaluationOutcome {
+                        spec: spec.to_string(),
+                        case: case.name.clone(),
+                        table: Some(table),
+                        param_names: fitted.param_names(),
+                        params: fitted.params(),
+                        error: None,
+                    },
+                    Err(e) => EvaluationOutcome {
+                        spec: spec.to_string(),
+                        case: case.name.clone(),
+                        table: None,
+                        param_names: Vec::new(),
+                        params: Vec::new(),
+                        error: Some(e.to_string()),
+                    },
+                };
+                outcomes.push(outcome);
+            }
+        }
+        Ok(EvaluationReport {
+            specs: self.specs.iter().map(ToString::to_string).collect(),
+            cases: cases.iter().map(|c| c.name.clone()).collect(),
+            outcomes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DlModel;
+
+    /// A matrix generated from a known DL model, so the DL predictor has
+    /// a recoverable signal and baselines are strictly worse.
+    fn synthetic_matrix() -> DensityMatrix {
+        let initial = [2.1, 0.7, 0.9, 0.5, 0.3, 0.2];
+        let truth = DlModel::paper_hops(&initial).unwrap();
+        let pred = truth
+            .predict(&[1, 2, 3, 4, 5, 6], &[2, 3, 4, 5, 6])
+            .unwrap();
+        let pop = 1_000_000usize;
+        let counts: Vec<Vec<usize>> = (1..=6u32)
+            .map(|d| {
+                let mut row =
+                    vec![((initial[(d - 1) as usize] / 100.0) * pop as f64).round() as usize];
+                for h in 2..=6 {
+                    row.push(((pred.at(d, h).unwrap() / 100.0) * pop as f64).round() as usize);
+                }
+                row
+            })
+            .collect();
+        DensityMatrix::from_counts(&counts, &[pop; 6]).unwrap()
+    }
+
+    #[test]
+    fn pipeline_scores_multiple_models_on_multiple_cases() {
+        let m = synthetic_matrix();
+        let cases = vec![
+            EvaluationCase::paper_protocol("s1", m.clone()).unwrap(),
+            EvaluationCase::new("s1-short", m, 1, 4).unwrap(),
+        ];
+        let report = EvaluationPipeline::new()
+            .model(ModelSpec::paper_hops_dl())
+            .model(ModelSpec::Naive)
+            .model(ModelSpec::LinearTrend)
+            .run(&cases)
+            .unwrap();
+        assert_eq!(report.specs().len(), 3);
+        assert_eq!(report.cases(), &["s1".to_string(), "s1-short".into()]);
+        // The generating model must dominate the naive baseline on its
+        // own data, on every case.
+        for ci in 0..2 {
+            let dl = report.outcome(0, ci).unwrap().overall().unwrap();
+            let naive = report.outcome(1, ci).unwrap().overall().unwrap();
+            assert!(dl > naive, "case {ci}: dl {dl} !> naive {naive}");
+            assert!(dl > 0.99, "case {ci}: dl accuracy {dl}");
+        }
+        assert_eq!(
+            report.ranking()[0].0,
+            ModelSpec::paper_hops_dl().to_string()
+        );
+        let text = report.to_string();
+        assert!(text.contains("naive"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn epidemic_without_graph_is_recorded_not_fatal() {
+        let cases = vec![EvaluationCase::paper_protocol("s1", synthetic_matrix()).unwrap()];
+        let report = EvaluationPipeline::new()
+            .model(ModelSpec::Naive)
+            .model(ModelSpec::Si {
+                beta: 0.01,
+                runs: 2,
+                seed: 1,
+            })
+            .run(&cases)
+            .unwrap();
+        assert!(report.outcome(0, 0).unwrap().error.is_none());
+        let si = report.outcome(1, 0).unwrap();
+        assert!(si.error.as_deref().unwrap().contains("graph"));
+        assert!(si.overall().is_none());
+        // The failed model sorts last.
+        assert_eq!(report.ranking().last().unwrap().0, si.spec);
+    }
+
+    #[test]
+    fn pipeline_rejects_empty_inputs() {
+        let case = EvaluationCase::paper_protocol("s1", synthetic_matrix()).unwrap();
+        assert!(EvaluationPipeline::new().run(&[case]).is_err());
+        assert!(EvaluationPipeline::new()
+            .model(ModelSpec::Naive)
+            .run(&[])
+            .is_err());
+    }
+
+    #[test]
+    fn forecast_case_limits_observation() {
+        let m = synthetic_matrix();
+        let case = EvaluationCase::forecast("s1", m, 1, 2, 6).unwrap();
+        let obs = case.observation().unwrap();
+        assert_eq!(obs.hours(), &[1, 2]);
+        assert_eq!(case.target_hours(), vec![2, 3, 4, 5, 6]);
+        assert!(EvaluationCase::forecast("bad", case.matrix().clone(), 3, 2, 6).is_err());
+        assert!(EvaluationCase::forecast("bad", case.matrix().clone(), 0, 1, 6).is_err());
+        assert!(EvaluationCase::forecast("bad", case.matrix().clone(), 1, 2, 99).is_err());
+    }
+
+    #[test]
+    fn outcomes_expose_fitted_parameters() {
+        let cases = vec![EvaluationCase::paper_protocol("s1", synthetic_matrix()).unwrap()];
+        let report = EvaluationPipeline::new()
+            .model(ModelSpec::paper_hops_dl())
+            .run(&cases)
+            .unwrap();
+        let o = report.outcome(0, 0).unwrap();
+        assert_eq!(o.param_names[0], "d");
+        assert_eq!(o.params[0], 0.01);
+    }
+}

@@ -31,8 +31,14 @@ use crate::pde::{solve, SolverConfig};
 /// Panics if `r` or `d` is negative or non-finite.
 #[must_use]
 pub fn fisher_wave_speed(r: f64, d: f64) -> f64 {
-    assert!(r.is_finite() && r >= 0.0, "r must be finite and non-negative");
-    assert!(d.is_finite() && d >= 0.0, "d must be finite and non-negative");
+    assert!(
+        r.is_finite() && r >= 0.0,
+        "r must be finite and non-negative"
+    );
+    assert!(
+        d.is_finite() && d >= 0.0,
+        "d must be finite and non-negative"
+    );
     2.0 * (r * d).sqrt()
 }
 
@@ -60,7 +66,12 @@ pub struct WaveSpeedMeasurement {
 /// * [`DlError::InvalidParameter`] — non-positive `r`, `d`, `width`, or a
 ///   domain too small to develop a front.
 /// * Propagates solver errors.
-pub fn measure_wave_speed(r: f64, d: f64, capacity: f64, width: f64) -> Result<WaveSpeedMeasurement> {
+pub fn measure_wave_speed(
+    r: f64,
+    d: f64,
+    capacity: f64,
+    width: f64,
+) -> Result<WaveSpeedMeasurement> {
     if !(r > 0.0) || !(d > 0.0) {
         return Err(DlError::InvalidParameter {
             name: "r/d",
@@ -95,7 +106,11 @@ pub fn measure_wave_speed(r: f64, d: f64, capacity: f64, width: f64) -> Result<W
     // Resolution: at least 8 points per unit and CFL-friendly dt.
     let intervals = ((width * 8.0) as usize).max(200);
     let dt = (0.2 / r).min(0.05);
-    let config = SolverConfig { space_intervals: intervals, dt, ..SolverConfig::default() };
+    let config = SolverConfig {
+        space_intervals: intervals,
+        dt,
+        ..SolverConfig::default()
+    };
     let solution = solve(&params, &growth, &phi, 1.0, t_end, &config)?;
 
     // Track the K/2 level set across the measurement window.
@@ -115,8 +130,14 @@ pub fn measure_wave_speed(r: f64, d: f64, capacity: f64, width: f64) -> Result<W
     let lo_idx = n / 3;
     let hi_idx = (9 * n) / 10;
     let xs = solution.grid();
-    let (t0, x0) = (times[lo_idx], front_position(&solution.values()[lo_idx], xs));
-    let (t1, x1) = (times[hi_idx], front_position(&solution.values()[hi_idx], xs));
+    let (t0, x0) = (
+        times[lo_idx],
+        front_position(&solution.values()[lo_idx], xs),
+    );
+    let (t1, x1) = (
+        times[hi_idx],
+        front_position(&solution.values()[hi_idx], xs),
+    );
     let (Some(x0), Some(x1)) = (x0, x1) else {
         return Err(DlError::InvalidParameter {
             name: "width",
@@ -131,7 +152,11 @@ pub fn measure_wave_speed(r: f64, d: f64, capacity: f64, width: f64) -> Result<W
     }
     let measured = (x1 - x0) / (t1 - t0);
     let relative_error = (measured - c_star).abs() / c_star;
-    Ok(WaveSpeedMeasurement { measured, theoretical: c_star, relative_error })
+    Ok(WaveSpeedMeasurement {
+        measured,
+        theoretical: c_star,
+        relative_error,
+    })
 }
 
 #[cfg(test)]

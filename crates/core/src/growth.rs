@@ -41,7 +41,10 @@ impl ConstantGrowth {
     /// Panics if `rate` is negative or non-finite.
     #[must_use]
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate >= 0.0, "growth rate must be finite and non-negative");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "growth rate must be finite and non-negative"
+        );
         Self { rate }
     }
 }
@@ -85,9 +88,16 @@ impl ExpDecayGrowth {
     #[must_use]
     pub fn new(amplitude: f64, decay: f64, floor: f64) -> Self {
         for (name, v) in [("amplitude", amplitude), ("decay", decay), ("floor", floor)] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and non-negative, got {v}"
+            );
         }
-        Self { amplitude, decay, floor }
+        Self {
+            amplitude,
+            decay,
+            floor,
+        }
     }
 
     /// The paper's Eq. 7 (friendship-hop experiments, Figure 6):
@@ -145,13 +155,18 @@ pub struct FnGrowth<F: Fn(f64) -> f64> {
 impl<F: Fn(f64) -> f64> FnGrowth<F> {
     /// Wraps a closure as a growth rate with a report label.
     pub fn new(f: F, label: impl Into<String>) -> Self {
-        Self { f, label: label.into() }
+        Self {
+            f,
+            label: label.into(),
+        }
     }
 }
 
 impl<F: Fn(f64) -> f64> fmt::Debug for FnGrowth<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnGrowth").field("label", &self.label).finish()
+        f.debug_struct("FnGrowth")
+            .field("label", &self.label)
+            .finish()
     }
 }
 

@@ -75,7 +75,9 @@ impl InitialDensity {
                 reason: "all observed densities are zero".into(),
             });
         }
-        let knots_x: Vec<f64> = (0..density.len()).map(|i| params.lower() + i as f64).collect();
+        let knots_x: Vec<f64> = (0..density.len())
+            .map(|i| params.lower() + i as f64)
+            .collect();
         let last = *knots_x.last().expect("nonempty");
         if last > params.upper() + 1e-9 {
             return Err(DlError::InvalidParameter {
@@ -142,15 +144,21 @@ impl InitialDensity {
     #[must_use]
     pub fn derivative(&self, x: f64) -> f64 {
         match self.construction {
-            PhiConstruction::SplineFlat => {
-                self.spline.as_ref().expect("constructed variant").derivative(x)
-            }
-            PhiConstruction::Pchip => {
-                self.pchip.as_ref().expect("constructed variant").derivative(x)
-            }
-            PhiConstruction::Linear => {
-                self.linear.as_ref().expect("constructed variant").derivative(x)
-            }
+            PhiConstruction::SplineFlat => self
+                .spline
+                .as_ref()
+                .expect("constructed variant")
+                .derivative(x),
+            PhiConstruction::Pchip => self
+                .pchip
+                .as_ref()
+                .expect("constructed variant")
+                .derivative(x),
+            PhiConstruction::Linear => self
+                .linear
+                .as_ref()
+                .expect("constructed variant")
+                .derivative(x),
         }
     }
 
@@ -226,8 +234,8 @@ mod tests {
 
     #[test]
     fn spline_phi_interpolates_and_is_flat() {
-        let phi =
-            InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat).unwrap();
+        let phi = InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat)
+            .unwrap();
         for (i, &y) in OBS.iter().enumerate() {
             assert!((phi.value(1.0 + i as f64) - y).abs() < 1e-10);
         }
@@ -239,8 +247,8 @@ mod tests {
     fn phi_never_negative() {
         // Data chosen to force spline undershoot between knots.
         let obs = [5.0, 0.01, 4.0, 0.01, 5.0, 0.01];
-        let phi =
-            InitialDensity::from_observations(&params(), &obs, PhiConstruction::SplineFlat).unwrap();
+        let phi = InitialDensity::from_observations(&params(), &obs, PhiConstruction::SplineFlat)
+            .unwrap();
         for (_, v) in phi.sample(500) {
             assert!(v >= 0.0);
         }
@@ -248,11 +256,18 @@ mod tests {
 
     #[test]
     fn all_constructions_interpolate_knots() {
-        for c in [PhiConstruction::SplineFlat, PhiConstruction::Pchip, PhiConstruction::Linear] {
+        for c in [
+            PhiConstruction::SplineFlat,
+            PhiConstruction::Pchip,
+            PhiConstruction::Linear,
+        ] {
             let phi = InitialDensity::from_observations(&params(), &OBS, c).unwrap();
             assert_eq!(phi.construction(), c);
             for (i, &y) in OBS.iter().enumerate() {
-                assert!((phi.value(1.0 + i as f64) - y).abs() < 1e-10, "{c:?} at knot {i}");
+                assert!(
+                    (phi.value(1.0 + i as f64) - y).abs() < 1e-10,
+                    "{c:?} at knot {i}"
+                );
             }
         }
     }
@@ -260,11 +275,17 @@ mod tests {
     #[test]
     fn rejects_invalid_observations() {
         let p = params();
-        assert!(InitialDensity::from_observations(&p, &[1.0], PhiConstruction::SplineFlat).is_err());
-        assert!(InitialDensity::from_observations(&p, &[1.0, -0.5], PhiConstruction::SplineFlat)
-            .is_err());
-        assert!(InitialDensity::from_observations(&p, &[0.0, 0.0], PhiConstruction::SplineFlat)
-            .is_err());
+        assert!(
+            InitialDensity::from_observations(&p, &[1.0], PhiConstruction::SplineFlat).is_err()
+        );
+        assert!(
+            InitialDensity::from_observations(&p, &[1.0, -0.5], PhiConstruction::SplineFlat)
+                .is_err()
+        );
+        assert!(
+            InitialDensity::from_observations(&p, &[0.0, 0.0], PhiConstruction::SplineFlat)
+                .is_err()
+        );
         assert!(InitialDensity::from_observations(
             &p,
             &[1.0, f64::NAN],
@@ -272,20 +293,17 @@ mod tests {
         )
         .is_err());
         // 7 observations on a domain [1, 6] overflow it.
-        assert!(InitialDensity::from_observations(
-            &p,
-            &[1.0; 7],
-            PhiConstruction::SplineFlat
-        )
-        .is_err());
+        assert!(
+            InitialDensity::from_observations(&p, &[1.0; 7], PhiConstruction::SplineFlat).is_err()
+        );
     }
 
     #[test]
     fn paper_setting_is_lower_solution() {
         // With the paper's K = 25 and small d = 0.01, realistic hour-1 data
         // satisfies Eq. 6 (the paper argues exactly this).
-        let phi =
-            InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat).unwrap();
+        let phi = InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat)
+            .unwrap();
         let growth = ExpDecayGrowth::paper_hops();
         assert!(
             phi.is_lower_solution(&params(), &growth, 1e-6),
@@ -307,8 +325,8 @@ mod tests {
 
     #[test]
     fn sample_spans_domain() {
-        let phi =
-            InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat).unwrap();
+        let phi = InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat)
+            .unwrap();
         let s = phi.sample(11);
         assert_eq!(s.len(), 11);
         assert!((s[0].0 - 1.0).abs() < 1e-12);
@@ -317,8 +335,8 @@ mod tests {
 
     #[test]
     fn knots_accessor_roundtrips() {
-        let phi =
-            InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat).unwrap();
+        let phi = InitialDensity::from_observations(&params(), &OBS, PhiConstruction::SplineFlat)
+            .unwrap();
         let (kx, ky) = phi.knots();
         assert_eq!(kx.len(), 6);
         assert_eq!(ky, &OBS);

@@ -17,8 +17,26 @@
 //! distance — social triangles) with Fickian **diffusion** (random
 //! cross-distance spreading, e.g. Digg's front page).
 //!
+//! ## The unified prediction interface
+//!
+//! Every predictor — the DL PDE, its variable-coefficient refinement, the
+//! ablations, and the network-epidemic baselines — implements one trait
+//! pair: [`predict::DiffusionPredictor`] (`fit` an
+//! [`predict::Observation`]) and [`predict::FittedPredictor`] (`predict` a
+//! [`predict::PredictionRequest`], introspect `param_names()`/`params()`).
+//! Predictors are constructible from serializable
+//! [`registry::ModelSpec`]s through the [`registry::ModelRegistry`], and
+//! [`evaluate::EvaluationPipeline`] runs any set of registered models
+//! over any set of cascades, emitting per-model Eq.-8 accuracy tables in
+//! one call.
+//!
 //! ## Module map
 //!
+//! * [`predict`] — the `DiffusionPredictor` trait, observations,
+//!   requests, and the shared [`predict::FitConfig`];
+//! * [`zoo`] — all seven predictors implemented behind the trait;
+//! * [`registry`] — serializable `ModelSpec`s + the `ModelRegistry`;
+//! * [`evaluate`] — batch model × cascade evaluation pipeline;
 //! * [`params`] — `d`, `K`, domain `[l, L]` (+ the paper's presets);
 //! * [`growth`] — `r(t)` families, incl. Eq. 7 / Figure 6;
 //! * [`initial`] — φ construction per §II.D (flat-ended cubic spline);
@@ -48,6 +66,24 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The same model through the unified interface, comparable with any
+//! other registered predictor:
+//!
+//! ```
+//! use dlm_core::predict::{Observation, PredictionRequest};
+//! use dlm_core::registry::ModelRegistry;
+//!
+//! # fn main() -> Result<(), dlm_core::DlError> {
+//! let hour1 = [2.1, 0.7, 0.9, 0.5, 0.3, 0.2];
+//! let registry = ModelRegistry::with_builtins();
+//! let predictor = registry.build_from_str("dl(d=0.01,K=25,r=hops)")?;
+//! let fitted = predictor.fit(&Observation::from_profile(1, &hour1)?)?;
+//! let pred = fitted.predict(&PredictionRequest::new(vec![3], vec![6])?)?;
+//! println!("I(3, 6) = {:.2}% with {:?}", pred.at(3, 6)?, fitted.param_names());
+//! # Ok(())
+//! # }
+//! ```
 
 // `!(x > 0.0)` is used deliberately throughout: unlike `x <= 0.0` it
 // also rejects NaN, which is exactly what the validators need.
@@ -59,18 +95,28 @@ pub mod accuracy;
 pub mod baselines;
 pub mod calibrate;
 pub mod error;
+pub mod evaluate;
 pub mod fisher;
 pub mod growth;
 pub mod initial;
 pub mod model;
 pub mod params;
-pub mod sensitivity;
 pub mod pde;
+pub mod predict;
+pub mod registry;
+pub mod sensitivity;
 pub mod theory;
 pub mod uncertainty;
 pub mod variable;
+pub mod zoo;
 
 pub use accuracy::AccuracyTable;
 pub use error::{DlError, Result};
+pub use evaluate::{EvaluationCase, EvaluationPipeline, EvaluationReport};
 pub use model::{DlModel, DlModelBuilder, Prediction};
 pub use params::DlParameters;
+pub use predict::{
+    DiffusionPredictor, FitConfig, FittedPredictor, GraphContext, GrowthFamily, Observation,
+    PredictionRequest,
+};
+pub use registry::{ModelRegistry, ModelSpec};

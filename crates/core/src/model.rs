@@ -11,6 +11,7 @@ use crate::growth::{ExpDecayGrowth, GrowthRate};
 use crate::initial::{InitialDensity, PhiConstruction};
 use crate::params::DlParameters;
 use crate::pde::{solve, PdeSolution, SolverConfig};
+use crate::predict::FitConfig;
 use std::sync::Arc;
 
 /// A configured diffusive logistic model, ready to solve and predict.
@@ -43,47 +44,62 @@ pub struct DlModel {
 }
 
 /// Builder for [`DlModel`].
+///
+/// All scalar fitting options live in a shared [`FitConfig`] (the same
+/// struct [`crate::variable::VariableDlModelBuilder`] consumes); the
+/// individual setters below are conveniences writing through to it. An
+/// explicit [`DlModelBuilder::growth`] call overrides the config's
+/// [`crate::predict::GrowthFamily`] with an arbitrary [`GrowthRate`]
+/// implementation.
 #[derive(Debug, Clone)]
 pub struct DlModelBuilder {
     params: DlParameters,
-    growth: Arc<dyn GrowthRate + Send + Sync>,
-    construction: PhiConstruction,
-    solver: SolverConfig,
-    initial_time: f64,
+    config: FitConfig,
+    growth_override: Option<Arc<dyn GrowthRate + Send + Sync>>,
 }
 
 impl DlModelBuilder {
-    /// Starts a builder with the given scalar parameters; growth defaults
-    /// to the paper's Eq. 7 and φ construction to the flat-ended spline.
+    /// Starts a builder with the given scalar parameters and the default
+    /// [`FitConfig`] (paper growth, flat-ended spline φ, default solver,
+    /// initial time 1).
     #[must_use]
     pub fn new(params: DlParameters) -> Self {
         Self {
             params,
-            growth: Arc::new(ExpDecayGrowth::paper_hops()),
-            construction: PhiConstruction::SplineFlat,
-            solver: SolverConfig::default(),
-            initial_time: 1.0,
+            config: FitConfig::default(),
+            growth_override: None,
         }
     }
 
-    /// Sets the growth-rate function `r(t)`.
+    /// Replaces the fit configuration. A growth curve set with
+    /// [`DlModelBuilder::growth`] keeps overriding the config's family,
+    /// whichever call comes first.
+    #[must_use]
+    pub fn fit_config(mut self, config: FitConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the growth-rate function `r(t)`, overriding the config's
+    /// growth family (accepts arbitrary implementations, e.g.
+    /// [`crate::growth::FnGrowth`]).
     #[must_use]
     pub fn growth(mut self, growth: impl GrowthRate + Send + Sync + 'static) -> Self {
-        self.growth = Arc::new(growth);
+        self.growth_override = Some(Arc::new(growth));
         self
     }
 
     /// Sets the φ interpolation scheme.
     #[must_use]
     pub fn phi_construction(mut self, construction: PhiConstruction) -> Self {
-        self.construction = construction;
+        self.config.phi = construction;
         self
     }
 
     /// Sets the PDE solver configuration.
     #[must_use]
     pub fn solver(mut self, solver: SolverConfig) -> Self {
-        self.solver = solver;
+        self.config.solver = solver;
         self
     }
 
@@ -91,7 +107,7 @@ impl DlModelBuilder {
     /// paper's first hour).
     #[must_use]
     pub fn initial_time(mut self, t: f64) -> Self {
-        self.initial_time = t;
+        self.config.initial_time = t;
         self
     }
 
@@ -103,13 +119,16 @@ impl DlModelBuilder {
     /// Propagates φ-construction validation errors.
     pub fn build(self, observed_initial: &[f64]) -> Result<DlModel> {
         let phi =
-            InitialDensity::from_observations(&self.params, observed_initial, self.construction)?;
+            InitialDensity::from_observations(&self.params, observed_initial, self.config.phi)?;
+        let growth = self
+            .growth_override
+            .unwrap_or_else(|| self.config.growth.build());
         Ok(DlModel {
             params: self.params,
-            growth: self.growth,
+            growth,
             phi,
-            solver: self.solver,
-            initial_time: self.initial_time,
+            solver: self.config.solver,
+            initial_time: self.config.initial_time,
         })
     }
 }
@@ -131,7 +150,11 @@ impl Prediction {
     /// # Errors
     ///
     /// Returns [`DlError::InvalidParameter`] for empty or ragged inputs.
-    pub fn from_values(distances: Vec<u32>, hours: Vec<u32>, values: Vec<Vec<f64>>) -> Result<Self> {
+    pub fn from_values(
+        distances: Vec<u32>,
+        hours: Vec<u32>,
+        values: Vec<Vec<f64>>,
+    ) -> Result<Self> {
         if distances.is_empty() || hours.is_empty() {
             return Err(DlError::InvalidParameter {
                 name: "distances/hours",
@@ -141,14 +164,14 @@ impl Prediction {
         if values.len() != distances.len() || values.iter().any(|row| row.len() != hours.len()) {
             return Err(DlError::InvalidParameter {
                 name: "values",
-                reason: format!(
-                    "need {} rows of {} values",
-                    distances.len(),
-                    hours.len()
-                ),
+                reason: format!("need {} rows of {} values", distances.len(), hours.len()),
             });
         }
-        Ok(Self { distances, hours, values })
+        Ok(Self {
+            distances,
+            hours,
+            values,
+        })
     }
 
     /// Distances covered by the prediction.
@@ -169,22 +192,30 @@ impl Prediction {
     ///
     /// Returns [`DlError::OutOfDomain`] if the pair was not requested.
     pub fn at(&self, distance: u32, hour: u32) -> Result<f64> {
-        let di = self.distances.iter().position(|&d| d == distance).ok_or(DlError::OutOfDomain {
-            axis: "distance",
-            value: f64::from(distance),
-            range: (
-                f64::from(*self.distances.first().unwrap_or(&0)),
-                f64::from(*self.distances.last().unwrap_or(&0)),
-            ),
-        })?;
-        let hi = self.hours.iter().position(|&h| h == hour).ok_or(DlError::OutOfDomain {
-            axis: "time",
-            value: f64::from(hour),
-            range: (
-                f64::from(*self.hours.first().unwrap_or(&0)),
-                f64::from(*self.hours.last().unwrap_or(&0)),
-            ),
-        })?;
+        let di =
+            self.distances
+                .iter()
+                .position(|&d| d == distance)
+                .ok_or(DlError::OutOfDomain {
+                    axis: "distance",
+                    value: f64::from(distance),
+                    range: (
+                        f64::from(*self.distances.first().unwrap_or(&0)),
+                        f64::from(*self.distances.last().unwrap_or(&0)),
+                    ),
+                })?;
+        let hi = self
+            .hours
+            .iter()
+            .position(|&h| h == hour)
+            .ok_or(DlError::OutOfDomain {
+                axis: "time",
+                value: f64::from(hour),
+                range: (
+                    f64::from(*self.hours.first().unwrap_or(&0)),
+                    f64::from(*self.hours.last().unwrap_or(&0)),
+                ),
+            })?;
         Ok(self.values[di][hi])
     }
 
@@ -194,11 +225,15 @@ impl Prediction {
     ///
     /// Returns [`DlError::OutOfDomain`] if `hour` was not requested.
     pub fn profile_at(&self, hour: u32) -> Result<Vec<f64>> {
-        let hi = self.hours.iter().position(|&h| h == hour).ok_or(DlError::OutOfDomain {
-            axis: "time",
-            value: f64::from(hour),
-            range: (0.0, 0.0),
-        })?;
+        let hi = self
+            .hours
+            .iter()
+            .position(|&h| h == hour)
+            .ok_or(DlError::OutOfDomain {
+                axis: "time",
+                value: f64::from(hour),
+                range: (0.0, 0.0),
+            })?;
         Ok(self.values.iter().map(|row| row[hi]).collect())
     }
 }
@@ -260,7 +295,14 @@ impl DlModel {
     ///
     /// Propagates solver errors; `t_end` must exceed the initial time.
     pub fn solve_until(&self, t_end: f64) -> Result<PdeSolution> {
-        solve(&self.params, self.growth.as_ref(), &self.phi, self.initial_time, t_end, &self.solver)
+        solve(
+            &self.params,
+            self.growth.as_ref(),
+            &self.phi,
+            self.initial_time,
+            t_end,
+            &self.solver,
+        )
     }
 
     /// Predicts densities at the given integer distances and hours.
@@ -297,7 +339,11 @@ impl DlModel {
             }
             values.push(row);
         }
-        Ok(Prediction { distances: distances.to_vec(), hours: hours.to_vec(), values })
+        Ok(Prediction {
+            distances: distances.to_vec(),
+            hours: hours.to_vec(),
+            values,
+        })
     }
 }
 
@@ -312,7 +358,9 @@ mod tests {
     #[test]
     fn paper_hops_preset_predicts_growth() {
         let model = DlModel::paper_hops(&OBS).unwrap();
-        let p = model.predict(&[1, 2, 3, 4, 5, 6], &[2, 3, 4, 5, 6]).unwrap();
+        let p = model
+            .predict(&[1, 2, 3, 4, 5, 6], &[2, 3, 4, 5, 6])
+            .unwrap();
         for d in 1..=6 {
             let mut prev = 0.0;
             for h in 2..=6 {
@@ -352,12 +400,19 @@ mod tests {
         let model = DlModelBuilder::new(params)
             .growth(ConstantGrowth::new(0.3))
             .phi_construction(crate::initial::PhiConstruction::Linear)
-            .solver(SolverConfig { method: SolverMethod::Rk4, space_intervals: 50, dt: 0.002 })
+            .solver(SolverConfig {
+                method: SolverMethod::Rk4,
+                space_intervals: 50,
+                dt: 0.002,
+            })
             .initial_time(2.0)
             .build(&OBS)
             .unwrap();
         assert_eq!(model.initial_time(), 2.0);
-        assert_eq!(model.phi().construction(), crate::initial::PhiConstruction::Linear);
+        assert_eq!(
+            model.phi().construction(),
+            crate::initial::PhiConstruction::Linear
+        );
         let p = model.predict(&[1, 3], &[3, 4]).unwrap();
         assert!(p.at(1, 4).unwrap() > 0.0);
     }

@@ -35,9 +35,12 @@ impl DlParameters {
     /// Returns [`DlError::InvalidParameter`] when `d < 0`, `K ≤ 0`, the
     /// domain is empty, or any value is non-finite.
     pub fn new(diffusion: f64, capacity: f64, lower: f64, upper: f64) -> Result<Self> {
-        for (name, v) in
-            [("diffusion", diffusion), ("capacity", capacity), ("lower", lower), ("upper", upper)]
-        {
+        for (name, v) in [
+            ("diffusion", diffusion),
+            ("capacity", capacity),
+            ("lower", lower),
+            ("upper", upper),
+        ] {
             if !v.is_finite() {
                 return Err(DlError::InvalidParameter {
                     name,
@@ -63,7 +66,12 @@ impl DlParameters {
                 reason: format!("domain empty: [{lower}, {upper}]"),
             });
         }
-        Ok(Self { diffusion, capacity, lower, upper })
+        Ok(Self {
+            diffusion,
+            capacity,
+            lower,
+            upper,
+        })
     }
 
     /// The paper's friendship-hop preset: `d = 0.01`, `K = 25`, domain

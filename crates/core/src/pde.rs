@@ -54,7 +54,11 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        Self { method: SolverMethod::CrankNicolson, space_intervals: 100, dt: 0.01 }
+        Self {
+            method: SolverMethod::CrankNicolson,
+            space_intervals: 100,
+            dt: 0.01,
+        }
     }
 }
 
@@ -118,11 +122,19 @@ impl PdeSolution {
     pub fn value_at(&self, x: f64, t: f64) -> Result<f64> {
         let (x0, x1) = (self.xs[0], *self.xs.last().expect("nonempty grid"));
         if x < x0 - 1e-9 || x > x1 + 1e-9 {
-            return Err(DlError::OutOfDomain { axis: "distance", value: x, range: (x0, x1) });
+            return Err(DlError::OutOfDomain {
+                axis: "distance",
+                value: x,
+                range: (x0, x1),
+            });
         }
         let (t0, t1) = (self.times[0], *self.times.last().expect("nonempty times"));
         if t < t0 - 1e-9 || t > t1 + 1e-9 {
-            return Err(DlError::OutOfDomain { axis: "time", value: t, range: (t0, t1) });
+            return Err(DlError::OutOfDomain {
+                axis: "time",
+                value: t,
+                range: (t0, t1),
+            });
         }
         let x = x.clamp(x0, x1);
         let t = t.clamp(t0, t1);
@@ -170,13 +182,21 @@ impl PdeSolution {
     /// Global maximum of the solved field.
     #[must_use]
     pub fn max_value(&self) -> f64 {
-        self.values.iter().flatten().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Global minimum of the solved field.
     #[must_use]
     pub fn min_value(&self) -> f64 {
-        self.values.iter().flatten().copied().fold(f64::INFINITY, f64::min)
+        self.values
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -239,7 +259,12 @@ pub fn solve(
         ),
         SolverMethod::Rk4 => {
             let steps = ((t_end - t_start) / config.dt).ceil() as usize;
-            let sys = MolSystem { growth, d_over_dx2, k, dim: xs.len() };
+            let sys = MolSystem {
+                growth,
+                d_over_dx2,
+                k,
+                dim: xs.len(),
+            };
             let traj = rk4(&sys, t_start, t_end, &u0, steps.max(1))?;
             Ok(PdeSolution {
                 xs,
@@ -248,7 +273,12 @@ pub fn solve(
             })
         }
         SolverMethod::DormandPrince45 => {
-            let sys = MolSystem { growth, d_over_dx2, k, dim: xs.len() };
+            let sys = MolSystem {
+                growth,
+                d_over_dx2,
+                k,
+                dim: xs.len(),
+            };
             let solver = DormandPrince45::new(AdaptiveConfig {
                 rel_tol: 1e-8,
                 abs_tol: 1e-10,
@@ -394,17 +424,23 @@ fn solve_implicit(
             }
         }
         if !converged {
-            return Err(DlError::Numerics(dlm_numerics::NumericsError::NoConvergence {
-                algorithm: "crank-nicolson newton",
-                iterations: 30,
-                residual: f64::NAN,
-            }));
+            return Err(DlError::Numerics(
+                dlm_numerics::NumericsError::NoConvergence {
+                    algorithm: "crank-nicolson newton",
+                    iterations: 30,
+                    residual: f64::NAN,
+                },
+            ));
         }
         u = v;
         times.push(t_next);
         values.push(u.clone());
     }
-    Ok(PdeSolution { xs: xs.to_vec(), times, values })
+    Ok(PdeSolution {
+        xs: xs.to_vec(),
+        times,
+        values,
+    })
 }
 
 #[cfg(test)]
@@ -435,12 +471,8 @@ mod tests {
         // With d = 0 and a spatially constant initial condition the PDE
         // reduces exactly to the logistic ODE at every grid point.
         let p = DlParameters::new(0.0, 25.0, 1.0, 6.0).unwrap();
-        let flat = InitialDensity::from_observations(
-            &p,
-            &[2.0; 6],
-            PhiConstruction::SplineFlat,
-        )
-        .unwrap();
+        let flat =
+            InitialDensity::from_observations(&p, &[2.0; 6], PhiConstruction::SplineFlat).unwrap();
         let growth = ConstantGrowth::new(0.8);
         for method in [
             SolverMethod::CrankNicolson,
@@ -448,11 +480,19 @@ mod tests {
             SolverMethod::Rk4,
             SolverMethod::DormandPrince45,
         ] {
-            let config = SolverConfig { method, space_intervals: 20, dt: 0.005 };
+            let config = SolverConfig {
+                method,
+                space_intervals: 20,
+                dt: 0.005,
+            };
             let sol = solve(&p, &growth, &flat, 1.0, 6.0, &config).unwrap();
             let got = sol.value_at(3.0, 6.0).unwrap();
             let want = logistic_exact(6.0, 2.0, 0.8, 25.0);
-            let tol = if method == SolverMethod::BackwardEuler { 0.05 } else { 1e-3 };
+            let tol = if method == SolverMethod::BackwardEuler {
+                0.05
+            } else {
+                1e-3
+            };
             assert!((got - want).abs() < tol, "{method:?}: {got} vs {want}");
         }
     }
@@ -471,7 +511,12 @@ mod tests {
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         // Mass conservation (trapezoid weight differences at walls are
         // second-order; compare interior sums).
-        assert!((mean(first) - mean(last)).abs() < 0.02, "{} vs {}", mean(first), mean(last));
+        assert!(
+            (mean(first) - mean(last)).abs() < 0.02,
+            "{} vs {}",
+            mean(first),
+            mean(last)
+        );
         // Flattened: final spread tiny.
         let spread = last.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - last.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -491,7 +536,11 @@ mod tests {
             &phi,
             1.0,
             6.0,
-            &SolverConfig { method: SolverMethod::CrankNicolson, space_intervals: 100, dt: 0.002 },
+            &SolverConfig {
+                method: SolverMethod::CrankNicolson,
+                space_intervals: 100,
+                dt: 0.002,
+            },
         )
         .unwrap();
         let dp = solve(
@@ -500,7 +549,11 @@ mod tests {
             &phi,
             1.0,
             6.0,
-            &SolverConfig { method: SolverMethod::DormandPrince45, space_intervals: 100, dt: 0.002 },
+            &SolverConfig {
+                method: SolverMethod::DormandPrince45,
+                space_intervals: 100,
+                dt: 0.002,
+            },
         )
         .unwrap();
         for x in [1.0, 2.0, 3.5, 5.0, 6.0] {
@@ -518,7 +571,11 @@ mod tests {
         let growth = ExpDecayGrowth::paper_hops();
         let sol = solve(&p, &growth, &phi, 1.0, 50.0, &SolverConfig::default()).unwrap();
         assert!(sol.min_value() >= -1e-9, "min {}", sol.min_value());
-        assert!(sol.max_value() <= p.capacity() + 1e-6, "max {}", sol.max_value());
+        assert!(
+            sol.max_value() <= p.capacity() + 1e-6,
+            "max {}",
+            sol.max_value()
+        );
     }
 
     #[test]
@@ -539,12 +596,8 @@ mod tests {
     #[test]
     fn capacity_is_an_equilibrium() {
         let p = params();
-        let at_k = InitialDensity::from_observations(
-            &p,
-            &[25.0; 6],
-            PhiConstruction::SplineFlat,
-        )
-        .unwrap();
+        let at_k =
+            InitialDensity::from_observations(&p, &[25.0; 6], PhiConstruction::SplineFlat).unwrap();
         let growth = ExpDecayGrowth::paper_hops();
         let sol = solve(&p, &growth, &at_k, 1.0, 5.0, &SolverConfig::default()).unwrap();
         let last = sol.values().last().unwrap();
@@ -565,7 +618,11 @@ mod tests {
             &phi,
             1.0,
             6.0,
-            &SolverConfig { space_intervals: 25, dt: 0.04, ..SolverConfig::default() },
+            &SolverConfig {
+                space_intervals: 25,
+                dt: 0.04,
+                ..SolverConfig::default()
+            },
         )
         .unwrap();
         let fine = solve(
@@ -574,7 +631,11 @@ mod tests {
             &phi,
             1.0,
             6.0,
-            &SolverConfig { space_intervals: 200, dt: 0.005, ..SolverConfig::default() },
+            &SolverConfig {
+                space_intervals: 200,
+                dt: 0.005,
+                ..SolverConfig::default()
+            },
         )
         .unwrap();
         let very_fine = solve(
@@ -583,7 +644,11 @@ mod tests {
             &phi,
             1.0,
             6.0,
-            &SolverConfig { space_intervals: 400, dt: 0.0025, ..SolverConfig::default() },
+            &SolverConfig {
+                space_intervals: 400,
+                dt: 0.0025,
+                ..SolverConfig::default()
+            },
         )
         .unwrap();
         let probe = |s: &PdeSolution| s.value_at(3.0, 6.0).unwrap();
@@ -600,7 +665,10 @@ mod tests {
         let sol = solve(&p, &growth, &phi, 1.0, 6.0, &SolverConfig::default()).unwrap();
         assert!(matches!(
             sol.value_at(0.0, 3.0).unwrap_err(),
-            DlError::OutOfDomain { axis: "distance", .. }
+            DlError::OutOfDomain {
+                axis: "distance",
+                ..
+            }
         ));
         assert!(matches!(
             sol.value_at(3.0, 0.5).unwrap_err(),
@@ -620,7 +688,10 @@ mod tests {
             &phi,
             1.0,
             3.0,
-            &SolverConfig { dt: 0.5, ..SolverConfig::default() },
+            &SolverConfig {
+                dt: 0.5,
+                ..SolverConfig::default()
+            },
         )
         .unwrap();
         let prof = sol.profile_near(2.1);
@@ -641,7 +712,10 @@ mod tests {
             &phi,
             1.0,
             6.0,
-            &SolverConfig { space_intervals: 1, ..SolverConfig::default() }
+            &SolverConfig {
+                space_intervals: 1,
+                ..SolverConfig::default()
+            }
         )
         .is_err());
         assert!(solve(
@@ -650,7 +724,10 @@ mod tests {
             &phi,
             1.0,
             6.0,
-            &SolverConfig { dt: 0.0, ..SolverConfig::default() }
+            &SolverConfig {
+                dt: 0.0,
+                ..SolverConfig::default()
+            }
         )
         .is_err());
         assert!(solve(&p, &growth, &phi, 6.0, 1.0, &SolverConfig::default()).is_err());

@@ -128,13 +128,22 @@ pub fn sensitivity_report(
         let build = |v: f64| -> Result<Vec<f64>> {
             let mut vals = current;
             vals[i] = v;
-            let p = DlParameters::new(vals[0].max(0.0), vals[1].max(1e-9), params.lower(), params.upper())?;
+            let p = DlParameters::new(
+                vals[0].max(0.0),
+                vals[1].max(1e-9),
+                params.lower(),
+                params.upper(),
+            )?;
             let g = ExpDecayGrowth::new(vals[2].max(0.0), vals[3].max(0.0), vals[4].max(0.0));
             predict_cells(p, g, initial, distances, hours)
         };
         let plus = build(p0 + h)?;
         let minus = build((p0 - h).max(0.0))?;
-        let denom_p = if p0 != 0.0 { 2.0 * h / p0.abs() } else { 2.0 * h };
+        let denom_p = if p0 != 0.0 {
+            2.0 * h / p0.abs()
+        } else {
+            2.0 * h
+        };
         let mut elasticities = Vec::with_capacity(base.len());
         for ((bp, bm), b0) in plus.iter().zip(&minus).zip(&base) {
             if *b0 > 1e-12 {
@@ -154,7 +163,10 @@ pub fn sensitivity_report(
             max_elasticity: max,
         });
     }
-    Ok(SensitivityReport { sensitivities, step })
+    Ok(SensitivityReport {
+        sensitivities,
+        step,
+    })
 }
 
 #[cfg(test)]
@@ -193,7 +205,10 @@ mod tests {
         let a = r.get("a").unwrap();
         assert!(a.mean_elasticity > 0.1, "{a:?}");
         let top = r.most_influential().unwrap();
-        assert!(["a", "b", "c"].contains(&top.parameter.as_str()), "top was {top:?}");
+        assert!(
+            ["a", "b", "c"].contains(&top.parameter.as_str()),
+            "top was {top:?}"
+        );
     }
 
     #[test]

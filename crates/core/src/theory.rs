@@ -57,7 +57,9 @@ pub fn verify_properties(model: &DlModel, t_end: f64, tol: f64) -> Result<Proper
         }
     }
     let increasing_holds = worst_decrease <= tol;
-    let phi_is_lower_solution = model.phi().is_lower_solution(model.params(), model.growth(), tol);
+    let phi_is_lower_solution = model
+        .phi()
+        .is_lower_solution(model.params(), model.growth(), tol);
 
     Ok(PropertyReport {
         min_value,

@@ -40,7 +40,11 @@ impl Default for BandConfig {
             replicates: 200,
             lower_percentile: 5.0,
             upper_percentile: 95.0,
-            solver: SolverConfig { space_intervals: 50, dt: 0.02, ..SolverConfig::default() },
+            solver: SolverConfig {
+                space_intervals: 50,
+                dt: 0.02,
+                ..SolverConfig::default()
+            },
             seed: 17,
         }
     }
@@ -239,7 +243,10 @@ mod tests {
 
     #[test]
     fn bands_bracket_the_point_prediction() {
-        let cfg = BandConfig { replicates: 120, ..BandConfig::default() };
+        let cfg = BandConfig {
+            replicates: 120,
+            ..BandConfig::default()
+        };
         let bands = bands(&cfg);
         let model = DlModel::paper_hops(&OBS).unwrap();
         let point = model.predict(&[1, 2, 3, 4, 5], &[3, 6]).unwrap();
@@ -257,10 +264,17 @@ mod tests {
     fn small_groups_have_wider_bands() {
         // Distance 1 (n = 150) must be more uncertain than distance 3
         // (n = 9000) at the same hour.
-        let cfg = BandConfig { replicates: 200, ..BandConfig::default() };
+        let cfg = BandConfig {
+            replicates: 200,
+            ..BandConfig::default()
+        };
         let bands = bands(&cfg);
         let width = |d: u32, h: u32| {
-            bands.iter().find(|b| b.distance == d && b.hour == h).unwrap().width()
+            bands
+                .iter()
+                .find(|b| b.distance == d && b.hour == h)
+                .unwrap()
+                .width()
         };
         assert!(
             width(1, 6) > 1.5 * width(3, 6),
@@ -272,9 +286,16 @@ mod tests {
 
     #[test]
     fn bands_are_deterministic_in_seed() {
-        let cfg = BandConfig { replicates: 60, ..BandConfig::default() };
+        let cfg = BandConfig {
+            replicates: 60,
+            ..BandConfig::default()
+        };
         assert_eq!(bands(&cfg), bands(&cfg));
-        let other = BandConfig { replicates: 60, seed: 99, ..BandConfig::default() };
+        let other = BandConfig {
+            replicates: 60,
+            seed: 99,
+            ..BandConfig::default()
+        };
         assert_ne!(bands(&cfg), bands(&other));
     }
 
@@ -309,10 +330,17 @@ mod tests {
         // Zero group.
         assert!(prediction_bands(&params, &growth, &OBS, &[0; 5], &[1], &[3], &cfg).is_err());
         // Zero replicates.
-        let bad = BandConfig { replicates: 0, ..cfg };
+        let bad = BandConfig {
+            replicates: 0,
+            ..cfg
+        };
         assert!(prediction_bands(&params, &growth, &OBS, &SIZES, &[1], &[3], &bad).is_err());
         // Inverted percentiles.
-        let bad = BandConfig { lower_percentile: 90.0, upper_percentile: 10.0, ..cfg };
+        let bad = BandConfig {
+            lower_percentile: 90.0,
+            upper_percentile: 10.0,
+            ..cfg
+        };
         assert!(prediction_bands(&params, &growth, &OBS, &SIZES, &[1], &[3], &bad).is_err());
         // No hours beyond the initial time.
         assert!(prediction_bands(&params, &growth, &OBS, &SIZES, &[1], &[1], &cfg).is_err());
@@ -322,7 +350,13 @@ mod tests {
 
     #[test]
     fn band_accessors() {
-        let b = PredictionBand { distance: 1, hour: 3, median: 5.0, lower: 4.0, upper: 7.0 };
+        let b = PredictionBand {
+            distance: 1,
+            hour: 3,
+            median: 5.0,
+            lower: 4.0,
+            upper: 7.0,
+        };
         assert!((b.width() - 3.0).abs() < 1e-12);
         assert!(b.contains(5.5));
         assert!(!b.contains(3.9));

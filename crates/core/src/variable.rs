@@ -20,9 +20,10 @@
 
 use crate::error::{DlError, Result};
 use crate::growth::ExpDecayGrowth;
-use crate::initial::{InitialDensity, PhiConstruction};
+use crate::initial::InitialDensity;
 use crate::model::Prediction;
 use crate::params::DlParameters;
+use crate::predict::FitConfig;
 use dlm_cascade::DensityMatrix;
 use dlm_numerics::interp::LinearInterp;
 use dlm_numerics::optimize::{nelder_mead, NelderMeadConfig};
@@ -77,7 +78,10 @@ impl SeparableField {
     ///
     /// Propagates interpolation-construction errors.
     pub fn new(xs: &[f64], scales: &[f64], temporal: ExpDecayGrowth) -> Result<Self> {
-        Ok(Self { spatial: LinearInterp::new(xs, scales)?, temporal })
+        Ok(Self {
+            spatial: LinearInterp::new(xs, scales)?,
+            temporal,
+        })
     }
 }
 
@@ -146,15 +150,20 @@ pub struct VariableDlModel {
 }
 
 /// Builder for [`VariableDlModel`].
+///
+/// Scalar fitting options (φ construction, solver resolution, growth
+/// family, initial time) come from the same [`FitConfig`] the classic
+/// [`crate::model::DlModelBuilder`] uses; the spatial coefficient fields
+/// are set individually. The config's growth family becomes a
+/// time-only field `r(x, t) = r(t)` unless overridden by
+/// [`VariableDlModelBuilder::growth`].
 #[derive(Debug, Clone)]
 pub struct VariableDlModelBuilder {
     domain: (f64, f64),
+    config: FitConfig,
     diffusion: Arc<dyn SpatialField>,
-    growth: Arc<dyn SpatialField>,
+    growth_override: Option<Arc<dyn SpatialField>>,
     capacity: Arc<dyn SpatialField>,
-    initial_time: f64,
-    space_intervals: usize,
-    dt: f64,
 }
 
 impl VariableDlModelBuilder {
@@ -173,13 +182,21 @@ impl VariableDlModelBuilder {
         }
         Ok(Self {
             domain: (lower, upper),
+            config: FitConfig::default(),
             diffusion: Arc::new(ConstantField(0.01)),
-            growth: Arc::new(TimeOnlyField(ExpDecayGrowth::paper_hops())),
+            growth_override: None,
             capacity: Arc::new(ConstantField(25.0)),
-            initial_time: 1.0,
-            space_intervals: 100,
-            dt: 0.01,
         })
+    }
+
+    /// Replaces the shared scalar fit configuration (solver resolution,
+    /// φ construction, growth family, initial time). A growth field set
+    /// with [`VariableDlModelBuilder::growth`] keeps overriding the
+    /// config's family, whichever call comes first.
+    #[must_use]
+    pub fn fit_config(mut self, config: FitConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Sets the diffusion field `d(x)` (time argument is ignored by
@@ -191,10 +208,11 @@ impl VariableDlModelBuilder {
         self
     }
 
-    /// Sets the growth field `r(x, t)`.
+    /// Sets the growth field `r(x, t)`, overriding the config's
+    /// (time-only) growth family.
     #[must_use]
     pub fn growth(mut self, field: impl SpatialField + 'static) -> Self {
-        self.growth = Arc::new(field);
+        self.growth_override = Some(Arc::new(field));
         self
     }
 
@@ -208,15 +226,15 @@ impl VariableDlModelBuilder {
     /// Sets the initial observation time (default 1.0).
     #[must_use]
     pub fn initial_time(mut self, t: f64) -> Self {
-        self.initial_time = t;
+        self.config.initial_time = t;
         self
     }
 
     /// Sets the solver resolution.
     #[must_use]
     pub fn resolution(mut self, space_intervals: usize, dt: f64) -> Self {
-        self.space_intervals = space_intervals;
-        self.dt = dt;
+        self.config.solver.space_intervals = space_intervals;
+        self.config.solver.dt = dt;
         self
     }
 
@@ -228,20 +246,19 @@ impl VariableDlModelBuilder {
     /// fields on the grid.
     pub fn build(self, observed_initial: &[f64]) -> Result<VariableDlModel> {
         let params = DlParameters::new(0.0, 1.0, self.domain.0, self.domain.1)?;
-        let phi = InitialDensity::from_observations(
-            &params,
-            observed_initial,
-            PhiConstruction::SplineFlat,
-        )?;
+        let phi = InitialDensity::from_observations(&params, observed_initial, self.config.phi)?;
+        let growth = self
+            .growth_override
+            .unwrap_or_else(|| Arc::new(TimeOnlyField(self.config.growth.exp_decay())));
         let model = VariableDlModel {
             domain: self.domain,
             diffusion: self.diffusion,
-            growth: self.growth,
+            growth,
             capacity: self.capacity,
             phi,
-            initial_time: self.initial_time,
-            space_intervals: self.space_intervals,
-            dt: self.dt,
+            initial_time: self.config.initial_time,
+            space_intervals: self.config.solver.space_intervals,
+            dt: self.config.solver.dt,
         };
         model.validate_fields()?;
         Ok(model)
@@ -302,7 +319,10 @@ impl VariableDlModel {
 
         // Face-centred diffusivities d_{j+1/2}, constant in time.
         let faces: Vec<f64> = (0..n - 1)
-            .map(|j| self.diffusion.value(0.5 * (xs[j] + xs[j + 1]), self.initial_time))
+            .map(|j| {
+                self.diffusion
+                    .value(0.5 * (xs[j] + xs[j + 1]), self.initial_time)
+            })
             .collect();
         let inv_dx2 = 1.0 / (dx * dx);
 
@@ -339,16 +359,18 @@ impl VariableDlModel {
             let t_next = t_now + dt;
             lap(&u, &mut lap_buf);
             reaction(t_now, &u, &mut f_buf);
-            let rhs: Vec<f64> =
-                (0..n).map(|j| u[j] + dt * (1.0 - theta) * (lap_buf[j] + f_buf[j])).collect();
+            let rhs: Vec<f64> = (0..n)
+                .map(|j| u[j] + dt * (1.0 - theta) * (lap_buf[j] + f_buf[j]))
+                .collect();
 
             let mut v = u.clone();
             let mut converged = false;
             for _ in 0..30 {
                 lap(&v, &mut lap_buf);
                 reaction(t_next, &v, &mut f_buf);
-                let g: Vec<f64> =
-                    (0..n).map(|j| v[j] - dt * theta * (lap_buf[j] + f_buf[j]) - rhs[j]).collect();
+                let g: Vec<f64> = (0..n)
+                    .map(|j| v[j] - dt * theta * (lap_buf[j] + f_buf[j]) - rhs[j])
+                    .collect();
                 let res = g.iter().map(|x| x.abs()).fold(0.0, f64::max);
                 if res < 1e-11 {
                     converged = true;
@@ -381,11 +403,13 @@ impl VariableDlModel {
                 }
             }
             if !converged {
-                return Err(DlError::Numerics(dlm_numerics::NumericsError::NoConvergence {
-                    algorithm: "variable-coefficient newton",
-                    iterations: 30,
-                    residual: f64::NAN,
-                }));
+                return Err(DlError::Numerics(
+                    dlm_numerics::NumericsError::NoConvergence {
+                        algorithm: "variable-coefficient newton",
+                        iterations: 30,
+                        residual: f64::NAN,
+                    },
+                ));
             }
             u = v;
             times.push(t_next);
@@ -435,20 +459,52 @@ pub fn calibrate_per_distance_growth(
     capacity: f64,
     last_hour: u32,
 ) -> Result<PerDistanceGrowth> {
-    if observed.max_distance() < 2 {
+    let series: Vec<Vec<f64>> = (1..=observed.max_distance())
+        .map(|d| observed.series(d).map(<[f64]>::to_vec))
+        .collect::<dlm_cascade::Result<_>>()?;
+    // Matrix series always start at hour 1 and carry one entry per hour.
+    calibrate_per_distance_growth_series(&series, capacity, 1, last_hour.min(observed.max_hour()))
+}
+
+/// [`calibrate_per_distance_growth`] over raw hourly series — the form the
+/// [`crate::predict::DiffusionPredictor`] layer uses. `series[i]` is the
+/// observed density of distance group `i + 1` at the consecutive absolute
+/// hours `initial_hour, initial_hour + 1, …`; the objective integrates in
+/// absolute time so the fitted curves evaluate correctly wherever the
+/// observation window starts. `fit_hours` caps how many leading entries
+/// of each series the fit uses.
+///
+/// # Errors
+///
+/// * [`DlError::InvalidParameter`] — fewer than 2 distance series, or
+///   fewer than 2 usable observed hours per distance.
+/// * Propagates optimizer errors.
+pub fn calibrate_per_distance_growth_series(
+    series: &[Vec<f64>],
+    capacity: f64,
+    initial_hour: u32,
+    fit_hours: u32,
+) -> Result<PerDistanceGrowth> {
+    if series.len() < 2 {
         return Err(DlError::InvalidParameter {
             name: "observed",
             reason: "need at least 2 distance groups".into(),
         });
     }
-    let last_hour = last_hour.min(observed.max_hour());
-    let mut curves = Vec::with_capacity(observed.max_distance() as usize);
-    for d in 1..=observed.max_distance() {
-        let series = observed.series(d)?;
+    let shortest = series.iter().map(Vec::len).min().unwrap_or(0);
+    let fit_hours = fit_hours.min(shortest as u32);
+    if fit_hours < 2 {
+        return Err(DlError::InvalidParameter {
+            name: "observed",
+            reason: "need at least 2 observed hours per distance".into(),
+        });
+    }
+    let mut curves = Vec::with_capacity(series.len());
+    for series in series {
         let y0 = series[0].max(1e-6);
         // Objective: logistic ODE with r(t) candidate vs the observed series,
         // integrated with a cheap fixed-step scheme.
-        let target: Vec<f64> = series[..last_hour as usize].to_vec();
+        let target: Vec<f64> = series[..fit_hours as usize].to_vec();
         let objective = move |p: &[f64]| -> f64 {
             let (a, b, c) = (p[0], p[1], p[2]);
             if !(a >= 0.0 && b >= 0.0 && c >= 0.0 && a + c < 20.0) {
@@ -460,7 +516,9 @@ pub fn calibrate_per_distance_growth(
             let mut count = 0usize;
             let sub = 20usize;
             for (hour_idx, &obs) in target.iter().enumerate().skip(1) {
-                let t0 = 1.0 + (hour_idx - 1) as f64;
+                // Absolute time of the interval start: series entry k sits
+                // at hour initial_hour + k.
+                let t0 = f64::from(initial_hour) + (hour_idx - 1) as f64;
                 let h = 1.0 / sub as f64;
                 for s in 0..sub {
                     let t = t0 + s as f64 * h;
@@ -487,7 +545,10 @@ pub fn calibrate_per_distance_growth(
         let fit = nelder_mead(
             objective,
             &[1.0, 1.0, 0.2],
-            NelderMeadConfig { max_evals: 2_000, ..NelderMeadConfig::default() },
+            NelderMeadConfig {
+                max_evals: 2_000,
+                ..NelderMeadConfig::default()
+            },
         )?;
         curves.push(ExpDecayGrowth::new(
             fit.x[0].max(0.0),
@@ -578,7 +639,11 @@ mod tests {
         let sol = model.solve_until(60.0).unwrap();
         let last = sol.values().last().unwrap();
         let x6 = sol.grid().len() - 1;
-        assert!(last[x6] <= 5.0 + 1e-6, "far end exceeded its local K: {}", last[x6]);
+        assert!(
+            last[x6] <= 5.0 + 1e-6,
+            "far end exceeded its local K: {}",
+            last[x6]
+        );
         assert!(last[0] > 20.0, "near end should approach 25: {}", last[0]);
     }
 
@@ -613,8 +678,16 @@ mod tests {
             vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
                 - vals.iter().cloned().fold(f64::INFINITY, f64::min)
         };
-        assert!(spread(5.0, 7.0) < 0.1, "right half not flattened: {}", spread(5.0, 7.0));
-        assert!(spread(1.0, 3.5) > 1.0, "left half should keep its bumps: {}", spread(1.0, 3.5));
+        assert!(
+            spread(5.0, 7.0) < 0.1,
+            "right half not flattened: {}",
+            spread(5.0, 7.0)
+        );
+        assert!(
+            spread(1.0, 3.5) > 1.0,
+            "left half should keep its bumps: {}",
+            spread(1.0, 3.5)
+        );
     }
 
     #[test]
@@ -663,7 +736,11 @@ mod tests {
     fn builder_rejects_bad_inputs() {
         assert!(VariableDlModelBuilder::new(6.0, 1.0).is_err());
         let b = VariableDlModelBuilder::new(1.0, 6.0).unwrap();
-        assert!(b.clone().diffusion(ConstantField(-1.0)).build(&OBS).is_err());
+        assert!(b
+            .clone()
+            .diffusion(ConstantField(-1.0))
+            .build(&OBS)
+            .is_err());
         assert!(b.clone().capacity(ConstantField(0.0)).build(&OBS).is_err());
         let m = b.build(&OBS).unwrap();
         assert!(m.solve_until(0.5).is_err());
@@ -674,5 +751,55 @@ mod tests {
     fn calibration_rejects_single_distance() {
         let observed = DensityMatrix::from_counts(&[vec![1, 2, 3]], &[100]).unwrap();
         assert!(calibrate_per_distance_growth(&observed, 25.0, 3).is_err());
+    }
+
+    #[test]
+    fn series_calibration_is_anchored_in_absolute_time() {
+        // Generate series at absolute hours 4..=7 from a known decaying
+        // growth curve; the fitted field must reproduce the trajectory
+        // when integrated over the SAME absolute window. A fit that
+        // silently re-anchors the series at hour 1 sees a much steeper
+        // effective decay and fails this round trip.
+        let capacity = 25.0;
+        let truth = ExpDecayGrowth::new(2.0, 1.0, 0.2);
+        let integrate = |r: &dyn Fn(f64) -> f64, mut y: f64, t0: f64, t1: f64| -> f64 {
+            let steps = ((t1 - t0) / 0.005).ceil() as usize;
+            let h = (t1 - t0) / steps as f64;
+            for s in 0..steps {
+                let t = t0 + s as f64 * h;
+                let f = |tt: f64, yy: f64| r(tt) * yy * (1.0 - yy / capacity);
+                let k1 = f(t, y);
+                let k2 = f(t + 0.5 * h, y + 0.5 * h * k1);
+                let k3 = f(t + 0.5 * h, y + 0.5 * h * k2);
+                let k4 = f(t + h, y + h * k3);
+                y += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+            }
+            y
+        };
+        let series_from = |y0: f64| -> Vec<f64> {
+            let mut out = vec![y0];
+            for hour in 4..7 {
+                let prev = *out.last().unwrap();
+                out.push(integrate(
+                    &|t| truth.rate(t),
+                    prev,
+                    f64::from(hour),
+                    f64::from(hour) + 1.0,
+                ));
+            }
+            out
+        };
+        let series = [series_from(2.0), series_from(1.0)];
+        let field = calibrate_per_distance_growth_series(&series, capacity, 4, 4).unwrap();
+        for (i, s) in series.iter().enumerate() {
+            let x = 1.0 + i as f64;
+            let got = integrate(&|t| field.value(x, t), s[0], 4.0, 7.0);
+            let want = s[3];
+            assert!(
+                (got - want).abs() / want < 0.05,
+                "distance {}: fitted trajectory {got} vs observed {want}",
+                i + 1
+            );
+        }
     }
 }

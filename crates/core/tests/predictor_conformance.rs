@@ -1,0 +1,242 @@
+//! Conformance suite for the unified `DiffusionPredictor` interface.
+//!
+//! Every spec in [`ModelSpec::default_lineup`] — covering all seven
+//! predictor kinds — is driven through the same battery:
+//!
+//! 1. the registry constructs it and the predictor reports its kind;
+//! 2. the spec round-trips through its text serialization;
+//! 3. fitted on a canonical observation, predicting at the observed time
+//!    reproduces φ within tolerance (profile predictors) or at least
+//!    stays sane (Monte-Carlo epidemics);
+//! 4. predictions are non-negative, bounded, and non-decreasing in time
+//!    (influence is cumulative in every model of this zoo);
+//! 5. invalid observations (empty, NaN, missing requirements) are
+//!    rejected before or during `fit`.
+
+use dlm_core::predict::{GraphContext, Observation, PredictionRequest};
+use dlm_core::registry::{ModelRegistry, ModelSpec};
+use dlm_graph::{DiGraph, GraphBuilder};
+use std::sync::Arc;
+
+/// Layered graph: node 0 → 5 hop-1 nodes → 5 hop-2 nodes → 5 hop-3 nodes.
+fn layered_graph() -> DiGraph {
+    let mut b = GraphBuilder::new(16);
+    for layer in 0..3usize {
+        for i in 0..5usize {
+            let dst = 1 + layer * 5 + i;
+            if layer == 0 {
+                b.add_edge(0, dst).unwrap();
+            } else {
+                for j in 0..5usize {
+                    b.add_edge(1 + (layer - 1) * 5 + j, dst).unwrap();
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Two consecutive hourly profiles over 3 distances, plus graph context,
+/// so every predictor kind has what it needs to fit.
+fn canonical_observation() -> Observation {
+    let graph = Arc::new(layered_graph());
+    // Hour-1 infected: the initiator and one hop-1 voter.
+    let ctx = GraphContext::new(graph, 0, vec![0, 1]);
+    Observation::new(
+        vec![1, 2],
+        vec![vec![20.0, 8.0, 3.0], vec![30.0, 13.0, 5.0]],
+    )
+    .unwrap()
+    .with_graph(ctx)
+}
+
+fn is_epidemic(spec: &ModelSpec) -> bool {
+    matches!(spec, ModelSpec::Si { .. } | ModelSpec::Sis { .. })
+}
+
+#[test]
+fn registry_constructs_and_names_every_lineup_spec() {
+    let registry = ModelRegistry::with_builtins();
+    let lineup = ModelSpec::default_lineup();
+    assert_eq!(lineup.len(), 8, "the line-up must cover the whole zoo");
+    for spec in &lineup {
+        let predictor = registry.build(spec).unwrap();
+        assert_eq!(predictor.name(), spec.kind(), "{spec}");
+    }
+}
+
+#[test]
+fn every_lineup_spec_round_trips_through_text() {
+    for spec in ModelSpec::default_lineup() {
+        let text = spec.to_string();
+        let reparsed: ModelSpec = text.parse().unwrap_or_else(|e| panic!("`{text}`: {e}"));
+        assert_eq!(reparsed, spec, "`{text}` did not round trip");
+        // And the registry constructs straight from the string.
+        assert_eq!(
+            ModelRegistry::with_builtins()
+                .build_from_str(&text)
+                .unwrap()
+                .name(),
+            spec.kind()
+        );
+    }
+}
+
+#[test]
+fn predicting_at_the_observed_time_reproduces_phi() {
+    let registry = ModelRegistry::with_builtins();
+    let observation = canonical_observation();
+    // The request stops AT the observed hour — every non-epidemic kind
+    // must serve it uniformly (no kind-dependent "must exceed initial
+    // time" errors).
+    let request = PredictionRequest::new(vec![1, 2, 3], vec![1]).unwrap();
+    for spec in ModelSpec::default_lineup() {
+        if is_epidemic(&spec) {
+            // Monte-Carlo epidemics re-simulate hour 1 from the seeds,
+            // so exact φ readback is not part of their contract.
+            continue;
+        }
+        let fitted = registry.build(&spec).unwrap().fit(&observation).unwrap();
+        let prediction = fitted.predict(&request).unwrap();
+        for (i, &expected) in observation.initial_profile().iter().enumerate() {
+            let got = prediction.at(i as u32 + 1, 1).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "{spec}: I({}, 1) = {got}, observed {expected}",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn initial_hour_requests_enforce_the_fitted_domain() {
+    // Fit on an observation that starts at hour 3: hours before the
+    // window and distances outside the profile must error even on the
+    // φ-readback path (no silent spline extrapolation or frozen
+    // backcasting).
+    let registry = ModelRegistry::with_builtins();
+    let observation = Observation::new(
+        vec![3, 4],
+        vec![vec![20.0, 8.0, 3.0], vec![30.0, 13.0, 5.0]],
+    )
+    .unwrap();
+    for spec_text in ["dl", "dl-cal", "variable-dl", "logistic"] {
+        let fitted = registry
+            .build_from_str(spec_text)
+            .unwrap()
+            .fit(&observation)
+            .unwrap();
+        // At the observed hour: φ readback.
+        let at_initial = fitted
+            .predict(&PredictionRequest::new(vec![1, 2, 3], vec![3]).unwrap())
+            .unwrap();
+        assert!(
+            (at_initial.at(1, 3).unwrap() - 20.0).abs() < 1e-6,
+            "`{spec_text}`"
+        );
+        // Before the observed window: rejected.
+        assert!(
+            fitted
+                .predict(&PredictionRequest::new(vec![1], vec![1]).unwrap())
+                .is_err(),
+            "`{spec_text}` backcast before the observation window"
+        );
+        // Also rejected when mixed with valid later hours (no silent
+        // clamping of the early hour to the initial state).
+        assert!(
+            fitted
+                .predict(&PredictionRequest::new(vec![1], vec![1, 4]).unwrap())
+                .is_err(),
+            "`{spec_text}` backcast hour 1 inside a mixed request"
+        );
+        // Outside the fitted distance profile: rejected, not extrapolated.
+        assert!(
+            fitted
+                .predict(&PredictionRequest::new(vec![50], vec![3]).unwrap())
+                .is_err(),
+            "`{spec_text}` extrapolated distance 50 at the initial hour"
+        );
+    }
+}
+
+#[test]
+fn predictions_are_bounded_and_monotone_in_time() {
+    let registry = ModelRegistry::with_builtins();
+    let observation = canonical_observation();
+    let hours = vec![2u32, 3, 4, 5, 6];
+    let request = PredictionRequest::new(vec![1, 2, 3], hours.clone()).unwrap();
+    for spec in ModelSpec::default_lineup() {
+        let fitted = registry.build(&spec).unwrap().fit(&observation).unwrap();
+        let prediction = fitted.predict(&request).unwrap();
+        for d in 1..=3u32 {
+            let mut prev = 0.0f64;
+            for &h in &hours {
+                let v = prediction.at(d, h).unwrap();
+                assert!(v.is_finite() && v >= 0.0, "{spec}: I({d}, {h}) = {v}");
+                assert!(v <= 100.0 + 1e-6, "{spec}: I({d}, {h}) = {v} exceeds 100%");
+                assert!(
+                    v >= prev - 1e-9,
+                    "{spec}: I({d}, {h}) = {v} decreased from {prev}"
+                );
+                prev = v;
+            }
+        }
+        // Introspection invariant: names and values stay parallel.
+        assert_eq!(fitted.param_names().len(), fitted.params().len(), "{spec}");
+    }
+}
+
+#[test]
+fn invalid_observations_are_rejected() {
+    // The shared validation gate rejects malformed observations for every
+    // predictor at once.
+    assert!(Observation::new(vec![], vec![]).is_err());
+    assert!(Observation::new(vec![1], vec![vec![]]).is_err());
+    assert!(Observation::new(vec![1], vec![vec![f64::NAN, 1.0]]).is_err());
+    assert!(Observation::new(vec![1], vec![vec![1.0, -2.0]]).is_err());
+    assert!(Observation::new(vec![2, 1], vec![vec![1.0], vec![1.0]]).is_err());
+
+    // Per-predictor requirements surface as fit errors.
+    let registry = ModelRegistry::with_builtins();
+    let single_profile = Observation::from_profile(1, &[5.0, 2.0, 1.0]).unwrap();
+    for spec_text in [
+        "linear-trend",              // needs 2 profiles
+        "dl-cal",                    // needs 2 profiles
+        "variable-dl(perdist=true)", // needs 2 profiles
+        "si",                        // needs graph context
+        "sis",                       // needs graph context
+    ] {
+        let predictor = registry.build_from_str(spec_text).unwrap();
+        assert!(
+            predictor.fit(&single_profile).is_err(),
+            "`{spec_text}` accepted an insufficient observation"
+        );
+    }
+
+    // Spatial models need at least two distance groups.
+    let one_distance = Observation::from_profile(1, &[5.0]).unwrap();
+    for spec_text in ["dl", "variable-dl"] {
+        let predictor = registry.build_from_str(spec_text).unwrap();
+        assert!(
+            predictor.fit(&one_distance).is_err(),
+            "`{spec_text}` accepted a single-distance observation"
+        );
+    }
+}
+
+#[test]
+fn epidemics_reach_successive_hops_on_the_layered_graph() {
+    // SI with beta = 1 marches one hop per hour on the layered graph —
+    // the epidemic predictors' deterministic sanity case.
+    let registry = ModelRegistry::with_builtins();
+    let predictor = registry.build_from_str("si(beta=1,runs=2,seed=1)").unwrap();
+    let fitted = predictor.fit(&canonical_observation()).unwrap();
+    let prediction = fitted
+        .predict(&PredictionRequest::new(vec![1, 2, 3], vec![1, 2, 3]).unwrap())
+        .unwrap();
+    assert_eq!(prediction.at(1, 1).unwrap(), 100.0);
+    assert_eq!(prediction.at(3, 1).unwrap(), 0.0);
+    assert_eq!(prediction.at(2, 2).unwrap(), 100.0);
+    assert_eq!(prediction.at(3, 3).unwrap(), 100.0);
+}

@@ -78,7 +78,7 @@ proptest! {
             .build(&obs)
             .unwrap();
         let growth2 = ConstantGrowth::new(r);
-        let baseline = LogisticOnly::new(&obs, &growth2, 25.0, 1.0).unwrap();
+        let baseline = LogisticOnly::new(&obs, growth2, 25.0, 1.0).unwrap();
         let dists: Vec<u32> = (1..=obs.len() as u32).collect();
         let hours = [3u32, 6];
         let a = model.predict(&dists, &hours).unwrap();

@@ -16,7 +16,11 @@ fn probe(method: SolverMethod, intervals: usize, dt: f64) -> f64 {
     let phi =
         InitialDensity::from_observations(&params, &OBS, PhiConstruction::SplineFlat).unwrap();
     let growth = ExpDecayGrowth::paper_hops();
-    let config = SolverConfig { method, space_intervals: intervals, dt };
+    let config = SolverConfig {
+        method,
+        space_intervals: intervals,
+        dt,
+    };
     let sol = solve(&params, &growth, &phi, 1.0, 6.0, &config).unwrap();
     sol.value_at(3.0, 6.0).unwrap()
 }
@@ -35,7 +39,11 @@ fn crank_nicolson_observed_order_is_two() {
         "CN order {} (expected ~2)",
         s.observed_order
     );
-    assert!(s.fine_error_estimate < 1e-2, "error estimate {}", s.fine_error_estimate);
+    assert!(
+        s.fine_error_estimate < 1e-2,
+        "error estimate {}",
+        s.fine_error_estimate
+    );
 }
 
 #[test]

@@ -148,7 +148,11 @@ pub fn catalog_stats(dataset: &DiggDataset) -> CatalogStats {
     let mut voters: Vec<usize> = dataset.votes().iter().map(|v| v.voter).collect();
     voters.sort_unstable();
     voters.dedup();
-    let median = if ranked.is_empty() { 0 } else { ranked[ranked.len() / 2].1 };
+    let median = if ranked.is_empty() {
+        0
+    } else {
+        ranked[ranked.len() / 2].1
+    };
     CatalogStats {
         stories: ranked.len(),
         votes: dataset.votes().len(),
@@ -168,7 +172,12 @@ mod tests {
     }
 
     fn small_config() -> CatalogConfig {
-        CatalogConfig { stories: 12, hours: 20, substeps: 1, ..CatalogConfig::default() }
+        CatalogConfig {
+            stories: 12,
+            hours: 20,
+            substeps: 1,
+            ..CatalogConfig::default()
+        }
     }
 
     #[test]
@@ -184,8 +193,12 @@ mod tests {
         let w = world();
         let ds = generate_catalog(&w, &small_config()).unwrap();
         let stats = catalog_stats(&ds);
-        assert!(stats.top_story_votes >= 4 * stats.median_story_votes.max(1),
-            "top {} vs median {}", stats.top_story_votes, stats.median_story_votes);
+        assert!(
+            stats.top_story_votes >= 4 * stats.median_story_votes.max(1),
+            "top {} vs median {}",
+            stats.top_story_votes,
+            stats.median_story_votes
+        );
     }
 
     #[test]
@@ -198,7 +211,11 @@ mod tests {
         assert!(min >= month_start);
         // 30-day span + up to 20 simulated hours.
         assert!(max < month_start + 31 * 86_400);
-        assert!(max - min > 86_400, "stories all clustered: span {}", max - min);
+        assert!(
+            max - min > 86_400,
+            "stories all clustered: span {}",
+            max - min
+        );
     }
 
     #[test]
@@ -207,7 +224,14 @@ mod tests {
         let a = generate_catalog(&w, &small_config()).unwrap();
         let b = generate_catalog(&w, &small_config()).unwrap();
         assert_eq!(a, b);
-        let c = generate_catalog(&w, &CatalogConfig { seed: 7, ..small_config() }).unwrap();
+        let c = generate_catalog(
+            &w,
+            &CatalogConfig {
+                seed: 7,
+                ..small_config()
+            },
+        )
+        .unwrap();
         assert_ne!(a, c);
     }
 
@@ -225,9 +249,30 @@ mod tests {
     #[test]
     fn rejects_degenerate_config() {
         let w = world();
-        assert!(generate_catalog(&w, &CatalogConfig { stories: 0, ..small_config() }).is_err());
-        assert!(generate_catalog(&w, &CatalogConfig { hours: 0, ..small_config() }).is_err());
-        assert!(generate_catalog(&w, &CatalogConfig { substeps: 0, ..small_config() }).is_err());
+        assert!(generate_catalog(
+            &w,
+            &CatalogConfig {
+                stories: 0,
+                ..small_config()
+            }
+        )
+        .is_err());
+        assert!(generate_catalog(
+            &w,
+            &CatalogConfig {
+                hours: 0,
+                ..small_config()
+            }
+        )
+        .is_err());
+        assert!(generate_catalog(
+            &w,
+            &CatalogConfig {
+                substeps: 0,
+                ..small_config()
+            }
+        )
+        .is_err());
     }
 
     #[test]

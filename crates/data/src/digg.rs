@@ -59,7 +59,11 @@ impl DiggDataset {
             .chain(links.iter().flat_map(|l| [l.follower, l.followee]))
             .max();
         let user_count = max_user.map_or(0, |m| m + 1);
-        Self { votes, links, user_count }
+        Self {
+            votes,
+            links,
+            user_count,
+        }
     }
 
     /// All votes, sorted by timestamp.
@@ -92,7 +96,11 @@ impl DiggDataset {
     /// Votes for one story, in timestamp order.
     #[must_use]
     pub fn story_votes(&self, story: u32) -> Vec<Vote> {
-        self.votes.iter().filter(|v| v.story == story).copied().collect()
+        self.votes
+            .iter()
+            .filter(|v| v.story == story)
+            .copied()
+            .collect()
     }
 
     /// Vote counts per story, descending — the paper picks its four
@@ -119,7 +127,10 @@ impl DiggDataset {
             .filter(|v| v.story == story)
             .min_by_key(|v| v.timestamp)
             .map(|v| v.voter)
-            .ok_or(DataError::UnknownEntity { kind: "story", id: u64::from(story) })
+            .ok_or(DataError::UnknownEntity {
+                kind: "story",
+                id: u64::from(story),
+            })
     }
 
     /// Builds the directed information-flow graph: edge `followee →
@@ -130,9 +141,11 @@ impl DiggDataset {
         let mut b = GraphBuilder::new(self.user_count);
         for l in &self.links {
             // followee's activity reaches follower.
-            b.add_edge(l.followee, l.follower).expect("ids bounded by user_count");
+            b.add_edge(l.followee, l.follower)
+                .expect("ids bounded by user_count");
             if l.mutual {
-                b.add_edge(l.follower, l.followee).expect("ids bounded by user_count");
+                b.add_edge(l.follower, l.followee)
+                    .expect("ids bounded by user_count");
             }
         }
         b.build()
@@ -160,7 +173,14 @@ impl DiggDataset {
     /// Propagates writer I/O errors.
     pub fn write_friends_csv<W: Write>(&self, mut w: W) -> Result<()> {
         for l in &self.links {
-            writeln!(w, "{},{},{},{}", u8::from(l.mutual), l.timestamp, l.follower, l.followee)?;
+            writeln!(
+                w,
+                "{},{},{},{}",
+                u8::from(l.mutual),
+                l.timestamp,
+                l.follower,
+                l.followee
+            )?;
         }
         Ok(())
     }
@@ -251,14 +271,40 @@ mod tests {
 
     fn sample() -> DiggDataset {
         let votes = vec![
-            Vote { timestamp: 100, voter: 0, story: 1 },
-            Vote { timestamp: 160, voter: 2, story: 1 },
-            Vote { timestamp: 130, voter: 1, story: 1 },
-            Vote { timestamp: 90, voter: 3, story: 2 },
+            Vote {
+                timestamp: 100,
+                voter: 0,
+                story: 1,
+            },
+            Vote {
+                timestamp: 160,
+                voter: 2,
+                story: 1,
+            },
+            Vote {
+                timestamp: 130,
+                voter: 1,
+                story: 1,
+            },
+            Vote {
+                timestamp: 90,
+                voter: 3,
+                story: 2,
+            },
         ];
         let links = vec![
-            FriendLink { mutual: false, timestamp: 10, follower: 1, followee: 0 },
-            FriendLink { mutual: true, timestamp: 20, follower: 2, followee: 1 },
+            FriendLink {
+                mutual: false,
+                timestamp: 10,
+                follower: 1,
+                followee: 0,
+            },
+            FriendLink {
+                mutual: true,
+                timestamp: 20,
+                follower: 2,
+                followee: 1,
+            },
         ];
         DiggDataset::new(votes, links)
     }
@@ -298,7 +344,10 @@ mod tests {
         assert_eq!(d.initiator(2).unwrap(), 3);
         assert!(matches!(
             d.initiator(9).unwrap_err(),
-            DataError::UnknownEntity { kind: "story", id: 9 }
+            DataError::UnknownEntity {
+                kind: "story",
+                id: 9
+            }
         ));
     }
 

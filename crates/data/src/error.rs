@@ -80,13 +80,24 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(DataError::MalformedRecord { line: 3, reason: "bad int".into() }
-            .to_string()
-            .contains("line 3"));
-        assert!(DataError::UnknownEntity { kind: "story", id: 9 }.to_string().contains("story"));
-        assert!(DataError::InvalidParameter { name: "x", reason: "neg".into() }
-            .to_string()
-            .contains("`x`"));
+        assert!(DataError::MalformedRecord {
+            line: 3,
+            reason: "bad int".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(DataError::UnknownEntity {
+            kind: "story",
+            id: 9
+        }
+        .to_string()
+        .contains("story"));
+        assert!(DataError::InvalidParameter {
+            name: "x",
+            reason: "neg".into()
+        }
+        .to_string()
+        .contains("`x`"));
     }
 
     #[test]

@@ -44,7 +44,11 @@ pub struct SimulationConfig {
 
 impl Default for SimulationConfig {
     fn default() -> Self {
-        Self { hours: 50, substeps: 4, seed: 7 }
+        Self {
+            hours: 50,
+            substeps: 4,
+            seed: 7,
+        }
     }
 }
 
@@ -92,7 +96,11 @@ impl Cascade {
     #[must_use]
     pub fn votes_within(&self, hours: u32) -> Vec<Vote> {
         let cutoff = self.submit_time + u64::from(hours) * 3600;
-        self.votes.iter().filter(|v| v.timestamp < cutoff).copied().collect()
+        self.votes
+            .iter()
+            .filter(|v| v.timestamp < cutoff)
+            .copied()
+            .collect()
     }
 }
 
@@ -113,7 +121,10 @@ pub fn simulate_story(
     config: SimulationConfig,
 ) -> Result<Cascade> {
     if config.hours == 0 {
-        return Err(DataError::InvalidParameter { name: "hours", reason: "must be positive".into() });
+        return Err(DataError::InvalidParameter {
+            name: "hours",
+            reason: "must be positive".into(),
+        });
     }
     if config.substeps == 0 {
         return Err(DataError::InvalidParameter {
@@ -147,18 +158,28 @@ pub fn simulate_story(
     let mut pressure = vec![0u32; n];
 
     let influence = |u: NodeId,
-                         t: u64,
-                         influenced: &mut Vec<bool>,
-                         pressure: &mut Vec<u32>,
-                         votes: &mut Vec<Vote>| {
+                     t: u64,
+                     influenced: &mut Vec<bool>,
+                     pressure: &mut Vec<u32>,
+                     votes: &mut Vec<Vote>| {
         influenced[u] = true;
-        votes.push(Vote { timestamp: t, voter: u, story: preset.id });
+        votes.push(Vote {
+            timestamp: t,
+            voter: u,
+            story: preset.id,
+        });
         for &follower in graph.out_neighbors(u) {
             pressure[follower] = pressure[follower].saturating_add(1);
         }
     };
 
-    influence(initiator, submit_time, &mut influenced, &mut pressure, &mut votes);
+    influence(
+        initiator,
+        submit_time,
+        &mut influenced,
+        &mut pressure,
+        &mut votes,
+    );
 
     let dt = 1.0 / f64::from(config.substeps);
     for hour in 1..=config.hours {
@@ -200,7 +221,12 @@ pub fn simulate_story(
     votes.sort_unstable();
     votes.dedup_by_key(|v| v.voter);
     votes.sort_unstable();
-    Ok(Cascade { story: preset.id, initiator, submit_time, votes })
+    Ok(Cascade {
+        story: preset.id,
+        initiator,
+        submit_time,
+        votes,
+    })
 }
 
 /// Simulates all four representative stories on one world, returning the
@@ -229,7 +255,11 @@ mod tests {
     }
 
     fn test_config() -> SimulationConfig {
-        SimulationConfig { hours: 50, substeps: 2, seed: 11 }
+        SimulationConfig {
+            hours: 50,
+            substeps: 2,
+            seed: 11,
+        }
     }
 
     #[test]
@@ -244,7 +274,10 @@ mod tests {
     fn votes_sorted_and_unique_voters() {
         let w = test_world();
         let c = simulate_story(&w, &StoryPreset::s1(), test_config()).unwrap();
-        assert!(c.votes().windows(2).all(|v| v[0].timestamp <= v[1].timestamp));
+        assert!(c
+            .votes()
+            .windows(2)
+            .all(|v| v[0].timestamp <= v[1].timestamp));
         let mut voters: Vec<usize> = c.votes().iter().map(|v| v.voter).collect();
         voters.sort_unstable();
         voters.dedup();
@@ -271,7 +304,10 @@ mod tests {
         let c = simulate_story(
             &w,
             &StoryPreset::s3(),
-            SimulationConfig { seed: 999, ..test_config() },
+            SimulationConfig {
+                seed: 999,
+                ..test_config()
+            },
         )
         .unwrap();
         assert_ne!(a, c);
@@ -287,7 +323,10 @@ mod tests {
         let total = c.vote_count();
         assert!(total > 50, "cascade too small to be meaningful: {total}");
         let late_share = (total - early) as f64 / total as f64;
-        assert!(late_share < 0.05, "still growing fast at 40-50h: {early}/{total}");
+        assert!(
+            late_share < 0.05,
+            "still growing fast at 40-50h: {early}/{total}"
+        );
     }
 
     #[test]
@@ -320,13 +359,19 @@ mod tests {
         assert!(simulate_story(
             &w,
             &StoryPreset::s1(),
-            SimulationConfig { hours: 0, ..test_config() }
+            SimulationConfig {
+                hours: 0,
+                ..test_config()
+            }
         )
         .is_err());
         assert!(simulate_story(
             &w,
             &StoryPreset::s1(),
-            SimulationConfig { substeps: 0, ..test_config() }
+            SimulationConfig {
+                substeps: 0,
+                ..test_config()
+            }
         )
         .is_err());
     }

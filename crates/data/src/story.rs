@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn susceptibility_clamps_beyond_table() {
         let s1 = StoryPreset::s1();
-        assert_eq!(s1.susceptibility_at(Some(100)), *s1.hop_susceptibility.last().unwrap());
+        assert_eq!(
+            s1.susceptibility_at(Some(100)),
+            *s1.hop_susceptibility.last().unwrap()
+        );
         assert_eq!(s1.susceptibility_at(Some(0)), s1.hop_susceptibility[0]);
         assert_eq!(s1.susceptibility_at(None), s1.unreachable_susceptibility);
     }

@@ -115,7 +115,9 @@ impl SyntheticWorld {
         // Historical catalog: story m has topic c_m; users vote on stories
         // within their topic radius.
         let mut profile = InterestProfile::new();
-        let catalog: Vec<f64> = (0..config.history_stories).map(|_| rng.gen::<f64>()).collect();
+        let catalog: Vec<f64> = (0..config.history_stories)
+            .map(|_| rng.gen::<f64>())
+            .collect();
         for (user, &theta) in topics.iter().enumerate() {
             for (m, &c) in catalog.iter().enumerate() {
                 if (theta - c).abs() < config.history_radius
@@ -126,7 +128,12 @@ impl SyntheticWorld {
             }
         }
 
-        Ok(Self { graph, topics, profile, config })
+        Ok(Self {
+            graph,
+            topics,
+            profile,
+            config,
+        })
     }
 
     /// The follower graph (edge `u → v` means `v` follows `u`).
@@ -277,7 +284,10 @@ mod tests {
     fn hub_is_highest_out_degree() {
         let w = small_world();
         let hub = w.hub(0).unwrap();
-        let max_deg = (0..w.user_count()).map(|u| w.graph().out_degree(u)).max().unwrap();
+        let max_deg = (0..w.user_count())
+            .map(|u| w.graph().out_degree(u))
+            .max()
+            .unwrap();
         assert_eq!(w.graph().out_degree(hub), max_deg);
         assert!(w.hub(w.user_count()).is_err());
     }

@@ -1,7 +1,9 @@
 //! Property-based tests for the dataset substrate.
 
 use dlm_data::simulate::simulate_story;
-use dlm_data::{DiggDataset, FriendLink, SimulationConfig, StoryPreset, SyntheticWorld, Vote, WorldConfig};
+use dlm_data::{
+    DiggDataset, FriendLink, SimulationConfig, StoryPreset, SyntheticWorld, Vote, WorldConfig,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -82,12 +84,19 @@ fn simulation_invariants_hold_across_seeds() {
     // with a manual loop rather than proptest shrinking machinery.
     let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.03)).unwrap();
     for seed in [1u64, 7, 99, 12345] {
-        let cfg = SimulationConfig { hours: 30, substeps: 1, seed };
+        let cfg = SimulationConfig {
+            hours: 30,
+            substeps: 1,
+            seed,
+        };
         let c = simulate_story(&world, &StoryPreset::s2(), cfg).unwrap();
         // Initiator votes first.
         assert_eq!(c.votes()[0].voter, c.initiator());
         // Timestamps are sorted and within the horizon.
-        assert!(c.votes().windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(c
+            .votes()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
         let horizon = c.submit_time() + 30 * 3600;
         assert!(c.votes().iter().all(|v| v.timestamp < horizon));
         // No duplicate voters.

@@ -253,12 +253,20 @@ mod tests {
     fn synthetic_network_has_a_giant_component() {
         use crate::generators::{preferential_attachment, PreferentialAttachmentConfig};
         let g = preferential_attachment(
-            PreferentialAttachmentConfig { nodes: 2000, edges_per_node: 2, ..Default::default() },
+            PreferentialAttachmentConfig {
+                nodes: 2000,
+                edges_per_node: 2,
+                ..Default::default()
+            },
             5,
         )
         .unwrap();
         let c = weakly_connected_components(&g);
-        assert!(c.giant_fraction() > 0.99, "giant fraction {}", c.giant_fraction());
+        assert!(
+            c.giant_fraction() > 0.99,
+            "giant fraction {}",
+            c.giant_fraction()
+        );
     }
 
     #[test]

@@ -46,13 +46,19 @@ mod tests {
 
     #[test]
     fn display_out_of_range() {
-        let e = GraphError::NodeOutOfRange { node: 9, node_count: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            node_count: 5,
+        };
         assert_eq!(e.to_string(), "node 9 out of range (graph has 5 nodes)");
     }
 
     #[test]
     fn display_invalid_parameter() {
-        let e = GraphError::InvalidParameter { name: "p", reason: "must be in [0, 1]".into() };
+        let e = GraphError::InvalidParameter {
+            name: "p",
+            reason: "must be in [0, 1]".into(),
+        };
         assert!(e.to_string().contains("`p`"));
     }
 

@@ -59,7 +59,12 @@ pub struct PreferentialAttachmentConfig {
 
 impl Default for PreferentialAttachmentConfig {
     fn default() -> Self {
-        Self { nodes: 1000, edges_per_node: 4, reciprocation: 0.4, triad_closure: 0.3 }
+        Self {
+            nodes: 1000,
+            edges_per_node: 4,
+            reciprocation: 0.4,
+            triad_closure: 0.3,
+        }
     }
 }
 
@@ -72,10 +77,7 @@ impl Default for PreferentialAttachmentConfig {
 ///
 /// Returns [`GraphError::InvalidParameter`] for `nodes < 2`,
 /// `edges_per_node == 0`, or probabilities outside `[0, 1]`.
-pub fn preferential_attachment(
-    config: PreferentialAttachmentConfig,
-    seed: u64,
-) -> Result<DiGraph> {
+pub fn preferential_attachment(config: PreferentialAttachmentConfig, seed: u64) -> Result<DiGraph> {
     if config.nodes < 2 {
         return Err(GraphError::InvalidParameter {
             name: "nodes",
@@ -88,8 +90,10 @@ pub fn preferential_attachment(
             reason: "must be positive".into(),
         });
     }
-    for (name, p) in [("reciprocation", config.reciprocation), ("triad_closure", config.triad_closure)]
-    {
+    for (name, p) in [
+        ("reciprocation", config.reciprocation),
+        ("triad_closure", config.triad_closure),
+    ] {
         if !(0.0..=1.0).contains(&p) {
             return Err(GraphError::InvalidParameter {
                 name,
@@ -218,7 +222,10 @@ mod tests {
         let g = erdos_renyi(n, p, 42).unwrap();
         let expected = (n * (n - 1)) as f64 * p;
         let actual = g.edge_count() as f64;
-        assert!((actual - expected).abs() < 0.15 * expected, "{actual} vs {expected}");
+        assert!(
+            (actual - expected).abs() < 0.15 * expected,
+            "{actual} vs {expected}"
+        );
     }
 
     #[test]
@@ -238,7 +245,10 @@ mod tests {
 
     #[test]
     fn preferential_attachment_basic_shape() {
-        let cfg = PreferentialAttachmentConfig { nodes: 500, ..Default::default() };
+        let cfg = PreferentialAttachmentConfig {
+            nodes: 500,
+            ..Default::default()
+        };
         let g = preferential_attachment(cfg, 3).unwrap();
         assert_eq!(g.node_count(), 500);
         assert!(g.edge_count() > 500, "too sparse: {}", g.edge_count());
@@ -247,7 +257,10 @@ mod tests {
     #[test]
     fn preferential_attachment_has_hubs() {
         // Heavy tail: max out-degree should greatly exceed the mean.
-        let cfg = PreferentialAttachmentConfig { nodes: 2000, ..Default::default() };
+        let cfg = PreferentialAttachmentConfig {
+            nodes: 2000,
+            ..Default::default()
+        };
         let g = preferential_attachment(cfg, 11).unwrap();
         let degrees: Vec<usize> = (0..g.node_count()).map(|u| g.out_degree(u)).collect();
         let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
@@ -258,26 +271,44 @@ mod tests {
     #[test]
     fn preferential_attachment_reciprocity_tracks_parameter() {
         let lo = preferential_attachment(
-            PreferentialAttachmentConfig { nodes: 800, reciprocation: 0.05, ..Default::default() },
+            PreferentialAttachmentConfig {
+                nodes: 800,
+                reciprocation: 0.05,
+                ..Default::default()
+            },
             5,
         )
         .unwrap();
         let hi = preferential_attachment(
-            PreferentialAttachmentConfig { nodes: 800, reciprocation: 0.8, ..Default::default() },
+            PreferentialAttachmentConfig {
+                nodes: 800,
+                reciprocation: 0.8,
+                ..Default::default()
+            },
             5,
         )
         .unwrap();
-        assert!(hi.reciprocity() > lo.reciprocity() + 0.2, "{} vs {}", hi.reciprocity(), lo.reciprocity());
+        assert!(
+            hi.reciprocity() > lo.reciprocity() + 0.2,
+            "{} vs {}",
+            hi.reciprocity(),
+            lo.reciprocity()
+        );
     }
 
     #[test]
     fn preferential_attachment_most_users_within_few_hops() {
         // The property Figure 2 depends on: from a well-connected node, the
         // bulk of reachable users sit at hops 2-5.
-        let cfg = PreferentialAttachmentConfig { nodes: 3000, ..Default::default() };
+        let cfg = PreferentialAttachmentConfig {
+            nodes: 3000,
+            ..Default::default()
+        };
         let g = preferential_attachment(cfg, 13).unwrap();
         // Pick the highest out-degree node as a popular "initiator".
-        let initiator = (0..g.node_count()).max_by_key(|&u| g.out_degree(u)).unwrap();
+        let initiator = (0..g.node_count())
+            .max_by_key(|&u| g.out_degree(u))
+            .unwrap();
         let d = hop_distances(&g, initiator);
         let hist = d.hop_histogram();
         assert!(hist.len() >= 3, "network too shallow: {hist:?}");
@@ -292,17 +323,26 @@ mod tests {
     #[test]
     fn preferential_attachment_rejects_bad_config() {
         assert!(preferential_attachment(
-            PreferentialAttachmentConfig { nodes: 1, ..Default::default() },
+            PreferentialAttachmentConfig {
+                nodes: 1,
+                ..Default::default()
+            },
             0
         )
         .is_err());
         assert!(preferential_attachment(
-            PreferentialAttachmentConfig { edges_per_node: 0, ..Default::default() },
+            PreferentialAttachmentConfig {
+                edges_per_node: 0,
+                ..Default::default()
+            },
             0
         )
         .is_err());
         assert!(preferential_attachment(
-            PreferentialAttachmentConfig { reciprocation: 2.0, ..Default::default() },
+            PreferentialAttachmentConfig {
+                reciprocation: 2.0,
+                ..Default::default()
+            },
             0
         )
         .is_err());

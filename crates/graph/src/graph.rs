@@ -82,7 +82,10 @@ impl DiGraph {
     /// Returns [`GraphError::NodeOutOfRange`] for an invalid node id.
     pub fn try_out_neighbors(&self, node: NodeId) -> Result<&[NodeId]> {
         if node >= self.node_count() {
-            return Err(GraphError::NodeOutOfRange { node, node_count: self.node_count() });
+            return Err(GraphError::NodeOutOfRange {
+                node,
+                node_count: self.node_count(),
+            });
         }
         Ok(self.out_neighbors(node))
     }
@@ -119,8 +122,7 @@ impl DiGraph {
 
     /// Iterates over all edges as `(source, target)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.node_count())
-            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+        (0..self.node_count()).flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Fraction of directed edges whose reverse edge also exists
@@ -147,7 +149,10 @@ impl GraphBuilder {
     /// Creates a builder for a graph with `node_count` nodes.
     #[must_use]
     pub fn new(node_count: usize) -> Self {
-        Self { node_count, edges: Vec::new() }
+        Self {
+            node_count,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes the built graph will have.
@@ -164,10 +169,16 @@ impl GraphBuilder {
     /// range.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self> {
         if u >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: u, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: u,
+                node_count: self.node_count,
+            });
         }
         if v >= self.node_count {
-            return Err(GraphError::NodeOutOfRange { node: v, node_count: self.node_count });
+            return Err(GraphError::NodeOutOfRange {
+                node: v,
+                node_count: self.node_count,
+            });
         }
         self.edges.push((u, v));
         Ok(self)
@@ -226,7 +237,12 @@ impl GraphBuilder {
         // Each in-list is filled in sorted source order because edges are
         // sorted by (u, v); no per-row sort needed.
 
-        DiGraph { out_offsets, out_targets, in_offsets, in_sources }
+        DiGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
     }
 }
 
@@ -301,7 +317,10 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         assert!(matches!(
             b.add_edge(0, 5).unwrap_err(),
-            GraphError::NodeOutOfRange { node: 5, node_count: 2 }
+            GraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 2
+            }
         ));
         assert!(b.add_edge(7, 0).is_err());
     }

@@ -59,8 +59,9 @@ pub fn local_clustering(graph: &DiGraph, node: NodeId) -> Option<f64> {
 /// (Watts–Strogatz convention). Returns `None` if no node qualifies.
 #[must_use]
 pub fn average_clustering(graph: &DiGraph) -> Option<f64> {
-    let vals: Vec<f64> =
-        (0..graph.node_count()).filter_map(|u| local_clustering(graph, u)).collect();
+    let vals: Vec<f64> = (0..graph.node_count())
+        .filter_map(|u| local_clustering(graph, u))
+        .collect();
     if vals.is_empty() {
         None
     } else {
@@ -96,7 +97,12 @@ pub fn out_degree_summary(graph: &DiGraph) -> Option<DegreeSummary> {
     } else {
         (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
     };
-    Some(DegreeSummary { min: degrees[0], max: degrees[n - 1], mean, median })
+    Some(DegreeSummary {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean,
+        median,
+    })
 }
 
 #[cfg(test)]
@@ -187,11 +193,17 @@ mod tests {
     fn generated_networks_are_triangle_rich() {
         use crate::generators::{preferential_attachment, PreferentialAttachmentConfig};
         let g = preferential_attachment(
-            PreferentialAttachmentConfig { nodes: 600, ..Default::default() },
+            PreferentialAttachmentConfig {
+                nodes: 600,
+                ..Default::default()
+            },
             9,
         )
         .unwrap();
         let avg = average_clustering(&g).unwrap();
-        assert!(avg > 0.05, "clustering too low for a Digg-like network: {avg}");
+        assert!(
+            avg > 0.05,
+            "clustering too low for a Digg-like network: {avg}"
+        );
     }
 }

@@ -30,7 +30,12 @@ pub struct ConvergenceStudy {
 ///   values, or a non-contracting sequence (medium/fine difference not
 ///   smaller than coarse/medium: the quantity is not converging, so no
 ///   order can be assigned).
-pub fn convergence_study(coarse: f64, medium: f64, fine: f64, ratio: f64) -> Result<ConvergenceStudy> {
+pub fn convergence_study(
+    coarse: f64,
+    medium: f64,
+    fine: f64,
+    ratio: f64,
+) -> Result<ConvergenceStudy> {
     if !(ratio > 1.0) || !ratio.is_finite() {
         return Err(NumericsError::InvalidParameter {
             name: "ratio",
@@ -39,7 +44,9 @@ pub fn convergence_study(coarse: f64, medium: f64, fine: f64, ratio: f64) -> Res
     }
     for (name, v) in [("coarse", coarse), ("medium", medium), ("fine", fine)] {
         if !v.is_finite() {
-            return Err(NumericsError::NonFiniteValue { context: format!("convergence {name}") });
+            return Err(NumericsError::NonFiniteValue {
+                context: format!("convergence {name}"),
+            });
         }
     }
     let d_cm = medium - coarse;
@@ -88,7 +95,9 @@ pub fn richardson(coarse: f64, fine: f64, ratio: f64, order: f64) -> Result<f64>
         });
     }
     if !coarse.is_finite() || !fine.is_finite() {
-        return Err(NumericsError::NonFiniteValue { context: "richardson inputs".into() });
+        return Err(NumericsError::NonFiniteValue {
+            context: "richardson inputs".into(),
+        });
     }
     Ok(fine + (fine - coarse) / (ratio.powf(order) - 1.0))
 }
@@ -183,6 +192,10 @@ mod tests {
             y
         };
         let s = convergence_study(solve(20), solve(40), solve(80), 2.0).unwrap();
-        assert!((s.observed_order - 2.0).abs() < 0.1, "order {}", s.observed_order);
+        assert!(
+            (s.observed_order - 2.0).abs() < 0.1,
+            "order {}",
+            s.observed_order
+        );
     }
 }

@@ -76,19 +76,29 @@ impl fmt::Display for NumericsError {
                 write!(f, "matrix is singular at pivot {pivot}")
             }
             NumericsError::UnsortedKnots { index } => {
-                write!(f, "knots must be strictly increasing (violated at index {index})")
+                write!(
+                    f,
+                    "knots must be strictly increasing (violated at index {index})"
+                )
             }
             NumericsError::NonFiniteValue { context } => {
                 write!(f, "non-finite value encountered in {context}")
             }
-            NumericsError::NoConvergence { algorithm, iterations, residual } => {
+            NumericsError::NoConvergence {
+                algorithm,
+                iterations,
+                residual,
+            } => {
                 write!(
                     f,
                     "{algorithm} did not converge after {iterations} iterations (residual {residual:.3e})"
                 )
             }
             NumericsError::InvalidBracket { f_lo, f_hi } => {
-                write!(f, "interval does not bracket a root: f(lo) = {f_lo:.3e}, f(hi) = {f_hi:.3e}")
+                write!(
+                    f,
+                    "interval does not bracket a root: f(lo) = {f_lo:.3e}, f(hi) = {f_hi:.3e}"
+                )
             }
             NumericsError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
@@ -111,7 +121,10 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = NumericsError::DimensionMismatch { expected: "n >= 2".into(), actual: 1 };
+        let e = NumericsError::DimensionMismatch {
+            expected: "n >= 2".into(),
+            actual: 1,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected n >= 2, got 1");
     }
 
@@ -123,7 +136,11 @@ mod tests {
 
     #[test]
     fn display_no_convergence_mentions_algorithm() {
-        let e = NumericsError::NoConvergence { algorithm: "newton", iterations: 50, residual: 1e-3 };
+        let e = NumericsError::NoConvergence {
+            algorithm: "newton",
+            iterations: 50,
+            residual: 1e-3,
+        };
         let s = e.to_string();
         assert!(s.contains("newton") && s.contains("50"));
     }

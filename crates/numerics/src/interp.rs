@@ -49,14 +49,19 @@ impl LinearInterp {
             });
         }
         if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
-            return Err(NumericsError::NonFiniteValue { context: "interp knots".into() });
+            return Err(NumericsError::NonFiniteValue {
+                context: "interp knots".into(),
+            });
         }
         for i in 0..x.len() - 1 {
             if x[i] >= x[i + 1] {
                 return Err(NumericsError::UnsortedKnots { index: i });
             }
         }
-        Ok(Self { x: x.to_vec(), y: y.to_vec() })
+        Ok(Self {
+            x: x.to_vec(),
+            y: y.to_vec(),
+        })
     }
 
     /// Domain `[x₀, x_{n−1}]`.
@@ -125,7 +130,9 @@ pub fn resample(x: &[f64], y: &[f64], targets: &[f64]) -> Result<Vec<f64>> {
 #[must_use]
 pub fn linspace(lo: f64, hi: f64, count: usize) -> Vec<f64> {
     assert!(count >= 2, "linspace requires count >= 2");
-    (0..count).map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64).collect()
+    (0..count)
+        .map(|i| lo + (hi - lo) * i as f64 / (count - 1) as f64)
+        .collect()
 }
 
 #[cfg(test)]

@@ -55,7 +55,13 @@ pub struct LmConfig {
 
 impl Default for LmConfig {
     fn default() -> Self {
-        Self { f_tol: 1e-14, x_tol: 1e-12, max_iter: 200, initial_lambda: 1e-3, jacobian_step: 1e-7 }
+        Self {
+            f_tol: 1e-14,
+            x_tol: 1e-12,
+            max_iter: 200,
+            initial_lambda: 1e-3,
+            jacobian_step: 1e-7,
+        }
     }
 }
 
@@ -130,7 +136,9 @@ pub fn levenberg_marquardt<P: LeastSquaresProblem + ?Sized>(
     let mut r = vec![0.0; m];
     problem.residuals(&p, &mut r);
     if r.iter().any(|v| !v.is_finite()) {
-        return Err(NumericsError::NonFiniteValue { context: "residuals at seed".into() });
+        return Err(NumericsError::NonFiniteValue {
+            context: "residuals at seed".into(),
+        });
     }
     let mut ss: f64 = r.iter().map(|v| v * v).sum();
     let mut lambda = cfg.initial_lambda;
@@ -179,8 +187,7 @@ pub fn levenberg_marquardt<P: LeastSquaresProblem + ?Sized>(
             problem.residuals(&p_trial, &mut r_trial);
             let ss_trial: f64 = r_trial.iter().map(|v| v * v).sum();
             if ss_trial.is_finite() && ss_trial < ss {
-                let step_norm =
-                    delta.iter().map(|v| v * v).sum::<f64>().sqrt();
+                let step_norm = delta.iter().map(|v| v * v).sum::<f64>().sqrt();
                 let improvement = ss - ss_trial;
                 p = p_trial;
                 r.copy_from_slice(&r_trial);
@@ -208,7 +215,12 @@ pub fn levenberg_marquardt<P: LeastSquaresProblem + ?Sized>(
         }
     }
 
-    Ok(LmFit { parameters: p, sum_squares: ss, iterations, converged })
+    Ok(LmFit {
+        parameters: p,
+        sum_squares: ss,
+        iterations,
+        converged,
+    })
 }
 
 #[cfg(test)]
@@ -241,7 +253,10 @@ mod tests {
         // Recover r(t) = a·e^{−b(t−1)} + c with the paper's constants
         // a = 1.4, b = 1.5, c = 0.25 from noiseless samples (Fig. 6 curve).
         let ts: Vec<f64> = (0..40).map(|i| 1.0 + i as f64 * 0.125).collect();
-        let ys: Vec<f64> = ts.iter().map(|t| 1.4 * (-1.5 * (t - 1.0)).exp() + 0.25).collect();
+        let ys: Vec<f64> = ts
+            .iter()
+            .map(|t| 1.4 * (-1.5 * (t - 1.0)).exp() + 0.25)
+            .collect();
         let m = ts.len();
         let problem = (
             move |p: &[f64], out: &mut [f64]| {
@@ -253,7 +268,11 @@ mod tests {
             3usize,
         );
         let fit = levenberg_marquardt(&problem, &[1.0, 1.0, 0.0], LmConfig::default()).unwrap();
-        assert!((fit.parameters[0] - 1.4).abs() < 1e-5, "{:?}", fit.parameters);
+        assert!(
+            (fit.parameters[0] - 1.4).abs() < 1e-5,
+            "{:?}",
+            fit.parameters
+        );
         assert!((fit.parameters[1] - 1.5).abs() < 1e-5);
         assert!((fit.parameters[2] - 0.25).abs() < 1e-6);
     }
@@ -320,7 +339,11 @@ mod tests {
 
     #[test]
     fn rejects_non_finite_seed_residuals() {
-        let problem = (|_p: &[f64], out: &mut [f64]| out[0] = f64::NAN, 1usize, 1usize);
+        let problem = (
+            |_p: &[f64], out: &mut [f64]| out[0] = f64::NAN,
+            1usize,
+            1usize,
+        );
         let err = levenberg_marquardt(&problem, &[1.0], LmConfig::default()).unwrap_err();
         assert!(matches!(err, NumericsError::NonFiniteValue { .. }));
     }

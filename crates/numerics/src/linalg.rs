@@ -39,7 +39,11 @@ impl Matrix {
     /// Panics if `rows * cols` overflows `usize`.
     #[must_use]
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows.checked_mul(cols).expect("matrix size overflow")],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -76,7 +80,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -337,13 +345,19 @@ mod tests {
     #[test]
     fn singular_matrix_detected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(a.solve(&[1.0, 2.0]).unwrap_err(), NumericsError::SingularMatrix { .. }));
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]).unwrap_err(),
+            NumericsError::SingularMatrix { .. }
+        ));
     }
 
     #[test]
     fn non_square_lu_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(a.lu().unwrap_err(), NumericsError::DimensionMismatch { .. }));
+        assert!(matches!(
+            a.lu().unwrap_err(),
+            NumericsError::DimensionMismatch { .. }
+        ));
     }
 
     #[test]
@@ -360,12 +374,8 @@ mod tests {
 
     #[test]
     fn mul_vec_and_solve_roundtrip() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[3.0, 6.0, -4.0],
-            &[2.0, 1.0, 8.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[3.0, 6.0, -4.0], &[2.0, 1.0, 8.0]]).unwrap();
         let x_true = vec![0.5, -1.25, 2.0];
         let b = a.mul_vec(&x_true).unwrap();
         let x = a.solve(&b).unwrap();
@@ -385,7 +395,10 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
         let c = a.mul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -413,7 +426,9 @@ mod tests {
         let n = 40;
         let mut seed = 7u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
         };
         let mut a = Matrix::zeros(n, n);
@@ -426,7 +441,11 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|_| next()).collect();
         let x = a.solve(&b).unwrap();
         let ax = a.mul_vec(&x).unwrap();
-        let res = ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+        let res = ax
+            .iter()
+            .zip(&b)
+            .map(|(p, q)| (p - q).abs())
+            .fold(0.0, f64::max);
         assert!(res < 1e-10, "residual {res}");
     }
 }

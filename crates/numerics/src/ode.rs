@@ -47,7 +47,10 @@ pub struct Trajectory {
 
 impl Trajectory {
     fn new() -> Self {
-        Self { times: Vec::new(), states: Vec::new() }
+        Self {
+            times: Vec::new(),
+            states: Vec::new(),
+        }
     }
 
     fn push(&mut self, t: f64, y: Vec<f64>) {
@@ -103,7 +106,9 @@ fn validate_span(t0: f64, t1: f64, y0: &[f64], dim: usize) -> Result<()> {
         });
     }
     if y0.iter().any(|v| !v.is_finite()) {
-        return Err(NumericsError::NonFiniteValue { context: "initial state".into() });
+        return Err(NumericsError::NonFiniteValue {
+            context: "initial state".into(),
+        });
     }
     Ok(())
 }
@@ -291,13 +296,41 @@ impl DormandPrince45 {
             [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
             [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
             [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
-            [19372.0 / 6561.0, -25360.0 / 2187.0, 64448.0 / 6561.0, -212.0 / 729.0, 0.0, 0.0],
-            [9017.0 / 3168.0, -355.0 / 33.0, 46732.0 / 5247.0, 49.0 / 176.0, -5103.0 / 18656.0, 0.0],
-            [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0],
+            [
+                19372.0 / 6561.0,
+                -25360.0 / 2187.0,
+                64448.0 / 6561.0,
+                -212.0 / 729.0,
+                0.0,
+                0.0,
+            ],
+            [
+                9017.0 / 3168.0,
+                -355.0 / 33.0,
+                46732.0 / 5247.0,
+                49.0 / 176.0,
+                -5103.0 / 18656.0,
+                0.0,
+            ],
+            [
+                35.0 / 384.0,
+                0.0,
+                500.0 / 1113.0,
+                125.0 / 192.0,
+                -2187.0 / 6784.0,
+                11.0 / 84.0,
+            ],
         ];
         // 5th-order solution weights (same as A[6]) and 4th-order embedded weights.
-        const B5: [f64; 7] =
-            [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0, 0.0];
+        const B5: [f64; 7] = [
+            35.0 / 384.0,
+            0.0,
+            500.0 / 1113.0,
+            125.0 / 192.0,
+            -2187.0 / 6784.0,
+            11.0 / 84.0,
+            0.0,
+        ];
         const B4: [f64; 7] = [
             5179.0 / 57600.0,
             0.0,
@@ -376,7 +409,8 @@ impl DormandPrince45 {
                 y.copy_from_slice(&y5);
                 traj.push(t, y.clone());
                 // PI step control (0.7/0.4 exponents, Hairer–Nørsett–Wanner).
-                let fac = 0.9 * err_norm.max(1e-10).powf(-0.7 / 5.0)
+                let fac = 0.9
+                    * err_norm.max(1e-10).powf(-0.7 / 5.0)
                     * err_prev.max(1e-10).powf(0.4 / 5.0);
                 h = (h * fac.clamp(0.2, 5.0)).min(cfg.max_step);
                 err_prev = err_norm.max(1e-10);
@@ -503,12 +537,18 @@ mod tests {
 
     /// y' = λy has solution e^{λt}.
     fn exp_system(lambda: f64) -> impl OdeSystem {
-        (move |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = lambda * y[0], 1usize)
+        (
+            move |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = lambda * y[0],
+            1usize,
+        )
     }
 
     /// Logistic ODE y' = r·y·(1 − y/k) with closed form solution.
     fn logistic_system(r: f64, k: f64) -> impl OdeSystem {
-        (move |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = r * y[0] * (1.0 - y[0] / k), 1usize)
+        (
+            move |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = r * y[0] * (1.0 - y[0] / k),
+            1usize,
+        )
     }
 
     fn logistic_exact(t: f64, y0: f64, r: f64, k: f64) -> f64 {
@@ -579,7 +619,10 @@ mod tests {
     #[test]
     fn rk4_detects_blowup() {
         // y' = y² from y(0) = 1 blows up at t = 1.
-        let sys = (|_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = y[0] * y[0], 1usize);
+        let sys = (
+            |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = y[0] * y[0],
+            1usize,
+        );
         let err = rk4(&sys, 0.0, 2.0, &[1.0], 50).unwrap_err();
         assert!(matches!(err, NumericsError::NonFiniteValue { .. }));
     }
@@ -607,8 +650,16 @@ mod tests {
     #[test]
     fn dp45_adapts_step_count_to_tolerance() {
         let sys = exp_system(-2.0);
-        let loose = DormandPrince45::new(AdaptiveConfig { rel_tol: 1e-4, abs_tol: 1e-6, ..AdaptiveConfig::default() });
-        let tight = DormandPrince45::new(AdaptiveConfig { rel_tol: 1e-11, abs_tol: 1e-13, ..AdaptiveConfig::default() });
+        let loose = DormandPrince45::new(AdaptiveConfig {
+            rel_tol: 1e-4,
+            abs_tol: 1e-6,
+            ..AdaptiveConfig::default()
+        });
+        let tight = DormandPrince45::new(AdaptiveConfig {
+            rel_tol: 1e-11,
+            abs_tol: 1e-13,
+            ..AdaptiveConfig::default()
+        });
         let n_loose = loose.integrate(&sys, 0.0, 5.0, &[1.0]).unwrap().len();
         let n_tight = tight.integrate(&sys, 0.0, 5.0, &[1.0]).unwrap().len();
         assert!(n_tight > n_loose, "{n_tight} vs {n_loose}");
@@ -617,14 +668,19 @@ mod tests {
     #[test]
     fn dp45_reaches_exact_endpoint() {
         let sys = exp_system(0.3);
-        let traj = DormandPrince45::default().integrate(&sys, 1.0, 7.5, &[2.0]).unwrap();
+        let traj = DormandPrince45::default()
+            .integrate(&sys, 1.0, 7.5, &[2.0])
+            .unwrap();
         let (t, _) = traj.last().unwrap();
         assert!((t - 7.5).abs() < 1e-12);
     }
 
     #[test]
     fn dp45_rejects_nonpositive_tolerances() {
-        let solver = DormandPrince45::new(AdaptiveConfig { rel_tol: 0.0, ..AdaptiveConfig::default() });
+        let solver = DormandPrince45::new(AdaptiveConfig {
+            rel_tol: 0.0,
+            ..AdaptiveConfig::default()
+        });
         let sys = exp_system(1.0);
         assert!(solver.integrate(&sys, 0.0, 1.0, &[1.0]).is_err());
     }
@@ -633,10 +689,12 @@ mod tests {
     fn backward_euler_decay_is_stable_with_huge_steps() {
         // Stiff decay y' = -1000 y. Explicit RK4 with 10 steps would explode;
         // backward Euler stays bounded and monotone.
-        let sys = (|_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = -1000.0 * y[0], 1usize);
-        let jac = |_t: f64, _y: &[f64]| {
-            TridiagonalMatrix::new(vec![], vec![-1000.0], vec![]).unwrap()
-        };
+        let sys = (
+            |_t: f64, y: &[f64], dy: &mut [f64]| dy[0] = -1000.0 * y[0],
+            1usize,
+        );
+        let jac =
+            |_t: f64, _y: &[f64]| TridiagonalMatrix::new(vec![], vec![-1000.0], vec![]).unwrap();
         let traj = backward_euler(&sys, jac, 0.0, 1.0, &[1.0], 10).unwrap();
         for w in traj.states().windows(2) {
             assert!(w[1][0].abs() <= w[0][0].abs() + 1e-12);

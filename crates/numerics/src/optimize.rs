@@ -38,7 +38,12 @@ pub struct NelderMeadConfig {
 
 impl Default for NelderMeadConfig {
     fn default() -> Self {
-        Self { f_tol: 1e-10, x_tol: 1e-10, max_evals: 20_000, initial_scale: 0.1 }
+        Self {
+            f_tol: 1e-10,
+            x_tol: 1e-10,
+            max_evals: 20_000,
+            initial_scale: 0.1,
+        }
     }
 }
 
@@ -117,7 +122,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     simplex.push(x0.to_vec());
     for i in 0..n {
         let mut v = x0.to_vec();
-        let delta = if v[i] != 0.0 { cfg.initial_scale * v[i].abs() } else { cfg.initial_scale };
+        let delta = if v[i] != 0.0 {
+            cfg.initial_scale * v[i].abs()
+        } else {
+            cfg.initial_scale
+        };
         v[i] += delta;
         simplex.push(v);
     }
@@ -127,7 +136,11 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
     while evals < cfg.max_evals {
         // Order vertices by objective.
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            values[a]
+                .partial_cmp(&values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let best = order[0];
         let worst = order[n];
         let second_worst = order[n - 1];
@@ -139,7 +152,9 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
                 simplex
                     .iter()
                     .map(|v| v[i])
-                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| (lo.min(x), hi.max(x)))
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), x| {
+                        (lo.min(x), hi.max(x))
+                    })
             })
             .map(|(lo, hi)| hi - lo)
             .fold(0.0, f64::max);
@@ -162,14 +177,16 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         }
 
         // Reflection.
-        let reflected: Vec<f64> =
-            (0..n).map(|i| centroid[i] + ALPHA * (centroid[i] - simplex[worst][i])).collect();
+        let reflected: Vec<f64> = (0..n)
+            .map(|i| centroid[i] + ALPHA * (centroid[i] - simplex[worst][i]))
+            .collect();
         let f_reflected = eval(&reflected, &mut evals);
 
         if f_reflected < values[best] {
             // Expansion.
-            let expanded: Vec<f64> =
-                (0..n).map(|i| centroid[i] + GAMMA * (reflected[i] - centroid[i])).collect();
+            let expanded: Vec<f64> = (0..n)
+                .map(|i| centroid[i] + GAMMA * (reflected[i] - centroid[i]))
+                .collect();
             let f_expanded = eval(&expanded, &mut evals);
             if f_expanded < f_reflected {
                 simplex[worst] = expanded;
@@ -188,8 +205,9 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
             } else {
                 (&simplex[worst].clone(), values[worst])
             };
-            let contracted: Vec<f64> =
-                (0..n).map(|i| centroid[i] + RHO * (base[i] - centroid[i])).collect();
+            let contracted: Vec<f64> = (0..n)
+                .map(|i| centroid[i] + RHO * (base[i] - centroid[i]))
+                .collect();
             let f_contracted = eval(&contracted, &mut evals);
             if f_contracted < f_base {
                 simplex[worst] = contracted;
@@ -219,7 +237,12 @@ pub fn nelder_mead<F: FnMut(&[f64]) -> f64>(
         .enumerate()
         .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
         .expect("simplex nonempty");
-    Ok(Minimum { x: simplex[best_idx].clone(), value: values[best_idx], evaluations: evals, converged })
+    Ok(Minimum {
+        x: simplex[best_idx].clone(),
+        value: values[best_idx],
+        evaluations: evals,
+        converged,
+    })
 }
 
 /// Minimizes a unimodal scalar function on `[lo, hi]` by golden-section
@@ -333,7 +356,12 @@ pub fn grid_search<F: FnMut(&[f64]) -> f64>(
             *digit = 0;
         }
     }
-    Ok(Minimum { x: best_x, value: best_v, evaluations: evals, converged: true })
+    Ok(Minimum {
+        x: best_x,
+        value: best_v,
+        evaluations: evals,
+        converged: true,
+    })
 }
 
 #[cfg(test)]
@@ -367,8 +395,12 @@ mod tests {
 
     #[test]
     fn nelder_mead_1d() {
-        let m = nelder_mead(|p| (p[0] - 0.5).powi(2) + 2.0, &[10.0], NelderMeadConfig::default())
-            .unwrap();
+        let m = nelder_mead(
+            |p| (p[0] - 0.5).powi(2) + 2.0,
+            &[10.0],
+            NelderMeadConfig::default(),
+        )
+        .unwrap();
         assert!((m.x[0] - 0.5).abs() < 1e-4);
         assert!((m.value - 2.0).abs() < 1e-8);
     }
@@ -377,7 +409,13 @@ mod tests {
     fn nelder_mead_respects_infinity_constraints() {
         // Constrain x >= 1 by returning infinity below it; minimum of (x-0)² then sits at 1.
         let m = nelder_mead(
-            |p| if p[0] < 1.0 { f64::INFINITY } else { p[0] * p[0] },
+            |p| {
+                if p[0] < 1.0 {
+                    f64::INFINITY
+                } else {
+                    p[0] * p[0]
+                }
+            },
             &[3.0],
             NelderMeadConfig::default(),
         )
@@ -387,7 +425,12 @@ mod tests {
 
     #[test]
     fn nelder_mead_budget_is_respected() {
-        let cfg = NelderMeadConfig { max_evals: 40, f_tol: 0.0, x_tol: 0.0, ..NelderMeadConfig::default() };
+        let cfg = NelderMeadConfig {
+            max_evals: 40,
+            f_tol: 0.0,
+            x_tol: 0.0,
+            ..NelderMeadConfig::default()
+        };
         let m = nelder_mead(
             |p| (1.0 - p[0]).powi(2) + 100.0 * (p[1] - p[0] * p[0]).powi(2),
             &[-1.2, 1.0],

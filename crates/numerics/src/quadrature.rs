@@ -71,7 +71,11 @@ pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, intervals: usize) -> Res
             reason: "must be positive".into(),
         });
     }
-    let n = if intervals.is_multiple_of(2) { intervals } else { intervals + 1 };
+    let n = if intervals.is_multiple_of(2) {
+        intervals
+    } else {
+        intervals + 1
+    };
     let h = (b - a) / n as f64;
     let mut acc = f(a) + f(b);
     for i in 1..n {

@@ -18,13 +18,19 @@ pub struct RootConfig {
 
 impl Default for RootConfig {
     fn default() -> Self {
-        Self { x_tol: 1e-12, f_tol: 1e-12, max_iter: 200 }
+        Self {
+            x_tol: 1e-12,
+            f_tol: 1e-12,
+            max_iter: 200,
+        }
     }
 }
 
 fn check_bracket(f_lo: f64, f_hi: f64) -> Result<()> {
     if !(f_lo.is_finite() && f_hi.is_finite()) {
-        return Err(NumericsError::NonFiniteValue { context: "bracket endpoints".into() });
+        return Err(NumericsError::NonFiniteValue {
+            context: "bracket endpoints".into(),
+        });
     }
     if f_lo * f_hi > 0.0 {
         return Err(NumericsError::InvalidBracket { f_lo, f_hi });
@@ -106,7 +112,9 @@ where
     for _ in 0..cfg.max_iter {
         let fx = f(x);
         if !fx.is_finite() {
-            return Err(NumericsError::NonFiniteValue { context: format!("newton f({x})") });
+            return Err(NumericsError::NonFiniteValue {
+                context: format!("newton f({x})"),
+            });
         }
         if fx.abs() <= cfg.f_tol {
             return Ok(x);
@@ -242,7 +250,13 @@ mod tests {
 
     #[test]
     fn newton_cube_root() {
-        let r = newton(|x| x * x * x - 27.0, |x| 3.0 * x * x, 5.0, RootConfig::default()).unwrap();
+        let r = newton(
+            |x| x * x * x - 27.0,
+            |x| 3.0 * x * x,
+            5.0,
+            RootConfig::default(),
+        )
+        .unwrap();
         assert!((r - 3.0).abs() < 1e-10);
     }
 
@@ -254,7 +268,10 @@ mod tests {
 
     #[test]
     fn newton_quadratic_convergence_is_fast() {
-        let cfg = RootConfig { max_iter: 8, ..RootConfig::default() };
+        let cfg = RootConfig {
+            max_iter: 8,
+            ..RootConfig::default()
+        };
         let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.5, cfg).unwrap();
         assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
     }
@@ -268,7 +285,11 @@ mod tests {
 
     #[test]
     fn brent_high_multiplicity_still_converges() {
-        let cfg = RootConfig { f_tol: 1e-14, x_tol: 1e-9, ..RootConfig::default() };
+        let cfg = RootConfig {
+            f_tol: 1e-14,
+            x_tol: 1e-9,
+            ..RootConfig::default()
+        };
         let r = brent(|x| (x - 1.0).powi(3), 0.0, 3.0, cfg).unwrap();
         assert!((r - 1.0).abs() < 1e-3); // cubic root: reduced accuracy is expected
     }

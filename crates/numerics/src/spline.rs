@@ -32,7 +32,9 @@ fn validate_knots(x: &[f64], y: &[f64], min_len: usize) -> Result<()> {
         });
     }
     if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
-        return Err(NumericsError::NonFiniteValue { context: "spline knots".into() });
+        return Err(NumericsError::NonFiniteValue {
+            context: "spline knots".into(),
+        });
     }
     for i in 0..x.len() - 1 {
         if x[i] >= x[i + 1] {
@@ -137,7 +139,11 @@ impl CubicSpline {
                     vec![m0, m1]
                 }
             };
-            return Ok(Self { x: x.to_vec(), y: y.to_vec(), m });
+            return Ok(Self {
+                x: x.to_vec(),
+                y: y.to_vec(),
+                m,
+            });
         }
 
         // Assemble the tridiagonal system for the knot second derivatives m_i:
@@ -176,7 +182,11 @@ impl CubicSpline {
         }
 
         let m = solve_thomas(&sub, &diag, &sup, &rhs)?;
-        Ok(Self { x: x.to_vec(), y: y.to_vec(), m })
+        Ok(Self {
+            x: x.to_vec(),
+            y: y.to_vec(),
+            m,
+        })
     }
 
     /// Builds a natural cubic spline (`s″ = 0` at both ends).
@@ -194,7 +204,14 @@ impl CubicSpline {
     ///
     /// See [`CubicSpline::with_boundary`].
     pub fn clamped(x: &[f64], y: &[f64], left_slope: f64, right_slope: f64) -> Result<Self> {
-        Self::with_boundary(x, y, SplineBoundary::Clamped { left: left_slope, right: right_slope })
+        Self::with_boundary(
+            x,
+            y,
+            SplineBoundary::Clamped {
+                left: left_slope,
+                right: right_slope,
+            },
+        )
     }
 
     /// Builds the paper's φ-style spline: clamped with **zero** end slopes,
@@ -291,7 +308,8 @@ impl CubicSpline {
             let a = (self.x[i + 1] - t) / h;
             let b = (t - self.x[i]) / h;
             // Antiderivative of the standard cubic-spline segment form.
-            -h * a * a * self.y[i] / 2.0 + h * b * b * self.y[i + 1] / 2.0
+            -h * a * a * self.y[i] / 2.0
+                + h * b * b * self.y[i + 1] / 2.0
                 + h * h
                     * h
                     * ((-(a * a * a * a) / 4.0 + a * a / 2.0) * self.m[i]
@@ -365,7 +383,11 @@ impl Pchip {
             d[0] = pchip_end_slope(h[0], h[1], delta[0], delta[1]);
             d[n - 1] = pchip_end_slope(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
         }
-        Ok(Self { x: x.to_vec(), y: y.to_vec(), d })
+        Ok(Self {
+            x: x.to_vec(),
+            y: y.to_vec(),
+            d,
+        })
     }
 
     /// Domain `[x₀, x_{n−1}]`.
@@ -481,7 +503,10 @@ mod tests {
         for &k in &KNOTS_X[1..4] {
             let left = s.second_derivative(k - 1e-9);
             let right = s.second_derivative(k + 1e-9);
-            assert!((left - right).abs() < 1e-5, "jump at {k}: {left} vs {right}");
+            assert!(
+                (left - right).abs() < 1e-5,
+                "jump at {k}: {left} vs {right}"
+            );
         }
     }
 

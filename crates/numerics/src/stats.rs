@@ -81,7 +81,12 @@ fn check_pair(pred: &[f64], actual: &[f64]) -> Result<()> {
 /// [`NumericsError::DimensionMismatch`] on empty or mismatched inputs.
 pub fn mae(pred: &[f64], actual: &[f64]) -> Result<f64> {
     check_pair(pred, actual)?;
-    Ok(pred.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>() / pred.len() as f64)
+    Ok(pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).abs())
+        .sum::<f64>()
+        / pred.len() as f64)
 }
 
 /// Root-mean-square error between predictions and observations.
@@ -91,7 +96,11 @@ pub fn mae(pred: &[f64], actual: &[f64]) -> Result<f64> {
 /// [`NumericsError::DimensionMismatch`] on empty or mismatched inputs.
 pub fn rmse(pred: &[f64], actual: &[f64]) -> Result<f64> {
     check_pair(pred, actual)?;
-    let ms = pred.iter().zip(actual).map(|(p, a)| (p - a) * (p - a)).sum::<f64>()
+    let ms = pred
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
         / pred.len() as f64;
     Ok(ms.sqrt())
 }

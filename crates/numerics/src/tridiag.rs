@@ -72,7 +72,9 @@ impl TridiagonalMatrix {
         }
         for (name, v) in [("sub", &sub), ("diag", &diag), ("sup", &sup)] {
             if v.iter().any(|x| !x.is_finite()) {
-                return Err(NumericsError::NonFiniteValue { context: format!("tridiagonal {name}") });
+                return Err(NumericsError::NonFiniteValue {
+                    context: format!("tridiagonal {name}"),
+                });
             }
         }
         Ok(Self { sub, diag, sup })
@@ -262,7 +264,10 @@ impl TridiagonalMatrix {
 pub fn solve_thomas(sub: &[f64], diag: &[f64], sup: &[f64], rhs: &[f64]) -> Result<Vec<f64>> {
     let n = diag.len();
     if n == 0 {
-        return Err(NumericsError::DimensionMismatch { expected: "n >= 1".into(), actual: 0 });
+        return Err(NumericsError::DimensionMismatch {
+            expected: "n >= 1".into(),
+            actual: 0,
+        });
     }
     if sub.len() + 1 != n || sup.len() + 1 != n {
         return Err(NumericsError::DimensionMismatch {
@@ -311,7 +316,10 @@ mod tests {
 
     fn residual_inf(m: &TridiagonalMatrix, x: &[f64], rhs: &[f64]) -> f64 {
         let ax = m.mul_vec(x).unwrap();
-        ax.iter().zip(rhs).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+        ax.iter()
+            .zip(rhs)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -374,7 +382,8 @@ mod tests {
     #[test]
     fn pivoted_solve_handles_zero_leading_pivot() {
         // Thomas fails on this (diag[0] == 0) but pivoted LU succeeds.
-        let m = TridiagonalMatrix::new(vec![1.0, 1.0], vec![0.0, 1.0, 2.0], vec![1.0, 1.0]).unwrap();
+        let m =
+            TridiagonalMatrix::new(vec![1.0, 1.0], vec![0.0, 1.0, 2.0], vec![1.0, 1.0]).unwrap();
         let rhs = vec![1.0, 2.0, 3.0];
         assert!(solve_thomas(m.sub(), m.diag(), m.sup(), &rhs).is_err());
         let x = m.solve(&rhs).unwrap();
@@ -384,7 +393,10 @@ mod tests {
     #[test]
     fn pivoted_solve_detects_singular() {
         let m = TridiagonalMatrix::new(vec![0.0], vec![0.0, 1.0], vec![0.0]).unwrap();
-        assert!(matches!(m.solve(&[1.0, 1.0]).unwrap_err(), NumericsError::SingularMatrix { .. }));
+        assert!(matches!(
+            m.solve(&[1.0, 1.0]).unwrap_err(),
+            NumericsError::SingularMatrix { .. }
+        ));
     }
 
     #[test]
@@ -393,7 +405,9 @@ mod tests {
         let n = 200;
         let mut seed = 42u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64) / ((1u64 << 31) as f64) - 0.5
         };
         let sub: Vec<f64> = (0..n - 1).map(|_| next()).collect();
@@ -426,16 +440,18 @@ mod tests {
     #[test]
     fn diagonal_dominance_detection() {
         let dominant =
-            TridiagonalMatrix::new(vec![-1.0, -1.0], vec![3.0, 3.0, 3.0], vec![-1.0, -1.0]).unwrap();
+            TridiagonalMatrix::new(vec![-1.0, -1.0], vec![3.0, 3.0, 3.0], vec![-1.0, -1.0])
+                .unwrap();
         assert!(dominant.is_diagonally_dominant());
-        let not =
-            TridiagonalMatrix::new(vec![-2.0, -2.0], vec![3.0, 3.0, 3.0], vec![-2.0, -2.0]).unwrap();
+        let not = TridiagonalMatrix::new(vec![-2.0, -2.0], vec![3.0, 3.0, 3.0], vec![-2.0, -2.0])
+            .unwrap();
         assert!(!not.is_diagonally_dominant());
     }
 
     #[test]
     fn norm_inf_is_max_row_sum() {
-        let m = TridiagonalMatrix::new(vec![1.0, -4.0], vec![2.0, -3.0, 0.5], vec![0.5, 1.0]).unwrap();
+        let m =
+            TridiagonalMatrix::new(vec![1.0, -4.0], vec![2.0, -3.0, 0.5], vec![0.5, 1.0]).unwrap();
         // rows: |2|+|0.5| = 2.5 ; |1|+|3|+|1| = 5 ; |4|+|0.5| = 4.5
         assert!((m.norm_inf() - 5.0).abs() < 1e-15);
     }

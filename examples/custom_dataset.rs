@@ -11,11 +11,12 @@
 
 use dlm::cascade::ObservationSplit;
 use dlm::core::accuracy::AccuracyTable;
-use dlm::core::calibrate::{calibrate, CalibrationOptions};
-use dlm::core::growth::ExpDecayGrowth;
-use dlm::core::params::DlParameters;
+use dlm::core::predict::{Observation, PredictionRequest};
+use dlm::core::registry::ModelRegistry;
 use dlm::data::simulate::simulate_story;
-use dlm::data::{DiggDataset, FriendLink, SimulationConfig, StoryPreset, SyntheticWorld, Vote, WorldConfig};
+use dlm::data::{
+    DiggDataset, FriendLink, SimulationConfig, StoryPreset, SyntheticWorld, Vote, WorldConfig,
+};
 use std::fs::File;
 use std::io::BufReader;
 
@@ -24,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let dataset = if args.len() == 2 {
         println!("Loading Digg-format CSVs: {} / {}", args[0], args[1]);
-        DiggDataset::read_csv(BufReader::new(File::open(&args[0])?), BufReader::new(File::open(&args[1])?))?
+        DiggDataset::read_csv(
+            BufReader::new(File::open(&args[0])?),
+            BufReader::new(File::open(&args[1])?),
+        )?
     } else {
         println!("No CSVs given; writing and re-reading a synthetic dataset...");
         synthetic_dataset()?
@@ -58,17 +62,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let observed = dlm::cascade::DensityMatrix::from_counts(&cascade_like[..live.len()], &live)?;
 
     let split = ObservationSplit::paper_protocol(&observed)?;
-    let cal = calibrate(
-        &observed,
-        1,
-        &[2, 3, 4, 5, 6],
-        DlParameters::paper_hops(observed.max_distance())?,
-        ExpDecayGrowth::paper_hops(),
-        &CalibrationOptions { fit_capacity: true, ..CalibrationOptions::default() },
-    )?;
-    let model = cal.into_model(split.initial_profile(), 1)?;
+    // Calibrated DL through the unified interface: build from a spec
+    // string, fit on the observed window, predict the target hours.
+    let predictor =
+        ModelRegistry::with_builtins().build_from_str("dl-cal(d0=0.01,K0=25,r0=hops,fitK=true)")?;
+    let fitted = predictor.fit(&Observation::from_matrix(&observed, &[1, 2, 3, 4, 5, 6])?)?;
     let distances: Vec<u32> = (1..=split.distance_count() as u32).collect();
-    let pred = model.predict(&distances, split.target_hours())?;
+    let pred = fitted.predict(&PredictionRequest::new(
+        distances,
+        split.target_hours().to_vec(),
+    )?)?;
     println!("\n{}", AccuracyTable::score_split(&pred, &split)?);
     Ok(())
 }
@@ -82,7 +85,12 @@ fn synthetic_dataset() -> Result<DiggDataset, Box<dyn std::error::Error>> {
     let links: Vec<FriendLink> = world
         .graph()
         .edges()
-        .map(|(followee, follower)| FriendLink { mutual: false, timestamp: 0, follower, followee })
+        .map(|(followee, follower)| FriendLink {
+            mutual: false,
+            timestamp: 0,
+            follower,
+            followee,
+        })
         .collect();
     let ds = DiggDataset::new(votes, links);
 
@@ -91,5 +99,8 @@ fn synthetic_dataset() -> Result<DiggDataset, Box<dyn std::error::Error>> {
     let mut friends_csv = Vec::new();
     ds.write_votes_csv(&mut votes_csv)?;
     ds.write_friends_csv(&mut friends_csv)?;
-    Ok(DiggDataset::read_csv(votes_csv.as_slice(), friends_csv.as_slice())?)
+    Ok(DiggDataset::read_csv(
+        votes_csv.as_slice(),
+        friends_csv.as_slice(),
+    )?)
 }

@@ -15,8 +15,10 @@ use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
 use dlm::graph::metrics::{average_clustering, out_degree_summary};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
 
     println!("Generating a Digg-like world (scale {scale})...");
     let world = SyntheticWorld::generate(WorldConfig::default().scaled(scale))?;
@@ -42,9 +44,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nHop distribution from each initiator (Figure 2):");
     for (preset, cascade) in StoryPreset::all().iter().zip(&cascades) {
         let f = hop_fraction_distribution(graph, cascade.initiator())?;
-        let cells: Vec<String> =
-            f.iter().take(6).map(|v| format!("{:.0}%", v * 100.0)).collect();
-        println!("  {} ({} votes): {}", preset.name, cascade.vote_count(), cells.join(" "));
+        let cells: Vec<String> = f
+            .iter()
+            .take(6)
+            .map(|v| format!("{:.0}%", v * 100.0))
+            .collect();
+        println!(
+            "  {} ({} votes): {}",
+            preset.name,
+            cascade.vote_count(),
+            cells.join(" ")
+        );
     }
 
     // Figures 3-4: hop-distance densities.
@@ -55,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {}: final {:?} %, stable by hour {:?}, monotone-in-hops: {}",
             preset.name,
-            summary.final_densities.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            summary
+                .final_densities
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
             summary.story_saturation_hour(),
             summary.monotone_in_distance
         );
@@ -76,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {}: final {:?} %, monotone-in-interest-distance: {}",
             preset.name,
-            summary.final_densities.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>(),
+            summary
+                .final_densities
+                .iter()
+                .map(|v| (v * 100.0).round() / 100.0)
+                .collect::<Vec<_>>(),
             summary.monotone_in_distance
         );
     }

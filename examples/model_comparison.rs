@@ -1,81 +1,58 @@
 //! Compare the DL model against the baseline predictors on the same
-//! cascade: logistic-only (d = 0), naive last-value, linear trend, and an
-//! SI epidemic simulated on the actual follower graph.
+//! cascade with one `EvaluationPipeline::run` call: calibrated DL,
+//! logistic-only (d = 0), naive last-value, linear trend, and an SI
+//! epidemic simulated on the actual follower graph.
 //!
 //! ```sh
 //! cargo run --release --example model_comparison [-- scale]
 //! ```
 
 use dlm::cascade::hops::hop_density_matrix;
-use dlm::cascade::ObservationSplit;
-use dlm::core::accuracy::AccuracyTable;
-use dlm::core::baselines::{si_epidemic, EpidemicConfig, LinearTrend, LogisticOnly, NaiveLastValue};
-use dlm::core::calibrate::{calibrate, CalibrationOptions};
-use dlm::core::growth::ExpDecayGrowth;
-use dlm::core::params::DlParameters;
+use dlm::core::evaluate::{EvaluationCase, EvaluationPipeline};
+use dlm::core::predict::{GraphContext, GrowthFamily};
+use dlm::core::registry::ModelSpec;
 use dlm::data::simulate::simulate_story;
 use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
 
     let world = SyntheticWorld::generate(WorldConfig::default().scaled(scale))?;
     let cascade = simulate_story(&world, &StoryPreset::s1(), SimulationConfig::default())?;
     let observed = hop_density_matrix(world.graph(), &cascade, 5, 6)?;
-    let split = ObservationSplit::paper_protocol(&observed)?;
-    let distances: Vec<u32> = (1..=split.distance_count() as u32).collect();
-    let hours = split.target_hours().to_vec();
-    let initial = split.initial_profile().to_vec();
 
-    let mut results: Vec<(&str, Option<f64>)> = Vec::new();
-
-    // DL model, calibrated.
-    let cal = calibrate(
-        &observed,
-        1,
-        &hours,
-        DlParameters::paper_hops(observed.max_distance())?,
-        ExpDecayGrowth::paper_hops(),
-        &CalibrationOptions { fit_capacity: true, max_evals: 800, ..CalibrationOptions::default() },
-    )?;
-    let growth = cal.growth;
-    let capacity = cal.params.capacity();
-    let dl = cal.into_model(&initial, 1)?;
-    let pred = dl.predict(&distances, &hours)?;
-    results.push(("DL (calibrated)", AccuracyTable::score_split(&pred, &split)?.overall_average()));
-
-    // Logistic-only: identical growth/capacity, no diffusion term.
-    let logistic = LogisticOnly::new(&initial, &growth, capacity, 1.0)?;
-    let pred = logistic.predict(&distances, &hours)?;
-    results
-        .push(("Logistic-only (d=0)", AccuracyTable::score_split(&pred, &split)?.overall_average()));
-
-    // Naive and linear-trend reference predictors.
-    let pred = NaiveLastValue::new(&initial)?.predict(&distances, &hours)?;
-    results.push(("Naive last-value", AccuracyTable::score_split(&pred, &split)?.overall_average()));
-    let t2 = split.target_at(2).expect("paper protocol has hour 2");
-    let pred = LinearTrend::new(&initial, t2, 1.0)?.predict(&distances, &hours)?;
-    results.push(("Linear trend", AccuracyTable::score_split(&pred, &split)?.overall_average()));
-
-    // SI epidemic on the real graph, seeded with the hour-1 voters.
+    // The epidemic predictors simulate on the actual follower graph,
+    // seeded with the hour-1 voters.
     let hour1: Vec<usize> = cascade.votes_within(1).iter().map(|v| v.voter).collect();
-    let cfg = EpidemicConfig { beta: 0.01, runs: 10, seed: 7, ..Default::default() };
-    let pred = si_epidemic(
-        world.graph(),
-        cascade.initiator(),
-        &hour1,
-        observed.max_distance(),
-        &hours,
-        &cfg,
-    )?;
-    results.push(("SI epidemic (graph)", AccuracyTable::score_split(&pred, &split)?.overall_average()));
+    let graph = GraphContext::new(Arc::new(world.graph().clone()), cascade.initiator(), hour1);
+    let case = EvaluationCase::paper_protocol("s1", observed)?.with_graph(graph);
 
-    println!("Mean Eq.-8 prediction accuracy on s1, hours 2-6, hop distances:");
-    for (name, acc) in results {
-        match acc {
-            Some(a) => println!("  {name:<22} {:6.2}%", a * 100.0),
-            None => println!("  {name:<22} {:>7}", "-"),
+    let report = EvaluationPipeline::new()
+        .model(ModelSpec::calibrated_dl())
+        .model(ModelSpec::LogisticOnly {
+            capacity: 25.0,
+            growth: GrowthFamily::PaperHops,
+        })
+        .model(ModelSpec::Naive)
+        .model(ModelSpec::LinearTrend)
+        .model(ModelSpec::Si {
+            beta: 0.01,
+            runs: 10,
+            seed: 7,
+        })
+        .run(&[case])?;
+
+    println!("Mean Eq.-8 prediction accuracy on s1, hours 2-6, hop distances:\n");
+    println!("{report}");
+    println!("\nRanking:");
+    for (spec, overall) in report.ranking() {
+        match overall {
+            Some(a) => println!("  {spec:<48} {:6.2}%", a * 100.0),
+            None => println!("  {spec:<48} {:>7}", "-"),
         }
     }
     println!("\n(The PDE reduces to logistic-only when the fitted d is ~0 — see EXPERIMENTS.md.)");

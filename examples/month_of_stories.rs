@@ -10,12 +10,17 @@
 use dlm::data::{catalog_stats, generate_catalog, CatalogConfig, SyntheticWorld, WorldConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let stories: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(150);
+    let stories: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
 
     println!("Generating world and a {stories}-story month...");
     let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.25))?;
-    let config = CatalogConfig { stories, ..CatalogConfig::default() };
+    let config = CatalogConfig {
+        stories,
+        ..CatalogConfig::default()
+    };
     let dataset = generate_catalog(&world, &config)?;
 
     let stats = catalog_stats(&dataset);
@@ -29,7 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nTop 10 stories by popularity (the paper picks its s1-s4 this way):");
     for (rank, (story, votes)) in dataset.stories_by_popularity().iter().take(10).enumerate() {
         let initiator = dataset.initiator(*story)?;
-        println!("  #{:<3} story {:<4} {:>6} votes (initiator {})", rank + 1, story, votes, initiator);
+        println!(
+            "  #{:<3} story {:<4} {:>6} votes (initiator {})",
+            rank + 1,
+            story,
+            votes,
+            initiator
+        );
     }
 
     // Vote-count distribution sketch: how heavy is the tail?

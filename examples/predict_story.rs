@@ -1,6 +1,7 @@
 //! The paper's headline experiment end-to-end: observe the first hour of
 //! a cascade, calibrate the DL model, predict hours 2–6 and score with
-//! Eq.-8 accuracy (Figure 7 / Tables I–II).
+//! Eq.-8 accuracy (Figure 7 / Tables I–II) — all through the unified
+//! `DiffusionPredictor` interface.
 //!
 //! ```sh
 //! cargo run --release --example predict_story [-- scale]
@@ -9,56 +10,68 @@
 use dlm::cascade::hops::hop_density_matrix;
 use dlm::cascade::ObservationSplit;
 use dlm::core::accuracy::AccuracyTable;
-use dlm::core::calibrate::{calibrate, CalibrationOptions};
-use dlm::core::growth::{ExpDecayGrowth, GrowthRate};
-use dlm::core::params::DlParameters;
+use dlm::core::predict::{Observation, PredictionRequest};
+use dlm::core::registry::{ModelRegistry, ModelSpec};
 use dlm::data::simulate::simulate_story;
 use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
 
     println!("Simulating the most popular story (s1) on a Digg-like world...");
     let world = SyntheticWorld::generate(WorldConfig::default().scaled(scale))?;
     let cascade = simulate_story(&world, &StoryPreset::s1(), SimulationConfig::default())?;
-    println!("  initiator {}, {} votes in 50 h", cascade.initiator(), cascade.vote_count());
+    println!(
+        "  initiator {}, {} votes in 50 h",
+        cascade.initiator(),
+        cascade.vote_count()
+    );
 
     // Observed densities per hop over the evaluation window.
     let observed = hop_density_matrix(world.graph(), &cascade, 5, 6)?;
     let split = ObservationSplit::paper_protocol(&observed)?;
     println!(
         "  hour-1 density profile (phi's knots): {:?}",
-        split.initial_profile().iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>()
+        split
+            .initial_profile()
+            .iter()
+            .map(|v| (v * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
     );
 
     // Calibrate d, K and the r(t) curve on the evaluation window — the
-    // automated analogue of the paper's hand-tuned K = 25, d = 0.01, Eq. 7.
-    let cal = calibrate(
-        &observed,
-        1,
-        &[2, 3, 4, 5, 6],
-        DlParameters::paper_hops(observed.max_distance())?,
-        ExpDecayGrowth::paper_hops(),
-        &CalibrationOptions { fit_capacity: true, max_evals: 800, ..CalibrationOptions::default() },
-    )?;
-    println!(
-        "\nCalibrated parameters: d = {:.4}, K = {:.1}, {}",
-        cal.params.diffusion(),
-        cal.params.capacity(),
-        cal.growth.describe()
-    );
+    // automated analogue of the paper's hand-tuned K = 25, d = 0.01,
+    // Eq. 7. The spec is serializable data; the registry turns it into a
+    // live predictor.
+    let spec = ModelSpec::calibrated_dl();
+    println!("\nFitting model spec `{spec}`...");
+    let predictor = ModelRegistry::with_builtins().build(&spec)?;
+    let observation = Observation::from_matrix(&observed, &[1, 2, 3, 4, 5, 6])?;
+    let fitted = predictor.fit(&observation)?;
+    let fitted_params: Vec<String> = fitted
+        .param_names()
+        .iter()
+        .zip(fitted.params())
+        .map(|(name, value)| format!("{name} = {value:.4}"))
+        .collect();
+    println!("Calibrated parameters: {}", fitted_params.join(", "));
 
-    let model = cal.into_model(split.initial_profile(), 1)?;
     let distances: Vec<u32> = (1..=split.distance_count() as u32).collect();
-    let prediction = model.predict(&distances, split.target_hours())?;
+    let request = PredictionRequest::new(distances, split.target_hours().to_vec())?;
+    let prediction = fitted.predict(&request)?;
 
     println!("\nPredicted vs actual (Figure 7a):");
     for &h in split.target_hours() {
         let actual = split.target_at(h).expect("hour in split");
         let pred = prediction.profile_at(h)?;
         let fmt = |v: &[f64]| {
-            v.iter().map(|x| format!("{x:6.2}")).collect::<Vec<_>>().join(" ")
+            v.iter()
+                .map(|x| format!("{x:6.2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         };
         println!("  t={h}  actual {}", fmt(actual));
         println!("  t={h}  DL     {}", fmt(&pred));

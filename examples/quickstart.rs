@@ -1,11 +1,14 @@
 //! Quickstart: fit the paper's DL model to one hour of observations and
-//! predict the next five hours.
+//! predict the next five hours, through the unified
+//! `DiffusionPredictor` interface.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
 use dlm::core::model::DlModel;
+use dlm::core::predict::{Observation, PredictionRequest};
+use dlm::core::registry::ModelRegistry;
 use dlm::core::theory::verify_properties;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -15,13 +18,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let hour1 = [2.1, 0.7, 0.9, 0.5, 0.3, 0.2];
 
     // The paper's friendship-hop setting: d = 0.01, K = 25,
-    // r(t) = 1.4·e^{−1.5(t−1)} + 0.25 (Eq. 7), φ = flat-ended cubic spline
-    // through the observations (§II.D).
-    let model = DlModel::paper_hops(&hour1)?;
+    // r(t) = 1.4·e^{−1.5(t−1)} + 0.25 (Eq. 7), φ = flat-ended cubic
+    // spline through the observations (§II.D). The spec string below is
+    // the serialized form any registered model understands.
+    let registry = ModelRegistry::with_builtins();
+    let predictor = registry.build_from_str("dl(d=0.01,K=25,r=hops)")?;
+    let fitted = predictor.fit(&Observation::from_profile(1, &hour1)?)?;
 
-    let distances = [1, 2, 3, 4, 5, 6];
-    let hours = [2, 3, 4, 5, 6];
-    let prediction = model.predict(&distances, &hours)?;
+    let distances = [1u32, 2, 3, 4, 5, 6];
+    let hours = [2u32, 3, 4, 5, 6];
+    let prediction =
+        fitted.predict(&PredictionRequest::new(distances.to_vec(), hours.to_vec())?)?;
 
     println!("Predicted density of influenced users, I(x, t) [%]:");
     print!("{:>4}", "x\\t");
@@ -36,11 +43,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
+    println!(
+        "\nmodel `{}` with parameters {:?} = {:?}",
+        fitted.name(),
+        fitted.param_names(),
+        fitted.params()
+    );
 
     // The Section II.C guarantees, verified numerically on this instance.
+    let model = DlModel::paper_hops(&hour1)?;
     let report = verify_properties(&model, 50.0, 1e-8)?;
     println!(
-        "\nUnique property (0 <= I <= K): {}; strictly increasing: {}",
+        "Unique property (0 <= I <= K): {}; strictly increasing: {}",
         report.bounds_hold, report.increasing_holds
     );
     Ok(())

@@ -2,7 +2,8 @@
 //! (global r(t)) against the generalized model with a per-distance growth
 //! field r(x, t) — the refinement the paper proposes in §V after
 //! observing that interest-distance group 5 "drops faster at time 2 to
-//! 5" than a single growth rate can track.
+//! 5" than a single growth rate can track. Both variants run through the
+//! unified `DiffusionPredictor` interface.
 //!
 //! ```sh
 //! cargo run --release --example spatial_growth [-- scale]
@@ -11,19 +12,20 @@
 use dlm::cascade::interest_groups::{interest_density_matrix, GroupingStrategy};
 use dlm::cascade::ObservationSplit;
 use dlm::core::accuracy::AccuracyTable;
-use dlm::core::calibrate::{calibrate, CalibrationOptions};
-use dlm::core::growth::{ExpDecayGrowth, GrowthRate};
-use dlm::core::params::DlParameters;
-use dlm::core::variable::{
-    calibrate_per_distance_growth, ConstantField, SpatialField, TimeOnlyField,
-    VariableDlModelBuilder,
+use dlm::core::predict::{
+    DiffusionPredictor, FitConfig, GrowthFamily, Observation, PredictionRequest,
 };
+use dlm::core::registry::ModelRegistry;
+use dlm::core::zoo::VariableDlPredictor;
 use dlm::data::simulate::simulate_story;
 use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use std::collections::HashMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
 
     let world = SyntheticWorld::generate(WorldConfig::default().scaled(scale))?;
     let cascade = simulate_story(&world, &StoryPreset::s1(), SimulationConfig::default())?;
@@ -36,53 +38,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         GroupingStrategy::EqualWidth,
     )?;
     let split = ObservationSplit::paper_protocol(&observed)?;
-    let distances: Vec<u32> = (1..=split.distance_count() as u32).collect();
-    let hours = split.target_hours().to_vec();
-
-    // Classic calibration for the shared scalars.
-    let cal = calibrate(
-        &observed,
-        1,
-        &[2, 3, 4, 5, 6],
-        DlParameters::paper_interest(observed.max_distance())?,
-        ExpDecayGrowth::paper_interest(),
-        &CalibrationOptions { fit_capacity: true, max_evals: 800, ..CalibrationOptions::default() },
+    let observation = Observation::from_matrix(&observed, &[1, 2, 3, 4, 5, 6])?;
+    let request = PredictionRequest::new(
+        (1..=split.distance_count() as u32).collect(),
+        split.target_hours().to_vec(),
     )?;
-    println!(
-        "shared scalars: d = {:.4}, K = {:.1}; global growth {}",
-        cal.params.diffusion(),
-        cal.params.capacity(),
-        cal.growth.describe()
-    );
 
-    // Classic: one r(t) for every distance.
-    let upper = f64::from(observed.max_distance());
-    let classic = VariableDlModelBuilder::new(1.0, upper)?
-        .diffusion(ConstantField(cal.params.diffusion()))
-        .growth(TimeOnlyField(cal.growth))
-        .capacity(ConstantField(cal.params.capacity()))
-        .build(split.initial_profile())?;
-    let classic_pred = classic.predict(&distances, &hours)?;
-    let classic_table = AccuracyTable::score_split(&classic_pred, &split)?;
+    // Classic calibration (through the registry) for the shared scalars.
+    let calibrated = ModelRegistry::with_builtins()
+        .build_from_str("dl-cal(d0=0.05,K0=60,r0=interest,fitK=true)")?
+        .fit(&observation)?;
+    let scalars: HashMap<String, f64> = calibrated
+        .param_names()
+        .into_iter()
+        .zip(calibrated.params())
+        .collect();
+    let (d, k) = (scalars["d"], scalars["K"]);
+    println!("shared scalars: d = {d:.4}, K = {k:.1}");
 
-    // Refined: an independent r_d(t) per distance, blended linearly in x.
-    let field = calibrate_per_distance_growth(&observed, cal.params.capacity(), 6)?;
-    println!("\nper-distance growth curves r_d(t) at t = 1.5:");
-    for (i, curve) in field.curves().iter().enumerate() {
-        println!(
-            "  distance {}: {}  (r(1.5) = {:.3})",
-            i + 1,
-            curve.describe(),
-            field.value(1.0 + i as f64, 1.5)
-        );
+    let config = FitConfig {
+        growth: GrowthFamily::ExpDecay {
+            amplitude: scalars["r.amplitude"],
+            decay: scalars["r.decay"],
+            floor: scalars["r.floor"],
+        },
+        ..FitConfig::default()
+    };
+
+    // Classic: one r(t) for every distance. Refined: an independent
+    // r_d(t) per distance, blended linearly in x — same trait, one flag.
+    let classic = VariableDlPredictor::new(d, k, false, config).fit(&observation)?;
+    let refined = VariableDlPredictor::new(d, k, true, config).fit(&observation)?;
+
+    println!("\nper-distance growth parameters (from fitted introspection):");
+    for (name, value) in refined.param_names().iter().zip(refined.params()).skip(2) {
+        println!("  {name:<16} {value:8.3}");
     }
-    let refined = VariableDlModelBuilder::new(1.0, upper)?
-        .diffusion(ConstantField(cal.params.diffusion()))
-        .growth(field)
-        .capacity(ConstantField(cal.params.capacity()))
-        .build(split.initial_profile())?;
-    let refined_pred = refined.predict(&distances, &hours)?;
-    let refined_table = AccuracyTable::score_split(&refined_pred, &split)?;
+
+    let classic_table = AccuracyTable::score_split(&classic.predict(&request)?, &split)?;
+    let refined_table = AccuracyTable::score_split(&refined.predict(&request)?, &split)?;
 
     println!("\nclassic DL (global r(t)):\n{classic_table}");
     println!("refined DL (per-distance r(x, t)):\n{refined_table}");

@@ -12,25 +12,49 @@
 //! * [`data`] — Digg-2009 dataset model + the two-channel cascade
 //!   simulator that substitutes for the non-redistributable crawl;
 //! * [`cascade`] — `I(x, t)` density matrices and distance groupings;
-//! * [`core`] — the DL PDE model: φ construction, Crank–Nicolson solver,
-//!   prediction, Eq.-8 accuracy, calibration, baselines, theory checks.
+//! * [`core`] — the DL PDE model *and the unified model zoo*: the
+//!   [`core::predict::DiffusionPredictor`] trait implemented by all seven
+//!   predictors, the serializable [`core::registry::ModelSpec`] +
+//!   [`core::registry::ModelRegistry`], and the batch
+//!   [`core::evaluate::EvaluationPipeline`].
 //!
-//! ## Quickstart
+//! ## Quickstart — one model
 //!
 //! ```
-//! use dlm::core::model::DlModel;
+//! use dlm::core::predict::{Observation, PredictionRequest};
+//! use dlm::core::registry::ModelRegistry;
 //!
 //! # fn main() -> Result<(), dlm::core::DlError> {
 //! let hour1 = [2.1, 0.7, 0.9, 0.5, 0.3, 0.2]; // densities at hops 1..=6
-//! let model = DlModel::paper_hops(&hour1)?;
-//! let pred = model.predict(&[1, 2, 3, 4, 5, 6], &[2, 3, 4, 5, 6])?;
+//! let predictor = ModelRegistry::with_builtins().build_from_str("dl(d=0.01,K=25,r=hops)")?;
+//! let fitted = predictor.fit(&Observation::from_profile(1, &hour1)?)?;
+//! let pred = fitted.predict(&PredictionRequest::new(vec![1, 2, 3], vec![2, 4, 6])?)?;
 //! assert!(pred.at(1, 6)? > hour1[0]);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! See `examples/` for end-to-end scenarios and `crates/bench` for the
-//! full figure/table reproduction harness.
+//! ## Quickstart — the whole zoo
+//!
+//! ```no_run
+//! use dlm::core::evaluate::{EvaluationCase, EvaluationPipeline};
+//! use dlm::cascade::hops::hop_density_matrix;
+//! use dlm::data::simulate::simulate_story;
+//! use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let world = SyntheticWorld::generate(WorldConfig::default())?;
+//! let cascade = simulate_story(&world, &StoryPreset::s1(), SimulationConfig::default())?;
+//! let observed = hop_density_matrix(world.graph(), &cascade, 5, 6)?;
+//! let case = EvaluationCase::paper_protocol("s1", observed)?;
+//! let report = EvaluationPipeline::full_lineup().run(&[case])?;
+//! println!("{report}"); // per-model Eq.-8 accuracy table
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/model_zoo.rs` for the full comparison on simulated Digg
+//! cascades and `crates/bench` for the figure/table reproduction harness.
 
 #![warn(missing_docs)]
 

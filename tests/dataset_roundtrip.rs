@@ -6,7 +6,9 @@ use dlm::cascade::density::cumulative_counts;
 use dlm::cascade::hops::hop_density_matrix;
 use dlm::cascade::DensityMatrix;
 use dlm::data::simulate::simulate_story;
-use dlm::data::{DiggDataset, FriendLink, SimulationConfig, StoryPreset, SyntheticWorld, Vote, WorldConfig};
+use dlm::data::{
+    DiggDataset, FriendLink, SimulationConfig, StoryPreset, SyntheticWorld, Vote, WorldConfig,
+};
 use dlm::graph::bfs::hop_distances;
 
 fn world() -> SyntheticWorld {
@@ -17,7 +19,12 @@ fn to_dataset(world: &SyntheticWorld, votes: Vec<Vote>) -> DiggDataset {
     let links: Vec<FriendLink> = world
         .graph()
         .edges()
-        .map(|(followee, follower)| FriendLink { mutual: false, timestamp: 0, follower, followee })
+        .map(|(followee, follower)| FriendLink {
+            mutual: false,
+            timestamp: 0,
+            follower,
+            followee,
+        })
         .collect();
     DiggDataset::new(votes, links)
 }
@@ -50,11 +57,14 @@ fn follower_graph_reconstruction_preserves_densities() {
     assert_eq!(initiator, cascade.initiator());
 
     let groups = hop_distances(&graph, initiator).groups_up_to(5);
-    let live: Vec<Vec<usize>> =
-        groups.into_iter().take_while(|g| !g.is_empty()).collect();
+    let live: Vec<Vec<usize>> = groups.into_iter().take_while(|g| !g.is_empty()).collect();
     let sizes: Vec<usize> = live.iter().map(Vec::len).collect();
-    let counts =
-        cumulative_counts(&live, &ds.story_votes(StoryPreset::s2().id), cascade.submit_time(), 6);
+    let counts = cumulative_counts(
+        &live,
+        &ds.story_votes(StoryPreset::s2().id),
+        cascade.submit_time(),
+        6,
+    );
     let rebuilt = DensityMatrix::from_counts(&counts, &sizes).unwrap();
 
     assert_eq!(original.max_hour(), rebuilt.max_hour());

@@ -1,15 +1,15 @@
 //! End-to-end integration tests: the full paper pipeline across all five
-//! crates (world → cascade → densities → DL model → accuracy).
+//! crates (world → cascade → densities → DiffusionPredictor zoo →
+//! accuracy), driven through the unified prediction interface.
 
 use dlm::cascade::hops::hop_density_matrix;
 use dlm::cascade::interest_groups::{interest_density_matrix, GroupingStrategy};
 use dlm::cascade::ObservationSplit;
 use dlm::core::accuracy::AccuracyTable;
-use dlm::core::baselines::NaiveLastValue;
-use dlm::core::calibrate::{calibrate, CalibrationOptions};
-use dlm::core::growth::ExpDecayGrowth;
+use dlm::core::evaluate::{EvaluationCase, EvaluationPipeline};
 use dlm::core::model::DlModel;
-use dlm::core::params::DlParameters;
+use dlm::core::predict::{Observation, PredictionRequest};
+use dlm::core::registry::{ModelRegistry, ModelSpec};
 use dlm::core::theory::verify_properties;
 use dlm::data::simulate::simulate_story;
 use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
@@ -23,34 +23,38 @@ fn paper_pipeline_hops_beats_naive_baseline() {
     let w = world();
     let cascade = simulate_story(&w, &StoryPreset::s1(), SimulationConfig::default()).unwrap();
     let observed = hop_density_matrix(w.graph(), &cascade, 5, 6).unwrap();
-    let split = ObservationSplit::paper_protocol(&observed).unwrap();
-    let distances: Vec<u32> = (1..=split.distance_count() as u32).collect();
 
-    let cal = calibrate(
-        &observed,
-        1,
-        &[2, 3, 4, 5, 6],
-        DlParameters::paper_hops(observed.max_distance()).unwrap(),
-        ExpDecayGrowth::paper_hops(),
-        &CalibrationOptions { fit_capacity: true, max_evals: 600, ..CalibrationOptions::default() },
-    )
-    .unwrap();
-    let model = cal.into_model(split.initial_profile(), 1).unwrap();
-    let pred = model.predict(&distances, split.target_hours()).unwrap();
-    let dl_acc = AccuracyTable::score_split(&pred, &split)
+    // One batch run scores the calibrated DL model and the naive
+    // baseline on the same case.
+    let case = EvaluationCase::paper_protocol("s1", observed).unwrap();
+    let report = EvaluationPipeline::new()
+        .model(ModelSpec::calibrated_dl())
+        .model(ModelSpec::Naive)
+        .run(&[case])
+        .unwrap();
+    let dl_acc = report
+        .outcome(0, 0)
         .unwrap()
-        .overall_average()
+        .overall()
+        .expect("defined accuracy");
+    let naive_acc = report
+        .outcome(1, 0)
+        .unwrap()
+        .overall()
         .expect("defined accuracy");
 
-    let naive = NaiveLastValue::new(split.initial_profile()).unwrap();
-    let naive_pred = naive.predict(&distances, split.target_hours()).unwrap();
-    let naive_acc = AccuracyTable::score_split(&naive_pred, &split)
-        .unwrap()
-        .overall_average()
-        .expect("defined accuracy");
-
-    assert!(dl_acc > 0.75, "calibrated DL accuracy too low: {dl_acc}");
-    assert!(dl_acc > naive_acc + 0.1, "DL {dl_acc} vs naive {naive_acc}");
+    assert!(
+        dl_acc > 0.75,
+        "calibrated DL accuracy too low: {dl_acc}\n{report}"
+    );
+    assert!(
+        dl_acc > naive_acc + 0.1,
+        "DL {dl_acc} vs naive {naive_acc}\n{report}"
+    );
+    assert_eq!(
+        report.ranking()[0].0,
+        ModelSpec::calibrated_dl().to_string()
+    );
 }
 
 #[test]
@@ -67,24 +71,29 @@ fn paper_pipeline_interest_metric_works() {
     )
     .unwrap();
     let split = ObservationSplit::paper_protocol(&observed).unwrap();
-    let distances: Vec<u32> = (1..=split.distance_count() as u32).collect();
 
-    let cal = calibrate(
-        &observed,
-        1,
-        &[2, 3, 4, 5, 6],
-        DlParameters::paper_interest(observed.max_distance()).unwrap(),
-        ExpDecayGrowth::paper_interest(),
-        &CalibrationOptions { fit_capacity: true, max_evals: 600, ..CalibrationOptions::default() },
+    // Construct the calibrated predictor from its serialized spec string
+    // and drive it through the trait directly.
+    let registry = ModelRegistry::with_builtins();
+    let predictor = registry
+        .build_from_str("dl-cal(d0=0.05,K0=60,r0=interest,fitK=true,evals=600)")
+        .unwrap();
+    let observation = Observation::from_matrix(&observed, &[1, 2, 3, 4, 5, 6]).unwrap();
+    let fitted = predictor.fit(&observation).unwrap();
+    let request = PredictionRequest::new(
+        (1..=split.distance_count() as u32).collect(),
+        split.target_hours().to_vec(),
     )
     .unwrap();
-    let model = cal.into_model(split.initial_profile(), 1).unwrap();
-    let pred = model.predict(&distances, split.target_hours()).unwrap();
+    let pred = fitted.predict(&request).unwrap();
     let acc = AccuracyTable::score_split(&pred, &split)
         .unwrap()
         .overall_average()
         .expect("defined accuracy");
     assert!(acc > 0.8, "interest-metric DL accuracy too low: {acc}");
+    // The fitted parameters are introspectable through the trait.
+    assert_eq!(fitted.param_names().len(), fitted.params().len());
+    assert!(fitted.param_names().contains(&"d".to_string()));
 }
 
 #[test]
@@ -118,10 +127,27 @@ fn vote_popularity_ordering_matches_paper() {
     let counts: Vec<usize> = StoryPreset::all()
         .iter()
         .map(|p| {
-            simulate_story(&w, p, SimulationConfig::default()).unwrap().vote_count()
+            simulate_story(&w, p, SimulationConfig::default())
+                .unwrap()
+                .vote_count()
         })
         .collect();
-    assert!(counts[0] > counts[1], "s1 {} !> s2 {}", counts[0], counts[1]);
-    assert!(counts[1] > counts[2], "s2 {} !> s3 {}", counts[1], counts[2]);
-    assert!(counts[2] > counts[3], "s3 {} !> s4 {}", counts[2], counts[3]);
+    assert!(
+        counts[0] > counts[1],
+        "s1 {} !> s2 {}",
+        counts[0],
+        counts[1]
+    );
+    assert!(
+        counts[1] > counts[2],
+        "s2 {} !> s3 {}",
+        counts[1],
+        counts[2]
+    );
+    assert!(
+        counts[2] > counts[3],
+        "s3 {} !> s4 {}",
+        counts[2],
+        counts[3]
+    );
 }

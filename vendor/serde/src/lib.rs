@@ -1,0 +1,16 @@
+//! Offline shim for the subset of `serde` this workspace uses.
+//!
+//! Only the `Serialize` / `Deserialize` derive macros are consumed (as
+//! annotations; nothing in the workspace drives an actual serde
+//! serializer), so this crate pairs marker traits with no-op derives from
+//! the sibling `serde_derive` shim.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
