@@ -280,7 +280,8 @@ pub struct PredictionExperiment {
     pub predicted: Vec<Vec<f64>>,
     /// The Eq.-8 accuracy table.
     pub table: AccuracyTable,
-    /// Fitted parameters, from [`FittedPredictor`] introspection
+    /// Fitted parameters, from [`dlm_core::predict::FittedPredictor`]
+    /// introspection
     /// (`(name, value)` pairs; empty only if a predictor exposes none).
     pub fitted_params: Vec<(String, f64)>,
     /// Whether the protocol calibrated parameters (vs paper constants).
@@ -432,6 +433,50 @@ pub fn hop_case(ctx: &ExperimentContext, idx: usize) -> Result<EvaluationCase> {
     let hour1: Vec<usize> = cascade.votes_within(1).iter().map(|v| v.voter).collect();
     let graph = GraphContext::new(ctx.graph_arc(), cascade.initiator(), hour1);
     Ok(EvaluationCase::paper_protocol(ctx.presets()[idx].name.clone(), matrix)?.with_graph(graph))
+}
+
+/// Builds a forecast-horizon sweep over one story for batch evaluation:
+/// every case observes the same window `1..=observe_through` and is
+/// scored on horizons stepping from `observe_through + 1` to the full
+/// evaluation window.
+///
+/// All cases share one [`Arc`]'d density matrix (no deep copies) and an
+/// identical observation, so [`EvaluationPipeline`]'s fitted-model cache
+/// fits each spec once for the whole sweep.
+///
+/// # Errors
+///
+/// Propagates density-computation and case-construction errors.
+pub fn forecast_window_cases(
+    ctx: &ExperimentContext,
+    idx: usize,
+    observe_through: u32,
+) -> Result<Vec<EvaluationCase>> {
+    let matrix = Arc::new(trim_dead_groups(&ctx.hop_density(idx, 6, 6)?)?);
+    if observe_through >= matrix.max_hour() {
+        return Err(format!(
+            "observe_through ({observe_through}) leaves no forecast horizon: the matrix spans \
+             only {} hours",
+            matrix.max_hour()
+        )
+        .into());
+    }
+    let cascade = &ctx.cascades()[idx];
+    let hour1: Vec<usize> = cascade.votes_within(1).iter().map(|v| v.voter).collect();
+    let name = &ctx.presets()[idx].name;
+    (observe_through + 1..=matrix.max_hour())
+        .map(|last| {
+            let graph = GraphContext::new(ctx.graph_arc(), cascade.initiator(), hour1.clone());
+            Ok(EvaluationCase::forecast(
+                format!("{name}-h{last}"),
+                Arc::clone(&matrix),
+                1,
+                observe_through,
+                last,
+            )?
+            .with_graph(graph))
+        })
+        .collect()
 }
 
 /// Compares the full model zoo on s1's hop densities through one

@@ -313,6 +313,87 @@ impl Default for EpidemicConfig {
     }
 }
 
+/// The averaged ever-infected counts of an SI/SIS Monte Carlo, recorded
+/// at *every* hour `1..=max_hour` — the memoizable core of the epidemic
+/// baselines.
+///
+/// Reading densities out of a trajectory never touches the RNG, so one
+/// simulation can be resampled at any subset of its hours bit-identically
+/// to a fresh simulation *over the same horizon*. (Horizons are part of
+/// the identity: with `runs > 1`, run `n + 1` continues the RNG stream
+/// wherever run `n` left it, and that point depends on `max_hour`.) That
+/// makes the trajectory safe to cache per (graph, seeds, config, hop
+/// bound, horizon) and replay for repeated prediction requests (see
+/// [`crate::zoo::FittedEpidemic`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpidemicTrajectory {
+    /// Users per hop group (group `g` holds distance `g + 1`).
+    group_sizes: Vec<usize>,
+    /// acc[g][h - 1] = ever-infected count of group `g`, summed over runs.
+    acc: Vec<Vec<f64>>,
+    runs: usize,
+}
+
+impl EpidemicTrajectory {
+    /// Number of hop groups the epidemic reached (distances run
+    /// `1..=group_count`).
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Last simulated hour.
+    #[must_use]
+    pub fn max_hour(&self) -> u32 {
+        self.acc.first().map_or(0, |row| row.len() as u32)
+    }
+
+    /// Mean ever-infected density (percent) of hop group `distance` at
+    /// `hour`, or `None` outside the simulated domain.
+    #[must_use]
+    pub fn density(&self, distance: u32, hour: u32) -> Option<f64> {
+        let g = (distance as usize).checked_sub(1)?;
+        let h = (hour as usize).checked_sub(1)?;
+        let sum = *self.acc.get(g)?.get(h)?;
+        Some(100.0 * sum / (self.runs as f64 * self.group_sizes[g] as f64))
+    }
+
+    /// Densities of every hop group at the requested hours, as a
+    /// [`Prediction`] over distances `1..=group_count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlError::InvalidParameter`] for empty hours or hours
+    /// beyond the simulated horizon.
+    pub fn prediction(&self, hours: &[u32]) -> Result<Prediction> {
+        if hours.is_empty() {
+            return Err(DlError::InvalidParameter {
+                name: "hours/max_hops",
+                reason: "must be nonempty/positive".into(),
+            });
+        }
+        let distances: Vec<u32> = (1..=self.group_count() as u32).collect();
+        let values: Vec<Vec<f64>> = distances
+            .iter()
+            .map(|&d| {
+                hours
+                    .iter()
+                    .map(|&h| {
+                        self.density(d, h).ok_or(DlError::InvalidParameter {
+                            name: "hours",
+                            reason: format!(
+                                "hour {h} beyond the simulated horizon {}",
+                                self.max_hour()
+                            ),
+                        })
+                    })
+                    .collect::<Result<Vec<f64>>>()
+            })
+            .collect::<Result<_>>()?;
+        Prediction::from_values(distances, hours.to_vec(), values)
+    }
+}
+
 /// Runs a discrete-time SI epidemic on the follower graph, seeded with
 /// `initially_infected`, and returns the predicted *density of
 /// ever-infected users* (percent) per hop group per hour — directly
@@ -330,7 +411,7 @@ pub fn si_epidemic(
     hours: &[u32],
     config: &EpidemicConfig,
 ) -> Result<Prediction> {
-    epidemic_impl(
+    epidemic_prediction(
         graph,
         initiator,
         initially_infected,
@@ -357,7 +438,7 @@ pub fn sis_epidemic(
     hours: &[u32],
     config: &EpidemicConfig,
 ) -> Result<Prediction> {
-    epidemic_impl(
+    epidemic_prediction(
         graph,
         initiator,
         initially_infected,
@@ -368,7 +449,8 @@ pub fn sis_epidemic(
     )
 }
 
-fn epidemic_impl(
+#[allow(clippy::too_many_arguments)]
+fn epidemic_prediction(
     graph: &DiGraph,
     initiator: usize,
     initially_infected: &[usize],
@@ -377,6 +459,42 @@ fn epidemic_impl(
     config: &EpidemicConfig,
     with_recovery: bool,
 ) -> Result<Prediction> {
+    if hours.is_empty() {
+        return Err(DlError::InvalidParameter {
+            name: "hours/max_hops",
+            reason: "must be nonempty/positive".into(),
+        });
+    }
+    let max_hour = *hours.iter().max().expect("nonempty");
+    let trajectory = epidemic_trajectory(
+        graph,
+        initiator,
+        initially_infected,
+        max_hops,
+        max_hour,
+        config,
+        with_recovery,
+    )?;
+    trajectory.prediction(hours)
+}
+
+/// Simulates the epidemic and records the summed ever-infected counts of
+/// every hop group at every hour `1..=max_hour`.
+///
+/// # Errors
+///
+/// Returns [`DlError::InvalidParameter`] for a bad config, a zero
+/// horizon/hop bound, or an initiator that reaches nobody.
+#[allow(clippy::too_many_arguments)]
+pub fn epidemic_trajectory(
+    graph: &DiGraph,
+    initiator: usize,
+    initially_infected: &[usize],
+    max_hops: u32,
+    max_hour: u32,
+    config: &EpidemicConfig,
+    with_recovery: bool,
+) -> Result<EpidemicTrajectory> {
     if !(0.0..=1.0).contains(&config.beta) || !(0.0..=1.0).contains(&config.gamma) {
         return Err(DlError::InvalidParameter {
             name: "beta/gamma",
@@ -389,7 +507,7 @@ fn epidemic_impl(
             reason: "must be positive".into(),
         });
     }
-    if hours.is_empty() || max_hops == 0 {
+    if max_hour == 0 || max_hops == 0 {
         return Err(DlError::InvalidParameter {
             name: "hours/max_hops",
             reason: "must be nonempty/positive".into(),
@@ -408,7 +526,6 @@ fn epidemic_impl(
     }
     let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
     let n = graph.node_count();
-    let max_hour = *hours.iter().max().expect("nonempty");
 
     // group index per node.
     let mut group_of: Vec<Option<usize>> = vec![None; n];
@@ -418,14 +535,25 @@ fn epidemic_impl(
         }
     }
 
-    // Accumulated ever-infected counts [group][hour_idx] over runs.
-    let mut acc = vec![vec![0.0f64; hours.len()]; groups.len()];
+    // Accumulated ever-infected counts [group][hour - 1] over runs.
+    let mut acc = vec![vec![0.0f64; max_hour as usize]; groups.len()];
     let mut rng = SmallRng::seed_from_u64(config.seed);
 
+    // Canonical seed order: `HashSet` iteration order differs between
+    // instances (per-instance hasher keys), and the spread loop draws
+    // RNG values in `active` order — an unsorted seed list would make
+    // otherwise-identical simulations diverge run to run.
+    let mut initial_active: Vec<usize> = initially_infected
+        .iter()
+        .copied()
+        .chain([initiator])
+        .collect();
+    initial_active.sort_unstable();
+    initial_active.dedup();
+
     for _ in 0..config.runs {
-        let mut ever: HashSet<usize> = initially_infected.iter().copied().collect();
-        ever.insert(initiator);
-        let mut active: Vec<usize> = ever.iter().copied().collect();
+        let mut ever: HashSet<usize> = initial_active.iter().copied().collect();
+        let mut active: Vec<usize> = initial_active.clone();
         let mut infected: Vec<bool> = vec![false; n];
         for &u in &active {
             infected[u] = true;
@@ -455,32 +583,26 @@ fn epidemic_impl(
                     }
                 });
             }
-            // Record at requested hours.
-            if let Some(hi) = hours.iter().position(|&h| h == hour) {
-                let mut counts = vec![0usize; groups.len()];
-                for &u in &ever {
-                    if let Some(g) = group_of[u] {
-                        counts[g] += 1;
-                    }
+            // Record this hour's ever-infected census. The readout never
+            // touches the RNG, so recording every hour (rather than a
+            // requested subset) cannot change the spreading process.
+            let mut counts = vec![0usize; groups.len()];
+            for &u in &ever {
+                if let Some(g) = group_of[u] {
+                    counts[g] += 1;
                 }
-                for (g, &c) in counts.iter().enumerate() {
-                    acc[g][hi] += c as f64;
-                }
+            }
+            for (g, &c) in counts.iter().enumerate() {
+                acc[g][(hour - 1) as usize] += c as f64;
             }
         }
     }
 
-    let distances: Vec<u32> = (1..=groups.len() as u32).collect();
-    let values: Vec<Vec<f64>> = acc
-        .iter()
-        .enumerate()
-        .map(|(g, row)| {
-            row.iter()
-                .map(|&s| 100.0 * s / (config.runs as f64 * group_sizes[g] as f64))
-                .collect()
-        })
-        .collect();
-    Prediction::from_values(distances, hours.to_vec(), values)
+    Ok(EpidemicTrajectory {
+        group_sizes,
+        acc,
+        runs: config.runs,
+    })
 }
 
 #[cfg(test)]
@@ -668,6 +790,53 @@ mod tests {
         assert!(si_epidemic(&g, 0, &[0], 5, &[], &EpidemicConfig::default()).is_err());
         // Node 5 has no out-edges: reaches nobody.
         assert!(si_epidemic(&g, 5, &[5], 5, &[1], &EpidemicConfig::default()).is_err());
+    }
+
+    #[test]
+    fn trajectory_resampling_matches_direct_simulation() {
+        use dlm_graph::generators::{preferential_attachment, PreferentialAttachmentConfig};
+        let g = preferential_attachment(
+            PreferentialAttachmentConfig {
+                nodes: 200,
+                ..Default::default()
+            },
+            7,
+        )
+        .unwrap();
+        let cfg = EpidemicConfig {
+            beta: 0.2,
+            gamma: 0.3,
+            runs: 4,
+            seed: 11,
+        };
+        for with_recovery in [false, true] {
+            // A trajectory resampled at a subset of its hours must be
+            // bit-identical to simulating the same horizon directly: the
+            // readout schedule never touches the RNG.
+            let traj = epidemic_trajectory(&g, 0, &[0], 4, 7, &cfg, with_recovery).unwrap();
+            let hours = [2u32, 5, 7];
+            let resampled = traj.prediction(&hours).unwrap();
+            let direct = if with_recovery {
+                sis_epidemic(&g, 0, &[0], 4, &hours, &cfg).unwrap()
+            } else {
+                si_epidemic(&g, 0, &[0], 4, &hours, &cfg).unwrap()
+            };
+            assert_eq!(resampled, direct);
+            assert_eq!(traj.max_hour(), 7);
+            assert!(traj.group_count() >= 1);
+            // Every subset readout agrees with the full-grid readout.
+            let full = traj.prediction(&[1, 2, 3, 4, 5, 6, 7]).unwrap();
+            for &h in &hours {
+                assert_eq!(resampled.at(1, h).unwrap(), full.at(1, h).unwrap());
+            }
+            // Out-of-domain lookups are None, not garbage.
+            assert!(traj.density(0, 1).is_none());
+            assert!(traj.density(1, 0).is_none());
+            assert!(traj.density(1, 8).is_none());
+            assert!(traj.density(99, 1).is_none());
+            assert!(traj.prediction(&[8]).is_err());
+            assert!(traj.prediction(&[]).is_err());
+        }
     }
 
     #[test]

@@ -2,30 +2,68 @@
 //! cascades and emit per-model Eq.-8 accuracy tables in one call.
 //!
 //! [`EvaluationCase`] packages one cascade's observed [`DensityMatrix`]
-//! with the evaluation protocol (which hours predictors may observe,
+//! (behind a shared [`Arc`], so big batch runs never deep-copy matrices)
+//! with the evaluation protocol: which hours predictors may observe,
 //! which hours they must predict, and the optional graph context for
-//! epidemic models). [`EvaluationPipeline::run`] fits every
+//! epidemic models. [`EvaluationPipeline::run`] fits every
 //! [`ModelSpec`]-described predictor on every case through the
 //! [`crate::predict::DiffusionPredictor`] interface and scores each
 //! prediction with [`AccuracyTable`]; per-model failures (e.g. an
 //! epidemic model on a case without graph context) are recorded in the
 //! report instead of aborting the batch.
+//!
+//! # Parallelism and caching
+//!
+//! The models × cases grid is embarrassingly parallel, and the pipeline
+//! exploits that in two layers:
+//!
+//! * **Work stealing** — fit and score jobs run on the scoped
+//!   work-stealing executor in [`dlm_numerics::pool`], controlled by a
+//!   [`Parallelism`] knob ([`Parallelism::Serial`],
+//!   [`Parallelism::Auto`] — the default — or
+//!   [`Parallelism::Fixed`]`(n)`). Every job is pure and results are
+//!   reassembled in grid order, so the report is **byte-identical**
+//!   across all settings; only wall-clock changes.
+//! * **Fitted-model cache** — fits are deduplicated by
+//!   (canonical spec string, [`crate::predict::ObservationKey`]):
+//!   repeated specs over identical observation windows (e.g. a horizon
+//!   sweep where several forecast cases share the same observed hours)
+//!   fit once, and the cache persists across [`EvaluationPipeline::run`]
+//!   calls, so re-running a lineup is pure cache replay. Per-run
+//!   hit/miss counters are reported on
+//!   [`EvaluationReport::cache_stats`]. Hit/miss planning happens
+//!   before any job runs, which keeps the counters — like the outcomes
+//!   — independent of thread scheduling.
 
 use crate::accuracy::AccuracyTable;
 use crate::error::{DlError, Result};
-use crate::predict::{GraphContext, Observation, PredictionRequest};
+use crate::predict::{GraphContext, Observation, ObservationKey, PredictionRequest};
 use crate::registry::{ModelRegistry, ModelSpec};
 use dlm_cascade::DensityMatrix;
+use dlm_numerics::pool::parallel_map;
+pub use dlm_numerics::pool::Parallelism;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// One cascade plus its evaluation protocol.
+///
+/// The density matrix is held behind an [`Arc`]: cloning a case, or
+/// building several windows over the same cascade, shares one matrix
+/// allocation. Constructors accept either a bare [`DensityMatrix`] (via
+/// `Into<Arc<_>>`) or an already-shared handle.
 #[derive(Debug, Clone)]
 pub struct EvaluationCase {
     name: String,
-    matrix: DensityMatrix,
+    matrix: Arc<DensityMatrix>,
     initial_hour: u32,
     observe_through: u32,
     last_hour: u32,
+    /// Hours scored on: `initial_hour + 1 ..= last_hour`, precomputed so
+    /// per-worker protocol queries never allocate.
+    target_hours: Vec<u32>,
+    /// Distances scored on: `1 ..= matrix.max_distance()`, precomputed.
+    distances: Vec<u32>,
     graph: Option<GraphContext>,
 }
 
@@ -42,7 +80,7 @@ impl EvaluationCase {
     /// beyond the matrix.
     pub fn new(
         name: impl Into<String>,
-        matrix: DensityMatrix,
+        matrix: impl Into<Arc<DensityMatrix>>,
         initial_hour: u32,
         last_hour: u32,
     ) -> Result<Self> {
@@ -58,11 +96,12 @@ impl EvaluationCase {
     /// Returns [`DlError::InvalidParameter`] for inconsistent hours.
     pub fn forecast(
         name: impl Into<String>,
-        matrix: DensityMatrix,
+        matrix: impl Into<Arc<DensityMatrix>>,
         initial_hour: u32,
         observe_through: u32,
         last_hour: u32,
     ) -> Result<Self> {
+        let matrix = matrix.into();
         if initial_hour == 0
             || initial_hour >= last_hour
             || observe_through < initial_hour
@@ -78,12 +117,16 @@ impl EvaluationCase {
                 ),
             });
         }
+        let target_hours = (initial_hour + 1..=last_hour).collect();
+        let distances = (1..=matrix.max_distance()).collect();
         Ok(Self {
             name: name.into(),
             matrix,
             initial_hour,
             observe_through,
             last_hour,
+            target_hours,
+            distances,
             graph: None,
         })
     }
@@ -93,7 +136,10 @@ impl EvaluationCase {
     /// # Errors
     ///
     /// Requires the matrix to span at least 6 hours.
-    pub fn paper_protocol(name: impl Into<String>, matrix: DensityMatrix) -> Result<Self> {
+    pub fn paper_protocol(
+        name: impl Into<String>,
+        matrix: impl Into<Arc<DensityMatrix>>,
+    ) -> Result<Self> {
         Self::new(name, matrix, 1, 6)
     }
 
@@ -110,22 +156,47 @@ impl EvaluationCase {
         &self.name
     }
 
+    /// First observed hour (φ's hour).
+    #[must_use]
+    pub fn initial_hour(&self) -> u32 {
+        self.initial_hour
+    }
+
+    /// Last hour predictors may observe.
+    #[must_use]
+    pub fn observe_through(&self) -> u32 {
+        self.observe_through
+    }
+
+    /// Last hour the case scores predictions on.
+    #[must_use]
+    pub fn last_hour(&self) -> u32 {
+        self.last_hour
+    }
+
     /// The observed density matrix.
     #[must_use]
     pub fn matrix(&self) -> &DensityMatrix {
         &self.matrix
     }
 
+    /// A shared handle to the observed density matrix — hand this to
+    /// further cases over the same cascade to avoid deep copies.
+    #[must_use]
+    pub fn matrix_arc(&self) -> Arc<DensityMatrix> {
+        Arc::clone(&self.matrix)
+    }
+
     /// Hours the case scores predictions on.
     #[must_use]
-    pub fn target_hours(&self) -> Vec<u32> {
-        (self.initial_hour + 1..=self.last_hour).collect()
+    pub fn target_hours(&self) -> &[u32] {
+        &self.target_hours
     }
 
     /// Distances the case scores predictions on.
     #[must_use]
-    pub fn distances(&self) -> Vec<u32> {
-        (1..=self.matrix.max_distance()).collect()
+    pub fn distances(&self) -> &[u32] {
+        &self.distances
     }
 
     /// The observation exposed to predictors.
@@ -144,6 +215,13 @@ impl EvaluationCase {
 }
 
 /// The outcome of one model on one case.
+///
+/// Equality is **bit-level** on every floating-point value (parameters
+/// and accuracy cells compare via `to_bits`), so two outcomes computed
+/// by byte-identical runs compare equal even when a pathological fit
+/// produces `NaN` — which derived `f64` equality would report as a
+/// spurious difference. This is what lets the determinism gates compare
+/// whole reports honestly.
 #[derive(Debug, Clone)]
 pub struct EvaluationOutcome {
     /// The model's spec string.
@@ -168,13 +246,77 @@ impl EvaluationOutcome {
     }
 }
 
+fn bits_eq(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+fn table_bits_eq(a: &AccuracyTable, b: &AccuracyTable) -> bool {
+    a.distances() == b.distances()
+        && a.hours() == b.hours()
+        && a.distances().iter().all(|&d| {
+            a.hours()
+                .iter()
+                .all(|&h| match (a.cell(d, h), b.cell(d, h)) {
+                    (None, None) => true,
+                    (Some(x), Some(y)) => bits_eq(x, y),
+                    _ => false,
+                })
+        })
+}
+
+impl PartialEq for EvaluationOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+            && self.case == other.case
+            && self.error == other.error
+            && self.param_names == other.param_names
+            && self.params.len() == other.params.len()
+            && self
+                .params
+                .iter()
+                .zip(&other.params)
+                .all(|(&a, &b)| bits_eq(a, b))
+            && match (&self.table, &other.table) {
+                (None, None) => true,
+                (Some(a), Some(b)) => table_bits_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+/// Per-run fitted-model cache counters.
+///
+/// `hits + misses` always equals models × cases for the run; a *miss*
+/// is a (spec, observation) pair that actually fitted a model, a *hit*
+/// one served from the cache — whether warmed by an earlier
+/// [`EvaluationPipeline::run`] or by another grid cell of the same run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Grid cells served from an already-fitted model.
+    pub hits: u64,
+    /// Grid cells that fitted (and cached) a model.
+    pub misses: u64,
+}
+
 /// The full per-model × per-case accuracy report.
+///
+/// Equality compares the evaluated grid — specs, cases, and every
+/// outcome — but **not** [`EvaluationReport::cache_stats`], which
+/// describe how the run executed rather than what it computed (a warm
+/// re-run produces an equal report with different counters).
 #[derive(Debug, Clone)]
 pub struct EvaluationReport {
     specs: Vec<String>,
     cases: Vec<String>,
     /// outcomes[model_idx * cases.len() + case_idx]
     outcomes: Vec<EvaluationOutcome>,
+    cache: CacheStats,
+}
+
+impl PartialEq for EvaluationReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.specs == other.specs && self.cases == other.cases && self.outcomes == other.outcomes
+    }
 }
 
 impl EvaluationReport {
@@ -194,6 +336,13 @@ impl EvaluationReport {
     #[must_use]
     pub fn outcomes(&self) -> &[EvaluationOutcome] {
         &self.outcomes
+    }
+
+    /// Fitted-model cache counters for the run that produced this
+    /// report.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
     }
 
     /// The outcome of one model on one case.
@@ -275,11 +424,51 @@ impl fmt::Display for EvaluationReport {
     }
 }
 
+/// The fitted-model cache key: canonical spec string plus observation
+/// content identity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FitKey {
+    spec: String,
+    observation: ObservationKey,
+}
+
+impl FitKey {
+    fn new(spec: &str, observation: &ObservationKey) -> Self {
+        Self {
+            spec: spec.to_owned(),
+            observation: observation.clone(),
+        }
+    }
+}
+
+/// A cached fit outcome. Failed fits are cached too, so a spec that
+/// rejects an observation (e.g. an epidemic without graph context)
+/// fails once per (spec, observation), not once per grid cell.
+type CachedFit = std::result::Result<Arc<dyn crate::predict::FittedPredictor>, String>;
+
+const CACHE_POISONED: &str = "fitted-model cache poisoned";
+
+#[derive(Default)]
+struct FittedCache {
+    map: Mutex<HashMap<FitKey, CachedFit>>,
+}
+
+impl fmt::Debug for FittedCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let len = self.map.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("FittedCache")
+            .field("entries", &len)
+            .finish()
+    }
+}
+
 /// Runs a set of registered models over a set of cascades.
 #[derive(Debug, Default)]
 pub struct EvaluationPipeline {
     registry: ModelRegistry,
     specs: Vec<ModelSpec>,
+    parallelism: Parallelism,
+    cache: FittedCache,
 }
 
 impl EvaluationPipeline {
@@ -289,6 +478,8 @@ impl EvaluationPipeline {
         Self {
             registry: ModelRegistry::with_builtins(),
             specs: Vec::new(),
+            parallelism: Parallelism::default(),
+            cache: FittedCache::default(),
         }
     }
 
@@ -297,7 +488,7 @@ impl EvaluationPipeline {
     pub fn with_registry(registry: ModelRegistry) -> Self {
         Self {
             registry,
-            specs: Vec::new(),
+            ..Self::new()
         }
     }
 
@@ -322,17 +513,41 @@ impl EvaluationPipeline {
         self
     }
 
+    /// Sets how [`EvaluationPipeline::run`] schedules the grid. The
+    /// default is [`Parallelism::Auto`]; every setting produces a
+    /// byte-identical [`EvaluationReport`].
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
     /// The selected model specs.
     #[must_use]
     pub fn specs(&self) -> &[ModelSpec] {
         &self.specs
     }
 
+    /// Number of fitted models currently cached across runs.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.cache.map.lock().expect(CACHE_POISONED).len()
+    }
+
+    /// Drops every cached fitted model (e.g. to bound memory between
+    /// unrelated batches).
+    pub fn clear_cache(&self) {
+        self.cache.map.lock().expect(CACHE_POISONED).clear();
+    }
+
     /// Fits and scores every selected model on every case.
     ///
-    /// Per-model fit/predict failures become [`EvaluationOutcome::error`]
-    /// entries; only structural problems (no models, no cases, a spec the
-    /// registry cannot construct) abort the run.
+    /// Fits are deduplicated against the pipeline's fitted-model cache
+    /// (see the module docs), then fit and score jobs run under the
+    /// configured [`Parallelism`]. Per-model fit/predict failures become
+    /// [`EvaluationOutcome::error`] entries; only structural problems
+    /// (no models, no cases, a spec the registry cannot construct) abort
+    /// the run.
     ///
     /// # Errors
     ///
@@ -345,6 +560,12 @@ impl EvaluationPipeline {
                 reason: "need at least one model spec and one case".into(),
             });
         }
+        let predictors = self
+            .specs
+            .iter()
+            .map(|spec| self.registry.build(spec))
+            .collect::<Result<Vec<_>>>()?;
+        let spec_strings: Vec<String> = self.specs.iter().map(ToString::to_string).collect();
         // Observations and requests depend only on the case; build them
         // once instead of once per model.
         let prepared: Vec<(Observation, PredictionRequest)> = cases
@@ -352,43 +573,132 @@ impl EvaluationPipeline {
             .map(|case| {
                 Ok((
                     case.observation()?,
-                    PredictionRequest::new(case.distances(), case.target_hours())?,
+                    PredictionRequest::new(
+                        case.distances().to_vec(),
+                        case.target_hours().to_vec(),
+                    )?,
                 ))
             })
             .collect::<Result<_>>()?;
-        let mut outcomes = Vec::with_capacity(self.specs.len() * cases.len());
-        for spec in &self.specs {
-            let predictor = self.registry.build(spec)?;
-            for (case, (observation, request)) in cases.iter().zip(&prepared) {
-                let outcome = match predictor.fit(observation).and_then(|fitted| {
-                    let prediction = fitted.predict(request)?;
-                    let table = AccuracyTable::score(&prediction, &case.matrix)?;
-                    Ok((fitted, table))
-                }) {
-                    Ok((fitted, table)) => EvaluationOutcome {
-                        spec: spec.to_string(),
-                        case: case.name.clone(),
-                        table: Some(table),
-                        param_names: fitted.param_names(),
-                        params: fitted.params(),
-                        error: None,
-                    },
-                    Err(e) => EvaluationOutcome {
-                        spec: spec.to_string(),
-                        case: case.name.clone(),
-                        table: None,
-                        param_names: Vec::new(),
-                        params: Vec::new(),
-                        error: Some(e.to_string()),
-                    },
-                };
-                outcomes.push(outcome);
+        let observation_keys: Vec<ObservationKey> =
+            prepared.iter().map(|(obs, _)| obs.cache_key()).collect();
+
+        // Plan fits deterministically before anything runs: one fit job
+        // per unique (spec, observation) key not already cached, and a
+        // per-cell index into the run-local table of resolved fits.
+        // Planning up front (rather than memoizing inside workers) keeps
+        // the hit/miss counters and the fit set independent of thread
+        // scheduling; resolving cache hits *now* means the rest of the
+        // run never reads the shared map again, so a concurrent
+        // `clear_cache` can bound memory but never yank a fit out from
+        // under an in-flight run.
+        let grid = self.specs.len() * cases.len();
+        // Dedupe case observations up front so the planning grid walk
+        // works with integer (spec, observation-slot) pairs — no FitKey
+        // construction (and no profile-bit clones) per grid cell.
+        let mut obs_slot_of_case: Vec<usize> = Vec::with_capacity(cases.len());
+        {
+            let mut slot_of: HashMap<&ObservationKey, usize> = HashMap::new();
+            for key in &observation_keys {
+                let next = slot_of.len();
+                obs_slot_of_case.push(*slot_of.entry(key).or_insert(next));
             }
         }
+        // (mi, ci, key index) per fit to run; key index per grid cell.
+        let mut fit_jobs: Vec<(usize, usize, usize)> = Vec::new();
+        let mut key_of_cell: Vec<usize> = Vec::with_capacity(grid);
+        let mut unique_keys: Vec<FitKey> = Vec::new();
+        // Resolved fit per unique key: cache hits fill in immediately,
+        // fit jobs fill in after the fit stage.
+        let mut resolved: Vec<Option<CachedFit>> = Vec::new();
+        let mut hits = 0u64;
+        {
+            let cache = self.cache.map.lock().expect(CACHE_POISONED);
+            let mut index_of: HashMap<(usize, usize), usize> = HashMap::new();
+            for (mi, spec) in spec_strings.iter().enumerate() {
+                for (ci, &slot) in obs_slot_of_case.iter().enumerate() {
+                    let idx = match index_of.get(&(mi, slot)) {
+                        Some(&idx) => {
+                            hits += 1;
+                            idx
+                        }
+                        None => {
+                            // First time this (spec, observation) shows
+                            // up: materialize its key once and probe the
+                            // persistent cache.
+                            let key = FitKey::new(spec, &observation_keys[ci]);
+                            let idx = unique_keys.len();
+                            match cache.get(&key) {
+                                Some(fit) => {
+                                    hits += 1;
+                                    resolved.push(Some(fit.clone()));
+                                }
+                                None => {
+                                    resolved.push(None);
+                                    fit_jobs.push((mi, ci, idx));
+                                }
+                            }
+                            index_of.insert((mi, slot), idx);
+                            unique_keys.push(key);
+                            idx
+                        }
+                    };
+                    key_of_cell.push(idx);
+                }
+            }
+        }
+        let misses = fit_jobs.len() as u64;
+
+        // Fit each unique (spec, observation) once, stealing-balanced.
+        let fits: Vec<CachedFit> = parallel_map(self.parallelism, &fit_jobs, |_, &(mi, ci, _)| {
+            predictors[mi]
+                .fit(&prepared[ci].0)
+                .map(Arc::from)
+                .map_err(|e| e.to_string())
+        });
+        {
+            let mut cache = self.cache.map.lock().expect(CACHE_POISONED);
+            for (&(_, _, idx), fit) in fit_jobs.iter().zip(fits) {
+                cache.insert(unique_keys[idx].clone(), fit.clone());
+                resolved[idx] = Some(fit);
+            }
+        }
+
+        // Score the full grid; every cell indexes the run-local resolved
+        // table — no locking, no key clones.
+        let pairs: Vec<(usize, usize)> = (0..self.specs.len())
+            .flat_map(|mi| (0..cases.len()).map(move |ci| (mi, ci)))
+            .collect();
+        let outcomes: Vec<EvaluationOutcome> =
+            parallel_map(self.parallelism, &pairs, |cell, &(mi, ci)| {
+                let fit = resolved[key_of_cell[cell]]
+                    .as_ref()
+                    .expect("every unique key was resolved above")
+                    .clone();
+                let (table, param_names, params, error) = match fit {
+                    Ok(fitted) => match fitted.predict(&prepared[ci].1).and_then(|prediction| {
+                        AccuracyTable::score(&prediction, cases[ci].matrix())
+                    }) {
+                        Ok(table) => (Some(table), fitted.param_names(), fitted.params(), None),
+                        Err(e) => (None, Vec::new(), Vec::new(), Some(e.to_string())),
+                    },
+                    Err(message) => (None, Vec::new(), Vec::new(), Some(message)),
+                };
+                EvaluationOutcome {
+                    spec: spec_strings[mi].clone(),
+                    case: cases[ci].name.clone(),
+                    table,
+                    param_names,
+                    params,
+                    error,
+                }
+            });
+
         Ok(EvaluationReport {
-            specs: self.specs.iter().map(ToString::to_string).collect(),
+            specs: spec_strings,
             cases: cases.iter().map(|c| c.name.clone()).collect(),
             outcomes,
+            cache: CacheStats { hits, misses },
         })
     }
 }
@@ -422,9 +732,9 @@ mod tests {
 
     #[test]
     fn pipeline_scores_multiple_models_on_multiple_cases() {
-        let m = synthetic_matrix();
+        let m = Arc::new(synthetic_matrix());
         let cases = vec![
-            EvaluationCase::paper_protocol("s1", m.clone()).unwrap(),
+            EvaluationCase::paper_protocol("s1", Arc::clone(&m)).unwrap(),
             EvaluationCase::new("s1-short", m, 1, 4).unwrap(),
         ];
         let report = EvaluationPipeline::new()
@@ -488,10 +798,23 @@ mod tests {
         let case = EvaluationCase::forecast("s1", m, 1, 2, 6).unwrap();
         let obs = case.observation().unwrap();
         assert_eq!(obs.hours(), &[1, 2]);
-        assert_eq!(case.target_hours(), vec![2, 3, 4, 5, 6]);
+        assert_eq!(case.target_hours(), &[2, 3, 4, 5, 6]);
+        assert_eq!(case.distances(), &[1, 2, 3, 4, 5, 6]);
         assert!(EvaluationCase::forecast("bad", case.matrix().clone(), 3, 2, 6).is_err());
         assert!(EvaluationCase::forecast("bad", case.matrix().clone(), 0, 1, 6).is_err());
         assert!(EvaluationCase::forecast("bad", case.matrix().clone(), 1, 2, 99).is_err());
+    }
+
+    #[test]
+    fn cases_share_one_matrix_allocation() {
+        let m = Arc::new(synthetic_matrix());
+        let a = EvaluationCase::paper_protocol("a", Arc::clone(&m)).unwrap();
+        let b = EvaluationCase::new("b", Arc::clone(&m), 1, 4).unwrap();
+        assert!(Arc::ptr_eq(&a.matrix_arc(), &m));
+        assert!(Arc::ptr_eq(&a.matrix_arc(), &b.matrix_arc()));
+        // Cloning a case clones the Arc, not the matrix.
+        let c = a.clone();
+        assert!(Arc::ptr_eq(&c.matrix_arc(), &m));
     }
 
     #[test]
@@ -504,5 +827,132 @@ mod tests {
         let o = report.outcome(0, 0).unwrap();
         assert_eq!(o.param_names[0], "d");
         assert_eq!(o.params[0], 0.01);
+    }
+
+    #[test]
+    fn cache_replays_warm_runs_and_counts_hits() {
+        let m = Arc::new(synthetic_matrix());
+        let cases = vec![
+            EvaluationCase::paper_protocol("s1", Arc::clone(&m)).unwrap(),
+            EvaluationCase::new("s1-short", Arc::clone(&m), 1, 4).unwrap(),
+        ];
+        let pipeline = EvaluationPipeline::new()
+            .model(ModelSpec::paper_hops_dl())
+            .model(ModelSpec::Naive);
+        let cold = pipeline.run(&cases).unwrap();
+        // 2 models × 2 distinct observation windows: every cell fits.
+        assert_eq!(cold.cache_stats(), CacheStats { hits: 0, misses: 4 });
+        assert_eq!(pipeline.cache_len(), 4);
+        let warm = pipeline.run(&cases).unwrap();
+        assert_eq!(warm.cache_stats(), CacheStats { hits: 4, misses: 0 });
+        // Execution metadata differs; the computed report does not.
+        assert_eq!(cold, warm);
+        assert_eq!(cold.to_string(), warm.to_string());
+        pipeline.clear_cache();
+        assert_eq!(pipeline.cache_len(), 0);
+    }
+
+    #[test]
+    fn shared_observation_windows_fit_once_within_a_run() {
+        let m = Arc::new(synthetic_matrix());
+        // Same observed window (hours 1..=2), different forecast
+        // horizons: one fit serves both cases.
+        let cases = vec![
+            EvaluationCase::forecast("h4", Arc::clone(&m), 1, 2, 4).unwrap(),
+            EvaluationCase::forecast("h6", Arc::clone(&m), 1, 2, 6).unwrap(),
+        ];
+        let pipeline = EvaluationPipeline::new().model(ModelSpec::paper_hops_dl());
+        let report = pipeline.run(&cases).unwrap();
+        assert_eq!(report.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        assert!(report.outcome(0, 0).unwrap().error.is_none());
+        assert!(report.outcome(0, 1).unwrap().error.is_none());
+        // The shared fit predicts each case's own horizon.
+        assert_eq!(
+            report
+                .outcome(0, 0)
+                .unwrap()
+                .table
+                .as_ref()
+                .unwrap()
+                .hours(),
+            &[2, 3, 4]
+        );
+        assert_eq!(
+            report
+                .outcome(0, 1)
+                .unwrap()
+                .table
+                .as_ref()
+                .unwrap()
+                .hours(),
+            &[2, 3, 4, 5, 6]
+        );
+    }
+
+    #[test]
+    fn failed_fits_are_cached_once_per_key() {
+        let cases = vec![
+            EvaluationCase::paper_protocol("a", synthetic_matrix()).unwrap(),
+            EvaluationCase::paper_protocol("b", synthetic_matrix()).unwrap(),
+        ];
+        let pipeline = EvaluationPipeline::new().model(ModelSpec::Si {
+            beta: 0.01,
+            runs: 2,
+            seed: 1,
+        });
+        let cold = pipeline.run(&cases).unwrap();
+        // Both cases carry identical (graph-free) observations, so the
+        // failing fit runs once and the second cell is a hit.
+        assert_eq!(cold.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        for ci in 0..2 {
+            assert!(cold
+                .outcome(0, ci)
+                .unwrap()
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("graph"));
+        }
+        let warm = pipeline.run(&cases).unwrap();
+        assert_eq!(warm.cache_stats(), CacheStats { hits: 2, misses: 0 });
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn every_parallelism_mode_produces_identical_reports() {
+        let m = Arc::new(synthetic_matrix());
+        let cases: Vec<EvaluationCase> = (0..4)
+            .map(|i| {
+                EvaluationCase::new(format!("case{i}"), Arc::clone(&m), 1, 4 + (i % 3) as u32)
+                    .unwrap()
+            })
+            .collect();
+        let specs = [
+            ModelSpec::paper_hops_dl(),
+            ModelSpec::Naive,
+            ModelSpec::LinearTrend,
+            ModelSpec::LogisticOnly {
+                capacity: 25.0,
+                growth: crate::predict::GrowthFamily::PaperHops,
+            },
+        ];
+        let run_with = |mode: Parallelism| {
+            EvaluationPipeline::new()
+                .models(specs.clone())
+                .parallelism(mode)
+                .run(&cases)
+                .unwrap()
+        };
+        let serial = run_with(Parallelism::Serial);
+        for mode in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(5),
+            Parallelism::Auto,
+        ] {
+            let parallel = run_with(mode);
+            assert_eq!(serial, parallel, "{mode:?} diverged from serial");
+            assert_eq!(serial.cache_stats(), parallel.cache_stats());
+            assert_eq!(serial.to_string(), parallel.to_string());
+        }
     }
 }

@@ -28,7 +28,10 @@
 //! [`registry::ModelSpec`]s through the [`registry::ModelRegistry`], and
 //! [`evaluate::EvaluationPipeline`] runs any set of registered models
 //! over any set of cascades, emitting per-model Eq.-8 accuracy tables in
-//! one call.
+//! one call — work-stealing parallel across the grid (the
+//! [`evaluate::Parallelism`] knob; every setting is byte-identical) with
+//! a persistent fitted-model cache deduplicating repeated
+//! (spec, observation) fits.
 //!
 //! ## Module map
 //!
@@ -36,7 +39,8 @@
 //!   requests, and the shared [`predict::FitConfig`];
 //! * [`zoo`] — all seven predictors implemented behind the trait;
 //! * [`registry`] — serializable `ModelSpec`s + the `ModelRegistry`;
-//! * [`evaluate`] — batch model × cascade evaluation pipeline;
+//! * [`evaluate`] — batch model × cascade evaluation pipeline
+//!   (parallel, cached);
 //! * [`params`] — `d`, `K`, domain `[l, L]` (+ the paper's presets);
 //! * [`growth`] — `r(t)` families, incl. Eq. 7 / Figure 6;
 //! * [`initial`] — φ construction per §II.D (flat-ended cubic spline);
@@ -112,7 +116,7 @@ pub mod zoo;
 
 pub use accuracy::AccuracyTable;
 pub use error::{DlError, Result};
-pub use evaluate::{EvaluationCase, EvaluationPipeline, EvaluationReport};
+pub use evaluate::{CacheStats, EvaluationCase, EvaluationPipeline, EvaluationReport, Parallelism};
 pub use model::{DlModel, DlModelBuilder, Prediction};
 pub use params::DlParameters;
 pub use predict::{

@@ -217,6 +217,46 @@ impl Observation {
     pub fn graph(&self) -> Option<&GraphContext> {
         self.graph.as_ref()
     }
+
+    /// A content-identity key for caching fitted models on this
+    /// observation (see [`crate::evaluate::EvaluationPipeline`]).
+    ///
+    /// Two observations with equal keys are guaranteed to produce the
+    /// same fit from any deterministic predictor: the key captures the
+    /// observed hours, the exact bit patterns of every density, and —
+    /// for graph-bearing observations — the follower graph by shared
+    /// handle identity plus the initiator and epidemic seeds. Equal
+    /// graph *content* behind distinct [`std::sync::Arc`] allocations
+    /// compares unequal, which can only cause a redundant fit, never a
+    /// wrong cache hit.
+    #[must_use]
+    pub fn cache_key(&self) -> ObservationKey {
+        ObservationKey {
+            hours: self.hours.clone(),
+            profile_bits: self
+                .profiles
+                .iter()
+                .flat_map(|p| p.iter().map(|v| v.to_bits()))
+                .collect(),
+            graph: self.graph.as_ref().map(|ctx| {
+                (
+                    Arc::as_ptr(&ctx.graph) as usize,
+                    ctx.initiator,
+                    ctx.initially_infected.clone(),
+                )
+            }),
+        }
+    }
+}
+
+/// Content-identity key of an [`Observation`] — the hashable half of the
+/// fitted-model cache key (the other half is the model spec string).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObservationKey {
+    hours: Vec<u32>,
+    profile_bits: Vec<u64>,
+    /// (graph allocation identity, initiator, epidemic seeds).
+    graph: Option<(usize, usize, Vec<usize>)>,
 }
 
 /// The `(distance, hour)` grid a fitted predictor should fill in.
@@ -471,5 +511,38 @@ mod tests {
     #[test]
     fn traits_are_object_safe() {
         fn _take(_p: &dyn DiffusionPredictor, _f: &dyn FittedPredictor) {}
+    }
+
+    #[test]
+    fn cache_keys_track_observation_content() {
+        let a = Observation::new(vec![1, 2], vec![vec![1.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let same = Observation::new(vec![1, 2], vec![vec![1.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        assert_eq!(a.cache_key(), same.cache_key());
+        // Any content change — hours, densities, or layout — changes the key.
+        let hours = Observation::new(vec![1, 3], vec![vec![1.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        assert_ne!(a.cache_key(), hours.cache_key());
+        let dens = Observation::new(vec![1, 2], vec![vec![1.0, 2.0], vec![2.0, 3.5]]).unwrap();
+        assert_ne!(a.cache_key(), dens.cache_key());
+        // -0.0 and +0.0 compare equal as floats but are distinct fits
+        // nowhere; bit-exact keying keeps them distinct to stay safe.
+        let zeros = Observation::new(vec![1], vec![vec![0.0]]).unwrap();
+        let neg = Observation::new(vec![1], vec![vec![-0.0]]).unwrap();
+        assert_ne!(zeros.cache_key(), neg.cache_key());
+        // Attaching a graph context changes the key; the same shared
+        // graph with the same seeds keys equal.
+        let graph = Arc::new(dlm_graph::GraphBuilder::new(2).build());
+        let g1 = Observation::new(vec![1], vec![vec![1.0]])
+            .unwrap()
+            .with_graph(GraphContext::new(Arc::clone(&graph), 0, vec![0]));
+        let g2 = Observation::new(vec![1], vec![vec![1.0]])
+            .unwrap()
+            .with_graph(GraphContext::new(Arc::clone(&graph), 0, vec![0]));
+        let no_graph = Observation::new(vec![1], vec![vec![1.0]]).unwrap();
+        assert_eq!(g1.cache_key(), g2.cache_key());
+        assert_ne!(g1.cache_key(), no_graph.cache_key());
+        let other_seed = Observation::new(vec![1], vec![vec![1.0]])
+            .unwrap()
+            .with_graph(GraphContext::new(graph, 0, vec![1]));
+        assert_ne!(g1.cache_key(), other_seed.cache_key());
     }
 }

@@ -17,7 +17,8 @@
 //! through the [`crate::registry::ModelRegistry`].
 
 use crate::baselines::{
-    si_epidemic, sis_epidemic, EpidemicConfig, LinearTrend, LogisticOnly, NaiveLastValue,
+    epidemic_trajectory, EpidemicConfig, EpidemicTrajectory, LinearTrend, LogisticOnly,
+    NaiveLastValue,
 };
 use crate::calibrate::{calibrate_profiles, Calibration, CalibrationOptions};
 use crate::error::{DlError, Result};
@@ -32,7 +33,9 @@ use crate::variable::{
     VariableDlModelBuilder,
 };
 use dlm_graph::DiGraph;
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 fn growth_param_entries(growth: &crate::growth::ExpDecayGrowth) -> (Vec<String>, Vec<f64>) {
     (
@@ -735,7 +738,16 @@ impl SisPredictor {
 }
 
 /// A fitted SI/SIS epidemic, bound to a cascade's graph context.
-#[derive(Debug, Clone)]
+///
+/// Monte-Carlo trajectories are memoized per fitted model — i.e. per
+/// (graph, seeds, config) — keyed by the exact (hop bound, horizon)
+/// pair, so repeated [`FittedPredictor::predict`] calls resample the
+/// cached ever-infected counts instead of re-simulating. Within one
+/// horizon, resampling is bit-identical to a fresh simulation because
+/// the readout schedule never touches the RNG; horizons key separately
+/// because the multi-run RNG stream depends on the simulated span (see
+/// [`EpidemicTrajectory`]).
+#[derive(Debug)]
 pub struct FittedEpidemic {
     name: &'static str,
     graph: Arc<DiGraph>,
@@ -745,6 +757,71 @@ pub struct FittedEpidemic {
     with_recovery: bool,
     max_distance: u32,
     initial_hour: u32,
+    /// Cached trajectories keyed by (max_hops, simulated horizon).
+    memo: Mutex<HashMap<(u32, u32), Arc<EpidemicTrajectory>>>,
+    /// Monte-Carlo simulations actually run (instrumentation).
+    simulations: AtomicUsize,
+}
+
+impl Clone for FittedEpidemic {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name,
+            graph: Arc::clone(&self.graph),
+            initiator: self.initiator,
+            seeds: self.seeds.clone(),
+            config: self.config,
+            with_recovery: self.with_recovery,
+            max_distance: self.max_distance,
+            initial_hour: self.initial_hour,
+            memo: Mutex::new(self.memo.lock().expect(MEMO_POISONED).clone()),
+            simulations: AtomicUsize::new(self.simulations.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+const MEMO_POISONED: &str = "epidemic trajectory memo poisoned";
+
+impl FittedEpidemic {
+    /// Number of Monte-Carlo simulations this fitted model has actually
+    /// run — stays at one across repeated `predict` calls that fit
+    /// inside the memoized horizon.
+    #[must_use]
+    pub fn simulations(&self) -> usize {
+        self.simulations.load(Ordering::Relaxed)
+    }
+
+    /// The memoized trajectory for exactly (`max_hops`, `max_hour`),
+    /// simulating only on the first request for that pair. The lock is
+    /// *not* held across the simulation, so distinct (hop, horizon)
+    /// requests on a shared fitted model — a forecast-horizon sweep
+    /// under the parallel pipeline — simulate concurrently; two racers
+    /// on the same key compute identical trajectories (seeded RNG) and
+    /// the first insert wins.
+    fn trajectory(&self, max_hops: u32, max_hour: u32) -> Result<Arc<EpidemicTrajectory>> {
+        if let Some(trajectory) = self
+            .memo
+            .lock()
+            .expect(MEMO_POISONED)
+            .get(&(max_hops, max_hour))
+        {
+            return Ok(Arc::clone(trajectory));
+        }
+        let trajectory = Arc::new(epidemic_trajectory(
+            &self.graph,
+            self.initiator,
+            &self.seeds,
+            max_hops,
+            max_hour,
+            &self.config,
+            self.with_recovery,
+        )?);
+        self.simulations.fetch_add(1, Ordering::Relaxed);
+        let mut memo = self.memo.lock().expect(MEMO_POISONED);
+        Ok(Arc::clone(
+            memo.entry((max_hops, max_hour)).or_insert(trajectory),
+        ))
+    }
 }
 
 fn fit_epidemic(
@@ -766,6 +843,8 @@ fn fit_epidemic(
         with_recovery,
         max_distance: observation.max_distance(),
         initial_hour: observation.initial_hour(),
+        memo: Mutex::new(HashMap::new()),
+        simulations: AtomicUsize::new(0),
     }))
 }
 
@@ -819,25 +898,8 @@ impl FittedPredictor for FittedEpidemic {
             .max()
             .expect("validated nonempty")
             .max(self.max_distance);
-        let raw = if self.with_recovery {
-            sis_epidemic(
-                &self.graph,
-                self.initiator,
-                &self.seeds,
-                max_hops,
-                &relative,
-                &self.config,
-            )?
-        } else {
-            si_epidemic(
-                &self.graph,
-                self.initiator,
-                &self.seeds,
-                max_hops,
-                &relative,
-                &self.config,
-            )?
-        };
+        let needed_hour = *relative.iter().max().expect("validated nonempty");
+        let trajectory = self.trajectory(max_hops, needed_hour)?;
         // Re-grid onto the requested distances; hop groups beyond the
         // epidemic's reach report zero density.
         let values = request
@@ -846,7 +908,7 @@ impl FittedPredictor for FittedEpidemic {
             .map(|&d| {
                 relative
                     .iter()
-                    .map(|&h| raw.at(d, h).unwrap_or(0.0))
+                    .map(|&h| trajectory.density(d, h).unwrap_or(0.0))
                     .collect()
             })
             .collect();
@@ -1006,6 +1068,78 @@ mod tests {
             fitted.param_names(),
             vec!["beta".to_string(), "runs".into()]
         );
+    }
+
+    #[test]
+    fn epidemic_predict_memoizes_monte_carlo() {
+        let mut b = GraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_edge(i, i + 1).unwrap();
+        }
+        let graph = Arc::new(b.build());
+        let obs = Observation::new(vec![1], vec![vec![100.0, 0.0, 0.0, 0.0, 0.0]])
+            .unwrap()
+            .with_graph(GraphContext::new(graph, 0, vec![0]));
+        let cfg = EpidemicConfig {
+            beta: 0.7,
+            runs: 5,
+            seed: 3,
+            ..EpidemicConfig::default()
+        };
+        let boxed = SiPredictor::new(cfg).fit(&obs).unwrap();
+        let fresh = SiPredictor::new(cfg).fit(&obs).unwrap();
+        let request = PredictionRequest::new(vec![1, 2, 3, 4, 5], vec![2, 3]).unwrap();
+        let first = boxed.predict(&request).unwrap();
+        let second = boxed.predict(&request).unwrap();
+        assert_eq!(first, second);
+        // A subset readout over the same horizon replays the cached
+        // trajectory bit-identically to a never-memoized model.
+        let subset = PredictionRequest::new(vec![1, 2], vec![3]).unwrap();
+        let replayed = boxed.predict(&subset).unwrap();
+        assert_eq!(replayed.at(1, 3).unwrap(), first.at(1, 3).unwrap());
+        assert_eq!(replayed.at(2, 3).unwrap(), first.at(2, 3).unwrap());
+        assert_eq!(replayed, fresh.predict(&subset).unwrap());
+        // Direct access to the concrete type shows the simulation count.
+        let chain = {
+            let mut b = GraphBuilder::new(4);
+            for i in 0..3 {
+                b.add_edge(i, i + 1).unwrap();
+            }
+            Arc::new(b.build())
+        };
+        let concrete = FittedEpidemic {
+            name: "si",
+            graph: chain,
+            initiator: 0,
+            seeds: vec![0],
+            config: cfg,
+            with_recovery: false,
+            max_distance: 3,
+            initial_hour: 1,
+            memo: Mutex::new(HashMap::new()),
+            simulations: AtomicUsize::new(0),
+        };
+        assert_eq!(concrete.simulations(), 0);
+        let r23 = PredictionRequest::new(vec![1, 2, 3], vec![2, 3]).unwrap();
+        let a = concrete.predict(&r23).unwrap();
+        assert_eq!(concrete.simulations(), 1);
+        let b = concrete.predict(&r23).unwrap();
+        assert_eq!(concrete.simulations(), 1, "second predict re-simulated");
+        assert_eq!(a, b);
+        // A different horizon is a distinct simulation (the multi-run
+        // RNG stream depends on the simulated span)...
+        let r4 = PredictionRequest::new(vec![1, 2, 3], vec![4]).unwrap();
+        concrete.predict(&r4).unwrap();
+        assert_eq!(concrete.simulations(), 2);
+        // ...but both horizons stay cached: replaying either is free.
+        let c = concrete.predict(&r23).unwrap();
+        concrete.predict(&r4).unwrap();
+        assert_eq!(concrete.simulations(), 2);
+        assert_eq!(a, c);
+        // Clones carry the memo with them.
+        let cloned = concrete.clone();
+        cloned.predict(&r23).unwrap();
+        assert_eq!(cloned.simulations(), 2);
     }
 
     #[test]

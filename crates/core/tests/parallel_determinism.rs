@@ -1,0 +1,122 @@
+//! Threading-determinism contract of the evaluation engine: the full
+//! model-zoo lineup over a grid of synthetic cases must produce a
+//! byte-identical `EvaluationReport` under every `Parallelism` setting,
+//! and the fitted-model cache must replay warm runs exactly.
+
+use dlm_core::evaluate::{CacheStats, EvaluationCase, EvaluationPipeline, Parallelism};
+use dlm_core::predict::GraphContext;
+use dlm_graph::GraphBuilder;
+use std::sync::Arc;
+
+/// A deterministic synthetic density matrix: saturating growth toward a
+/// per-distance capacity, varied per case so no two cases share an
+/// observation window by accident.
+fn synthetic_matrix(case: usize) -> dlm_cascade::DensityMatrix {
+    let distances = 4usize;
+    let hours = 4usize;
+    let pop = 100_000usize;
+    let counts: Vec<Vec<usize>> = (0..distances)
+        .map(|d| {
+            let capacity = 20.0 + 3.0 * case as f64 - 2.0 * d as f64;
+            let rate = 0.35 + 0.05 * (case % 3) as f64;
+            (1..=hours)
+                .map(|h| {
+                    let density = capacity * (1.0 - (-rate * h as f64).exp());
+                    ((density / 100.0) * pop as f64).round() as usize
+                })
+                .collect()
+        })
+        .collect();
+    dlm_cascade::DensityMatrix::from_counts(&counts, &[pop; 4]).unwrap()
+}
+
+/// A small follower graph shared by every case, so the SI/SIS rows
+/// exercise real Monte-Carlo work in every mode.
+fn shared_graph() -> Arc<dlm_graph::DiGraph> {
+    let n = 60;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n - 1 {
+        b.add_edge(i, i + 1).unwrap();
+        b.add_edge(i, (i * 7 + 3) % n).unwrap();
+    }
+    Arc::new(b.build())
+}
+
+fn cases(count: usize) -> Vec<EvaluationCase> {
+    let graph = shared_graph();
+    (0..count)
+        .map(|i| {
+            let ctx = GraphContext::new(Arc::clone(&graph), 0, vec![0, 1 + i % 3]);
+            EvaluationCase::new(format!("case{i}"), synthetic_matrix(i), 1, 4)
+                .unwrap()
+                .with_graph(ctx)
+        })
+        .collect()
+}
+
+#[test]
+fn full_lineup_is_byte_identical_across_parallelism_modes() {
+    let cases = cases(8);
+    let run_with = |mode: Parallelism| {
+        EvaluationPipeline::full_lineup()
+            .parallelism(mode)
+            .run(&cases)
+            .unwrap()
+    };
+    let serial = run_with(Parallelism::Serial);
+    // Every cell ran: 8 specs x 8 distinct cases, nothing shared.
+    assert_eq!(
+        serial.cache_stats(),
+        CacheStats {
+            hits: 0,
+            misses: 64
+        }
+    );
+    // The expensive rows actually fitted (no silent error rows).
+    for (mi, spec) in serial.specs().iter().enumerate() {
+        for ci in 0..cases.len() {
+            let outcome = serial.outcome(mi, ci).unwrap();
+            assert!(
+                outcome.error.is_none(),
+                "{spec} failed on case {ci}: {:?}",
+                outcome.error
+            );
+        }
+    }
+    for mode in [Parallelism::Fixed(2), Parallelism::Auto] {
+        let parallel = run_with(mode);
+        assert_eq!(serial, parallel, "{mode:?} diverged from serial");
+        assert_eq!(serial.cache_stats(), parallel.cache_stats());
+        assert_eq!(serial.to_string(), parallel.to_string());
+    }
+}
+
+#[test]
+fn warm_cache_replays_cold_run_exactly() {
+    let cases = cases(2);
+    let pipeline = EvaluationPipeline::full_lineup().parallelism(Parallelism::Fixed(2));
+    let cold = pipeline.run(&cases).unwrap();
+    assert_eq!(
+        cold.cache_stats(),
+        CacheStats {
+            hits: 0,
+            misses: 16
+        }
+    );
+    assert_eq!(pipeline.cache_len(), 16);
+    let warm = pipeline.run(&cases).unwrap();
+    assert_eq!(
+        warm.cache_stats(),
+        CacheStats {
+            hits: 16,
+            misses: 0
+        }
+    );
+    assert_eq!(pipeline.cache_len(), 16);
+    // Same grid, same numbers — cache replay is invisible in the report.
+    assert_eq!(cold, warm);
+    assert_eq!(cold.to_string(), warm.to_string());
+    // A third run over a subset still hits.
+    let partial = pipeline.run(&cases[..1]).unwrap();
+    assert_eq!(partial.cache_stats(), CacheStats { hits: 8, misses: 0 });
+}

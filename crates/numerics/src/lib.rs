@@ -21,6 +21,8 @@
 //! * [`rootfind`] — bisection, Newton, Brent.
 //! * [`optimize`] — Nelder–Mead, golden section, grid search (parameter
 //!   calibration).
+//! * [`pool`] — scoped work-stealing executor for embarrassingly parallel
+//!   grids (batch evaluation).
 //! * [`least_squares`] — Levenberg–Marquardt (growth-rate curve fits).
 //! * [`quadrature`] — trapezoid and Simpson rules.
 //! * [`stats`] — descriptive statistics and the paper's Eq.-8 accuracy.
@@ -63,6 +65,7 @@ pub mod least_squares;
 pub mod linalg;
 pub mod ode;
 pub mod optimize;
+pub mod pool;
 pub mod quadrature;
 pub mod rootfind;
 pub mod spline;

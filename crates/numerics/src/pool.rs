@@ -1,0 +1,201 @@
+//! A small work-stealing executor for embarrassingly parallel grids.
+//!
+//! The evaluation layer runs models × cascades grids whose cells are
+//! independent and pure, so the only scheduling problem is load balance:
+//! a calibrated-DL fit costs orders of magnitude more than a naive
+//! baseline. [`parallel_map`] hand-rolls the classic solution — scoped
+//! worker threads over chunked per-worker deques, idle workers stealing
+//! from the back of a victim's deque — because the build environment is
+//! fully offline (no rayon).
+//!
+//! Determinism: results are keyed by item index and reassembled in input
+//! order, so the output of [`parallel_map`] is identical for every
+//! [`Parallelism`] setting; only wall-clock changes. Workers never spawn
+//! new work, so queue exhaustion is the (race-free) termination
+//! condition.
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// How many worker threads a parallel region may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Run on the calling thread only.
+    Serial,
+    /// One worker per available hardware thread.
+    #[default]
+    Auto,
+    /// Exactly `n` workers (`0` is treated as `1`).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// The number of workers to spawn for `jobs` independent jobs —
+    /// never more workers than jobs, never fewer than one.
+    #[must_use]
+    pub fn workers(self, jobs: usize) -> usize {
+        let requested = match self {
+            Self::Serial => 1,
+            Self::Auto => std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            Self::Fixed(n) => n.max(1),
+        };
+        requested.min(jobs).max(1)
+    }
+}
+
+/// Pops the next chunk for worker `me`: front of its own deque first
+/// (cache-friendly FIFO through its dealt range), then the back of the
+/// first non-empty victim (classic steal side).
+fn pop_or_steal(queues: &[Mutex<VecDeque<Range<usize>>>], me: usize) -> Option<Range<usize>> {
+    if let Some(chunk) = queues[me].lock().expect("pool queue poisoned").pop_front() {
+        return Some(chunk);
+    }
+    for offset in 1..queues.len() {
+        let victim = (me + offset) % queues.len();
+        if let Some(chunk) = queues[victim]
+            .lock()
+            .expect("pool queue poisoned")
+            .pop_back()
+        {
+            return Some(chunk);
+        }
+    }
+    None
+}
+
+/// Applies `f` to every item and returns the results in input order.
+///
+/// `f` receives `(index, &item)` and must be pure with respect to
+/// ordering: it may run on any worker at any time. Panics in `f`
+/// propagate to the caller once all workers have stopped.
+pub fn parallel_map<T, R, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = parallelism.workers(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Chunk the index space. Small chunks keep the steal granularity
+    // fine enough to balance wildly uneven job costs; the floor of 1
+    // makes every grid cell independently stealable when jobs are few
+    // and coarse (the evaluation-pipeline regime).
+    let chunk_len = (items.len() / (workers * 8)).max(1);
+    let queues: Vec<Mutex<VecDeque<Range<usize>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut start = 0;
+    let mut dealt = 0usize;
+    while start < items.len() {
+        let end = (start + chunk_len).min(items.len());
+        queues[dealt % workers]
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(start..end);
+        start = end;
+        dealt += 1;
+    }
+
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let queues = &queues;
+            let collected = &collected;
+            let f = &f;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                while let Some(chunk) = pop_or_steal(queues, me) {
+                    for i in chunk {
+                        local.push((i, f(i, &items[i])));
+                    }
+                }
+                collected
+                    .lock()
+                    .expect("pool results poisoned")
+                    .append(&mut local);
+            });
+        }
+    });
+
+    let mut collected = collected.into_inner().expect("pool results poisoned");
+    debug_assert_eq!(collected.len(), items.len());
+    collected.sort_unstable_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_respect_mode_and_job_count() {
+        assert_eq!(Parallelism::Serial.workers(100), 1);
+        assert_eq!(Parallelism::Fixed(4).workers(100), 4);
+        assert_eq!(Parallelism::Fixed(4).workers(2), 2);
+        assert_eq!(Parallelism::Fixed(0).workers(5), 1);
+        assert_eq!(Parallelism::Fixed(3).workers(0), 1);
+        assert!(Parallelism::Auto.workers(usize::MAX) >= 1);
+    }
+
+    #[test]
+    fn map_preserves_input_order_in_every_mode() {
+        let items: Vec<u64> = (0..997).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for mode in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(7),
+            Parallelism::Fixed(64),
+        ] {
+            let got = parallel_map(mode, &items, |_, &x| x * x);
+            assert_eq!(got, expect, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(Parallelism::Fixed(8), &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(Parallelism::Auto, &[41], |_, &x| x + 1), [42]);
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..counters.len()).collect();
+        parallel_map(Parallelism::Fixed(5), &items, |_, &i| {
+            counters[i].fetch_add(1, Ordering::Relaxed)
+        });
+        for (i, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn uneven_workloads_finish_and_stay_ordered() {
+        // A few very expensive items at the front force stealing: worker
+        // 0 gets stuck early while others drain the rest of the grid.
+        let items: Vec<usize> = (0..64).collect();
+        let got = parallel_map(Parallelism::Fixed(4), &items, |_, &i| {
+            if i < 3 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i * 2
+        });
+        let expect: Vec<usize> = items.iter().map(|i| i * 2).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn index_argument_matches_item_position() {
+        let items = ["a", "b", "c", "d"];
+        let got = parallel_map(Parallelism::Fixed(2), &items, |i, &s| format!("{i}{s}"));
+        assert_eq!(got, ["0a", "1b", "2c", "3d"]);
+    }
+}

@@ -13,7 +13,7 @@
 //! ```
 
 use dlm::cascade::hops::hop_density_matrix;
-use dlm::core::evaluate::{EvaluationCase, EvaluationPipeline};
+use dlm::core::evaluate::{EvaluationCase, EvaluationPipeline, Parallelism};
 use dlm::core::predict::GraphContext;
 use dlm::data::simulate::simulate_story;
 use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
@@ -39,8 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {}: ready", preset.name);
     }
 
-    // The full default line-up: all seven predictor kinds, one call.
-    let pipeline = EvaluationPipeline::full_lineup();
+    // The full default line-up: all seven predictor kinds, one call. The
+    // grid runs work-stealing parallel (Parallelism::Auto is the default
+    // and byte-identical to Serial); re-running the pipeline replays the
+    // fitted-model cache.
+    let pipeline = EvaluationPipeline::full_lineup().parallelism(Parallelism::Auto);
     println!(
         "\nRunning {} models x {} cascades through one EvaluationPipeline::run...\n",
         pipeline.specs().len(),
@@ -48,6 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = pipeline.run(&cases)?;
     println!("{report}");
+    let stats = report.cache_stats();
+    println!(
+        "fitted-model cache: {} misses, {} hits (rerun this pipeline for pure replay)",
+        stats.misses, stats.hits
+    );
 
     println!("\nRanking by mean Eq.-8 accuracy:");
     for (rank, (spec, overall)) in report.ranking().into_iter().enumerate() {

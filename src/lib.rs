@@ -16,7 +16,9 @@
 //!   [`core::predict::DiffusionPredictor`] trait implemented by all seven
 //!   predictors, the serializable [`core::registry::ModelSpec`] +
 //!   [`core::registry::ModelRegistry`], and the batch
-//!   [`core::evaluate::EvaluationPipeline`].
+//!   [`core::evaluate::EvaluationPipeline`] — work-stealing parallel over
+//!   the models × cases grid (see [`core::evaluate::Parallelism`]) with a
+//!   fitted-model cache, byte-identical to its serial path.
 //!
 //! ## Quickstart — one model
 //!
