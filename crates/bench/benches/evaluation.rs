@@ -37,8 +37,8 @@ fn timed_run(pipeline: &EvaluationPipeline, cases: &[EvaluationCase]) -> Timed {
 fn json_cache(t: &Timed) -> String {
     let stats = t.report.cache_stats();
     format!(
-        "{{\"ms\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}}}",
-        t.millis, stats.hits, stats.misses
+        "{{\"ms\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}}",
+        t.millis, stats.hits, stats.misses, stats.evictions
     )
 }
 

@@ -1,0 +1,360 @@
+//! Load generator for the `dlm-serve` online forecasting service.
+//!
+//! Starts one server process-internally, replays a synthetic `dlm-data`
+//! cascade hour-by-hour from N concurrent TCP clients (each driving its
+//! own cascade), and records per-request latencies and overall
+//! throughput to `BENCH_serve.json` (override with `DLM_BENCH_OUT`).
+//! Latency percentiles come from the vendored criterion shim's
+//! [`SampleStats`].
+//!
+//! ```text
+//! cargo bench -p dlm-bench --bench serve_load            # full load
+//! cargo bench -p dlm-bench --bench serve_load -- --smoke # reduced, for CI
+//! ```
+//!
+//! Two gates make this a CI check, not just a stopwatch:
+//!
+//! * **protocol gate** — every request must come back `"ok": true`;
+//! * **determinism gate** — after streaming identical vote streams, all
+//!   clients issue the same forecast and every response's model section
+//!   must be byte-identical across clients *and* bit-identical to an
+//!   offline fit+predict on the batch-built observation. The process
+//!   exits nonzero on divergence.
+
+use criterion::SampleStats;
+use dlm_cascade::hops::hop_density_matrix;
+use dlm_core::evaluate::Parallelism;
+use dlm_core::predict::{GrowthFamily, Observation, PredictionRequest};
+use dlm_core::registry::{ModelRegistry, ModelSpec};
+use dlm_data::simulate::simulate_story;
+use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
+use dlm_serve::{Json, LineClient};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+const MAX_HOPS: u32 = 4;
+
+/// The latency-focused lineup: the paper's fixed-parameter DL plus the
+/// cheap baselines (calibration-heavy specs belong to the evaluation
+/// bench; here every request must be servable at interactive latency).
+fn lineup() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::paper_hops_dl(),
+        ModelSpec::LogisticOnly {
+            capacity: 25.0,
+            growth: GrowthFamily::PaperHops,
+        },
+        ModelSpec::Naive,
+        ModelSpec::LinearTrend,
+    ]
+}
+
+struct Client {
+    inner: LineClient,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        Self {
+            inner: LineClient::connect(addr).expect("connect"),
+        }
+    }
+
+    /// One request/response round trip; returns (raw response, seconds).
+    fn round_trip(&mut self, line: &str) -> (String, f64) {
+        let start = Instant::now();
+        let response = self.inner.send_raw(line).expect("round trip");
+        (response, start.elapsed().as_secs_f64())
+    }
+}
+
+/// What one client measured.
+struct ClientRun {
+    ingest_latencies: Vec<f64>,
+    forecast_latencies: Vec<f64>,
+    /// The serialized `models` section of the shared gate forecast.
+    gate_models: String,
+    ok_responses: usize,
+    requests: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_client(
+    addr: SocketAddr,
+    id: usize,
+    initiator: usize,
+    submit: u64,
+    horizon: u32,
+    votes_by_hour: &[Vec<(u64, usize)>],
+    gate_hours: &[u32],
+    observe_through: u32,
+) -> ClientRun {
+    let mut client = Client::connect(addr);
+    let cascade = format!("c{id}");
+    let mut run = ClientRun {
+        ingest_latencies: Vec::new(),
+        forecast_latencies: Vec::new(),
+        gate_models: String::new(),
+        ok_responses: 0,
+        requests: 0,
+    };
+    let check = |run: &mut ClientRun, raw: &str| {
+        run.requests += 1;
+        let ok = Json::parse(raw)
+            .ok()
+            .and_then(|v| v.get("ok").and_then(Json::as_bool))
+            == Some(true);
+        if ok {
+            run.ok_responses += 1;
+        } else {
+            eprintln!("client {id}: NOT OK: {raw}");
+        }
+    };
+
+    let (raw, _) = client.round_trip(&format!(
+        r#"{{"type":"open","cascade":"{cascade}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{horizon},"submit_time":{submit}}}"#
+    ));
+    check(&mut run, &raw);
+
+    for (hour0, votes) in votes_by_hour.iter().enumerate() {
+        let hour = hour0 as u32 + 1;
+        let body: Vec<String> = votes
+            .iter()
+            .map(|&(ts, voter)| format!("[{ts},{voter}]"))
+            .collect();
+        let (raw, secs) = client.round_trip(&format!(
+            r#"{{"type":"ingest","cascade":"{cascade}","votes":[{}],"now":{}}}"#,
+            body.join(","),
+            submit + u64::from(hour) * 3600,
+        ));
+        check(&mut run, &raw);
+        run.ingest_latencies.push(secs);
+
+        // Forecast the next hour from everything observed so far — the
+        // online serving pattern (observations grow, horizon slides).
+        let (raw, secs) = client.round_trip(&format!(
+            r#"{{"type":"forecast","cascade":"{cascade}","hours":[{}]}}"#,
+            hour + 1
+        ));
+        check(&mut run, &raw);
+        run.forecast_latencies.push(secs);
+    }
+
+    // The shared determinism gate: identical observation, identical
+    // request, so the model section must be byte-identical everywhere.
+    let gate_list: Vec<String> = gate_hours.iter().map(ToString::to_string).collect();
+    let (raw, secs) = client.round_trip(&format!(
+        r#"{{"type":"forecast","cascade":"{cascade}","hours":[{}],"through":{observe_through}}}"#,
+        gate_list.join(","),
+    ));
+    check(&mut run, &raw);
+    run.forecast_latencies.push(secs);
+    let parsed = Json::parse(&raw).expect("gate response parses");
+    run.gate_models = parsed
+        .get("models")
+        .map(ToString::to_string)
+        .unwrap_or_default();
+    run
+}
+
+fn stats_json(samples: &[f64]) -> String {
+    match SampleStats::from_samples(samples) {
+        Some(s) => format!(
+            "{{\"n\": {}, \"mean_ms\": {:.3}, \"stddev_ms\": {:.3}, \"p50_ms\": {:.3}, \
+             \"p95_ms\": {:.3}, \"max_ms\": {:.3}}}",
+            s.n,
+            s.mean * 1e3,
+            s.stddev * 1e3,
+            s.p50 * 1e3,
+            s.p95 * 1e3,
+            s.max * 1e3,
+        ),
+        None => "null".into(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, clients, horizon) = if smoke {
+        (0.06, 4, 5u32)
+    } else {
+        (0.15, 8, 8u32)
+    };
+    let observe_through = 2u32;
+    assert!(
+        clients >= 4,
+        "the load gate requires >= 4 concurrent connections"
+    );
+
+    eprintln!("generating synthetic world (scale {scale})...");
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(scale)).expect("world");
+    let story = simulate_story(
+        &world,
+        &StoryPreset::s1(),
+        SimulationConfig {
+            hours: horizon + 2,
+            substeps: 2,
+            seed: 13,
+        },
+    )
+    .expect("simulation");
+    let submit = story.submit_time();
+    let initiator = story.initiator();
+
+    // Bucket the vote log per hour for the replay loop.
+    let mut votes_by_hour: Vec<Vec<(u64, usize)>> = vec![Vec::new(); horizon as usize];
+    for vote in story.votes() {
+        let bucket = ((vote.timestamp - submit) / 3600) as usize;
+        if bucket < votes_by_hour.len() {
+            votes_by_hour[bucket].push((vote.timestamp, vote.voter));
+        }
+    }
+    let replayed: usize = votes_by_hour.iter().map(Vec::len).sum();
+    eprintln!("replaying {replayed} votes over {horizon} hours from {clients} concurrent clients");
+
+    let state = ServerState::with_world(
+        ServeConfig {
+            lineup: lineup(),
+            parallelism: Parallelism::Auto,
+            ..ServeConfig::default()
+        },
+        world.clone(),
+    )
+    .expect("server state");
+    let mut server = DlmServer::bind("127.0.0.1:0", state).expect("bind");
+    let addr = server.local_addr();
+    let gate_hours: Vec<u32> = (observe_through + 1..=horizon).collect();
+
+    let wall = Instant::now();
+    let runs: Vec<ClientRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|id| {
+                let votes_by_hour = &votes_by_hour;
+                let gate_hours = &gate_hours;
+                scope.spawn(move || {
+                    drive_client(
+                        addr,
+                        id,
+                        initiator,
+                        submit,
+                        horizon,
+                        votes_by_hour,
+                        gate_hours,
+                        observe_through,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    // Protocol gate.
+    let requests: usize = runs.iter().map(|r| r.requests).sum();
+    let ok_responses: usize = runs.iter().map(|r| r.ok_responses).sum();
+    let protocol_ok = requests == ok_responses;
+    if !protocol_ok {
+        eprintln!("PROTOCOL GATE FAILED: {ok_responses}/{requests} responses ok");
+    }
+
+    // Cross-client determinism gate.
+    let mut identical = runs
+        .windows(2)
+        .all(|pair| pair[0].gate_models == pair[1].gate_models)
+        && !runs[0].gate_models.is_empty();
+    if !identical {
+        eprintln!("DETERMINISM GATE FAILED: gate forecasts differ across clients");
+    }
+
+    // Offline bit-identity gate: the served gate forecast must equal a
+    // batch fit+predict on the same observation window.
+    let batch = hop_density_matrix(world.graph(), &story, MAX_HOPS, horizon).expect("batch matrix");
+    let observed_hours: Vec<u32> = (1..=observe_through).collect();
+    let observation = Observation::from_matrix(&batch, &observed_hours).expect("observation");
+    let distances: Vec<u32> = (1..=batch.max_distance()).collect();
+    let request = PredictionRequest::new(distances.clone(), gate_hours.clone()).expect("request");
+    let registry = ModelRegistry::with_builtins();
+    let served = Json::parse(&runs[0].gate_models).expect("gate models parse");
+    let served = served.as_array().expect("models array");
+    for (mi, spec) in lineup().iter().enumerate() {
+        let fitted = registry
+            .build(spec)
+            .expect("registry build")
+            .fit(&observation)
+            .expect("offline fit");
+        let prediction = fitted.predict(&request).expect("offline predict");
+        let values = served[mi]
+            .get("values")
+            .and_then(Json::as_array)
+            .expect("values");
+        for (di, &d) in distances.iter().enumerate() {
+            let row = values[di].as_array().expect("row");
+            for (hi, &h) in gate_hours.iter().enumerate() {
+                let served_bits = row[hi].as_f64().map(f64::to_bits);
+                let offline_bits = Some(prediction.at(d, h).expect("cell").to_bits());
+                if served_bits != offline_bits {
+                    eprintln!(
+                        "DETERMINISM GATE FAILED: {spec} I({d},{h}) served {served_bits:?} != offline {offline_bits:?}"
+                    );
+                    identical = false;
+                }
+            }
+        }
+    }
+
+    let ingest: Vec<f64> = runs
+        .iter()
+        .flat_map(|r| r.ingest_latencies.clone())
+        .collect();
+    let forecast: Vec<f64> = runs
+        .iter()
+        .flat_map(|r| r.forecast_latencies.clone())
+        .collect();
+    let throughput = requests as f64 / wall_secs.max(1e-9);
+    let state = server.state();
+    let cache = state.cache().stats();
+    let json = format!(
+        "{{\n  \"schema\": \"dlm-bench/serve/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"clients\": {clients},\n  \"hours_streamed\": {horizon},\n  \
+         \"votes_replayed_per_client\": {replayed},\n  \"requests\": {requests},\n  \
+         \"wall_seconds\": {wall_secs:.3},\n  \"throughput_rps\": {throughput:.2},\n  \
+         \"ingest_latency\": {ingest},\n  \"forecast_latency\": {forecast},\n  \
+         \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}}},\n  \
+         \"protocol_ok\": {protocol_ok},\n  \"outputs_identical\": {identical}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        ingest = stats_json(&ingest),
+        forecast = stats_json(&forecast),
+        hits = cache.hits,
+        misses = cache.misses,
+        evictions = cache.evictions,
+    );
+    let out = std::env::var("DLM_BENCH_OUT")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into());
+    std::fs::write(&out, &json).expect("write bench json");
+
+    if let (Some(i), Some(f)) = (
+        SampleStats::from_samples(&ingest),
+        SampleStats::from_samples(&forecast),
+    ) {
+        eprintln!(
+            "ingest   p50 {:>8.2} ms  p95 {:>8.2} ms  (n {})\nforecast p50 {:>8.2} ms  p95 {:>8.2} ms  (n {})",
+            i.p50 * 1e3,
+            i.p95 * 1e3,
+            i.n,
+            f.p50 * 1e3,
+            f.p95 * 1e3,
+            f.n,
+        );
+    }
+    eprintln!(
+        "{requests} requests over {clients} connections in {wall_secs:.2}s -> {throughput:.1} req/s -> {out}"
+    );
+    server.shutdown();
+    if !(protocol_ok && identical) {
+        std::process::exit(1);
+    }
+}

@@ -39,19 +39,39 @@ pub fn hop_density_matrix(
     max_hops: u32,
     hours: u32,
 ) -> Result<DensityMatrix> {
-    if max_hops == 0 {
-        return Err(CascadeError::InvalidParameter {
-            name: "max_hops",
-            reason: "must be positive".into(),
-        });
-    }
     if hours == 0 {
         return Err(CascadeError::InvalidParameter {
             name: "hours",
             reason: "must be positive".into(),
         });
     }
-    let dist = hop_distances(graph, cascade.initiator());
+    let groups = hop_groups(graph, cascade.initiator(), max_hops)?;
+    let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+    let counts = cumulative_counts(&groups, cascade.votes(), cascade.submit_time(), hours);
+    DensityMatrix::from_counts(&counts, &sizes)
+}
+
+/// The BFS hop groups `U_1..U_x` the hop metric buckets users into:
+/// `groups[d - 1]` holds the user ids exactly `d` hops from `initiator`,
+/// with empty trailing groups (beyond the network's eccentricity)
+/// truncated away.
+///
+/// This is the exact grouping [`hop_density_matrix`] counts over —
+/// exposed so the streaming ingestion layer (`dlm-serve`) can build
+/// bit-identical rolling matrices from the same groups.
+///
+/// # Errors
+///
+/// * [`CascadeError::InvalidParameter`] — zero `max_hops`, or no
+///   nonempty hop group at all (the initiator reaches no other user).
+pub fn hop_groups(graph: &DiGraph, initiator: usize, max_hops: u32) -> Result<Vec<Vec<usize>>> {
+    if max_hops == 0 {
+        return Err(CascadeError::InvalidParameter {
+            name: "max_hops",
+            reason: "must be positive".into(),
+        });
+    }
+    let dist = hop_distances(graph, initiator);
     let mut groups = dist.groups_up_to(max_hops);
     // Drop empty trailing hop groups (beyond eccentricity).
     while groups.last().is_some_and(Vec::is_empty) {
@@ -63,9 +83,7 @@ pub fn hop_density_matrix(
             reason: "initiator reaches no other users; densities undefined".into(),
         });
     }
-    let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
-    let counts = cumulative_counts(&groups, cascade.votes(), cascade.submit_time(), hours);
-    DensityMatrix::from_counts(&counts, &sizes)
+    Ok(groups)
 }
 
 /// The fraction of reachable users at each hop (the paper's Figure 2

@@ -1,0 +1,297 @@
+//! A thread-safe, capacity-bounded LRU cache with hit/miss/eviction
+//! counters.
+//!
+//! [`LruCache`] is the storage engine behind the fitted-model cache in
+//! [`crate::evaluate`] and the online forecasting service's model cache
+//! (`dlm-serve`). It replaces the unbounded map of earlier revisions: a
+//! long-lived service that keeps observing new cascades can no longer
+//! grow its cache without limit — once `capacity` entries are resident,
+//! inserting a new one evicts the least-recently-used entry and bumps
+//! the eviction counter.
+//!
+//! Recency is tracked with a monotonic logical clock: every `get` and
+//! `insert` stamps the entry, and a `BTreeMap<stamp, key>` keeps the
+//! recency order, so promotion and eviction are both `O(log n)` — no
+//! per-entry linked-list juggling, and eviction order is fully
+//! deterministic (no dependence on hash iteration order).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Mutex;
+
+/// Cache effectiveness counters.
+///
+/// In per-run reports ([`crate::evaluate::EvaluationReport::cache_stats`])
+/// `hits + misses` equals the number of lookups the run performed and
+/// `evictions` counts entries the run pushed out of the bounded cache;
+/// on a cache handle ([`LruCache::stats`]) the same fields accumulate
+/// over the cache's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: u64,
+    /// Lookups that found nothing (and typically recomputed + inserted).
+    pub misses: u64,
+    /// Entries evicted to keep the cache within its capacity bound.
+    pub evictions: u64,
+}
+
+struct Inner<K, V> {
+    /// key -> (value, recency stamp).
+    map: HashMap<K, (V, u64)>,
+    /// recency stamp -> key; the smallest stamp is the LRU entry.
+    order: BTreeMap<u64, K>,
+    /// Monotonic logical clock; stamps are unique by construction.
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe LRU cache holding at most `capacity` entries.
+///
+/// Values are returned by clone, so `V` is typically an [`std::sync::Arc`]
+/// or another cheap-to-clone handle.
+pub struct LruCache<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    capacity: usize,
+}
+
+const POISONED: &str = "LRU cache poisoned";
+
+impl<K, V> fmt::Debug for LruCache<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (len, stats) = {
+            let inner = self.inner.lock().expect(POISONED);
+            (inner.map.len(), (inner.hits, inner.misses, inner.evictions))
+        };
+        f.debug_struct("LruCache")
+            .field("capacity", &self.capacity)
+            .field("len", &len)
+            .field("hits/misses/evictions", &stats)
+            .finish()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache bounded to `capacity` entries (`0` is treated as
+    /// `1`: a cache that cannot hold anything would turn every consumer
+    /// into a silent cache-bypass).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                clock: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The maximum number of resident entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect(POISONED).map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `key`, promoting it to most-recently-used on a hit.
+    /// Counts a hit or a miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.inner.lock().expect(POISONED);
+        inner.clock += 1;
+        let stamp = inner.clock;
+        match inner.map.get_mut(key) {
+            Some((value, old_stamp)) => {
+                let value = value.clone();
+                let old = std::mem::replace(old_stamp, stamp);
+                inner.order.remove(&old);
+                inner.order.insert(stamp, key.clone());
+                inner.hits += 1;
+                Some(value)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, making it most-recently-used, then
+    /// evicts least-recently-used entries until the capacity bound
+    /// holds. Replacing an existing key is not an eviction.
+    pub fn insert(&self, key: K, value: V) {
+        let mut inner = self.inner.lock().expect(POISONED);
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if let Some((_, old)) = inner.map.insert(key.clone(), (value, stamp)) {
+            inner.order.remove(&old);
+        }
+        inner.order.insert(stamp, key);
+        while inner.map.len() > self.capacity {
+            let (&oldest, _) = inner
+                .order
+                .iter()
+                .next()
+                .expect("order tracks every resident entry");
+            let victim = inner.order.remove(&oldest).expect("stamp just observed");
+            inner.map.remove(&victim);
+            inner.evictions += 1;
+        }
+    }
+
+    /// Drops every resident entry. Counters are cumulative and survive a
+    /// clear; cleared entries do not count as evictions.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect(POISONED);
+        inner.map.clear();
+        inner.order.clear();
+    }
+
+    /// Lifetime hit/miss/eviction counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect(POISONED);
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_insert_round_trip() {
+        let cache: LruCache<u32, String> = LruCache::new(4);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, "one".into());
+        assert_eq!(cache.get(&1).as_deref(), Some("one"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        let cache: LruCache<u32, u32> = LruCache::new(3);
+        for k in 1..=3 {
+            cache.insert(k, k * 10);
+        }
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.get(&1), Some(10));
+        cache.insert(4, 40);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get(&2), None, "LRU entry should have been evicted");
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.get(&4), Some(40));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn replacing_a_key_is_not_an_eviction() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(1, 11);
+        cache.insert(2, 20);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(&1), Some(11));
+    }
+
+    #[test]
+    fn insertion_order_evicts_deterministically() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        for k in 0..10 {
+            cache.insert(k, k);
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 8);
+        assert_eq!(cache.get(&8), Some(8));
+        assert_eq!(cache.get(&9), Some(9));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let cache: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&2), Some(20));
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        let _ = cache.get(&1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                evictions: 0
+            }
+        );
+        // The cache stays usable after a clear.
+        cache.insert(2, 20);
+        assert_eq!(cache.get(&2), Some(20));
+    }
+
+    #[test]
+    fn concurrent_access_keeps_bound_and_counts() {
+        let cache: std::sync::Arc<LruCache<u64, u64>> = std::sync::Arc::new(LruCache::new(16));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let k = t * 1000 + i;
+                        cache.insert(k, k);
+                        // Usually a hit, but a concurrent eviction may
+                        // have raced it out — only the value must match.
+                        if let Some(v) = cache.get(&k) {
+                            assert_eq!(v, k);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 16);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+        // 800 distinct keys were inserted; every insert beyond the bound
+        // evicted exactly one entry.
+        assert_eq!(stats.evictions, 800 - cache.len() as u64);
+    }
+}

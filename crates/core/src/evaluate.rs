@@ -29,22 +29,35 @@
 //!   repeated specs over identical observation windows (e.g. a horizon
 //!   sweep where several forecast cases share the same observed hours)
 //!   fit once, and the cache persists across [`EvaluationPipeline::run`]
-//!   calls, so re-running a lineup is pure cache replay. Per-run
-//!   hit/miss counters are reported on
+//!   calls, so re-running a lineup is pure cache replay. The cache is a
+//!   **bounded LRU** ([`FittedModelCache`], built on
+//!   [`crate::cache::LruCache`]): long-lived services keep fitting new
+//!   observations without growing memory without limit, and evictions
+//!   are counted. Per-run hit/miss/eviction counters are reported on
 //!   [`EvaluationReport::cache_stats`]. Hit/miss planning happens
 //!   before any job runs, which keeps the counters — like the outcomes
 //!   — independent of thread scheduling.
+//!
+//! The cache is also usable on its own: `dlm-serve`'s online forecaster
+//! shares the same [`FittedModelCache`] type (and therefore the same
+//! keying and bounding discipline) through
+//! [`FittedModelCache::get_or_fit`].
 
 use crate::accuracy::AccuracyTable;
+pub use crate::cache::CacheStats;
+use crate::cache::LruCache;
 use crate::error::{DlError, Result};
-use crate::predict::{GraphContext, Observation, ObservationKey, PredictionRequest};
+use crate::predict::{
+    DiffusionPredictor, FittedPredictor, GraphContext, Observation, ObservationKey,
+    PredictionRequest,
+};
 use crate::registry::{ModelRegistry, ModelSpec};
 use dlm_cascade::DensityMatrix;
 use dlm_numerics::pool::parallel_map;
 pub use dlm_numerics::pool::Parallelism;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One cascade plus its evaluation protocol.
 ///
@@ -284,20 +297,6 @@ impl PartialEq for EvaluationOutcome {
     }
 }
 
-/// Per-run fitted-model cache counters.
-///
-/// `hits + misses` always equals models × cases for the run; a *miss*
-/// is a (spec, observation) pair that actually fitted a model, a *hit*
-/// one served from the cache — whether warmed by an earlier
-/// [`EvaluationPipeline::run`] or by another grid cell of the same run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
-    /// Grid cells served from an already-fitted model.
-    pub hits: u64,
-    /// Grid cells that fitted (and cached) a model.
-    pub misses: u64,
-}
-
 /// The full per-model × per-case accuracy report.
 ///
 /// Equality compares the evaluated grid — specs, cases, and every
@@ -441,24 +440,108 @@ impl FitKey {
     }
 }
 
-/// A cached fit outcome. Failed fits are cached too, so a spec that
-/// rejects an observation (e.g. an epidemic without graph context)
-/// fails once per (spec, observation), not once per grid cell.
-type CachedFit = std::result::Result<Arc<dyn crate::predict::FittedPredictor>, String>;
+/// A cached fit outcome: the fitted model, or the failure message the
+/// fit produced. Failed fits are cached too, so a spec that rejects an
+/// observation (e.g. an epidemic without graph context) fails once per
+/// (spec, observation), not once per request.
+pub type FitOutcome = std::result::Result<Arc<dyn FittedPredictor>, String>;
 
-const CACHE_POISONED: &str = "fitted-model cache poisoned";
-
-#[derive(Default)]
-struct FittedCache {
-    map: Mutex<HashMap<FitKey, CachedFit>>,
+/// The capacity-bounded fitted-model cache: (canonical spec string,
+/// [`ObservationKey`]) → [`FitOutcome`], with LRU eviction.
+///
+/// [`EvaluationPipeline`] keeps one internally (size it with
+/// [`EvaluationPipeline::cache_capacity`]); long-lived consumers like
+/// the `dlm-serve` online forecaster hold their own and drive it through
+/// [`FittedModelCache::get_or_fit`]. Counters returned by
+/// [`FittedModelCache::stats`] accumulate over the cache's lifetime —
+/// the per-run view lives on [`EvaluationReport::cache_stats`].
+#[derive(Debug)]
+pub struct FittedModelCache {
+    inner: LruCache<FitKey, FitOutcome>,
 }
 
-impl fmt::Debug for FittedCache {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let len = self.map.lock().map(|m| m.len()).unwrap_or(0);
-        f.debug_struct("FittedCache")
-            .field("entries", &len)
-            .finish()
+impl Default for FittedModelCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl FittedModelCache {
+    /// The default bound: generous enough that batch evaluations never
+    /// thrash, small enough to cap a long-lived service's memory.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates a cache bounded to `capacity` fitted models (`0` is
+    /// treated as `1`).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: LruCache::new(capacity),
+        }
+    }
+
+    /// The maximum number of resident fits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    /// Number of resident fits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the cache holds no fits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drops every resident fit (counters survive).
+    pub fn clear(&self) {
+        self.inner.clear();
+    }
+
+    /// Lifetime hit/miss/eviction counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Looks up the fit for (`spec`, `observation`), promoting it on a
+    /// hit.
+    #[must_use]
+    pub fn lookup(&self, spec: &str, observation: &ObservationKey) -> Option<FitOutcome> {
+        self.inner.get(&FitKey::new(spec, observation))
+    }
+
+    /// Stores a fit outcome for (`spec`, `observation`), evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn store(&self, spec: &str, observation: &ObservationKey, outcome: FitOutcome) {
+        self.inner.insert(FitKey::new(spec, observation), outcome);
+    }
+
+    /// Returns the cached fit for (`spec`, `observation`) or fits now
+    /// and caches the outcome — the one-call path the online forecaster
+    /// uses. `spec` must be the canonical spec string of `predictor`
+    /// (i.e. [`ModelSpec`]'s `Display`), or unrelated fits would alias.
+    pub fn get_or_fit(
+        &self,
+        predictor: &dyn DiffusionPredictor,
+        spec: &str,
+        observation: &Observation,
+    ) -> FitOutcome {
+        let key = FitKey::new(spec, &observation.cache_key());
+        if let Some(outcome) = self.inner.get(&key) {
+            return outcome;
+        }
+        let outcome: FitOutcome = predictor
+            .fit(observation)
+            .map(Arc::from)
+            .map_err(|e| e.to_string());
+        self.inner.insert(key, outcome.clone());
+        outcome
     }
 }
 
@@ -468,7 +551,7 @@ pub struct EvaluationPipeline {
     registry: ModelRegistry,
     specs: Vec<ModelSpec>,
     parallelism: Parallelism,
-    cache: FittedCache,
+    cache: FittedModelCache,
 }
 
 impl EvaluationPipeline {
@@ -479,7 +562,7 @@ impl EvaluationPipeline {
             registry: ModelRegistry::with_builtins(),
             specs: Vec::new(),
             parallelism: Parallelism::default(),
-            cache: FittedCache::default(),
+            cache: FittedModelCache::default(),
         }
     }
 
@@ -522,22 +605,37 @@ impl EvaluationPipeline {
         self
     }
 
+    /// Rebuilds the fitted-model cache with a new capacity bound (the
+    /// default is [`FittedModelCache::DEFAULT_CAPACITY`]). Resident fits
+    /// and counters are discarded.
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = FittedModelCache::new(capacity);
+        self
+    }
+
     /// The selected model specs.
     #[must_use]
     pub fn specs(&self) -> &[ModelSpec] {
         &self.specs
     }
 
+    /// The pipeline's fitted-model cache (lifetime counters, capacity).
+    #[must_use]
+    pub fn cache(&self) -> &FittedModelCache {
+        &self.cache
+    }
+
     /// Number of fitted models currently cached across runs.
     #[must_use]
     pub fn cache_len(&self) -> usize {
-        self.cache.map.lock().expect(CACHE_POISONED).len()
+        self.cache.len()
     }
 
     /// Drops every cached fitted model (e.g. to bound memory between
     /// unrelated batches).
     pub fn clear_cache(&self) {
-        self.cache.map.lock().expect(CACHE_POISONED).clear();
+        self.cache.clear();
     }
 
     /// Fits and scores every selected model on every case.
@@ -589,9 +687,9 @@ impl EvaluationPipeline {
         // Planning up front (rather than memoizing inside workers) keeps
         // the hit/miss counters and the fit set independent of thread
         // scheduling; resolving cache hits *now* means the rest of the
-        // run never reads the shared map again, so a concurrent
-        // `clear_cache` can bound memory but never yank a fit out from
-        // under an in-flight run.
+        // run never reads the shared cache again, so concurrent
+        // `clear_cache` calls or LRU evictions can bound memory but
+        // never yank a fit out from under an in-flight run.
         let grid = self.specs.len() * cases.len();
         // Dedupe case observations up front so the planning grid walk
         // works with integer (spec, observation-slot) pairs — no FitKey
@@ -610,10 +708,10 @@ impl EvaluationPipeline {
         let mut unique_keys: Vec<FitKey> = Vec::new();
         // Resolved fit per unique key: cache hits fill in immediately,
         // fit jobs fill in after the fit stage.
-        let mut resolved: Vec<Option<CachedFit>> = Vec::new();
+        let mut resolved: Vec<Option<FitOutcome>> = Vec::new();
         let mut hits = 0u64;
+        let evictions_before = self.cache.stats().evictions;
         {
-            let cache = self.cache.map.lock().expect(CACHE_POISONED);
             let mut index_of: HashMap<(usize, usize), usize> = HashMap::new();
             for (mi, spec) in spec_strings.iter().enumerate() {
                 for (ci, &slot) in obs_slot_of_case.iter().enumerate() {
@@ -625,13 +723,15 @@ impl EvaluationPipeline {
                         None => {
                             // First time this (spec, observation) shows
                             // up: materialize its key once and probe the
-                            // persistent cache.
+                            // persistent cache (probing also promotes a
+                            // resident fit, keeping the grid's working
+                            // set away from the LRU eviction end).
                             let key = FitKey::new(spec, &observation_keys[ci]);
                             let idx = unique_keys.len();
-                            match cache.get(&key) {
+                            match self.cache.inner.get(&key) {
                                 Some(fit) => {
                                     hits += 1;
-                                    resolved.push(Some(fit.clone()));
+                                    resolved.push(Some(fit));
                                 }
                                 None => {
                                     resolved.push(None);
@@ -650,19 +750,19 @@ impl EvaluationPipeline {
         let misses = fit_jobs.len() as u64;
 
         // Fit each unique (spec, observation) once, stealing-balanced.
-        let fits: Vec<CachedFit> = parallel_map(self.parallelism, &fit_jobs, |_, &(mi, ci, _)| {
+        let fits: Vec<FitOutcome> = parallel_map(self.parallelism, &fit_jobs, |_, &(mi, ci, _)| {
             predictors[mi]
                 .fit(&prepared[ci].0)
                 .map(Arc::from)
                 .map_err(|e| e.to_string())
         });
-        {
-            let mut cache = self.cache.map.lock().expect(CACHE_POISONED);
-            for (&(_, _, idx), fit) in fit_jobs.iter().zip(fits) {
-                cache.insert(unique_keys[idx].clone(), fit.clone());
-                resolved[idx] = Some(fit);
-            }
+        for (&(_, _, idx), fit) in fit_jobs.iter().zip(fits) {
+            self.cache
+                .inner
+                .insert(unique_keys[idx].clone(), fit.clone());
+            resolved[idx] = Some(fit);
         }
+        let evictions = self.cache.stats().evictions - evictions_before;
 
         // Score the full grid; every cell indexes the run-local resolved
         // table — no locking, no key clones.
@@ -698,7 +798,11 @@ impl EvaluationPipeline {
             specs: spec_strings,
             cases: cases.iter().map(|c| c.name.clone()).collect(),
             outcomes,
-            cache: CacheStats { hits, misses },
+            cache: CacheStats {
+                hits,
+                misses,
+                evictions,
+            },
         })
     }
 }
@@ -841,15 +945,77 @@ mod tests {
             .model(ModelSpec::Naive);
         let cold = pipeline.run(&cases).unwrap();
         // 2 models × 2 distinct observation windows: every cell fits.
-        assert_eq!(cold.cache_stats(), CacheStats { hits: 0, misses: 4 });
+        assert_eq!(
+            cold.cache_stats(),
+            CacheStats {
+                hits: 0,
+                misses: 4,
+                evictions: 0
+            }
+        );
         assert_eq!(pipeline.cache_len(), 4);
         let warm = pipeline.run(&cases).unwrap();
-        assert_eq!(warm.cache_stats(), CacheStats { hits: 4, misses: 0 });
+        assert_eq!(
+            warm.cache_stats(),
+            CacheStats {
+                hits: 4,
+                misses: 0,
+                evictions: 0
+            }
+        );
         // Execution metadata differs; the computed report does not.
         assert_eq!(cold, warm);
         assert_eq!(cold.to_string(), warm.to_string());
         pipeline.clear_cache();
         assert_eq!(pipeline.cache_len(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_fits_and_counts() {
+        let m = Arc::new(synthetic_matrix());
+        let cases = vec![
+            EvaluationCase::paper_protocol("s1", Arc::clone(&m)).unwrap(),
+            EvaluationCase::new("s1-short", Arc::clone(&m), 1, 4).unwrap(),
+        ];
+        // 2 models x 2 distinct observation windows = 4 unique fits, but
+        // only 2 may stay resident.
+        let pipeline = EvaluationPipeline::new()
+            .model(ModelSpec::paper_hops_dl())
+            .model(ModelSpec::Naive)
+            .cache_capacity(2);
+        assert_eq!(pipeline.cache().capacity(), 2);
+        let cold = pipeline.run(&cases).unwrap();
+        assert_eq!(
+            cold.cache_stats(),
+            CacheStats {
+                hits: 0,
+                misses: 4,
+                evictions: 2
+            }
+        );
+        assert_eq!(pipeline.cache_len(), 2);
+        // Only the last two fits (grid order) survived; the first two
+        // re-fit on the warm run and evict the survivors in turn.
+        let warm = pipeline.run(&cases).unwrap();
+        assert_eq!(
+            warm.cache_stats(),
+            CacheStats {
+                hits: 2,
+                misses: 2,
+                evictions: 2
+            }
+        );
+        // Eviction is an execution detail: the computed report is
+        // byte-identical to the unbounded run.
+        assert_eq!(cold, warm);
+        let unbounded = EvaluationPipeline::new()
+            .model(ModelSpec::paper_hops_dl())
+            .model(ModelSpec::Naive);
+        assert_eq!(unbounded.run(&cases).unwrap(), cold);
+        // Lifetime counters accumulate across both bounded runs.
+        let lifetime = pipeline.cache().stats();
+        assert_eq!(lifetime.evictions, 4);
+        assert_eq!(lifetime.misses, 6);
     }
 
     #[test]
@@ -863,7 +1029,14 @@ mod tests {
         ];
         let pipeline = EvaluationPipeline::new().model(ModelSpec::paper_hops_dl());
         let report = pipeline.run(&cases).unwrap();
-        assert_eq!(report.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            report.cache_stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         assert!(report.outcome(0, 0).unwrap().error.is_none());
         assert!(report.outcome(0, 1).unwrap().error.is_none());
         // The shared fit predicts each case's own horizon.
@@ -903,7 +1076,14 @@ mod tests {
         let cold = pipeline.run(&cases).unwrap();
         // Both cases carry identical (graph-free) observations, so the
         // failing fit runs once and the second cell is a hit.
-        assert_eq!(cold.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cold.cache_stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
         for ci in 0..2 {
             assert!(cold
                 .outcome(0, ci)
@@ -914,7 +1094,14 @@ mod tests {
                 .contains("graph"));
         }
         let warm = pipeline.run(&cases).unwrap();
-        assert_eq!(warm.cache_stats(), CacheStats { hits: 2, misses: 0 });
+        assert_eq!(
+            warm.cache_stats(),
+            CacheStats {
+                hits: 2,
+                misses: 0,
+                evictions: 0
+            }
+        );
         assert_eq!(cold, warm);
     }
 

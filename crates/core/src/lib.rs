@@ -40,7 +40,9 @@
 //! * [`zoo`] — all seven predictors implemented behind the trait;
 //! * [`registry`] — serializable `ModelSpec`s + the `ModelRegistry`;
 //! * [`evaluate`] — batch model × cascade evaluation pipeline
-//!   (parallel, cached);
+//!   (parallel, cached via the bounded
+//!   [`evaluate::FittedModelCache`]);
+//! * [`cache`] — the capacity-bounded LRU cache underneath it;
 //! * [`params`] — `d`, `K`, domain `[l, L]` (+ the paper's presets);
 //! * [`growth`] — `r(t)` families, incl. Eq. 7 / Figure 6;
 //! * [`initial`] — φ construction per §II.D (flat-ended cubic spline);
@@ -97,6 +99,7 @@
 
 pub mod accuracy;
 pub mod baselines;
+pub mod cache;
 pub mod calibrate;
 pub mod error;
 pub mod evaluate;
@@ -115,8 +118,12 @@ pub mod variable;
 pub mod zoo;
 
 pub use accuracy::AccuracyTable;
+pub use cache::LruCache;
 pub use error::{DlError, Result};
-pub use evaluate::{CacheStats, EvaluationCase, EvaluationPipeline, EvaluationReport, Parallelism};
+pub use evaluate::{
+    CacheStats, EvaluationCase, EvaluationPipeline, EvaluationReport, FitOutcome, FittedModelCache,
+    Parallelism,
+};
 pub use model::{DlModel, DlModelBuilder, Prediction};
 pub use params::DlParameters;
 pub use predict::{

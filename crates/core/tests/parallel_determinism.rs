@@ -69,7 +69,8 @@ fn full_lineup_is_byte_identical_across_parallelism_modes() {
         serial.cache_stats(),
         CacheStats {
             hits: 0,
-            misses: 64
+            misses: 64,
+            evictions: 0
         }
     );
     // The expensive rows actually fitted (no silent error rows).
@@ -100,7 +101,8 @@ fn warm_cache_replays_cold_run_exactly() {
         cold.cache_stats(),
         CacheStats {
             hits: 0,
-            misses: 16
+            misses: 16,
+            evictions: 0
         }
     );
     assert_eq!(pipeline.cache_len(), 16);
@@ -109,7 +111,8 @@ fn warm_cache_replays_cold_run_exactly() {
         warm.cache_stats(),
         CacheStats {
             hits: 16,
-            misses: 0
+            misses: 0,
+            evictions: 0
         }
     );
     assert_eq!(pipeline.cache_len(), 16);
@@ -118,5 +121,12 @@ fn warm_cache_replays_cold_run_exactly() {
     assert_eq!(cold.to_string(), warm.to_string());
     // A third run over a subset still hits.
     let partial = pipeline.run(&cases[..1]).unwrap();
-    assert_eq!(partial.cache_stats(), CacheStats { hits: 8, misses: 0 });
+    assert_eq!(
+        partial.cache_stats(),
+        CacheStats {
+            hits: 8,
+            misses: 0,
+            evictions: 0
+        }
+    );
 }

@@ -31,6 +31,12 @@ use dlm_graph::NodeId;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// The submission epoch every simulated cascade uses (early June 2009,
+/// the Digg-2009 crawl period). Exposed so replay layers (`dlm-serve`'s
+/// ingestion, the load generator) can bucket hours identically without
+/// re-deriving it from the vote stream.
+pub const SIMULATED_SUBMIT_TIME: u64 = 1_244_000_000;
+
 /// Simulation horizon and resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimulationConfig {
@@ -62,6 +68,41 @@ pub struct Cascade {
 }
 
 impl Cascade {
+    /// Assembles a cascade from raw parts — the entry point for vote
+    /// streams that did not come out of [`simulate_story`] (replayed
+    /// logs, hand-built fixtures, the `dlm-serve` ingestion layer).
+    /// Votes are sorted into timestamp order; the simulator's
+    /// one-vote-per-user rule is *not* enforced, matching the raw Digg
+    /// record model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidParameter`] if any vote predates
+    /// `submit_time`.
+    pub fn from_parts(
+        story: u32,
+        initiator: NodeId,
+        submit_time: u64,
+        mut votes: Vec<Vote>,
+    ) -> Result<Self> {
+        if let Some(early) = votes.iter().find(|v| v.timestamp < submit_time) {
+            return Err(DataError::InvalidParameter {
+                name: "votes",
+                reason: format!(
+                    "vote by user {} at {} predates submission at {submit_time}",
+                    early.voter, early.timestamp
+                ),
+            });
+        }
+        votes.sort_unstable();
+        Ok(Self {
+            story,
+            initiator,
+            submit_time,
+            votes,
+        })
+    }
+
     /// Story id.
     #[must_use]
     pub fn story(&self) -> u32 {
@@ -151,7 +192,7 @@ pub fn simulate_story(
         .collect();
 
     let mut rng = SmallRng::seed_from_u64(config.seed ^ (u64::from(preset.id) << 32));
-    let submit_time: u64 = 1_244_000_000; // early June 2009
+    let submit_time: u64 = SIMULATED_SUBMIT_TIME;
     let mut votes = Vec::new();
     let mut influenced = vec![false; n];
     // Number of influenced followees ("pressure") per user.
@@ -374,6 +415,35 @@ mod tests {
             }
         )
         .is_err());
+    }
+
+    #[test]
+    fn from_parts_sorts_votes_and_rejects_early_ones() {
+        let v = |timestamp: u64, voter: usize| Vote {
+            timestamp,
+            voter,
+            story: 9,
+        };
+        let c = Cascade::from_parts(9, 3, 1000, vec![v(5000, 1), v(1000, 3), v(2000, 2)]).unwrap();
+        assert_eq!(c.story(), 9);
+        assert_eq!(c.initiator(), 3);
+        assert_eq!(c.votes()[0], v(1000, 3));
+        assert!(c
+            .votes()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(Cascade::from_parts(9, 3, 1000, vec![v(999, 1)]).is_err());
+        // Round trip: a simulated cascade reassembles identically.
+        let w = test_world();
+        let sim = simulate_story(&w, &StoryPreset::s2(), test_config()).unwrap();
+        let rebuilt = Cascade::from_parts(
+            sim.story(),
+            sim.initiator(),
+            sim.submit_time(),
+            sim.votes().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, sim);
     }
 
     #[test]

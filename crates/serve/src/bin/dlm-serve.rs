@@ -1,0 +1,90 @@
+//! The standalone `dlm-serve` binary: a synthetic world behind a
+//! JSON-lines-over-TCP forecasting service.
+//!
+//! ```text
+//! dlm-serve [--addr 127.0.0.1:7878] [--scale 0.15] [--capacity 1024]
+//!           [--workers N] [--no-prewarm] [--quick-lineup]
+//! ```
+//!
+//! Prints one `READY {"addr":...}` line once the socket is bound (the
+//! load generator and scripts wait for it), then serves until killed.
+
+use dlm_core::evaluate::Parallelism;
+use dlm_core::registry::ModelSpec;
+use dlm_data::{SyntheticWorld, WorldConfig};
+use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dlm-serve [--addr HOST:PORT] [--scale F] [--capacity N] [--workers N] \
+         [--no-prewarm] [--quick-lineup]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut scale = 0.15f64;
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--scale" => {
+                scale = value("--scale").parse().unwrap_or_else(|_| usage());
+            }
+            "--capacity" => {
+                config.cache_capacity = value("--capacity").parse().unwrap_or_else(|_| usage());
+            }
+            "--workers" => {
+                config.parallelism =
+                    Parallelism::Fixed(value("--workers").parse().unwrap_or_else(|_| usage()));
+            }
+            "--no-prewarm" => config.prewarm = false,
+            "--quick-lineup" => {
+                // The cheap half of the zoo — for latency-focused runs.
+                config.lineup = vec![
+                    ModelSpec::paper_hops_dl(),
+                    ModelSpec::LogisticOnly {
+                        capacity: 25.0,
+                        growth: dlm_core::predict::GrowthFamily::PaperHops,
+                    },
+                    ModelSpec::Naive,
+                    ModelSpec::LinearTrend,
+                ];
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+
+    eprintln!("generating synthetic world (scale {scale})...");
+    let world =
+        SyntheticWorld::generate(WorldConfig::default().scaled(scale)).expect("world generation");
+    let state = ServerState::with_world(config, world).expect("server construction");
+    let lineup = state.lineup();
+    let server = DlmServer::bind(addr.as_str(), state).expect("bind");
+    println!(
+        "READY {{\"addr\":\"{}\",\"models\":{}}}",
+        server.local_addr(),
+        lineup.len()
+    );
+    eprintln!(
+        "serving {} models on {}; Ctrl-C to stop",
+        lineup.len(),
+        server.local_addr()
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,90 @@
+//! A minimal blocking client for the JSON-lines protocol.
+//!
+//! One writer + one buffered reader over a single TCP connection, one
+//! request line out, one response line back. This is the client the
+//! load generator, the integration tests, and the examples all share —
+//! a framing change lives in exactly one place.
+
+use crate::error::{Result, ServeError};
+use crate::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LineClient {
+    /// Connects to a running server (`TCP_NODELAY` enabled — the
+    /// protocol is strictly request/response, so coalescing only adds
+    /// latency).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer })
+    }
+
+    /// Sends one request line and returns the raw response line
+    /// (without the trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on socket failure or a connection closed
+    /// before a full response line arrived.
+    pub fn send_raw(&mut self, line: &str) -> Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 || !response.ends_with('\n') {
+            return Err(ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a full response line",
+            )));
+        }
+        Ok(response.trim_end().to_owned())
+    }
+
+    /// Sends one request line and parses the response. The response is
+    /// returned whether or not it carries `"ok": true` — use
+    /// [`LineClient::send_ok`] to also enforce success.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from [`LineClient::send_raw`];
+    /// [`ServeError::Protocol`] when the response is not valid JSON.
+    pub fn send(&mut self, line: &str) -> Result<Json> {
+        let raw = self.send_raw(line)?;
+        Json::parse(&raw).map_err(|e| ServeError::Protocol(format!("bad response `{raw}`: {e}")))
+    }
+
+    /// Like [`LineClient::send`], but turns an `"ok": false` response
+    /// into its `error` message.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`LineClient::send`] returns, plus
+    /// [`ServeError::Protocol`] carrying the server's error message for
+    /// rejected requests.
+    pub fn send_ok(&mut self, line: &str) -> Result<Json> {
+        let response = self.send(line)?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(response)
+        } else {
+            let message = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("request failed without an error message");
+            Err(ServeError::Protocol(message.to_owned()))
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Result alias for `dlm-serve`.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Everything that can go wrong while ingesting or serving forecasts.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A structurally invalid argument (empty groups, zero horizon, ...).
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A vote arrived for an hour that has already been closed and
+    /// served — accepting it would silently change published forecasts.
+    LateVote {
+        /// The hour the vote belongs to (1-based).
+        hour: u32,
+        /// Hours `1..=closed` are already closed.
+        closed: u32,
+    },
+    /// A query referenced an hour that is not closed yet (or zero).
+    HourNotClosed {
+        /// The requested hour.
+        hour: u32,
+        /// Hours `1..=closed` are closed.
+        closed: u32,
+    },
+    /// An unknown cascade id.
+    UnknownCascade(String),
+    /// A cascade id was opened twice.
+    DuplicateCascade(String),
+    /// A protocol-level problem: unparseable request, missing field,
+    /// wrong type.
+    Protocol(String),
+    /// An underlying cascade-analytics error.
+    Cascade(dlm_cascade::CascadeError),
+    /// An underlying model-layer error.
+    Model(dlm_core::DlError),
+    /// An underlying dataset error.
+    Data(dlm_data::DataError),
+    /// An I/O error from the TCP front end.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::LateVote { hour, closed } => write!(
+                f,
+                "late vote for hour {hour}: hours 1..={closed} are already closed"
+            ),
+            Self::HourNotClosed { hour, closed } => write!(
+                f,
+                "hour {hour} is not closed yet (closed hours: 1..={closed})"
+            ),
+            Self::UnknownCascade(id) => write!(f, "unknown cascade `{id}`"),
+            Self::DuplicateCascade(id) => write!(f, "cascade `{id}` is already open"),
+            Self::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            Self::Cascade(e) => write!(f, "cascade error: {e}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
+            Self::Data(e) => write!(f, "data error: {e}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Cascade(e) => Some(e),
+            Self::Model(e) => Some(e),
+            Self::Data(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dlm_cascade::CascadeError> for ServeError {
+    fn from(e: dlm_cascade::CascadeError) -> Self {
+        Self::Cascade(e)
+    }
+}
+
+impl From<dlm_core::DlError> for ServeError {
+    fn from(e: dlm_core::DlError) -> Self {
+        Self::Model(e)
+    }
+}
+
+impl From<dlm_data::DataError> for ServeError {
+    fn from(e: dlm_data::DataError) -> Self {
+        Self::Data(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}

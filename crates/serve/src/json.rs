@@ -1,0 +1,463 @@
+//! A minimal JSON value type with a hand-rolled parser and serializer.
+//!
+//! The build environment is fully offline and the vendored `serde` shim
+//! has no JSON backend, so the wire format is implemented here: exactly
+//! the subset of JSON the `dlm-serve` protocol needs, with two
+//! guarantees the protocol relies on:
+//!
+//! * **Round-trip-exact floats** — numbers are serialized with Rust's
+//!   shortest-round-trip `Display` for `f64`, so a density that crosses
+//!   the wire parses back to the identical bit pattern. This is what
+//!   makes "the served forecast is byte-identical to the offline
+//!   pipeline" a testable claim across a TCP boundary.
+//! * **Order-preserving objects** — objects keep insertion order
+//!   (`Vec<(String, Json)>`, not a map), so a response serializes
+//!   identically every time and byte-level comparison of two responses
+//!   is meaningful.
+//!
+//! Non-finite numbers have no JSON representation; they serialize as
+//! `null` (and predictors never emit them in valid responses).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 are exact).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Self::Str(s.into())
+    }
+
+    /// Builds a number value.
+    #[must_use]
+    pub fn num(n: f64) -> Self {
+        Self::Num(n)
+    }
+
+    /// Builds an array of numbers.
+    #[must_use]
+    pub fn nums(values: &[f64]) -> Self {
+        Self::Arr(values.iter().map(|&v| Self::Num(v)).collect())
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or
+    /// non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Self::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Null => write!(f, "null"),
+            Self::Bool(b) => write!(f, "{b}"),
+            Self::Num(n) if n.is_finite() => write!(f, "{n}"),
+            Self::Num(_) => write!(f, "null"),
+            Self::Str(s) => write_escaped(f, s),
+            Self::Arr(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Self::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write_escaped(f, key)?;
+                    write!(f, ":{value}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    write!(f, "\"")?;
+    for ch in s.chars() {
+        match ch {
+            '"' => write!(f, "\\\"")?,
+            '\\' => write!(f, "\\\\")?,
+            '\n' => write!(f, "\\n")?,
+            '\r' => write!(f, "\\r")?,
+            '\t' => write!(f, "\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    write!(f, "\"")
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected `{}` at byte {pos}",
+            char::from(byte),
+            pos = *pos
+        ))
+    }
+}
+
+/// Nesting bound for [`parse_value`]: far deeper than any legitimate
+/// protocol message, shallow enough that hostile input (one line of
+/// `[[[[...`) errors out instead of overflowing the handler's stack.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Json,
+) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    text.parse::<f64>()
+        .ok()
+        .filter(|n| n.is_finite())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        // Decode one scalar at a time from at most 4 bytes — validating
+        // the whole remaining input per character would make parsing a
+        // long string quadratic.
+        let rest = &bytes[*pos..(*pos + 4).min(bytes.len())];
+        if rest.is_empty() {
+            return Err("unterminated string".to_string());
+        }
+        let ch = match std::str::from_utf8(rest) {
+            Ok(s) => s.chars().next().expect("nonempty"),
+            // A trailing multi-byte scalar can be cut off by the 4-byte
+            // window only at the very end of the input; from_utf8_lossy
+            // semantics are wrong here, so inspect the error.
+            Err(e) if e.valid_up_to() > 0 => std::str::from_utf8(&rest[..e.valid_up_to()])
+                .expect("validated prefix")
+                .chars()
+                .next()
+                .expect("nonempty prefix"),
+            Err(_) => return Err("invalid UTF-8".to_string()),
+        };
+        *pos += ch.len_utf8();
+        match ch {
+            '"' => return Ok(out),
+            '\\' => {
+                let esc = bytes
+                    .get(*pos)
+                    .copied()
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        // Surrogates are not paired; the protocol never
+                        // emits them (escapes only cover control chars).
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", char::from(other))),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-1.5", "42", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            1e-300,
+            6.02e23,
+            -0.0,
+            123_456_789.123_456,
+        ] {
+            let text = Json::Num(x).to_string();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text}");
+        }
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn objects_preserve_order_and_nest() {
+        let text = r#"{"b": [1, 2, {"x": null}], "a": "y\n\"z\"", "c": true}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(
+            v.to_string(),
+            "{\"b\":[1,2,{\"x\":null}],\"a\":\"y\\n\\\"z\\\"\",\"c\":true}"
+        );
+        assert_eq!(v.get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_str(), Some("y\n\"z\""));
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert!(v.get("missing").is_none());
+        // Reparsing the serialized form is stable.
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn u64_extraction_guards_type_and_range() {
+        assert_eq!(
+            Json::parse("1244000000").unwrap().as_u64(),
+            Some(1244000000)
+        );
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("\"7\"").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn syntax_errors_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "{} extra",
+            "nan",
+            "[1 2]",
+        ] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(200_000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // The bound itself is permissive: 100 levels still parse.
+        let fine = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&fine).is_ok());
+    }
+
+    #[test]
+    fn long_strings_parse_in_linear_time() {
+        let body = "é".repeat(1 << 19); // multi-byte scalars included
+        let text = format!("\"{body}\"");
+        let start = std::time::Instant::now();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.as_str(), Some(body.as_str()));
+        // Quadratic re-validation would take minutes here.
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing is not linear"
+        );
+    }
+
+    #[test]
+    fn unicode_and_escapes_parse() {
+        let v = Json::parse(r#""café ✓/\/""#).unwrap();
+        assert_eq!(v.as_str(), Some("café ✓//"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # dlm-serve
+//!
+//! Online forecasting for the diffusive logistic model: the paper's
+//! whole pitch is *prediction* — fit on the first hours of a cascade,
+//! forecast the hours that have not happened yet — and this crate turns
+//! the workspace's batch machinery into a std-only, multi-threaded
+//! serving subsystem with three layers:
+//!
+//! * [`live`] — **incremental ingestion**: [`live::LiveCascade`]
+//!   consumes vote events one at a time and maintains a rolling density
+//!   matrix whose hour-boundary snapshots are bit-identical to the batch
+//!   `dlm-cascade` builders on the same prefix;
+//! * [`server`] — **the service core and refit scheduler**: closing an
+//!   hour enqueues one fit job per registered model onto the
+//!   work-stealing executor in [`dlm_numerics::pool`], with outcomes
+//!   cached in the bounded LRU
+//!   [`dlm_core::evaluate::FittedModelCache`]; forecasts replay the
+//!   cache through the exact fit path of the offline
+//!   [`dlm_core::evaluate::EvaluationPipeline`], so a served forecast is
+//!   byte-identical to offline evaluation of the same observation;
+//! * [`protocol`] + [`json`] — **the front end**: JSON lines over TCP
+//!   (`std::net`, hand-rolled framing and JSON with round-trip-exact
+//!   floats), with `open`, `ingest`, `forecast`, and `stats` requests,
+//!   served by [`server::DlmServer`] and the `dlm-serve` binary.
+//!
+//! ## Example (in-process)
+//!
+//! ```no_run
+//! use dlm_serve::protocol::Request;
+//! use dlm_serve::server::{ServeConfig, ServerState};
+//! use dlm_data::{SyntheticWorld, WorldConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let world = SyntheticWorld::generate(WorldConfig::default())?;
+//! let state = ServerState::with_world(ServeConfig::default(), world)?;
+//! println!(
+//!     "{}",
+//!     state.handle_line(r#"{"type":"open","cascade":"c1","story":1,"horizon":24}"#)
+//! );
+//! // ... stream {"type":"ingest",...} lines, then {"type":"forecast",...}.
+//! # let _ = Request::Stats;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Over TCP, bind a [`server::DlmServer`] instead and speak the same
+//! lines on a socket; `cargo run -p dlm-serve` starts a standalone
+//! server, and `cargo bench -p dlm-bench --bench serve_load` replays
+//! synthetic cascades against one at configurable concurrency.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod error;
+pub mod json;
+pub mod live;
+pub mod protocol;
+pub mod server;
+
+pub use client::LineClient;
+pub use error::{Result, ServeError};
+pub use json::Json;
+pub use live::{IngestOutcome, LiveCascade};
+pub use protocol::Request;
+pub use server::{DlmServer, ServeConfig, ServerState};

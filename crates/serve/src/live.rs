@@ -1,0 +1,408 @@
+//! Incremental cascade ingestion: vote events in, rolling `I(x, t)` out.
+//!
+//! [`LiveCascade`] is the streaming twin of the batch builders in
+//! `dlm-cascade`: it consumes [`Vote`] events one at a time, buckets
+//! them into the same distance groups and hour bins the batch
+//! [`dlm_cascade::hops::hop_density_matrix`] pipeline uses, and produces
+//! density matrices over any closed prefix of hours that are
+//! **bit-identical** to what the batch path computes on the same votes
+//! (`crates/serve/tests/properties.rs` proves it property-wise). The
+//! same integer counts and the same `100 · count / size` division run in
+//! both paths, so there is no float drift to paper over.
+//!
+//! ## Hour closing
+//!
+//! Hour `h` covers `[submit + (h-1)·3600, submit + h·3600)`. The live
+//! view only exposes *closed* hours: hour `h` closes when an event
+//! proves time has moved past it — a vote landing in a later hour, or an
+//! explicit [`LiveCascade::advance_to`] with a wall-clock timestamp.
+//! Votes for already-closed hours are rejected as [`ServeError::LateVote`]
+//! instead of silently rewriting observations that forecasts may already
+//! have been served from.
+
+use crate::error::{Result, ServeError};
+use dlm_cascade::hops::hop_groups;
+use dlm_cascade::DensityMatrix;
+use dlm_data::Vote;
+use dlm_graph::DiGraph;
+
+/// What one [`LiveCascade::ingest`] call did with the vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The vote landed in a (current or future) hour bucket of a known
+    /// group member and was counted.
+    Counted,
+    /// The vote was ignored: the voter is outside every distance group,
+    /// or the vote falls outside the observation horizon. The batch
+    /// builders skip exactly these votes too.
+    Ignored,
+}
+
+/// A cascade under live observation: per-group per-hour vote counts,
+/// maintained incrementally.
+#[derive(Debug, Clone)]
+pub struct LiveCascade {
+    /// user id -> distance-group index, `None` outside every group.
+    group_of: Vec<Option<u32>>,
+    /// `|U_x|` per group (the density denominators).
+    sizes: Vec<usize>,
+    submit_time: u64,
+    /// Hours tracked: `1..=horizon`.
+    horizon: u32,
+    /// Per-hour (non-cumulative) vote increments: `counts[g][h - 1]`.
+    counts: Vec<Vec<usize>>,
+    /// Hours `1..=closed` are complete and queryable.
+    closed: u32,
+    /// Votes counted into a group/hour bucket.
+    counted: u64,
+    /// Votes ignored (outside groups, before submission, past horizon).
+    ignored: u64,
+    /// Voters seen in hour 1, in arrival order — the epidemic seed set,
+    /// matching `cascade.votes_within(1)` on a timestamp-ordered stream.
+    hour1_voters: Vec<usize>,
+}
+
+impl LiveCascade {
+    /// Creates a live cascade over explicit distance groups (any
+    /// metric): `groups[d - 1]` holds the user ids at distance `d`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidParameter`] for empty groups, a group with
+    /// zero users, or a zero horizon.
+    pub fn new(groups: &[Vec<usize>], submit_time: u64, horizon: u32) -> Result<Self> {
+        if groups.is_empty() {
+            return Err(ServeError::InvalidParameter {
+                name: "groups",
+                reason: "need at least one distance group".into(),
+            });
+        }
+        if horizon == 0 {
+            return Err(ServeError::InvalidParameter {
+                name: "horizon",
+                reason: "must be positive".into(),
+            });
+        }
+        if let Some(empty) = groups.iter().position(Vec::is_empty) {
+            return Err(ServeError::InvalidParameter {
+                name: "groups",
+                reason: format!("distance group {} is empty", empty + 1),
+            });
+        }
+        let max_user = groups.iter().flatten().copied().max().unwrap_or(0);
+        let mut group_of: Vec<Option<u32>> = vec![None; max_user + 1];
+        for (g, members) in groups.iter().enumerate() {
+            for &u in members {
+                group_of[u] = Some(g as u32);
+            }
+        }
+        Ok(Self {
+            group_of,
+            sizes: groups.iter().map(Vec::len).collect(),
+            submit_time,
+            horizon,
+            counts: vec![vec![0; horizon as usize]; groups.len()],
+            closed: 0,
+            counted: 0,
+            ignored: 0,
+            hour1_voters: Vec::new(),
+        })
+    }
+
+    /// Creates a live cascade over the friendship-hop metric: the exact
+    /// BFS groups (empty tails truncated) the batch
+    /// [`dlm_cascade::hops::hop_density_matrix`] counts over.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`hop_groups`] errors and [`LiveCascade::new`]
+    /// validation.
+    pub fn for_hops(
+        graph: &DiGraph,
+        initiator: usize,
+        max_hops: u32,
+        submit_time: u64,
+        horizon: u32,
+    ) -> Result<Self> {
+        let groups = hop_groups(graph, initiator, max_hops)?;
+        Self::new(&groups, submit_time, horizon)
+    }
+
+    /// Number of distance groups.
+    #[must_use]
+    pub fn max_distance(&self) -> u32 {
+        self.sizes.len() as u32
+    }
+
+    /// The observation horizon (hours tracked).
+    #[must_use]
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// The cascade submission time.
+    #[must_use]
+    pub fn submit_time(&self) -> u64 {
+        self.submit_time
+    }
+
+    /// Hours `1..=closed_hours()` are complete and queryable.
+    #[must_use]
+    pub fn closed_hours(&self) -> u32 {
+        self.closed
+    }
+
+    /// Votes counted into a bucket so far.
+    #[must_use]
+    pub fn counted_votes(&self) -> u64 {
+        self.counted
+    }
+
+    /// Votes ignored so far (outside every group, before submission, or
+    /// past the horizon).
+    #[must_use]
+    pub fn ignored_votes(&self) -> u64 {
+        self.ignored
+    }
+
+    /// Voters observed in hour 1, in arrival order — the seed set
+    /// epidemic predictors take. On a timestamp-ordered stream this
+    /// equals the voters of `cascade.votes_within(1)`.
+    #[must_use]
+    pub fn hour1_voters(&self) -> &[usize] {
+        &self.hour1_voters
+    }
+
+    /// Consumes one vote event.
+    ///
+    /// A vote in hour `h` proves hours `1..=h-1` are over and closes
+    /// them; a vote past the horizon closes every tracked hour. Votes
+    /// before the submission time or by users outside every group are
+    /// ignored, exactly as the batch counters ignore them.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::LateVote`] when the vote belongs to an
+    /// already-closed hour.
+    pub fn ingest(&mut self, vote: Vote) -> Result<IngestOutcome> {
+        if vote.timestamp < self.submit_time {
+            self.ignored += 1;
+            return Ok(IngestOutcome::Ignored);
+        }
+        let bucket = (vote.timestamp - self.submit_time) / 3600;
+        if bucket >= u64::from(self.horizon) {
+            // Time has provably moved past the whole horizon.
+            self.closed = self.horizon;
+            self.ignored += 1;
+            return Ok(IngestOutcome::Ignored);
+        }
+        let bucket = bucket as u32; // < horizon <= u32::MAX
+        if bucket < self.closed {
+            return Err(ServeError::LateVote {
+                hour: bucket + 1,
+                closed: self.closed,
+            });
+        }
+        // Hour `bucket + 1` is in progress, so hours 1..=bucket are done.
+        self.closed = self.closed.max(bucket);
+        if bucket == 0 {
+            self.hour1_voters.push(vote.voter);
+        }
+        match self.group_of.get(vote.voter).copied().flatten() {
+            Some(g) => {
+                self.counts[g as usize][bucket as usize] += 1;
+                self.counted += 1;
+                Ok(IngestOutcome::Counted)
+            }
+            None => {
+                self.ignored += 1;
+                Ok(IngestOutcome::Ignored)
+            }
+        }
+    }
+
+    /// Closes every hour that ends at or before the wall-clock time
+    /// `now` (capped at the horizon) and returns the number of closed
+    /// hours. Lets quiet cascades make progress between votes; moving
+    /// backwards is a no-op.
+    pub fn advance_to(&mut self, now: u64) -> u32 {
+        if now > self.submit_time {
+            let complete = ((now - self.submit_time) / 3600).min(u64::from(self.horizon)) as u32;
+            self.closed = self.closed.max(complete);
+        }
+        self.closed
+    }
+
+    /// The rolling density matrix over the first `hours` closed hours —
+    /// bit-identical to the batch builder run on the same votes with the
+    /// same groups and horizon `hours`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::HourNotClosed`] for `hours` of zero or beyond the
+    /// closed prefix; propagates matrix construction errors.
+    pub fn matrix_through(&self, hours: u32) -> Result<DensityMatrix> {
+        if hours == 0 || hours > self.closed {
+            return Err(ServeError::HourNotClosed {
+                hour: hours,
+                closed: self.closed,
+            });
+        }
+        // Cumulative-sum the per-hour increments, exactly like the batch
+        // `cumulative_counts` does before `DensityMatrix::from_counts`.
+        let cumulative: Vec<Vec<usize>> = self
+            .counts
+            .iter()
+            .map(|row| {
+                let mut out = Vec::with_capacity(hours as usize);
+                let mut acc = 0usize;
+                for &c in &row[..hours as usize] {
+                    acc += c;
+                    out.push(acc);
+                }
+                out
+            })
+            .collect();
+        Ok(DensityMatrix::from_counts(&cumulative, &self.sizes)?)
+    }
+
+    /// The rolling density matrix over every closed hour.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::HourNotClosed`] when no hour has closed yet.
+    pub fn matrix(&self) -> Result<DensityMatrix> {
+        self.matrix_through(self.closed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlm_cascade::density::{cumulative_counts, DensityMatrix};
+
+    fn vote(timestamp: u64, voter: usize) -> Vote {
+        Vote {
+            timestamp,
+            voter,
+            story: 1,
+        }
+    }
+
+    fn groups() -> Vec<Vec<usize>> {
+        vec![vec![1, 2, 3], vec![4, 5, 6, 7], vec![8, 9]]
+    }
+
+    #[test]
+    fn validates_construction() {
+        assert!(LiveCascade::new(&[], 0, 5).is_err());
+        assert!(LiveCascade::new(&groups(), 0, 0).is_err());
+        assert!(LiveCascade::new(&[vec![1], vec![]], 0, 5).is_err());
+        let live = LiveCascade::new(&groups(), 1000, 5).unwrap();
+        assert_eq!(live.max_distance(), 3);
+        assert_eq!(live.closed_hours(), 0);
+        assert!(live.matrix().is_err());
+    }
+
+    #[test]
+    fn votes_close_earlier_hours() {
+        let mut live = LiveCascade::new(&groups(), 1000, 5).unwrap();
+        assert_eq!(live.ingest(vote(1000, 1)).unwrap(), IngestOutcome::Counted);
+        assert_eq!(live.closed_hours(), 0, "hour 1 still in progress");
+        // A vote in hour 3 closes hours 1 and 2.
+        live.ingest(vote(1000 + 2 * 3600, 4)).unwrap();
+        assert_eq!(live.closed_hours(), 2);
+        let m = live.matrix_through(2).unwrap();
+        assert_eq!(m.max_hour(), 2);
+        assert!((m.at(1, 1).unwrap() - 100.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.at(2, 2).unwrap(), 0.0, "hour-3 vote not visible yet");
+    }
+
+    #[test]
+    fn late_votes_are_rejected() {
+        let mut live = LiveCascade::new(&groups(), 1000, 5).unwrap();
+        live.ingest(vote(1000 + 3 * 3600, 1)).unwrap();
+        assert_eq!(live.closed_hours(), 3);
+        let err = live.ingest(vote(1000 + 3600, 2)).unwrap_err();
+        assert!(matches!(err, ServeError::LateVote { hour: 2, closed: 3 }));
+        // A vote in the in-progress hour is fine.
+        assert!(live.ingest(vote(1000 + 3 * 3600 + 10, 2)).is_ok());
+    }
+
+    #[test]
+    fn outside_group_and_pre_submit_votes_are_ignored() {
+        let mut live = LiveCascade::new(&groups(), 1000, 5).unwrap();
+        assert_eq!(live.ingest(vote(500, 1)).unwrap(), IngestOutcome::Ignored);
+        assert_eq!(
+            live.ingest(vote(2000, 999)).unwrap(),
+            IngestOutcome::Ignored
+        );
+        assert_eq!(live.counted_votes(), 0);
+        assert_eq!(live.ignored_votes(), 2);
+    }
+
+    #[test]
+    fn beyond_horizon_votes_close_everything() {
+        let mut live = LiveCascade::new(&groups(), 1000, 3).unwrap();
+        live.ingest(vote(1000, 1)).unwrap();
+        assert_eq!(
+            live.ingest(vote(1000 + 10 * 3600, 2)).unwrap(),
+            IngestOutcome::Ignored
+        );
+        assert_eq!(live.closed_hours(), 3);
+        assert_eq!(live.matrix().unwrap().max_hour(), 3);
+    }
+
+    #[test]
+    fn advance_to_closes_quiet_hours() {
+        let mut live = LiveCascade::new(&groups(), 1000, 5).unwrap();
+        live.ingest(vote(1000, 1)).unwrap();
+        assert_eq!(live.advance_to(1000 + 2 * 3600 + 5), 2);
+        assert_eq!(live.advance_to(500), 2, "moving backwards is a no-op");
+        assert_eq!(live.advance_to(1000 + 50 * 3600), 5, "capped at horizon");
+    }
+
+    #[test]
+    fn hour1_voters_record_arrival_order() {
+        let mut live = LiveCascade::new(&groups(), 1000, 5).unwrap();
+        live.ingest(vote(1000, 3)).unwrap();
+        live.ingest(vote(1500, 999)).unwrap(); // outside groups, still a seed
+        live.ingest(vote(2000, 5)).unwrap();
+        live.ingest(vote(1000 + 3600, 6)).unwrap(); // hour 2
+        assert_eq!(live.hour1_voters(), &[3, 999, 5]);
+    }
+
+    #[test]
+    fn rolling_matrix_matches_batch_counters_exactly() {
+        let groups = groups();
+        let submit = 1_244_000_000;
+        let votes: Vec<Vote> = [
+            (0u64, 1usize),
+            (1800, 4),
+            (3600, 2),
+            (3700, 8),
+            (2 * 3600 + 10, 5),
+            (3 * 3600, 9),
+            (3 * 3600 + 1, 3),
+            (4 * 3600 - 1, 6),
+        ]
+        .iter()
+        .map(|&(offset, voter)| vote(submit + offset, voter))
+        .collect();
+        let mut live = LiveCascade::new(&groups, submit, 6).unwrap();
+        for v in &votes {
+            live.ingest(*v).unwrap();
+        }
+        live.advance_to(submit + 6 * 3600);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        for hours in 1..=6u32 {
+            let batch = DensityMatrix::from_counts(
+                &cumulative_counts(&groups, &votes, submit, hours),
+                &sizes,
+            )
+            .unwrap();
+            let live_m = live.matrix_through(hours).unwrap();
+            assert_eq!(live_m, batch, "hour boundary {hours}");
+        }
+    }
+}

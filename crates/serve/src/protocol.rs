@@ -1,0 +1,400 @@
+//! The `dlm-serve` wire protocol: JSON lines over TCP.
+//!
+//! Each request is one JSON object on one line; each response is one
+//! JSON object on one line. The `type` field selects the operation:
+//!
+//! ```text
+//! {"type":"open","cascade":"c1","initiator":17,"max_hops":5,"horizon":24}
+//! {"type":"open","cascade":"c2","story":1,"horizon":24}        // via the server's world
+//! {"type":"ingest","cascade":"c1","votes":[[1244000000,17],[1244000700,4]],"now":1244003600}
+//! {"type":"forecast","cascade":"c1","hours":[3,4],"models":["naive"],"through":2}
+//! {"type":"stats"}
+//! ```
+//!
+//! Responses always carry `"ok": true|false`; errors add `"error"` with
+//! a message and leave server state untouched beyond what the request
+//! already applied (an ingest batch applies votes in order up to the
+//! first rejected one).
+//!
+//! `forecast` responses enumerate one entry per requested model with the
+//! fitted parameters and the predicted density grid
+//! (`values[di][hi]` for `distances[di]` at `hours[hi]`), all floats in
+//! shortest-round-trip form — parsing them back yields bit-identical
+//! `f64`s (see [`crate::json`]).
+
+use crate::error::{Result, ServeError};
+use crate::json::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Registers a cascade for live observation.
+    Open {
+        /// Client-chosen cascade id.
+        cascade: String,
+        /// Explicit initiating user (`initiator` field). Mutually
+        /// exclusive with `story`.
+        initiator: Option<usize>,
+        /// Story ordinal resolved through the server's synthetic world
+        /// (`story` field, 1-based preset id).
+        story: Option<u32>,
+        /// Maximum hop distance tracked (default 5, the paper's range).
+        max_hops: u32,
+        /// Observation horizon in hours (default 50, the paper's span).
+        horizon: u32,
+        /// Cascade submission time. Defaults to the simulator's fixed
+        /// epoch ([`dlm_data::simulate::SIMULATED_SUBMIT_TIME`]) — every
+        /// synthetic cascade submits there; pass it explicitly when
+        /// replaying real logs.
+        submit_time: Option<u64>,
+    },
+    /// Streams vote events into a cascade.
+    Ingest {
+        /// Cascade id.
+        cascade: String,
+        /// `(timestamp, voter)` pairs, in arrival order.
+        votes: Vec<(u64, usize)>,
+        /// Optional wall-clock advance applied after the votes.
+        now: Option<u64>,
+    },
+    /// Requests density forecasts from the registered model lineup.
+    Forecast {
+        /// Cascade id.
+        cascade: String,
+        /// Hours to predict (must be after the observed window's start).
+        hours: Vec<u32>,
+        /// Distances to predict (defaults to every tracked distance).
+        distances: Option<Vec<u32>>,
+        /// Spec strings to serve (defaults to the whole lineup).
+        models: Option<Vec<String>>,
+        /// Observe only hours `1..=through` (defaults to every closed
+        /// hour).
+        through: Option<u32>,
+    },
+    /// Requests server/cache counters.
+    Stats,
+}
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json> {
+    obj.get(key)
+        .ok_or_else(|| ServeError::Protocol(format!("missing field `{key}`")))
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String> {
+    field(obj, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| ServeError::Protocol(format!("field `{key}` must be a string")))
+}
+
+fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ServeError::Protocol(format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn opt_u32(obj: &Json, key: &str) -> Result<Option<u32>> {
+    match opt_u64(obj, key)? {
+        None => Ok(None),
+        Some(v) => u32::try_from(v)
+            .map(Some)
+            .map_err(|_| ServeError::Protocol(format!("field `{key}` out of range"))),
+    }
+}
+
+fn hour_list(value: &Json, key: &str) -> Result<Vec<u32>> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| ServeError::Protocol(format!("field `{key}` must be an array")))?;
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| ServeError::Protocol(format!("`{key}` entries must be integers")))
+        })
+        .collect()
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] for malformed JSON, a missing/unknown
+    /// `type`, or mistyped fields.
+    pub fn parse(line: &str) -> Result<Self> {
+        let value = Json::parse(line).map_err(ServeError::Protocol)?;
+        let kind = str_field(&value, "type")?;
+        match kind.as_str() {
+            "open" => Ok(Self::Open {
+                cascade: str_field(&value, "cascade")?,
+                initiator: opt_u64(&value, "initiator")?.map(|v| v as usize),
+                story: opt_u32(&value, "story")?,
+                max_hops: opt_u32(&value, "max_hops")?.unwrap_or(5),
+                horizon: opt_u32(&value, "horizon")?.unwrap_or(50),
+                submit_time: opt_u64(&value, "submit_time")?,
+            }),
+            "ingest" => {
+                let votes = field(&value, "votes")?
+                    .as_array()
+                    .ok_or_else(|| ServeError::Protocol("`votes` must be an array".into()))?
+                    .iter()
+                    .map(|pair| {
+                        let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                            ServeError::Protocol("votes must be [timestamp, voter] pairs".into())
+                        })?;
+                        let ts = pair[0].as_u64().ok_or_else(|| {
+                            ServeError::Protocol("vote timestamp must be an integer".into())
+                        })?;
+                        let voter = pair[1].as_u64().ok_or_else(|| {
+                            ServeError::Protocol("vote voter must be an integer".into())
+                        })?;
+                        Ok((ts, voter as usize))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Self::Ingest {
+                    cascade: str_field(&value, "cascade")?,
+                    votes,
+                    now: opt_u64(&value, "now")?,
+                })
+            }
+            "forecast" => {
+                let models = match value.get("models") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_array()
+                            .ok_or_else(|| {
+                                ServeError::Protocol("`models` must be an array".into())
+                            })?
+                            .iter()
+                            .map(|m| {
+                                m.as_str().map(str::to_owned).ok_or_else(|| {
+                                    ServeError::Protocol("`models` entries must be strings".into())
+                                })
+                            })
+                            .collect::<Result<Vec<_>>>()?,
+                    ),
+                };
+                let distances = match value.get("distances") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(hour_list(v, "distances")?),
+                };
+                Ok(Self::Forecast {
+                    cascade: str_field(&value, "cascade")?,
+                    hours: hour_list(field(&value, "hours")?, "hours")?,
+                    distances,
+                    models,
+                    through: opt_u32(&value, "through")?,
+                })
+            }
+            "stats" => Ok(Self::Stats),
+            other => Err(ServeError::Protocol(format!(
+                "unknown request type `{other}`"
+            ))),
+        }
+    }
+
+    /// Serializes the request back into its wire form (used by the load
+    /// generator and examples; the server only parses).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            Self::Open {
+                cascade,
+                initiator,
+                story,
+                max_hops,
+                horizon,
+                submit_time,
+            } => {
+                let mut fields = vec![
+                    ("type".to_owned(), Json::str("open")),
+                    ("cascade".to_owned(), Json::str(cascade.clone())),
+                ];
+                if let Some(u) = initiator {
+                    fields.push(("initiator".to_owned(), Json::num(*u as f64)));
+                }
+                if let Some(s) = story {
+                    fields.push(("story".to_owned(), Json::num(f64::from(*s))));
+                }
+                fields.push(("max_hops".to_owned(), Json::num(f64::from(*max_hops))));
+                fields.push(("horizon".to_owned(), Json::num(f64::from(*horizon))));
+                if let Some(t) = submit_time {
+                    fields.push(("submit_time".to_owned(), Json::num(*t as f64)));
+                }
+                Json::Obj(fields)
+            }
+            Self::Ingest {
+                cascade,
+                votes,
+                now,
+            } => {
+                let mut fields = vec![
+                    ("type".to_owned(), Json::str("ingest")),
+                    ("cascade".to_owned(), Json::str(cascade.clone())),
+                    (
+                        "votes".to_owned(),
+                        Json::Arr(
+                            votes
+                                .iter()
+                                .map(|&(ts, voter)| {
+                                    Json::Arr(vec![Json::num(ts as f64), Json::num(voter as f64)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ];
+                if let Some(now) = now {
+                    fields.push(("now".to_owned(), Json::num(*now as f64)));
+                }
+                Json::Obj(fields)
+            }
+            Self::Forecast {
+                cascade,
+                hours,
+                distances,
+                models,
+                through,
+            } => {
+                let mut fields = vec![
+                    ("type".to_owned(), Json::str("forecast")),
+                    ("cascade".to_owned(), Json::str(cascade.clone())),
+                    (
+                        "hours".to_owned(),
+                        Json::Arr(hours.iter().map(|&h| Json::num(f64::from(h))).collect()),
+                    ),
+                ];
+                if let Some(distances) = distances {
+                    fields.push((
+                        "distances".to_owned(),
+                        Json::Arr(distances.iter().map(|&d| Json::num(f64::from(d))).collect()),
+                    ));
+                }
+                if let Some(models) = models {
+                    fields.push((
+                        "models".to_owned(),
+                        Json::Arr(models.iter().map(|m| Json::str(m.clone())).collect()),
+                    ));
+                }
+                if let Some(through) = through {
+                    fields.push(("through".to_owned(), Json::num(f64::from(*through))));
+                }
+                Json::Obj(fields)
+            }
+            Self::Stats => Json::Obj(vec![("type".to_owned(), Json::str("stats"))]),
+        }
+    }
+}
+
+/// Builds the uniform error response line.
+#[must_use]
+pub fn error_response(message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(false)),
+        ("error".to_owned(), Json::str(message)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_round_trips_through_its_wire_form() {
+        let requests = [
+            Request::Open {
+                cascade: "c1".into(),
+                initiator: Some(17),
+                story: None,
+                max_hops: 5,
+                horizon: 24,
+                submit_time: Some(1_244_000_000),
+            },
+            Request::Open {
+                cascade: "c2".into(),
+                initiator: None,
+                story: Some(1),
+                max_hops: 4,
+                horizon: 6,
+                submit_time: None,
+            },
+            Request::Ingest {
+                cascade: "c1".into(),
+                votes: vec![(1_244_000_000, 17), (1_244_000_700, 4)],
+                now: Some(1_244_003_600),
+            },
+            Request::Forecast {
+                cascade: "c1".into(),
+                hours: vec![3, 4, 6],
+                distances: Some(vec![1, 2]),
+                models: Some(vec!["naive".into(), "dl(d=0.01,K=25,r=hops)".into()]),
+                through: Some(2),
+            },
+            Request::Stats,
+        ];
+        for request in requests {
+            let line = request.to_json().to_string();
+            let parsed = Request::parse(&line).unwrap_or_else(|e| panic!("`{line}`: {e}"));
+            assert_eq!(parsed, request, "wire form `{line}`");
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let r = Request::parse(r#"{"type":"open","cascade":"x","initiator":3}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Open {
+                cascade: "x".into(),
+                initiator: Some(3),
+                story: None,
+                max_hops: 5,
+                horizon: 50,
+                submit_time: None,
+            }
+        );
+        let r = Request::parse(r#"{"type":"forecast","cascade":"x","hours":[2]}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Forecast {
+                cascade: "x".into(),
+                hours: vec![2],
+                distances: None,
+                models: None,
+                through: None,
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"type":"warp"}"#,
+            r#"{"type":"open"}"#,
+            r#"{"type":"ingest","cascade":"x","votes":[[1]]}"#,
+            r#"{"type":"ingest","cascade":"x","votes":[["a",2]]}"#,
+            r#"{"type":"forecast","cascade":"x","hours":"all"}"#,
+            r#"{"type":"forecast","cascade":"x","hours":[-1]}"#,
+            r#"{"type":"open","cascade":"x","horizon":"soon"}"#,
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(ServeError::Protocol(_))),
+                "`{bad}` should be a protocol error"
+            );
+        }
+    }
+
+    #[test]
+    fn error_response_shape() {
+        assert_eq!(
+            error_response("boom").to_string(),
+            r#"{"ok":false,"error":"boom"}"#
+        );
+    }
+}

@@ -1,0 +1,760 @@
+//! The online forecasting service: server state, the refit scheduler,
+//! and the JSON-lines-over-TCP front end.
+//!
+//! [`ServerState`] is the transport-free core — requests in, response
+//! lines out — so in-process embedding (examples, tests) and the TCP
+//! front end ([`DlmServer`]) share one implementation. The serving path
+//! is the exact code path of the batch [`EvaluationPipeline`]
+//! counterpart: observations built from the same density matrices,
+//! predictors built from the same [`ModelSpec`] registry, fits cached in
+//! the same bounded [`FittedModelCache`] — which is what makes served
+//! forecasts byte-identical to offline evaluation on the same prefix.
+//!
+//! ## Refit scheduling
+//!
+//! When an ingest batch closes one or more hours, the server enqueues
+//! one fit job per registered model for each newly closed hour onto the
+//! work-stealing executor in [`dlm_numerics::pool`] and stores the
+//! outcomes in the cache. A subsequent `forecast` for those hours is
+//! then a pure cache replay; a `forecast` that raced ahead of the
+//! scheduler simply fits on demand through the same
+//! [`FittedModelCache::get_or_fit`] path and gets the identical result.
+//!
+//! [`EvaluationPipeline`]: dlm_core::evaluate::EvaluationPipeline
+
+use crate::error::{Result, ServeError};
+use crate::json::Json;
+use crate::live::LiveCascade;
+use crate::protocol::{error_response, Request};
+use dlm_core::evaluate::{FitOutcome, FittedModelCache, Parallelism};
+use dlm_core::predict::{DiffusionPredictor, GraphContext, Observation, PredictionRequest};
+use dlm_core::registry::{ModelRegistry, ModelSpec};
+use dlm_data::SyntheticWorld;
+use dlm_graph::DiGraph;
+use dlm_numerics::pool::parallel_map;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for [`ServerState`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The model lineup served by default (and refit on hour close).
+    pub lineup: Vec<ModelSpec>,
+    /// Bound on the fitted-model cache.
+    pub cache_capacity: usize,
+    /// Parallelism of the refit scheduler's fit fan-out.
+    pub parallelism: Parallelism,
+    /// Whether closing an hour schedules lineup refits eagerly. With
+    /// `false`, fits happen lazily on the first forecast that needs
+    /// them — same results, different latency profile.
+    pub prewarm: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            lineup: ModelSpec::default_lineup(),
+            cache_capacity: FittedModelCache::DEFAULT_CAPACITY,
+            parallelism: Parallelism::Auto,
+            prewarm: true,
+        }
+    }
+}
+
+/// One cascade under observation plus its optional graph context.
+#[derive(Debug)]
+struct Slot {
+    live: LiveCascade,
+    /// Follower graph + initiator for epidemic predictors.
+    graph: Option<(Arc<DiGraph>, usize)>,
+}
+
+impl Slot {
+    /// The observation over hours `1..=through` — the same window the
+    /// offline `EvaluationCase::forecast(_, matrix, 1, through, _)`
+    /// exposes to predictors.
+    fn observation(&self, through: u32) -> Result<Observation> {
+        let matrix = self.live.matrix_through(through)?;
+        let hours: Vec<u32> = (1..=through).collect();
+        let observation = Observation::from_matrix(&matrix, &hours)?;
+        Ok(match &self.graph {
+            Some((graph, initiator)) => observation.with_graph(GraphContext::new(
+                Arc::clone(graph),
+                *initiator,
+                self.live.hour1_voters().to_vec(),
+            )),
+            None => observation,
+        })
+    }
+}
+
+/// The transport-free service core: owns the cascades, the model
+/// lineup, and the bounded fitted-model cache.
+#[derive(Debug)]
+pub struct ServerState {
+    /// (canonical spec string, predictor), in lineup order.
+    models: Vec<(String, Box<dyn DiffusionPredictor>)>,
+    registry: ModelRegistry,
+    cache: FittedModelCache,
+    parallelism: Parallelism,
+    prewarm: bool,
+    world: Option<(SyntheticWorld, Arc<DiGraph>)>,
+    cascades: Mutex<HashMap<String, Slot>>,
+    requests: AtomicU64,
+    refit_jobs: AtomicU64,
+    hours_closed: AtomicU64,
+}
+
+impl ServerState {
+    /// Creates a server core without a synthetic world: cascades must be
+    /// opened with an explicit initiator via [`ServerState::insert_cascade`]
+    /// (protocol `open` by `story` or `initiator` needs a world).
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry construction errors for the configured
+    /// lineup.
+    pub fn new(config: ServeConfig) -> Result<Self> {
+        Self::build(config, None)
+    }
+
+    /// Creates a server core around a synthetic world, enabling protocol
+    /// `open` requests by story ordinal or explicit initiator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry construction errors.
+    pub fn with_world(config: ServeConfig, world: SyntheticWorld) -> Result<Self> {
+        let graph = Arc::new(world.graph().clone());
+        Self::build(config, Some((world, graph)))
+    }
+
+    fn build(config: ServeConfig, world: Option<(SyntheticWorld, Arc<DiGraph>)>) -> Result<Self> {
+        if config.lineup.is_empty() {
+            return Err(ServeError::InvalidParameter {
+                name: "lineup",
+                reason: "need at least one model spec".into(),
+            });
+        }
+        let registry = ModelRegistry::with_builtins();
+        let models = config
+            .lineup
+            .iter()
+            .map(|spec| Ok((spec.to_string(), registry.build(spec)?)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            models,
+            registry,
+            cache: FittedModelCache::new(config.cache_capacity),
+            parallelism: config.parallelism,
+            prewarm: config.prewarm,
+            world,
+            cascades: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            refit_jobs: AtomicU64::new(0),
+            hours_closed: AtomicU64::new(0),
+        })
+    }
+
+    /// The canonical spec strings of the served lineup, in order.
+    #[must_use]
+    pub fn lineup(&self) -> Vec<String> {
+        self.models.iter().map(|(s, _)| s.clone()).collect()
+    }
+
+    /// The fitted-model cache (lifetime counters, bound).
+    #[must_use]
+    pub fn cache(&self) -> &FittedModelCache {
+        &self.cache
+    }
+
+    /// Registers a cascade built by the caller (any distance metric,
+    /// any group construction), with optional graph context for the
+    /// epidemic predictors.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DuplicateCascade`] when the id is taken.
+    pub fn insert_cascade(
+        &self,
+        id: impl Into<String>,
+        live: LiveCascade,
+        graph: Option<(Arc<DiGraph>, usize)>,
+    ) -> Result<()> {
+        let id = id.into();
+        let mut cascades = self.cascades.lock().expect("cascade table poisoned");
+        if cascades.contains_key(&id) {
+            return Err(ServeError::DuplicateCascade(id));
+        }
+        cascades.insert(id, Slot { live, graph });
+        Ok(())
+    }
+
+    /// Handles one protocol line, returning the response line (without
+    /// the trailing newline). Never panics on malformed input — protocol
+    /// and domain errors become `{"ok":false,...}` responses.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let response = Request::parse(line)
+            .and_then(|request| self.handle(&request))
+            .unwrap_or_else(|e| error_response(&e.to_string()));
+        response.to_string()
+    }
+
+    /// Handles one parsed request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the domain error the request ran into; the TCP layer
+    /// renders it as an `{"ok":false,...}` line.
+    pub fn handle(&self, request: &Request) -> Result<Json> {
+        match request {
+            Request::Open {
+                cascade,
+                initiator,
+                story,
+                max_hops,
+                horizon,
+                submit_time,
+            } => self.handle_open(
+                cascade,
+                *initiator,
+                *story,
+                *max_hops,
+                *horizon,
+                *submit_time,
+            ),
+            Request::Ingest {
+                cascade,
+                votes,
+                now,
+            } => self.handle_ingest(cascade, votes, *now),
+            Request::Forecast {
+                cascade,
+                hours,
+                distances,
+                models,
+                through,
+            } => self.handle_forecast(
+                cascade,
+                hours,
+                distances.as_deref(),
+                models.as_deref(),
+                *through,
+            ),
+            Request::Stats => Ok(self.handle_stats()),
+        }
+    }
+
+    fn handle_open(
+        &self,
+        cascade: &str,
+        initiator: Option<usize>,
+        story: Option<u32>,
+        max_hops: u32,
+        horizon: u32,
+        submit_time: Option<u64>,
+    ) -> Result<Json> {
+        let (world, graph) = self.world.as_ref().ok_or(ServeError::InvalidParameter {
+            name: "open",
+            reason: "this server has no world; register cascades with insert_cascade".into(),
+        })?;
+        let initiator = match (initiator, story) {
+            (Some(u), None) => {
+                if u >= world.user_count() {
+                    return Err(ServeError::InvalidParameter {
+                        name: "initiator",
+                        reason: format!("user {u} outside world of {}", world.user_count()),
+                    });
+                }
+                u
+            }
+            (None, Some(0)) => {
+                return Err(ServeError::InvalidParameter {
+                    name: "story",
+                    reason: "story ordinals are 1-based".into(),
+                })
+            }
+            (None, Some(s)) => world.story_initiator((s - 1) as usize)?,
+            _ => {
+                return Err(ServeError::Protocol(
+                    "open needs exactly one of `initiator` or `story`".into(),
+                ))
+            }
+        };
+        // Simulated cascades all submit at the simulator's fixed epoch;
+        // explicit submit_time overrides for replayed real logs.
+        let submit_time = submit_time.unwrap_or(dlm_data::simulate::SIMULATED_SUBMIT_TIME);
+        let live =
+            LiveCascade::for_hops(graph.as_ref(), initiator, max_hops, submit_time, horizon)?;
+        let distances = live.max_distance();
+        self.insert_cascade(cascade, live, Some((Arc::clone(graph), initiator)))?;
+        Ok(Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("cascade".to_owned(), Json::str(cascade)),
+            ("initiator".to_owned(), Json::num(initiator as f64)),
+            ("distances".to_owned(), Json::num(f64::from(distances))),
+            ("horizon".to_owned(), Json::num(f64::from(horizon))),
+            ("submit_time".to_owned(), Json::num(submit_time as f64)),
+        ]))
+    }
+
+    fn handle_ingest(
+        &self,
+        cascade: &str,
+        votes: &[(u64, usize)],
+        now: Option<u64>,
+    ) -> Result<Json> {
+        // Apply the batch under the table lock (cheap integer updates),
+        // and capture the observations for any newly closed hours so
+        // the expensive refits run after the lock is dropped. A vote
+        // rejected mid-batch (e.g. a late arrival) stops the batch at
+        // that vote per the documented partial-apply contract — but the
+        // accounting and refit scheduling for hours the applied prefix
+        // already closed must still happen, or the scheduler and the
+        // `hours_closed` counter silently fall out of step.
+        let mut batch_error: Option<ServeError> = None;
+        let (before, after, counted, ignored, refit_observations) = {
+            let mut cascades = self.cascades.lock().expect("cascade table poisoned");
+            let slot = cascades
+                .get_mut(cascade)
+                .ok_or_else(|| ServeError::UnknownCascade(cascade.to_owned()))?;
+            let before = slot.live.closed_hours();
+            for &(timestamp, voter) in votes {
+                if let Err(e) = slot.live.ingest(dlm_data::Vote {
+                    timestamp,
+                    voter,
+                    story: 0,
+                }) {
+                    batch_error = Some(e);
+                    break;
+                }
+            }
+            if batch_error.is_none() {
+                if let Some(now) = now {
+                    slot.live.advance_to(now);
+                }
+            }
+            let after = slot.live.closed_hours();
+            let refit_observations: Vec<Observation> = if self.prewarm {
+                (before + 1..=after)
+                    .map(|k| slot.observation(k))
+                    .collect::<Result<_>>()?
+            } else {
+                Vec::new()
+            };
+            (
+                before,
+                after,
+                slot.live.counted_votes(),
+                slot.live.ignored_votes(),
+                refit_observations,
+            )
+        };
+        self.hours_closed
+            .fetch_add(u64::from(after - before), Ordering::Relaxed);
+        for observation in &refit_observations {
+            self.refit(observation);
+        }
+        if let Some(e) = batch_error {
+            return Err(e);
+        }
+        Ok(Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("cascade".to_owned(), Json::str(cascade)),
+            ("closed_hours".to_owned(), Json::num(f64::from(after))),
+            (
+                "newly_closed".to_owned(),
+                Json::num(f64::from(after - before)),
+            ),
+            ("counted".to_owned(), Json::num(counted as f64)),
+            ("ignored".to_owned(), Json::num(ignored as f64)),
+        ]))
+    }
+
+    /// The refit scheduler: one fit job per lineup model on the
+    /// work-stealing pool, outcomes cached. Already-cached fits are
+    /// replayed, not recomputed.
+    fn refit(&self, observation: &Observation) {
+        self.refit_jobs
+            .fetch_add(self.models.len() as u64, Ordering::Relaxed);
+        parallel_map(self.parallelism, &self.models, |_, (spec, predictor)| {
+            self.cache.get_or_fit(predictor.as_ref(), spec, observation)
+        });
+    }
+
+    fn handle_forecast(
+        &self,
+        cascade: &str,
+        hours: &[u32],
+        distances: Option<&[u32]>,
+        models: Option<&[String]>,
+        through: Option<u32>,
+    ) -> Result<Json> {
+        let (observation, max_distance, through) = {
+            let cascades = self.cascades.lock().expect("cascade table poisoned");
+            let slot = cascades
+                .get(cascade)
+                .ok_or_else(|| ServeError::UnknownCascade(cascade.to_owned()))?;
+            let through = through.unwrap_or_else(|| slot.live.closed_hours());
+            (
+                slot.observation(through)?,
+                slot.live.max_distance(),
+                through,
+            )
+        };
+        let distances: Vec<u32> = match distances {
+            Some(d) => d.to_vec(),
+            None => (1..=max_distance).collect(),
+        };
+        let request = PredictionRequest::new(distances.clone(), hours.to_vec())?;
+
+        // Resolve the served model set: lineup entries are prebuilt;
+        // ad-hoc spec strings build through the registry and key the
+        // cache by their canonical form. `adhoc` owns the built
+        // predictors; `picks` records where each requested model lives.
+        enum Pick {
+            Lineup(usize),
+            Adhoc(usize),
+        }
+        let mut adhoc: Vec<(String, Box<dyn DiffusionPredictor>)> = Vec::new();
+        let picks: Vec<Pick> = match models {
+            None => (0..self.models.len()).map(Pick::Lineup).collect(),
+            Some(names) => names
+                .iter()
+                .map(|name| {
+                    if let Some(i) = self.models.iter().position(|(s, _)| s == name) {
+                        Ok(Pick::Lineup(i))
+                    } else {
+                        let spec: ModelSpec = name
+                            .parse()
+                            .map_err(|e: dlm_core::DlError| ServeError::Protocol(e.to_string()))?;
+                        adhoc.push((spec.to_string(), self.registry.build(&spec)?));
+                        Ok(Pick::Adhoc(adhoc.len() - 1))
+                    }
+                })
+                .collect::<Result<_>>()?,
+        };
+        let selected: Vec<(&str, &dyn DiffusionPredictor)> = picks
+            .iter()
+            .map(|pick| {
+                let (s, p) = match *pick {
+                    Pick::Lineup(i) => &self.models[i],
+                    Pick::Adhoc(i) => &adhoc[i],
+                };
+                (s.as_str(), p.as_ref())
+            })
+            .collect();
+
+        let fits: Vec<FitOutcome> =
+            parallel_map(self.parallelism, &selected, |_, &(spec, predictor)| {
+                self.cache.get_or_fit(predictor, spec, &observation)
+            });
+        let mut model_entries = Vec::with_capacity(selected.len());
+        for (&(spec, _), fit) in selected.iter().zip(fits) {
+            let entry = match fit {
+                Ok(fitted) => match fitted.predict(&request) {
+                    Ok(prediction) => {
+                        let values: Vec<Json> = distances
+                            .iter()
+                            .map(|&d| {
+                                Json::Arr(
+                                    hours
+                                        .iter()
+                                        .map(|&h| prediction.at(d, h).map_or(Json::Null, Json::Num))
+                                        .collect(),
+                                )
+                            })
+                            .collect();
+                        Json::Obj(vec![
+                            ("spec".to_owned(), Json::str(spec)),
+                            (
+                                "param_names".to_owned(),
+                                Json::Arr(
+                                    fitted.param_names().into_iter().map(Json::Str).collect(),
+                                ),
+                            ),
+                            ("params".to_owned(), Json::nums(&fitted.params())),
+                            ("values".to_owned(), Json::Arr(values)),
+                        ])
+                    }
+                    Err(e) => Json::Obj(vec![
+                        ("spec".to_owned(), Json::str(spec)),
+                        ("error".to_owned(), Json::str(e.to_string())),
+                    ]),
+                },
+                Err(message) => Json::Obj(vec![
+                    ("spec".to_owned(), Json::str(spec)),
+                    ("error".to_owned(), Json::str(message)),
+                ]),
+            };
+            model_entries.push(entry);
+        }
+        Ok(Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("cascade".to_owned(), Json::str(cascade)),
+            ("observed_through".to_owned(), Json::num(f64::from(through))),
+            (
+                "distances".to_owned(),
+                Json::Arr(distances.iter().map(|&d| Json::num(f64::from(d))).collect()),
+            ),
+            (
+                "hours".to_owned(),
+                Json::Arr(hours.iter().map(|&h| Json::num(f64::from(h))).collect()),
+            ),
+            ("models".to_owned(), Json::Arr(model_entries)),
+        ]))
+    }
+
+    fn handle_stats(&self) -> Json {
+        let stats = self.cache.stats();
+        let cascades = self.cascades.lock().expect("cascade table poisoned").len();
+        Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            (
+                "cache".to_owned(),
+                Json::Obj(vec![
+                    ("hits".to_owned(), Json::num(stats.hits as f64)),
+                    ("misses".to_owned(), Json::num(stats.misses as f64)),
+                    ("evictions".to_owned(), Json::num(stats.evictions as f64)),
+                    ("len".to_owned(), Json::num(self.cache.len() as f64)),
+                    (
+                        "capacity".to_owned(),
+                        Json::num(self.cache.capacity() as f64),
+                    ),
+                ]),
+            ),
+            ("cascades".to_owned(), Json::num(cascades as f64)),
+            (
+                "requests".to_owned(),
+                Json::num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "refit_jobs".to_owned(),
+                Json::num(self.refit_jobs.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "hours_closed".to_owned(),
+                Json::num(self.hours_closed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "models".to_owned(),
+                Json::Arr(self.lineup().into_iter().map(Json::Str).collect()),
+            ),
+        ])
+    }
+}
+
+/// The TCP front end: an accept loop plus one handler thread per
+/// connection, all sharing one [`ServerState`].
+#[derive(Debug)]
+pub struct DlmServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    /// Live connections by id, so shutdown can unblock blocked reads.
+    /// Each handler removes its own entry on exit — a long-lived server
+    /// cycling many short-lived clients must not accumulate dead
+    /// sockets (fd exhaustion) or finished join handles.
+    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl DlmServer {
+    /// Binds the server (use port 0 for an OS-assigned port) and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: impl ToSocketAddrs, state: ServerState) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(state);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_state = Arc::clone(&state);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_connections = Arc::clone(&connections);
+        let accept_handlers = Arc::clone(&handlers);
+        let accept_handle = std::thread::spawn(move || {
+            let mut next_id = 0u64;
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // One-line request/response framing: latency matters
+                // more than segment coalescing.
+                let _ = stream.set_nodelay(true);
+                let id = next_id;
+                next_id += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    accept_connections
+                        .lock()
+                        .expect("connection registry poisoned")
+                        .insert(id, clone);
+                }
+                let state = Arc::clone(&accept_state);
+                let connections = Arc::clone(&accept_connections);
+                let handle = std::thread::spawn(move || {
+                    serve_connection(&state, stream);
+                    // Drop the registered clone so a hung-up client
+                    // releases its socket immediately.
+                    connections
+                        .lock()
+                        .expect("connection registry poisoned")
+                        .remove(&id);
+                });
+                let mut handlers = accept_handlers.lock().expect("handler registry poisoned");
+                // Reap handlers whose connections already ended.
+                handlers.retain(|h| !h.is_finished());
+                handlers.push(handle);
+            }
+        });
+
+        Ok(Self {
+            addr,
+            state,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            connections,
+            handlers,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port resolved).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared handle to the service core (counters, cache, in-process
+    /// requests).
+    #[must_use]
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Stops accepting, unblocks and joins every connection handler,
+    /// and joins the accept loop. Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let drain_connections = || {
+            for (_, stream) in self
+                .connections
+                .lock()
+                .expect("connection registry poisoned")
+                .drain()
+            {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        };
+        drain_connections();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        // A connection accepted concurrently with the first drain may
+        // have been registered after it; with the accept loop joined,
+        // nothing registers anymore, so a second drain catches every
+        // straggler before the handler joins below can block on it.
+        drain_connections();
+        for handle in self
+            .handlers
+            .lock()
+            .expect("handler registry poisoned")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DlmServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Upper bound on one request line. The largest legitimate request is a
+/// full-cascade ingest batch — tens of thousands of `[ts,voter]` pairs
+/// fit comfortably; a client streaming an endless unterminated "line"
+/// must not grow server memory without bound.
+const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE_BYTES`].
+/// `Ok(None)` on clean EOF; `Err` on socket errors, an oversized line,
+/// or non-UTF-8 input.
+fn read_line_bounded(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut buffer: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: a clean end between lines, or a truncated line.
+            return if buffer.is_empty() {
+                Ok(None)
+            } else {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-line",
+                ))
+            };
+        }
+        let (take, done) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline) => (newline + 1, true),
+            None => (chunk.len(), false),
+        };
+        if buffer.len() + take > MAX_LINE_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "request line exceeds the size bound",
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..take]);
+        reader.consume(take);
+        if done {
+            buffer.pop(); // the newline
+            if buffer.last() == Some(&b'\r') {
+                buffer.pop();
+            }
+            return String::from_utf8(buffer)
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+        }
+    }
+}
+
+/// Serves one connection: a request line in, a response line out, until
+/// EOF or a socket error.
+fn serve_connection(state: &ServerState, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    while let Ok(Some(line)) = read_line_bounded(&mut reader) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = state.handle_line(&line);
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! End-to-end contract of the TCP front end, and the PR's central
+//! determinism gate: a forecast served by `dlm-serve` after ingesting
+//! hours `1..=k` of a cascade is **byte-identical** to the offline
+//! [`EvaluationPipeline`] / fit-and-predict path run on the same k-hour
+//! observation, for every model in the full lineup — across a real
+//! socket, through the JSON wire format.
+
+use dlm_cascade::hops::hop_density_matrix;
+use dlm_core::evaluate::{EvaluationCase, EvaluationPipeline, Parallelism};
+use dlm_core::predict::GraphContext;
+use dlm_core::registry::{ModelRegistry, ModelSpec};
+use dlm_core::PredictionRequest;
+use dlm_data::simulate::simulate_story;
+use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
+use dlm_serve::{Json, LineClient};
+use std::sync::Arc;
+
+const MAX_HOPS: u32 = 4;
+const HORIZON: u32 = 6;
+const OBSERVE_THROUGH: u32 = 2;
+
+struct Client {
+    inner: LineClient,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        Self {
+            inner: LineClient::connect(addr).expect("connect"),
+        }
+    }
+
+    /// Sends one request line, returns the raw response line.
+    fn send_raw(&mut self, line: &str) -> String {
+        self.inner.send_raw(line).expect("round trip")
+    }
+
+    fn send(&mut self, line: &str) -> Json {
+        self.inner.send(line).expect("round trip")
+    }
+}
+
+fn f64_bits(v: &Json) -> u64 {
+    v.as_f64().expect("numeric cell").to_bits()
+}
+
+#[test]
+fn served_forecasts_are_byte_identical_to_the_offline_pipeline() {
+    // One synthetic story, simulated once; both the server (event by
+    // event) and the offline pipeline (all at once) observe it.
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.12)).unwrap();
+    let config = SimulationConfig {
+        hours: 8,
+        substeps: 2,
+        seed: 13,
+    };
+    let cascade = simulate_story(&world, &StoryPreset::s1(), config).unwrap();
+    let batch_matrix = hop_density_matrix(world.graph(), &cascade, MAX_HOPS, HORIZON).unwrap();
+    assert!(
+        batch_matrix.profile_at(1).unwrap().iter().any(|&v| v > 0.0),
+        "hour 1 must carry signal for a meaningful fit"
+    );
+
+    let state = ServerState::with_world(
+        ServeConfig {
+            parallelism: Parallelism::Fixed(2),
+            ..ServeConfig::default()
+        },
+        world.clone(),
+    )
+    .unwrap();
+    let lineup = state.lineup();
+    let mut server = DlmServer::bind("127.0.0.1:0", state).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    // Open + stream the full vote log in timestamp order, then close
+    // the horizon with a clock advance.
+    let open = client.send(&format!(
+        r#"{{"type":"open","cascade":"s1","initiator":{},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{}}}"#,
+        cascade.initiator(),
+        cascade.submit_time(),
+    ));
+    assert_eq!(open.get("ok").unwrap().as_bool(), Some(true), "{open}");
+    assert_eq!(
+        open.get("distances").unwrap().as_u64(),
+        Some(u64::from(batch_matrix.max_distance())),
+        "live and batch must bucket into the same groups"
+    );
+    let votes_json: Vec<String> = cascade
+        .votes()
+        .iter()
+        .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+        .collect();
+    let ingest = client.send(&format!(
+        r#"{{"type":"ingest","cascade":"s1","votes":[{}],"now":{}}}"#,
+        votes_json.join(","),
+        cascade.submit_time() + u64::from(HORIZON) * 3600,
+    ));
+    assert_eq!(ingest.get("ok").unwrap().as_bool(), Some(true), "{ingest}");
+    assert_eq!(
+        ingest.get("closed_hours").unwrap().as_u64(),
+        Some(u64::from(HORIZON))
+    );
+
+    // Forecast hours 3..=6 from the first two observed hours.
+    let target_hours: Vec<u32> = (OBSERVE_THROUGH + 1..=HORIZON).collect();
+    let forecast_line = format!(
+        r#"{{"type":"forecast","cascade":"s1","hours":[{}],"through":{OBSERVE_THROUGH}}}"#,
+        target_hours
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let raw_first = client.send_raw(&forecast_line);
+    let served = Json::parse(&raw_first).unwrap();
+    assert_eq!(served.get("ok").unwrap().as_bool(), Some(true), "{served}");
+    let served_models = served.get("models").unwrap().as_array().unwrap();
+    assert_eq!(served_models.len(), lineup.len());
+
+    // Offline twin: the same k-hour observation as an EvaluationCase.
+    let graph = Arc::new(world.graph().clone());
+    let hour1: Vec<usize> = cascade.votes_within(1).iter().map(|v| v.voter).collect();
+    let case = EvaluationCase::forecast("s1", batch_matrix.clone(), 1, OBSERVE_THROUGH, HORIZON)
+        .unwrap()
+        .with_graph(GraphContext::new(
+            Arc::clone(&graph),
+            cascade.initiator(),
+            hour1,
+        ));
+    let observation = case.observation().unwrap();
+    let report = EvaluationPipeline::full_lineup()
+        .parallelism(Parallelism::Serial)
+        .run(std::slice::from_ref(&case))
+        .unwrap();
+
+    let registry = ModelRegistry::with_builtins();
+    let distances: Vec<u32> = (1..=batch_matrix.max_distance()).collect();
+    let request = PredictionRequest::new(distances.clone(), target_hours.clone()).unwrap();
+    for (mi, spec) in ModelSpec::default_lineup().iter().enumerate() {
+        let entry = &served_models[mi];
+        assert_eq!(
+            entry.get("spec").unwrap().as_str(),
+            Some(lineup[mi].as_str())
+        );
+        let outcome = report.outcome(mi, 0).unwrap();
+        assert_eq!(outcome.spec, lineup[mi]);
+
+        match entry.get("error") {
+            Some(error) => {
+                // Full-lineup cases carry graph context, so nothing
+                // should fail here — but if it did, the failure itself
+                // must match the pipeline's.
+                assert_eq!(
+                    error.as_str(),
+                    outcome.error.as_deref(),
+                    "spec {spec}: error divergence"
+                );
+            }
+            None => {
+                assert!(
+                    outcome.error.is_none(),
+                    "spec {spec}: pipeline failed ({:?}) but the server served",
+                    outcome.error
+                );
+                // Fitted parameters: byte-identical to the pipeline's.
+                let served_params: Vec<u64> = entry
+                    .get("params")
+                    .unwrap()
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(f64_bits)
+                    .collect();
+                let offline_params: Vec<u64> = outcome.params.iter().map(|p| p.to_bits()).collect();
+                assert_eq!(served_params, offline_params, "spec {spec}: params diverge");
+
+                // Predicted densities: byte-identical to fit+predict on
+                // the same observation through the same registry.
+                let fitted = registry.build(spec).unwrap().fit(&observation).unwrap();
+                let prediction = fitted.predict(&request).unwrap();
+                let values = entry.get("values").unwrap().as_array().unwrap();
+                for (di, &d) in distances.iter().enumerate() {
+                    let row = values[di].as_array().unwrap();
+                    for (hi, &h) in target_hours.iter().enumerate() {
+                        assert_eq!(
+                            f64_bits(&row[hi]),
+                            prediction.at(d, h).unwrap().to_bits(),
+                            "spec {spec}: I({d}, {h}) diverges"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Serving is repeatable: the identical request yields the identical
+    // bytes (pure cache replay the second time).
+    let raw_second = client.send_raw(&forecast_line);
+    assert_eq!(raw_first, raw_second);
+
+    // A second client sees the same bytes too.
+    let mut other = Client::connect(server.local_addr());
+    assert_eq!(other.send_raw(&forecast_line), raw_first);
+
+    // The refit scheduler ran on hour close and the cache took hits.
+    let stats = client.send(r#"{"type":"stats"}"#);
+    assert_eq!(stats.get("ok").unwrap().as_bool(), Some(true));
+    let refit_jobs = stats.get("refit_jobs").unwrap().as_u64().unwrap();
+    assert_eq!(refit_jobs, u64::from(HORIZON) * lineup.len() as u64);
+    let cache = stats.get("cache").unwrap();
+    assert!(cache.get("hits").unwrap().as_u64().unwrap() >= lineup.len() as u64);
+    assert!(cache.get("len").unwrap().as_u64().unwrap() > 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_do_not_kill_the_connection() {
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.05)).unwrap();
+    let state = ServerState::with_world(
+        ServeConfig {
+            lineup: vec![ModelSpec::Naive],
+            ..ServeConfig::default()
+        },
+        world,
+    )
+    .unwrap();
+    let mut server = DlmServer::bind("127.0.0.1:0", state).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    for (line, needle) in [
+        ("this is not json", "protocol error"),
+        (r#"{"type":"warp"}"#, "unknown request type"),
+        (
+            r#"{"type":"ingest","cascade":"ghost","votes":[]}"#,
+            "unknown cascade",
+        ),
+        (
+            r#"{"type":"forecast","cascade":"ghost","hours":[2]}"#,
+            "unknown cascade",
+        ),
+        (
+            r#"{"type":"open","cascade":"x"}"#,
+            "exactly one of `initiator` or `story`",
+        ),
+    ] {
+        let response = client.send(line);
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(false), "{line}");
+        let message = response.get("error").unwrap().as_str().unwrap();
+        assert!(message.contains(needle), "`{line}` -> `{message}`");
+    }
+
+    // The connection still works after every rejected request.
+    let open = client.send(r#"{"type":"open","cascade":"x","story":1,"horizon":3}"#);
+    assert_eq!(open.get("ok").unwrap().as_bool(), Some(true), "{open}");
+    // Duplicate ids are rejected.
+    let dup = client.send(r#"{"type":"open","cascade":"x","story":1,"horizon":3}"#);
+    assert!(dup
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("already open"));
+    // Late votes are rejected once an hour closes.
+    let submit = dlm_data::simulate::SIMULATED_SUBMIT_TIME;
+    let ingest = client.send(&format!(
+        r#"{{"type":"ingest","cascade":"x","votes":[[{},1]],"now":{}}}"#,
+        submit + 2 * 3600 + 5,
+        submit + 2 * 3600 + 5,
+    ));
+    assert_eq!(ingest.get("closed_hours").unwrap().as_u64(), Some(2));
+    let late = client.send(&format!(
+        r#"{{"type":"ingest","cascade":"x","votes":[[{},2]]}}"#,
+        submit + 3600,
+    ));
+    assert!(late
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("late vote"));
+    // Forecasts for unclosed hours are rejected.
+    let bad = client.send(r#"{"type":"forecast","cascade":"x","hours":[4],"through":9}"#);
+    assert!(bad
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("not closed"));
+
+    server.shutdown();
+}

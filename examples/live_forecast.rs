@@ -1,0 +1,163 @@
+//! Online forecasting end to end: spin up a `dlm-serve` server
+//! in-process, stream a synthetic story into it hour by hour over TCP,
+//! request forecasts after every closed hour, and score each forecast's
+//! Eq.-8 accuracy against the realized tail of the cascade.
+//!
+//! This is the paper's prediction task in its honest online form: at
+//! hour `k` the server has seen only hours `1..=k`, yet it must fill in
+//! the density surface for the hours that have not happened yet.
+//!
+//! ```sh
+//! cargo run --release --example live_forecast
+//! ```
+
+use dlm::cascade::hops::hop_density_matrix;
+use dlm::core::accuracy::AccuracyTable;
+use dlm::core::model::Prediction;
+use dlm::core::registry::ModelSpec;
+use dlm::data::simulate::simulate_story;
+use dlm::data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use dlm::serve::server::{DlmServer, ServeConfig, ServerState};
+use dlm::serve::{Json, LineClient};
+
+const MAX_HOPS: u32 = 4;
+const HORIZON: u32 = 6;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One synthetic Digg-like story, simulated to its full span. The
+    // server will only ever see the stream prefix; the full matrix is
+    // the ground truth we score against afterwards.
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.12))?;
+    let story = simulate_story(
+        &world,
+        &StoryPreset::s1(),
+        SimulationConfig {
+            hours: HORIZON + 2,
+            substeps: 2,
+            seed: 13,
+        },
+    )?;
+    let realized = hop_density_matrix(world.graph(), &story, MAX_HOPS, HORIZON)?;
+
+    // The server: paper-constants DL against the two cheap baselines.
+    let state = ServerState::with_world(
+        ServeConfig {
+            lineup: vec![
+                ModelSpec::paper_hops_dl(),
+                ModelSpec::Naive,
+                ModelSpec::LinearTrend,
+            ],
+            ..ServeConfig::default()
+        },
+        world,
+    )?;
+    let mut server = DlmServer::bind("127.0.0.1:0", state)?;
+    let mut client = LineClient::connect(server.local_addr())?;
+
+    let submit = story.submit_time();
+    client.send_ok(&format!(
+        r#"{{"type":"open","cascade":"s1","initiator":{},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#,
+        story.initiator(),
+    ))?;
+
+    println!("streaming s1 and forecasting the unseen tail (Eq.-8 accuracy):\n");
+    println!(
+        "{h:>6}  {v:>12}  {f:<28}accuracy per model",
+        h = "hour",
+        v = "votes seen",
+        f = "forecast"
+    );
+
+    // Stream hour by hour; after each closed hour k, forecast k+1..=6.
+    for k in 1..=HORIZON - 1 {
+        let votes: Vec<String> = story
+            .votes()
+            .iter()
+            .filter(|v| {
+                let bucket = (v.timestamp - submit) / 3600;
+                bucket + 1 == u64::from(k)
+            })
+            .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+            .collect();
+        let seen = votes.len();
+        client.send_ok(&format!(
+            r#"{{"type":"ingest","cascade":"s1","votes":[{}],"now":{}}}"#,
+            votes.join(","),
+            submit + u64::from(k) * 3600,
+        ))?;
+
+        let target_hours: Vec<u32> = (k + 1..=HORIZON).collect();
+        let response = client.send_ok(&format!(
+            r#"{{"type":"forecast","cascade":"s1","hours":[{}]}}"#,
+            target_hours
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        ))?;
+
+        // Score every served model against the realized densities.
+        let distances: Vec<u32> = response
+            .get("distances")
+            .and_then(Json::as_array)
+            .expect("distances")
+            .iter()
+            .map(|d| d.as_u64().expect("distance") as u32)
+            .collect();
+        let mut row = String::new();
+        for entry in response
+            .get("models")
+            .and_then(Json::as_array)
+            .expect("models")
+        {
+            let spec = entry.get("spec").and_then(Json::as_str).expect("spec");
+            let short = spec.split('(').next().unwrap_or(spec);
+            if let Some(values) = entry.get("values").and_then(Json::as_array) {
+                let grid: Vec<Vec<f64>> = values
+                    .iter()
+                    .map(|r| {
+                        r.as_array()
+                            .expect("row")
+                            .iter()
+                            .map(|v| v.as_f64().expect("cell"))
+                            .collect()
+                    })
+                    .collect();
+                let prediction =
+                    Prediction::from_values(distances.clone(), target_hours.clone(), grid)?;
+                let accuracy = AccuracyTable::score(&prediction, &realized)?
+                    .overall_average()
+                    .map_or("   -  ".to_owned(), |a| format!("{:5.1}%", a * 100.0));
+                row.push_str(&format!("  {short} {accuracy}"));
+            } else {
+                let message = entry
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown");
+                row.push_str(&format!("  {short} err({message})"));
+            }
+        }
+        println!(
+            "{k:>6}  {seen:>12}  {:<28}{row}",
+            format!("hours {}..={HORIZON}", k + 1)
+        );
+    }
+
+    let stats = client.send_ok(r#"{"type":"stats"}"#)?;
+    let cache = stats.get("cache").expect("cache stats");
+    println!(
+        "\ncache: {} hits, {} misses, {} evictions ({} resident / capacity {}); {} refit jobs scheduled",
+        cache.get("hits").unwrap(),
+        cache.get("misses").unwrap(),
+        cache.get("evictions").unwrap(),
+        cache.get("len").unwrap(),
+        cache.get("capacity").unwrap(),
+        stats.get("refit_jobs").unwrap(),
+    );
+    println!(
+        "(every forecast above was served from the refit scheduler's cache: \
+         fits happen once per closed hour, not once per request)"
+    );
+    server.shutdown();
+    Ok(())
+}

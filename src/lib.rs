@@ -18,7 +18,12 @@
 //!   [`core::registry::ModelRegistry`], and the batch
 //!   [`core::evaluate::EvaluationPipeline`] — work-stealing parallel over
 //!   the models × cases grid (see [`core::evaluate::Parallelism`]) with a
-//!   fitted-model cache, byte-identical to its serial path.
+//!   bounded LRU fitted-model cache, byte-identical to its serial path;
+//! * [`serve`] — the online forecasting service: streaming ingestion
+//!   ([`serve::LiveCascade`], bit-identical to the batch builders at
+//!   every hour boundary), a refit scheduler feeding the shared
+//!   [`core::evaluate::FittedModelCache`], and a JSON-lines-over-TCP
+//!   front end ([`serve::DlmServer`], `dlm-serve` binary).
 //!
 //! ## Quickstart — one model
 //!
@@ -65,3 +70,4 @@ pub use dlm_core as core;
 pub use dlm_data as data;
 pub use dlm_graph as graph;
 pub use dlm_numerics as numerics;
+pub use dlm_serve as serve;

@@ -2,10 +2,11 @@
 //!
 //! Implements a simple wall-clock measurement loop behind the familiar
 //! `Criterion` / `BenchmarkGroup` / `Bencher` / `BenchmarkId` types and the
-//! `criterion_group!` / `criterion_main!` macros. No statistics, plots, or
-//! baselines — each benchmark is timed for a fixed budget and the mean
-//! iteration time is printed. Enough to keep `cargo bench` compiling and
-//! producing comparable numbers without crates.io access.
+//! `criterion_group!` / `criterion_main!` macros, plus basic sample
+//! statistics: each iteration is timed individually and every benchmark
+//! reports mean ± stddev with p50/p95 percentiles (see [`SampleStats`],
+//! also usable directly by `harness = false` benches such as the
+//! `dlm-serve` load generator). No plots or baselines.
 
 #![warn(missing_docs)]
 
@@ -13,6 +14,64 @@ use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Summary statistics over a set of samples (typically per-iteration
+/// wall-clock seconds, or per-request latencies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples summarized.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for a single
+    /// sample).
+    pub stddev: f64,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Summarizes `samples`; `None` when empty.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let stddev = if n > 1 {
+            (samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Self {
+            n,
+            mean,
+            stddev,
+            p50: percentile(&sorted, 50.0),
+            p95: percentile(&sorted, 95.0),
+            max: *sorted.last().expect("nonempty"),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample set.
+///
+/// `q` is clamped to `[0, 100]`; the empty case is the caller's to rule
+/// out (as [`SampleStats::from_samples`] does).
+#[must_use]
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    let q = q.clamp(0.0, 100.0);
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug)]
@@ -65,27 +124,38 @@ impl From<&str> for BenchmarkId {
 pub struct Bencher {
     measurement_time: Duration,
     warmup_iters: u64,
-    /// (total elapsed, iterations) recorded by the last `iter` call.
-    result: Option<(Duration, u64)>,
+    /// Per-iteration wall-clock seconds recorded by the last `iter`
+    /// call (capped; the statistics stay exact for every recorded
+    /// sample).
+    samples: Vec<f64>,
 }
 
+/// Upper bound on retained per-iteration samples, so a nanosecond-scale
+/// routine cannot grow the sample vector without limit within the
+/// measurement budget.
+const MAX_SAMPLES: usize = 100_000;
+
 impl Bencher {
-    /// Times `routine` repeatedly within the measurement budget.
+    /// Times `routine` repeatedly within the measurement budget,
+    /// recording each iteration's wall-clock time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         for _ in 0..self.warmup_iters {
             black_box(routine());
         }
         let budget = self.measurement_time;
+        self.samples.clear();
         let start = Instant::now();
-        let mut iters = 0u64;
         loop {
+            let before = Instant::now();
             black_box(routine());
-            iters += 1;
+            let elapsed = before.elapsed().as_secs_f64();
+            if self.samples.len() < MAX_SAMPLES {
+                self.samples.push(elapsed);
+            }
             if start.elapsed() >= budget {
                 break;
             }
         }
-        self.result = Some((start.elapsed(), iters));
     }
 }
 
@@ -98,19 +168,21 @@ fn run_one(
     let mut b = Bencher {
         measurement_time,
         warmup_iters,
-        result: None,
+        samples: Vec::new(),
     };
     f(&mut b);
-    match b.result {
-        Some((elapsed, iters)) if iters > 0 => {
-            let per = elapsed.as_secs_f64() / iters as f64;
+    match SampleStats::from_samples(&b.samples) {
+        Some(stats) => {
             println!(
-                "{label:<60} {:>12} iters  {:>14.3} ms/iter",
-                iters,
-                per * 1e3
+                "{label:<60} {:>9} iters  {:>11.3} ms ± {:>9.3}  p50 {:>11.3}  p95 {:>11.3}",
+                stats.n,
+                stats.mean * 1e3,
+                stats.stddev * 1e3,
+                stats.p50 * 1e3,
+                stats.p95 * 1e3,
             );
         }
-        _ => println!("{label:<60} (no measurement)"),
+        None => println!("{label:<60} (no measurement)"),
     }
 }
 
@@ -224,6 +296,55 @@ mod tests {
             warmup_iters: 0,
         };
         c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn sample_stats_match_hand_computation() {
+        assert!(SampleStats::from_samples(&[]).is_none());
+        let single = SampleStats::from_samples(&[2.0]).unwrap();
+        assert_eq!(single.n, 1);
+        assert_eq!(single.mean, 2.0);
+        assert_eq!(single.stddev, 0.0);
+        assert_eq!(single.p50, 2.0);
+        assert_eq!(single.p95, 2.0);
+        assert_eq!(single.max, 2.0);
+
+        // Unsorted input; known mean 3, sample variance 2.5.
+        let stats = SampleStats::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(stats.n, 5);
+        assert!((stats.mean - 3.0).abs() < 1e-12);
+        assert!((stats.stddev - 2.5f64.sqrt()).abs() < 1e-12);
+        assert_eq!(stats.p50, 3.0);
+        assert_eq!(stats.p95, 5.0);
+        assert_eq!(stats.max, 5.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&sorted, 120.0), 100.0, "clamped");
+        let tiny = [7.0, 9.0];
+        assert_eq!(percentile(&tiny, 50.0), 7.0);
+        assert_eq!(percentile(&tiny, 95.0), 9.0);
+    }
+
+    #[test]
+    fn bencher_collects_per_iteration_samples() {
+        let mut b = Bencher {
+            measurement_time: Duration::from_millis(2),
+            warmup_iters: 1,
+            samples: Vec::new(),
+        };
+        b.iter(|| std::thread::sleep(Duration::from_micros(100)));
+        let stats = SampleStats::from_samples(&b.samples).unwrap();
+        assert!(stats.n >= 1);
+        assert!(stats.mean >= 1e-4, "sleep floor: {}", stats.mean);
+        assert!(stats.p95 >= stats.p50);
+        assert!(stats.max >= stats.p95);
     }
 
     #[test]
