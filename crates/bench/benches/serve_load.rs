@@ -1,25 +1,37 @@
-//! Load generator for the `dlm-serve` online forecasting service.
+//! Load generator for the `dlm-serve` online forecasting service and
+//! the `dlm-router` sharding tier.
 //!
-//! Starts one server process-internally, replays a synthetic `dlm-data`
-//! cascade hour-by-hour from N concurrent TCP clients (each driving its
-//! own cascade), and records per-request latencies and overall
-//! throughput to `BENCH_serve.json` (override with `DLM_BENCH_OUT`).
-//! Latency percentiles come from the vendored criterion shim's
-//! [`SampleStats`].
+//! Starts the serving stack process-internally, replays a synthetic
+//! `dlm-data` cascade hour-by-hour from N concurrent TCP clients (each
+//! driving its own cascade), and records per-request latencies and
+//! overall throughput. Latency percentiles come from the vendored
+//! criterion shim's [`SampleStats`].
 //!
 //! ```text
-//! cargo bench -p dlm-bench --bench serve_load            # full load
-//! cargo bench -p dlm-bench --bench serve_load -- --smoke # reduced, for CI
+//! cargo bench -p dlm-bench --bench serve_load                     # one server, full load
+//! cargo bench -p dlm-bench --bench serve_load -- --smoke          # reduced, for CI
+//! cargo bench -p dlm-bench --bench serve_load -- --router         # router + 2 backends
+//! cargo bench -p dlm-bench --bench serve_load -- --smoke --router # CI router smoke
 //! ```
 //!
-//! Two gates make this a CI check, not just a stopwatch:
+//! Single-server mode writes `BENCH_serve.json`; router mode fronts
+//! **two** backend processes' worth of server state with a `dlm-router`
+//! tier and writes `BENCH_router.json`. Gates make both modes CI
+//! checks, not just stopwatches:
 //!
 //! * **protocol gate** — every request must come back `"ok": true`;
-//! * **determinism gate** — after streaming identical vote streams, all
-//!   clients issue the same forecast and every response's model section
-//!   must be byte-identical across clients *and* bit-identical to an
-//!   offline fit+predict on the batch-built observation. The process
-//!   exits nonzero on divergence.
+//! * **determinism gate (single)** — after streaming identical vote
+//!   streams, all clients issue the same forecast and every response's
+//!   model section must be byte-identical across clients *and*
+//!   bit-identical to an offline fit+predict on the batch-built
+//!   observation;
+//! * **routing gate (router)** — the *entire response stream* each
+//!   client sees through the router (opens, ingests, forecasts) must be
+//!   byte-identical to what the same request stream gets from a single
+//!   direct server, and the router's aggregated `stats` cache counters
+//!   must equal the sum over its backends.
+//!
+//! The process exits nonzero on any gate failure.
 
 use criterion::SampleStats;
 use dlm_cascade::hops::hop_density_matrix;
@@ -28,12 +40,14 @@ use dlm_core::predict::{GrowthFamily, Observation, PredictionRequest};
 use dlm_core::registry::{ModelRegistry, ModelSpec};
 use dlm_data::simulate::simulate_story;
 use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use dlm_router::{RouterConfig, RouterState};
 use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
 use dlm_serve::{Json, LineClient};
 use std::net::SocketAddr;
 use std::time::Instant;
 
 const MAX_HOPS: u32 = 4;
+const ROUTER_BACKENDS: usize = 2;
 
 /// The latency-focused lineup: the paper's fixed-parameter DL plus the
 /// cheap baselines (calibration-heavy specs belong to the evaluation
@@ -48,6 +62,14 @@ fn lineup() -> Vec<ModelSpec> {
         ModelSpec::Naive,
         ModelSpec::LinearTrend,
     ]
+}
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        lineup: lineup(),
+        parallelism: Parallelism::Auto,
+        ..ServeConfig::default()
+    }
 }
 
 struct Client {
@@ -69,39 +91,43 @@ impl Client {
     }
 }
 
+/// What one client replays: one cascade's worth of hour-sliced votes.
+struct Scenario<'a> {
+    initiator: usize,
+    submit: u64,
+    horizon: u32,
+    votes_by_hour: &'a [Vec<(u64, usize)>],
+    gate_hours: &'a [u32],
+    observe_through: u32,
+}
+
 /// What one client measured.
 struct ClientRun {
     ingest_latencies: Vec<f64>,
     forecast_latencies: Vec<f64>,
+    /// Every raw response line, in request order — the router gate
+    /// byte-compares this whole stream against a direct server's.
+    responses: Vec<String>,
     /// The serialized `models` section of the shared gate forecast.
     gate_models: String,
     ok_responses: usize,
     requests: usize,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn drive_client(
-    addr: SocketAddr,
-    id: usize,
-    initiator: usize,
-    submit: u64,
-    horizon: u32,
-    votes_by_hour: &[Vec<(u64, usize)>],
-    gate_hours: &[u32],
-    observe_through: u32,
-) -> ClientRun {
+fn drive_client(addr: SocketAddr, id: usize, scenario: &Scenario) -> ClientRun {
     let mut client = Client::connect(addr);
     let cascade = format!("c{id}");
     let mut run = ClientRun {
         ingest_latencies: Vec::new(),
         forecast_latencies: Vec::new(),
+        responses: Vec::new(),
         gate_models: String::new(),
         ok_responses: 0,
         requests: 0,
     };
-    let check = |run: &mut ClientRun, raw: &str| {
+    let check = |run: &mut ClientRun, raw: String| {
         run.requests += 1;
-        let ok = Json::parse(raw)
+        let ok = Json::parse(&raw)
             .ok()
             .and_then(|v| v.get("ok").and_then(Json::as_bool))
             == Some(true);
@@ -110,14 +136,18 @@ fn drive_client(
         } else {
             eprintln!("client {id}: NOT OK: {raw}");
         }
+        run.responses.push(raw);
     };
 
     let (raw, _) = client.round_trip(&format!(
-        r#"{{"type":"open","cascade":"{cascade}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{horizon},"submit_time":{submit}}}"#
+        r#"{{"type":"open","cascade":"{cascade}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{horizon},"submit_time":{submit}}}"#,
+        initiator = scenario.initiator,
+        horizon = scenario.horizon,
+        submit = scenario.submit,
     ));
-    check(&mut run, &raw);
+    check(&mut run, raw);
 
-    for (hour0, votes) in votes_by_hour.iter().enumerate() {
+    for (hour0, votes) in scenario.votes_by_hour.iter().enumerate() {
         let hour = hour0 as u32 + 1;
         let body: Vec<String> = votes
             .iter()
@@ -126,9 +156,9 @@ fn drive_client(
         let (raw, secs) = client.round_trip(&format!(
             r#"{{"type":"ingest","cascade":"{cascade}","votes":[{}],"now":{}}}"#,
             body.join(","),
-            submit + u64::from(hour) * 3600,
+            scenario.submit + u64::from(hour) * 3600,
         ));
-        check(&mut run, &raw);
+        check(&mut run, raw);
         run.ingest_latencies.push(secs);
 
         // Forecast the next hour from everything observed so far — the
@@ -137,25 +167,46 @@ fn drive_client(
             r#"{{"type":"forecast","cascade":"{cascade}","hours":[{}]}}"#,
             hour + 1
         ));
-        check(&mut run, &raw);
+        check(&mut run, raw);
         run.forecast_latencies.push(secs);
     }
 
     // The shared determinism gate: identical observation, identical
     // request, so the model section must be byte-identical everywhere.
-    let gate_list: Vec<String> = gate_hours.iter().map(ToString::to_string).collect();
+    let gate_list: Vec<String> = scenario
+        .gate_hours
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     let (raw, secs) = client.round_trip(&format!(
-        r#"{{"type":"forecast","cascade":"{cascade}","hours":[{}],"through":{observe_through}}}"#,
+        r#"{{"type":"forecast","cascade":"{cascade}","hours":[{}],"through":{}}}"#,
         gate_list.join(","),
+        scenario.observe_through,
     ));
-    check(&mut run, &raw);
     run.forecast_latencies.push(secs);
     let parsed = Json::parse(&raw).expect("gate response parses");
     run.gate_models = parsed
         .get("models")
         .map(ToString::to_string)
         .unwrap_or_default();
+    check(&mut run, raw);
     run
+}
+
+/// Replays the scenario from `clients` concurrent connections against
+/// one address. Returns the per-client measurements and the wall time.
+fn replay(addr: SocketAddr, clients: usize, scenario: &Scenario) -> (Vec<ClientRun>, f64) {
+    let wall = Instant::now();
+    let runs: Vec<ClientRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|id| scope.spawn(move || drive_client(addr, id, scenario)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect()
+    });
+    (runs, wall.elapsed().as_secs_f64())
 }
 
 fn stats_json(samples: &[f64]) -> String {
@@ -174,8 +225,31 @@ fn stats_json(samples: &[f64]) -> String {
     }
 }
 
+fn print_latencies(ingest: &[f64], forecast: &[f64]) {
+    if let (Some(i), Some(f)) = (
+        SampleStats::from_samples(ingest),
+        SampleStats::from_samples(forecast),
+    ) {
+        eprintln!(
+            "ingest   p50 {:>8.2} ms  p95 {:>8.2} ms  (n {})\nforecast p50 {:>8.2} ms  p95 {:>8.2} ms  (n {})",
+            i.p50 * 1e3,
+            i.p95 * 1e3,
+            i.n,
+            f.p50 * 1e3,
+            f.p95 * 1e3,
+            f.n,
+        );
+    }
+}
+
+fn bench_out(default_name: &str) -> String {
+    std::env::var("DLM_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../{default_name}", env!("CARGO_MANIFEST_DIR"),))
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let router_mode = std::env::args().any(|a| a == "--router");
     let (scale, clients, horizon) = if smoke {
         (0.06, 4, 5u32)
     } else {
@@ -200,7 +274,6 @@ fn main() {
     )
     .expect("simulation");
     let submit = story.submit_time();
-    let initiator = story.initiator();
 
     // Bucket the vote log per hour for the replay loop.
     let mut votes_by_hour: Vec<Vec<(u64, usize)>> = vec![Vec::new(); horizon as usize];
@@ -211,47 +284,37 @@ fn main() {
         }
     }
     let replayed: usize = votes_by_hour.iter().map(Vec::len).sum();
+    let gate_hours: Vec<u32> = (observe_through + 1..=horizon).collect();
+    let scenario = Scenario {
+        initiator: story.initiator(),
+        submit,
+        horizon,
+        votes_by_hour: &votes_by_hour,
+        gate_hours: &gate_hours,
+        observe_through,
+    };
     eprintln!("replaying {replayed} votes over {horizon} hours from {clients} concurrent clients");
 
-    let state = ServerState::with_world(
-        ServeConfig {
-            lineup: lineup(),
-            parallelism: Parallelism::Auto,
-            ..ServeConfig::default()
-        },
-        world.clone(),
-    )
-    .expect("server state");
-    let mut server = DlmServer::bind("127.0.0.1:0", state).expect("bind");
-    let addr = server.local_addr();
-    let gate_hours: Vec<u32> = (observe_through + 1..=horizon).collect();
+    if router_mode {
+        run_router_load(&world, &scenario, clients, replayed, smoke);
+    } else {
+        run_single_load(&world, &story, &scenario, clients, replayed, smoke);
+    }
+}
 
-    let wall = Instant::now();
-    let runs: Vec<ClientRun> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..clients)
-            .map(|id| {
-                let votes_by_hour = &votes_by_hour;
-                let gate_hours = &gate_hours;
-                scope.spawn(move || {
-                    drive_client(
-                        addr,
-                        id,
-                        initiator,
-                        submit,
-                        horizon,
-                        votes_by_hour,
-                        gate_hours,
-                        observe_through,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client"))
-            .collect()
-    });
-    let wall_secs = wall.elapsed().as_secs_f64();
+/// Single-server mode: protocol + cross-client + served-vs-offline
+/// gates, `BENCH_serve.json`.
+fn run_single_load(
+    world: &SyntheticWorld,
+    story: &dlm_data::Cascade,
+    scenario: &Scenario,
+    clients: usize,
+    replayed: usize,
+    smoke: bool,
+) {
+    let state = ServerState::with_world(serve_config(), world.clone()).expect("server state");
+    let mut server = DlmServer::bind("127.0.0.1:0", state).expect("bind");
+    let (runs, wall_secs) = replay(server.local_addr(), clients, scenario);
 
     // Protocol gate.
     let requests: usize = runs.iter().map(|r| r.requests).sum();
@@ -272,11 +335,13 @@ fn main() {
 
     // Offline bit-identity gate: the served gate forecast must equal a
     // batch fit+predict on the same observation window.
-    let batch = hop_density_matrix(world.graph(), &story, MAX_HOPS, horizon).expect("batch matrix");
-    let observed_hours: Vec<u32> = (1..=observe_through).collect();
+    let batch =
+        hop_density_matrix(world.graph(), story, MAX_HOPS, scenario.horizon).expect("batch matrix");
+    let observed_hours: Vec<u32> = (1..=scenario.observe_through).collect();
     let observation = Observation::from_matrix(&batch, &observed_hours).expect("observation");
     let distances: Vec<u32> = (1..=batch.max_distance()).collect();
-    let request = PredictionRequest::new(distances.clone(), gate_hours.clone()).expect("request");
+    let request =
+        PredictionRequest::new(distances.clone(), scenario.gate_hours.to_vec()).expect("request");
     let registry = ModelRegistry::with_builtins();
     let served = Json::parse(&runs[0].gate_models).expect("gate models parse");
     let served = served.as_array().expect("models array");
@@ -293,7 +358,7 @@ fn main() {
             .expect("values");
         for (di, &d) in distances.iter().enumerate() {
             let row = values[di].as_array().expect("row");
-            for (hi, &h) in gate_hours.iter().enumerate() {
+            for (hi, &h) in scenario.gate_hours.iter().enumerate() {
                 let served_bits = row[hi].as_f64().map(f64::to_bits);
                 let offline_bits = Some(prediction.at(d, h).expect("cell").to_bits());
                 if served_bits != offline_bits {
@@ -326,34 +391,184 @@ fn main() {
          \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}}},\n  \
          \"protocol_ok\": {protocol_ok},\n  \"outputs_identical\": {identical}\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
+        horizon = scenario.horizon,
         ingest = stats_json(&ingest),
         forecast = stats_json(&forecast),
         hits = cache.hits,
         misses = cache.misses,
         evictions = cache.evictions,
     );
-    let out = std::env::var("DLM_BENCH_OUT")
-        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into());
+    let out = bench_out("BENCH_serve.json");
     std::fs::write(&out, &json).expect("write bench json");
 
-    if let (Some(i), Some(f)) = (
-        SampleStats::from_samples(&ingest),
-        SampleStats::from_samples(&forecast),
-    ) {
-        eprintln!(
-            "ingest   p50 {:>8.2} ms  p95 {:>8.2} ms  (n {})\nforecast p50 {:>8.2} ms  p95 {:>8.2} ms  (n {})",
-            i.p50 * 1e3,
-            i.p95 * 1e3,
-            i.n,
-            f.p50 * 1e3,
-            f.p95 * 1e3,
-            f.n,
-        );
-    }
+    print_latencies(&ingest, &forecast);
     eprintln!(
         "{requests} requests over {clients} connections in {wall_secs:.2}s -> {throughput:.1} req/s -> {out}"
     );
     server.shutdown();
+    if !(protocol_ok && identical) {
+        std::process::exit(1);
+    }
+}
+
+/// Router mode: the same replay through a `dlm-router` tier fronting
+/// two backends, byte-compared against a direct single-server replay.
+/// Writes `BENCH_router.json`.
+fn run_router_load(
+    world: &SyntheticWorld,
+    scenario: &Scenario,
+    clients: usize,
+    replayed: usize,
+    smoke: bool,
+) {
+    let backends: Vec<DlmServer> = (0..ROUTER_BACKENDS)
+        .map(|_| {
+            let state =
+                ServerState::with_world(serve_config(), world.clone()).expect("backend state");
+            DlmServer::bind("127.0.0.1:0", state).expect("bind backend")
+        })
+        .collect();
+    let backend_addrs: Vec<String> = backends
+        .iter()
+        .map(|b| b.local_addr().to_string())
+        .collect();
+    let router = RouterState::new(RouterConfig::new(backend_addrs.clone())).expect("router state");
+    let shards: Vec<usize> = (0..clients)
+        .map(|id| router.shard_of(&format!("c{id}")))
+        .collect();
+    let front = DlmServer::bind("127.0.0.1:0", router).expect("bind router");
+    eprintln!(
+        "router on {} over {ROUTER_BACKENDS} backends; client shards {shards:?}",
+        front.local_addr()
+    );
+
+    let direct_state =
+        ServerState::with_world(serve_config(), world.clone()).expect("direct state");
+    let direct = DlmServer::bind("127.0.0.1:0", direct_state).expect("bind direct");
+
+    // The measured run goes through the router; the mirror run replays
+    // the identical request streams against one direct server.
+    let (routed_runs, wall_secs) = replay(front.local_addr(), clients, scenario);
+    let (direct_runs, _) = replay(direct.local_addr(), clients, scenario);
+
+    // Protocol gate (routed run).
+    let requests: usize = routed_runs.iter().map(|r| r.requests).sum();
+    let ok_responses: usize = routed_runs.iter().map(|r| r.ok_responses).sum();
+    let protocol_ok = requests == ok_responses;
+    if !protocol_ok {
+        eprintln!("PROTOCOL GATE FAILED: {ok_responses}/{requests} responses ok");
+    }
+
+    // Routing gate: every response byte a client saw through the router
+    // equals what the direct server answered to the same request.
+    let mut identical = true;
+    for (id, (routed, direct)) in routed_runs.iter().zip(&direct_runs).enumerate() {
+        if routed.responses != direct.responses {
+            identical = false;
+            let diverged = routed
+                .responses
+                .iter()
+                .zip(&direct.responses)
+                .position(|(a, b)| a != b);
+            eprintln!(
+                "ROUTING GATE FAILED: client {id} (shard {}) diverges from the direct server \
+                 at response {diverged:?}",
+                shards[id],
+            );
+        }
+    }
+    // And the cross-client gate still holds through the router.
+    let gates_match = routed_runs
+        .windows(2)
+        .all(|pair| pair[0].gate_models == pair[1].gate_models)
+        && !routed_runs[0].gate_models.is_empty();
+    if !gates_match {
+        identical = false;
+        eprintln!("ROUTING GATE FAILED: gate forecasts differ across routed clients");
+    }
+
+    // Aggregated stats: cache counters must equal the sum over shards.
+    let mut stats_client = Client::connect(front.local_addr());
+    let (stats_raw, _) = stats_client.round_trip(r#"{"type":"stats"}"#);
+    let stats = Json::parse(&stats_raw).expect("router stats parse");
+    let nested = |outer: &str, key: &str| -> u64 {
+        stats
+            .get("aggregate")
+            .and_then(|a| a.get(outer))
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    };
+    let shard_sum = |key: &str| -> u64 {
+        stats
+            .get("backends")
+            .and_then(Json::as_array)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|e| {
+                        e.get("stats")
+                            .and_then(|s| s.get("cache"))
+                            .and_then(|c| c.get(key))
+                            .and_then(Json::as_u64)
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    };
+    for key in ["hits", "misses", "evictions"] {
+        if nested("cache", key) != shard_sum(key) {
+            identical = false;
+            eprintln!(
+                "STATS GATE FAILED: aggregate cache.{key} {} != shard sum {}",
+                nested("cache", key),
+                shard_sum(key)
+            );
+        }
+    }
+    let routed_counts: Vec<u64> = stats
+        .get("router")
+        .and_then(|r| r.get("routed"))
+        .and_then(Json::as_array)
+        .map(|arr| arr.iter().filter_map(Json::as_u64).collect())
+        .unwrap_or_default();
+
+    let ingest: Vec<f64> = routed_runs
+        .iter()
+        .flat_map(|r| r.ingest_latencies.clone())
+        .collect();
+    let forecast: Vec<f64> = routed_runs
+        .iter()
+        .flat_map(|r| r.forecast_latencies.clone())
+        .collect();
+    let throughput = requests as f64 / wall_secs.max(1e-9);
+    let json = format!(
+        "{{\n  \"schema\": \"dlm-bench/router/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"backends\": {ROUTER_BACKENDS},\n  \"clients\": {clients},\n  \
+         \"hours_streamed\": {horizon},\n  \"votes_replayed_per_client\": {replayed},\n  \
+         \"requests\": {requests},\n  \"wall_seconds\": {wall_secs:.3},\n  \
+         \"throughput_rps\": {throughput:.2},\n  \"ingest_latency\": {ingest},\n  \
+         \"forecast_latency\": {forecast},\n  \"routed_per_backend\": {routed_counts:?},\n  \
+         \"aggregate_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}}},\n  \
+         \"protocol_ok\": {protocol_ok},\n  \"routed_identical\": {identical}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        horizon = scenario.horizon,
+        ingest = stats_json(&ingest),
+        forecast = stats_json(&forecast),
+        hits = nested("cache", "hits"),
+        misses = nested("cache", "misses"),
+        evictions = nested("cache", "evictions"),
+    );
+    let out = bench_out("BENCH_router.json");
+    std::fs::write(&out, &json).expect("write bench json");
+
+    print_latencies(&ingest, &forecast);
+    eprintln!(
+        "{requests} routed requests over {clients} connections in {wall_secs:.2}s -> \
+         {throughput:.1} req/s (routed per backend: {routed_counts:?}) -> {out}"
+    );
+    drop(front);
+    drop(backends);
     if !(protocol_ok && identical) {
         std::process::exit(1);
     }

@@ -150,6 +150,49 @@ impl InterestGrouping {
     }
 }
 
+/// The exact nonempty interest-distance groups the batch
+/// [`interest_density_matrix`] counts over: Eq.-1 distances from the
+/// initiator, binned by `strategy`, with empty bins merged *forward*
+/// into the next nonempty group (so every group has a well-defined
+/// density denominator). Streaming consumers (the `dlm-serve`
+/// interest-metric `open`) share this construction so live and batch
+/// counting agree group-for-group.
+///
+/// # Errors
+///
+/// Propagates [`InterestGrouping::compute`] errors;
+/// [`CascadeError::InvalidParameter`] when no group is nonempty.
+pub fn interest_groups(
+    profile: &InterestProfile,
+    initiator: usize,
+    user_count: usize,
+    groups: u32,
+    strategy: GroupingStrategy,
+) -> Result<Vec<Vec<usize>>> {
+    let grouping = InterestGrouping::compute(profile, initiator, user_count, groups, strategy)?;
+    // Merge any empty groups into their successor to keep densities defined.
+    let mut merged: Vec<Vec<usize>> = Vec::new();
+    let mut pending: Vec<usize> = Vec::new();
+    for g in grouping.groups {
+        let mut g = g;
+        if !pending.is_empty() {
+            g.append(&mut pending);
+        }
+        if g.is_empty() {
+            pending = g;
+        } else {
+            merged.push(g);
+        }
+    }
+    if merged.is_empty() {
+        return Err(CascadeError::InvalidParameter {
+            name: "groups",
+            reason: "no nonempty interest group".into(),
+        });
+    }
+    Ok(merged)
+}
+
 /// Computes the interest-distance density matrix `I(x, t)` for a cascade,
 /// with `groups` interest groups over `hours` hours.
 ///
@@ -174,28 +217,7 @@ pub fn interest_density_matrix(
             reason: "must be positive".into(),
         });
     }
-    let grouping =
-        InterestGrouping::compute(profile, cascade.initiator(), user_count, groups, strategy)?;
-    // Merge any empty groups into their successor to keep densities defined.
-    let mut merged: Vec<Vec<usize>> = Vec::new();
-    let mut pending: Vec<usize> = Vec::new();
-    for g in grouping.groups {
-        let mut g = g;
-        if !pending.is_empty() {
-            g.append(&mut pending);
-        }
-        if g.is_empty() {
-            pending = g;
-        } else {
-            merged.push(g);
-        }
-    }
-    if merged.is_empty() {
-        return Err(CascadeError::InvalidParameter {
-            name: "groups",
-            reason: "no nonempty interest group".into(),
-        });
-    }
+    let merged = interest_groups(profile, cascade.initiator(), user_count, groups, strategy)?;
     let sizes: Vec<usize> = merged.iter().map(Vec::len).collect();
     let counts = cumulative_counts(&merged, cascade.votes(), cascade.submit_time(), hours);
     DensityMatrix::from_counts(&counts, &sizes)

@@ -37,6 +37,41 @@ pub struct CacheStats {
     pub evictions: u64,
 }
 
+impl CacheStats {
+    /// Field-wise sum of two counter sets, saturating instead of
+    /// wrapping — a sharded deployment aggregating counters from many
+    /// backends must never report a small number because one backend
+    /// overflowed the total.
+    #[must_use]
+    pub fn merged(self, other: Self) -> Self {
+        Self {
+            hits: self.hits.saturating_add(other.hits),
+            misses: self.misses.saturating_add(other.misses),
+            evictions: self.evictions.saturating_add(other.evictions),
+        }
+    }
+}
+
+impl std::ops::Add for CacheStats {
+    type Output = Self;
+
+    fn add(self, other: Self) -> Self {
+        self.merged(other)
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, other: Self) {
+        *self = self.merged(other);
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Self::merged)
+    }
+}
+
 struct Inner<K, V> {
     /// key -> (value, recency stamp).
     map: HashMap<K, (V, u64)>,
@@ -179,6 +214,41 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_merge_sums_and_saturates() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 2,
+            evictions: 1,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+        };
+        let sum: CacheStats = [a, b].into_iter().sum();
+        assert_eq!(sum, a + b);
+        assert_eq!(
+            sum,
+            CacheStats {
+                hits: 13,
+                misses: 22,
+                evictions: 31
+            }
+        );
+        let mut acc = a;
+        acc += b;
+        assert_eq!(acc, sum);
+        let saturated = CacheStats {
+            hits: u64::MAX,
+            misses: 0,
+            evictions: 0,
+        }
+        .merged(a);
+        assert_eq!(saturated.hits, u64::MAX);
+        assert_eq!(saturated.misses, 2);
+    }
 
     #[test]
     fn get_and_insert_round_trip() {

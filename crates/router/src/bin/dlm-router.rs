@@ -1,0 +1,87 @@
+//! The standalone `dlm-router` binary: a consistent-hash routing tier
+//! over running `dlm-serve` backends.
+//!
+//! ```text
+//! dlm-router --backend 127.0.0.1:7878 --backend 127.0.0.1:7879
+//!            [--addr 127.0.0.1:7900] [--replicas 64] [--workers N]
+//! ```
+//!
+//! Prints one `READY {"addr":...,"backends":N}` line once the socket is
+//! bound (scripts and the load generator wait for it), then routes
+//! until killed. Backends are dialed lazily, so the router may be
+//! started before its backends; requests to a not-yet-up backend simply
+//! surface that backend's error until it arrives.
+
+use dlm_core::evaluate::Parallelism;
+use dlm_router::{RouterConfig, RouterState};
+use dlm_serve::DlmServer;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dlm-router --backend HOST:PORT [--backend HOST:PORT ...] \
+         [--addr HOST:PORT] [--replicas N] [--workers N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7900".to_owned();
+    let mut backends: Vec<String> = Vec::new();
+    let mut replicas = dlm_router::HashRing::DEFAULT_REPLICAS;
+    let mut parallelism = Parallelism::Auto;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--backend" => backends.push(value("--backend")),
+            "--replicas" => {
+                replicas = value("--replicas").parse().unwrap_or_else(|_| usage());
+            }
+            "--workers" => {
+                parallelism =
+                    Parallelism::Fixed(value("--workers").parse().unwrap_or_else(|_| usage()));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if backends.is_empty() {
+        eprintln!("need at least one --backend");
+        usage();
+    }
+
+    let state = match RouterState::new(RouterConfig {
+        replicas,
+        parallelism,
+        ..RouterConfig::new(backends)
+    }) {
+        Ok(state) => state,
+        Err(e) => {
+            eprintln!("invalid configuration: {e}");
+            std::process::exit(2);
+        }
+    };
+    let backend_count = state.backend_addrs().len();
+    let server = DlmServer::bind(addr.as_str(), state).expect("bind");
+    println!(
+        "READY {{\"addr\":\"{}\",\"backends\":{backend_count}}}",
+        server.local_addr(),
+    );
+    eprintln!(
+        "routing over {backend_count} backends on {}; Ctrl-C to stop",
+        server.local_addr()
+    );
+    // Route until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,441 @@
+//! The routing tier: deterministic cascade placement over N backends,
+//! pooled proxy connections, and scatter-gather `stats`.
+//!
+//! [`RouterState`] implements [`dlm_serve::LineService`], so the exact
+//! TCP front end that serves a single `dlm-serve` process
+//! ([`dlm_serve::DlmServer`]) also serves the router — clients cannot
+//! tell the difference, which is the point: `open`, `ingest`, and
+//! `forecast` lines are forwarded **verbatim** to the backend that owns
+//! the cascade id on the [`crate::ring::HashRing`], and the backend's
+//! response line is relayed **verbatim** back. The router never
+//! re-serializes a routed payload, so a routed forecast is trivially
+//! byte-identical to the same forecast served directly — the
+//! `router_roundtrip` integration test and the `serve_load --router`
+//! gate both check exactly that over real sockets.
+//!
+//! ## Connection pooling and failure surfacing
+//!
+//! Each backend keeps a small pool of idle [`LineClient`] connections.
+//! A request checks one out (or dials a fresh one), and returns it on
+//! success. A *pure read* (`forecast`, `stats`) that fails on a pooled
+//! connection is retried once on a freshly dialed connection — the
+//! usual stale-keepalive case. State-changing requests are **never**
+//! re-sent: once the bytes may have reached the backend, a retried
+//! `ingest` could double-count votes and a retried `open` whose first
+//! attempt was applied would be answered with a misleading
+//! `duplicate cascade` error — both surface the mid-request failure as
+//! state-unknown instead. Failures surface as `{"ok":false,...}`
+//! responses carrying a `"backend"` field naming the shard, so one dead
+//! backend degrades only its own cascades while every other shard keeps
+//! serving.
+//!
+//! ## `stats` scatter-gather
+//!
+//! `stats` fans out to every backend concurrently on the
+//! [`dlm_numerics::pool`] executor and aggregates the shard counters
+//! into one cluster view: counts are summed (cache hit/miss/eviction
+//! counters merge through [`dlm_core::cache::CacheStats`]), per-backend
+//! round-trip latencies are reported with their max, and unreachable
+//! backends are listed per shard while the reachable remainder still
+//! aggregates (`"degraded": true`).
+
+use crate::ring::HashRing;
+use dlm_core::cache::CacheStats;
+use dlm_core::evaluate::Parallelism;
+use dlm_numerics::pool::parallel_map;
+use dlm_serve::protocol::error_response;
+use dlm_serve::{Json, LineClient, LineService, Result, ServeError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tuning knobs for [`RouterState`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Backend addresses (`host:port`), each a running `dlm-serve`.
+    /// Their textual form is the ring label, so keep it stable across
+    /// restarts.
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the consistent-hash ring.
+    pub replicas: usize,
+    /// Parallelism of the `stats` scatter-gather fan-out.
+    pub parallelism: Parallelism,
+    /// Idle proxy connections kept per backend; checked-out connections
+    /// beyond this are closed on return instead of pooled.
+    pub max_idle_per_backend: usize,
+}
+
+impl RouterConfig {
+    /// A config routing to `backends` with default tuning.
+    #[must_use]
+    pub fn new(backends: Vec<String>) -> Self {
+        Self {
+            backends,
+            replicas: HashRing::DEFAULT_REPLICAS,
+            parallelism: Parallelism::Auto,
+            max_idle_per_backend: 8,
+        }
+    }
+}
+
+/// One backend shard: its address, its idle-connection pool, and its
+/// routing/error counters.
+#[derive(Debug)]
+struct Backend {
+    addr: String,
+    idle: Mutex<Vec<LineClient>>,
+    max_idle: usize,
+    /// Requests routed to this backend (including retries' successes).
+    routed: AtomicU64,
+    /// Requests that failed against this backend after any retry.
+    errors: AtomicU64,
+}
+
+impl Backend {
+    fn new(addr: String, max_idle: usize) -> Self {
+        Self {
+            addr,
+            idle: Mutex::new(Vec::new()),
+            max_idle,
+            routed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    fn checkout(&self) -> Option<LineClient> {
+        self.idle.lock().expect("backend pool poisoned").pop()
+    }
+
+    fn checkin(&self, client: LineClient) {
+        let mut idle = self.idle.lock().expect("backend pool poisoned");
+        if idle.len() < self.max_idle {
+            idle.push(client);
+        }
+    }
+
+    /// One request line out, one response line back, with the
+    /// stale-pooled-connection retry described in the module docs.
+    ///
+    /// `retriable` must be `false` for requests that mutate backend
+    /// state (`ingest`, `open`): a pooled connection that dies *after*
+    /// the write may have delivered the request, and a blind re-send
+    /// would apply it twice (or report a spurious duplicate) — the
+    /// failure is surfaced as state-unknown instead.
+    fn round_trip(&self, line: &str, retriable: bool) -> std::result::Result<String, String> {
+        self.routed.fetch_add(1, Ordering::Relaxed);
+        // First try a pooled connection, if any survived.
+        if let Some(mut client) = self.checkout() {
+            match client.send_raw(line) {
+                Ok(response) => {
+                    self.checkin(client);
+                    return Ok(response);
+                }
+                Err(e) => {
+                    drop(client); // dead either way
+                    if !retriable {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        return Err(format!(
+                            "{e} (pooled connection failed mid-request; not retried — \
+                             the backend may or may not have applied it)"
+                        ));
+                    }
+                    // Stale keepalive on a read-only request: retry
+                    // fresh below.
+                }
+            }
+        }
+        let fresh = || -> dlm_serve::Result<(LineClient, String)> {
+            let mut client = LineClient::connect(self.addr.as_str())?;
+            let response = client.send_raw(line)?;
+            Ok((client, response))
+        };
+        match fresh() {
+            Ok((client, response)) => {
+                self.checkin(client);
+                Ok(response)
+            }
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                Err(e.to_string())
+            }
+        }
+    }
+}
+
+/// The sharding tier: a [`LineService`] that owns the ring and the
+/// backend pools.
+#[derive(Debug)]
+pub struct RouterState {
+    ring: HashRing,
+    backends: Vec<Backend>,
+    parallelism: Parallelism,
+    requests: AtomicU64,
+}
+
+impl RouterState {
+    /// Builds the router. Backends are dialed lazily on first use, so
+    /// the router comes up even while backends are still starting.
+    ///
+    /// # Errors
+    ///
+    /// Ring-construction errors: no backends, duplicate addresses, or
+    /// zero replicas.
+    pub fn new(config: RouterConfig) -> Result<Self> {
+        let ring = HashRing::new(&config.backends, config.replicas)?;
+        let backends = config
+            .backends
+            .into_iter()
+            .map(|addr| Backend::new(addr, config.max_idle_per_backend))
+            .collect();
+        Ok(Self {
+            ring,
+            backends,
+            parallelism: config.parallelism,
+            requests: AtomicU64::new(0),
+        })
+    }
+
+    /// Backend addresses, in configuration order (ring labels).
+    #[must_use]
+    pub fn backend_addrs(&self) -> Vec<String> {
+        self.backends.iter().map(|b| b.addr.clone()).collect()
+    }
+
+    /// The backend index that owns `cascade` on the ring.
+    #[must_use]
+    pub fn shard_of(&self, cascade: &str) -> usize {
+        self.ring.route(cascade)
+    }
+
+    /// Handles one protocol line: `stats` scatter-gathers, everything
+    /// else forwards to the owning shard. Mirrors
+    /// [`dlm_serve::ServerState::handle_line`]'s contract — malformed
+    /// input becomes an `{"ok":false,...}` line, never a panic.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match self.route_line(line) {
+            // A relayed backend response is passed through untouched —
+            // this is what keeps routed forecasts byte-identical to
+            // direct ones.
+            Ok(Routed::Relayed(raw)) => raw,
+            Ok(Routed::Synthesized(value)) => value.to_string(),
+            Err(e) => error_response(&e.to_string()).to_string(),
+        }
+    }
+
+    fn route_line(&self, line: &str) -> Result<Routed> {
+        let value = Json::parse(line).map_err(ServeError::Protocol)?;
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::Protocol("missing field `type`".into()))?;
+        match kind {
+            "stats" => Ok(Routed::Synthesized(self.handle_stats())),
+            "open" | "ingest" | "forecast" => {
+                let cascade = value
+                    .get("cascade")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ServeError::Protocol("missing field `cascade`".into()))?;
+                let backend = &self.backends[self.ring.route(cascade)];
+                // Only pure reads (`forecast`) are retried on a stale
+                // pooled connection. `ingest` re-sends could double-
+                // count votes, and an `open` whose first attempt was
+                // applied would be answered with a misleading
+                // `duplicate cascade` error on retry — both surface the
+                // failure as state-unknown instead.
+                match backend.round_trip(line, kind == "forecast") {
+                    Ok(response) => Ok(Routed::Relayed(response)),
+                    Err(reason) => Ok(Routed::Synthesized(Json::Obj(vec![
+                        ("ok".to_owned(), Json::Bool(false)),
+                        (
+                            "error".to_owned(),
+                            Json::str(format!("backend `{}` unavailable: {reason}", backend.addr)),
+                        ),
+                        ("backend".to_owned(), Json::str(backend.addr.clone())),
+                    ]))),
+                }
+            }
+            other => Err(ServeError::Protocol(format!(
+                "unknown request type `{other}`"
+            ))),
+        }
+    }
+
+    /// Fans `{"type":"stats"}` out to every backend and folds the shard
+    /// counters into one cluster view.
+    fn handle_stats(&self) -> Json {
+        let indices: Vec<usize> = (0..self.backends.len()).collect();
+        let gathered: Vec<(f64, std::result::Result<Json, String>)> =
+            parallel_map(self.parallelism, &indices, |_, &i| {
+                let start = Instant::now();
+                let outcome = self.backends[i]
+                    .round_trip(r#"{"type":"stats"}"#, true)
+                    .and_then(|raw| {
+                        Json::parse(&raw).map_err(|e| format!("bad stats response: {e}"))
+                    });
+                (start.elapsed().as_secs_f64() * 1e3, outcome)
+            });
+
+        let mut backends = Vec::with_capacity(self.backends.len());
+        let mut cache = CacheStats::default();
+        let mut sums = Sums::default();
+        let mut models: Option<Json> = None;
+        let mut reachable = 0usize;
+        let mut slowest_ms = 0f64;
+        for (backend, (ms, outcome)) in self.backends.iter().zip(gathered) {
+            let mut entry = vec![("addr".to_owned(), Json::str(backend.addr.clone()))];
+            match outcome {
+                Ok(stats) => {
+                    reachable += 1;
+                    slowest_ms = slowest_ms.max(ms);
+                    cache += CacheStats {
+                        hits: nested_u64(&stats, "cache", "hits"),
+                        misses: nested_u64(&stats, "cache", "misses"),
+                        evictions: nested_u64(&stats, "cache", "evictions"),
+                    };
+                    sums.absorb(&stats);
+                    if models.is_none() {
+                        models = stats.get("models").cloned();
+                    }
+                    entry.push(("ok".to_owned(), Json::Bool(true)));
+                    entry.push(("ms".to_owned(), Json::num(ms)));
+                    entry.push(("stats".to_owned(), stats));
+                }
+                Err(reason) => {
+                    entry.push(("ok".to_owned(), Json::Bool(false)));
+                    entry.push(("error".to_owned(), Json::str(reason)));
+                }
+            }
+            backends.push(Json::Obj(entry));
+        }
+
+        if reachable == 0 {
+            return Json::Obj(vec![
+                ("ok".to_owned(), Json::Bool(false)),
+                ("error".to_owned(), Json::str("no backend reachable")),
+                ("backends".to_owned(), Json::Arr(backends)),
+            ]);
+        }
+
+        let aggregate = Json::Obj(vec![
+            (
+                "cache".to_owned(),
+                Json::Obj(vec![
+                    ("hits".to_owned(), Json::num(cache.hits as f64)),
+                    ("misses".to_owned(), Json::num(cache.misses as f64)),
+                    ("evictions".to_owned(), Json::num(cache.evictions as f64)),
+                    ("len".to_owned(), Json::num(sums.cache_len as f64)),
+                    ("capacity".to_owned(), Json::num(sums.cache_capacity as f64)),
+                ]),
+            ),
+            ("cascades".to_owned(), Json::num(sums.cascades as f64)),
+            (
+                "cascade_evictions".to_owned(),
+                Json::num(sums.cascade_evictions as f64),
+            ),
+            (
+                "cascade_expirations".to_owned(),
+                Json::num(sums.cascade_expirations as f64),
+            ),
+            ("requests".to_owned(), Json::num(sums.requests as f64)),
+            ("refit_jobs".to_owned(), Json::num(sums.refit_jobs as f64)),
+            (
+                "hours_closed".to_owned(),
+                Json::num(sums.hours_closed as f64),
+            ),
+            ("models".to_owned(), models.unwrap_or(Json::Arr(Vec::new()))),
+        ]);
+        let router = Json::Obj(vec![
+            (
+                "requests".to_owned(),
+                Json::num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "routed".to_owned(),
+                Json::Arr(
+                    self.backends
+                        .iter()
+                        .map(|b| Json::num(b.routed.load(Ordering::Relaxed) as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "backend_errors".to_owned(),
+                Json::Arr(
+                    self.backends
+                        .iter()
+                        .map(|b| Json::num(b.errors.load(Ordering::Relaxed) as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "replicas".to_owned(),
+                Json::num(self.ring.replicas() as f64),
+            ),
+        ]);
+        Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("role".to_owned(), Json::str("router")),
+            (
+                "degraded".to_owned(),
+                Json::Bool(reachable < self.backends.len()),
+            ),
+            ("aggregate".to_owned(), aggregate),
+            ("slowest_backend_ms".to_owned(), Json::num(slowest_ms)),
+            ("router".to_owned(), router),
+            ("backends".to_owned(), Json::Arr(backends)),
+        ])
+    }
+}
+
+impl LineService for RouterState {
+    fn handle_line(&self, line: &str) -> String {
+        RouterState::handle_line(self, line)
+    }
+}
+
+/// What routing one line produced: a backend's bytes relayed verbatim,
+/// or a response the router synthesized itself (stats aggregate,
+/// routing errors).
+enum Routed {
+    Relayed(String),
+    Synthesized(Json),
+}
+
+/// Scalar counters summed across backends in the `stats` aggregate.
+#[derive(Default)]
+struct Sums {
+    cache_len: u64,
+    cache_capacity: u64,
+    cascades: u64,
+    cascade_evictions: u64,
+    cascade_expirations: u64,
+    requests: u64,
+    refit_jobs: u64,
+    hours_closed: u64,
+}
+
+impl Sums {
+    fn absorb(&mut self, stats: &Json) {
+        self.cache_len += nested_u64(stats, "cache", "len");
+        self.cache_capacity += nested_u64(stats, "cache", "capacity");
+        self.cascades += top_u64(stats, "cascades");
+        self.cascade_evictions += top_u64(stats, "cascade_evictions");
+        self.cascade_expirations += top_u64(stats, "cascade_expirations");
+        self.requests += top_u64(stats, "requests");
+        self.refit_jobs += top_u64(stats, "refit_jobs");
+        self.hours_closed += top_u64(stats, "hours_closed");
+    }
+}
+
+fn top_u64(stats: &Json, key: &str) -> u64 {
+    stats.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn nested_u64(stats: &Json, outer: &str, key: &str) -> u64 {
+    stats
+        .get(outer)
+        .and_then(|o| o.get(key))
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+}

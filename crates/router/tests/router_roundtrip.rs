@@ -1,0 +1,292 @@
+//! End-to-end contract of the routing tier, over real sockets:
+//!
+//! * **byte-identity** — every `open`/`ingest`/`forecast` response a
+//!   client receives through `dlm-router` (two backend processes'
+//!   worth of `ServerState`s) is byte-identical to the response the
+//!   same request sequence gets from one direct `dlm-serve` server,
+//!   for the full 8-model default lineup and for both distance
+//!   metrics;
+//! * **stats aggregation** — the router's scatter-gather `stats`
+//!   aggregate equals the field-wise sum of the per-backend stats it
+//!   embeds in the same response;
+//! * **failure isolation** — killing one backend surfaces a
+//!   per-backend error for cascades on its shard while every other
+//!   shard keeps serving identical bytes.
+
+use dlm_core::evaluate::Parallelism;
+use dlm_data::simulate::simulate_story;
+use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use dlm_router::{RouterConfig, RouterState};
+use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
+use dlm_serve::{Json, LineClient};
+use std::sync::Arc;
+
+const MAX_HOPS: u32 = 4;
+const HORIZON: u32 = 5;
+const OBSERVE_THROUGH: u32 = 2;
+
+fn backend_state(world: &SyntheticWorld) -> ServerState {
+    ServerState::with_world(
+        ServeConfig {
+            parallelism: Parallelism::Fixed(2),
+            ..ServeConfig::default()
+        },
+        world.clone(),
+    )
+    .expect("server state")
+}
+
+fn u(value: &Json, key: &str) -> u64 {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing counter `{key}` in {value}"))
+}
+
+#[test]
+fn routed_cluster_matches_single_server_and_degrades_per_shard() {
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).unwrap();
+    let story = simulate_story(
+        &world,
+        &StoryPreset::s1(),
+        SimulationConfig {
+            hours: HORIZON + 2,
+            substeps: 2,
+            seed: 13,
+        },
+    )
+    .unwrap();
+    let submit = story.submit_time();
+    let initiator = story.initiator();
+    let votes_json: Vec<String> = story
+        .votes()
+        .iter()
+        .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+        .collect();
+    let votes = votes_json.join(",");
+    let close_at = submit + u64::from(HORIZON) * 3600;
+
+    // Two backend shards, one direct twin, one router in front.
+    let mut b0 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let b1 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let direct = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let addrs = vec![b0.local_addr().to_string(), b1.local_addr().to_string()];
+    let router = Arc::new(
+        RouterState::new(RouterConfig {
+            parallelism: Parallelism::Fixed(2),
+            ..RouterConfig::new(addrs.clone())
+        })
+        .unwrap(),
+    );
+    let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).unwrap();
+
+    // Pick cascade ids deterministically so each shard owns three.
+    let mut ids: Vec<String> = Vec::new();
+    let mut per_shard = [0usize; 2];
+    for i in 0..64 {
+        let id = format!("c{i}");
+        let shard = router.shard_of(&id);
+        if per_shard[shard] < 3 {
+            per_shard[shard] += 1;
+            ids.push(id);
+        }
+        if ids.len() == 6 {
+            break;
+        }
+    }
+    assert_eq!(per_shard, [3, 3], "both shards must own cascades");
+
+    let mut routed = LineClient::connect(front.local_addr()).unwrap();
+    let mut single = LineClient::connect(direct.local_addr()).unwrap();
+    let gate_hours: Vec<String> = (OBSERVE_THROUGH + 1..=HORIZON)
+        .map(|h| h.to_string())
+        .collect();
+    let gate_hours = gate_hours.join(",");
+
+    // The same request stream through the router and through one direct
+    // server must produce byte-identical response lines — the hop metric
+    // with the full 8-model lineup, plus one interest-metric cascade.
+    let mut forecast_lines = Vec::new();
+    for id in &ids {
+        let mut requests = vec![
+            format!(
+                r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+            ),
+            format!(r#"{{"type":"ingest","cascade":"{id}","votes":[{votes}],"now":{close_at}}}"#),
+            format!(
+                r#"{{"type":"forecast","cascade":"{id}","hours":[{gate_hours}],"through":{OBSERVE_THROUGH}}}"#
+            ),
+        ];
+        if id == &ids[0] {
+            let interest_id = format!("{id}-interest");
+            requests.push(format!(
+                r#"{{"type":"open","cascade":"{interest_id}","initiator":{initiator},"metric":"interest","groups":5,"strategy":"width","horizon":{HORIZON},"submit_time":{submit}}}"#
+            ));
+            requests.push(format!(
+                r#"{{"type":"ingest","cascade":"{interest_id}","votes":[{votes}],"now":{close_at}}}"#
+            ));
+            requests.push(format!(
+                r#"{{"type":"forecast","cascade":"{interest_id}","hours":[{gate_hours}],"through":{OBSERVE_THROUGH}}}"#
+            ));
+        }
+        for line in &requests {
+            let via_router = routed.send_raw(line).unwrap();
+            let via_single = single.send_raw(line).unwrap();
+            assert_eq!(
+                via_router, via_single,
+                "routed and direct bytes diverge for `{line}`"
+            );
+            if line.contains(r#""type":"forecast""#) {
+                let parsed = Json::parse(&via_router).unwrap();
+                assert_eq!(
+                    parsed.get("ok").and_then(Json::as_bool),
+                    Some(true),
+                    "{via_router}"
+                );
+                assert_eq!(
+                    parsed
+                        .get("models")
+                        .and_then(Json::as_array)
+                        .map(<[_]>::len),
+                    Some(8),
+                    "full lineup must be served: {via_router}"
+                );
+                forecast_lines.push((line.clone(), via_router));
+            }
+        }
+    }
+
+    // Scatter-gather stats: the aggregate must equal the field-wise sum
+    // of the per-backend stats embedded in the same response.
+    let stats = Json::parse(&routed.send_raw(r#"{"type":"stats"}"#).unwrap()).unwrap();
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(stats.get("degraded").and_then(Json::as_bool), Some(false));
+    let aggregate = stats.get("aggregate").expect("aggregate");
+    let backends = stats.get("backends").and_then(Json::as_array).unwrap();
+    assert_eq!(backends.len(), 2);
+    let shard_stats: Vec<&Json> = backends
+        .iter()
+        .map(|b| {
+            assert_eq!(b.get("ok").and_then(Json::as_bool), Some(true), "{b}");
+            b.get("stats").expect("embedded shard stats")
+        })
+        .collect();
+    for key in [
+        "cascades",
+        "cascade_evictions",
+        "cascade_expirations",
+        "requests",
+        "refit_jobs",
+        "hours_closed",
+    ] {
+        let sum: u64 = shard_stats.iter().map(|s| u(s, key)).sum();
+        assert_eq!(u(aggregate, key), sum, "aggregate `{key}` is not the sum");
+    }
+    let agg_cache = aggregate.get("cache").expect("aggregate cache");
+    for key in ["hits", "misses", "evictions", "len", "capacity"] {
+        let sum: u64 = shard_stats
+            .iter()
+            .map(|s| u(s.get("cache").expect("shard cache"), key))
+            .sum();
+        assert_eq!(u(agg_cache, key), sum, "cache `{key}` is not the sum");
+    }
+    // Both hop shards closed every hour once per owned cascade; the
+    // interest cascade adds one more close cycle on its shard.
+    assert_eq!(u(aggregate, "hours_closed"), u64::from(HORIZON) * 7);
+    let routed_counts = stats
+        .get("router")
+        .and_then(|r| r.get("routed"))
+        .and_then(Json::as_array)
+        .unwrap();
+    assert!(
+        routed_counts
+            .iter()
+            .all(|c| c.as_u64().is_some_and(|n| n > 0)),
+        "every shard should have received traffic: {routed_counts:?}"
+    );
+
+    // Kill shard 0. Its cascades surface a per-backend error; shard 1
+    // keeps serving byte-identical forecasts, and stats degrade instead
+    // of failing.
+    b0.shutdown();
+    drop(b0);
+    let shard_of = |id: &str| router.shard_of(id);
+    let (dead_line, _) = forecast_lines
+        .iter()
+        .find(|(line, _)| {
+            let id = Json::parse(line.as_str())
+                .unwrap()
+                .get("cascade")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned();
+            shard_of(&id) == 0
+        })
+        .expect("some forecast lives on shard 0");
+    let response = Json::parse(&routed.send_raw(dead_line).unwrap()).unwrap();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        response.get("backend").and_then(Json::as_str),
+        Some(addrs[0].as_str()),
+        "the failing shard must be named: {response}"
+    );
+    assert!(
+        response
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unavailable"),
+        "{response}"
+    );
+    for (line, before) in forecast_lines
+        .iter()
+        .filter(|(line, _)| {
+            let parsed = Json::parse(line.as_str()).unwrap();
+            shard_of(parsed.get("cascade").and_then(Json::as_str).unwrap()) == 1
+        })
+        .take(2)
+    {
+        let after = routed.send_raw(line).unwrap();
+        assert_eq!(&after, before, "surviving shard diverged after the kill");
+    }
+    let degraded = Json::parse(&routed.send_raw(r#"{"type":"stats"}"#).unwrap()).unwrap();
+    assert_eq!(degraded.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(degraded.get("degraded").and_then(Json::as_bool), Some(true));
+    let entries = degraded.get("backends").and_then(Json::as_array).unwrap();
+    assert_eq!(entries[0].get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(entries[1].get("ok").and_then(Json::as_bool), Some(true));
+
+    drop(front);
+}
+
+#[test]
+fn router_front_end_rejects_what_it_cannot_route() {
+    // No live backends needed: these requests fail before any dial.
+    let router = RouterState::new(RouterConfig::new(vec!["127.0.0.1:9".into()])).unwrap();
+    for (line, needle) in [
+        ("not json", "protocol error"),
+        (r#"{"cascade":"x"}"#, "missing field `type`"),
+        (r#"{"type":"warp"}"#, "unknown request type"),
+        (
+            r#"{"type":"forecast","hours":[2]}"#,
+            "missing field `cascade`",
+        ),
+    ] {
+        let response = Json::parse(&router.handle_line(line)).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{line}"
+        );
+        let message = response.get("error").and_then(Json::as_str).unwrap();
+        assert!(message.contains(needle), "`{line}` -> `{message}`");
+    }
+    // A routable request against a dead backend surfaces the shard.
+    let response =
+        Json::parse(&router.handle_line(r#"{"type":"ingest","cascade":"x","votes":[]}"#)).unwrap();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        response.get("backend").and_then(Json::as_str),
+        Some("127.0.0.1:9")
+    );
+}

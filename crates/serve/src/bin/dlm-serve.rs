@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! dlm-serve [--addr 127.0.0.1:7878] [--scale 0.15] [--capacity 1024]
-//!           [--workers N] [--no-prewarm] [--quick-lineup]
+//!           [--cascades 4096] [--cascade-ttl SECS] [--workers N]
+//!           [--no-prewarm] [--quick-lineup]
 //! ```
 //!
 //! Prints one `READY {"addr":...}` line once the socket is bound (the
@@ -16,8 +17,8 @@ use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dlm-serve [--addr HOST:PORT] [--scale F] [--capacity N] [--workers N] \
-         [--no-prewarm] [--quick-lineup]"
+        "usage: dlm-serve [--addr HOST:PORT] [--scale F] [--capacity N] [--cascades N] \
+         [--cascade-ttl SECS] [--workers N] [--no-prewarm] [--quick-lineup]"
     );
     std::process::exit(2);
 }
@@ -41,6 +42,13 @@ fn main() {
             }
             "--capacity" => {
                 config.cache_capacity = value("--capacity").parse().unwrap_or_else(|_| usage());
+            }
+            "--cascades" => {
+                config.cascade_capacity = value("--cascades").parse().unwrap_or_else(|_| usage());
+            }
+            "--cascade-ttl" => {
+                let secs: u64 = value("--cascade-ttl").parse().unwrap_or_else(|_| usage());
+                config.cascade_ttl = Some(std::time::Duration::from_secs(secs));
             }
             "--workers" => {
                 config.parallelism =

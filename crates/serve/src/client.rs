@@ -11,6 +11,21 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 /// A connected protocol client.
+///
+/// ```no_run
+/// use dlm_serve::LineClient;
+///
+/// # fn main() -> dlm_serve::Result<()> {
+/// // Works against a `dlm-serve` backend or a `dlm-router` tier —
+/// // both ends speak the same protocol (docs/PROTOCOL.md).
+/// let mut client = LineClient::connect("127.0.0.1:7878")?;
+/// let open = client.send_ok(r#"{"type":"open","cascade":"c1","story":1,"horizon":24}"#)?;
+/// assert_eq!(open.get("cascade").and_then(|v| v.as_str()), Some("c1"));
+/// let stats = client.send_ok(r#"{"type":"stats"}"#)?;
+/// println!("cache counters: {}", stats.get("cache").unwrap());
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug)]
 pub struct LineClient {
     reader: BufReader<TcpStream>,

@@ -18,10 +18,17 @@
 //!   cache through the exact fit path of the offline
 //!   [`dlm_core::evaluate::EvaluationPipeline`], so a served forecast is
 //!   byte-identical to offline evaluation of the same observation;
+//! * [`store`] — **bounded cascade residency**: the live-cascade table
+//!   is an LRU-ordered [`store::CascadeStore`] with an optional idle
+//!   TTL, so abandoned cascades release memory the same way fitted
+//!   models age out of the bounded cache;
 //! * [`protocol`] + [`json`] — **the front end**: JSON lines over TCP
 //!   (`std::net`, hand-rolled framing and JSON with round-trip-exact
-//!   floats), with `open`, `ingest`, `forecast`, and `stats` requests,
-//!   served by [`server::DlmServer`] and the `dlm-serve` binary.
+//!   floats), with `open` (hop or shared-interest metric), `ingest`,
+//!   `forecast`, and `stats` requests, served by [`server::DlmServer`]
+//!   and the `dlm-serve` binary. The normative wire spec lives in
+//!   `docs/PROTOCOL.md` at the repository root; the `dlm-router` crate
+//!   speaks the same protocol in front of many backends.
 //!
 //! ## Example (in-process)
 //!
@@ -57,10 +64,12 @@ pub mod json;
 pub mod live;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use client::LineClient;
 pub use error::{Result, ServeError};
 pub use json::Json;
 pub use live::{IngestOutcome, LiveCascade};
-pub use protocol::Request;
-pub use server::{DlmServer, ServeConfig, ServerState};
+pub use protocol::{OpenMetric, Request};
+pub use server::{DlmServer, LineService, ServeConfig, ServerState};
+pub use store::{CascadeStore, StoreStats};

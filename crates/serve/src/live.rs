@@ -40,6 +40,32 @@ pub enum IngestOutcome {
 
 /// A cascade under live observation: per-group per-hour vote counts,
 /// maintained incrementally.
+///
+/// ```
+/// use dlm_serve::live::{IngestOutcome, LiveCascade};
+/// use dlm_data::Vote;
+///
+/// # fn main() -> dlm_serve::Result<()> {
+/// // Two distance groups, submission at t = 0, 6 tracked hours.
+/// let groups = vec![vec![1, 2, 3], vec![4, 5]];
+/// let mut live = LiveCascade::new(&groups, 0, 6)?;
+///
+/// // A vote in hour 1 is counted; nothing is queryable yet because
+/// // hour 1 is still in progress.
+/// let outcome = live.ingest(Vote { timestamp: 600, voter: 2, story: 1 })?;
+/// assert_eq!(outcome, IngestOutcome::Counted);
+/// assert_eq!(live.closed_hours(), 0);
+///
+/// // A vote in hour 3 proves hours 1 and 2 are over; the density over
+/// // the closed prefix is now available and bit-identical to the batch
+/// // builders on the same votes.
+/// live.ingest(Vote { timestamp: 2 * 3600 + 5, voter: 4, story: 1 })?;
+/// assert_eq!(live.closed_hours(), 2);
+/// let matrix = live.matrix()?;
+/// assert_eq!(matrix.at(1, 1)?, 100.0 / 3.0); // 1 of 3 group-1 users
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct LiveCascade {
     /// user id -> distance-group index, `None` outside every group.

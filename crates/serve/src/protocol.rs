@@ -24,6 +24,35 @@
 
 use crate::error::{Result, ServeError};
 use crate::json::Json;
+use dlm_cascade::GroupingStrategy;
+
+/// The distance metric an `open` request tracks (the paper's two
+/// metrics, §III.B). Each variant carries exactly the tuning fields
+/// that are meaningful for it, so every combination round-trips
+/// through its wire form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpenMetric {
+    /// Friendship-hop BFS distance (`"metric":"hops"`, the default);
+    /// groups come from [`dlm_cascade::hops::hop_groups`].
+    Hops {
+        /// Maximum hop distance tracked (`max_hops`, default 5 — the
+        /// paper's range).
+        max_hops: u32,
+    },
+    /// Shared-interest (Eq.-1 Jaccard) distance
+    /// (`"metric":"interest"`); groups come from
+    /// [`dlm_cascade::interest_groups::interest_groups`].
+    Interest {
+        /// Number of interest bins requested (`groups`, default 5 — the
+        /// paper's count; empty bins merge forward, so fewer may
+        /// result).
+        groups: u32,
+        /// Binning strategy (`"strategy":"width"` for the paper's
+        /// equal-width interest ranges, `"quantile"` for the ablation
+        /// alternative).
+        strategy: GroupingStrategy,
+    },
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,8 +67,10 @@ pub enum Request {
         /// Story ordinal resolved through the server's synthetic world
         /// (`story` field, 1-based preset id).
         story: Option<u32>,
-        /// Maximum hop distance tracked (default 5, the paper's range).
-        max_hops: u32,
+        /// Distance metric to bucket voters by (`metric` field), with
+        /// its metric-specific tuning (`max_hops` / `groups` +
+        /// `strategy`).
+        metric: OpenMetric,
         /// Observation horizon in hours (default 50, the paper's span).
         horizon: u32,
         /// Cascade submission time. Defaults to the simulator's fixed
@@ -130,14 +161,47 @@ impl Request {
         let value = Json::parse(line).map_err(ServeError::Protocol)?;
         let kind = str_field(&value, "type")?;
         match kind.as_str() {
-            "open" => Ok(Self::Open {
-                cascade: str_field(&value, "cascade")?,
-                initiator: opt_u64(&value, "initiator")?.map(|v| v as usize),
-                story: opt_u32(&value, "story")?,
-                max_hops: opt_u32(&value, "max_hops")?.unwrap_or(5),
-                horizon: opt_u32(&value, "horizon")?.unwrap_or(50),
-                submit_time: opt_u64(&value, "submit_time")?,
-            }),
+            "open" => {
+                let hops = || -> Result<OpenMetric> {
+                    Ok(OpenMetric::Hops {
+                        max_hops: opt_u32(&value, "max_hops")?.unwrap_or(5),
+                    })
+                };
+                let metric = match value.get("metric") {
+                    None | Some(Json::Null) => hops()?,
+                    Some(v) => match v.as_str() {
+                        Some("hops") => hops()?,
+                        Some("interest") => OpenMetric::Interest {
+                            groups: opt_u32(&value, "groups")?.unwrap_or(5),
+                            strategy: match value.get("strategy") {
+                                None | Some(Json::Null) => GroupingStrategy::EqualWidth,
+                                Some(v) => match v.as_str() {
+                                    Some("width") => GroupingStrategy::EqualWidth,
+                                    Some("quantile") => GroupingStrategy::Quantile,
+                                    _ => {
+                                        return Err(ServeError::Protocol(
+                                            "field `strategy` must be `width` or `quantile`".into(),
+                                        ))
+                                    }
+                                },
+                            },
+                        },
+                        _ => {
+                            return Err(ServeError::Protocol(
+                                "field `metric` must be `hops` or `interest`".into(),
+                            ))
+                        }
+                    },
+                };
+                Ok(Self::Open {
+                    cascade: str_field(&value, "cascade")?,
+                    initiator: opt_u64(&value, "initiator")?.map(|v| v as usize),
+                    story: opt_u32(&value, "story")?,
+                    metric,
+                    horizon: opt_u32(&value, "horizon")?.unwrap_or(50),
+                    submit_time: opt_u64(&value, "submit_time")?,
+                })
+            }
             "ingest" => {
                 let votes = field(&value, "votes")?
                     .as_array()
@@ -207,7 +271,7 @@ impl Request {
                 cascade,
                 initiator,
                 story,
-                max_hops,
+                metric,
                 horizon,
                 submit_time,
             } => {
@@ -221,7 +285,24 @@ impl Request {
                 if let Some(s) = story {
                     fields.push(("story".to_owned(), Json::num(f64::from(*s))));
                 }
-                fields.push(("max_hops".to_owned(), Json::num(f64::from(*max_hops))));
+                match metric {
+                    // The default metric stays implicit so the wire form
+                    // of a hops `open` is unchanged across versions.
+                    OpenMetric::Hops { max_hops } => {
+                        fields.push(("max_hops".to_owned(), Json::num(f64::from(*max_hops))));
+                    }
+                    OpenMetric::Interest { groups, strategy } => {
+                        fields.push(("metric".to_owned(), Json::str("interest")));
+                        fields.push(("groups".to_owned(), Json::num(f64::from(*groups))));
+                        fields.push((
+                            "strategy".to_owned(),
+                            Json::str(match strategy {
+                                GroupingStrategy::EqualWidth => "width",
+                                GroupingStrategy::Quantile => "quantile",
+                            }),
+                        ));
+                    }
+                }
                 fields.push(("horizon".to_owned(), Json::num(f64::from(*horizon))));
                 if let Some(t) = submit_time {
                     fields.push(("submit_time".to_owned(), Json::num(*t as f64)));
@@ -310,7 +391,7 @@ mod tests {
                 cascade: "c1".into(),
                 initiator: Some(17),
                 story: None,
-                max_hops: 5,
+                metric: OpenMetric::Hops { max_hops: 5 },
                 horizon: 24,
                 submit_time: Some(1_244_000_000),
             },
@@ -318,9 +399,31 @@ mod tests {
                 cascade: "c2".into(),
                 initiator: None,
                 story: Some(1),
-                max_hops: 4,
+                metric: OpenMetric::Hops { max_hops: 4 },
                 horizon: 6,
                 submit_time: None,
+            },
+            Request::Open {
+                cascade: "c3".into(),
+                initiator: None,
+                story: Some(2),
+                metric: OpenMetric::Interest {
+                    groups: 5,
+                    strategy: GroupingStrategy::EqualWidth,
+                },
+                horizon: 12,
+                submit_time: None,
+            },
+            Request::Open {
+                cascade: "c4".into(),
+                initiator: Some(3),
+                story: None,
+                metric: OpenMetric::Interest {
+                    groups: 4,
+                    strategy: GroupingStrategy::Quantile,
+                },
+                horizon: 12,
+                submit_time: Some(1_244_000_000),
             },
             Request::Ingest {
                 cascade: "c1".into(),
@@ -352,7 +455,23 @@ mod tests {
                 cascade: "x".into(),
                 initiator: Some(3),
                 story: None,
-                max_hops: 5,
+                metric: OpenMetric::Hops { max_hops: 5 },
+                horizon: 50,
+                submit_time: None,
+            }
+        );
+        let r = Request::parse(r#"{"type":"open","cascade":"x","story":1,"metric":"interest"}"#)
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::Open {
+                cascade: "x".into(),
+                initiator: None,
+                story: Some(1),
+                metric: OpenMetric::Interest {
+                    groups: 5,
+                    strategy: GroupingStrategy::EqualWidth,
+                },
                 horizon: 50,
                 submit_time: None,
             }
@@ -382,6 +501,9 @@ mod tests {
             r#"{"type":"forecast","cascade":"x","hours":"all"}"#,
             r#"{"type":"forecast","cascade":"x","hours":[-1]}"#,
             r#"{"type":"open","cascade":"x","horizon":"soon"}"#,
+            r#"{"type":"open","cascade":"x","story":1,"metric":"euclidean"}"#,
+            r#"{"type":"open","cascade":"x","story":1,"metric":"interest","strategy":"median"}"#,
+            r#"{"type":"open","cascade":"x","story":1,"metric":"interest","strategy":1}"#,
         ] {
             assert!(
                 matches!(Request::parse(bad), Err(ServeError::Protocol(_))),

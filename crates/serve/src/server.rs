@@ -25,7 +25,9 @@
 use crate::error::{Result, ServeError};
 use crate::json::Json;
 use crate::live::LiveCascade;
-use crate::protocol::{error_response, Request};
+use crate::protocol::{error_response, OpenMetric, Request};
+use crate::store::CascadeStore;
+use dlm_cascade::interest_groups::interest_groups;
 use dlm_core::evaluate::{FitOutcome, FittedModelCache, Parallelism};
 use dlm_core::predict::{DiffusionPredictor, GraphContext, Observation, PredictionRequest};
 use dlm_core::registry::{ModelRegistry, ModelSpec};
@@ -38,6 +40,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Tuning knobs for [`ServerState`].
 #[derive(Debug, Clone)]
@@ -46,6 +49,13 @@ pub struct ServeConfig {
     pub lineup: Vec<ModelSpec>,
     /// Bound on the fitted-model cache.
     pub cache_capacity: usize,
+    /// Bound on the live-cascade store: opening a cascade past this
+    /// bound evicts the least-recently-touched one.
+    pub cascade_capacity: usize,
+    /// Idle TTL for live cascades: a cascade untouched for longer than
+    /// this is expired on the next store access. `None` disables expiry
+    /// (the capacity bound still holds).
+    pub cascade_ttl: Option<Duration>,
     /// Parallelism of the refit scheduler's fit fan-out.
     pub parallelism: Parallelism,
     /// Whether closing an hour schedules lineup refits eagerly. With
@@ -54,11 +64,18 @@ pub struct ServeConfig {
     pub prewarm: bool,
 }
 
+impl ServeConfig {
+    /// Default bound on concurrently resident live cascades.
+    pub const DEFAULT_CASCADE_CAPACITY: usize = 4096;
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             lineup: ModelSpec::default_lineup(),
             cache_capacity: FittedModelCache::DEFAULT_CAPACITY,
+            cascade_capacity: Self::DEFAULT_CASCADE_CAPACITY,
+            cascade_ttl: None,
             parallelism: Parallelism::Auto,
             prewarm: true,
         }
@@ -103,7 +120,10 @@ pub struct ServerState {
     parallelism: Parallelism,
     prewarm: bool,
     world: Option<(SyntheticWorld, Arc<DiGraph>)>,
-    cascades: Mutex<HashMap<String, Slot>>,
+    /// Live cascades, bounded and TTL-swept; see [`crate::store`].
+    /// Slots are `Arc<Mutex<_>>` so an in-flight request keeps its
+    /// cascade alive across an eviction.
+    cascades: CascadeStore<Arc<Mutex<Slot>>>,
     requests: AtomicU64,
     refit_jobs: AtomicU64,
     hours_closed: AtomicU64,
@@ -153,7 +173,7 @@ impl ServerState {
             parallelism: config.parallelism,
             prewarm: config.prewarm,
             world,
-            cascades: Mutex::new(HashMap::new()),
+            cascades: CascadeStore::new(config.cascade_capacity, config.cascade_ttl),
             requests: AtomicU64::new(0),
             refit_jobs: AtomicU64::new(0),
             hours_closed: AtomicU64::new(0),
@@ -174,7 +194,8 @@ impl ServerState {
 
     /// Registers a cascade built by the caller (any distance metric,
     /// any group construction), with optional graph context for the
-    /// epidemic predictors.
+    /// epidemic predictors. Inserting past the configured cascade
+    /// capacity evicts the least-recently-touched cascade.
     ///
     /// # Errors
     ///
@@ -186,12 +207,20 @@ impl ServerState {
         graph: Option<(Arc<DiGraph>, usize)>,
     ) -> Result<()> {
         let id = id.into();
-        let mut cascades = self.cascades.lock().expect("cascade table poisoned");
-        if cascades.contains_key(&id) {
+        if !self
+            .cascades
+            .insert(id.clone(), Arc::new(Mutex::new(Slot { live, graph })))
+        {
             return Err(ServeError::DuplicateCascade(id));
         }
-        cascades.insert(id, Slot { live, graph });
         Ok(())
+    }
+
+    /// Looks up a live cascade, touching its recency.
+    fn slot(&self, cascade: &str) -> Result<Arc<Mutex<Slot>>> {
+        self.cascades
+            .get(cascade)
+            .ok_or_else(|| ServeError::UnknownCascade(cascade.to_owned()))
     }
 
     /// Handles one protocol line, returning the response line (without
@@ -217,17 +246,10 @@ impl ServerState {
                 cascade,
                 initiator,
                 story,
-                max_hops,
+                metric,
                 horizon,
                 submit_time,
-            } => self.handle_open(
-                cascade,
-                *initiator,
-                *story,
-                *max_hops,
-                *horizon,
-                *submit_time,
-            ),
+            } => self.handle_open(cascade, *initiator, *story, *metric, *horizon, *submit_time),
             Request::Ingest {
                 cascade,
                 votes,
@@ -255,7 +277,7 @@ impl ServerState {
         cascade: &str,
         initiator: Option<usize>,
         story: Option<u32>,
-        max_hops: u32,
+        metric: OpenMetric,
         horizon: u32,
         submit_time: Option<u64>,
     ) -> Result<Json> {
@@ -289,13 +311,35 @@ impl ServerState {
         // Simulated cascades all submit at the simulator's fixed epoch;
         // explicit submit_time overrides for replayed real logs.
         let submit_time = submit_time.unwrap_or(dlm_data::simulate::SIMULATED_SUBMIT_TIME);
-        let live =
-            LiveCascade::for_hops(graph.as_ref(), initiator, max_hops, submit_time, horizon)?;
+        let (live, graph_context, metric_name) = match metric {
+            OpenMetric::Hops { max_hops } => (
+                LiveCascade::for_hops(graph.as_ref(), initiator, max_hops, submit_time, horizon)?,
+                // Epidemic predictors walk the follower graph from the
+                // hour-1 seed set; only the hop metric gives them that.
+                Some((Arc::clone(graph), initiator)),
+                "hops",
+            ),
+            OpenMetric::Interest { groups, strategy } => {
+                let groups = interest_groups(
+                    world.profile(),
+                    initiator,
+                    world.user_count(),
+                    groups,
+                    strategy,
+                )?;
+                (
+                    LiveCascade::new(&groups, submit_time, horizon)?,
+                    None,
+                    "interest",
+                )
+            }
+        };
         let distances = live.max_distance();
-        self.insert_cascade(cascade, live, Some((Arc::clone(graph), initiator)))?;
+        self.insert_cascade(cascade, live, graph_context)?;
         Ok(Json::Obj(vec![
             ("ok".to_owned(), Json::Bool(true)),
             ("cascade".to_owned(), Json::str(cascade)),
+            ("metric".to_owned(), Json::str(metric_name)),
             ("initiator".to_owned(), Json::num(initiator as f64)),
             ("distances".to_owned(), Json::num(f64::from(distances))),
             ("horizon".to_owned(), Json::num(f64::from(horizon))),
@@ -318,11 +362,10 @@ impl ServerState {
         // already closed must still happen, or the scheduler and the
         // `hours_closed` counter silently fall out of step.
         let mut batch_error: Option<ServeError> = None;
+        let slot = self.slot(cascade)?;
         let (before, after, counted, ignored, refit_observations) = {
-            let mut cascades = self.cascades.lock().expect("cascade table poisoned");
-            let slot = cascades
-                .get_mut(cascade)
-                .ok_or_else(|| ServeError::UnknownCascade(cascade.to_owned()))?;
+            let mut slot = slot.lock().expect("cascade slot poisoned");
+            let slot = &mut *slot;
             let before = slot.live.closed_hours();
             for &(timestamp, voter) in votes {
                 if let Err(e) = slot.live.ingest(dlm_data::Vote {
@@ -395,11 +438,9 @@ impl ServerState {
         models: Option<&[String]>,
         through: Option<u32>,
     ) -> Result<Json> {
+        let slot = self.slot(cascade)?;
         let (observation, max_distance, through) = {
-            let cascades = self.cascades.lock().expect("cascade table poisoned");
-            let slot = cascades
-                .get(cascade)
-                .ok_or_else(|| ServeError::UnknownCascade(cascade.to_owned()))?;
+            let slot = slot.lock().expect("cascade slot poisoned");
             let through = through.unwrap_or_else(|| slot.live.closed_hours());
             (
                 slot.observation(through)?,
@@ -512,7 +553,8 @@ impl ServerState {
 
     fn handle_stats(&self) -> Json {
         let stats = self.cache.stats();
-        let cascades = self.cascades.lock().expect("cascade table poisoned").len();
+        let store = self.cascades.stats();
+        let cascades = self.cascades.len();
         Json::Obj(vec![
             ("ok".to_owned(), Json::Bool(true)),
             (
@@ -529,6 +571,14 @@ impl ServerState {
                 ]),
             ),
             ("cascades".to_owned(), Json::num(cascades as f64)),
+            (
+                "cascade_evictions".to_owned(),
+                Json::num(store.evictions as f64),
+            ),
+            (
+                "cascade_expirations".to_owned(),
+                Json::num(store.expirations as f64),
+            ),
             (
                 "requests".to_owned(),
                 Json::num(self.requests.load(Ordering::Relaxed) as f64),
@@ -549,12 +599,32 @@ impl ServerState {
     }
 }
 
+/// A transport-free line-protocol service: one request line in, one
+/// response line out.
+///
+/// Implemented by [`ServerState`] (the forecasting core) and by the
+/// router tier's state in `dlm-router`, so both speak JSON lines over
+/// TCP through the exact same [`DlmServer`] front end — framing bounds,
+/// connection registry, and shutdown semantics live in one place.
+pub trait LineService: Send + Sync + 'static {
+    /// Handles one request line, returning the response line (without
+    /// the trailing newline). Must never panic on malformed input.
+    fn handle_line(&self, line: &str) -> String;
+}
+
+impl LineService for ServerState {
+    fn handle_line(&self, line: &str) -> String {
+        ServerState::handle_line(self, line)
+    }
+}
+
 /// The TCP front end: an accept loop plus one handler thread per
-/// connection, all sharing one [`ServerState`].
+/// connection, all sharing one [`LineService`] (a [`ServerState`] by
+/// default; the router tier plugs in its own).
 #[derive(Debug)]
-pub struct DlmServer {
+pub struct DlmServer<S: LineService = ServerState> {
     addr: SocketAddr,
-    state: Arc<ServerState>,
+    state: Arc<S>,
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     /// Live connections by id, so shutdown can unblock blocked reads.
@@ -565,17 +635,26 @@ pub struct DlmServer {
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
-impl DlmServer {
+impl<S: LineService> DlmServer<S> {
     /// Binds the server (use port 0 for an OS-assigned port) and starts
     /// accepting connections.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
-    pub fn bind(addr: impl ToSocketAddrs, state: ServerState) -> Result<Self> {
+    pub fn bind(addr: impl ToSocketAddrs, state: S) -> Result<Self> {
+        Self::bind_shared(addr, Arc::new(state))
+    }
+
+    /// Like [`DlmServer::bind`], for a service the caller also keeps a
+    /// handle to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_shared(addr: impl ToSocketAddrs, state: Arc<S>) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(state);
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -605,7 +684,7 @@ impl DlmServer {
                 let state = Arc::clone(&accept_state);
                 let connections = Arc::clone(&accept_connections);
                 let handle = std::thread::spawn(move || {
-                    serve_connection(&state, stream);
+                    serve_connection(state.as_ref(), stream);
                     // Drop the registered clone so a hung-up client
                     // releases its socket immediately.
                     connections
@@ -639,7 +718,7 @@ impl DlmServer {
     /// Shared handle to the service core (counters, cache, in-process
     /// requests).
     #[must_use]
-    pub fn state(&self) -> Arc<ServerState> {
+    pub fn state(&self) -> Arc<S> {
         Arc::clone(&self.state)
     }
 
@@ -681,7 +760,7 @@ impl DlmServer {
     }
 }
 
-impl Drop for DlmServer {
+impl<S: LineService> Drop for DlmServer<S> {
     fn drop(&mut self) {
         self.shutdown();
     }
@@ -737,7 +816,7 @@ fn read_line_bounded(reader: &mut impl BufRead) -> std::io::Result<Option<String
 
 /// Serves one connection: a request line in, a response line out, until
 /// EOF or a socket error.
-fn serve_connection(state: &ServerState, stream: TcpStream) {
+fn serve_connection<S: LineService>(state: &S, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };

@@ -1,0 +1,276 @@
+//! The live-cascade store: bounded, recency-ordered, with optional
+//! idle-TTL expiry.
+//!
+//! A long-lived server observes cascades that clients simply abandon —
+//! a story stops spreading, a load generator disconnects — and without
+//! a bound those [`crate::live::LiveCascade`] tables accumulate
+//! forever. Fitted models already release memory through the bounded
+//! LRU [`dlm_core::evaluate::FittedModelCache`]; [`CascadeStore`] gives
+//! the cascades themselves the same discipline:
+//!
+//! * **capacity bound** — at most `capacity` cascades are resident;
+//!   inserting past the bound evicts the least-recently-touched one
+//!   (deterministic `BTreeMap` recency order, like
+//!   [`dlm_core::cache::LruCache`]);
+//! * **idle TTL** — with a TTL configured, a cascade untouched (no
+//!   `open`/`ingest`/`forecast`) for longer than the TTL is expired on
+//!   the next store access, whatever the store's occupancy.
+//!
+//! Both removal paths are counted ([`StoreStats`]) and surfaced through
+//! the `stats` verb as `cascade_evictions` / `cascade_expirations`, so
+//! an operator can tell "the working set outgrew the box" from "clients
+//! walked away".
+//!
+//! Values are handed out by clone; the server stores
+//! `Arc<Mutex<Slot>>`, so an in-flight request on an evicted cascade
+//! keeps a valid handle and the memory is released when the last
+//! request finishes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Removal counters for a [`CascadeStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Entries removed to keep the store within its capacity bound.
+    pub evictions: u64,
+    /// Entries removed because they sat idle past the TTL.
+    pub expirations: u64,
+}
+
+struct Inner<V> {
+    /// id -> (value, recency stamp, last touch).
+    map: HashMap<String, (V, u64, Instant)>,
+    /// recency stamp -> id; the smallest stamp is the coldest entry.
+    /// `last touch` is monotone along this order (both are written
+    /// together), so TTL sweeps pop from the front.
+    order: BTreeMap<u64, String>,
+    clock: u64,
+    evictions: u64,
+    expirations: u64,
+}
+
+/// A bounded, TTL-aware table of live cascades (or anything else keyed
+/// by cascade id).
+pub struct CascadeStore<V> {
+    inner: Mutex<Inner<V>>,
+    capacity: usize,
+    ttl: Option<Duration>,
+}
+
+const POISONED: &str = "cascade store poisoned";
+
+impl<V> std::fmt::Debug for CascadeStore<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect(POISONED);
+        f.debug_struct("CascadeStore")
+            .field("capacity", &self.capacity)
+            .field("ttl", &self.ttl)
+            .field("len", &inner.map.len())
+            .field("evictions", &inner.evictions)
+            .field("expirations", &inner.expirations)
+            .finish()
+    }
+}
+
+impl<V: Clone> CascadeStore<V> {
+    /// Creates a store bounded to `capacity` entries (`0` is clamped to
+    /// `1`) with an optional idle TTL.
+    #[must_use]
+    pub fn new(capacity: usize, ttl: Option<Duration>) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                clock: 0,
+                evictions: 0,
+                expirations: 0,
+            }),
+            capacity: capacity.max(1),
+            ttl,
+        }
+    }
+
+    /// The maximum number of resident cascades.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The configured idle TTL, if any.
+    #[must_use]
+    pub fn ttl(&self) -> Option<Duration> {
+        self.ttl
+    }
+
+    /// Number of resident cascades (after expiring idle ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let mut inner = self.inner.lock().expect(POISONED);
+        Self::sweep(&mut inner, self.ttl);
+        inner.map.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expires every entry idle past the TTL. `last touch` is monotone
+    /// in recency order, so the sweep stops at the first fresh entry.
+    fn sweep(inner: &mut Inner<V>, ttl: Option<Duration>) {
+        let Some(ttl) = ttl else { return };
+        let now = Instant::now();
+        while let Some((&stamp, id)) = inner.order.iter().next() {
+            let touched = inner.map[id].2;
+            if now.duration_since(touched) < ttl {
+                break;
+            }
+            let id = inner.order.remove(&stamp).expect("stamp just observed");
+            inner.map.remove(&id);
+            inner.expirations += 1;
+        }
+    }
+
+    /// Looks up a cascade, marking it as just-touched on a hit.
+    pub fn get(&self, id: &str) -> Option<V> {
+        let mut inner = self.inner.lock().expect(POISONED);
+        Self::sweep(&mut inner, self.ttl);
+        inner.clock += 1;
+        let stamp = inner.clock;
+        let (value, old_stamp, touched) = inner.map.get_mut(id)?;
+        let value = value.clone();
+        let old = std::mem::replace(old_stamp, stamp);
+        *touched = Instant::now();
+        inner.order.remove(&old);
+        inner.order.insert(stamp, id.to_owned());
+        Some(value)
+    }
+
+    /// Inserts a new cascade. Returns `false` (and leaves the store
+    /// untouched) when the id is already resident — duplicate `open`s
+    /// must not silently replace a cascade forecasts were served from.
+    /// Inserting past the capacity bound evicts the
+    /// least-recently-touched cascade.
+    pub fn insert(&self, id: impl Into<String>, value: V) -> bool {
+        let id = id.into();
+        let mut inner = self.inner.lock().expect(POISONED);
+        Self::sweep(&mut inner, self.ttl);
+        if inner.map.contains_key(&id) {
+            return false;
+        }
+        inner.clock += 1;
+        let stamp = inner.clock;
+        inner.map.insert(id.clone(), (value, stamp, Instant::now()));
+        inner.order.insert(stamp, id);
+        while inner.map.len() > self.capacity {
+            let (&coldest, _) = inner
+                .order
+                .iter()
+                .next()
+                .expect("order tracks every resident entry");
+            let victim = inner.order.remove(&coldest).expect("stamp just observed");
+            inner.map.remove(&victim);
+            inner.evictions += 1;
+        }
+        true
+    }
+
+    /// Lifetime removal counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let mut inner = self.inner.lock().expect(POISONED);
+        Self::sweep(&mut inner, self.ttl);
+        StoreStats {
+            evictions: inner.evictions,
+            expirations: inner.expirations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_and_duplicate_rejection() {
+        let store: CascadeStore<u32> = CascadeStore::new(4, None);
+        assert!(store.is_empty());
+        assert!(store.insert("a", 1));
+        assert!(!store.insert("a", 2), "duplicate ids must be rejected");
+        assert_eq!(store.get("a"), Some(1));
+        assert_eq!(store.get("b"), None);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn capacity_evicts_the_coldest_cascade() {
+        let store: CascadeStore<u32> = CascadeStore::new(2, None);
+        assert!(store.insert("a", 1));
+        assert!(store.insert("b", 2));
+        // Touch `a` so `b` is the coldest entry.
+        assert_eq!(store.get("a"), Some(1));
+        assert!(store.insert("c", 3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("b"), None, "coldest entry should be evicted");
+        assert_eq!(store.get("a"), Some(1));
+        assert_eq!(store.get("c"), Some(3));
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                evictions: 1,
+                expirations: 0
+            }
+        );
+    }
+
+    #[test]
+    fn idle_entries_expire_after_the_ttl() {
+        let ttl = Duration::from_millis(40);
+        let store: CascadeStore<u32> = CascadeStore::new(8, Some(ttl));
+        assert!(store.insert("old", 1));
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(store.insert("new", 2));
+        assert_eq!(store.get("old"), None, "idle entry should have expired");
+        assert_eq!(store.get("new"), Some(2));
+        assert_eq!(store.stats().expirations, 1);
+        assert_eq!(store.stats().evictions, 0);
+    }
+
+    #[test]
+    fn touching_keeps_an_entry_alive() {
+        // The TTL is far above the sleep so a loaded CI runner's
+        // scheduling delays cannot push a touch past it.
+        let ttl = Duration::from_secs(60);
+        let store: CascadeStore<u32> = CascadeStore::new(8, Some(ttl));
+        assert!(store.insert("a", 1));
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(store.get("a"), Some(1), "touched entry must stay resident");
+        }
+        assert_eq!(store.stats().expirations, 0);
+    }
+
+    #[test]
+    fn expired_id_can_be_reopened() {
+        let ttl = Duration::from_millis(30);
+        let store: CascadeStore<u32> = CascadeStore::new(8, Some(ttl));
+        assert!(store.insert("a", 1));
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(store.insert("a", 2), "expired id should be free again");
+        assert_eq!(store.get("a"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let store: CascadeStore<u32> = CascadeStore::new(0, None);
+        assert!(store.insert("a", 1));
+        assert!(store.insert("b", 2));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get("b"), Some(2));
+        assert_eq!(store.stats().evictions, 1);
+    }
+}

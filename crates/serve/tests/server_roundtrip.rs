@@ -217,6 +217,185 @@ fn served_forecasts_are_byte_identical_to_the_offline_pipeline() {
 }
 
 #[test]
+fn interest_metric_open_serves_batch_identical_forecasts() {
+    use dlm_cascade::interest_groups::{interest_density_matrix, GroupingStrategy};
+    use dlm_core::predict::Observation;
+
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.12)).unwrap();
+    let cascade = simulate_story(
+        &world,
+        &StoryPreset::s1(),
+        SimulationConfig {
+            hours: 8,
+            substeps: 2,
+            seed: 13,
+        },
+    )
+    .unwrap();
+    // The offline twin of what the server should observe: the batch
+    // interest-distance density matrix on the same votes.
+    let batch = interest_density_matrix(
+        world.profile(),
+        world.user_count(),
+        &cascade,
+        5,
+        HORIZON,
+        GroupingStrategy::EqualWidth,
+    )
+    .unwrap();
+
+    // The interest metric carries no graph context, so serve the
+    // graph-free half of the lineup.
+    let lineup = vec![
+        ModelSpec::paper_hops_dl(),
+        ModelSpec::LogisticOnly {
+            capacity: 25.0,
+            growth: dlm_core::predict::GrowthFamily::PaperInterest,
+        },
+        ModelSpec::Naive,
+        ModelSpec::LinearTrend,
+    ];
+    let state = ServerState::with_world(
+        ServeConfig {
+            lineup: lineup.clone(),
+            ..ServeConfig::default()
+        },
+        world.clone(),
+    )
+    .unwrap();
+    let mut server = DlmServer::bind("127.0.0.1:0", state).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    let open = client.send(&format!(
+        r#"{{"type":"open","cascade":"i1","initiator":{},"metric":"interest","groups":5,"strategy":"width","horizon":{HORIZON},"submit_time":{}}}"#,
+        cascade.initiator(),
+        cascade.submit_time(),
+    ));
+    assert_eq!(open.get("ok").unwrap().as_bool(), Some(true), "{open}");
+    assert_eq!(open.get("metric").unwrap().as_str(), Some("interest"));
+    assert_eq!(
+        open.get("distances").unwrap().as_u64(),
+        Some(u64::from(batch.max_distance())),
+        "live and batch must bin into the same interest groups"
+    );
+
+    let votes_json: Vec<String> = cascade
+        .votes()
+        .iter()
+        .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+        .collect();
+    let ingest = client.send(&format!(
+        r#"{{"type":"ingest","cascade":"i1","votes":[{}],"now":{}}}"#,
+        votes_json.join(","),
+        cascade.submit_time() + u64::from(HORIZON) * 3600,
+    ));
+    assert_eq!(ingest.get("ok").unwrap().as_bool(), Some(true), "{ingest}");
+
+    let target_hours: Vec<u32> = (OBSERVE_THROUGH + 1..=HORIZON).collect();
+    let served = client.send(&format!(
+        r#"{{"type":"forecast","cascade":"i1","hours":[{}],"through":{OBSERVE_THROUGH}}}"#,
+        target_hours
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    assert_eq!(served.get("ok").unwrap().as_bool(), Some(true), "{served}");
+    let served_models = served.get("models").unwrap().as_array().unwrap();
+
+    let observed_hours: Vec<u32> = (1..=OBSERVE_THROUGH).collect();
+    let observation = Observation::from_matrix(&batch, &observed_hours).unwrap();
+    let distances: Vec<u32> = (1..=batch.max_distance()).collect();
+    let request = PredictionRequest::new(distances.clone(), target_hours.clone()).unwrap();
+    let registry = ModelRegistry::with_builtins();
+    for (mi, spec) in lineup.iter().enumerate() {
+        let fitted = registry.build(spec).unwrap().fit(&observation).unwrap();
+        let prediction = fitted.predict(&request).unwrap();
+        let values = served_models[mi].get("values").unwrap().as_array().unwrap();
+        for (di, &d) in distances.iter().enumerate() {
+            let row = values[di].as_array().unwrap();
+            for (hi, &h) in target_hours.iter().enumerate() {
+                assert_eq!(
+                    f64_bits(&row[hi]),
+                    prediction.at(d, h).unwrap().to_bits(),
+                    "spec {spec}: I({d}, {h}) diverges on the interest metric"
+                );
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn abandoned_cascades_expire_and_bounded_store_evicts() {
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.05)).unwrap();
+    let state = ServerState::with_world(
+        ServeConfig {
+            lineup: vec![ModelSpec::Naive],
+            cascade_capacity: 2,
+            cascade_ttl: Some(std::time::Duration::from_millis(100)),
+            ..ServeConfig::default()
+        },
+        world,
+    )
+    .unwrap();
+    let mut server = DlmServer::bind("127.0.0.1:0", state).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    // TTL expiry: an untouched cascade vanishes, its id is free again,
+    // and the expiration is counted in stats.
+    let open = client.send(r#"{"type":"open","cascade":"idle","story":1,"horizon":3}"#);
+    assert_eq!(open.get("ok").unwrap().as_bool(), Some(true), "{open}");
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let stats = client.send(r#"{"type":"stats"}"#);
+    assert_eq!(stats.get("cascades").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("cascade_expirations").unwrap().as_u64(), Some(1));
+    let gone = client.send(r#"{"type":"forecast","cascade":"idle","hours":[2]}"#);
+    assert!(gone
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("unknown cascade"));
+    let reopened = client.send(r#"{"type":"open","cascade":"idle","story":1,"horizon":3}"#);
+    assert_eq!(reopened.get("ok").unwrap().as_bool(), Some(true));
+    server.shutdown();
+
+    // Capacity bound (no TTL, so timing cannot interfere): the third
+    // open evicts the coldest cascade.
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.05)).unwrap();
+    let state = ServerState::with_world(
+        ServeConfig {
+            lineup: vec![ModelSpec::Naive],
+            cascade_capacity: 2,
+            ..ServeConfig::default()
+        },
+        world,
+    )
+    .unwrap();
+    let mut server = DlmServer::bind("127.0.0.1:0", state).unwrap();
+    let mut client = Client::connect(server.local_addr());
+    for id in ["a", "b", "c"] {
+        let open = client.send(&format!(
+            r#"{{"type":"open","cascade":"{id}","story":1,"horizon":3}}"#
+        ));
+        assert_eq!(open.get("ok").unwrap().as_bool(), Some(true), "{open}");
+    }
+    let stats = client.send(r#"{"type":"stats"}"#);
+    assert_eq!(stats.get("cascades").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("cascade_evictions").unwrap().as_u64(), Some(1));
+    // `a` was the coldest and is gone; `b` and `c` survived.
+    let evicted = client.send(r#"{"type":"forecast","cascade":"a","hours":[2]}"#);
+    assert!(evicted
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("unknown cascade"));
+    server.shutdown();
+}
+
+#[test]
 fn protocol_errors_do_not_kill_the_connection() {
     let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.05)).unwrap();
     let state = ServerState::with_world(

@@ -22,8 +22,15 @@
 //! * [`serve`] — the online forecasting service: streaming ingestion
 //!   ([`serve::LiveCascade`], bit-identical to the batch builders at
 //!   every hour boundary), a refit scheduler feeding the shared
-//!   [`core::evaluate::FittedModelCache`], and a JSON-lines-over-TCP
-//!   front end ([`serve::DlmServer`], `dlm-serve` binary).
+//!   [`core::evaluate::FittedModelCache`], a bounded TTL-swept
+//!   live-cascade store, and a JSON-lines-over-TCP front end
+//!   ([`serve::DlmServer`], `dlm-serve` binary) — wire spec in
+//!   `docs/PROTOCOL.md`;
+//! * [`router`] — the sharding tier: a consistent-hash ring
+//!   ([`router::HashRing`]) partitions cascade ids across many
+//!   `dlm-serve` backends, proxied over pooled connections with
+//!   scatter-gather `stats` ([`router::RouterState`], `dlm-router`
+//!   binary); routed forecasts are byte-identical to direct ones.
 //!
 //! ## Quickstart — one model
 //!
@@ -70,4 +77,5 @@ pub use dlm_core as core;
 pub use dlm_data as data;
 pub use dlm_graph as graph;
 pub use dlm_numerics as numerics;
+pub use dlm_router as router;
 pub use dlm_serve as serve;

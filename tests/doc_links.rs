@@ -1,0 +1,156 @@
+//! Markdown link check over `README.md` and `docs/`: every relative
+//! link must point at a file that exists in the repo, and every anchor
+//! must match a heading in the target document. Documentation that
+//! rots — a renamed doc, a dropped section — fails tier-1 instead of
+//! waiting for a reader to hit a 404.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts `[text](target)` links outside fenced code blocks and
+/// inline code spans.
+fn extract_links(markdown: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        // Strip inline code spans so `[i][j]`-style text can't pair
+        // with a following parenthesis.
+        let mut cleaned = String::with_capacity(line.len());
+        let mut in_code = false;
+        for ch in line.chars() {
+            if ch == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                cleaned.push(ch);
+            }
+        }
+        let bytes = cleaned.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'[' {
+                if let Some(close) = cleaned[i..].find("](") {
+                    let target_start = i + close + 2;
+                    if let Some(end) = cleaned[target_start..].find(')') {
+                        links.push(cleaned[target_start..target_start + end].to_owned());
+                        i = target_start + end + 1;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    links
+}
+
+/// GitHub-style heading slugs: lowercase, punctuation dropped, spaces
+/// to hyphens.
+fn heading_slugs(markdown: &str) -> Vec<String> {
+    let mut slugs = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence || !line.starts_with('#') {
+            continue;
+        }
+        let text = line.trim_start_matches('#').trim();
+        let mut slug = String::new();
+        for ch in text.chars() {
+            if ch.is_alphanumeric() {
+                slug.extend(ch.to_lowercase());
+            } else if ch == ' ' || ch == '-' {
+                slug.push('-');
+            } // other punctuation is dropped
+        }
+        slugs.push(slug);
+    }
+    slugs
+}
+
+fn check_file(path: &Path, root: &Path, problems: &mut Vec<String>) {
+    let markdown = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let dir = path.parent().expect("markdown files live in a directory");
+    for link in extract_links(&markdown) {
+        if link.starts_with("http://")
+            || link.starts_with("https://")
+            || link.starts_with("mailto:")
+        {
+            continue; // external links are not checked offline
+        }
+        let (file_part, anchor) = match link.split_once('#') {
+            Some((f, a)) => (f, Some(a)),
+            None => (link.as_str(), None),
+        };
+        let target: PathBuf = if file_part.is_empty() {
+            path.to_path_buf() // same-document anchor
+        } else {
+            dir.join(file_part)
+        };
+        if !target.exists() {
+            problems.push(format!(
+                "{}: broken link `{link}` (no {})",
+                path.strip_prefix(root).unwrap_or(path).display(),
+                target.display()
+            ));
+            continue;
+        }
+        if let Some(anchor) = anchor {
+            let target_md = std::fs::read_to_string(&target)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", target.display()));
+            if !heading_slugs(&target_md).iter().any(|s| s == anchor) {
+                problems.push(format!(
+                    "{}: link `{link}` anchors to `#{anchor}`, which matches no heading in {}",
+                    path.strip_prefix(root).unwrap_or(path).display(),
+                    target.display()
+                ));
+            }
+        }
+    }
+}
+
+#[test]
+fn markdown_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    assert!(docs.is_dir(), "docs/ directory is missing");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&docs)
+        .expect("read docs/")
+        .map(|e| e.expect("docs entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "docs/ contains no markdown");
+    files.extend(entries);
+
+    let mut problems = Vec::new();
+    for file in &files {
+        check_file(file, &root, &mut problems);
+    }
+    assert!(
+        problems.is_empty(),
+        "broken documentation links:\n{}",
+        problems.join("\n")
+    );
+}
+
+#[test]
+fn link_extraction_ignores_code() {
+    let md = "see [a](x.md) and `[not](a-link)`\n```\n[also](not-a-link)\n```\n[b](y.md#z)";
+    assert_eq!(extract_links(md), vec!["x.md".to_owned(), "y.md#z".into()]);
+    assert_eq!(
+        heading_slugs("# Hello, World!\n## A b-c d"),
+        vec!["hello-world".to_owned(), "a-b-c-d".into()]
+    );
+}
