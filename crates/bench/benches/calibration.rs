@@ -1,0 +1,212 @@
+//! Throughput and quality harness for the multi-start calibration
+//! engine.
+//!
+//! Calibrates DL-generated fixtures three ways — single-start, serial
+//! multi-start, and pool-parallel multi-start — then gates:
+//!
+//! * **Byte identity:** serial and parallel multi-start results carry
+//!   identical bit patterns (params, objective, evaluations, winning
+//!   start) on every fixture.
+//! * **Never worse:** the multi-start objective is `<=` the
+//!   single-start objective on every fixture (start 0 *is* the
+//!   single-start seed).
+//!
+//! and writes the timings to `BENCH_calibration.json` (override with
+//! `DLM_BENCH_OUT`). `speedup_parallel_multi` — serial multi-start ÷
+//! parallel multi-start wall-clock — is the headline number: the starts
+//! are embarrassingly parallel, so on `>= 4` cores it should sit well
+//! above 2x.
+//!
+//! This is a plain `harness = false` bench so CI can drive it directly:
+//!
+//! ```text
+//! cargo bench -p dlm-bench --bench calibration            # full grid
+//! cargo bench -p dlm-bench --bench calibration -- --smoke # reduced, for CI
+//! ```
+//!
+//! The process exits nonzero if either gate fails, which is what the CI
+//! `cal-smoke` job gates on.
+
+use dlm_cascade::DensityMatrix;
+use dlm_core::calibrate::{calibrate, Calibration, CalibrationOptions, MultiStartConfig};
+use dlm_core::evaluate::Parallelism;
+use dlm_core::fixtures::{calibration_bits, dl_ground_truth_matrix};
+use dlm_core::growth::ExpDecayGrowth;
+use dlm_core::params::DlParameters;
+use std::time::Instant;
+
+fn fixtures(count: usize) -> Vec<DensityMatrix> {
+    let truths = [
+        (0.010, ExpDecayGrowth::new(1.2, 1.3, 0.30), 25.0),
+        (0.030, ExpDecayGrowth::new(1.0, 0.8, 0.20), 25.0),
+        (0.005, ExpDecayGrowth::new(1.6, 1.8, 0.40), 30.0),
+        (0.020, ExpDecayGrowth::new(0.8, 0.6, 0.15), 20.0),
+    ];
+    truths
+        .iter()
+        .cycle()
+        .take(count)
+        .map(|(d, growth, k)| dl_ground_truth_matrix(*d, growth, *k))
+        .collect()
+}
+
+struct Timed {
+    calibrations: Vec<Calibration>,
+    millis: f64,
+}
+
+fn timed_run(observed: &[DensityMatrix], max_evals: usize, multi_start: MultiStartConfig) -> Timed {
+    let start = Instant::now();
+    let calibrations = observed
+        .iter()
+        .map(|matrix| {
+            calibrate(
+                matrix,
+                1,
+                &[2, 3, 4, 5, 6],
+                DlParameters::paper_hops(6).expect("seed params"),
+                ExpDecayGrowth::paper_hops(),
+                &CalibrationOptions {
+                    fit_capacity: true,
+                    max_evals,
+                    multi_start,
+                    ..CalibrationOptions::default()
+                },
+            )
+            .expect("calibration run")
+        })
+        .collect();
+    Timed {
+        calibrations,
+        millis: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn mean_objective(t: &Timed) -> f64 {
+    t.calibrations.iter().map(|c| c.objective).sum::<f64>() / t.calibrations.len() as f64
+}
+
+fn json_run(t: &Timed) -> String {
+    format!(
+        "{{\"ms\": {:.3}, \"mean_objective\": {:e}, \"evaluations\": {}}}",
+        t.millis,
+        mean_objective(t),
+        t.calibrations.iter().map(|c| c.evaluations).sum::<usize>()
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (fixture_count, starts, max_evals) = if smoke { (2, 8, 150) } else { (4, 8, 400) };
+
+    eprintln!("generating {fixture_count} DL ground-truth fixtures...");
+    let observed = fixtures(fixture_count);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = Parallelism::Auto.workers(starts);
+    eprintln!(
+        "{fixture_count} fixtures x {starts} starts x {max_evals} evals/start, \
+         {workers} worker(s)"
+    );
+
+    let multi = |parallelism: Parallelism| MultiStartConfig {
+        starts,
+        seed: 42,
+        parallelism,
+        ..MultiStartConfig::default()
+    };
+    let single = timed_run(&observed, max_evals, MultiStartConfig::single());
+    let serial_multi = timed_run(&observed, max_evals, multi(Parallelism::Serial));
+    let parallel_multi = timed_run(&observed, max_evals, multi(Parallelism::Auto));
+
+    // Gate 1: serial and parallel multi-start are bit-identical.
+    let mut identical = true;
+    for (i, (s, p)) in serial_multi
+        .calibrations
+        .iter()
+        .zip(&parallel_multi.calibrations)
+        .enumerate()
+    {
+        if calibration_bits(s) != calibration_bits(p) {
+            eprintln!("DIVERGENCE: fixture {i} parallel multi-start differs from serial");
+            identical = false;
+        }
+    }
+    // Gate 2: multi-start never produces a worse objective.
+    let mut never_worse = true;
+    for (i, (s, m)) in single
+        .calibrations
+        .iter()
+        .zip(&serial_multi.calibrations)
+        .enumerate()
+    {
+        // `total_cmp` also rejects a NaN multi-start objective, which
+        // a plain `<=` would silently accept.
+        if m.objective.total_cmp(&s.objective) == std::cmp::Ordering::Greater
+            || m.objective.is_nan()
+        {
+            eprintln!(
+                "REGRESSION: fixture {i} multi-start objective {} worse than single-start {}",
+                m.objective, s.objective
+            );
+            never_worse = false;
+        }
+    }
+
+    let speedup = serial_multi.millis / parallel_multi.millis.max(1e-9);
+    // Geometric-mean objective improvement of multi-start over
+    // single-start (1.0 = no improvement; the fixtures where the
+    // paper-preset seed already sits in the global basin contribute 1).
+    let improvement = {
+        let logs: f64 = single
+            .calibrations
+            .iter()
+            .zip(&serial_multi.calibrations)
+            .map(|(s, m)| (s.objective.max(1e-300) / m.objective.max(1e-300)).ln())
+            .sum();
+        (logs / fixture_count as f64).exp()
+    };
+    let json = format!(
+        "{{\n  \"schema\": \"dlm-bench/calibration/v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"hardware_threads\": {threads},\n  \"workers\": {workers},\n  \
+         \"fixtures\": {fixture_count},\n  \"starts\": {starts},\n  \
+         \"evals_per_start\": {max_evals},\n  \
+         \"single_start\": {single},\n  \"multi_serial\": {serial},\n  \
+         \"multi_parallel\": {parallel},\n  \
+         \"speedup_parallel_multi\": {speedup:.3},\n  \
+         \"objective_improvement_geomean\": {improvement:.3},\n  \
+         \"objective_never_worse\": {never_worse},\n  \
+         \"outputs_identical\": {identical}\n}}\n",
+        mode = if smoke { "smoke" } else { "full" },
+        single = json_run(&single),
+        serial = json_run(&serial_multi),
+        parallel = json_run(&parallel_multi),
+    );
+    // Benches run with the package dir as cwd; anchor the default output
+    // at the workspace root so CI finds one stable path.
+    let out = std::env::var("DLM_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_calibration.json").into()
+    });
+    std::fs::write(&out, &json).expect("write bench json");
+
+    eprintln!(
+        "single-start    {:>9.1} ms   mean objective {:.3e}\n\
+         multi serial    {:>9.1} ms   mean objective {:.3e}\n\
+         multi parallel  {:>9.1} ms   mean objective {:.3e}",
+        single.millis,
+        mean_objective(&single),
+        serial_multi.millis,
+        mean_objective(&serial_multi),
+        parallel_multi.millis,
+        mean_objective(&parallel_multi),
+    );
+    eprintln!(
+        "speedup: parallel multi-start {speedup:.2}x, objective improvement \
+         {improvement:.2}x -> {out}"
+    );
+    if threads >= 4 && speedup < 2.0 {
+        eprintln!("WARNING: parallel multi-start speedup below 2x on {threads} threads");
+    }
+    if !identical || !never_worse {
+        std::process::exit(1);
+    }
+}

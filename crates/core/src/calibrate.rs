@@ -8,6 +8,48 @@
 //! `r(t) = a·e^{−b(t−1)} + c` — minimizing the mean squared *relative*
 //! error of the DL solution against observed density profiles on a short
 //! calibration window.
+//!
+//! Nelder–Mead is a *local* search; with [`MultiStartConfig::starts`]
+//! above 1 the search restarts from a deterministic stratified grid of
+//! seed points inside the parameter bounds and the independent starts
+//! run in parallel on the [`dlm_numerics::pool`] executor. The result is
+//! byte-identical under every
+//! [`Parallelism`](dlm_numerics::pool::Parallelism) setting and its
+//! objective is never worse than the single-start fit from the same
+//! seed (the caller's seed always runs as start 0). The objective,
+//! seeding boxes, budgets and determinism contract are specified
+//! normatively in `docs/CALIBRATION.md`.
+//!
+//! # Examples
+//!
+//! Multi-start calibration against profiles, through the shared
+//! [`MultiStartConfig`]:
+//!
+//! ```
+//! use dlm_core::calibrate::{calibrate_profiles, CalibrationOptions, MultiStartConfig};
+//! use dlm_core::growth::ExpDecayGrowth;
+//! use dlm_core::params::DlParameters;
+//!
+//! # fn main() -> Result<(), dlm_core::DlError> {
+//! let initial = [2.0, 1.1, 0.6, 0.3];
+//! let targets = vec![(2, vec![3.4, 1.9, 1.1, 0.6]), (3, vec![5.1, 3.0, 1.8, 1.0])];
+//! let options = CalibrationOptions {
+//!     max_evals: 60, // per-start budget
+//!     multi_start: MultiStartConfig { starts: 3, seed: 7, ..MultiStartConfig::default() },
+//!     ..CalibrationOptions::default()
+//! };
+//! let seed = DlParameters::new(0.01, 25.0, 1.0, 4.0)?;
+//! let single = calibrate_profiles(1, &initial, &targets, seed,
+//!     ExpDecayGrowth::paper_hops(), &CalibrationOptions { max_evals: 60,
+//!         ..CalibrationOptions::default() })?;
+//! let multi = calibrate_profiles(1, &initial, &targets, seed,
+//!     ExpDecayGrowth::paper_hops(), &options)?;
+//! // The caller's seed runs as start 0, so more starts never hurt.
+//! assert!(multi.objective <= single.objective);
+//! assert_eq!(multi.starts, 3);
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::error::{DlError, Result};
 use crate::growth::ExpDecayGrowth;
@@ -16,7 +58,8 @@ use crate::model::{DlModel, DlModelBuilder};
 use crate::params::DlParameters;
 use crate::pde::{solve, SolverConfig};
 use dlm_cascade::DensityMatrix;
-use dlm_numerics::optimize::{nelder_mead, NelderMeadConfig};
+use dlm_numerics::optimize::{multi_start_nelder_mead, NelderMeadConfig};
+pub use dlm_numerics::optimize::{MultiStartConfig, MultiStartOutcome};
 
 /// What the calibration is allowed to vary.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,11 +72,17 @@ pub struct CalibrationOptions {
     pub max_diffusion: f64,
     /// Upper bound for `K` during the search.
     pub max_capacity: f64,
-    /// Nelder–Mead budget.
+    /// Nelder–Mead budget **per start**.
     pub max_evals: usize,
     /// Solver resolution used inside the objective (coarser than the final
     /// solve for speed).
     pub solver: SolverConfig,
+    /// Multi-start strategy: start count, deterministic seeding, and
+    /// scheduling of the independent starts on the work-stealing pool.
+    /// (`multi_start.local.max_evals` is overridden by
+    /// [`CalibrationOptions::max_evals`].) The single-start default
+    /// reproduces the classic seeded Nelder–Mead exactly.
+    pub multi_start: MultiStartConfig,
 }
 
 impl Default for CalibrationOptions {
@@ -49,6 +98,7 @@ impl Default for CalibrationOptions {
                 dt: 0.05,
                 ..SolverConfig::default()
             },
+            multi_start: MultiStartConfig::default(),
         }
     }
 }
@@ -62,8 +112,13 @@ pub struct Calibration {
     pub growth: ExpDecayGrowth,
     /// Final objective value (mean squared relative error).
     pub objective: f64,
-    /// Objective evaluations consumed.
+    /// Objective evaluations consumed (across all starts).
     pub evaluations: usize,
+    /// Number of Nelder–Mead starts searched.
+    pub starts: usize,
+    /// Index of the winning start (`0` is the caller's seed; `1..` are
+    /// the stratified grid points, see `docs/CALIBRATION.md`).
+    pub best_start: usize,
 }
 
 impl Calibration {
@@ -170,6 +225,37 @@ pub fn calibrate_profiles(
         x0.push(seed_params.capacity());
     }
 
+    // Seeding boxes for the stratified multi-start grid, sized from the
+    // caller's seed and the hard bounds the objective enforces (see
+    // docs/CALIBRATION.md §Multi-start seeding). Start 0 is always the
+    // caller's seed itself, so these only shape the restarts. A
+    // non-finite cap (a caller disabling the `d`/`K` constraint with
+    // `f64::INFINITY`) falls back to a seed-derived box edge — the hard
+    // constraints in the objective stay authoritative either way.
+    let mut bounds = vec![
+        (0.0, 2.0 * seed_growth.amplitude().max(1.0)),
+        (0.0, 2.0 * seed_growth.decay().max(1.0)),
+        (0.0, 2.0 * seed_growth.floor().max(0.5)),
+    ];
+    if options.fit_diffusion {
+        let d_hi = if options.max_diffusion.is_finite() {
+            options.max_diffusion
+        } else {
+            (2.0 * seed_params.diffusion()).max(1.0)
+        };
+        bounds.push((0.0, d_hi));
+    }
+    if options.fit_capacity {
+        let max_obs = initial_profile.iter().cloned().fold(0.0, f64::max);
+        let k_hi = if options.max_capacity.is_finite() {
+            options.max_capacity
+        } else {
+            (2.0 * seed_params.capacity()).max(4.0 * max_obs).max(1.0)
+        };
+        let lo = (1.05 * max_obs).max(1e-3).min(k_hi);
+        bounds.push((lo, k_hi));
+    }
+
     let opts = *options;
     let objective = move |p: &[f64]| -> f64 {
         let (a, b, c) = (p[0], p[1], p[2]);
@@ -240,14 +326,19 @@ pub fn calibrate_profiles(
         }
     };
 
-    let minimum = nelder_mead(
+    let outcome = multi_start_nelder_mead(
         objective,
         &x0,
-        NelderMeadConfig {
-            max_evals: options.max_evals,
-            ..NelderMeadConfig::default()
+        &bounds,
+        MultiStartConfig {
+            local: NelderMeadConfig {
+                max_evals: options.max_evals,
+                ..options.multi_start.local
+            },
+            ..options.multi_start
         },
     )?;
+    let minimum = &outcome.best;
 
     let (a, b, c) = (
         minimum.x[0].max(0.0),
@@ -270,7 +361,9 @@ pub fn calibrate_profiles(
         params: DlParameters::new(d, k, seed_params.lower(), seed_params.upper())?,
         growth: ExpDecayGrowth::new(a, b, c),
         objective: minimum.value,
-        evaluations: minimum.evaluations,
+        evaluations: outcome.evaluations,
+        starts: outcome.start_values.len(),
+        best_start: outcome.best_start,
     })
 }
 
@@ -280,41 +373,10 @@ mod tests {
     use crate::growth::GrowthRate;
 
     /// Builds a synthetic observation matrix from a known DL solution so
-    /// calibration has a recoverable ground truth.
+    /// calibration has a recoverable ground truth (the shared fixture
+    /// generator the determinism gates also use).
     fn synthetic_observations(d: f64, growth: &ExpDecayGrowth) -> DensityMatrix {
-        let params = DlParameters::new(d, 25.0, 1.0, 6.0).unwrap();
-        let phi = InitialDensity::from_observations(
-            &params,
-            &[2.1, 0.7, 0.9, 0.5, 0.3, 0.2],
-            PhiConstruction::SplineFlat,
-        )
-        .unwrap();
-        let sol = solve(
-            &params,
-            growth,
-            &phi,
-            1.0,
-            6.0,
-            &SolverConfig {
-                space_intervals: 100,
-                dt: 0.01,
-                ..SolverConfig::default()
-            },
-        )
-        .unwrap();
-        // Convert to counts on a large population to avoid quantization.
-        let pop = 1_000_000usize;
-        let counts: Vec<Vec<usize>> = (0..6)
-            .map(|i| {
-                (1..=6)
-                    .map(|h| {
-                        let v = sol.value_at(1.0 + i as f64, f64::from(h)).unwrap();
-                        (v / 100.0 * pop as f64).round() as usize
-                    })
-                    .collect()
-            })
-            .collect();
-        DensityMatrix::from_counts(&counts, &[pop; 6]).unwrap()
+        crate::fixtures::dl_ground_truth_matrix(d, growth, 25.0)
     }
 
     #[test]
@@ -376,6 +438,37 @@ mod tests {
         assert!(calibrate(&observed, 1, &[], seed, g, &CalibrationOptions::default()).is_err());
         assert!(calibrate(&observed, 2, &[2], seed, g, &CalibrationOptions::default()).is_err());
         assert!(calibrate(&observed, 1, &[99], seed, g, &CalibrationOptions::default()).is_err());
+    }
+
+    #[test]
+    fn non_finite_caps_stay_calibratable() {
+        // Callers may disable the d/K constraints with infinity; the
+        // seeding boxes must fall back to finite seed-derived edges
+        // instead of failing grid generation — single- and multi-start.
+        let observed = synthetic_observations(0.01, &ExpDecayGrowth::new(1.2, 1.3, 0.3));
+        for starts in [1, 3] {
+            let cal = calibrate(
+                &observed,
+                1,
+                &[2, 3],
+                DlParameters::paper_hops(6).unwrap(),
+                ExpDecayGrowth::paper_hops(),
+                &CalibrationOptions {
+                    fit_capacity: true,
+                    max_diffusion: f64::INFINITY,
+                    max_capacity: f64::INFINITY,
+                    max_evals: 120,
+                    multi_start: MultiStartConfig {
+                        starts,
+                        ..MultiStartConfig::default()
+                    },
+                    ..CalibrationOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(cal.objective.is_finite(), "starts {starts}: {cal:?}");
+            assert_eq!(cal.starts, starts);
+        }
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Shared ground-truth fixtures for the calibration determinism gates.
+//!
+//! The `calibration_determinism` integration test and the `dlm-bench`
+//! calibration harness enforce the *same* contract (bit-identical
+//! multi-start results across parallelism modes, multi-start never
+//! worse than single-start) and must therefore construct the *same*
+//! fixtures and extract the *same* bit patterns — one copy each, here,
+//! so the two gates can never silently drift apart. Test support, not
+//! API: the module is `#[doc(hidden)]`.
+
+use crate::calibrate::Calibration;
+use crate::growth::ExpDecayGrowth;
+use crate::initial::{InitialDensity, PhiConstruction};
+use crate::params::DlParameters;
+use crate::pde::{solve, SolverConfig};
+use dlm_cascade::DensityMatrix;
+
+/// A density matrix generated from a known DL solution — a calibration
+/// problem with a recoverable ground truth. Varying `(d, growth,
+/// capacity)` across fixtures keeps the objective landscapes distinct.
+///
+/// # Panics
+///
+/// Panics on invalid fixture parameters (test support: fail loudly).
+#[must_use]
+pub fn dl_ground_truth_matrix(d: f64, growth: &ExpDecayGrowth, capacity: f64) -> DensityMatrix {
+    let params = DlParameters::new(d, capacity, 1.0, 6.0).expect("fixture params");
+    let phi = InitialDensity::from_observations(
+        &params,
+        &[2.1, 0.7, 0.9, 0.5, 0.3, 0.2],
+        PhiConstruction::SplineFlat,
+    )
+    .expect("fixture phi");
+    let sol = solve(
+        &params,
+        growth,
+        &phi,
+        1.0,
+        6.0,
+        &SolverConfig {
+            space_intervals: 100,
+            dt: 0.01,
+            ..SolverConfig::default()
+        },
+    )
+    .expect("fixture solve");
+    // Convert to counts on a large population to avoid quantization.
+    let pop = 1_000_000usize;
+    let counts: Vec<Vec<usize>> = (0..6)
+        .map(|i| {
+            (1..=6)
+                .map(|h| {
+                    let v = sol.value_at(1.0 + i as f64, f64::from(h)).expect("readout");
+                    (v / 100.0 * pop as f64).round() as usize
+                })
+                .collect()
+        })
+        .collect();
+    DensityMatrix::from_counts(&counts, &[pop; 6]).expect("fixture matrix")
+}
+
+/// Bit pattern of everything a calibration computed — what the
+/// determinism gates compare across parallelism modes.
+#[must_use]
+pub fn calibration_bits(cal: &Calibration) -> (Vec<u64>, usize, usize, usize) {
+    (
+        vec![
+            cal.params.diffusion().to_bits(),
+            cal.params.capacity().to_bits(),
+            cal.growth.amplitude().to_bits(),
+            cal.growth.decay().to_bits(),
+            cal.growth.floor().to_bits(),
+            cal.objective.to_bits(),
+        ],
+        cal.evaluations,
+        cal.starts,
+        cal.best_start,
+    )
+}

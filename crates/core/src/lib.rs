@@ -104,6 +104,8 @@ pub mod calibrate;
 pub mod error;
 pub mod evaluate;
 pub mod fisher;
+#[doc(hidden)]
+pub mod fixtures;
 pub mod growth;
 pub mod initial;
 pub mod model;

@@ -27,6 +27,7 @@ use crate::initial::PhiConstruction;
 use crate::model::Prediction;
 use crate::pde::SolverConfig;
 use dlm_graph::DiGraph;
+pub use dlm_numerics::optimize::MultiStartConfig;
 use std::fmt;
 use std::sync::Arc;
 
@@ -422,7 +423,8 @@ impl GrowthFamily {
 
 /// The scalar fitting options shared by [`crate::model::DlModelBuilder`]
 /// and [`crate::variable::VariableDlModelBuilder`]: solver resolution, φ
-/// construction, growth family, and the initial observation time.
+/// construction, growth family, the initial observation time, and the
+/// multi-start strategy of every calibration path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitConfig {
     /// PDE solver scheme and resolution.
@@ -433,6 +435,13 @@ pub struct FitConfig {
     pub growth: GrowthFamily,
     /// Time of the first observation (the paper's hour 1).
     pub initial_time: f64,
+    /// Multi-start strategy for the calibration paths
+    /// ([`crate::calibrate::calibrate_profiles`] behind the `dl-cal`
+    /// predictor, and the per-distance growth calibration behind
+    /// `variable-dl`). The default is a single start — the classic
+    /// seeded Nelder–Mead; see `docs/CALIBRATION.md` for the seeding
+    /// scheme and determinism contract.
+    pub multi_start: MultiStartConfig,
 }
 
 impl Default for FitConfig {
@@ -442,6 +451,7 @@ impl Default for FitConfig {
             phi: PhiConstruction::SplineFlat,
             growth: GrowthFamily::PaperHops,
             initial_time: 1.0,
+            multi_start: MultiStartConfig::default(),
         }
     }
 }
@@ -506,6 +516,9 @@ mod tests {
         assert_eq!(cfg.initial_time, 1.0);
         assert_eq!(cfg.phi, PhiConstruction::SplineFlat);
         assert_eq!(cfg.growth, GrowthFamily::PaperHops);
+        // Single-start by default: pre-multi-start behavior unchanged.
+        assert_eq!(cfg.multi_start, MultiStartConfig::default());
+        assert_eq!(cfg.multi_start.starts, 1);
     }
 
     #[test]

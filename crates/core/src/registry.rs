@@ -23,7 +23,7 @@
 
 use crate::baselines::EpidemicConfig;
 use crate::error::{DlError, Result};
-use crate::predict::{DiffusionPredictor, FitConfig, GrowthFamily};
+use crate::predict::{DiffusionPredictor, FitConfig, GrowthFamily, MultiStartConfig};
 use crate::zoo::{
     CalibratedDlPredictor, DlPredictor, LinearTrendPredictor, LogisticOnlyPredictor,
     NaivePredictor, SiPredictor, SisPredictor, VariableDlPredictor,
@@ -54,8 +54,14 @@ pub enum ModelSpec {
         seed_growth: GrowthFamily,
         /// Whether `K` is free during the search.
         fit_capacity: bool,
-        /// Optimizer evaluation budget.
+        /// Optimizer evaluation budget (per start).
         max_evals: usize,
+        /// Nelder–Mead starts (`1` = classic single-start; more starts
+        /// add deterministic stratified restarts, see
+        /// `docs/CALIBRATION.md`).
+        starts: usize,
+        /// Seed of the stratified start grid.
+        multi_start_seed: u64,
     },
     /// The variable-coefficient DL model (§V future work).
     VariableDl {
@@ -67,6 +73,10 @@ pub enum ModelSpec {
         growth: GrowthFamily,
         /// Calibrate an independent growth curve per distance.
         per_distance_growth: bool,
+        /// Nelder–Mead starts per per-distance growth fit.
+        starts: usize,
+        /// Seed of the stratified start grid.
+        multi_start_seed: u64,
     },
     /// The `d = 0` logistic-only ablation.
     LogisticOnly {
@@ -148,6 +158,57 @@ impl ModelSpec {
             seed_growth: GrowthFamily::PaperHops,
             fit_capacity: true,
             max_evals: 800,
+            starts: 1,
+            multi_start_seed: 0,
+        }
+    }
+
+    /// [`ModelSpec::calibrated_dl`] with `starts` multi-start restarts —
+    /// the global-search variant of `dl-cal`.
+    #[must_use]
+    pub fn calibrated_dl_multi(starts: usize) -> Self {
+        Self::calibrated_dl().with_multi_start(starts, 0)
+    }
+
+    /// Rewrites the multi-start strategy of a calibrating spec
+    /// (`dl-cal`, `variable-dl`); every other kind passes through
+    /// unchanged. The one place the "same spec, different start count"
+    /// rewrite lives — the `dlm-serve --starts` lineup upgrade and the
+    /// determinism gates all go through here.
+    #[must_use]
+    pub fn with_multi_start(self, starts: usize, multi_start_seed: u64) -> Self {
+        match self {
+            Self::DlCalibrated {
+                seed_diffusion,
+                seed_capacity,
+                seed_growth,
+                fit_capacity,
+                max_evals,
+                ..
+            } => Self::DlCalibrated {
+                seed_diffusion,
+                seed_capacity,
+                seed_growth,
+                fit_capacity,
+                max_evals,
+                starts,
+                multi_start_seed,
+            },
+            Self::VariableDl {
+                diffusion,
+                capacity,
+                growth,
+                per_distance_growth,
+                ..
+            } => Self::VariableDl {
+                diffusion,
+                capacity,
+                growth,
+                per_distance_growth,
+                starts,
+                multi_start_seed,
+            },
+            other => other,
         }
     }
 
@@ -163,6 +224,8 @@ impl ModelSpec {
                 capacity: 25.0,
                 growth: GrowthFamily::PaperHops,
                 per_distance_growth: true,
+                starts: 1,
+                multi_start_seed: 0,
             },
             Self::LogisticOnly {
                 capacity: 25.0,
@@ -183,6 +246,19 @@ impl ModelSpec {
             },
         ]
     }
+}
+
+/// Writes the `,starts=…,mseed=…` suffix of a calibrating spec, keeping
+/// the defaults (`starts=1`, `mseed=0`) implicit so pre-multi-start spec
+/// strings — and the cache keys derived from them — are unchanged.
+fn fmt_multi_start(f: &mut fmt::Formatter<'_>, starts: usize, seed: u64) -> fmt::Result {
+    if starts != 1 {
+        write!(f, ",starts={starts}")?;
+    }
+    if seed != 0 {
+        write!(f, ",mseed={seed}")?;
+    }
+    Ok(())
 }
 
 fn fmt_growth(g: &GrowthFamily) -> String {
@@ -278,24 +354,32 @@ impl fmt::Display for ModelSpec {
                 seed_growth,
                 fit_capacity,
                 max_evals,
+                starts,
+                multi_start_seed,
             } => {
                 write!(
                     f,
-                    "dl-cal(d0={seed_diffusion},K0={seed_capacity},r0={},fitK={fit_capacity},evals={max_evals})",
+                    "dl-cal(d0={seed_diffusion},K0={seed_capacity},r0={},fitK={fit_capacity},evals={max_evals}",
                     fmt_growth(seed_growth)
-                )
+                )?;
+                fmt_multi_start(f, *starts, *multi_start_seed)?;
+                write!(f, ")")
             }
             Self::VariableDl {
                 diffusion,
                 capacity,
                 growth,
                 per_distance_growth,
+                starts,
+                multi_start_seed,
             } => {
                 write!(
                     f,
-                    "variable-dl(d={diffusion},K={capacity},r={},perdist={per_distance_growth})",
+                    "variable-dl(d={diffusion},K={capacity},r={},perdist={per_distance_growth}",
                     fmt_growth(growth)
-                )
+                )?;
+                fmt_multi_start(f, *starts, *multi_start_seed)?;
+                write!(f, ")")
             }
             Self::LogisticOnly { capacity, growth } => {
                 write!(f, "logistic(K={capacity},r={})", fmt_growth(growth))
@@ -373,8 +457,8 @@ impl FromStr for ModelSpec {
         let known_keys: &[&str] = match kind {
             "dl" => &["d", "K", "r"],
             "logistic" => &["K", "r"],
-            "dl-cal" => &["d0", "K0", "r0", "fitK", "evals"],
-            "variable-dl" => &["d", "K", "r", "perdist"],
+            "dl-cal" => &["d0", "K0", "r0", "fitK", "evals", "starts", "mseed"],
+            "variable-dl" => &["d", "K", "r", "perdist", "starts", "mseed"],
             "naive" | "linear-trend" => &[],
             "si" => &["beta", "runs", "seed"],
             "sis" => &["beta", "gamma", "runs", "seed"],
@@ -402,12 +486,16 @@ impl FromStr for ModelSpec {
                 seed_growth: growth_of(&kv, "r0")?,
                 fit_capacity: bool_of(&kv, "fitK", true)?,
                 max_evals: usize_of(&kv, "evals", 800)?,
+                starts: usize_of(&kv, "starts", 1)?,
+                multi_start_seed: u64_of(&kv, "mseed", 0)?,
             }),
             "variable-dl" => Ok(Self::VariableDl {
                 diffusion: f64_of(&kv, "d", 0.01)?,
                 capacity: f64_of(&kv, "K", 25.0)?,
                 growth: growth_of(&kv, "r")?,
                 per_distance_growth: bool_of(&kv, "perdist", false)?,
+                starts: usize_of(&kv, "starts", 1)?,
+                multi_start_seed: u64_of(&kv, "mseed", 0)?,
             }),
             "logistic" => Ok(Self::LogisticOnly {
                 capacity: f64_of(&kv, "K", 25.0)?,
@@ -494,6 +582,8 @@ impl ModelRegistry {
                 seed_growth,
                 fit_capacity,
                 max_evals,
+                starts,
+                multi_start_seed,
             } => Ok(Box::new(CalibratedDlPredictor::new(
                 *seed_diffusion,
                 *seed_capacity,
@@ -501,6 +591,7 @@ impl ModelRegistry {
                 *max_evals,
                 FitConfig {
                     growth: *seed_growth,
+                    multi_start: nested_multi_start(*starts, *multi_start_seed),
                     ..FitConfig::default()
                 },
             )) as Box<dyn DiffusionPredictor>),
@@ -512,12 +603,15 @@ impl ModelRegistry {
                 capacity,
                 growth,
                 per_distance_growth,
+                starts,
+                multi_start_seed,
             } => Ok(Box::new(VariableDlPredictor::new(
                 *diffusion,
                 *capacity,
                 *per_distance_growth,
                 FitConfig {
                     growth: *growth,
+                    multi_start: nested_multi_start(*starts, *multi_start_seed),
                     ..FitConfig::default()
                 },
             )) as Box<dyn DiffusionPredictor>),
@@ -608,6 +702,24 @@ impl ModelRegistry {
     }
 }
 
+/// Multi-start strategy for registry-built predictors: the spec's
+/// starts and grid seed, with the start fan-out scheduled **serially**.
+/// Registry-built fits run inside contexts that are already parallel —
+/// the evaluation grid, the serve refit fan-out — where a nested
+/// full-width `Parallelism::Auto` would oversubscribe the machine and
+/// silently bypass the operator's worker cap. Scheduling never changes
+/// results (see `docs/CALIBRATION.md`); callers who want the starts
+/// themselves pool-parallel drive `CalibrationOptions::multi_start`
+/// directly.
+fn nested_multi_start(starts: usize, seed: u64) -> MultiStartConfig {
+    MultiStartConfig {
+        starts,
+        seed,
+        parallelism: dlm_numerics::pool::Parallelism::Serial,
+        ..MultiStartConfig::default()
+    }
+}
+
 fn spec_mismatch(kind: &'static str, got: &ModelSpec) -> DlError {
     DlError::InvalidParameter {
         name: "spec",
@@ -676,6 +788,45 @@ mod tests {
         assert!("dl(d=abc)".parse::<ModelSpec>().is_err());
         assert!("dl(d)".parse::<ModelSpec>().is_err());
         assert!("dl(r=warp(1))".parse::<ModelSpec>().is_err());
+    }
+
+    #[test]
+    fn multi_start_keys_round_trip_and_default_invisibly() {
+        // Default (single-start) specs print without the multi-start
+        // keys, so pre-existing spec strings and cache keys are stable.
+        assert_eq!(
+            ModelSpec::calibrated_dl().to_string(),
+            "dl-cal(d0=0.01,K0=25,r0=hops,fitK=true,evals=800)"
+        );
+        // Non-default starts/seed round trip through text.
+        let multi = ModelSpec::calibrated_dl_multi(8);
+        assert_eq!(
+            multi.to_string(),
+            "dl-cal(d0=0.01,K0=25,r0=hops,fitK=true,evals=800,starts=8)"
+        );
+        assert_eq!(multi.to_string().parse::<ModelSpec>().unwrap(), multi);
+        let seeded: ModelSpec = "dl-cal(starts=4,mseed=9)".parse().unwrap();
+        assert_eq!(
+            seeded,
+            ModelSpec::DlCalibrated {
+                seed_diffusion: 0.01,
+                seed_capacity: 25.0,
+                seed_growth: GrowthFamily::PaperHops,
+                fit_capacity: true,
+                max_evals: 800,
+                starts: 4,
+                multi_start_seed: 9,
+            }
+        );
+        assert_eq!(seeded.to_string().parse::<ModelSpec>().unwrap(), seeded);
+        let vdl: ModelSpec = "variable-dl(perdist=true,starts=3,mseed=5)"
+            .parse()
+            .unwrap();
+        assert_eq!(vdl.to_string().parse::<ModelSpec>().unwrap(), vdl);
+        // Both kinds still construct through the registry.
+        let registry = ModelRegistry::with_builtins();
+        assert_eq!(registry.build(&seeded).unwrap().name(), "dl-cal");
+        assert_eq!(registry.build(&vdl).unwrap().name(), "variable-dl");
     }
 
     #[test]

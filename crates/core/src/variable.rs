@@ -26,7 +26,7 @@ use crate::params::DlParameters;
 use crate::predict::FitConfig;
 use dlm_cascade::DensityMatrix;
 use dlm_numerics::interp::LinearInterp;
-use dlm_numerics::optimize::{nelder_mead, NelderMeadConfig};
+use dlm_numerics::optimize::{multi_start_nelder_mead, MultiStartConfig, NelderMeadConfig};
 use dlm_numerics::tridiag::solve_thomas;
 use std::fmt;
 use std::sync::Arc;
@@ -485,6 +485,36 @@ pub fn calibrate_per_distance_growth_series(
     initial_hour: u32,
     fit_hours: u32,
 ) -> Result<PerDistanceGrowth> {
+    calibrate_per_distance_growth_series_multi(
+        series,
+        capacity,
+        initial_hour,
+        fit_hours,
+        MultiStartConfig::default(),
+    )
+}
+
+/// [`calibrate_per_distance_growth_series`] with an explicit multi-start
+/// strategy: each distance's growth-curve fit runs
+/// `multi_start.starts` independent Nelder–Mead searches (the classic
+/// `[1, 1, 0.2]` seed as start 0 plus stratified restarts over the
+/// `(a, b, c)` seeding box, see `docs/CALIBRATION.md`), fanned onto the
+/// [`dlm_numerics::pool`] executor, keeping the best objective per
+/// distance under the bitwise total-order tie-break. The per-start
+/// budget is fixed at 2 000 evaluations (the classic single-start
+/// budget), so `multi_start.local` is ignored here and the single-start
+/// default reproduces [`calibrate_per_distance_growth_series`] exactly.
+///
+/// # Errors
+///
+/// Same conditions as [`calibrate_per_distance_growth_series`].
+pub fn calibrate_per_distance_growth_series_multi(
+    series: &[Vec<f64>],
+    capacity: f64,
+    initial_hour: u32,
+    fit_hours: u32,
+    multi_start: MultiStartConfig,
+) -> Result<PerDistanceGrowth> {
     if series.len() < 2 {
         return Err(DlError::InvalidParameter {
             name: "observed",
@@ -542,18 +572,25 @@ pub fn calibrate_per_distance_growth_series(
                 err / count as f64
             }
         };
-        let fit = nelder_mead(
+        // Seeding box for the (a, b, c) restarts; the hard constraint
+        // a + c < 20 in the objective stays authoritative.
+        let bounds = [(0.0, 4.0), (0.0, 4.0), (0.0, 2.0)];
+        let fit = multi_start_nelder_mead(
             objective,
             &[1.0, 1.0, 0.2],
-            NelderMeadConfig {
-                max_evals: 2_000,
-                ..NelderMeadConfig::default()
+            &bounds,
+            MultiStartConfig {
+                local: NelderMeadConfig {
+                    max_evals: 2_000,
+                    ..NelderMeadConfig::default()
+                },
+                ..multi_start
             },
         )?;
         curves.push(ExpDecayGrowth::new(
-            fit.x[0].max(0.0),
-            fit.x[1].max(0.0),
-            fit.x[2].max(0.0),
+            fit.best.x[0].max(0.0),
+            fit.best.x[1].max(0.0),
+            fit.best.x[2].max(0.0),
         ));
     }
     PerDistanceGrowth::new(1.0, curves)

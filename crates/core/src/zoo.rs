@@ -29,7 +29,7 @@ use crate::predict::{
     PredictionRequest,
 };
 use crate::variable::{
-    calibrate_per_distance_growth_series, ConstantField, PerDistanceGrowth, VariableDlModel,
+    calibrate_per_distance_growth_series_multi, ConstantField, PerDistanceGrowth, VariableDlModel,
     VariableDlModelBuilder,
 };
 use dlm_graph::DiGraph;
@@ -304,6 +304,7 @@ impl DiffusionPredictor for CalibratedDlPredictor {
         let options = CalibrationOptions {
             fit_capacity: self.fit_capacity,
             max_evals: self.max_evals,
+            multi_start: self.config.multi_start,
             ..CalibrationOptions::default()
         };
         let calibration = calibrate_profiles(
@@ -449,11 +450,12 @@ impl DiffusionPredictor for VariableDlPredictor {
             let series: Vec<Vec<f64>> = (0..observation.distance_count())
                 .map(|i| observation.profiles().iter().map(|p| p[i]).collect())
                 .collect();
-            let field = calibrate_per_distance_growth_series(
+            let field = calibrate_per_distance_growth_series_multi(
                 &series,
                 self.capacity,
                 observation.initial_hour(),
                 hours.len() as u32,
+                config.multi_start,
             )?;
             let model = builder
                 .growth(field.clone())

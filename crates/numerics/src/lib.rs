@@ -19,8 +19,11 @@
 //! * [`ode`] — RK4, adaptive Dormand–Prince 4(5), backward Euler (method of
 //!   lines time stepping).
 //! * [`rootfind`] — bisection, Newton, Brent.
-//! * [`optimize`] — Nelder–Mead, golden section, grid search (parameter
+//! * [`optimize`] — Nelder–Mead, golden section, grid search, and
+//!   deterministic pool-parallel multi-start search (parameter
 //!   calibration).
+//! * [`mix`] — the SplitMix64 avalanche shared by the multi-start seed
+//!   grid and the router's ring hashing.
 //! * [`pool`] — scoped work-stealing executor for embarrassingly parallel
 //!   grids (batch evaluation).
 //! * [`least_squares`] — Levenberg–Marquardt (growth-rate curve fits).
@@ -63,6 +66,7 @@ pub mod error;
 pub mod interp;
 pub mod least_squares;
 pub mod linalg;
+pub mod mix;
 pub mod ode;
 pub mod optimize;
 pub mod pool;

@@ -1,0 +1,56 @@
+//! Deterministic 64-bit mixing: the SplitMix64 avalanche finalizer and
+//! the sequence generator built on it.
+//!
+//! Both the multi-start seeding grid
+//! ([`crate::optimize::stratified_starts`]) and the router's
+//! consistent-hash ring (`dlm-router`'s `hash64`) need a stable,
+//! platform-independent avalanche with no external crates; this module
+//! is the single home of its magic constants so the two can never
+//! silently diverge.
+
+/// The SplitMix64 finalizer: a full-avalanche bijection on `u64`
+/// (every input bit affects every output bit), from Steele, Lea &
+/// Flood's SplitMix generator.
+#[must_use]
+pub fn splitmix64_mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One step of the SplitMix64 sequence: advances `state` by the golden
+/// gamma and returns the finalized value. Distinct seeds give
+/// independent-looking streams; equal seeds replay identically.
+#[must_use]
+pub fn splitmix64_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    splitmix64_mix(*state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalizer_is_deterministic_and_bijective_looking() {
+        assert_eq!(splitmix64_mix(42), splitmix64_mix(42));
+        // Reference value from the published SplitMix64 algorithm:
+        // seed 0 advanced once.
+        let mut state = 0u64;
+        assert_eq!(splitmix64_next(&mut state), 0xE220_A839_7B1D_CDAF);
+        // Nearby inputs scatter.
+        assert_ne!(splitmix64_mix(1) >> 32, splitmix64_mix(2) >> 32);
+    }
+
+    #[test]
+    fn streams_replay_by_seed() {
+        let draw = |seed: u64, n: usize| {
+            let mut state = seed;
+            (0..n)
+                .map(|_| splitmix64_next(&mut state))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7, 8), draw(7, 8));
+        assert_ne!(draw(7, 8), draw(8, 8));
+    }
+}

@@ -6,6 +6,7 @@
 use dlm_numerics::interp::LinearInterp;
 use dlm_numerics::linalg::Matrix;
 use dlm_numerics::ode::rk4;
+use dlm_numerics::optimize::stratified_starts;
 use dlm_numerics::quadrature::trapezoid;
 use dlm_numerics::rootfind::{brent, RootConfig};
 use dlm_numerics::spline::{CubicSpline, Pchip};
@@ -204,6 +205,41 @@ proptest! {
         // Perfect prediction is the unique maximizer.
         let perfect = prediction_accuracy(actual, actual).unwrap();
         prop_assert!(perfect >= a);
+    }
+
+    #[test]
+    fn multi_start_seeding_stays_inside_bounds(
+        seed in any::<u64>(),
+        count in 1usize..24,
+        raw in prop::collection::vec((-50.0f64..50.0, 0.0f64..100.0), 1..6),
+    ) {
+        // Arbitrary finite boxes (including degenerate zero-width axes):
+        // every generated start coordinate must lie inside its bound,
+        // each axis must be stratified (no two starts in one stratum),
+        // and the grid must be a pure function of (bounds, count, seed).
+        let bounds: Vec<(f64, f64)> = raw.iter().map(|&(lo, w)| (lo, lo + w)).collect();
+        let starts = stratified_starts(&bounds, count, seed).unwrap();
+        prop_assert_eq!(starts.len(), count);
+        for point in &starts {
+            prop_assert_eq!(point.len(), bounds.len());
+            for (x, &(lo, hi)) in point.iter().zip(&bounds) {
+                prop_assert!(*x >= lo && *x <= hi, "{} outside [{lo}, {hi}]", x);
+            }
+        }
+        for (dim, &(lo, hi)) in bounds.iter().enumerate() {
+            if hi <= lo {
+                continue; // degenerate axis: everything pinned to lo
+            }
+            let mut strata: Vec<usize> = starts
+                .iter()
+                .map(|p| ((((p[dim] - lo) / (hi - lo)) * count as f64) as usize).min(count - 1))
+                .collect();
+            strata.sort_unstable();
+            let expect: Vec<usize> = (0..count).collect();
+            prop_assert_eq!(strata, expect, "dimension {} not stratified", dim);
+        }
+        let replay = stratified_starts(&bounds, count, seed).unwrap();
+        prop_assert_eq!(starts, replay);
     }
 
     #[test]

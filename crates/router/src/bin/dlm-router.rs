@@ -4,6 +4,7 @@
 //! ```text
 //! dlm-router --backend 127.0.0.1:7878 --backend 127.0.0.1:7879
 //!            [--addr 127.0.0.1:7900] [--replicas 64] [--workers N]
+//!            [--connect-timeout-ms 2000]
 //! ```
 //!
 //! Prints one `READY {"addr":...,"backends":N}` line once the socket is
@@ -19,7 +20,7 @@ use dlm_serve::DlmServer;
 fn usage() -> ! {
     eprintln!(
         "usage: dlm-router --backend HOST:PORT [--backend HOST:PORT ...] \
-         [--addr HOST:PORT] [--replicas N] [--workers N]"
+         [--addr HOST:PORT] [--replicas N] [--workers N] [--connect-timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -29,6 +30,7 @@ fn main() {
     let mut backends: Vec<String> = Vec::new();
     let mut replicas = dlm_router::HashRing::DEFAULT_REPLICAS;
     let mut parallelism = Parallelism::Auto;
+    let mut connect_timeout = RouterConfig::DEFAULT_CONNECT_TIMEOUT;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -47,6 +49,17 @@ fn main() {
                 parallelism =
                     Parallelism::Fixed(value("--workers").parse().unwrap_or_else(|_| usage()));
             }
+            "--connect-timeout-ms" => {
+                // 0 is rejected: std's `TcpStream::connect_timeout`
+                // errors on a zero duration, which would fail every
+                // fresh dial instead of "disabling" the timeout.
+                let ms: u64 = value("--connect-timeout-ms")
+                    .parse()
+                    .ok()
+                    .filter(|&ms| ms > 0)
+                    .unwrap_or_else(|| usage());
+                connect_timeout = std::time::Duration::from_millis(ms);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -62,6 +75,7 @@ fn main() {
     let state = match RouterState::new(RouterConfig {
         replicas,
         parallelism,
+        connect_timeout,
         ..RouterConfig::new(backends)
     }) {
         Ok(state) => state,

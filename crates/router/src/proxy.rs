@@ -16,8 +16,10 @@
 //! ## Connection pooling and failure surfacing
 //!
 //! Each backend keeps a small pool of idle [`LineClient`] connections.
-//! A request checks one out (or dials a fresh one), and returns it on
-//! success. A *pure read* (`forecast`, `stats`) that fails on a pooled
+//! A request checks one out (or dials a fresh one — bounded by
+//! [`RouterConfig::connect_timeout`], so a blackholed backend fails
+//! fast and degrades only its shard instead of pinning a handler
+//! thread), and returns it on success. A *pure read* (`forecast`, `stats`) that fails on a pooled
 //! connection is retried once on a freshly dialed connection — the
 //! usual stale-keepalive case. State-changing requests are **never**
 //! re-sent: once the bytes may have reached the backend, a retried
@@ -47,7 +49,7 @@ use dlm_serve::protocol::error_response;
 use dlm_serve::{Json, LineClient, LineService, Result, ServeError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`RouterState`].
 #[derive(Debug, Clone)]
@@ -63,9 +65,17 @@ pub struct RouterConfig {
     /// Idle proxy connections kept per backend; checked-out connections
     /// beyond this are closed on return instead of pooled.
     pub max_idle_per_backend: usize,
+    /// Bound on every fresh backend dial. A blackholed backend (dropped
+    /// SYNs, no RST) fails after this long and degrades only its shard,
+    /// instead of pinning a router handler thread for the OS connect
+    /// timeout. See `docs/PROTOCOL.md` §5.
+    pub connect_timeout: Duration,
 }
 
 impl RouterConfig {
+    /// Default bound on fresh backend dials.
+    pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
     /// A config routing to `backends` with default tuning.
     #[must_use]
     pub fn new(backends: Vec<String>) -> Self {
@@ -74,6 +84,7 @@ impl RouterConfig {
             replicas: HashRing::DEFAULT_REPLICAS,
             parallelism: Parallelism::Auto,
             max_idle_per_backend: 8,
+            connect_timeout: Self::DEFAULT_CONNECT_TIMEOUT,
         }
     }
 }
@@ -85,6 +96,8 @@ struct Backend {
     addr: String,
     idle: Mutex<Vec<LineClient>>,
     max_idle: usize,
+    /// Bound on fresh dials (see [`RouterConfig::connect_timeout`]).
+    connect_timeout: Duration,
     /// Requests routed to this backend (including retries' successes).
     routed: AtomicU64,
     /// Requests that failed against this backend after any retry.
@@ -92,11 +105,12 @@ struct Backend {
 }
 
 impl Backend {
-    fn new(addr: String, max_idle: usize) -> Self {
+    fn new(addr: String, max_idle: usize, connect_timeout: Duration) -> Self {
         Self {
             addr,
             idle: Mutex::new(Vec::new()),
             max_idle,
+            connect_timeout,
             routed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         }
@@ -145,7 +159,7 @@ impl Backend {
             }
         }
         let fresh = || -> dlm_serve::Result<(LineClient, String)> {
-            let mut client = LineClient::connect(self.addr.as_str())?;
+            let mut client = LineClient::connect_timeout(self.addr.as_str(), self.connect_timeout)?;
             let response = client.send_raw(line)?;
             Ok((client, response))
         };
@@ -185,7 +199,7 @@ impl RouterState {
         let backends = config
             .backends
             .into_iter()
-            .map(|addr| Backend::new(addr, config.max_idle_per_backend))
+            .map(|addr| Backend::new(addr, config.max_idle_per_backend, config.connect_timeout))
             .collect();
         Ok(Self {
             ring,

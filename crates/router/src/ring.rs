@@ -39,10 +39,8 @@ pub fn hash64(bytes: &[u8]) -> u64 {
         h ^= u64::from(b);
         h = h.wrapping_mul(FNV_PRIME);
     }
-    // SplitMix64 finalizer.
-    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    h ^ (h >> 31)
+    // SplitMix64 finalizer, shared with the multi-start seed grid.
+    dlm_numerics::mix::splitmix64_mix(h)
 }
 
 /// A consistent-hash ring mapping string keys to backend indices.

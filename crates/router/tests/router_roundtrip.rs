@@ -260,6 +260,36 @@ fn routed_cluster_matches_single_server_and_degrades_per_shard() {
 }
 
 #[test]
+fn dials_are_bounded_by_the_connect_timeout() {
+    // A shard whose backend never answers the dial must come back as a
+    // router-originated error in bounded time, not pin the handler
+    // thread for the OS connect timeout (minutes). 192.0.2.1 is
+    // TEST-NET-1 (RFC 5737): never routable, so the dial either fails
+    // immediately (network unreachable) or blackholes until the
+    // configured timeout fires — both well under the generous bound
+    // asserted here, neither anywhere near the OS default.
+    let state = RouterState::new(RouterConfig {
+        connect_timeout: std::time::Duration::from_millis(250),
+        ..RouterConfig::new(vec!["192.0.2.1:7878".into()])
+    })
+    .expect("router state");
+    let start = std::time::Instant::now();
+    let response =
+        Json::parse(&state.handle_line(r#"{"type":"forecast","cascade":"c1","hours":[2]}"#))
+            .expect("response json");
+    let elapsed = start.elapsed();
+    assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        response.get("backend").and_then(Json::as_str),
+        Some("192.0.2.1:7878")
+    );
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "dead dial took {elapsed:?}; connect timeout did not bound it"
+    );
+}
+
+#[test]
 fn router_front_end_rejects_what_it_cannot_route() {
     // No live backends needed: these requests fail before any dial.
     let router = RouterState::new(RouterConfig::new(vec!["127.0.0.1:9".into()])).unwrap();

@@ -4,7 +4,7 @@
 //! ```text
 //! dlm-serve [--addr 127.0.0.1:7878] [--scale 0.15] [--capacity 1024]
 //!           [--cascades 4096] [--cascade-ttl SECS] [--workers N]
-//!           [--no-prewarm] [--quick-lineup]
+//!           [--no-prewarm] [--quick-lineup] [--starts N]
 //! ```
 //!
 //! Prints one `READY {"addr":...}` line once the socket is bound (the
@@ -18,7 +18,7 @@ use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
 fn usage() -> ! {
     eprintln!(
         "usage: dlm-serve [--addr HOST:PORT] [--scale F] [--capacity N] [--cascades N] \
-         [--cascade-ttl SECS] [--workers N] [--no-prewarm] [--quick-lineup]"
+         [--cascade-ttl SECS] [--workers N] [--no-prewarm] [--quick-lineup] [--starts N]"
     );
     std::process::exit(2);
 }
@@ -26,6 +26,7 @@ fn usage() -> ! {
 fn main() {
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut scale = 0.15f64;
+    let mut starts = 1usize;
     let mut config = ServeConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +56,9 @@ fn main() {
                     Parallelism::Fixed(value("--workers").parse().unwrap_or_else(|_| usage()));
             }
             "--no-prewarm" => config.prewarm = false,
+            "--starts" => {
+                starts = value("--starts").parse().unwrap_or_else(|_| usage());
+            }
             "--quick-lineup" => {
                 // The cheap half of the zoo — for latency-focused runs.
                 config.lineup = vec![
@@ -73,6 +77,17 @@ fn main() {
                 usage();
             }
         }
+    }
+
+    if starts > 1 {
+        // Upgrade the calibrating lineup entries to multi-start (see
+        // docs/CALIBRATION.md): the refit scheduler fans one fit job
+        // per model, and each calibrating fit searches `starts` seeds.
+        config.lineup = config
+            .lineup
+            .into_iter()
+            .map(|spec| spec.with_multi_start(starts, 0))
+            .collect();
     }
 
     eprintln!("generating synthetic world (scale {scale})...");

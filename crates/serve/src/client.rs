@@ -9,6 +9,7 @@ use crate::error::{Result, ServeError};
 use crate::json::Json;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A connected protocol client.
 ///
@@ -41,7 +42,43 @@ impl LineClient {
     ///
     /// Propagates socket errors.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
-        let writer = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Like [`LineClient::connect`], but bounds the TCP dial itself.
+    /// A blackholed endpoint (dropped SYNs, no RST) fails after
+    /// `timeout` instead of pinning the caller for the OS connect
+    /// timeout (minutes on most systems) — this is what lets a routing
+    /// tier degrade a dead backend's shard instead of hanging a handler
+    /// thread (see `docs/PROTOCOL.md` §5).
+    ///
+    /// When `addr` resolves to several endpoints, each is tried in
+    /// order with the full `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and socket errors; a timeout surfaces as
+    /// the OS's `TimedOut`/`WouldBlock` I/O error. `timeout` must be
+    /// nonzero — [`std::net::TcpStream::connect_timeout`] rejects a
+    /// zero duration (use [`LineClient::connect`] for an untimed
+    /// dial).
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Self> {
+        let mut last_err: Option<std::io::Error> = None;
+        for endpoint in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&endpoint, timeout) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ServeError::Io(last_err.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to no endpoints",
+            )
+        })))
+    }
+
+    fn from_stream(writer: TcpStream) -> Result<Self> {
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Self { reader, writer })

@@ -217,6 +217,100 @@ fn served_forecasts_are_byte_identical_to_the_offline_pipeline() {
 }
 
 #[test]
+fn multi_start_spec_served_over_the_wire_matches_the_offline_fit() {
+    // The refit path honors the multi-start spec keys: an ad-hoc
+    // `dl-cal(...,starts=3,mseed=5)` requested over the wire must serve
+    // the byte-identical fit the offline registry path computes — i.e.
+    // the serve tier picks the multi-start engine up with no code of
+    // its own, purely through the spec string.
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).unwrap();
+    let config = SimulationConfig {
+        hours: 6,
+        substeps: 2,
+        seed: 13,
+    };
+    let cascade = simulate_story(&world, &StoryPreset::s1(), config).unwrap();
+    let batch_matrix = hop_density_matrix(world.graph(), &cascade, MAX_HOPS, 4).unwrap();
+
+    let state = ServerState::with_world(
+        ServeConfig {
+            parallelism: Parallelism::Fixed(2),
+            prewarm: false, // only the requested ad-hoc spec should fit
+            ..ServeConfig::default()
+        },
+        world.clone(),
+    )
+    .unwrap();
+    let mut server = DlmServer::bind("127.0.0.1:0", state).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    let open = client.send(&format!(
+        r#"{{"type":"open","cascade":"ms","initiator":{},"max_hops":{MAX_HOPS},"horizon":4,"submit_time":{}}}"#,
+        cascade.initiator(),
+        cascade.submit_time(),
+    ));
+    assert_eq!(open.get("ok").unwrap().as_bool(), Some(true), "{open}");
+    let votes_json: Vec<String> = cascade
+        .votes()
+        .iter()
+        .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+        .collect();
+    client.send(&format!(
+        r#"{{"type":"ingest","cascade":"ms","votes":[{}],"now":{}}}"#,
+        votes_json.join(","),
+        cascade.submit_time() + 4 * 3600,
+    ));
+
+    let spec_text = "dl-cal(d0=0.01,K0=25,r0=hops,fitK=true,evals=100,starts=3,mseed=5)";
+    let served = client.send(&format!(
+        r#"{{"type":"forecast","cascade":"ms","hours":[3,4],"through":2,"models":["{spec_text}"]}}"#,
+    ));
+    assert_eq!(served.get("ok").unwrap().as_bool(), Some(true), "{served}");
+    let entry = &served.get("models").unwrap().as_array().unwrap()[0];
+    assert_eq!(entry.get("spec").unwrap().as_str(), Some(spec_text));
+    assert!(entry.get("error").is_none(), "{entry}");
+
+    // Offline twin through the same registry and observation window.
+    let spec: ModelSpec = spec_text.parse().unwrap();
+    let observation = EvaluationCase::forecast("ms", batch_matrix.clone(), 1, 2, 4)
+        .unwrap()
+        .observation()
+        .unwrap();
+    let fitted = ModelRegistry::with_builtins()
+        .build(&spec)
+        .unwrap()
+        .fit(&observation)
+        .unwrap();
+    let served_params: Vec<u64> = entry
+        .get("params")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(f64_bits)
+        .collect();
+    let offline_params: Vec<u64> = fitted.params().iter().map(|p| p.to_bits()).collect();
+    assert_eq!(served_params, offline_params, "multi-start params diverge");
+
+    let distances: Vec<u32> = (1..=batch_matrix.max_distance()).collect();
+    let request = PredictionRequest::new(distances.clone(), vec![3, 4]).unwrap();
+    let prediction = fitted.predict(&request).unwrap();
+    let values = entry.get("values").unwrap().as_array().unwrap();
+    for (di, &d) in distances.iter().enumerate() {
+        let row = values[di].as_array().unwrap();
+        for (hi, &h) in [3u32, 4].iter().enumerate() {
+            assert_eq!(
+                f64_bits(&row[hi]),
+                prediction.at(d, h).unwrap().to_bits(),
+                "multi-start I({d}, {h}) diverges"
+            );
+        }
+    }
+
+    server.shutdown();
+}
+
+#[test]
 fn interest_metric_open_serves_batch_identical_forecasts() {
     use dlm_cascade::interest_groups::{interest_density_matrix, GroupingStrategy};
     use dlm_core::predict::Observation;
