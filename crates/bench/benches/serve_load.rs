@@ -12,6 +12,7 @@
 //! cargo bench -p dlm-bench --bench serve_load -- --smoke          # reduced, for CI
 //! cargo bench -p dlm-bench --bench serve_load -- --router         # router + 2 backends
 //! cargo bench -p dlm-bench --bench serve_load -- --smoke --router # CI router smoke
+//! cargo bench -p dlm-bench --bench serve_load -- --router --kill-one  # elasticity drill
 //! ```
 //!
 //! Single-server mode writes `BENCH_serve.json`; router mode fronts
@@ -29,7 +30,13 @@
 //!   client sees through the router (opens, ingests, forecasts) must be
 //!   byte-identical to what the same request stream gets from a single
 //!   direct server, and the router's aggregated `stats` cache counters
-//!   must equal the sum over its backends.
+//!   must equal the sum over its backends;
+//! * **elasticity gate (`--kill-one`)** — three backends with
+//!   `data_replicas: 2`: after the load phase one backend is drained
+//!   (snapshot handoff, `handoff_ms`), a second is killed outright and
+//!   `remove`d (`remap_fraction`), and every client's gate forecast is
+//!   re-probed after each transition — `lost_responses` must stay 0 and
+//!   every probed byte must match the pre-kill answer.
 //!
 //! The process exits nonzero on any gate failure.
 
@@ -40,7 +47,8 @@ use dlm_core::predict::{GrowthFamily, Observation, PredictionRequest};
 use dlm_core::registry::{ModelRegistry, ModelSpec};
 use dlm_data::simulate::simulate_story;
 use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
-use dlm_router::{RouterConfig, RouterState};
+use dlm_router::ring::remap_fraction;
+use dlm_router::{HashRing, RouterConfig, RouterState};
 use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
 use dlm_serve::{Json, LineClient};
 use std::net::SocketAddr;
@@ -250,6 +258,11 @@ fn bench_out(default_name: &str) -> String {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let router_mode = std::env::args().any(|a| a == "--router");
+    let kill_one = std::env::args().any(|a| a == "--kill-one");
+    assert!(
+        router_mode || !kill_one,
+        "--kill-one requires --router (there is nothing to fail over to)"
+    );
     let (scale, clients, horizon) = if smoke {
         (0.06, 4, 5u32)
     } else {
@@ -296,7 +309,7 @@ fn main() {
     eprintln!("replaying {replayed} votes over {horizon} hours from {clients} concurrent clients");
 
     if router_mode {
-        run_router_load(&world, &scenario, clients, replayed, smoke);
+        run_router_load(&world, &scenario, clients, replayed, smoke, kill_one);
     } else {
         run_single_load(&world, &story, &scenario, clients, replayed, smoke);
     }
@@ -412,16 +425,23 @@ fn run_single_load(
 }
 
 /// Router mode: the same replay through a `dlm-router` tier fronting
-/// two backends, byte-compared against a direct single-server replay.
-/// Writes `BENCH_router.json`.
+/// two backends (three with `--kill-one`, which then drains one node,
+/// kills another, and re-probes every client), byte-compared against a
+/// direct single-server replay. Writes `BENCH_router.json`.
 fn run_router_load(
     world: &SyntheticWorld,
     scenario: &Scenario,
     clients: usize,
     replayed: usize,
     smoke: bool,
+    kill_one: bool,
 ) {
-    let backends: Vec<DlmServer> = (0..ROUTER_BACKENDS)
+    // The elasticity drill needs a third node (one to drain, one to
+    // kill, one survivor) and a second copy of every cascade so the
+    // kill loses nothing.
+    let backend_count = if kill_one { 3 } else { ROUTER_BACKENDS };
+    let data_replicas = if kill_one { 2 } else { 1 };
+    let mut backends: Vec<DlmServer> = (0..backend_count)
         .map(|_| {
             let state =
                 ServerState::with_world(serve_config(), world.clone()).expect("backend state");
@@ -432,13 +452,18 @@ fn run_router_load(
         .iter()
         .map(|b| b.local_addr().to_string())
         .collect();
-    let router = RouterState::new(RouterConfig::new(backend_addrs.clone())).expect("router state");
+    let router = RouterState::new(RouterConfig {
+        data_replicas,
+        ..RouterConfig::new(backend_addrs.clone())
+    })
+    .expect("router state");
     let shards: Vec<usize> = (0..clients)
         .map(|id| router.shard_of(&format!("c{id}")))
         .collect();
     let front = DlmServer::bind("127.0.0.1:0", router).expect("bind router");
     eprintln!(
-        "router on {} over {ROUTER_BACKENDS} backends; client shards {shards:?}",
+        "router on {} over {backend_count} backends (data replicas {data_replicas}); \
+         client shards {shards:?}",
         front.local_addr()
     );
 
@@ -533,6 +558,107 @@ fn run_router_load(
         .map(|arr| arr.iter().filter_map(Json::as_u64).collect())
         .unwrap_or_default();
 
+    // The elasticity drill: drain one node (measured handoff), kill and
+    // `remove` another (measured remap), and after every transition
+    // re-probe each client's gate forecast. Replication must make the
+    // whole sequence lossless: zero lost responses, byte-identical
+    // answers throughout.
+    let mut lost_responses = 0usize;
+    let mut remap = 0.0f64;
+    let mut handoff_ms_json = "null".to_owned();
+    if kill_one {
+        let gate_list: Vec<String> = scenario
+            .gate_hours
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        let gate_line = |id: usize| {
+            format!(
+                r#"{{"type":"forecast","cascade":"c{id}","hours":[{}],"through":{}}}"#,
+                gate_list.join(","),
+                scenario.observe_through,
+            )
+        };
+        let probe_all = |label: &str, lost: &mut usize| {
+            for (id, run) in routed_runs.iter().enumerate() {
+                let expected = run.responses.last().expect("gate response recorded");
+                let answered = LineClient::connect(front.local_addr())
+                    .and_then(|mut c| c.send_raw(&gate_line(id)))
+                    .ok();
+                if answered.as_ref() != Some(expected) {
+                    *lost += 1;
+                    eprintln!(
+                        "ELASTICITY GATE FAILED ({label}): client {id} got {answered:?}, \
+                         expected the pre-transition bytes"
+                    );
+                }
+            }
+        };
+        let mut admin = Client::connect(front.local_addr());
+
+        // 1. Drain the third backend: its cascades hand off while it is
+        //    still alive. `handoff_ms` is the routing pause the swap cost.
+        let (drain_raw, _) = admin.round_trip(&format!(
+            r#"{{"type":"drain","backend":"{}"}}"#,
+            backend_addrs[2]
+        ));
+        let drain = Json::parse(&drain_raw).expect("drain response parse");
+        if drain.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("ELASTICITY GATE FAILED: drain rejected: {drain_raw}");
+            lost_responses += clients;
+        }
+        if let Some(ms) = drain.get("handoff_ms").and_then(Json::as_f64) {
+            handoff_ms_json = format!("{ms:.3}");
+        }
+        eprintln!(
+            "drained {}: migrated {} evicted {} in {} ms",
+            backend_addrs[2],
+            drain.get("migrated").and_then(Json::as_u64).unwrap_or(0),
+            drain.get("evicted").and_then(Json::as_u64).unwrap_or(0),
+            handoff_ms_json,
+        );
+        probe_all("post-drain", &mut lost_responses);
+
+        // 2. Kill the second backend outright — no goodbye, mid-service.
+        //    Reads must fail over to the surviving replica instantly.
+        backends[1].shutdown();
+        probe_all("post-kill", &mut lost_responses);
+
+        // 3. Fail-stop `remove`: survivors re-replicate, the ring shrinks.
+        //    `remap_fraction` is the keyspace share the dead node owned,
+        //    computed from the same ring the router routes with.
+        let survivors: Vec<String> = vec![backend_addrs[0].clone()];
+        let both: Vec<String> = vec![backend_addrs[0].clone(), backend_addrs[1].clone()];
+        remap = remap_fraction(
+            &HashRing::new(&both, HashRing::DEFAULT_REPLICAS).expect("ring"),
+            &both,
+            &HashRing::new(&survivors, HashRing::DEFAULT_REPLICAS).expect("ring"),
+            &survivors,
+        );
+        let (remove_raw, _) = admin.round_trip(&format!(
+            r#"{{"type":"remove","backend":"{}"}}"#,
+            backend_addrs[1]
+        ));
+        let removal = Json::parse(&remove_raw).expect("remove response parse");
+        if removal.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("ELASTICITY GATE FAILED: remove rejected: {remove_raw}");
+            lost_responses += clients;
+        }
+        probe_all("post-remove", &mut lost_responses);
+        eprintln!(
+            "removed {}: remap fraction {remap:.4}, ring version {}",
+            backend_addrs[1],
+            removal
+                .get("ring_version")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        );
+        if lost_responses > 0 {
+            identical = false;
+            eprintln!("ELASTICITY GATE FAILED: {lost_responses} lost responses (must be 0)");
+        }
+    }
+
     let ingest: Vec<f64> = routed_runs
         .iter()
         .flat_map(|r| r.ingest_latencies.clone())
@@ -543,13 +669,16 @@ fn run_router_load(
         .collect();
     let throughput = requests as f64 / wall_secs.max(1e-9);
     let json = format!(
-        "{{\n  \"schema\": \"dlm-bench/router/v1\",\n  \"mode\": \"{mode}\",\n  \
-         \"backends\": {ROUTER_BACKENDS},\n  \"clients\": {clients},\n  \
+        "{{\n  \"schema\": \"dlm-bench/router/v2\",\n  \"mode\": \"{mode}\",\n  \
+         \"backends\": {backend_count},\n  \"clients\": {clients},\n  \
+         \"data_replicas\": {data_replicas},\n  \
          \"hours_streamed\": {horizon},\n  \"votes_replayed_per_client\": {replayed},\n  \
          \"requests\": {requests},\n  \"wall_seconds\": {wall_secs:.3},\n  \
          \"throughput_rps\": {throughput:.2},\n  \"ingest_latency\": {ingest},\n  \
          \"forecast_latency\": {forecast},\n  \"routed_per_backend\": {routed_counts:?},\n  \
          \"aggregate_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}}},\n  \
+         \"remap_fraction\": {remap:.6},\n  \"handoff_ms\": {handoff_ms_json},\n  \
+         \"lost_responses\": {lost_responses},\n  \
          \"protocol_ok\": {protocol_ok},\n  \"routed_identical\": {identical}\n}}\n",
         mode = if smoke { "smoke" } else { "full" },
         horizon = scenario.horizon,

@@ -1,0 +1,40 @@
+//! Error type for the cluster layer.
+
+use std::fmt;
+
+/// Result alias for `dlm-cluster`.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+/// Everything that can go wrong in the cluster machinery: snapshot
+/// encoding/decoding, ring construction, and membership transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A structurally invalid argument (empty backend list, zero
+    /// replicas, ...).
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A snapshot byte stream that cannot be decoded: bad magic, an
+    /// unsupported format version, a checksum mismatch, or truncation.
+    Codec(String),
+    /// An invalid membership transition (duplicate join, draining the
+    /// last node, removing an unknown node, ...).
+    Membership(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::Codec(reason) => write!(f, "snapshot codec error: {reason}"),
+            Self::Membership(reason) => write!(f, "membership error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

@@ -1,0 +1,69 @@
+//! Lowercase hex encoding for embedding snapshot bytes in JSON wire
+//! strings and in on-disk snapshot filenames.
+
+use crate::error::{ClusterError, Result};
+
+/// Encodes `bytes` as lowercase hex, two characters per byte.
+#[must_use]
+pub fn encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0x0f)] as char);
+    }
+    out
+}
+
+/// Decodes a hex string produced by [`encode`] (either letter case).
+///
+/// # Errors
+///
+/// [`ClusterError::Codec`] for odd length or a non-hex character.
+pub fn decode(hex: &str) -> Result<Vec<u8>> {
+    let digits = hex.as_bytes();
+    if !digits.len().is_multiple_of(2) {
+        return Err(ClusterError::Codec(format!(
+            "hex string has odd length {}",
+            digits.len()
+        )));
+    }
+    let nibble = |d: u8| -> Result<u8> {
+        match d {
+            b'0'..=b'9' => Ok(d - b'0'),
+            b'a'..=b'f' => Ok(d - b'a' + 10),
+            b'A'..=b'F' => Ok(d - b'A' + 10),
+            _ => Err(ClusterError::Codec(format!(
+                "non-hex character `{}`",
+                char::from(d)
+            ))),
+        }
+    };
+    let mut out = Vec::with_capacity(digits.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_rejects_garbage() {
+        for bytes in [
+            vec![],
+            vec![0u8],
+            vec![0xff, 0x00, 0x7a],
+            (0..=255).collect(),
+        ] {
+            let hex = encode(&bytes);
+            assert_eq!(decode(&hex).unwrap(), bytes, "{hex}");
+        }
+        assert_eq!(encode(&[0xde, 0xad]), "dead");
+        assert_eq!(decode("DEAD").unwrap(), vec![0xde, 0xad]);
+        assert!(decode("abc").is_err(), "odd length");
+        assert!(decode("zz").is_err(), "non-hex digit");
+    }
+}

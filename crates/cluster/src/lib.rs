@@ -1,0 +1,37 @@
+//! Elastic-cluster machinery for the dlm serving tiers.
+//!
+//! This crate holds the three pieces that let a `dlm-router` +
+//! `dlm-serve` cluster change shape without losing cascade state, all
+//! std-only and shared by both tiers:
+//!
+//! * [`snapshot`] — a versioned, checksummed, deterministic byte layout
+//!   for a live cascade's full ingest state ([`CascadeSnapshot`]).
+//!   Restoring a snapshot is bit-identical: the density matrices — and
+//!   therefore every forecast — served by the restored cascade match
+//!   the original byte for byte. The same bytes travel over the wire
+//!   during drain handoff and sit on disk under `--snapshot-dir`.
+//! * [`ring`] — the consistent-hash ring ([`HashRing`]) with virtual
+//!   nodes, grown here from the router so the bench and test tiers can
+//!   reason about placement without a running router. [`HashRing::route_n`]
+//!   extends single-owner routing to deterministic N-way owner sets for
+//!   replicated placement and coordination-free failover.
+//! * [`membership`] — the [`Membership`] state machine behind the
+//!   router's `join` / `drain` / `remove` admin verbs, with a ring
+//!   version that bumps exactly when placement can change.
+//!
+//! [`hex`] is the small armor codec used to embed snapshot bytes in
+//! JSON wire strings and snapshot filenames.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod error;
+pub mod hex;
+pub mod membership;
+pub mod ring;
+pub mod snapshot;
+
+pub use error::{ClusterError, Result};
+pub use membership::{Membership, NodeStatus};
+pub use ring::{hash64, remap_fraction, HashRing};
+pub use snapshot::{CascadeSnapshot, FORMAT_VERSION};

@@ -1,0 +1,283 @@
+//! The membership state machine behind the router's `join` / `drain` /
+//! `remove` admin verbs.
+//!
+//! Membership is a plain ordered list of `(label, status)` pairs plus a
+//! monotonically increasing **ring version**. The version bumps exactly
+//! when the *active* label set changes — i.e. when a rebuilt
+//! [`crate::ring::HashRing`] could route differently — so clients can
+//! use it as a cheap "did placement change?" check:
+//!
+//! * [`Membership::join`] appends an `Active` node → bump;
+//! * [`Membership::begin_drain`] flips a node to `Draining` — the node
+//!   still owns its keys while its cascades are handed off, so **no**
+//!   bump yet;
+//! * [`Membership::complete_drain`] / [`Membership::remove`] take the
+//!   node out of the active set → bump.
+//!
+//! The two-phase drain mirrors how the router uses it: snapshots are
+//! streamed off the draining node *while it is still the routing owner*
+//! (so reads keep working), and only after every cascade has a new home
+//! does the ring actually change. `remove` is the fail-stop path for a
+//! node that is already dead and cannot be drained.
+//!
+//! This type is deliberately not thread-safe — the router owns one
+//! behind its topology lock and mutates a clone, swapping it in only if
+//! the whole transition (including cascade handoff) succeeds.
+
+use crate::error::{ClusterError, Result};
+
+/// Lifecycle status of a cluster node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Owns ring keys and serves requests.
+    Active,
+    /// Still owns ring keys, but a handoff is in flight and no new
+    /// topology may touch it.
+    Draining,
+}
+
+/// The ordered node list and ring version for one cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Membership {
+    nodes: Vec<(String, NodeStatus)>,
+    version: u64,
+}
+
+impl Membership {
+    /// Starts a cluster from the initial backend labels, all `Active`,
+    /// at ring version 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidParameter`] for an empty list or
+    /// duplicate labels.
+    pub fn new(labels: &[String]) -> Result<Self> {
+        if labels.is_empty() {
+            return Err(ClusterError::InvalidParameter {
+                name: "backends",
+                reason: "need at least one backend".into(),
+            });
+        }
+        for (i, label) in labels.iter().enumerate() {
+            if labels[..i].contains(label) {
+                return Err(ClusterError::InvalidParameter {
+                    name: "backends",
+                    reason: format!("duplicate backend `{label}`"),
+                });
+            }
+        }
+        Ok(Self {
+            nodes: labels
+                .iter()
+                .map(|l| (l.clone(), NodeStatus::Active))
+                .collect(),
+            version: 1,
+        })
+    }
+
+    /// The current ring version. Bumps exactly when the active label
+    /// set changes.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether `label` is a member (active or draining).
+    #[must_use]
+    pub fn contains(&self, label: &str) -> bool {
+        self.nodes.iter().any(|(l, _)| l == label)
+    }
+
+    /// The status of `label`, if it is a member.
+    #[must_use]
+    pub fn status(&self, label: &str) -> Option<NodeStatus> {
+        self.nodes.iter().find(|(l, _)| l == label).map(|&(_, s)| s)
+    }
+
+    /// The labels currently in the active set, in join order — exactly
+    /// the list a [`crate::ring::HashRing`] should be built from.
+    #[must_use]
+    pub fn active_labels(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .filter(|(_, s)| *s == NodeStatus::Active)
+            .map(|(l, _)| l.clone())
+            .collect()
+    }
+
+    /// Adds a new `Active` node and bumps the ring version.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Membership`] if `label` is already a member
+    /// (in either status).
+    pub fn join(&mut self, label: &str) -> Result<()> {
+        if self.contains(label) {
+            return Err(ClusterError::Membership(format!(
+                "backend `{label}` is already a member"
+            )));
+        }
+        self.nodes.push((label.to_string(), NodeStatus::Active));
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Marks `label` as `Draining`. The active set — and therefore the
+    /// ring version — is unchanged: the node keeps serving its keys
+    /// while the handoff runs.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Membership`] if `label` is unknown, already
+    /// draining, or the last active node (there would be nowhere to
+    /// hand its cascades).
+    pub fn begin_drain(&mut self, label: &str) -> Result<()> {
+        let actives = self.active_labels();
+        match self.status(label) {
+            None => Err(ClusterError::Membership(format!(
+                "backend `{label}` is not a member"
+            ))),
+            Some(NodeStatus::Draining) => Err(ClusterError::Membership(format!(
+                "backend `{label}` is already draining"
+            ))),
+            Some(NodeStatus::Active) if actives.len() == 1 => {
+                Err(ClusterError::Membership(format!(
+                    "backend `{label}` is the last active node; nothing could take its cascades"
+                )))
+            }
+            Some(NodeStatus::Active) => {
+                for (l, s) in &mut self.nodes {
+                    if l == label {
+                        *s = NodeStatus::Draining;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes a node previously marked by [`Membership::begin_drain`]
+    /// and bumps the ring version.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Membership`] if `label` is unknown or not
+    /// draining.
+    pub fn complete_drain(&mut self, label: &str) -> Result<()> {
+        match self.status(label) {
+            Some(NodeStatus::Draining) => {
+                self.nodes.retain(|(l, _)| l != label);
+                self.version += 1;
+                Ok(())
+            }
+            Some(NodeStatus::Active) => Err(ClusterError::Membership(format!(
+                "backend `{label}` is not draining"
+            ))),
+            None => Err(ClusterError::Membership(format!(
+                "backend `{label}` is not a member"
+            ))),
+        }
+    }
+
+    /// Fail-stop removal: drops `label` in any status and bumps the
+    /// ring version. This is the verb for a node that died and cannot
+    /// be drained; lost cascades are re-replicated from survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Membership`] if `label` is unknown, or removal
+    /// would leave zero members.
+    pub fn remove(&mut self, label: &str) -> Result<()> {
+        if !self.contains(label) {
+            return Err(ClusterError::Membership(format!(
+                "backend `{label}` is not a member"
+            )));
+        }
+        if self.nodes.len() == 1 {
+            return Err(ClusterError::Membership(format!(
+                "backend `{label}` is the last member; a cluster cannot be empty"
+            )));
+        }
+        self.nodes.retain(|(l, _)| l != label);
+        self.version += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("b{i}")).collect()
+    }
+
+    #[test]
+    fn construction_validates_and_starts_at_version_one() {
+        assert!(Membership::new(&[]).is_err());
+        let mut dup = labels(2);
+        dup.push(dup[0].clone());
+        assert!(Membership::new(&dup).is_err());
+
+        let m = Membership::new(&labels(3)).unwrap();
+        assert_eq!(m.version(), 1);
+        assert_eq!(m.active_labels(), labels(3));
+        assert_eq!(m.status("b1"), Some(NodeStatus::Active));
+        assert_eq!(m.status("nope"), None);
+    }
+
+    #[test]
+    fn join_appends_and_bumps() {
+        let mut m = Membership::new(&labels(2)).unwrap();
+        m.join("b2").unwrap();
+        assert_eq!(m.version(), 2);
+        assert_eq!(m.active_labels(), labels(3));
+        let err = m.join("b0").unwrap_err();
+        assert!(err.to_string().contains("already a member"), "{err}");
+        assert_eq!(m.version(), 2, "failed transitions must not bump");
+    }
+
+    #[test]
+    fn drain_is_two_phase_and_bumps_only_on_completion() {
+        let mut m = Membership::new(&labels(3)).unwrap();
+        m.begin_drain("b1").unwrap();
+        assert_eq!(m.version(), 1, "draining node still owns its keys");
+        assert_eq!(m.status("b1"), Some(NodeStatus::Draining));
+        assert_eq!(m.active_labels(), vec!["b0".to_string(), "b2".to_string()]);
+
+        // A draining node cannot drain again, and cannot re-join.
+        assert!(m.begin_drain("b1").is_err());
+        assert!(m.join("b1").is_err());
+
+        m.complete_drain("b1").unwrap();
+        assert_eq!(m.version(), 2);
+        assert!(!m.contains("b1"));
+        assert!(m.complete_drain("b1").is_err(), "gone means gone");
+        assert!(m.complete_drain("b0").is_err(), "b0 was never draining");
+    }
+
+    #[test]
+    fn drain_refuses_the_last_active_node() {
+        let mut m = Membership::new(&labels(2)).unwrap();
+        m.begin_drain("b0").unwrap();
+        let err = m.begin_drain("b1").unwrap_err();
+        assert!(err.to_string().contains("last active"), "{err}");
+    }
+
+    #[test]
+    fn remove_is_fail_stop_and_guards_the_empty_cluster() {
+        let mut m = Membership::new(&labels(3)).unwrap();
+        m.remove("b2").unwrap();
+        assert_eq!(m.version(), 2);
+        assert!(m.remove("b2").is_err(), "not a member any more");
+
+        // Remove also works on a draining node (the drain never
+        // finished because the node died).
+        m.begin_drain("b1").unwrap();
+        m.remove("b1").unwrap();
+        assert_eq!(m.version(), 3);
+        assert_eq!(m.active_labels(), vec!["b0".to_string()]);
+        let err = m.remove("b0").unwrap_err();
+        assert!(err.to_string().contains("cannot be empty"), "{err}");
+    }
+}

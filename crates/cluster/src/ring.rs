@@ -1,0 +1,368 @@
+//! A hand-rolled consistent-hash ring with virtual nodes.
+//!
+//! Cascades are the sharding unit — the paper's model predicts each
+//! cascade independently, so any cascade can live on any backend, and
+//! all the router has to guarantee is that *every request for the same
+//! cascade id lands on the same backend*. A consistent-hash ring gives
+//! that with two extra properties a plain `hash % n` would not:
+//!
+//! * **placement is deterministic from configuration alone** — backends
+//!   are hashed by their configured label (address), not their list
+//!   position, so reordering the `--backend` flags does not reshuffle
+//!   the keyspace;
+//! * **topology changes move little** — removing a backend only remaps
+//!   the keys that lived on it; keys on surviving backends stay put
+//!   (`ring_removal_only_remaps_lost_keys` below proves it).
+//!
+//! Each backend contributes `replicas` *virtual nodes*: points on the
+//! ring at `hash(label, replica)`. More virtual nodes smooth the load
+//! split at the cost of a larger (binary-searched, read-only) table;
+//! [`HashRing::DEFAULT_REPLICAS`] is plenty for single-digit backend
+//! counts.
+//!
+//! For N-way *data* replication, [`HashRing::route_n`] extends the
+//! primary-owner rule deterministically: the owner set of a key is the
+//! first `n` **distinct** backends met walking clockwise from the key's
+//! hash. Because the walk order depends only on labels and hashes, every
+//! router instance (and every restart) computes the same owner set, and
+//! failover — "try the owners in ring order" — needs no coordination.
+//!
+//! Hashing is FNV-1a over the key bytes finished with a SplitMix64
+//! avalanche — no external crates, stable across platforms and
+//! processes (`DefaultHasher` guarantees neither), which is what makes
+//! routing reproducible from a config file.
+
+use crate::error::{ClusterError, Result};
+
+/// 64-bit FNV-1a over `bytes`, avalanched through the SplitMix64
+/// finalizer so near-identical labels (`"c1"`, `"c2"`, ...) still
+/// scatter across the whole ring. Doubles as the snapshot checksum.
+#[must_use]
+pub fn hash64(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // SplitMix64 finalizer, shared with the multi-start seed grid.
+    dlm_numerics::mix::splitmix64_mix(h)
+}
+
+/// A consistent-hash ring mapping string keys to backend indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(ring position, backend index)`, sorted by position. Position
+    /// ties (astronomically unlikely with 64-bit hashes) are broken by
+    /// backend index, keeping construction order-independent.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+    replicas: usize,
+}
+
+impl HashRing {
+    /// Virtual nodes per backend when the caller has no opinion.
+    pub const DEFAULT_REPLICAS: usize = 64;
+
+    /// Probe keys used by [`HashRing::ownership_fractions`] — enough to
+    /// resolve sub-percent ownership skew while staying cheap.
+    pub const OWNERSHIP_PROBES: usize = 65_536;
+
+    /// Builds a ring over `labels` (one per backend, typically the
+    /// backend address) with `replicas` virtual nodes each.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::InvalidParameter`] for an empty backend list,
+    /// duplicate labels (two backends hashing to identical point sets
+    /// would shadow each other), or zero replicas.
+    pub fn new(labels: &[String], replicas: usize) -> Result<Self> {
+        if labels.is_empty() {
+            return Err(ClusterError::InvalidParameter {
+                name: "backends",
+                reason: "need at least one backend".into(),
+            });
+        }
+        if replicas == 0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "replicas",
+                reason: "must be positive".into(),
+            });
+        }
+        for (i, label) in labels.iter().enumerate() {
+            if labels[..i].contains(label) {
+                return Err(ClusterError::InvalidParameter {
+                    name: "backends",
+                    reason: format!("duplicate backend `{label}`"),
+                });
+            }
+        }
+        let mut points = Vec::with_capacity(labels.len() * replicas);
+        for (index, label) in labels.iter().enumerate() {
+            for replica in 0..replicas {
+                // `label \0 replica` — the NUL keeps `("ab", 1)` and
+                // `("a", "b1"-ish)` byte strings distinct.
+                let mut key = Vec::with_capacity(label.len() + 9);
+                key.extend_from_slice(label.as_bytes());
+                key.push(0);
+                key.extend_from_slice(&(replica as u64).to_le_bytes());
+                points.push((hash64(&key), index));
+            }
+        }
+        points.sort_unstable();
+        Ok(Self {
+            points,
+            backends: labels.len(),
+            replicas,
+        })
+    }
+
+    /// Number of backends on the ring.
+    #[must_use]
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// Virtual nodes per backend.
+    #[must_use]
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The backend index owning `key`: the first virtual node at or
+    /// clockwise after `hash64(key)`, wrapping at the top of the ring.
+    #[must_use]
+    pub fn route(&self, key: &str) -> usize {
+        let h = hash64(key.as_bytes());
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        let (_, index) = self.points[at % self.points.len()];
+        index
+    }
+
+    /// The first `n` **distinct** backend indices met walking clockwise
+    /// from `key`'s hash — the key's replicated owner set, primary
+    /// first. With `n >= backends()` every backend is returned (in walk
+    /// order); `n` of zero yields the primary alone, matching
+    /// [`HashRing::route`].
+    #[must_use]
+    pub fn route_n(&self, key: &str, n: usize) -> Vec<usize> {
+        let want = n.clamp(1, self.backends);
+        let h = hash64(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut owners = Vec::with_capacity(want);
+        for step in 0..self.points.len() {
+            let (_, index) = self.points[(start + step) % self.points.len()];
+            if !owners.contains(&index) {
+                owners.push(index);
+                if owners.len() == want {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+
+    /// Each backend's share of the keyspace, estimated by routing
+    /// [`HashRing::OWNERSHIP_PROBES`] fixed probe keys: `out[i]` is the
+    /// fraction of probes whose *primary* owner is backend `i`. The
+    /// probe set is fixed, so two rings can be compared key-by-key (see
+    /// [`remap_fraction`]).
+    #[must_use]
+    pub fn ownership_fractions(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.backends];
+        for probe in 0..Self::OWNERSHIP_PROBES {
+            counts[self.route(&probe_key(probe))] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / Self::OWNERSHIP_PROBES as f64)
+            .collect()
+    }
+}
+
+fn probe_key(i: usize) -> String {
+    format!("probe-{i}")
+}
+
+/// The fraction of [`HashRing::OWNERSHIP_PROBES`] probe keys whose
+/// primary owner *label* differs between two rings — the observable
+/// cost of a topology change. Labels (not indices) are compared, so a
+/// reordered backend list measures as zero movement.
+#[must_use]
+pub fn remap_fraction(
+    before: &HashRing,
+    before_labels: &[String],
+    after: &HashRing,
+    after_labels: &[String],
+) -> f64 {
+    let mut moved = 0usize;
+    for probe in 0..HashRing::OWNERSHIP_PROBES {
+        let key = probe_key(probe);
+        if before_labels[before.route(&key)] != after_labels[after.route(&key)] {
+            moved += 1;
+        }
+    }
+    moved as f64 / HashRing::OWNERSHIP_PROBES as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+    }
+
+    #[test]
+    fn rejects_degenerate_configurations() {
+        assert!(HashRing::new(&[], 64).is_err());
+        assert!(HashRing::new(&labels(2), 0).is_err());
+        let mut dup = labels(2);
+        dup.push(dup[0].clone());
+        assert!(HashRing::new(&dup, 64).is_err());
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_label_driven() {
+        let ring = HashRing::new(&labels(4), 64).unwrap();
+        let again = HashRing::new(&labels(4), 64).unwrap();
+        for i in 0..1000 {
+            let key = format!("cascade-{i}");
+            assert_eq!(ring.route(&key), again.route(&key));
+        }
+        // Reordering the backend list permutes indices but not the
+        // owning *label*.
+        let mut reversed = labels(4);
+        reversed.reverse();
+        let flipped = HashRing::new(&reversed, 64).unwrap();
+        for i in 0..1000 {
+            let key = format!("cascade-{i}");
+            assert_eq!(
+                labels(4)[ring.route(&key)],
+                reversed[flipped.route(&key)],
+                "key `{key}` moved because the config was reordered"
+            );
+        }
+    }
+
+    #[test]
+    fn load_splits_roughly_evenly() {
+        let ring = HashRing::new(&labels(4), HashRing::DEFAULT_REPLICAS).unwrap();
+        let mut counts = [0usize; 4];
+        let keys = 8000;
+        for i in 0..keys {
+            counts[ring.route(&format!("cascade-{i}"))] += 1;
+        }
+        let ideal = keys / 4;
+        for (backend, &count) in counts.iter().enumerate() {
+            assert!(
+                count > ideal / 2 && count < ideal * 2,
+                "backend {backend} owns {count} of {keys} keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_removal_only_remaps_lost_keys() {
+        let full = labels(4);
+        let ring = HashRing::new(&full, 64).unwrap();
+        let survivors: Vec<String> = full[..3].to_vec();
+        let shrunk = HashRing::new(&survivors, 64).unwrap();
+        let mut remapped = 0usize;
+        let keys = 4000;
+        for i in 0..keys {
+            let key = format!("cascade-{i}");
+            let before = ring.route(&key);
+            let after = shrunk.route(&key);
+            if before < 3 {
+                assert_eq!(
+                    full[before], survivors[after],
+                    "key `{key}` moved off a surviving backend"
+                );
+            } else {
+                remapped += 1;
+            }
+        }
+        // The removed backend owned roughly a quarter of the keyspace.
+        assert!(
+            remapped > keys / 8 && remapped < keys / 2,
+            "remapped {remapped} of {keys}"
+        );
+    }
+
+    #[test]
+    fn single_backend_owns_everything() {
+        let ring = HashRing::new(&labels(1), 8).unwrap();
+        for i in 0..100 {
+            assert_eq!(ring.route(&format!("c{i}")), 0);
+        }
+    }
+
+    #[test]
+    fn owner_sets_are_distinct_ordered_and_primary_consistent() {
+        let ring = HashRing::new(&labels(4), 64).unwrap();
+        for i in 0..500 {
+            let key = format!("cascade-{i}");
+            let owners = ring.route_n(&key, 2);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1], "owners must be distinct backends");
+            assert_eq!(owners[0], ring.route(&key), "primary must match route()");
+            // Asking for more owners than backends caps at the backend
+            // count and covers everyone.
+            let mut all = ring.route_n(&key, 10);
+            assert_eq!(all[0], owners[0]);
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3]);
+        }
+        // One-backend degenerate case.
+        let lone = HashRing::new(&labels(1), 8).unwrap();
+        assert_eq!(lone.route_n("c", 3), vec![0]);
+    }
+
+    #[test]
+    fn secondary_owners_survive_primary_removal() {
+        // Deterministic failover: when a key's primary disappears, its
+        // old secondary is the new ring's primary.
+        let full = labels(3);
+        let ring = HashRing::new(&full, 64).unwrap();
+        for i in 0..300 {
+            let key = format!("cascade-{i}");
+            let owners = ring.route_n(&key, 2);
+            let survivors: Vec<String> = full
+                .iter()
+                .filter(|l| **l != full[owners[0]])
+                .cloned()
+                .collect();
+            let shrunk = HashRing::new(&survivors, 64).unwrap();
+            assert_eq!(
+                survivors[shrunk.route(&key)],
+                full[owners[1]],
+                "key `{key}`: old secondary must become the new primary"
+            );
+        }
+    }
+
+    #[test]
+    fn ownership_fractions_and_remap_fraction_are_consistent() {
+        let full = labels(4);
+        let ring = HashRing::new(&full, HashRing::DEFAULT_REPLICAS).unwrap();
+        let fractions = ring.ownership_fractions();
+        assert_eq!(fractions.len(), 4);
+        let total: f64 = fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "fractions must sum to 1");
+        assert!(fractions.iter().all(|&f| f > 0.05), "{fractions:?}");
+
+        // Removing one backend remaps exactly the keys it owned.
+        let survivors: Vec<String> = full[..3].to_vec();
+        let shrunk = HashRing::new(&survivors, HashRing::DEFAULT_REPLICAS).unwrap();
+        let moved = remap_fraction(&ring, &full, &shrunk, &survivors);
+        assert!(
+            (moved - fractions[3]).abs() < 1e-12,
+            "remap fraction {moved} != removed backend's ownership {}",
+            fractions[3]
+        );
+        // No topology change, no movement.
+        assert_eq!(remap_fraction(&ring, &full, &ring, &full), 0.0);
+    }
+}

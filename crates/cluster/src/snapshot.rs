@@ -1,0 +1,409 @@
+//! The versioned binary snapshot format for a live cascade.
+//!
+//! [`CascadeSnapshot`] is the transferable form of a
+//! `dlm_serve::LiveCascade` plus the identity the serving layer needs
+//! to re-home it (cascade id, graph-context initiator). The byte layout
+//! is **deterministic**: the same snapshot always encodes to the same
+//! bytes, and decode(encode(s)) reproduces every field exactly — all
+//! state is integer-valued (per-hour vote counts, group sizes, the
+//! hour-close watermark), so a restored cascade recomputes density
+//! matrices and forecasts that are *bit-identical* to the source
+//! cascade's, which is what makes `drain` handoff and
+//! `--snapshot-dir` replay byte-transparent to clients
+//! (`crates/cluster/tests/properties.rs` property-tests the round
+//! trip; determinism gate D in `docs/ARCHITECTURE.md`).
+//!
+//! ## Layout (format version 1)
+//!
+//! All integers little-endian; lengths precede their payloads:
+//!
+//! ```text
+//! magic "DLMS" | version u16 | id (u32 len + UTF-8 bytes)
+//! | initiator (u8 tag, then u64 when tag = 1)
+//! | submit_time u64 | horizon u32 | closed u32
+//! | counted u64 | ignored u64
+//! | sizes (u32 count + u64 each)
+//! | group_of (u64 len + u32 each, 0xffff_ffff = outside every group)
+//! | counts (u32 rows + per row: u32 len + u64 each)
+//! | hour1_voters (u64 len + u64 each)
+//! | checksum u64 (FNV-1a + SplitMix64 over every preceding byte)
+//! ```
+//!
+//! Compatibility rules are normative in `docs/PROTOCOL.md`: decoders
+//! reject unknown versions outright, and the layout of a released
+//! version never changes — evolution mints a new version number.
+
+use crate::error::{ClusterError, Result};
+use crate::hex;
+use crate::ring::hash64;
+
+/// Snapshot magic bytes.
+pub const MAGIC: [u8; 4] = *b"DLMS";
+
+/// The current (and only) snapshot format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// The sentinel encoding `None` in the `group_of` table.
+const NO_GROUP: u32 = u32::MAX;
+
+/// A complete, self-describing snapshot of one live cascade.
+///
+/// Field meanings mirror `dlm_serve::LiveCascade` exactly; see its
+/// documentation for the ingestion semantics. Counters are widened to
+/// `u64` so the byte layout is identical on every platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeSnapshot {
+    /// The cascade id the serving layer stores it under.
+    pub id: String,
+    /// The graph-context initiator for epidemic predictors, when the
+    /// cascade was opened over the hop metric against a world graph.
+    /// `None` means the cascade serves without graph context (e.g. the
+    /// interest metric), and a restore must not attach one.
+    pub initiator: Option<u64>,
+    /// Cascade submission time (epoch seconds).
+    pub submit_time: u64,
+    /// Hours tracked: `1..=horizon`.
+    pub horizon: u32,
+    /// The hour-close watermark: hours `1..=closed` are complete.
+    pub closed: u32,
+    /// Votes counted into a group/hour bucket.
+    pub counted: u64,
+    /// Votes ignored (outside groups, before submission, past horizon).
+    pub ignored: u64,
+    /// `|U_x|` per distance group (density denominators).
+    pub sizes: Vec<u64>,
+    /// user id -> distance-group index; `None` outside every group.
+    pub group_of: Vec<Option<u32>>,
+    /// Per-group, per-hour (non-cumulative) vote increments.
+    pub counts: Vec<Vec<u64>>,
+    /// Voters seen in hour 1, in arrival order (the epidemic seed set).
+    pub hour1_voters: Vec<u64>,
+}
+
+impl CascadeSnapshot {
+    /// Encodes the snapshot into its deterministic byte layout.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        // Size from the actual vectors, not `horizon` — the horizon is
+        // a label here, and a snapshot is free to carry rows of any
+        // length (consistency is `from_snapshot`'s job, not the codec's).
+        let counts_bytes: usize = self.counts.iter().map(|row| 4 + row.len() * 8).sum();
+        let mut buf = Vec::with_capacity(
+            64 + self.id.len()
+                + self.sizes.len() * 8
+                + self.group_of.len() * 4
+                + counts_bytes
+                + self.hour1_voters.len() * 8,
+        );
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.id.len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.id.as_bytes());
+        match self.initiator {
+            None => buf.push(0),
+            Some(u) => {
+                buf.push(1);
+                buf.extend_from_slice(&u.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&self.submit_time.to_le_bytes());
+        buf.extend_from_slice(&self.horizon.to_le_bytes());
+        buf.extend_from_slice(&self.closed.to_le_bytes());
+        buf.extend_from_slice(&self.counted.to_le_bytes());
+        buf.extend_from_slice(&self.ignored.to_le_bytes());
+        buf.extend_from_slice(&(self.sizes.len() as u32).to_le_bytes());
+        for &size in &self.sizes {
+            buf.extend_from_slice(&size.to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.group_of.len() as u64).to_le_bytes());
+        for entry in &self.group_of {
+            buf.extend_from_slice(&entry.unwrap_or(NO_GROUP).to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.counts.len() as u32).to_le_bytes());
+        for row in &self.counts {
+            buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+            for &c in row {
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(self.hour1_voters.len() as u64).to_le_bytes());
+        for &v in &self.hour1_voters {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let checksum = hash64(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    /// Decodes a snapshot, validating magic, format version, checksum,
+    /// and exact length.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Codec`] for anything that is not a byte-exact
+    /// version-1 snapshot.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < MAGIC.len() + 2 + 8 {
+            return Err(ClusterError::Codec("snapshot is truncated".into()));
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(ClusterError::Codec("bad magic (not a snapshot)".into()));
+        }
+        let (payload, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+        let computed = hash64(payload);
+        if stored != computed {
+            return Err(ClusterError::Codec(format!(
+                "checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            )));
+        }
+        let mut r = Reader {
+            bytes: payload,
+            pos: MAGIC.len(),
+        };
+        let version = r.u16()?;
+        if version != FORMAT_VERSION {
+            return Err(ClusterError::Codec(format!(
+                "unsupported snapshot format version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let id_len = r.u32()? as usize;
+        let id = String::from_utf8(r.take(id_len)?.to_vec())
+            .map_err(|_| ClusterError::Codec("cascade id is not UTF-8".into()))?;
+        let initiator = match r.u8()? {
+            0 => None,
+            1 => Some(r.u64()?),
+            tag => {
+                return Err(ClusterError::Codec(format!(
+                    "bad initiator tag {tag} (expected 0 or 1)"
+                )))
+            }
+        };
+        let submit_time = r.u64()?;
+        let horizon = r.u32()?;
+        let closed = r.u32()?;
+        let counted = r.u64()?;
+        let ignored = r.u64()?;
+        let group_count = r.u32()? as usize;
+        let mut sizes = Vec::new();
+        r.reserve_exact(&mut sizes, group_count, 8)?;
+        for _ in 0..group_count {
+            sizes.push(r.u64()?);
+        }
+        let table_len = usize::try_from(r.u64()?)
+            .map_err(|_| ClusterError::Codec("group_of length overflows usize".into()))?;
+        let mut group_of = Vec::new();
+        r.reserve_exact(&mut group_of, table_len, 4)?;
+        for _ in 0..table_len {
+            let raw = r.u32()?;
+            group_of.push(if raw == NO_GROUP { None } else { Some(raw) });
+        }
+        let rows = r.u32()? as usize;
+        let mut counts = Vec::new();
+        r.reserve_exact(&mut counts, rows, 4)?;
+        for _ in 0..rows {
+            let len = r.u32()? as usize;
+            let mut row = Vec::new();
+            r.reserve_exact(&mut row, len, 8)?;
+            for _ in 0..len {
+                row.push(r.u64()?);
+            }
+            counts.push(row);
+        }
+        let voters = usize::try_from(r.u64()?)
+            .map_err(|_| ClusterError::Codec("hour1_voters length overflows usize".into()))?;
+        let mut hour1_voters = Vec::new();
+        r.reserve_exact(&mut hour1_voters, voters, 8)?;
+        for _ in 0..voters {
+            hour1_voters.push(r.u64()?);
+        }
+        if r.pos != payload.len() {
+            return Err(ClusterError::Codec(format!(
+                "{} trailing bytes after the snapshot payload",
+                payload.len() - r.pos
+            )));
+        }
+        Ok(Self {
+            id,
+            initiator,
+            submit_time,
+            horizon,
+            closed,
+            counted,
+            ignored,
+            sizes,
+            group_of,
+            counts,
+            hour1_voters,
+        })
+    }
+
+    /// [`CascadeSnapshot::encode`], hex-armored for embedding in a JSON
+    /// wire string.
+    #[must_use]
+    pub fn encode_hex(&self) -> String {
+        hex::encode(&self.encode())
+    }
+
+    /// Decodes a hex-armored snapshot (the wire form of the `snapshot`
+    /// and `restore` verbs).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Codec`] on bad hex or a bad snapshot.
+    pub fn decode_hex(hex_str: &str) -> Result<Self> {
+        Self::decode(&hex::decode(hex_str)?)
+    }
+}
+
+/// A bounds-checked little-endian byte reader.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| ClusterError::Codec("snapshot is truncated".into()))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Pre-sizes `vec` for `len` entries of `entry_bytes` each, after
+    /// checking the remaining payload can actually hold them — a
+    /// corrupted length field must fail cleanly, not allocate gigabytes.
+    fn reserve_exact<T>(&self, vec: &mut Vec<T>, len: usize, entry_bytes: usize) -> Result<()> {
+        let needed = len
+            .checked_mul(entry_bytes)
+            .ok_or_else(|| ClusterError::Codec("length field overflows".into()))?;
+        if needed > self.bytes.len() - self.pos {
+            return Err(ClusterError::Codec(format!(
+                "length field claims {needed} bytes but only {} remain",
+                self.bytes.len() - self.pos
+            )));
+        }
+        vec.reserve_exact(len);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CascadeSnapshot {
+        CascadeSnapshot {
+            id: "c-42".into(),
+            initiator: Some(17),
+            submit_time: 1_244_000_000,
+            horizon: 6,
+            closed: 3,
+            counted: 11,
+            ignored: 2,
+            sizes: vec![3, 4, 2],
+            group_of: vec![None, Some(0), Some(0), Some(0), Some(1), None, Some(2)],
+            counts: vec![
+                vec![2, 1, 0, 0, 0, 0],
+                vec![1, 3, 2, 0, 0, 0],
+                vec![0, 0, 2, 0, 0, 0],
+            ],
+            hour1_voters: vec![1, 999, 4],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_exactly() {
+        let snap = sample();
+        let bytes = snap.encode();
+        assert_eq!(CascadeSnapshot::decode(&bytes).unwrap(), snap);
+        // Deterministic layout: encoding twice yields identical bytes.
+        assert_eq!(snap.encode(), bytes);
+        // The hex armor round-trips too.
+        assert_eq!(
+            CascadeSnapshot::decode_hex(&snap.encode_hex()).unwrap(),
+            snap
+        );
+        // No graph context encodes (and restores) as such.
+        let mut bare = sample();
+        bare.initiator = None;
+        assert_eq!(CascadeSnapshot::decode(&bare.encode()).unwrap(), bare);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let bytes = sample().encode();
+        assert!(matches!(
+            CascadeSnapshot::decode(&bytes[..bytes.len() - 1]),
+            Err(ClusterError::Codec(_))
+        ));
+        assert!(CascadeSnapshot::decode(b"nope").is_err());
+        // Any single flipped byte breaks either the magic, the version
+        // check, or the checksum.
+        for i in [0, 5, bytes.len() / 2, bytes.len() - 3] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                CascadeSnapshot::decode(&bad).is_err(),
+                "flipping byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_versions_are_rejected_by_name() {
+        let mut bytes = sample().encode();
+        // Bump the version field and re-stamp the checksum so only the
+        // version check can object.
+        bytes[4] = 2;
+        let payload_len = bytes.len() - 8;
+        let checksum = hash64(&bytes[..payload_len]);
+        bytes[payload_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = CascadeSnapshot::decode(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("format version 2"),
+            "unhelpful version error: {err}"
+        );
+    }
+
+    #[test]
+    fn hostile_length_fields_fail_cleanly() {
+        // A snapshot whose group-count field claims more entries than
+        // the payload could possibly hold must error, not allocate.
+        let mut snap = sample();
+        snap.sizes.clear();
+        snap.group_of.clear();
+        snap.counts.clear();
+        let mut bytes = snap.encode();
+        // The sizes-count field sits right after the fixed header.
+        let count_at = 4 + 2 + 4 + snap.id.len() + 9 + 8 + 4 + 4 + 8 + 8;
+        bytes[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let payload_len = bytes.len() - 8;
+        let checksum = hash64(&bytes[..payload_len]);
+        bytes[payload_len..].copy_from_slice(&checksum.to_le_bytes());
+        assert!(matches!(
+            CascadeSnapshot::decode(&bytes),
+            Err(ClusterError::Codec(_))
+        ));
+    }
+}

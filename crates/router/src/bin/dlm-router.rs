@@ -3,8 +3,8 @@
 //!
 //! ```text
 //! dlm-router --backend 127.0.0.1:7878 --backend 127.0.0.1:7879
-//!            [--addr 127.0.0.1:7900] [--replicas 64] [--workers N]
-//!            [--connect-timeout-ms 2000]
+//!            [--addr 127.0.0.1:7900] [--replicas 64] [--replicas-data 1]
+//!            [--workers N] [--connect-timeout-ms 2000]
 //! ```
 //!
 //! Prints one `READY {"addr":...,"backends":N}` line once the socket is
@@ -20,7 +20,8 @@ use dlm_serve::DlmServer;
 fn usage() -> ! {
     eprintln!(
         "usage: dlm-router --backend HOST:PORT [--backend HOST:PORT ...] \
-         [--addr HOST:PORT] [--replicas N] [--workers N] [--connect-timeout-ms MS]"
+         [--addr HOST:PORT] [--replicas N] [--replicas-data N] [--workers N] \
+         [--connect-timeout-ms MS]"
     );
     std::process::exit(2);
 }
@@ -29,6 +30,7 @@ fn main() {
     let mut addr = "127.0.0.1:7900".to_owned();
     let mut backends: Vec<String> = Vec::new();
     let mut replicas = dlm_router::HashRing::DEFAULT_REPLICAS;
+    let mut data_replicas = 1usize;
     let mut parallelism = Parallelism::Auto;
     let mut connect_timeout = RouterConfig::DEFAULT_CONNECT_TIMEOUT;
     let mut args = std::env::args().skip(1);
@@ -44,6 +46,16 @@ fn main() {
             "--backend" => backends.push(value("--backend")),
             "--replicas" => {
                 replicas = value("--replicas").parse().unwrap_or_else(|_| usage());
+            }
+            "--replicas-data" => {
+                // N-way replicated placement: every write lands on the
+                // cascade's next N distinct ring owners, so killing one
+                // backend mid-load loses nothing (see docs/PROTOCOL.md).
+                data_replicas = value("--replicas-data")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
             }
             "--workers" => {
                 parallelism =
@@ -74,6 +86,7 @@ fn main() {
 
     let state = match RouterState::new(RouterConfig {
         replicas,
+        data_replicas,
         parallelism,
         connect_timeout,
         ..RouterConfig::new(backends)

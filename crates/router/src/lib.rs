@@ -8,16 +8,23 @@
 //! at all. This crate is the tier that does the splitting, std-only
 //! like the server beneath it:
 //!
-//! * [`ring`] — a hand-rolled consistent-hash ring with virtual nodes:
-//!   deterministic placement from the configured backend addresses,
-//!   balanced key splits, minimal remapping when the backend set
-//!   changes;
+//! * [`ring`] — the consistent-hash ring with virtual nodes
+//!   (re-exported from [`dlm_cluster::ring`]): deterministic placement
+//!   from the configured backend addresses, balanced key splits,
+//!   minimal remapping when the backend set changes, and N-way owner
+//!   walks ([`HashRing::route_n`]) for replicated placement;
 //! * [`proxy`] — [`proxy::RouterState`], a [`dlm_serve::LineService`]
 //!   that forwards `open`/`ingest`/`forecast` lines **verbatim** to the
-//!   owning backend over pooled [`dlm_serve::LineClient`] connections
-//!   (reconnect-on-failure, per-backend error surfacing) and answers
+//!   owning backend(s) over pooled [`dlm_serve::LineClient`] connections
+//!   (reconnect-on-failure, per-backend error surfacing), answers
 //!   `stats` by scatter-gathering every backend on the
-//!   [`dlm_numerics::pool`] executor and summing the shard counters.
+//!   [`dlm_numerics::pool`] executor and summing the shard counters,
+//!   and serves the `join`/`drain`/`remove` admin verbs that mutate the
+//!   topology live under a `ring_version` epoch — `drain` streams each
+//!   resident cascade's `dlm-cluster` snapshot to its new owner before
+//!   the node leaves (a handoff, not a re-`open`), and
+//!   [`RouterConfig::data_replicas`] `>= 2` keeps every cascade on
+//!   multiple backends so killing one loses nothing.
 //!
 //! Because the router relays backend bytes untouched and speaks the
 //! same JSON-lines protocol on its front (see `docs/PROTOCOL.md`), a

@@ -1,17 +1,46 @@
 //! The routing tier: deterministic cascade placement over N backends,
-//! pooled proxy connections, and scatter-gather `stats`.
+//! pooled proxy connections, live membership, replicated writes, and
+//! scatter-gather `stats`.
 //!
 //! [`RouterState`] implements [`dlm_serve::LineService`], so the exact
 //! TCP front end that serves a single `dlm-serve` process
 //! ([`dlm_serve::DlmServer`]) also serves the router — clients cannot
 //! tell the difference, which is the point: `open`, `ingest`, and
-//! `forecast` lines are forwarded **verbatim** to the backend that owns
-//! the cascade id on the [`crate::ring::HashRing`], and the backend's
+//! `forecast` lines are forwarded **verbatim** to the backend(s) that
+//! own the cascade id on the [`crate::ring::HashRing`], and a backend's
 //! response line is relayed **verbatim** back. The router never
 //! re-serializes a routed payload, so a routed forecast is trivially
 //! byte-identical to the same forecast served directly — the
 //! `router_roundtrip` integration test and the `serve_load --router`
 //! gate both check exactly that over real sockets.
+//!
+//! ## Replicated placement and failover
+//!
+//! With [`RouterConfig::data_replicas`] `= N > 1`, every write (`open`,
+//! `ingest`) is sent to the cascade's first `N` distinct owners on the
+//! ring ([`HashRing::route_n`]) — all replicas apply the same votes in
+//! the same order (one router handler per client connection), so they
+//! hold bit-identical cascade state. Reads (`forecast`, `snapshot`) try
+//! the owners in ring order and relay the first response that makes it
+//! back. Because the owner walk is deterministic from labels alone,
+//! failover needs no coordination: when a backend dies mid-load, its
+//! keys' surviving replicas answer with byte-identical forecasts and no
+//! response is lost.
+//!
+//! ## Live membership: `join` / `drain` / `remove`
+//!
+//! The topology (membership + ring + backend pools) lives behind one
+//! `RwLock`; requests take it for read, the admin verbs take it for
+//! write and swap in a rebuilt topology under an epoch counter
+//! (`ring_version`). `drain` streams every resident cascade's snapshot
+//! to its new owner **before** the node leaves the ring — a handoff,
+//! not a re-`open`, so watermarks and counters survive and the new
+//! owner serves bit-identical forecasts. `remove` is the fail-stop verb
+//! for a dead node: survivors re-replicate what they still hold. Both
+//! run synchronously under the write lock — routing pauses for the
+//! duration (`handoff_ms` in the `drain` response measures it), which
+//! buys the strong guarantee that no request ever observes a
+//! half-migrated topology. See `docs/PROTOCOL.md` §6.
 //!
 //! ## Connection pooling and failure surfacing
 //!
@@ -19,17 +48,20 @@
 //! A request checks one out (or dials a fresh one — bounded by
 //! [`RouterConfig::connect_timeout`], so a blackholed backend fails
 //! fast and degrades only its shard instead of pinning a handler
-//! thread), and returns it on success. A *pure read* (`forecast`, `stats`) that fails on a pooled
-//! connection is retried once on a freshly dialed connection — the
-//! usual stale-keepalive case. State-changing requests are **never**
-//! re-sent: once the bytes may have reached the backend, a retried
-//! `ingest` could double-count votes and a retried `open` whose first
-//! attempt was applied would be answered with a misleading
-//! `duplicate cascade` error — both surface the mid-request failure as
-//! state-unknown instead. Failures surface as `{"ok":false,...}`
-//! responses carrying a `"backend"` field naming the shard, so one dead
-//! backend degrades only its own cascades while every other shard keeps
-//! serving.
+//! thread), and returns it on success. A *pure read* (`forecast`,
+//! `snapshot`, `stats`) that fails on a pooled connection is retried
+//! once on a freshly dialed connection — the usual stale-keepalive
+//! case. State-changing requests are **never** re-sent: once the bytes
+//! may have reached the backend, a retried `ingest` could double-count
+//! votes and a retried `open` whose first attempt was applied would be
+//! answered with a misleading `duplicate cascade` error — both surface
+//! the mid-request failure as state-unknown instead. When a backend
+//! leaves the topology (or a fresh dial to it fails), its idle pool is
+//! closed eagerly, so no later request burns its one retry on a
+//! connection the router already knows is dead. Failures surface as
+//! `{"ok":false,...}` responses carrying a `"backend"` field naming the
+//! primary shard, so one dead backend degrades only its own cascades
+//! while every other shard keeps serving.
 //!
 //! ## `stats` scatter-gather
 //!
@@ -39,16 +71,20 @@
 //! counters merge through [`dlm_core::cache::CacheStats`]), per-backend
 //! round-trip latencies are reported with their max, and unreachable
 //! backends are listed per shard while the reachable remainder still
-//! aggregates (`"degraded": true`).
+//! aggregates (`"degraded": true`). The `router` object also reports
+//! the current `ring_version` and each backend's ownership fraction
+//! (its share of [`HashRing::OWNERSHIP_PROBES`] probe keys).
 
 use crate::ring::HashRing;
+use dlm_cluster::Membership;
 use dlm_core::cache::CacheStats;
 use dlm_core::evaluate::Parallelism;
 use dlm_numerics::pool::parallel_map;
 use dlm_serve::protocol::error_response;
-use dlm_serve::{Json, LineClient, LineService, Result, ServeError};
+use dlm_serve::{Json, LineClient, LineService, Request, Result, ServeError};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`RouterState`].
@@ -60,6 +96,11 @@ pub struct RouterConfig {
     pub backends: Vec<String>,
     /// Virtual nodes per backend on the consistent-hash ring.
     pub replicas: usize,
+    /// Distinct backends every cascade is written to (`1` = classic
+    /// single-owner sharding). With `N >= 2`, killing one backend loses
+    /// nothing: reads fail over to the surviving owners, which hold
+    /// bit-identical state.
+    pub data_replicas: usize,
     /// Parallelism of the `stats` scatter-gather fan-out.
     pub parallelism: Parallelism,
     /// Idle proxy connections kept per backend; checked-out connections
@@ -82,6 +123,7 @@ impl RouterConfig {
         Self {
             backends,
             replicas: HashRing::DEFAULT_REPLICAS,
+            data_replicas: 1,
             parallelism: Parallelism::Auto,
             max_idle_per_backend: 8,
             connect_timeout: Self::DEFAULT_CONNECT_TIMEOUT,
@@ -127,14 +169,22 @@ impl Backend {
         }
     }
 
+    /// Drops every idle pooled connection. Called when the backend
+    /// leaves the topology or a fresh dial to it just failed — the
+    /// pooled sockets are dead or about to be, and keeping them would
+    /// make the next read burn its one retry on a known-bad connection.
+    fn close_idle(&self) {
+        self.idle.lock().expect("backend pool poisoned").clear();
+    }
+
     /// One request line out, one response line back, with the
     /// stale-pooled-connection retry described in the module docs.
     ///
     /// `retriable` must be `false` for requests that mutate backend
-    /// state (`ingest`, `open`): a pooled connection that dies *after*
-    /// the write may have delivered the request, and a blind re-send
-    /// would apply it twice (or report a spurious duplicate) — the
-    /// failure is surfaced as state-unknown instead.
+    /// state (`ingest`, `open`, `restore`): a pooled connection that
+    /// dies *after* the write may have delivered the request, and a
+    /// blind re-send would apply it twice (or report a spurious
+    /// duplicate) — the failure is surfaced as state-unknown instead.
     fn round_trip(&self, line: &str, retriable: bool) -> std::result::Result<String, String> {
         self.routed.fetch_add(1, Ordering::Relaxed);
         // First try a pooled connection, if any survived.
@@ -170,18 +220,89 @@ impl Backend {
             }
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
+                // The backend would not even accept a fresh dial —
+                // anything idling in the pool is at best stale.
+                self.close_idle();
                 Err(e.to_string())
             }
         }
     }
 }
 
-/// The sharding tier: a [`LineService`] that owns the ring and the
-/// backend pools.
+/// One immutable generation of the cluster shape: the membership list,
+/// the ring built from its active labels, and the backend pools in ring
+/// label order. Swapped wholesale under the topology write lock, so a
+/// request that grabbed its owners keeps a consistent view even while
+/// an admin verb rebuilds everything.
+#[derive(Debug)]
+struct Topology {
+    membership: Membership,
+    ring: HashRing,
+    backends: Vec<Arc<Backend>>,
+}
+
+impl Topology {
+    /// Builds the topology for `membership`, reusing the existing
+    /// `Arc<Backend>` (pool, counters) of every surviving address so a
+    /// membership change does not sever live connection pools.
+    fn build(
+        membership: Membership,
+        ring_replicas: usize,
+        reuse: &[Arc<Backend>],
+        max_idle: usize,
+        connect_timeout: Duration,
+    ) -> Result<Self> {
+        let labels = membership.active_labels();
+        let ring = HashRing::new(&labels, ring_replicas)?;
+        let backends = labels
+            .iter()
+            .map(|addr| {
+                reuse
+                    .iter()
+                    .find(|b| &b.addr == addr)
+                    .map(Arc::clone)
+                    .unwrap_or_else(|| {
+                        Arc::new(Backend::new(addr.clone(), max_idle, connect_timeout))
+                    })
+            })
+            .collect();
+        Ok(Self {
+            membership,
+            ring,
+            backends,
+        })
+    }
+
+    /// The first `n` owners of `cascade`, primary first.
+    fn owners_of(&self, cascade: &str, n: usize) -> Vec<Arc<Backend>> {
+        self.ring
+            .route_n(cascade, n)
+            .into_iter()
+            .map(|i| Arc::clone(&self.backends[i]))
+            .collect()
+    }
+}
+
+/// What one admin rebalance did.
+#[derive(Debug, Default, Clone, Copy)]
+struct HandoffReport {
+    /// Snapshot→restore handoffs that landed a cascade at a new owner.
+    migrated: u64,
+    /// Copies evicted from members that are no longer owners.
+    evicted: u64,
+    /// Handoffs that failed (source unreadable or target rejected).
+    failed: u64,
+}
+
+/// The sharding tier: a [`LineService`] that owns the live topology and
+/// the backend pools.
 #[derive(Debug)]
 pub struct RouterState {
-    ring: HashRing,
-    backends: Vec<Backend>,
+    topology: RwLock<Topology>,
+    data_replicas: usize,
+    ring_replicas: usize,
+    max_idle: usize,
+    connect_timeout: Duration,
     parallelism: Parallelism,
     requests: AtomicU64,
 }
@@ -192,37 +313,68 @@ impl RouterState {
     ///
     /// # Errors
     ///
-    /// Ring-construction errors: no backends, duplicate addresses, or
-    /// zero replicas.
+    /// Ring/membership-construction errors: no backends, duplicate
+    /// addresses, zero replicas, or zero data replicas.
     pub fn new(config: RouterConfig) -> Result<Self> {
-        let ring = HashRing::new(&config.backends, config.replicas)?;
-        let backends = config
-            .backends
-            .into_iter()
-            .map(|addr| Backend::new(addr, config.max_idle_per_backend, config.connect_timeout))
-            .collect();
+        if config.data_replicas == 0 {
+            return Err(ServeError::Cluster(
+                dlm_cluster::ClusterError::InvalidParameter {
+                    name: "data_replicas",
+                    reason: "must be positive".into(),
+                },
+            ));
+        }
+        let membership = Membership::new(&config.backends)?;
+        let topology = Topology::build(
+            membership,
+            config.replicas,
+            &[],
+            config.max_idle_per_backend,
+            config.connect_timeout,
+        )?;
         Ok(Self {
-            ring,
-            backends,
+            topology: RwLock::new(topology),
+            data_replicas: config.data_replicas,
+            ring_replicas: config.replicas,
+            max_idle: config.max_idle_per_backend,
+            connect_timeout: config.connect_timeout,
             parallelism: config.parallelism,
             requests: AtomicU64::new(0),
         })
     }
 
-    /// Backend addresses, in configuration order (ring labels).
+    fn topology(&self) -> std::sync::RwLockReadGuard<'_, Topology> {
+        self.topology.read().expect("topology lock poisoned")
+    }
+
+    /// Backend addresses of the current topology, in ring label order.
     #[must_use]
     pub fn backend_addrs(&self) -> Vec<String> {
-        self.backends.iter().map(|b| b.addr.clone()).collect()
+        self.topology().membership.active_labels()
     }
 
-    /// The backend index that owns `cascade` on the ring.
+    /// The current ring version: bumps exactly when an admin verb
+    /// changes the active backend set.
+    #[must_use]
+    pub fn ring_version(&self) -> u64 {
+        self.topology().membership.version()
+    }
+
+    /// Data replicas every cascade is written to.
+    #[must_use]
+    pub fn data_replicas(&self) -> usize {
+        self.data_replicas
+    }
+
+    /// The backend index that owns `cascade` on the current ring.
     #[must_use]
     pub fn shard_of(&self, cascade: &str) -> usize {
-        self.ring.route(cascade)
+        self.topology().ring.route(cascade)
     }
 
-    /// Handles one protocol line: `stats` scatter-gathers, everything
-    /// else forwards to the owning shard. Mirrors
+    /// Handles one protocol line: `stats` scatter-gathers, the admin
+    /// verbs mutate the topology, everything else forwards to the
+    /// owning shard(s). Mirrors
     /// [`dlm_serve::ServerState::handle_line`]'s contract — malformed
     /// input becomes an `{"ok":false,...}` line, never a panic.
     pub fn handle_line(&self, line: &str) -> String {
@@ -245,28 +397,67 @@ impl RouterState {
             .ok_or_else(|| ServeError::Protocol("missing field `type`".into()))?;
         match kind {
             "stats" => Ok(Routed::Synthesized(self.handle_stats())),
-            "open" | "ingest" | "forecast" => {
+            "join" | "drain" | "remove" => {
+                let backend = value
+                    .get("backend")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ServeError::Protocol("missing field `backend`".into()))?;
+                self.handle_admin(kind, backend)
+            }
+            // Backend-scoped maintenance verbs make no sense through the
+            // sharding tier: `restore` would need an owner decision the
+            // snapshot already encodes, and `cascades`/`evict` address
+            // one node's store, not the cluster's.
+            "restore" | "cascades" | "evict" => Err(ServeError::Protocol(format!(
+                "request type `{kind}` is backend-scoped; send it to a backend directly"
+            ))),
+            "open" | "ingest" | "forecast" | "snapshot" => {
                 let cascade = value
                     .get("cascade")
                     .and_then(Json::as_str)
                     .ok_or_else(|| ServeError::Protocol("missing field `cascade`".into()))?;
-                let backend = &self.backends[self.ring.route(cascade)];
-                // Only pure reads (`forecast`) are retried on a stale
-                // pooled connection. `ingest` re-sends could double-
-                // count votes, and an `open` whose first attempt was
-                // applied would be answered with a misleading
-                // `duplicate cascade` error on retry — both surface the
-                // failure as state-unknown instead.
-                match backend.round_trip(line, kind == "forecast") {
-                    Ok(response) => Ok(Routed::Relayed(response)),
-                    Err(reason) => Ok(Routed::Synthesized(Json::Obj(vec![
-                        ("ok".to_owned(), Json::Bool(false)),
-                        (
-                            "error".to_owned(),
-                            Json::str(format!("backend `{}` unavailable: {reason}", backend.addr)),
-                        ),
-                        ("backend".to_owned(), Json::str(backend.addr.clone())),
-                    ]))),
+                let owners = self.topology().owners_of(cascade, self.data_replicas);
+                // Only pure reads (`forecast`, `snapshot`) are retried
+                // on a stale pooled connection, and only reads fail
+                // over: the first owner to answer wins, and every owner
+                // holds bit-identical state. Writes go to ALL owners —
+                // that is what keeps the replicas identical — and relay
+                // the first successful response (the primary's, unless
+                // the primary is down).
+                let retriable = matches!(kind, "forecast" | "snapshot");
+                let mut relayed: Option<String> = None;
+                let mut first_error: Option<String> = None;
+                for backend in &owners {
+                    match backend.round_trip(line, retriable) {
+                        Ok(response) => {
+                            if relayed.is_none() {
+                                relayed = Some(response);
+                            }
+                            if retriable {
+                                break; // reads need one answer, not N
+                            }
+                        }
+                        Err(reason) => {
+                            if first_error.is_none() {
+                                first_error = Some(reason);
+                            }
+                        }
+                    }
+                }
+                match relayed {
+                    Some(response) => Ok(Routed::Relayed(response)),
+                    None => {
+                        let primary = &owners[0].addr;
+                        let reason = first_error.unwrap_or_else(|| "no owners".into());
+                        Ok(Routed::Synthesized(Json::Obj(vec![
+                            ("ok".to_owned(), Json::Bool(false)),
+                            (
+                                "error".to_owned(),
+                                Json::str(format!("backend `{primary}` unavailable: {reason}")),
+                            ),
+                            ("backend".to_owned(), Json::str(primary.clone())),
+                        ])))
+                    }
                 }
             }
             other => Err(ServeError::Protocol(format!(
@@ -275,14 +466,98 @@ impl RouterState {
         }
     }
 
+    /// The admin verbs. All three run synchronously under the topology
+    /// write lock: requests pause, the membership transition is applied
+    /// to a scratch copy, cascades are rebalanced over real sockets,
+    /// and only then is the new topology swapped in. `join` and `drain`
+    /// abort (topology unchanged) if any handoff fails; `remove` is the
+    /// fail-stop path and proceeds best-effort.
+    fn handle_admin(&self, verb: &str, label: &str) -> Result<Routed> {
+        let start = Instant::now();
+        let mut topology = self.topology.write().expect("topology lock poisoned");
+        let mut membership = topology.membership.clone();
+        match verb {
+            "join" => membership.join(label)?,
+            // One synchronous drain: mark the node, hand its cascades
+            // off, take it out. The Draining state never routes because
+            // the swap below is the only thing requests can observe.
+            "drain" => {
+                membership.begin_drain(label)?;
+                membership.complete_drain(label)?;
+            }
+            "remove" => membership.remove(label)?,
+            _ => unreachable!("route_line only dispatches admin verbs here"),
+        }
+        let next = Topology::build(
+            membership,
+            self.ring_replicas,
+            &topology.backends,
+            self.max_idle,
+            self.connect_timeout,
+        )?;
+        let report = rebalance(&topology, &next, self.data_replicas);
+        if report.failed > 0 && verb != "remove" {
+            // Planned transitions must be lossless; leave the topology
+            // exactly as it was and let the operator retry.
+            return Ok(Routed::Synthesized(error_response(&format!(
+                "{verb} `{label}` aborted: {} cascade handoffs failed; topology unchanged",
+                report.failed
+            ))));
+        }
+        let departed: Vec<Arc<Backend>> = topology
+            .backends
+            .iter()
+            .filter(|b| !next.membership.contains(&b.addr))
+            .map(Arc::clone)
+            .collect();
+        let ring_version = next.membership.version();
+        let backends = next.membership.active_labels();
+        *topology = next;
+        drop(topology);
+        // Eagerly close pooled connections to the departed backend —
+        // nothing will route there again under this membership, and a
+        // later `join` must start from fresh dials.
+        for backend in departed {
+            backend.close_idle();
+        }
+        let mut fields = vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("verb".to_owned(), Json::str(verb)),
+            ("backend".to_owned(), Json::str(label)),
+            ("ring_version".to_owned(), Json::num(ring_version as f64)),
+            (
+                "backends".to_owned(),
+                Json::Arr(backends.into_iter().map(Json::Str).collect()),
+            ),
+            ("migrated".to_owned(), Json::num(report.migrated as f64)),
+            ("evicted".to_owned(), Json::num(report.evicted as f64)),
+            ("failed".to_owned(), Json::num(report.failed as f64)),
+        ];
+        if verb == "drain" {
+            fields.push((
+                "handoff_ms".to_owned(),
+                Json::num(start.elapsed().as_secs_f64() * 1e3),
+            ));
+        }
+        Ok(Routed::Synthesized(Json::Obj(fields)))
+    }
+
     /// Fans `{"type":"stats"}` out to every backend and folds the shard
     /// counters into one cluster view.
     fn handle_stats(&self) -> Json {
-        let indices: Vec<usize> = (0..self.backends.len()).collect();
+        let (backends_snapshot, ring_version, ownership) = {
+            let topology = self.topology();
+            (
+                topology.backends.clone(),
+                topology.membership.version(),
+                topology.ring.ownership_fractions(),
+            )
+        };
+        let indices: Vec<usize> = (0..backends_snapshot.len()).collect();
         let gathered: Vec<(f64, std::result::Result<Json, String>)> =
             parallel_map(self.parallelism, &indices, |_, &i| {
                 let start = Instant::now();
-                let outcome = self.backends[i]
+                let outcome = backends_snapshot[i]
                     .round_trip(r#"{"type":"stats"}"#, true)
                     .and_then(|raw| {
                         Json::parse(&raw).map_err(|e| format!("bad stats response: {e}"))
@@ -290,13 +565,13 @@ impl RouterState {
                 (start.elapsed().as_secs_f64() * 1e3, outcome)
             });
 
-        let mut backends = Vec::with_capacity(self.backends.len());
+        let mut backends = Vec::with_capacity(backends_snapshot.len());
         let mut cache = CacheStats::default();
         let mut sums = Sums::default();
         let mut models: Option<Json> = None;
         let mut reachable = 0usize;
         let mut slowest_ms = 0f64;
-        for (backend, (ms, outcome)) in self.backends.iter().zip(gathered) {
+        for (backend, (ms, outcome)) in backends_snapshot.iter().zip(gathered) {
             let mut entry = vec![("addr".to_owned(), Json::str(backend.addr.clone()))];
             match outcome {
                 Ok(stats) => {
@@ -364,10 +639,15 @@ impl RouterState {
                 "requests".to_owned(),
                 Json::num(self.requests.load(Ordering::Relaxed) as f64),
             ),
+            ("ring_version".to_owned(), Json::num(ring_version as f64)),
+            (
+                "data_replicas".to_owned(),
+                Json::num(self.data_replicas as f64),
+            ),
             (
                 "routed".to_owned(),
                 Json::Arr(
-                    self.backends
+                    backends_snapshot
                         .iter()
                         .map(|b| Json::num(b.routed.load(Ordering::Relaxed) as f64))
                         .collect(),
@@ -376,23 +656,24 @@ impl RouterState {
             (
                 "backend_errors".to_owned(),
                 Json::Arr(
-                    self.backends
+                    backends_snapshot
                         .iter()
                         .map(|b| Json::num(b.errors.load(Ordering::Relaxed) as f64))
                         .collect(),
                 ),
             ),
             (
-                "replicas".to_owned(),
-                Json::num(self.ring.replicas() as f64),
+                "ownership".to_owned(),
+                Json::Arr(ownership.into_iter().map(Json::Num).collect()),
             ),
+            ("replicas".to_owned(), Json::num(self.ring_replicas as f64)),
         ]);
         Json::Obj(vec![
             ("ok".to_owned(), Json::Bool(true)),
             ("role".to_owned(), Json::str("router")),
             (
                 "degraded".to_owned(),
-                Json::Bool(reachable < self.backends.len()),
+                Json::Bool(reachable < backends_snapshot.len()),
             ),
             ("aggregate".to_owned(), aggregate),
             ("slowest_backend_ms".to_owned(), Json::num(slowest_ms)),
@@ -402,6 +683,118 @@ impl RouterState {
     }
 }
 
+/// Moves cascades so every one of them lives exactly at its owners
+/// under the `next` topology.
+///
+/// 1. **Inventory**: every reachable backend of the old topology lists
+///    its resident cascades (`cascades` verb) into a deterministic
+///    `BTreeMap<id, holders>`. A dead node simply lists nothing — its
+///    cascades are sourced from surviving replicas, which is exactly
+///    the `remove` re-replication path.
+/// 2. **Migrate**: for each cascade, the owner set under the new ring
+///    is computed; owners that do not already hold it receive a
+///    `restore` of a snapshot fetched once from the first holder that
+///    answers. The snapshot carries the full ingest state, so this is a
+///    handoff (watermark preserved), not a re-`open`.
+/// 3. **Trim**: holders that remain members but are no longer owners
+///    `evict` their copy. A departing node is never trimmed — it is
+///    leaving the topology anyway.
+fn rebalance(old: &Topology, next: &Topology, data_replicas: usize) -> HandoffReport {
+    let mut report = HandoffReport::default();
+    // id -> indices into old.backends that hold it.
+    let mut holders: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let list_line = Request::Cascades.to_json().to_string();
+    for (i, backend) in old.backends.iter().enumerate() {
+        let Ok(raw) = backend.round_trip(&list_line, true) else {
+            continue; // unreachable: remove-path source loss
+        };
+        let Ok(parsed) = Json::parse(&raw) else {
+            continue;
+        };
+        let Some(ids) = parsed.get("cascades").and_then(Json::as_array) else {
+            continue;
+        };
+        for id in ids.iter().filter_map(Json::as_str) {
+            holders.entry(id.to_owned()).or_default().push(i);
+        }
+    }
+
+    let next_labels = next.membership.active_labels();
+    for (id, holder_indices) in &holders {
+        let holder_addrs: Vec<&str> = holder_indices
+            .iter()
+            .map(|&i| old.backends[i].addr.as_str())
+            .collect();
+        let owner_addrs: Vec<&str> = next
+            .ring
+            .route_n(id, data_replicas)
+            .into_iter()
+            .map(|i| next_labels[i].as_str())
+            .collect();
+        let needed: Vec<&Arc<Backend>> = owner_addrs
+            .iter()
+            .filter(|addr| !holder_addrs.contains(addr))
+            .filter_map(|addr| next.backends.iter().find(|b| b.addr == *addr))
+            .collect();
+        if !needed.is_empty() {
+            // Fetch the snapshot once from the first holder that
+            // answers; every holder's copy is bit-identical.
+            let fetch_line = Request::Snapshot {
+                cascade: id.clone(),
+            }
+            .to_json()
+            .to_string();
+            let snapshot_hex = holder_indices.iter().find_map(|&i| {
+                let raw = old.backends[i].round_trip(&fetch_line, true).ok()?;
+                let parsed = Json::parse(&raw).ok()?;
+                if parsed.get("ok") != Some(&Json::Bool(true)) {
+                    return None;
+                }
+                parsed
+                    .get("snapshot")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+            });
+            match snapshot_hex {
+                Some(snapshot) => {
+                    let restore_line = Request::Restore { snapshot }.to_json().to_string();
+                    for target in needed {
+                        let landed = target
+                            .round_trip(&restore_line, false)
+                            .ok()
+                            .and_then(|raw| Json::parse(&raw).ok())
+                            .is_some_and(|r| r.get("ok") == Some(&Json::Bool(true)));
+                        if landed {
+                            report.migrated += 1;
+                        } else {
+                            report.failed += 1;
+                        }
+                    }
+                }
+                None => report.failed += needed.len() as u64,
+            }
+        }
+        // Trim copies from members that are no longer owners. Only
+        // nodes still in the new topology are trimmed — a departing
+        // holder takes its copy with it.
+        for &holder in &holder_addrs {
+            if next_labels.iter().any(|l| l == holder) && !owner_addrs.contains(&holder) {
+                let evict_line = Request::Evict {
+                    cascade: id.clone(),
+                }
+                .to_json()
+                .to_string();
+                if let Some(backend) = next.backends.iter().find(|b| b.addr == holder) {
+                    if backend.round_trip(&evict_line, false).is_ok() {
+                        report.evicted += 1;
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
 impl LineService for RouterState {
     fn handle_line(&self, line: &str) -> String {
         RouterState::handle_line(self, line)
@@ -409,8 +802,8 @@ impl LineService for RouterState {
 }
 
 /// What routing one line produced: a backend's bytes relayed verbatim,
-/// or a response the router synthesized itself (stats aggregate,
-/// routing errors).
+/// or a response the router synthesized itself (stats aggregate, admin
+/// responses, routing errors).
 enum Routed {
     Relayed(String),
     Synthesized(Json),

@@ -1,225 +1,18 @@
-//! A hand-rolled consistent-hash ring with virtual nodes.
+//! The consistent-hash ring, re-exported from [`dlm_cluster::ring`].
+//!
+//! The ring started life in this crate; the elastic-cluster subsystem
+//! moved it into `dlm-cluster` so the membership state machine, the
+//! snapshot handoff engine, and the router all share one placement
+//! function. This module keeps the original `dlm_router::ring` paths
+//! (and the `dlm_router::HashRing` re-export) working — the ring's
+//! behaviour, hash function, and documentation live in
+//! [`dlm_cluster::ring`] now.
 //!
 //! Cascades are the sharding unit — the paper's model predicts each
 //! cascade independently, so any cascade can live on any backend, and
 //! all the router has to guarantee is that *every request for the same
-//! cascade id lands on the same backend*. A consistent-hash ring gives
-//! that with two extra properties a plain `hash % n` would not:
-//!
-//! * **placement is deterministic from configuration alone** — backends
-//!   are hashed by their configured label (address), not their list
-//!   position, so reordering the `--backend` flags does not reshuffle
-//!   the keyspace;
-//! * **topology changes move little** — removing a backend only remaps
-//!   the keys that lived on it; keys on surviving backends stay put
-//!   (`ring_removal_only_remaps_lost_keys` below proves it).
-//!
-//! Each backend contributes `replicas` *virtual nodes*: points on the
-//! ring at `hash(label, replica)`. More virtual nodes smooth the load
-//! split at the cost of a larger (binary-searched, read-only) table;
-//! [`HashRing::DEFAULT_REPLICAS`] is plenty for single-digit backend
-//! counts.
-//!
-//! Hashing is FNV-1a over the key bytes finished with a SplitMix64
-//! avalanche — no external crates, stable across platforms and
-//! processes (`DefaultHasher` guarantees neither), which is what makes
-//! routing reproducible from a config file.
+//! cascade id lands on the same set of owners*. [`HashRing::route_n`]
+//! extends single-owner routing to N-way replicated placement:
+//! deterministic from labels alone, so failover needs no coordination.
 
-use dlm_serve::{Result, ServeError};
-
-/// 64-bit FNV-1a over `bytes`, avalanched through the SplitMix64
-/// finalizer so near-identical labels (`"c1"`, `"c2"`, ...) still
-/// scatter across the whole ring.
-#[must_use]
-pub fn hash64(bytes: &[u8]) -> u64 {
-    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    // SplitMix64 finalizer, shared with the multi-start seed grid.
-    dlm_numerics::mix::splitmix64_mix(h)
-}
-
-/// A consistent-hash ring mapping string keys to backend indices.
-#[derive(Debug, Clone)]
-pub struct HashRing {
-    /// `(ring position, backend index)`, sorted by position. Position
-    /// ties (astronomically unlikely with 64-bit hashes) are broken by
-    /// backend index, keeping construction order-independent.
-    points: Vec<(u64, usize)>,
-    backends: usize,
-    replicas: usize,
-}
-
-impl HashRing {
-    /// Virtual nodes per backend when the caller has no opinion.
-    pub const DEFAULT_REPLICAS: usize = 64;
-
-    /// Builds a ring over `labels` (one per backend, typically the
-    /// backend address) with `replicas` virtual nodes each.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::InvalidParameter`] for an empty backend list,
-    /// duplicate labels (two backends hashing to identical point sets
-    /// would shadow each other), or zero replicas.
-    pub fn new(labels: &[String], replicas: usize) -> Result<Self> {
-        if labels.is_empty() {
-            return Err(ServeError::InvalidParameter {
-                name: "backends",
-                reason: "need at least one backend".into(),
-            });
-        }
-        if replicas == 0 {
-            return Err(ServeError::InvalidParameter {
-                name: "replicas",
-                reason: "must be positive".into(),
-            });
-        }
-        for (i, label) in labels.iter().enumerate() {
-            if labels[..i].contains(label) {
-                return Err(ServeError::InvalidParameter {
-                    name: "backends",
-                    reason: format!("duplicate backend `{label}`"),
-                });
-            }
-        }
-        let mut points = Vec::with_capacity(labels.len() * replicas);
-        for (index, label) in labels.iter().enumerate() {
-            for replica in 0..replicas {
-                // `label \0 replica` — the NUL keeps `("ab", 1)` and
-                // `("a", "b1"-ish)` byte strings distinct.
-                let mut key = Vec::with_capacity(label.len() + 9);
-                key.extend_from_slice(label.as_bytes());
-                key.push(0);
-                key.extend_from_slice(&(replica as u64).to_le_bytes());
-                points.push((hash64(&key), index));
-            }
-        }
-        points.sort_unstable();
-        Ok(Self {
-            points,
-            backends: labels.len(),
-            replicas,
-        })
-    }
-
-    /// Number of backends on the ring.
-    #[must_use]
-    pub fn backends(&self) -> usize {
-        self.backends
-    }
-
-    /// Virtual nodes per backend.
-    #[must_use]
-    pub fn replicas(&self) -> usize {
-        self.replicas
-    }
-
-    /// The backend index owning `key`: the first virtual node at or
-    /// clockwise after `hash64(key)`, wrapping at the top of the ring.
-    #[must_use]
-    pub fn route(&self, key: &str) -> usize {
-        let h = hash64(key.as_bytes());
-        let at = self.points.partition_point(|&(p, _)| p < h);
-        let (_, index) = self.points[at % self.points.len()];
-        index
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn labels(n: usize) -> Vec<String> {
-        (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
-    }
-
-    #[test]
-    fn rejects_degenerate_configurations() {
-        assert!(HashRing::new(&[], 64).is_err());
-        assert!(HashRing::new(&labels(2), 0).is_err());
-        let mut dup = labels(2);
-        dup.push(dup[0].clone());
-        assert!(HashRing::new(&dup, 64).is_err());
-    }
-
-    #[test]
-    fn routing_is_deterministic_and_label_driven() {
-        let ring = HashRing::new(&labels(4), 64).unwrap();
-        let again = HashRing::new(&labels(4), 64).unwrap();
-        for i in 0..1000 {
-            let key = format!("cascade-{i}");
-            assert_eq!(ring.route(&key), again.route(&key));
-        }
-        // Reordering the backend list permutes indices but not the
-        // owning *label*.
-        let mut reversed = labels(4);
-        reversed.reverse();
-        let flipped = HashRing::new(&reversed, 64).unwrap();
-        for i in 0..1000 {
-            let key = format!("cascade-{i}");
-            assert_eq!(
-                labels(4)[ring.route(&key)],
-                reversed[flipped.route(&key)],
-                "key `{key}` moved because the config was reordered"
-            );
-        }
-    }
-
-    #[test]
-    fn load_splits_roughly_evenly() {
-        let ring = HashRing::new(&labels(4), HashRing::DEFAULT_REPLICAS).unwrap();
-        let mut counts = [0usize; 4];
-        let keys = 8000;
-        for i in 0..keys {
-            counts[ring.route(&format!("cascade-{i}"))] += 1;
-        }
-        let ideal = keys / 4;
-        for (backend, &count) in counts.iter().enumerate() {
-            assert!(
-                count > ideal / 2 && count < ideal * 2,
-                "backend {backend} owns {count} of {keys} keys: {counts:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn ring_removal_only_remaps_lost_keys() {
-        let full = labels(4);
-        let ring = HashRing::new(&full, 64).unwrap();
-        let survivors: Vec<String> = full[..3].to_vec();
-        let shrunk = HashRing::new(&survivors, 64).unwrap();
-        let mut remapped = 0usize;
-        let keys = 4000;
-        for i in 0..keys {
-            let key = format!("cascade-{i}");
-            let before = ring.route(&key);
-            let after = shrunk.route(&key);
-            if before < 3 {
-                assert_eq!(
-                    full[before], survivors[after],
-                    "key `{key}` moved off a surviving backend"
-                );
-            } else {
-                remapped += 1;
-            }
-        }
-        // The removed backend owned roughly a quarter of the keyspace.
-        assert!(
-            remapped > keys / 8 && remapped < keys / 2,
-            "remapped {remapped} of {keys}"
-        );
-    }
-
-    #[test]
-    fn single_backend_owns_everything() {
-        let ring = HashRing::new(&labels(1), 8).unwrap();
-        for i in 0..100 {
-            assert_eq!(ring.route(&format!("c{i}")), 0);
-        }
-    }
-}
+pub use dlm_cluster::ring::{hash64, remap_fraction, HashRing};

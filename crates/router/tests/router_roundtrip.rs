@@ -260,6 +260,355 @@ fn routed_cluster_matches_single_server_and_degrades_per_shard() {
 }
 
 #[test]
+fn kill_and_rebalance_loses_nothing_with_replication() {
+    // Three backends, every cascade written to two of them
+    // (`data_replicas: 2`). Killing one backend mid-run must lose
+    // nothing: every forecast keeps serving, byte-identical to the
+    // direct mirror, and the `remove` admin verb re-replicates the
+    // survivors' copies under a bumped ring version.
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).unwrap();
+    let story = simulate_story(
+        &world,
+        &StoryPreset::s1(),
+        SimulationConfig {
+            hours: HORIZON + 2,
+            substeps: 2,
+            seed: 13,
+        },
+    )
+    .unwrap();
+    let submit = story.submit_time();
+    let initiator = story.initiator();
+    let votes: Vec<String> = story
+        .votes()
+        .iter()
+        .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+        .collect();
+    let votes = votes.join(",");
+    let close_at = submit + u64::from(HORIZON) * 3600;
+
+    let b0 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let mut b1 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let b2 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let direct = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let addrs = vec![
+        b0.local_addr().to_string(),
+        b1.local_addr().to_string(),
+        b2.local_addr().to_string(),
+    ];
+    let router = Arc::new(
+        RouterState::new(RouterConfig {
+            parallelism: Parallelism::Fixed(2),
+            data_replicas: 2,
+            ..RouterConfig::new(addrs.clone())
+        })
+        .unwrap(),
+    );
+    let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).unwrap();
+    assert_eq!(router.ring_version(), 1);
+
+    let mut routed = LineClient::connect(front.local_addr()).unwrap();
+    let mut single = LineClient::connect(direct.local_addr()).unwrap();
+    let ids: Vec<String> = (0..4).map(|i| format!("repl-{i}")).collect();
+    let mut forecast_lines = Vec::new();
+    for id in &ids {
+        for line in [
+            format!(
+                r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+            ),
+            format!(r#"{{"type":"ingest","cascade":"{id}","votes":[{votes}],"now":{close_at}}}"#),
+            format!(
+                r#"{{"type":"forecast","cascade":"{id}","hours":[{HORIZON}],"through":{OBSERVE_THROUGH}}}"#
+            ),
+        ] {
+            let via_router = routed.send_raw(&line).unwrap();
+            let via_single = single.send_raw(&line).unwrap();
+            assert_eq!(via_router, via_single, "diverged on `{line}`");
+            if line.contains(r#""type":"forecast""#) {
+                forecast_lines.push((line, via_router));
+            }
+        }
+    }
+
+    // Kill one backend. Every forecast must still come back — the
+    // surviving replica answers for cascades the dead node owned — and
+    // every byte must match the direct mirror. Zero lost responses.
+    b1.shutdown();
+    drop(b1);
+    for (line, before) in &forecast_lines {
+        let after = routed.send_raw(line).unwrap();
+        assert_eq!(&after, before, "replicated forecast diverged after kill");
+        let parsed = Json::parse(&after).unwrap();
+        assert_eq!(
+            parsed.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "forecast lost after kill: {after}"
+        );
+    }
+
+    // Fail-stop removal: survivors re-replicate what they hold, the
+    // ring version bumps, and the dead node leaves the topology.
+    let removal = Json::parse(
+        &routed
+            .send_raw(&format!(r#"{{"type":"remove","backend":"{}"}}"#, addrs[1]))
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        removal.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{removal}"
+    );
+    assert_eq!(removal.get("ring_version").and_then(Json::as_u64), Some(2));
+    assert_eq!(u(&removal, "failed"), 0, "re-replication failed: {removal}");
+    assert_eq!(
+        removal
+            .get("backends")
+            .and_then(Json::as_array)
+            .map(<[_]>::len),
+        Some(2),
+        "{removal}"
+    );
+    assert_eq!(router.backend_addrs().len(), 2);
+
+    // Post-removal, reads and writes keep matching the direct mirror —
+    // including a brand-new cascade on the shrunken ring.
+    for (line, before) in &forecast_lines {
+        let after = routed.send_raw(line).unwrap();
+        assert_eq!(&after, before, "forecast diverged after removal");
+    }
+    for line in [
+        format!(
+            r#"{{"type":"open","cascade":"post-remove","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+        ),
+        format!(
+            r#"{{"type":"ingest","cascade":"post-remove","votes":[{votes}],"now":{close_at}}}"#
+        ),
+        format!(
+            r#"{{"type":"forecast","cascade":"post-remove","hours":[{HORIZON}],"through":{OBSERVE_THROUGH}}}"#
+        ),
+    ] {
+        let via_router = routed.send_raw(&line).unwrap();
+        let via_single = single.send_raw(&line).unwrap();
+        assert_eq!(via_router, via_single, "post-removal diverged on `{line}`");
+    }
+
+    // The stats `router` object reports the new epoch and the ownership
+    // split of the surviving ring.
+    let stats = Json::parse(&routed.send_raw(r#"{"type":"stats"}"#).unwrap()).unwrap();
+    assert_eq!(stats.get("ok").and_then(Json::as_bool), Some(true));
+    let router_obj = stats.get("router").expect("router stats");
+    assert_eq!(u(router_obj, "ring_version"), 2);
+    assert_eq!(u(router_obj, "data_replicas"), 2);
+    let ownership = router_obj
+        .get("ownership")
+        .and_then(Json::as_array)
+        .expect("ownership fractions");
+    assert_eq!(ownership.len(), 2);
+    let total: f64 = ownership.iter().filter_map(Json::as_f64).sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "fractions must sum to 1: {total}"
+    );
+
+    drop(front);
+    drop(b0);
+    drop(b2);
+}
+
+#[test]
+fn drain_hands_off_cascades_without_reopening_them() {
+    // `drain` must stream each owned cascade's snapshot to its new
+    // owner before the node leaves: the new owner serves byte-identical
+    // forecasts (gate D) and keeps the hour watermark — a late vote is
+    // still rejected, which a naive re-`open` would silently accept.
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).unwrap();
+    let story = simulate_story(
+        &world,
+        &StoryPreset::s1(),
+        SimulationConfig {
+            hours: HORIZON + 2,
+            substeps: 2,
+            seed: 13,
+        },
+    )
+    .unwrap();
+    let submit = story.submit_time();
+    let initiator = story.initiator();
+    let votes: Vec<String> = story
+        .votes()
+        .iter()
+        .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+        .collect();
+    let votes = votes.join(",");
+    let close_at = submit + u64::from(HORIZON) * 3600;
+
+    let b0 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let b1 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let direct = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let addrs = vec![b0.local_addr().to_string(), b1.local_addr().to_string()];
+    let router = Arc::new(
+        RouterState::new(RouterConfig {
+            parallelism: Parallelism::Fixed(2),
+            ..RouterConfig::new(addrs.clone())
+        })
+        .unwrap(),
+    );
+    let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).unwrap();
+    let mut routed = LineClient::connect(front.local_addr()).unwrap();
+    let mut single = LineClient::connect(direct.local_addr()).unwrap();
+
+    // Cascades on both shards, so the drain moves a real subset.
+    let mut ids: Vec<String> = Vec::new();
+    let mut per_shard = [0usize; 2];
+    for i in 0..64 {
+        let id = format!("drain-{i}");
+        let shard = router.shard_of(&id);
+        if per_shard[shard] < 2 {
+            per_shard[shard] += 1;
+            ids.push(id);
+        }
+        if ids.len() == 4 {
+            break;
+        }
+    }
+    assert_eq!(per_shard, [2, 2], "both shards must own cascades");
+    let on_drained = per_shard[0] as u64;
+
+    let mut forecast_lines = Vec::new();
+    for id in &ids {
+        for line in [
+            format!(
+                r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+            ),
+            format!(r#"{{"type":"ingest","cascade":"{id}","votes":[{votes}],"now":{close_at}}}"#),
+            format!(
+                r#"{{"type":"forecast","cascade":"{id}","hours":[{HORIZON}],"through":{OBSERVE_THROUGH}}}"#
+            ),
+        ] {
+            let via_router = routed.send_raw(&line).unwrap();
+            let via_single = single.send_raw(&line).unwrap();
+            assert_eq!(via_router, via_single, "diverged on `{line}`");
+            if line.contains(r#""type":"forecast""#) {
+                forecast_lines.push((line, via_router));
+            }
+        }
+    }
+
+    // Drain shard 0: its cascades hand off to shard 1 before it leaves.
+    let drain = Json::parse(
+        &routed
+            .send_raw(&format!(r#"{{"type":"drain","backend":"{}"}}"#, addrs[0]))
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        drain.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{drain}"
+    );
+    assert_eq!(drain.get("verb").and_then(Json::as_str), Some("drain"));
+    assert_eq!(drain.get("ring_version").and_then(Json::as_u64), Some(2));
+    assert_eq!(u(&drain, "migrated"), on_drained, "{drain}");
+    assert_eq!(u(&drain, "failed"), 0, "{drain}");
+    assert!(
+        drain.get("handoff_ms").and_then(Json::as_f64).is_some(),
+        "drain must report its pause: {drain}"
+    );
+    assert_eq!(router.backend_addrs(), vec![addrs[1].clone()]);
+
+    // Every forecast — including the migrated cascades' — must be
+    // byte-identical to its pre-drain answer and to the direct mirror.
+    for (line, before) in &forecast_lines {
+        let after = routed.send_raw(line).unwrap();
+        assert_eq!(&after, before, "handoff changed forecast bytes");
+    }
+
+    // The watermark survived the handoff: a vote for hour 1 is still a
+    // late vote on the new owner. A re-`open` would have accepted it.
+    for id in &ids {
+        let late = format!(
+            r#"{{"type":"ingest","cascade":"{id}","votes":[[{},0]]}}"#,
+            submit + 10
+        );
+        let response = Json::parse(&routed.send_raw(&late).unwrap()).unwrap();
+        assert_eq!(response.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(
+            response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap()
+                .contains("late vote"),
+            "watermark lost in handoff: {response}"
+        );
+    }
+
+    drop(front);
+    drop(b0);
+    drop(b1);
+}
+
+#[test]
+fn admin_verbs_validate_membership_transitions() {
+    // No live backends needed: these all fail in the membership state
+    // machine (or the parser) before any handoff traffic.
+    let router = RouterState::new(RouterConfig::new(vec![
+        "127.0.0.1:9".into(),
+        "127.0.0.1:10".into(),
+    ]))
+    .unwrap();
+    for (line, needle) in [
+        (r#"{"type":"join"}"#, "missing field `backend`"),
+        (
+            r#"{"type":"join","backend":"127.0.0.1:9"}"#,
+            "already a member",
+        ),
+        (
+            r#"{"type":"drain","backend":"127.0.0.1:99"}"#,
+            "is not a member",
+        ),
+        (
+            r#"{"type":"remove","backend":"127.0.0.1:99"}"#,
+            "is not a member",
+        ),
+        (r#"{"type":"restore","snapshot":"00"}"#, "backend-scoped"),
+        (r#"{"type":"cascades"}"#, "backend-scoped"),
+        (r#"{"type":"evict","cascade":"x"}"#, "backend-scoped"),
+    ] {
+        let response = Json::parse(&router.handle_line(line)).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{line}"
+        );
+        let message = response.get("error").and_then(Json::as_str).unwrap();
+        assert!(message.contains(needle), "`{line}` -> `{message}`");
+    }
+    // Rejected transitions must not bump the epoch.
+    assert_eq!(router.ring_version(), 1);
+
+    // Draining everything is refused: the last active node has nowhere
+    // to send its cascades.
+    let drained =
+        Json::parse(&router.handle_line(r#"{"type":"drain","backend":"127.0.0.1:9"}"#)).unwrap();
+    assert_eq!(
+        drained.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{drained}"
+    );
+    let last =
+        Json::parse(&router.handle_line(r#"{"type":"drain","backend":"127.0.0.1:10"}"#)).unwrap();
+    assert_eq!(last.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        last.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("last active"),
+        "{last}"
+    );
+}
+
+#[test]
 fn dials_are_bounded_by_the_connect_timeout() {
     // A shard whose backend never answers the dial must come back as a
     // router-originated error in bounded time, not pin the handler

@@ -5,6 +5,7 @@
 //! dlm-serve [--addr 127.0.0.1:7878] [--scale 0.15] [--capacity 1024]
 //!           [--cascades 4096] [--cascade-ttl SECS] [--workers N]
 //!           [--no-prewarm] [--quick-lineup] [--starts N]
+//!           [--snapshot-dir DIR]
 //! ```
 //!
 //! Prints one `READY {"addr":...}` line once the socket is bound (the
@@ -18,7 +19,8 @@ use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
 fn usage() -> ! {
     eprintln!(
         "usage: dlm-serve [--addr HOST:PORT] [--scale F] [--capacity N] [--cascades N] \
-         [--cascade-ttl SECS] [--workers N] [--no-prewarm] [--quick-lineup] [--starts N]"
+         [--cascade-ttl SECS] [--workers N] [--no-prewarm] [--quick-lineup] [--starts N] \
+         [--snapshot-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -56,6 +58,11 @@ fn main() {
                     Parallelism::Fixed(value("--workers").parse().unwrap_or_else(|_| usage()));
             }
             "--no-prewarm" => config.prewarm = false,
+            "--snapshot-dir" => {
+                // Persist every cascade mutation and replay on restart;
+                // see ServeConfig::snapshot_dir.
+                config.snapshot_dir = Some(value("--snapshot-dir").into());
+            }
             "--starts" => {
                 starts = value("--starts").parse().unwrap_or_else(|_| usage());
             }

@@ -37,6 +37,9 @@ pub enum ServeError {
     /// A protocol-level problem: unparseable request, missing field,
     /// wrong type.
     Protocol(String),
+    /// An underlying cluster-layer error (snapshot codec, ring,
+    /// membership).
+    Cluster(dlm_cluster::ClusterError),
     /// An underlying cascade-analytics error.
     Cascade(dlm_cascade::CascadeError),
     /// An underlying model-layer error.
@@ -64,6 +67,7 @@ impl fmt::Display for ServeError {
             Self::UnknownCascade(id) => write!(f, "unknown cascade `{id}`"),
             Self::DuplicateCascade(id) => write!(f, "cascade `{id}` is already open"),
             Self::Protocol(reason) => write!(f, "protocol error: {reason}"),
+            Self::Cluster(e) => write!(f, "cluster error: {e}"),
             Self::Cascade(e) => write!(f, "cascade error: {e}"),
             Self::Model(e) => write!(f, "model error: {e}"),
             Self::Data(e) => write!(f, "data error: {e}"),
@@ -75,12 +79,19 @@ impl fmt::Display for ServeError {
 impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            Self::Cluster(e) => Some(e),
             Self::Cascade(e) => Some(e),
             Self::Model(e) => Some(e),
             Self::Data(e) => Some(e),
             Self::Io(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<dlm_cluster::ClusterError> for ServeError {
+    fn from(e: dlm_cluster::ClusterError) -> Self {
+        Self::Cluster(e)
     }
 }
 

@@ -30,6 +30,17 @@
 //!   `docs/PROTOCOL.md` at the repository root; the `dlm-router` crate
 //!   speaks the same protocol in front of many backends.
 //!
+//! The elastic-cluster layer rides on `dlm-cluster`'s versioned
+//! snapshot codec: [`live::LiveCascade::to_snapshot`] captures a
+//! cascade's entire ingest state (density counters, hour watermark,
+//! late-vote accounting, seed voters) and
+//! [`live::LiveCascade::from_snapshot`] restores a bit-identical twin.
+//! The `snapshot` / `restore` / `cascades` / `evict` verbs move those
+//! bytes between nodes during drain handoff, and
+//! [`server::ServeConfig::snapshot_dir`] persists the same bytes to
+//! disk so a restarted `dlm-serve --snapshot-dir DIR` replays to the
+//! exact pre-crash forecasts.
+//!
 //! ## Example (in-process)
 //!
 //! ```no_run

@@ -23,6 +23,7 @@
 use crate::error::{Result, ServeError};
 use dlm_cascade::hops::hop_groups;
 use dlm_cascade::DensityMatrix;
+use dlm_cluster::CascadeSnapshot;
 use dlm_data::Vote;
 use dlm_graph::DiGraph;
 
@@ -300,6 +301,133 @@ impl LiveCascade {
     pub fn matrix(&self) -> Result<DensityMatrix> {
         self.matrix_through(self.closed)
     }
+
+    /// Captures the cascade's *entire* ingest state — density counters,
+    /// hour watermark, late-vote accounting, seed voters — as a
+    /// [`CascadeSnapshot`]. All state is integer-valued, so the restored
+    /// twin produced by [`LiveCascade::from_snapshot`] serves matrices
+    /// (and therefore forecasts) bit-identical to this one, and enforces
+    /// the same late-vote watermark.
+    ///
+    /// `id` and `initiator` are carried for the serving layer: the id
+    /// names the cascade at the restoring node, and the initiator (when
+    /// the cascade was opened over a shared world graph) lets the
+    /// restorer re-attach the graph context epidemic predictors use.
+    #[must_use]
+    pub fn to_snapshot(&self, id: &str, initiator: Option<u64>) -> CascadeSnapshot {
+        CascadeSnapshot {
+            id: id.to_string(),
+            initiator,
+            submit_time: self.submit_time,
+            horizon: self.horizon,
+            closed: self.closed,
+            counted: self.counted,
+            ignored: self.ignored,
+            sizes: self.sizes.iter().map(|&s| s as u64).collect(),
+            group_of: self.group_of.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|row| row.iter().map(|&c| c as u64).collect())
+                .collect(),
+            hour1_voters: self.hour1_voters.iter().map(|&v| v as u64).collect(),
+        }
+    }
+
+    /// Rebuilds a live cascade from a decoded [`CascadeSnapshot`] —
+    /// the receiving half of drain handoff and `--snapshot-dir` replay.
+    /// No re-`open`, no vote replay: the watermark, counters, and seed
+    /// set come back exactly as captured.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidParameter`] when the snapshot is internally
+    /// inconsistent (a decoded-but-hostile snapshot): zero horizon, no
+    /// groups, a zero group size, count rows not matching the group
+    /// count, a count row not matching the horizon, a group index out
+    /// of range, a watermark past the horizon, or values that do not
+    /// fit this platform's `usize`.
+    pub fn from_snapshot(snap: &CascadeSnapshot) -> Result<Self> {
+        let bad = |reason: String| ServeError::InvalidParameter {
+            name: "snapshot",
+            reason,
+        };
+        if snap.horizon == 0 {
+            return Err(bad("horizon must be positive".into()));
+        }
+        if snap.sizes.is_empty() {
+            return Err(bad("need at least one distance group".into()));
+        }
+        if snap.closed > snap.horizon {
+            return Err(bad(format!(
+                "closed watermark {} exceeds horizon {}",
+                snap.closed, snap.horizon
+            )));
+        }
+        let groups = snap.sizes.len();
+        let mut sizes = Vec::with_capacity(groups);
+        for (g, &s) in snap.sizes.iter().enumerate() {
+            if s == 0 {
+                return Err(bad(format!("distance group {} is empty", g + 1)));
+            }
+            sizes.push(
+                usize::try_from(s)
+                    .map_err(|_| bad(format!("group size {s} does not fit usize")))?,
+            );
+        }
+        for (u, &g) in snap.group_of.iter().enumerate() {
+            if let Some(g) = g {
+                if g as usize >= groups {
+                    return Err(bad(format!(
+                        "user {u} mapped to group {} of {groups}",
+                        g + 1
+                    )));
+                }
+            }
+        }
+        if snap.counts.len() != groups {
+            return Err(bad(format!(
+                "{} count rows for {groups} groups",
+                snap.counts.len()
+            )));
+        }
+        let mut counts = Vec::with_capacity(groups);
+        for (g, row) in snap.counts.iter().enumerate() {
+            if row.len() != snap.horizon as usize {
+                return Err(bad(format!(
+                    "count row {} has {} hours for horizon {}",
+                    g + 1,
+                    row.len(),
+                    snap.horizon
+                )));
+            }
+            let mut out = Vec::with_capacity(row.len());
+            for &c in row {
+                out.push(
+                    usize::try_from(c)
+                        .map_err(|_| bad(format!("vote count {c} does not fit usize")))?,
+                );
+            }
+            counts.push(out);
+        }
+        let mut hour1_voters = Vec::with_capacity(snap.hour1_voters.len());
+        for &v in &snap.hour1_voters {
+            hour1_voters.push(
+                usize::try_from(v).map_err(|_| bad(format!("voter id {v} does not fit usize")))?,
+            );
+        }
+        Ok(Self {
+            group_of: snap.group_of.clone(),
+            sizes,
+            submit_time: snap.submit_time,
+            horizon: snap.horizon,
+            counts,
+            closed: snap.closed,
+            counted: snap.counted,
+            ignored: snap.ignored,
+            hour1_voters,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -396,6 +524,79 @@ mod tests {
         live.ingest(vote(2000, 5)).unwrap();
         live.ingest(vote(1000 + 3600, 6)).unwrap(); // hour 2
         assert_eq!(live.hour1_voters(), &[3, 999, 5]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_state_and_watermark() {
+        let mut live = LiveCascade::new(&groups(), 1000, 5).unwrap();
+        for v in [
+            vote(1000, 3),
+            vote(1500, 999),
+            vote(500, 1), // pre-submit, ignored
+            vote(1000 + 3600, 4),
+            vote(1000 + 2 * 3600 + 9, 8),
+        ] {
+            live.ingest(v).unwrap();
+        }
+        let snap = live.to_snapshot("c-42", Some(7));
+        assert_eq!(snap.id, "c-42");
+        assert_eq!(snap.initiator, Some(7));
+        let wire = snap.encode();
+        let back = CascadeSnapshot::decode(&wire).unwrap();
+        let restored = LiveCascade::from_snapshot(&back).unwrap();
+        assert_eq!(restored.closed_hours(), live.closed_hours());
+        assert_eq!(restored.counted_votes(), live.counted_votes());
+        assert_eq!(restored.ignored_votes(), live.ignored_votes());
+        assert_eq!(restored.hour1_voters(), live.hour1_voters());
+        assert_eq!(restored.matrix().unwrap(), live.matrix().unwrap());
+        // The late-vote watermark survived: both twins reject the same
+        // vote identically.
+        let mut live2 = live.clone();
+        let mut restored2 = restored.clone();
+        let late = vote(1000 + 3600, 2);
+        assert!(matches!(
+            live2.ingest(late).unwrap_err(),
+            ServeError::LateVote { hour: 2, closed: 2 }
+        ));
+        assert!(matches!(
+            restored2.ingest(late).unwrap_err(),
+            ServeError::LateVote { hour: 2, closed: 2 }
+        ));
+    }
+
+    #[test]
+    fn inconsistent_snapshots_are_rejected() {
+        let live = LiveCascade::new(&groups(), 1000, 5).unwrap();
+        let good = live.to_snapshot("c", None);
+        assert!(LiveCascade::from_snapshot(&good).is_ok());
+
+        let mut s = good.clone();
+        s.horizon = 0;
+        assert!(LiveCascade::from_snapshot(&s).is_err());
+
+        let mut s = good.clone();
+        s.sizes.clear();
+        assert!(LiveCascade::from_snapshot(&s).is_err());
+
+        let mut s = good.clone();
+        s.sizes[0] = 0;
+        assert!(LiveCascade::from_snapshot(&s).is_err());
+
+        let mut s = good.clone();
+        s.closed = 6;
+        assert!(LiveCascade::from_snapshot(&s).is_err());
+
+        let mut s = good.clone();
+        s.counts.pop();
+        assert!(LiveCascade::from_snapshot(&s).is_err());
+
+        let mut s = good.clone();
+        s.counts[0].pop();
+        assert!(LiveCascade::from_snapshot(&s).is_err());
+
+        let mut s = good.clone();
+        s.group_of[1] = Some(99);
+        assert!(LiveCascade::from_snapshot(&s).is_err());
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! {"type":"ingest","cascade":"c1","votes":[[1244000000,17],[1244000700,4]],"now":1244003600}
 //! {"type":"forecast","cascade":"c1","hours":[3,4],"models":["naive"],"through":2}
 //! {"type":"stats"}
+//! {"type":"snapshot","cascade":"c1"}
+//! {"type":"restore","snapshot":"444c4d53..."}
+//! {"type":"cascades"}
+//! {"type":"evict","cascade":"c1"}
 //! ```
 //!
 //! Responses always carry `"ok": true|false`; errors add `"error"` with
@@ -104,6 +108,28 @@ pub enum Request {
     },
     /// Requests server/cache counters.
     Stats,
+    /// Captures a cascade's full ingest state as a hex-armored
+    /// [`dlm_cluster::CascadeSnapshot`] — the sending half of drain
+    /// handoff and the unit of `--snapshot-dir` persistence.
+    Snapshot {
+        /// Cascade id.
+        cascade: String,
+    },
+    /// Installs a cascade from hex-armored snapshot bytes, watermark
+    /// and all — the receiving half of drain handoff. No re-`open`, no
+    /// vote replay.
+    Restore {
+        /// Hex-armored snapshot bytes, as produced by `snapshot`.
+        snapshot: String,
+    },
+    /// Lists the resident cascade ids (sorted) — how the router
+    /// inventories a node before migrating its cascades.
+    Cascades,
+    /// Drops a cascade by id, releasing its state (migration cleanup).
+    Evict {
+        /// Cascade id.
+        cascade: String,
+    },
 }
 
 fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json> {
@@ -256,6 +282,16 @@ impl Request {
                 })
             }
             "stats" => Ok(Self::Stats),
+            "snapshot" => Ok(Self::Snapshot {
+                cascade: str_field(&value, "cascade")?,
+            }),
+            "restore" => Ok(Self::Restore {
+                snapshot: str_field(&value, "snapshot")?,
+            }),
+            "cascades" => Ok(Self::Cascades),
+            "evict" => Ok(Self::Evict {
+                cascade: str_field(&value, "cascade")?,
+            }),
             other => Err(ServeError::Protocol(format!(
                 "unknown request type `{other}`"
             ))),
@@ -367,6 +403,19 @@ impl Request {
                 Json::Obj(fields)
             }
             Self::Stats => Json::Obj(vec![("type".to_owned(), Json::str("stats"))]),
+            Self::Snapshot { cascade } => Json::Obj(vec![
+                ("type".to_owned(), Json::str("snapshot")),
+                ("cascade".to_owned(), Json::str(cascade.clone())),
+            ]),
+            Self::Restore { snapshot } => Json::Obj(vec![
+                ("type".to_owned(), Json::str("restore")),
+                ("snapshot".to_owned(), Json::str(snapshot.clone())),
+            ]),
+            Self::Cascades => Json::Obj(vec![("type".to_owned(), Json::str("cascades"))]),
+            Self::Evict { cascade } => Json::Obj(vec![
+                ("type".to_owned(), Json::str("evict")),
+                ("cascade".to_owned(), Json::str(cascade.clone())),
+            ]),
         }
     }
 }
@@ -438,6 +487,16 @@ mod tests {
                 through: Some(2),
             },
             Request::Stats,
+            Request::Snapshot {
+                cascade: "c1".into(),
+            },
+            Request::Restore {
+                snapshot: "444c4d53".into(),
+            },
+            Request::Cascades,
+            Request::Evict {
+                cascade: "c1".into(),
+            },
         ];
         for request in requests {
             let line = request.to_json().to_string();
@@ -504,6 +563,10 @@ mod tests {
             r#"{"type":"open","cascade":"x","story":1,"metric":"euclidean"}"#,
             r#"{"type":"open","cascade":"x","story":1,"metric":"interest","strategy":"median"}"#,
             r#"{"type":"open","cascade":"x","story":1,"metric":"interest","strategy":1}"#,
+            r#"{"type":"snapshot"}"#,
+            r#"{"type":"restore"}"#,
+            r#"{"type":"restore","snapshot":17}"#,
+            r#"{"type":"evict"}"#,
         ] {
             assert!(
                 matches!(Request::parse(bad), Err(ServeError::Protocol(_))),

@@ -28,6 +28,7 @@ use crate::live::LiveCascade;
 use crate::protocol::{error_response, OpenMetric, Request};
 use crate::store::CascadeStore;
 use dlm_cascade::interest_groups::interest_groups;
+use dlm_cluster::{hex, CascadeSnapshot};
 use dlm_core::evaluate::{FitOutcome, FittedModelCache, Parallelism};
 use dlm_core::predict::{DiffusionPredictor, GraphContext, Observation, PredictionRequest};
 use dlm_core::registry::{ModelRegistry, ModelSpec};
@@ -37,6 +38,7 @@ use dlm_numerics::pool::parallel_map;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -62,6 +64,13 @@ pub struct ServeConfig {
     /// `false`, fits happen lazily on the first forecast that needs
     /// them — same results, different latency profile.
     pub prewarm: bool,
+    /// Directory for cascade snapshot persistence. With a directory
+    /// configured, every cascade's full ingest state is written there
+    /// (one `<hex id>.snap` file per cascade, atomically replaced) after
+    /// each mutation, and existing snapshots are replayed at startup —
+    /// a restarted server serves byte-identical forecasts with the same
+    /// late-vote watermarks, no re-`open` and no vote replay required.
+    pub snapshot_dir: Option<PathBuf>,
 }
 
 impl ServeConfig {
@@ -78,6 +87,7 @@ impl Default for ServeConfig {
             cascade_ttl: None,
             parallelism: Parallelism::Auto,
             prewarm: true,
+            snapshot_dir: None,
         }
     }
 }
@@ -124,6 +134,7 @@ pub struct ServerState {
     /// Slots are `Arc<Mutex<_>>` so an in-flight request keeps its
     /// cascade alive across an eviction.
     cascades: CascadeStore<Arc<Mutex<Slot>>>,
+    snapshot_dir: Option<PathBuf>,
     requests: AtomicU64,
     refit_jobs: AtomicU64,
     hours_closed: AtomicU64,
@@ -166,7 +177,7 @@ impl ServerState {
             .iter()
             .map(|spec| Ok((spec.to_string(), registry.build(spec)?)))
             .collect::<Result<Vec<_>>>()?;
-        Ok(Self {
+        let state = Self {
             models,
             registry,
             cache: FittedModelCache::new(config.cache_capacity),
@@ -174,10 +185,82 @@ impl ServerState {
             prewarm: config.prewarm,
             world,
             cascades: CascadeStore::new(config.cascade_capacity, config.cascade_ttl),
+            snapshot_dir: config.snapshot_dir,
             requests: AtomicU64::new(0),
             refit_jobs: AtomicU64::new(0),
             hours_closed: AtomicU64::new(0),
-        })
+        };
+        state.replay_snapshots()?;
+        Ok(state)
+    }
+
+    /// Replays every `*.snap` file in the configured snapshot directory
+    /// (in sorted filename order, so replay is deterministic) into the
+    /// cascade store. Corrupt or inconsistent snapshots fail the build —
+    /// silently dropping persisted cascade state would break the
+    /// restart-identity guarantee.
+    fn replay_snapshots(&self) -> Result<()> {
+        let Some(dir) = &self.snapshot_dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir)?;
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let bytes = std::fs::read(&path)?;
+            let snap = CascadeSnapshot::decode(&bytes)?;
+            let live = LiveCascade::from_snapshot(&snap)?;
+            let graph = self.graph_context_for(snap.initiator)?;
+            // Insert directly — re-persisting what was just read would
+            // only churn the files.
+            self.cascades
+                .insert(snap.id.clone(), Arc::new(Mutex::new(Slot { live, graph })));
+        }
+        Ok(())
+    }
+
+    /// Resolves the graph context a snapshot's recorded initiator needs:
+    /// hop-metric cascades carry `Some(initiator)` and require this
+    /// server to share the origin's world graph, or the epidemic
+    /// predictors would silently serve different forecasts.
+    fn graph_context_for(&self, initiator: Option<u64>) -> Result<Option<(Arc<DiGraph>, usize)>> {
+        let Some(u) = initiator else { return Ok(None) };
+        let (world, graph) = self.world.as_ref().ok_or(ServeError::InvalidParameter {
+            name: "snapshot",
+            reason: "snapshot carries a graph initiator but this server has no world".into(),
+        })?;
+        let u = usize::try_from(u).map_err(|_| ServeError::InvalidParameter {
+            name: "snapshot",
+            reason: format!("initiator {u} does not fit usize"),
+        })?;
+        if u >= world.user_count() {
+            return Err(ServeError::InvalidParameter {
+                name: "snapshot",
+                reason: format!("initiator {u} outside world of {}", world.user_count()),
+            });
+        }
+        Ok(Some((Arc::clone(graph), u)))
+    }
+
+    /// Writes `slot`'s snapshot into the configured snapshot directory
+    /// (write-to-temp + rename, so a crash mid-write never leaves a
+    /// torn file where replay would find it). A no-op without a
+    /// configured directory. Callers hold the slot lock, which also
+    /// serializes writers of the same cascade's file.
+    fn persist(&self, id: &str, slot: &Slot) -> Result<()> {
+        let Some(dir) = &self.snapshot_dir else {
+            return Ok(());
+        };
+        let initiator = slot.graph.as_ref().map(|&(_, u)| u as u64);
+        let bytes = slot.live.to_snapshot(id, initiator).encode();
+        let path = snapshot_path(dir, id);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
     }
 
     /// The canonical spec strings of the served lineup, in order.
@@ -207,13 +290,12 @@ impl ServerState {
         graph: Option<(Arc<DiGraph>, usize)>,
     ) -> Result<()> {
         let id = id.into();
-        if !self
-            .cascades
-            .insert(id.clone(), Arc::new(Mutex::new(Slot { live, graph })))
-        {
+        let slot = Arc::new(Mutex::new(Slot { live, graph }));
+        if !self.cascades.insert(id.clone(), Arc::clone(&slot)) {
             return Err(ServeError::DuplicateCascade(id));
         }
-        Ok(())
+        let guard = slot.lock().expect("cascade slot poisoned");
+        self.persist(&id, &guard)
     }
 
     /// Looks up a live cascade, touching its recency.
@@ -269,7 +351,80 @@ impl ServerState {
                 *through,
             ),
             Request::Stats => Ok(self.handle_stats()),
+            Request::Snapshot { cascade } => self.handle_snapshot(cascade),
+            Request::Restore { snapshot } => self.handle_restore(snapshot),
+            Request::Cascades => Ok(self.handle_cascades()),
+            Request::Evict { cascade } => self.handle_evict(cascade),
         }
+    }
+
+    fn handle_snapshot(&self, cascade: &str) -> Result<Json> {
+        let slot = self.slot(cascade)?;
+        let slot = slot.lock().expect("cascade slot poisoned");
+        let initiator = slot.graph.as_ref().map(|&(_, u)| u as u64);
+        let snap = slot.live.to_snapshot(cascade, initiator);
+        Ok(Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("cascade".to_owned(), Json::str(cascade)),
+            (
+                "format".to_owned(),
+                Json::num(f64::from(dlm_cluster::FORMAT_VERSION)),
+            ),
+            (
+                "closed_hours".to_owned(),
+                Json::num(f64::from(slot.live.closed_hours())),
+            ),
+            (
+                "snapshot".to_owned(),
+                Json::Str(hex::encode(&snap.encode())),
+            ),
+        ]))
+    }
+
+    fn handle_restore(&self, snapshot: &str) -> Result<Json> {
+        let bytes = hex::decode(snapshot)?;
+        let snap = CascadeSnapshot::decode(&bytes)?;
+        let live = LiveCascade::from_snapshot(&snap)?;
+        let graph = self.graph_context_for(snap.initiator)?;
+        let closed = live.closed_hours();
+        let counted = live.counted_votes();
+        self.insert_cascade(snap.id.clone(), live, graph)?;
+        Ok(Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("cascade".to_owned(), Json::str(snap.id)),
+            ("closed_hours".to_owned(), Json::num(f64::from(closed))),
+            ("counted".to_owned(), Json::num(counted as f64)),
+        ]))
+    }
+
+    fn handle_cascades(&self) -> Json {
+        Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            (
+                "cascades".to_owned(),
+                Json::Arr(self.cascades.ids().into_iter().map(Json::Str).collect()),
+            ),
+        ])
+    }
+
+    fn handle_evict(&self, cascade: &str) -> Result<Json> {
+        let evicted = self.cascades.remove(cascade);
+        if evicted {
+            if let Some(dir) = &self.snapshot_dir {
+                // Missing-file errors are fine (nothing persisted yet);
+                // anything else would leave a ghost cascade for replay.
+                if let Err(e) = std::fs::remove_file(snapshot_path(dir, cascade)) {
+                    if e.kind() != std::io::ErrorKind::NotFound {
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+        Ok(Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("cascade".to_owned(), Json::str(cascade)),
+            ("evicted".to_owned(), Json::Bool(evicted)),
+        ]))
     }
 
     fn handle_open(
@@ -363,7 +518,7 @@ impl ServerState {
         // `hours_closed` counter silently fall out of step.
         let mut batch_error: Option<ServeError> = None;
         let slot = self.slot(cascade)?;
-        let (before, after, counted, ignored, refit_observations) = {
+        let (before, after, counted, ignored, refit_observations, persisted) = {
             let mut slot = slot.lock().expect("cascade slot poisoned");
             let slot = &mut *slot;
             let before = slot.live.closed_hours();
@@ -390,12 +545,16 @@ impl ServerState {
             } else {
                 Vec::new()
             };
+            // Persist even when the batch stopped early: the applied
+            // prefix is real state a restart must not lose.
+            let persisted = self.persist(cascade, slot);
             (
                 before,
                 after,
                 slot.live.counted_votes(),
                 slot.live.ignored_votes(),
                 refit_observations,
+                persisted,
             )
         };
         self.hours_closed
@@ -406,6 +565,7 @@ impl ServerState {
         if let Some(e) = batch_error {
             return Err(e);
         }
+        persisted?;
         Ok(Json::Obj(vec![
             ("ok".to_owned(), Json::Bool(true)),
             ("cascade".to_owned(), Json::str(cascade)),
@@ -597,6 +757,13 @@ impl ServerState {
             ),
         ])
     }
+}
+
+/// The on-disk location of one cascade's snapshot: the id is
+/// hex-armored so arbitrary client-chosen ids (slashes, dots, `..`)
+/// cannot escape or collide inside the snapshot directory.
+fn snapshot_path(dir: &Path, id: &str) -> PathBuf {
+    dir.join(format!("{}.snap", hex::encode(id.as_bytes())))
 }
 
 /// A transport-free line-protocol service: one request line in, one

@@ -178,6 +178,33 @@ impl<V: Clone> CascadeStore<V> {
         true
     }
 
+    /// The resident cascade ids in sorted order, **without** touching
+    /// recency — inventorying a node for migration must not distort its
+    /// eviction order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<String> {
+        let mut inner = self.inner.lock().expect(POISONED);
+        Self::sweep(&mut inner, self.ttl);
+        let mut ids: Vec<String> = inner.map.keys().cloned().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Removes a cascade by id, returning whether it was resident.
+    /// Explicit removal (the `evict` verb, migration cleanup) counts
+    /// toward neither eviction nor expiration statistics.
+    pub fn remove(&self, id: &str) -> bool {
+        let mut inner = self.inner.lock().expect(POISONED);
+        Self::sweep(&mut inner, self.ttl);
+        match inner.map.remove(id) {
+            Some((_, stamp, _)) => {
+                inner.order.remove(&stamp);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Lifetime removal counters.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
@@ -261,6 +288,30 @@ mod tests {
         assert!(store.insert("a", 1));
         std::thread::sleep(Duration::from_millis(100));
         assert!(store.insert("a", 2), "expired id should be free again");
+        assert_eq!(store.get("a"), Some(2));
+    }
+
+    #[test]
+    fn ids_are_sorted_and_do_not_touch_recency() {
+        let store: CascadeStore<u32> = CascadeStore::new(2, None);
+        assert!(store.insert("b", 2));
+        assert!(store.insert("a", 1));
+        assert_eq!(store.ids(), vec!["a".to_string(), "b".to_string()]);
+        // `b` is still the coldest entry — listing did not touch it.
+        assert!(store.insert("c", 3));
+        assert_eq!(store.get("b"), None, "listing must not refresh recency");
+        assert_eq!(store.get("a"), Some(1));
+    }
+
+    #[test]
+    fn remove_frees_the_id_without_counting_as_eviction() {
+        let store: CascadeStore<u32> = CascadeStore::new(4, None);
+        assert!(store.insert("a", 1));
+        assert!(store.remove("a"));
+        assert!(!store.remove("a"), "already gone");
+        assert_eq!(store.get("a"), None);
+        assert_eq!(store.stats(), StoreStats::default());
+        assert!(store.insert("a", 2), "removed id should be free again");
         assert_eq!(store.get("a"), Some(2));
     }
 

@@ -1,0 +1,236 @@
+//! The on-disk half of the elastic-cluster contract:
+//!
+//! * `--snapshot-dir` persistence — a server that dies after ingesting
+//!   is rebuilt over the same directory and serves byte-identical
+//!   forecasts with the hour watermark intact (replay, not re-`open`);
+//! * the `snapshot`/`restore` wire verbs — the same bytes move a live
+//!   cascade between two in-process servers, and `cascades`/`evict`
+//!   manage the receiving store.
+
+use dlm_core::evaluate::Parallelism;
+use dlm_data::simulate::simulate_story;
+use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use dlm_serve::server::{ServeConfig, ServerState};
+use dlm_serve::Json;
+use std::path::PathBuf;
+
+const HORIZON: u32 = 5;
+
+/// A process-unique scratch directory, removed by [`Scratch::drop`].
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("dlm-snapshot-{}-{tag}", std::process::id()));
+        // A stale run's leftovers would replay into the fresh server.
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Self(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn config_with(dir: Option<PathBuf>) -> ServeConfig {
+    ServeConfig {
+        parallelism: Parallelism::Fixed(2),
+        snapshot_dir: dir,
+        ..ServeConfig::default()
+    }
+}
+
+fn fixture() -> (SyntheticWorld, u64, usize, String, u64) {
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).unwrap();
+    let story = simulate_story(
+        &world,
+        &StoryPreset::s1(),
+        SimulationConfig {
+            hours: HORIZON + 2,
+            substeps: 2,
+            seed: 13,
+        },
+    )
+    .unwrap();
+    let submit = story.submit_time();
+    let initiator = story.initiator();
+    let votes: Vec<String> = story
+        .votes()
+        .iter()
+        .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+        .collect();
+    let close_at = submit + u64::from(HORIZON) * 3600;
+    (world, submit, initiator, votes.join(","), close_at)
+}
+
+fn ok(state: &ServerState, line: &str) -> Json {
+    let raw = state.handle_line(line);
+    let parsed = Json::parse(&raw).unwrap();
+    assert_eq!(
+        parsed.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "`{line}` -> {raw}"
+    );
+    parsed
+}
+
+#[test]
+fn restart_replays_snapshots_to_the_same_bytes() {
+    let scratch = Scratch::new("restart");
+    let (world, submit, initiator, votes, close_at) = fixture();
+    let open = format!(
+        r#"{{"type":"open","cascade":"persist-1","initiator":{initiator},"max_hops":4,"horizon":{HORIZON},"submit_time":{submit}}}"#
+    );
+    let ingest =
+        format!(r#"{{"type":"ingest","cascade":"persist-1","votes":[{votes}],"now":{close_at}}}"#);
+    let forecast =
+        format!(r#"{{"type":"forecast","cascade":"persist-1","hours":[{HORIZON}],"through":2}}"#);
+
+    let before = {
+        let state =
+            ServerState::with_world(config_with(Some(scratch.0.clone())), world.clone()).unwrap();
+        ok(&state, &open);
+        ok(&state, &ingest);
+        state.handle_line(&forecast)
+        // The server dies here; only the snapshot directory survives.
+    };
+    assert!(
+        Json::parse(&before)
+            .unwrap()
+            .get("ok")
+            .and_then(Json::as_bool)
+            == Some(true),
+        "{before}"
+    );
+
+    // Rebuild over the same directory: replay must restore the cascade
+    // to the exact same bytes without any re-`open` or re-`ingest`.
+    let revived =
+        ServerState::with_world(config_with(Some(scratch.0.clone())), world.clone()).unwrap();
+    let after = revived.handle_line(&forecast);
+    assert_eq!(after, before, "restart changed forecast bytes");
+
+    // The watermark replayed too: an hour-1 vote is still late.
+    let late = format!(
+        r#"{{"type":"ingest","cascade":"persist-1","votes":[[{},0]]}}"#,
+        submit + 10
+    );
+    let rejected = Json::parse(&revived.handle_line(&late)).unwrap();
+    assert_eq!(rejected.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        rejected
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("late vote"),
+        "replay lost the watermark: {rejected}"
+    );
+
+    // A fresh server over an EMPTY directory must know nothing — proof
+    // the state really came from the snapshot files.
+    let empty = Scratch::new("restart-empty");
+    let blank = ServerState::with_world(config_with(Some(empty.0.clone())), world).unwrap();
+    let unknown = Json::parse(&blank.handle_line(&forecast)).unwrap();
+    assert_eq!(unknown.get("ok").and_then(Json::as_bool), Some(false));
+}
+
+#[test]
+fn corrupt_snapshot_files_fail_the_restart() {
+    // Fail-stop beats silently serving partial state: one corrupt
+    // snapshot file must abort server construction, not be skipped.
+    let scratch = Scratch::new("corrupt");
+    let (world, submit, initiator, votes, close_at) = fixture();
+    {
+        let state =
+            ServerState::with_world(config_with(Some(scratch.0.clone())), world.clone()).unwrap();
+        ok(
+            &state,
+            &format!(
+                r#"{{"type":"open","cascade":"c1","initiator":{initiator},"max_hops":4,"horizon":{HORIZON},"submit_time":{submit}}}"#
+            ),
+        );
+        ok(
+            &state,
+            &format!(r#"{{"type":"ingest","cascade":"c1","votes":[{votes}],"now":{close_at}}}"#),
+        );
+    }
+    let snap = std::fs::read_dir(&scratch.0)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "snap"))
+        .expect("a snapshot was persisted");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&snap, bytes).unwrap();
+    assert!(
+        ServerState::with_world(config_with(Some(scratch.0.clone())), world).is_err(),
+        "corrupt snapshot must fail the build"
+    );
+}
+
+#[test]
+fn snapshot_and_restore_verbs_move_a_cascade_between_servers() {
+    let (world, submit, initiator, votes, close_at) = fixture();
+    let source = ServerState::with_world(config_with(None), world.clone()).unwrap();
+    let target = ServerState::with_world(config_with(None), world).unwrap();
+    ok(
+        &source,
+        &format!(
+            r#"{{"type":"open","cascade":"mover","initiator":{initiator},"max_hops":4,"horizon":{HORIZON},"submit_time":{submit}}}"#
+        ),
+    );
+    ok(
+        &source,
+        &format!(r#"{{"type":"ingest","cascade":"mover","votes":[{votes}],"now":{close_at}}}"#),
+    );
+    let forecast =
+        format!(r#"{{"type":"forecast","cascade":"mover","hours":[{HORIZON}],"through":2}}"#);
+    let at_source = source.handle_line(&forecast);
+
+    // snapshot -> hex -> restore: the wire-level handoff the router's
+    // drain verb drives.
+    let snapshot = ok(&source, r#"{"type":"snapshot","cascade":"mover"}"#);
+    assert_eq!(
+        snapshot.get("closed_hours").and_then(Json::as_u64),
+        Some(u64::from(HORIZON))
+    );
+    let hex = snapshot
+        .get("snapshot")
+        .and_then(Json::as_str)
+        .expect("hex payload")
+        .to_owned();
+    let restored = ok(
+        &target,
+        &format!(r#"{{"type":"restore","snapshot":"{hex}"}}"#),
+    );
+    assert_eq!(
+        restored.get("cascade").and_then(Json::as_str),
+        Some("mover")
+    );
+    assert_eq!(
+        restored.get("closed_hours").and_then(Json::as_u64),
+        Some(u64::from(HORIZON))
+    );
+
+    // Gate D: the restored twin serves byte-identical forecasts.
+    let at_target = target.handle_line(&forecast);
+    assert_eq!(at_target, at_source, "handoff changed forecast bytes");
+
+    // The store verbs see and free it.
+    let listing = ok(&target, r#"{"type":"cascades"}"#);
+    assert_eq!(
+        listing
+            .get("cascades")
+            .and_then(Json::as_array)
+            .map(<[_]>::len),
+        Some(1)
+    );
+    let evicted = ok(&target, r#"{"type":"evict","cascade":"mover"}"#);
+    assert_eq!(evicted.get("evicted").and_then(Json::as_bool), Some(true));
+    let gone = Json::parse(&target.handle_line(&forecast)).unwrap();
+    assert_eq!(gone.get("ok").and_then(Json::as_bool), Some(false));
+}

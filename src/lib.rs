@@ -24,13 +24,19 @@
 //!   every hour boundary), a refit scheduler feeding the shared
 //!   [`core::evaluate::FittedModelCache`], a bounded TTL-swept
 //!   live-cascade store, and a JSON-lines-over-TCP front end
-//!   ([`serve::DlmServer`], `dlm-serve` binary) — wire spec in
-//!   `docs/PROTOCOL.md`;
-//! * [`router`] — the sharding tier: a consistent-hash ring
-//!   ([`router::HashRing`]) partitions cascade ids across many
-//!   `dlm-serve` backends, proxied over pooled connections with
-//!   scatter-gather `stats` ([`router::RouterState`], `dlm-router`
-//!   binary); routed forecasts are byte-identical to direct ones.
+//!   ([`serve::DlmServer`], `dlm-serve` binary, durable via
+//!   `--snapshot-dir`) — wire spec in `docs/PROTOCOL.md`;
+//! * [`cluster`] — the elastic-cluster machinery: the versioned
+//!   [`cluster::CascadeSnapshot`] byte codec (bit-exact, checksummed),
+//!   the consistent-hash [`cluster::HashRing`] with N-way owner walks,
+//!   and the [`cluster::Membership`] state machine behind the router's
+//!   `join`/`drain`/`remove` admin verbs;
+//! * [`router`] — the sharding tier: [`router::RouterState`] proxies a
+//!   live `ring_version`-epoch topology over pooled connections, with
+//!   opt-in N-way replicated placement (`--replicas-data`),
+//!   snapshot-handoff admin verbs, and scatter-gather `stats`
+//!   (`dlm-router` binary); routed forecasts are byte-identical to
+//!   direct ones, and handoff/failover never changes a byte.
 //!
 //! ## Quickstart — one model
 //!
@@ -73,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub use dlm_cascade as cascade;
+pub use dlm_cluster as cluster;
 pub use dlm_core as core;
 pub use dlm_data as data;
 pub use dlm_graph as graph;
