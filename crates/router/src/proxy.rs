@@ -20,12 +20,19 @@
 //! `ingest`) is sent to the cascade's first `N` distinct owners on the
 //! ring ([`HashRing::route_n`]) — all replicas apply the same votes in
 //! the same order (one router handler per client connection), so they
-//! hold bit-identical cascade state. Reads (`forecast`, `snapshot`) try
-//! the owners in ring order and relay the first response that makes it
-//! back. Because the owner walk is deterministic from labels alone,
-//! failover needs no coordination: when a backend dies mid-load, its
-//! keys' surviving replicas answer with byte-identical forecasts and no
-//! response is lost.
+//! hold bit-identical cascade state. A write that lands on some owners
+//! but not all is *not* reported as a clean success: the applied
+//! response is relayed with `"degraded":true` and the missed addresses
+//! appended, because the replicas may now diverge until the missed
+//! node is `remove`d and re-replicated. Reads (`forecast`, `snapshot`)
+//! try the owners in ring order and relay the first `{"ok":true,...}`
+//! response — a transport failure *or* an application-level rejection
+//! (a replica that missed a write answers `unknown cascade`) falls
+//! through to the next owner, and only when every owner rejects is the
+//! first rejection relayed. Because the owner walk is deterministic
+//! from labels alone, failover needs no coordination: when a backend
+//! dies mid-load, its keys' surviving replicas answer with
+//! byte-identical forecasts and no response is lost.
 //!
 //! ## Live membership: `join` / `drain` / `remove`
 //!
@@ -36,8 +43,13 @@
 //! to its new owner **before** the node leaves the ring — a handoff,
 //! not a re-`open`, so watermarks and counters survive and the new
 //! owner serves bit-identical forecasts. `remove` is the fail-stop verb
-//! for a dead node: survivors re-replicate what they still hold. Both
-//! run synchronously under the write lock — routing pauses for the
+//! for a dead node: survivors re-replicate what they still hold. The
+//! rebalance is two-phase: every snapshot→restore handoff runs first,
+//! and copies are evicted from their old holders only *after* the new
+//! topology is committed — a failed `join`/`drain` rolls back the
+//! restores that landed and leaves both the topology and every
+//! cascade's placement exactly as they were. The migrate phase runs
+//! synchronously under the write lock — routing pauses for the
 //! duration (`handoff_ms` in the `drain` response measures it), which
 //! buys the strong guarantee that no request ever observes a
 //! half-migrated topology. See `docs/PROTOCOL.md` §6.
@@ -418,46 +430,14 @@ impl RouterState {
                     .ok_or_else(|| ServeError::Protocol("missing field `cascade`".into()))?;
                 let owners = self.topology().owners_of(cascade, self.data_replicas);
                 // Only pure reads (`forecast`, `snapshot`) are retried
-                // on a stale pooled connection, and only reads fail
-                // over: the first owner to answer wins, and every owner
-                // holds bit-identical state. Writes go to ALL owners —
-                // that is what keeps the replicas identical — and relay
-                // the first successful response (the primary's, unless
-                // the primary is down).
-                let retriable = matches!(kind, "forecast" | "snapshot");
-                let mut relayed: Option<String> = None;
-                let mut first_error: Option<String> = None;
-                for backend in &owners {
-                    match backend.round_trip(line, retriable) {
-                        Ok(response) => {
-                            if relayed.is_none() {
-                                relayed = Some(response);
-                            }
-                            if retriable {
-                                break; // reads need one answer, not N
-                            }
-                        }
-                        Err(reason) => {
-                            if first_error.is_none() {
-                                first_error = Some(reason);
-                            }
-                        }
-                    }
-                }
-                match relayed {
-                    Some(response) => Ok(Routed::Relayed(response)),
-                    None => {
-                        let primary = &owners[0].addr;
-                        let reason = first_error.unwrap_or_else(|| "no owners".into());
-                        Ok(Routed::Synthesized(Json::Obj(vec![
-                            ("ok".to_owned(), Json::Bool(false)),
-                            (
-                                "error".to_owned(),
-                                Json::str(format!("backend `{primary}` unavailable: {reason}")),
-                            ),
-                            ("backend".to_owned(), Json::str(primary.clone())),
-                        ])))
-                    }
+                // on a stale pooled connection and fail over between
+                // owners; writes go to ALL owners — that is what keeps
+                // the replicas identical — and a partial landing is
+                // surfaced, never silently reported as a clean success.
+                if matches!(kind, "forecast" | "snapshot") {
+                    Ok(route_read(&owners, line))
+                } else {
+                    Ok(route_write(&owners, line))
                 }
             }
             other => Err(ServeError::Protocol(format!(
@@ -468,10 +448,13 @@ impl RouterState {
 
     /// The admin verbs. All three run synchronously under the topology
     /// write lock: requests pause, the membership transition is applied
-    /// to a scratch copy, cascades are rebalanced over real sockets,
-    /// and only then is the new topology swapped in. `join` and `drain`
-    /// abort (topology unchanged) if any handoff fails; `remove` is the
-    /// fail-stop path and proceeds best-effort.
+    /// to a scratch copy, and cascades are migrated over real sockets
+    /// (snapshot → restore, no eviction yet). Only if every migration
+    /// landed — or the verb is `remove`, the best-effort fail-stop
+    /// path — is the new topology swapped in; stale copies are trimmed
+    /// strictly *after* that commit, so an aborted `join`/`drain`
+    /// leaves every cascade exactly where it was (the restores that
+    /// did land are rolled back).
     fn handle_admin(&self, verb: &str, label: &str) -> Result<Routed> {
         let start = Instant::now();
         let mut topology = self.topology.write().expect("topology lock poisoned");
@@ -495,10 +478,17 @@ impl RouterState {
             self.max_idle,
             self.connect_timeout,
         )?;
-        let report = rebalance(&topology, &next, self.data_replicas);
+        let plan = migrate_cascades(&topology, &next, self.data_replicas);
+        let mut report = plan.report;
         if report.failed > 0 && verb != "remove" {
-            // Planned transitions must be lossless; leave the topology
-            // exactly as it was and let the operator retry.
+            // Planned transitions must be lossless. No copy has been
+            // evicted yet (trims run only after commit), so the old
+            // topology still holds every cascade; evict the restores
+            // that did land so a retried verb does not fight stale
+            // copies, and leave the topology exactly as it was.
+            for (target, id) in plan.landed {
+                let _ = target.round_trip(&evict_line(&id), false);
+            }
             return Ok(Routed::Synthesized(error_response(&format!(
                 "{verb} `{label}` aborted: {} cascade handoffs failed; topology unchanged",
                 report.failed
@@ -519,6 +509,16 @@ impl RouterState {
         // later `join` must start from fresh dials.
         for backend in departed {
             backend.close_idle();
+        }
+        // Trim pass, only now that the new topology is committed. Every
+        // copy it removes belongs to a cascade whose full new owner set
+        // restored successfully, so a trim can no longer strand a
+        // cascade; requests already route under the new ring, and none
+        // of them route to a trimmed (non-owner) holder.
+        for (holder, id) in plan.trims {
+            if holder.round_trip(&evict_line(&id), false).is_ok() {
+                report.evicted += 1;
+            }
         }
         let mut fields = vec![
             ("ok".to_owned(), Json::Bool(true)),
@@ -683,8 +683,21 @@ impl RouterState {
     }
 }
 
-/// Moves cascades so every one of them lives exactly at its owners
-/// under the `next` topology.
+/// The migrate phase's full outcome: the handoff counters, the
+/// restores that landed (rollback targets if the verb aborts), and the
+/// evictions to run only once the new topology is committed.
+struct MigratePlan {
+    report: HandoffReport,
+    /// (target, cascade) of every restore that landed.
+    landed: Vec<(Arc<Backend>, String)>,
+    /// (holder, cascade) copies to evict after commit — only cascades
+    /// whose migration fully succeeded are ever planned for trimming.
+    trims: Vec<(Arc<Backend>, String)>,
+}
+
+/// The migrate phase of a rebalance: copies cascades to their owners
+/// under the `next` topology **without removing anything** — evictions
+/// are planned, not executed, so the caller can abort losslessly.
 ///
 /// 1. **Inventory**: every reachable backend of the old topology lists
 ///    its resident cascades (`cascades` verb) into a deterministic
@@ -696,11 +709,17 @@ impl RouterState {
 ///    `restore` of a snapshot fetched once from the first holder that
 ///    answers. The snapshot carries the full ingest state, so this is a
 ///    handoff (watermark preserved), not a re-`open`.
-/// 3. **Trim**: holders that remain members but are no longer owners
-///    `evict` their copy. A departing node is never trimmed — it is
-///    leaving the topology anyway.
-fn rebalance(old: &Topology, next: &Topology, data_replicas: usize) -> HandoffReport {
-    let mut report = HandoffReport::default();
+/// 3. **Plan trims**: holders that remain members but are no longer
+///    owners are queued for a post-commit `evict` — but only for
+///    cascades whose every restore landed, so a partially migrated
+///    cascade keeps all of its old copies. A departing node is never
+///    trimmed — it is leaving the topology anyway.
+fn migrate_cascades(old: &Topology, next: &Topology, data_replicas: usize) -> MigratePlan {
+    let mut plan = MigratePlan {
+        report: HandoffReport::default(),
+        landed: Vec::new(),
+        trims: Vec::new(),
+    };
     // id -> indices into old.backends that hold it.
     let mut holders: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     let list_line = Request::Cascades.to_json().to_string();
@@ -736,6 +755,7 @@ fn rebalance(old: &Topology, next: &Topology, data_replicas: usize) -> HandoffRe
             .filter(|addr| !holder_addrs.contains(addr))
             .filter_map(|addr| next.backends.iter().find(|b| b.addr == *addr))
             .collect();
+        let mut cascade_failed = false;
         if !needed.is_empty() {
             // Fetch the snapshot once from the first holder that
             // answers; every holder's copy is bit-identical.
@@ -759,40 +779,195 @@ fn rebalance(old: &Topology, next: &Topology, data_replicas: usize) -> HandoffRe
                 Some(snapshot) => {
                     let restore_line = Request::Restore { snapshot }.to_json().to_string();
                     for target in needed {
-                        let landed = target
-                            .round_trip(&restore_line, false)
-                            .ok()
-                            .and_then(|raw| Json::parse(&raw).ok())
-                            .is_some_and(|r| r.get("ok") == Some(&Json::Bool(true)));
-                        if landed {
-                            report.migrated += 1;
+                        if restore_landed(target, &restore_line, id) {
+                            plan.report.migrated += 1;
+                            plan.landed.push((Arc::clone(target), id.clone()));
                         } else {
-                            report.failed += 1;
+                            plan.report.failed += 1;
+                            cascade_failed = true;
                         }
                     }
                 }
-                None => report.failed += needed.len() as u64,
+                None => {
+                    plan.report.failed += needed.len() as u64;
+                    cascade_failed = true;
+                }
             }
         }
-        // Trim copies from members that are no longer owners. Only
-        // nodes still in the new topology are trimmed — a departing
-        // holder takes its copy with it.
+        if cascade_failed {
+            // Old copies are this cascade's only complete placement
+            // now; they must all survive, owners or not.
+            continue;
+        }
         for &holder in &holder_addrs {
             if next_labels.iter().any(|l| l == holder) && !owner_addrs.contains(&holder) {
-                let evict_line = Request::Evict {
-                    cascade: id.clone(),
-                }
-                .to_json()
-                .to_string();
                 if let Some(backend) = next.backends.iter().find(|b| b.addr == holder) {
-                    if backend.round_trip(&evict_line, false).is_ok() {
-                        report.evicted += 1;
-                    }
+                    plan.trims.push((Arc::clone(backend), id.clone()));
                 }
             }
         }
     }
-    report
+    plan
+}
+
+/// Sends one `restore` to `target`, returning whether it landed. An
+/// `already open` rejection means a copy is already resident — e.g.
+/// left behind by an aborted transition whose rollback could not reach
+/// this node: the stale copy is evicted and the restore retried once,
+/// so the target ends up holding the snapshot's bytes, not the stale
+/// ones.
+fn restore_landed(target: &Arc<Backend>, restore_line: &str, id: &str) -> bool {
+    match try_restore(target, restore_line) {
+        RestoreOutcome::Landed => true,
+        RestoreOutcome::AlreadyOpen => {
+            target.round_trip(&evict_line(id), false).is_ok()
+                && matches!(try_restore(target, restore_line), RestoreOutcome::Landed)
+        }
+        RestoreOutcome::Failed => false,
+    }
+}
+
+enum RestoreOutcome {
+    Landed,
+    AlreadyOpen,
+    Failed,
+}
+
+fn try_restore(target: &Arc<Backend>, restore_line: &str) -> RestoreOutcome {
+    let Ok(raw) = target.round_trip(restore_line, false) else {
+        return RestoreOutcome::Failed;
+    };
+    let Ok(parsed) = Json::parse(&raw) else {
+        return RestoreOutcome::Failed;
+    };
+    if parsed.get("ok") == Some(&Json::Bool(true)) {
+        return RestoreOutcome::Landed;
+    }
+    if parsed
+        .get("error")
+        .and_then(Json::as_str)
+        .is_some_and(|e| e.contains("already open"))
+    {
+        return RestoreOutcome::AlreadyOpen;
+    }
+    RestoreOutcome::Failed
+}
+
+fn evict_line(id: &str) -> String {
+    Request::Evict {
+        cascade: id.to_owned(),
+    }
+    .to_json()
+    .to_string()
+}
+
+/// Routes a pure read (`forecast`, `snapshot`): owners are tried in
+/// ring order and the first `{"ok":true,...}` response is relayed
+/// verbatim. Both transport failures *and* application-level
+/// rejections fall through to the next owner — a replica that missed a
+/// write (or was never re-replicated after a `remove`) answers
+/// `unknown cascade` even though a surviving owner holds the cascade.
+/// Only when every owner rejects is the first rejection relayed, so an
+/// error a direct server would produce still reaches the client
+/// byte-identical.
+fn route_read(owners: &[Arc<Backend>], line: &str) -> Routed {
+    let mut rejected: Option<String> = None;
+    let mut first_error: Option<String> = None;
+    for backend in owners {
+        match backend.round_trip(line, true) {
+            Ok(response) => {
+                if response_is_ok(&response) {
+                    return Routed::Relayed(response);
+                }
+                if rejected.is_none() {
+                    rejected = Some(response);
+                }
+            }
+            Err(reason) => {
+                if first_error.is_none() {
+                    first_error = Some(reason);
+                }
+            }
+        }
+    }
+    match rejected {
+        Some(response) => Routed::Relayed(response),
+        None => unavailable_response(&owners[0].addr, first_error),
+    }
+}
+
+/// Routes a state-changing verb (`open`, `ingest`) to ALL owners —
+/// that is what keeps the replicas identical — relaying the first
+/// owner's response (the primary's, unless the primary is down). A
+/// write that lands on some owners but not all is surfaced, not
+/// silently reported as a clean success: the relayed response gains
+/// `"degraded":true` plus the missed addresses, because the replicas
+/// may now diverge until the missed node is `remove`d and
+/// re-replicated.
+fn route_write(owners: &[Arc<Backend>], line: &str) -> Routed {
+    let mut relayed: Option<String> = None;
+    let mut missed: Vec<String> = Vec::new();
+    let mut first_error: Option<String> = None;
+    for backend in owners {
+        match backend.round_trip(line, false) {
+            Ok(response) => {
+                if relayed.is_none() {
+                    relayed = Some(response);
+                }
+            }
+            Err(reason) => {
+                missed.push(backend.addr.clone());
+                if first_error.is_none() {
+                    first_error = Some(reason);
+                }
+            }
+        }
+    }
+    match relayed {
+        Some(response) if missed.is_empty() => Routed::Relayed(response),
+        Some(response) => match Json::parse(&response) {
+            Ok(Json::Obj(mut fields)) => {
+                fields.push(("degraded".to_owned(), Json::Bool(true)));
+                fields.push((
+                    "missed_backends".to_owned(),
+                    Json::Arr(missed.into_iter().map(Json::Str).collect()),
+                ));
+                if let Some(reason) = first_error {
+                    fields.push(("missed_error".to_owned(), Json::str(reason)));
+                }
+                Routed::Synthesized(Json::Obj(fields))
+            }
+            // A non-object response line has nowhere to carry the
+            // degradation marker; relay it untouched.
+            _ => Routed::Relayed(response),
+        },
+        None => unavailable_response(&owners[0].addr, first_error),
+    }
+}
+
+/// Whether a backend response line is a success. Every server success
+/// line serializes `"ok":true` first, so the prefix check keeps the
+/// read-failover path from re-parsing large forecast bodies; the full
+/// parse covers any other field order.
+fn response_is_ok(response: &str) -> bool {
+    response.starts_with(r#"{"ok":true"#)
+        || Json::parse(response)
+            .ok()
+            .is_some_and(|r| r.get("ok") == Some(&Json::Bool(true)))
+}
+
+/// The router-originated failure line for a request no owner could
+/// serve, naming the primary shard.
+fn unavailable_response(primary: &str, reason: Option<String>) -> Routed {
+    let reason = reason.unwrap_or_else(|| "no owners".into());
+    Routed::Synthesized(Json::Obj(vec![
+        ("ok".to_owned(), Json::Bool(false)),
+        (
+            "error".to_owned(),
+            Json::str(format!("backend `{primary}` unavailable: {reason}")),
+        ),
+        ("backend".to_owned(), Json::str(primary.to_owned())),
+    ]))
 }
 
 impl LineService for RouterState {

@@ -16,7 +16,7 @@
 use dlm_core::evaluate::Parallelism;
 use dlm_data::simulate::simulate_story;
 use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
-use dlm_router::{RouterConfig, RouterState};
+use dlm_router::{HashRing, RouterConfig, RouterState};
 use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
 use dlm_serve::{Json, LineClient};
 use std::sync::Arc;
@@ -24,6 +24,31 @@ use std::sync::Arc;
 const MAX_HOPS: u32 = 4;
 const HORIZON: u32 = 5;
 const OBSERVE_THROUGH: u32 = 2;
+
+/// World + story fixture shared by the smaller scenarios: (world,
+/// submit_time, initiator, votes JSON, close_at).
+fn fixture() -> (SyntheticWorld, u64, usize, String, u64) {
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).unwrap();
+    let story = simulate_story(
+        &world,
+        &StoryPreset::s1(),
+        SimulationConfig {
+            hours: HORIZON + 2,
+            substeps: 2,
+            seed: 13,
+        },
+    )
+    .unwrap();
+    let submit = story.submit_time();
+    let initiator = story.initiator();
+    let votes: Vec<String> = story
+        .votes()
+        .iter()
+        .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+        .collect();
+    let close_at = submit + u64::from(HORIZON) * 3600;
+    (world, submit, initiator, votes.join(","), close_at)
+}
 
 fn backend_state(world: &SyntheticWorld) -> ServerState {
     ServerState::with_world(
@@ -542,6 +567,239 @@ fn drain_hands_off_cascades_without_reopening_them() {
             "watermark lost in handoff: {response}"
         );
     }
+
+    drop(front);
+    drop(b0);
+    drop(b1);
+}
+
+#[test]
+fn aborted_join_keeps_every_cascade_servable() {
+    // Joining an unreachable node must abort the transition WITHOUT
+    // touching cascade placement: the old owner keeps its copy even
+    // though it would no longer own the cascade under the joined ring.
+    // (A one-phase rebalance that evicts as it goes would strand the
+    // cascade on no node here — permanent data loss.)
+    let (world, submit, initiator, votes, close_at) = fixture();
+    let b0 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let addr = b0.local_addr().to_string();
+    let router = Arc::new(
+        RouterState::new(RouterConfig {
+            parallelism: Parallelism::Fixed(2),
+            connect_timeout: std::time::Duration::from_millis(250),
+            ..RouterConfig::new(vec![addr.clone()])
+        })
+        .unwrap(),
+    );
+    let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).unwrap();
+    let mut routed = LineClient::connect(front.local_addr()).unwrap();
+
+    // Pick an id the unreachable joiner would own, so the (aborted)
+    // rebalance really tries — and fails — to move it. Port 1 on
+    // loopback refuses the dial immediately.
+    const DEAD: &str = "127.0.0.1:1";
+    let next_ring =
+        HashRing::new(&[addr.clone(), DEAD.to_owned()], HashRing::DEFAULT_REPLICAS).unwrap();
+    let id = (0..256)
+        .map(|i| format!("abort-{i}"))
+        .find(|id| next_ring.route(id) == 1)
+        .expect("some id lands on the joiner");
+
+    for line in [
+        format!(
+            r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+        ),
+        format!(r#"{{"type":"ingest","cascade":"{id}","votes":[{votes}],"now":{close_at}}}"#),
+    ] {
+        let response = Json::parse(&routed.send_raw(&line).unwrap()).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+    }
+    let forecast = format!(
+        r#"{{"type":"forecast","cascade":"{id}","hours":[{HORIZON}],"through":{OBSERVE_THROUGH}}}"#
+    );
+    let before = routed.send_raw(&forecast).unwrap();
+    assert!(before.starts_with(r#"{"ok":true"#), "{before}");
+
+    let join = Json::parse(
+        &routed
+            .send_raw(&format!(r#"{{"type":"join","backend":"{DEAD}"}}"#))
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        join.get("ok").and_then(Json::as_bool),
+        Some(false),
+        "{join}"
+    );
+    assert!(
+        join.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("aborted"),
+        "{join}"
+    );
+    assert_eq!(
+        router.ring_version(),
+        1,
+        "aborted join must not bump the epoch"
+    );
+    assert_eq!(router.backend_addrs(), vec![addr]);
+
+    let after = routed.send_raw(&forecast).unwrap();
+    assert_eq!(after, before, "aborted join lost or changed cascade state");
+
+    drop(front);
+    drop(b0);
+}
+
+#[test]
+fn partial_writes_are_surfaced_as_degraded() {
+    // With `data_replicas: 2` and one owner dead, a write that lands on
+    // the surviving owner must not come back as a clean success: the
+    // replicas have diverged, and the response says so.
+    let (world, submit, initiator, votes, close_at) = fixture();
+    let b0 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let mut b1 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let addrs = vec![b0.local_addr().to_string(), b1.local_addr().to_string()];
+    let router = Arc::new(
+        RouterState::new(RouterConfig {
+            parallelism: Parallelism::Fixed(2),
+            data_replicas: 2,
+            connect_timeout: std::time::Duration::from_millis(250),
+            ..RouterConfig::new(addrs.clone())
+        })
+        .unwrap(),
+    );
+    let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).unwrap();
+    let mut routed = LineClient::connect(front.local_addr()).unwrap();
+
+    let open = format!(
+        r#"{{"type":"open","cascade":"pw","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+    );
+    let opened = Json::parse(&routed.send_raw(&open).unwrap()).unwrap();
+    assert_eq!(opened.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(
+        opened.get("degraded").is_none(),
+        "healthy write must not be degraded: {opened}"
+    );
+
+    b1.shutdown();
+    drop(b1);
+    let ingest =
+        format!(r#"{{"type":"ingest","cascade":"pw","votes":[{votes}],"now":{close_at}}}"#);
+    let response = Json::parse(&routed.send_raw(&ingest).unwrap()).unwrap();
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "the surviving owner applied the write: {response}"
+    );
+    assert_eq!(
+        response.get("degraded").and_then(Json::as_bool),
+        Some(true),
+        "partial write must be flagged: {response}"
+    );
+    let missed = response
+        .get("missed_backends")
+        .and_then(Json::as_array)
+        .expect("missed_backends");
+    assert_eq!(
+        missed.iter().filter_map(Json::as_str).collect::<Vec<_>>(),
+        vec![addrs[1].as_str()],
+        "{response}"
+    );
+
+    // The applied replica still serves the written state.
+    let forecast = format!(
+        r#"{{"type":"forecast","cascade":"pw","hours":[{HORIZON}],"through":{OBSERVE_THROUGH}}}"#
+    );
+    let served = Json::parse(&routed.send_raw(&forecast).unwrap()).unwrap();
+    assert_eq!(served.get("ok").and_then(Json::as_bool), Some(true));
+
+    drop(front);
+    drop(b0);
+}
+
+#[test]
+fn reads_fail_over_past_application_level_rejections() {
+    // A replica that missed a write answers `unknown cascade` with a
+    // healthy transport; the router must try the next owner instead of
+    // relaying that rejection while a surviving owner holds the
+    // cascade.
+    let (world, submit, initiator, votes, close_at) = fixture();
+    let b0 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let b1 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let addrs = vec![b0.local_addr().to_string(), b1.local_addr().to_string()];
+    let router = Arc::new(
+        RouterState::new(RouterConfig {
+            parallelism: Parallelism::Fixed(2),
+            data_replicas: 2,
+            ..RouterConfig::new(addrs)
+        })
+        .unwrap(),
+    );
+    let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).unwrap();
+    let mut routed = LineClient::connect(front.local_addr()).unwrap();
+
+    // Install the cascade ONLY on the secondary owner (directly, past
+    // the router) — the primary answering `unknown cascade` is exactly
+    // the missed-write / not-yet-re-replicated shape.
+    let id = "failover-0";
+    let labels = router.backend_addrs();
+    let primary = labels[router.shard_of(id)].clone();
+    let secondary = labels
+        .into_iter()
+        .find(|l| *l != primary)
+        .expect("two owners");
+    let mut direct = LineClient::connect(secondary.as_str()).unwrap();
+    for line in [
+        format!(
+            r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+        ),
+        format!(r#"{{"type":"ingest","cascade":"{id}","votes":[{votes}],"now":{close_at}}}"#),
+    ] {
+        let response = Json::parse(&direct.send_raw(&line).unwrap()).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{response}"
+        );
+    }
+    let forecast = format!(
+        r#"{{"type":"forecast","cascade":"{id}","hours":[{HORIZON}],"through":{OBSERVE_THROUGH}}}"#
+    );
+    let via_secondary = direct.send_raw(&forecast).unwrap();
+    let via_router = routed.send_raw(&forecast).unwrap();
+    assert_eq!(
+        via_router, via_secondary,
+        "router must fail over past the primary's rejection"
+    );
+    assert!(via_router.starts_with(r#"{"ok":true"#), "{via_router}");
+
+    // When EVERY owner rejects, the first rejection is relayed verbatim
+    // — the same bytes a direct server would send, no `backend` field.
+    let missing = Json::parse(
+        &routed
+            .send_raw(r#"{"type":"forecast","cascade":"nobody","hours":[2]}"#)
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(missing.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        missing
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown cascade"),
+        "{missing}"
+    );
+    assert!(
+        missing.get("backend").is_none(),
+        "an all-owner rejection is relayed, not synthesized: {missing}"
+    );
 
     drop(front);
     drop(b0);

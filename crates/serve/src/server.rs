@@ -70,6 +70,13 @@ pub struct ServeConfig {
     /// each mutation, and existing snapshots are replayed at startup —
     /// a restarted server serves byte-identical forecasts with the same
     /// late-vote watermarks, no re-`open` and no vote replay required.
+    ///
+    /// The directory tracks the live store exactly: a cascade shed by
+    /// the `cascade_capacity` bound or the `cascade_ttl` sweep takes
+    /// its snapshot file with it (replay must not resurrect it), and
+    /// startup fails fast when the directory holds more snapshots than
+    /// `cascade_capacity` instead of silently dropping some of them
+    /// mid-replay.
     pub snapshot_dir: Option<PathBuf>,
 }
 
@@ -177,6 +184,16 @@ impl ServerState {
             .iter()
             .map(|spec| Ok((spec.to_string(), registry.build(spec)?)))
             .collect::<Result<Vec<_>>>()?;
+        let mut cascades = CascadeStore::new(config.cascade_capacity, config.cascade_ttl);
+        if let Some(dir) = config.snapshot_dir.clone() {
+            // A capacity- or TTL-shed cascade must take its snapshot
+            // file with it, or a restart would resurrect state the
+            // store already dropped. Best-effort: a missing file just
+            // means nothing was persisted yet.
+            cascades.set_shed_hook(move |id| {
+                let _ = std::fs::remove_file(snapshot_path(&dir, id));
+            });
+        }
         let state = Self {
             models,
             registry,
@@ -184,7 +201,7 @@ impl ServerState {
             parallelism: config.parallelism,
             prewarm: config.prewarm,
             world,
-            cascades: CascadeStore::new(config.cascade_capacity, config.cascade_ttl),
+            cascades,
             snapshot_dir: config.snapshot_dir,
             requests: AtomicU64::new(0),
             refit_jobs: AtomicU64::new(0),
@@ -198,7 +215,10 @@ impl ServerState {
     /// (in sorted filename order, so replay is deterministic) into the
     /// cascade store. Corrupt or inconsistent snapshots fail the build —
     /// silently dropping persisted cascade state would break the
-    /// restart-identity guarantee.
+    /// restart-identity guarantee — and so does a directory holding
+    /// more snapshots than `cascade_capacity`, which would otherwise
+    /// LRU-shed (and, with the shed hook, delete) persisted cascades
+    /// mid-replay.
     fn replay_snapshots(&self) -> Result<()> {
         let Some(dir) = &self.snapshot_dir else {
             return Ok(());
@@ -208,6 +228,17 @@ impl ServerState {
             .filter_map(|entry| entry.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|e| e == "snap"))
             .collect();
+        if paths.len() > self.cascades.capacity() {
+            return Err(ServeError::InvalidParameter {
+                name: "snapshot_dir",
+                reason: format!(
+                    "{} snapshot files exceed cascade_capacity {}; raise the capacity \
+                     or prune the directory instead of silently dropping persisted cascades",
+                    paths.len(),
+                    self.cascades.capacity()
+                ),
+            });
+        }
         paths.sort();
         for path in paths {
             let bytes = std::fs::read(&path)?;

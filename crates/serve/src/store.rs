@@ -51,12 +51,19 @@ struct Inner<V> {
     expirations: u64,
 }
 
+/// The signature of a [`CascadeStore::set_shed_hook`] callback.
+type ShedHook = Box<dyn Fn(&str) + Send + Sync>;
+
 /// A bounded, TTL-aware table of live cascades (or anything else keyed
 /// by cascade id).
 pub struct CascadeStore<V> {
     inner: Mutex<Inner<V>>,
     capacity: usize,
     ttl: Option<Duration>,
+    /// Called with the id of every entry the store sheds on its own
+    /// (capacity eviction or TTL expiry); see
+    /// [`CascadeStore::set_shed_hook`].
+    on_shed: Option<ShedHook>,
 }
 
 const POISONED: &str = "cascade store poisoned";
@@ -89,7 +96,21 @@ impl<V: Clone> CascadeStore<V> {
             }),
             capacity: capacity.max(1),
             ttl,
+            on_shed: None,
         }
+    }
+
+    /// Registers a hook called with the id of every cascade the store
+    /// sheds **on its own** — a capacity eviction or a TTL expiry.
+    /// Explicit [`CascadeStore::remove`] does not fire it: `remove`'s
+    /// callers do their own cleanup and need its errors surfaced. The
+    /// server uses this to delete a shed cascade's snapshot file, so a
+    /// restart does not resurrect state the store already dropped.
+    ///
+    /// The hook runs while the store's lock is held; it must not call
+    /// back into the store.
+    pub fn set_shed_hook(&mut self, hook: impl Fn(&str) + Send + Sync + 'static) {
+        self.on_shed = Some(Box::new(hook));
     }
 
     /// The maximum number of resident cascades.
@@ -108,7 +129,7 @@ impl<V: Clone> CascadeStore<V> {
     #[must_use]
     pub fn len(&self) -> usize {
         let mut inner = self.inner.lock().expect(POISONED);
-        Self::sweep(&mut inner, self.ttl);
+        self.sweep(&mut inner);
         inner.map.len()
     }
 
@@ -120,8 +141,8 @@ impl<V: Clone> CascadeStore<V> {
 
     /// Expires every entry idle past the TTL. `last touch` is monotone
     /// in recency order, so the sweep stops at the first fresh entry.
-    fn sweep(inner: &mut Inner<V>, ttl: Option<Duration>) {
-        let Some(ttl) = ttl else { return };
+    fn sweep(&self, inner: &mut Inner<V>) {
+        let Some(ttl) = self.ttl else { return };
         let now = Instant::now();
         while let Some((&stamp, id)) = inner.order.iter().next() {
             let touched = inner.map[id].2;
@@ -131,13 +152,16 @@ impl<V: Clone> CascadeStore<V> {
             let id = inner.order.remove(&stamp).expect("stamp just observed");
             inner.map.remove(&id);
             inner.expirations += 1;
+            if let Some(hook) = &self.on_shed {
+                hook(&id);
+            }
         }
     }
 
     /// Looks up a cascade, marking it as just-touched on a hit.
     pub fn get(&self, id: &str) -> Option<V> {
         let mut inner = self.inner.lock().expect(POISONED);
-        Self::sweep(&mut inner, self.ttl);
+        self.sweep(&mut inner);
         inner.clock += 1;
         let stamp = inner.clock;
         let (value, old_stamp, touched) = inner.map.get_mut(id)?;
@@ -157,7 +181,7 @@ impl<V: Clone> CascadeStore<V> {
     pub fn insert(&self, id: impl Into<String>, value: V) -> bool {
         let id = id.into();
         let mut inner = self.inner.lock().expect(POISONED);
-        Self::sweep(&mut inner, self.ttl);
+        self.sweep(&mut inner);
         if inner.map.contains_key(&id) {
             return false;
         }
@@ -174,6 +198,9 @@ impl<V: Clone> CascadeStore<V> {
             let victim = inner.order.remove(&coldest).expect("stamp just observed");
             inner.map.remove(&victim);
             inner.evictions += 1;
+            if let Some(hook) = &self.on_shed {
+                hook(&victim);
+            }
         }
         true
     }
@@ -184,7 +211,7 @@ impl<V: Clone> CascadeStore<V> {
     #[must_use]
     pub fn ids(&self) -> Vec<String> {
         let mut inner = self.inner.lock().expect(POISONED);
-        Self::sweep(&mut inner, self.ttl);
+        self.sweep(&mut inner);
         let mut ids: Vec<String> = inner.map.keys().cloned().collect();
         ids.sort_unstable();
         ids
@@ -195,7 +222,7 @@ impl<V: Clone> CascadeStore<V> {
     /// toward neither eviction nor expiration statistics.
     pub fn remove(&self, id: &str) -> bool {
         let mut inner = self.inner.lock().expect(POISONED);
-        Self::sweep(&mut inner, self.ttl);
+        self.sweep(&mut inner);
         match inner.map.remove(id) {
             Some((_, stamp, _)) => {
                 inner.order.remove(&stamp);
@@ -209,7 +236,7 @@ impl<V: Clone> CascadeStore<V> {
     #[must_use]
     pub fn stats(&self) -> StoreStats {
         let mut inner = self.inner.lock().expect(POISONED);
-        Self::sweep(&mut inner, self.ttl);
+        self.sweep(&mut inner);
         StoreStats {
             evictions: inner.evictions,
             expirations: inner.expirations,
@@ -313,6 +340,31 @@ mod tests {
         assert_eq!(store.stats(), StoreStats::default());
         assert!(store.insert("a", 2), "removed id should be free again");
         assert_eq!(store.get("a"), Some(2));
+    }
+
+    #[test]
+    fn shed_hook_fires_on_eviction_and_expiry_but_not_remove() {
+        use std::sync::{Arc, Mutex};
+        let shed: Arc<Mutex<Vec<String>>> = Arc::default();
+        let mut store: CascadeStore<u32> = CascadeStore::new(1, Some(Duration::from_millis(30)));
+        let sink = Arc::clone(&shed);
+        store.set_shed_hook(move |id| sink.lock().unwrap().push(id.to_owned()));
+        assert!(store.insert("a", 1));
+        assert!(store.insert("b", 2), "capacity 1 evicts `a`");
+        assert_eq!(shed.lock().unwrap().as_slice(), ["a".to_string()]);
+        assert!(store.remove("b"));
+        assert_eq!(
+            shed.lock().unwrap().len(),
+            1,
+            "explicit remove must not fire the shed hook"
+        );
+        assert!(store.insert("c", 3));
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(store.len(), 0, "idle entry expires");
+        assert_eq!(
+            shed.lock().unwrap().as_slice(),
+            ["a".to_string(), "c".to_string()]
+        );
     }
 
     #[test]

@@ -173,6 +173,95 @@ fn corrupt_snapshot_files_fail_the_restart() {
 }
 
 #[test]
+fn capacity_shed_deletes_the_snapshot_file() {
+    // A cascade the store sheds to stay within `cascade_capacity` must
+    // take its snapshot file with it — otherwise a restart would
+    // resurrect state the server had already dropped.
+    let scratch = Scratch::new("shed");
+    let (world, submit, initiator, _votes, _close_at) = fixture();
+    let open = |id: &str| {
+        format!(
+            r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":4,"horizon":{HORIZON},"submit_time":{submit}}}"#
+        )
+    };
+    let snap_files = |dir: &std::path::Path| -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+            .collect();
+        files.sort();
+        files
+    };
+    {
+        let state = ServerState::with_world(
+            ServeConfig {
+                cascade_capacity: 1,
+                ..config_with(Some(scratch.0.clone()))
+            },
+            world.clone(),
+        )
+        .unwrap();
+        ok(&state, &open("shed-1"));
+        assert_eq!(snap_files(&scratch.0).len(), 1);
+        // Opening a second cascade sheds `shed-1` — and its file.
+        ok(&state, &open("shed-2"));
+        assert_eq!(
+            snap_files(&scratch.0).len(),
+            1,
+            "shed cascade left its snapshot file behind"
+        );
+    }
+    // Restart: only the surviving cascade replays.
+    let revived = ServerState::with_world(
+        ServeConfig {
+            cascade_capacity: 1,
+            ..config_with(Some(scratch.0.clone()))
+        },
+        world,
+    )
+    .unwrap();
+    let gone =
+        Json::parse(&revived.handle_line(r#"{"type":"forecast","cascade":"shed-1","hours":[2]}"#))
+            .unwrap();
+    assert_eq!(gone.get("ok").and_then(Json::as_bool), Some(false));
+    ok(&revived, r#"{"type":"snapshot","cascade":"shed-2"}"#);
+}
+
+#[test]
+fn replay_past_capacity_fails_the_build() {
+    // More persisted snapshots than `cascade_capacity` must fail the
+    // restart instead of silently LRU-dropping cascades right after
+    // restoring them.
+    let scratch = Scratch::new("over-capacity");
+    let (world, submit, initiator, _votes, _close_at) = fixture();
+    {
+        let state =
+            ServerState::with_world(config_with(Some(scratch.0.clone())), world.clone()).unwrap();
+        for id in ["over-1", "over-2"] {
+            ok(
+                &state,
+                &format!(
+                    r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":4,"horizon":{HORIZON},"submit_time":{submit}}}"#
+                ),
+            );
+        }
+    }
+    let err = ServerState::with_world(
+        ServeConfig {
+            cascade_capacity: 1,
+            ..config_with(Some(scratch.0.clone()))
+        },
+        world,
+    )
+    .expect_err("replay past capacity must fail the build");
+    assert!(
+        err.to_string().contains("cascade_capacity"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
 fn snapshot_and_restore_verbs_move_a_cascade_between_servers() {
     let (world, submit, initiator, votes, close_at) = fixture();
     let source = ServerState::with_world(config_with(None), world.clone()).unwrap();
