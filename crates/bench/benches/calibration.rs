@@ -27,6 +27,7 @@
 //! The process exits nonzero if either gate fails, which is what the CI
 //! `cal-smoke` job gates on.
 
+use dlm_bench::artifact;
 use dlm_cascade::DensityMatrix;
 use dlm_core::calibrate::{calibrate, Calibration, CalibrationOptions, MultiStartConfig};
 use dlm_core::evaluate::Parallelism;
@@ -101,7 +102,7 @@ fn main() {
 
     eprintln!("generating {fixture_count} DL ground-truth fixtures...");
     let observed = fixtures(fixture_count);
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = artifact::hardware_threads();
     let workers = Parallelism::Auto.workers(starts);
     eprintln!(
         "{fixture_count} fixtures x {starts} starts x {max_evals} evals/start, \
@@ -166,7 +167,7 @@ fn main() {
         (logs / fixture_count as f64).exp()
     };
     let json = format!(
-        "{{\n  \"schema\": \"dlm-bench/calibration/v1\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"{schema}\",\n  \"mode\": \"{mode}\",\n  \
          \"hardware_threads\": {threads},\n  \"workers\": {workers},\n  \
          \"fixtures\": {fixture_count},\n  \"starts\": {starts},\n  \
          \"evals_per_start\": {max_evals},\n  \
@@ -176,17 +177,14 @@ fn main() {
          \"objective_improvement_geomean\": {improvement:.3},\n  \
          \"objective_never_worse\": {never_worse},\n  \
          \"outputs_identical\": {identical}\n}}\n",
+        schema = artifact::CALIBRATION_SCHEMA,
         mode = if smoke { "smoke" } else { "full" },
         single = json_run(&single),
         serial = json_run(&serial_multi),
         parallel = json_run(&parallel_multi),
     );
-    // Benches run with the package dir as cwd; anchor the default output
-    // at the workspace root so CI finds one stable path.
-    let out = std::env::var("DLM_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_calibration.json").into()
-    });
-    std::fs::write(&out, &json).expect("write bench json");
+    let out = artifact::bench_out("BENCH_calibration.json");
+    artifact::write(&out, &json).expect("valid calibration artifact");
 
     eprintln!(
         "single-start    {:>9.1} ms   mean objective {:.3e}\n\

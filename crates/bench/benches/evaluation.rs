@@ -16,6 +16,7 @@
 //! The process exits nonzero if the parallel output diverges from the
 //! serial output, which is what the CI `bench-smoke` job gates on.
 
+use dlm_bench::artifact;
 use dlm_bench::experiments::{forecast_window_cases, ExperimentContext};
 use dlm_core::evaluate::{EvaluationCase, EvaluationPipeline, EvaluationReport, Parallelism};
 use std::time::Instant;
@@ -96,7 +97,7 @@ fn main() {
     let speedup_warm = serial_warm.millis / parallel_warm.millis.max(1e-9);
     let warm_over_cold = serial_cold.millis / serial_warm.millis.max(1e-9);
     let json = format!(
-        "{{\n  \"schema\": \"dlm-bench/evaluation/v1\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"{schema}\",\n  \"mode\": \"{mode}\",\n  \
          \"hardware_threads\": {threads},\n  \"workers\": {workers},\n  \"models\": {models},\n  \
          \"cases\": {cases},\n  \"grid_cells\": {grid},\n  \
          \"serial_cold\": {sc},\n  \"serial_warm\": {sw},\n  \
@@ -105,20 +106,17 @@ fn main() {
          \"speedup_parallel_warm\": {speedup_warm:.3},\n  \
          \"speedup_warm_cache\": {warm_over_cold:.3},\n  \
          \"outputs_identical\": {identical}\n}}\n",
+        schema = artifact::EVALUATION_SCHEMA,
         mode = if smoke { "smoke" } else { "full" },
-        threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        threads = artifact::hardware_threads(),
         cases = cases.len(),
         sc = json_cache(&serial_cold),
         sw = json_cache(&serial_warm),
         pc = json_cache(&parallel_cold),
         pw = json_cache(&parallel_warm),
     );
-    // Benches run with the package dir as cwd; anchor the default output
-    // at the workspace root so CI finds one stable path.
-    let out = std::env::var("DLM_BENCH_OUT").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_evaluation.json").into()
-    });
-    std::fs::write(&out, &json).expect("write bench json");
+    let out = artifact::bench_out("BENCH_evaluation.json");
+    artifact::write(&out, &json).expect("valid evaluation artifact");
 
     eprintln!(
         "serial   cold {:>9.1} ms   warm {:>9.1} ms\nparallel cold {:>9.1} ms   warm {:>9.1} ms",

@@ -10,22 +10,34 @@
 //! ```text
 //! cargo bench -p dlm-bench --bench serve_load                     # one server, full load
 //! cargo bench -p dlm-bench --bench serve_load -- --smoke          # reduced, for CI
+//! cargo bench -p dlm-bench --bench serve_load -- --legacy         # thread-per-connection front
+//! cargo bench -p dlm-bench --bench serve_load -- --transport binary --batch 8
+//! cargo bench -p dlm-bench --bench serve_load -- --compare-fronts # legacy vs reactor, one artifact
 //! cargo bench -p dlm-bench --bench serve_load -- --router         # router + 2 backends
 //! cargo bench -p dlm-bench --bench serve_load -- --smoke --router # CI router smoke
 //! cargo bench -p dlm-bench --bench serve_load -- --router --kill-one  # elasticity drill
 //! ```
 //!
-//! Single-server mode writes `BENCH_serve.json`; router mode fronts
-//! **two** backend processes' worth of server state with a `dlm-router`
-//! tier and writes `BENCH_router.json`. Gates make both modes CI
-//! checks, not just stopwatches:
+//! Single-server modes write `BENCH_serve.json`
+//! (`dlm-bench/serve/v2`: one entry in `runs` per measured
+//! configuration); router mode fronts **two** backend processes' worth
+//! of server state with a `dlm-router` tier and writes
+//! `BENCH_router.json` (`dlm-bench/router/v3`). Both go through the
+//! `dlm_bench::artifact` schema registry, so a malformed artifact fails
+//! the run. Gates make every mode a CI check, not just a stopwatch:
 //!
-//! * **protocol gate** — every request must come back `"ok": true`;
+//! * **protocol gate** — every request must come back `"ok": true`
+//!   (batch sub-responses are unwrapped and checked individually);
 //! * **determinism gate (single)** — after streaming identical vote
 //!   streams, all clients issue the same forecast and every response's
 //!   model section must be byte-identical across clients *and*
 //!   bit-identical to an offline fit+predict on the batch-built
-//!   observation;
+//!   observation — whichever front end, framing, and batching carried
+//!   the votes;
+//! * **front-end gate (`--compare-fronts`)** — the reactor
+//!   (binary-framed, batched) must not be slower than the legacy
+//!   thread-per-connection front on the same machine, and a markdown
+//!   comparison table is printed to stdout for `$GITHUB_STEP_SUMMARY`;
 //! * **routing gate (router)** — the *entire response stream* each
 //!   client sees through the router (opens, ingests, forecasts) must be
 //!   byte-identical to what the same request stream gets from a single
@@ -41,6 +53,7 @@
 //! The process exits nonzero on any gate failure.
 
 use criterion::SampleStats;
+use dlm_bench::artifact;
 use dlm_cascade::hops::hop_density_matrix;
 use dlm_core::evaluate::Parallelism;
 use dlm_core::predict::{GrowthFamily, Observation, PredictionRequest};
@@ -49,9 +62,10 @@ use dlm_data::simulate::simulate_story;
 use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
 use dlm_router::ring::remap_fraction;
 use dlm_router::{HashRing, RouterConfig, RouterState};
-use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
-use dlm_serve::{Json, LineClient};
+use dlm_serve::server::{DlmServer, FrontEnd, ServeConfig, ServerState};
+use dlm_serve::{Json, LineClient, Transport};
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Instant;
 
 const MAX_HOPS: u32 = 4;
@@ -80,6 +94,16 @@ fn serve_config() -> ServeConfig {
     }
 }
 
+/// How the clients speak to the server: which framing each connection
+/// negotiates and how many logical requests ride one wire line.
+#[derive(Clone, Copy)]
+struct LoadOpts {
+    transport: Transport,
+    /// Hour-steps coalesced into one `batch` line (`1` = one request
+    /// per line, the pre-batch wire behavior).
+    batch: usize,
+}
+
 struct Client {
     inner: LineClient,
 }
@@ -89,6 +113,12 @@ impl Client {
         Self {
             inner: LineClient::connect(addr).expect("connect"),
         }
+    }
+
+    fn connect_with(addr: SocketAddr, transport: Transport) -> Self {
+        let mut client = Self::connect(addr);
+        client.inner.negotiate(transport).expect("negotiate");
+        client
     }
 
     /// One request/response round trip; returns (raw response, seconds).
@@ -109,6 +139,25 @@ struct Scenario<'a> {
     observe_through: u32,
 }
 
+impl Scenario<'_> {
+    fn ingest_item(&self, cascade: &str, hour0: usize) -> String {
+        let votes = &self.votes_by_hour[hour0];
+        let body: Vec<String> = votes
+            .iter()
+            .map(|&(ts, voter)| format!("[{ts},{voter}]"))
+            .collect();
+        format!(
+            r#"{{"type":"ingest","cascade":"{cascade}","votes":[{}],"now":{}}}"#,
+            body.join(","),
+            self.submit + (hour0 as u64 + 1) * 3600,
+        )
+    }
+
+    fn forecast_item(&self, cascade: &str, hour: u32) -> String {
+        format!(r#"{{"type":"forecast","cascade":"{cascade}","hours":[{hour}]}}"#)
+    }
+}
+
 /// What one client measured.
 struct ClientRun {
     ingest_latencies: Vec<f64>,
@@ -119,11 +168,14 @@ struct ClientRun {
     /// The serialized `models` section of the shared gate forecast.
     gate_models: String,
     ok_responses: usize,
+    /// Logical requests (batch sub-requests counted individually).
     requests: usize,
+    /// Wire round trips (a batch line counts once).
+    wire_lines: usize,
 }
 
-fn drive_client(addr: SocketAddr, id: usize, scenario: &Scenario) -> ClientRun {
-    let mut client = Client::connect(addr);
+fn drive_client(addr: SocketAddr, id: usize, scenario: &Scenario, opts: LoadOpts) -> ClientRun {
+    let mut client = Client::connect_with(addr, opts.transport);
     let cascade = format!("c{id}");
     let mut run = ClientRun {
         ingest_latencies: Vec::new(),
@@ -132,17 +184,47 @@ fn drive_client(addr: SocketAddr, id: usize, scenario: &Scenario) -> ClientRun {
         gate_models: String::new(),
         ok_responses: 0,
         requests: 0,
+        wire_lines: 0,
     };
-    let check = |run: &mut ClientRun, raw: String| {
+    let check_one = |run: &mut ClientRun, value: &Json, raw: &str| {
         run.requests += 1;
-        let ok = Json::parse(&raw)
-            .ok()
-            .and_then(|v| v.get("ok").and_then(Json::as_bool))
-            == Some(true);
-        if ok {
+        if value.get("ok").and_then(Json::as_bool) == Some(true) {
             run.ok_responses += 1;
         } else {
             eprintln!("client {id}: NOT OK: {raw}");
+        }
+    };
+    let check = |run: &mut ClientRun, raw: String| {
+        run.wire_lines += 1;
+        match Json::parse(&raw) {
+            Ok(value) => check_one(run, &value, &raw),
+            Err(_) => {
+                run.requests += 1;
+                eprintln!("client {id}: UNPARSEABLE: {raw}");
+            }
+        }
+        run.responses.push(raw);
+    };
+    // A batch line answers once; its sub-responses are unwrapped and
+    // each counted as one logical request.
+    let check_batch = |run: &mut ClientRun, raw: String, expected: usize| {
+        run.wire_lines += 1;
+        let parsed = Json::parse(&raw).ok();
+        let results = parsed
+            .as_ref()
+            .filter(|v| v.get("ok").and_then(Json::as_bool) == Some(true))
+            .and_then(|v| v.get("results"))
+            .and_then(Json::as_array);
+        match results {
+            Some(results) if results.len() == expected => {
+                for item in results {
+                    check_one(run, item, &raw);
+                }
+            }
+            _ => {
+                run.requests += expected;
+                eprintln!("client {id}: BAD BATCH RESPONSE: {raw}");
+            }
         }
         run.responses.push(raw);
     };
@@ -155,32 +237,47 @@ fn drive_client(addr: SocketAddr, id: usize, scenario: &Scenario) -> ClientRun {
     ));
     check(&mut run, raw);
 
-    for (hour0, votes) in scenario.votes_by_hour.iter().enumerate() {
-        let hour = hour0 as u32 + 1;
-        let body: Vec<String> = votes
-            .iter()
-            .map(|&(ts, voter)| format!("[{ts},{voter}]"))
-            .collect();
-        let (raw, secs) = client.round_trip(&format!(
-            r#"{{"type":"ingest","cascade":"{cascade}","votes":[{}],"now":{}}}"#,
-            body.join(","),
-            scenario.submit + u64::from(hour) * 3600,
-        ));
-        check(&mut run, raw);
-        run.ingest_latencies.push(secs);
+    if opts.batch <= 1 {
+        for hour0 in 0..scenario.votes_by_hour.len() {
+            let hour = hour0 as u32 + 1;
+            let (raw, secs) = client.round_trip(&scenario.ingest_item(&cascade, hour0));
+            check(&mut run, raw);
+            run.ingest_latencies.push(secs);
 
-        // Forecast the next hour from everything observed so far — the
-        // online serving pattern (observations grow, horizon slides).
-        let (raw, secs) = client.round_trip(&format!(
-            r#"{{"type":"forecast","cascade":"{cascade}","hours":[{}]}}"#,
-            hour + 1
-        ));
-        check(&mut run, raw);
-        run.forecast_latencies.push(secs);
+            // Forecast the next hour from everything observed so far —
+            // the online serving pattern (observations grow, horizon
+            // slides).
+            let (raw, secs) = client.round_trip(&scenario.forecast_item(&cascade, hour + 1));
+            check(&mut run, raw);
+            run.forecast_latencies.push(secs);
+        }
+    } else {
+        // Same logical request sequence — ingest hour h, forecast hour
+        // h+1, in order — but `batch` hour-steps ride one wire line.
+        let hours: Vec<usize> = (0..scenario.votes_by_hour.len()).collect();
+        for chunk in hours.chunks(opts.batch) {
+            let items: Vec<String> = chunk
+                .iter()
+                .flat_map(|&hour0| {
+                    [
+                        scenario.ingest_item(&cascade, hour0),
+                        scenario.forecast_item(&cascade, hour0 as u32 + 2),
+                    ]
+                })
+                .collect();
+            let (raw, secs) = client.round_trip(&format!(
+                r#"{{"type":"batch","requests":[{}]}}"#,
+                items.join(",")
+            ));
+            check_batch(&mut run, raw, items.len());
+            run.ingest_latencies.push(secs);
+        }
     }
 
     // The shared determinism gate: identical observation, identical
     // request, so the model section must be byte-identical everywhere.
+    // Always a single line (never batched), so the gate isolates the
+    // forecast path from the batching machinery.
     let gate_list: Vec<String> = scenario
         .gate_hours
         .iter()
@@ -203,11 +300,16 @@ fn drive_client(addr: SocketAddr, id: usize, scenario: &Scenario) -> ClientRun {
 
 /// Replays the scenario from `clients` concurrent connections against
 /// one address. Returns the per-client measurements and the wall time.
-fn replay(addr: SocketAddr, clients: usize, scenario: &Scenario) -> (Vec<ClientRun>, f64) {
+fn replay(
+    addr: SocketAddr,
+    clients: usize,
+    scenario: &Scenario,
+    opts: LoadOpts,
+) -> (Vec<ClientRun>, f64) {
     let wall = Instant::now();
     let runs: Vec<ClientRun> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
-            .map(|id| scope.spawn(move || drive_client(addr, id, scenario)))
+            .map(|id| scope.spawn(move || drive_client(addr, id, scenario, opts)))
             .collect();
         handles
             .into_iter()
@@ -250,23 +352,58 @@ fn print_latencies(ingest: &[f64], forecast: &[f64]) {
     }
 }
 
-fn bench_out(default_name: &str) -> String {
-    std::env::var("DLM_BENCH_OUT")
-        .unwrap_or_else(|_| format!("{}/../../{default_name}", env!("CARGO_MANIFEST_DIR"),))
+fn front_name(front: FrontEnd) -> &'static str {
+    match front {
+        FrontEnd::Reactor { .. } => "reactor",
+        FrontEnd::ThreadPerConnection => "legacy",
+    }
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let router_mode = std::env::args().any(|a| a == "--router");
-    let kill_one = std::env::args().any(|a| a == "--kill-one");
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let value_of = |name: &str| {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let smoke = flag("--smoke");
+    let router_mode = flag("--router");
+    let kill_one = flag("--kill-one");
+    let compare_fronts = flag("--compare-fronts");
+    let legacy = flag("--legacy");
+    let transport = match value_of("--transport").map(String::as_str) {
+        Some("binary") => Transport::Binary,
+        Some("lines") | None => Transport::Lines,
+        Some(other) => {
+            eprintln!("unknown transport `{other}` (lines|binary)");
+            std::process::exit(2);
+        }
+    };
+    let batch: usize = value_of("--batch").map_or(1, |v| {
+        v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+            eprintln!("--batch takes a positive integer");
+            std::process::exit(2);
+        })
+    });
     assert!(
         router_mode || !kill_one,
         "--kill-one requires --router (there is nothing to fail over to)"
     );
+    assert!(
+        !(router_mode && compare_fronts),
+        "--compare-fronts is a single-server mode"
+    );
     let (scale, clients, horizon) = if smoke {
         (0.06, 4, 5u32)
     } else {
-        (0.15, 8, 8u32)
+        // Full mode sizes the client herd to the machine so throughput
+        // numbers are comparable across runners (recorded alongside
+        // `hardware_threads` in the artifact).
+        (0.15, artifact::hardware_threads().clamp(8, 16), 8u32)
     };
     let observe_through = 2u32;
     assert!(
@@ -308,33 +445,102 @@ fn main() {
     };
     eprintln!("replaying {replayed} votes over {horizon} hours from {clients} concurrent clients");
 
+    let opts = LoadOpts { transport, batch };
     if router_mode {
-        run_router_load(&world, &scenario, clients, replayed, smoke, kill_one);
+        run_router_load(&world, &scenario, clients, replayed, smoke, kill_one, opts);
+    } else if compare_fronts {
+        run_compare_fronts(&world, &story, &scenario, clients, replayed, smoke, opts);
     } else {
-        run_single_load(&world, &story, &scenario, clients, replayed, smoke);
+        let front = if legacy {
+            FrontEnd::ThreadPerConnection
+        } else {
+            FrontEnd::default()
+        };
+        run_single_load(
+            &world, &story, &scenario, clients, replayed, smoke, front, opts,
+        );
     }
 }
 
-/// Single-server mode: protocol + cross-client + served-vs-offline
-/// gates, `BENCH_serve.json`.
-fn run_single_load(
+/// One measured single-server configuration, ready to serialize as an
+/// entry of the serve artifact's `runs` array.
+struct RunResult {
+    label: String,
+    front: &'static str,
+    opts: LoadOpts,
+    requests: usize,
+    wire_lines: usize,
+    wall_secs: f64,
+    throughput: f64,
+    ingest: Vec<f64>,
+    forecast: Vec<f64>,
+    cache: (u64, u64, u64),
+    protocol_ok: bool,
+    identical: bool,
+}
+
+impl RunResult {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"label\": \"{label}\", \"front\": \"{front}\", \"transport\": \"{transport}\", \
+             \"batch\": {batch}, \"requests\": {requests}, \"wire_lines\": {wire}, \
+             \"wall_seconds\": {wall:.3}, \"throughput_rps\": {rps:.2}, \
+             \"ingest_latency\": {ingest}, \"forecast_latency\": {forecast}, \
+             \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}}}, \
+             \"protocol_ok\": {protocol_ok}, \"outputs_identical\": {identical}}}",
+            label = self.label,
+            front = self.front,
+            transport = self.opts.transport.wire_name(),
+            batch = self.opts.batch,
+            requests = self.requests,
+            wire = self.wire_lines,
+            wall = self.wall_secs,
+            rps = self.throughput,
+            ingest = stats_json(&self.ingest),
+            forecast = stats_json(&self.forecast),
+            hits = self.cache.0,
+            misses = self.cache.1,
+            evictions = self.cache.2,
+            protocol_ok = self.protocol_ok,
+            identical = self.identical,
+        )
+    }
+
+    fn gates_pass(&self) -> bool {
+        self.protocol_ok && self.identical
+    }
+}
+
+/// Binds a fresh server on `front`, replays the scenario, and runs the
+/// protocol + cross-client + served-vs-offline gates.
+#[allow(clippy::too_many_arguments)]
+fn run_one(
     world: &SyntheticWorld,
     story: &dlm_data::Cascade,
     scenario: &Scenario,
     clients: usize,
-    replayed: usize,
-    smoke: bool,
-) {
+    front: FrontEnd,
+    label: &str,
+    opts: LoadOpts,
+) -> RunResult {
     let state = ServerState::with_world(serve_config(), world.clone()).expect("server state");
-    let mut server = DlmServer::bind("127.0.0.1:0", state).expect("bind");
-    let (runs, wall_secs) = replay(server.local_addr(), clients, scenario);
+    let mut server = DlmServer::bind_with("127.0.0.1:0", Arc::new(state), front).expect("bind");
+    eprintln!(
+        "[{label}] {front} front, {transport} transport, batch {batch} on {addr}",
+        front = front_name(front),
+        transport = opts.transport.wire_name(),
+        batch = opts.batch,
+        addr = server.local_addr(),
+    );
+    let (runs, wall_secs) = replay(server.local_addr(), clients, scenario, opts);
 
     // Protocol gate.
     let requests: usize = runs.iter().map(|r| r.requests).sum();
+    let wire_lines: usize = runs.iter().map(|r| r.wire_lines).sum();
     let ok_responses: usize = runs.iter().map(|r| r.ok_responses).sum();
     let protocol_ok = requests == ok_responses;
     if !protocol_ok {
-        eprintln!("PROTOCOL GATE FAILED: {ok_responses}/{requests} responses ok");
+        eprintln!("[{label}] PROTOCOL GATE FAILED: {ok_responses}/{requests} responses ok");
     }
 
     // Cross-client determinism gate.
@@ -343,16 +549,17 @@ fn run_single_load(
         .all(|pair| pair[0].gate_models == pair[1].gate_models)
         && !runs[0].gate_models.is_empty();
     if !identical {
-        eprintln!("DETERMINISM GATE FAILED: gate forecasts differ across clients");
+        eprintln!("[{label}] DETERMINISM GATE FAILED: gate forecasts differ across clients");
     }
 
     // Offline bit-identity gate: the served gate forecast must equal a
     // batch fit+predict on the same observation window.
-    let batch =
+    let batch_matrix =
         hop_density_matrix(world.graph(), story, MAX_HOPS, scenario.horizon).expect("batch matrix");
     let observed_hours: Vec<u32> = (1..=scenario.observe_through).collect();
-    let observation = Observation::from_matrix(&batch, &observed_hours).expect("observation");
-    let distances: Vec<u32> = (1..=batch.max_distance()).collect();
+    let observation =
+        Observation::from_matrix(&batch_matrix, &observed_hours).expect("observation");
+    let distances: Vec<u32> = (1..=batch_matrix.max_distance()).collect();
     let request =
         PredictionRequest::new(distances.clone(), scenario.gate_hours.to_vec()).expect("request");
     let registry = ModelRegistry::with_builtins();
@@ -376,7 +583,7 @@ fn run_single_load(
                 let offline_bits = Some(prediction.at(d, h).expect("cell").to_bits());
                 if served_bits != offline_bits {
                     eprintln!(
-                        "DETERMINISM GATE FAILED: {spec} I({d},{h}) served {served_bits:?} != offline {offline_bits:?}"
+                        "[{label}] DETERMINISM GATE FAILED: {spec} I({d},{h}) served {served_bits:?} != offline {offline_bits:?}"
                     );
                     identical = false;
                 }
@@ -395,31 +602,184 @@ fn run_single_load(
     let throughput = requests as f64 / wall_secs.max(1e-9);
     let state = server.state();
     let cache = state.cache().stats();
-    let json = format!(
-        "{{\n  \"schema\": \"dlm-bench/serve/v1\",\n  \"mode\": \"{mode}\",\n  \
-         \"clients\": {clients},\n  \"hours_streamed\": {horizon},\n  \
-         \"votes_replayed_per_client\": {replayed},\n  \"requests\": {requests},\n  \
-         \"wall_seconds\": {wall_secs:.3},\n  \"throughput_rps\": {throughput:.2},\n  \
-         \"ingest_latency\": {ingest},\n  \"forecast_latency\": {forecast},\n  \
-         \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}}},\n  \
-         \"protocol_ok\": {protocol_ok},\n  \"outputs_identical\": {identical}\n}}\n",
-        mode = if smoke { "smoke" } else { "full" },
-        horizon = scenario.horizon,
-        ingest = stats_json(&ingest),
-        forecast = stats_json(&forecast),
-        hits = cache.hits,
-        misses = cache.misses,
-        evictions = cache.evictions,
-    );
-    let out = bench_out("BENCH_serve.json");
-    std::fs::write(&out, &json).expect("write bench json");
-
     print_latencies(&ingest, &forecast);
     eprintln!(
-        "{requests} requests over {clients} connections in {wall_secs:.2}s -> {throughput:.1} req/s -> {out}"
+        "[{label}] {requests} requests ({wire_lines} wire lines) over {clients} connections \
+         in {wall_secs:.2}s -> {throughput:.1} req/s"
     );
     server.shutdown();
-    if !(protocol_ok && identical) {
+    RunResult {
+        label: label.to_owned(),
+        front: front_name(front),
+        opts,
+        requests,
+        wire_lines,
+        wall_secs,
+        throughput,
+        ingest,
+        forecast,
+        cache: (cache.hits, cache.misses, cache.evictions),
+        protocol_ok,
+        identical,
+    }
+}
+
+fn write_serve_artifact(
+    runs: &[RunResult],
+    scenario: &Scenario,
+    clients: usize,
+    replayed: usize,
+    smoke: bool,
+    reactor_speedup: Option<f64>,
+) {
+    let entries: Vec<String> = runs.iter().map(RunResult::to_json).collect();
+    let json = format!(
+        "{{\n  \"schema\": \"{schema}\",\n  \"mode\": \"{mode}\",\n  \
+         \"hardware_threads\": {threads},\n  \"clients\": {clients},\n  \
+         \"hours_streamed\": {horizon},\n  \"votes_replayed_per_client\": {replayed},\n  \
+         \"runs\": [\n    {entries}\n  ],\n  \"reactor_speedup\": {speedup}\n}}\n",
+        schema = artifact::SERVE_SCHEMA,
+        mode = if smoke { "smoke" } else { "full" },
+        threads = artifact::hardware_threads(),
+        horizon = scenario.horizon,
+        entries = entries.join(",\n    "),
+        speedup = reactor_speedup.map_or("null".into(), |s| format!("{s:.3}")),
+    );
+    let out = artifact::bench_out("BENCH_serve.json");
+    artifact::write(&out, &json).expect("valid serve artifact");
+    eprintln!("wrote {out}");
+}
+
+/// Single-server mode: one configuration, one `runs` entry.
+#[allow(clippy::too_many_arguments)]
+fn run_single_load(
+    world: &SyntheticWorld,
+    story: &dlm_data::Cascade,
+    scenario: &Scenario,
+    clients: usize,
+    replayed: usize,
+    smoke: bool,
+    front: FrontEnd,
+    opts: LoadOpts,
+) {
+    let run = run_one(
+        world,
+        story,
+        scenario,
+        clients,
+        front,
+        front_name(front),
+        opts,
+    );
+    let ok = run.gates_pass();
+    write_serve_artifact(&[run], scenario, clients, replayed, smoke, None);
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// `--compare-fronts`: the legacy thread-per-connection front on plain
+/// JSON lines vs the reactor on the negotiated binary framing with
+/// batched ingest, same machine, same scenario, one artifact. Fails if
+/// the reactor is slower than the legacy front. The markdown table goes
+/// to stdout so CI can append it to `$GITHUB_STEP_SUMMARY`.
+fn run_compare_fronts(
+    world: &SyntheticWorld,
+    story: &dlm_data::Cascade,
+    scenario: &Scenario,
+    clients: usize,
+    replayed: usize,
+    smoke: bool,
+    opts: LoadOpts,
+) {
+    let legacy_opts = LoadOpts {
+        transport: Transport::Lines,
+        batch: 1,
+    };
+    // The reactor leg defaults to the full wire upgrade (binary framing,
+    // batched hour-steps) unless the flags chose otherwise.
+    let reactor_opts = LoadOpts {
+        transport: if opts.transport == Transport::Lines && opts.batch == 1 {
+            Transport::Binary
+        } else {
+            opts.transport
+        },
+        batch: if opts.transport == Transport::Lines && opts.batch == 1 {
+            4
+        } else {
+            opts.batch
+        },
+    };
+    let legacy = run_one(
+        world,
+        story,
+        scenario,
+        clients,
+        FrontEnd::ThreadPerConnection,
+        "legacy",
+        legacy_opts,
+    );
+    let reactor = run_one(
+        world,
+        story,
+        scenario,
+        clients,
+        FrontEnd::default(),
+        "reactor",
+        reactor_opts,
+    );
+    let speedup = reactor.throughput / legacy.throughput.max(1e-9);
+    let regressed = reactor.throughput < legacy.throughput;
+    let gates_ok = legacy.gates_pass() && reactor.gates_pass();
+
+    // Markdown for $GITHUB_STEP_SUMMARY (stdout; diagnostics go to
+    // stderr throughout).
+    println!("## serve_load front-end comparison\n");
+    println!(
+        "{} hardware threads, {clients} clients, {replayed} votes over {} hours ({})\n",
+        artifact::hardware_threads(),
+        scenario.horizon,
+        if smoke { "smoke" } else { "full" },
+    );
+    println!(
+        "| run | front | transport | batch | requests | wire lines | wall s | req/s | ingest p50 ms | forecast p50 ms |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    for run in [&legacy, &reactor] {
+        let p50 = |samples: &[f64]| {
+            SampleStats::from_samples(samples).map_or("-".into(), |s| format!("{:.2}", s.p50 * 1e3))
+        };
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {:.2} | {:.1} | {} | {} |",
+            run.label,
+            run.front,
+            run.opts.transport.wire_name(),
+            run.opts.batch,
+            run.requests,
+            run.wire_lines,
+            run.wall_secs,
+            run.throughput,
+            p50(&run.ingest),
+            p50(&run.forecast),
+        );
+    }
+    println!("\nreactor speedup: **{speedup:.2}x** (gate: reactor must not be slower)");
+
+    if regressed {
+        eprintln!(
+            "FRONT-END GATE FAILED: reactor {:.1} req/s < legacy {:.1} req/s",
+            reactor.throughput, legacy.throughput
+        );
+    }
+    write_serve_artifact(
+        &[legacy, reactor],
+        scenario,
+        clients,
+        replayed,
+        smoke,
+        Some(speedup),
+    );
+    if !gates_ok || regressed {
         std::process::exit(1);
     }
 }
@@ -428,6 +788,7 @@ fn run_single_load(
 /// two backends (three with `--kill-one`, which then drains one node,
 /// kills another, and re-probes every client), byte-compared against a
 /// direct single-server replay. Writes `BENCH_router.json`.
+#[allow(clippy::too_many_arguments)]
 fn run_router_load(
     world: &SyntheticWorld,
     scenario: &Scenario,
@@ -435,13 +796,14 @@ fn run_router_load(
     replayed: usize,
     smoke: bool,
     kill_one: bool,
+    opts: LoadOpts,
 ) {
     // The elasticity drill needs a third node (one to drain, one to
     // kill, one survivor) and a second copy of every cascade so the
     // kill loses nothing.
     let backend_count = if kill_one { 3 } else { ROUTER_BACKENDS };
     let data_replicas = if kill_one { 2 } else { 1 };
-    let mut backends: Vec<DlmServer> = (0..backend_count)
+    let mut backends: Vec<DlmServer<ServerState>> = (0..backend_count)
         .map(|_| {
             let state =
                 ServerState::with_world(serve_config(), world.clone()).expect("backend state");
@@ -454,6 +816,10 @@ fn run_router_load(
         .collect();
     let router = RouterState::new(RouterConfig {
         data_replicas,
+        // The router's backend pools speak the same framing the clients
+        // chose, so a binary run exercises the negotiated transport on
+        // both tiers.
+        backend_transport: opts.transport,
         ..RouterConfig::new(backend_addrs.clone())
     })
     .expect("router state");
@@ -462,9 +828,10 @@ fn run_router_load(
         .collect();
     let front = DlmServer::bind("127.0.0.1:0", router).expect("bind router");
     eprintln!(
-        "router on {} over {backend_count} backends (data replicas {data_replicas}); \
-         client shards {shards:?}",
-        front.local_addr()
+        "router on {} over {backend_count} backends (data replicas {data_replicas}, \
+         backend transport {transport}); client shards {shards:?}",
+        front.local_addr(),
+        transport = opts.transport.wire_name(),
     );
 
     let direct_state =
@@ -473,8 +840,8 @@ fn run_router_load(
 
     // The measured run goes through the router; the mirror run replays
     // the identical request streams against one direct server.
-    let (routed_runs, wall_secs) = replay(front.local_addr(), clients, scenario);
-    let (direct_runs, _) = replay(direct.local_addr(), clients, scenario);
+    let (routed_runs, wall_secs) = replay(front.local_addr(), clients, scenario, opts);
+    let (direct_runs, _) = replay(direct.local_addr(), clients, scenario, opts);
 
     // Protocol gate (routed run).
     let requests: usize = routed_runs.iter().map(|r| r.requests).sum();
@@ -669,9 +1036,10 @@ fn run_router_load(
         .collect();
     let throughput = requests as f64 / wall_secs.max(1e-9);
     let json = format!(
-        "{{\n  \"schema\": \"dlm-bench/router/v2\",\n  \"mode\": \"{mode}\",\n  \
+        "{{\n  \"schema\": \"{schema}\",\n  \"mode\": \"{mode}\",\n  \
          \"backends\": {backend_count},\n  \"clients\": {clients},\n  \
          \"data_replicas\": {data_replicas},\n  \
+         \"hardware_threads\": {threads},\n  \"transport\": \"{transport}\",\n  \
          \"hours_streamed\": {horizon},\n  \"votes_replayed_per_client\": {replayed},\n  \
          \"requests\": {requests},\n  \"wall_seconds\": {wall_secs:.3},\n  \
          \"throughput_rps\": {throughput:.2},\n  \"ingest_latency\": {ingest},\n  \
@@ -680,7 +1048,10 @@ fn run_router_load(
          \"remap_fraction\": {remap:.6},\n  \"handoff_ms\": {handoff_ms_json},\n  \
          \"lost_responses\": {lost_responses},\n  \
          \"protocol_ok\": {protocol_ok},\n  \"routed_identical\": {identical}\n}}\n",
+        schema = artifact::ROUTER_SCHEMA,
         mode = if smoke { "smoke" } else { "full" },
+        threads = artifact::hardware_threads(),
+        transport = opts.transport.wire_name(),
         horizon = scenario.horizon,
         ingest = stats_json(&ingest),
         forecast = stats_json(&forecast),
@@ -688,8 +1059,8 @@ fn run_router_load(
         misses = nested("cache", "misses"),
         evictions = nested("cache", "evictions"),
     );
-    let out = bench_out("BENCH_router.json");
-    std::fs::write(&out, &json).expect("write bench json");
+    let out = artifact::bench_out("BENCH_router.json");
+    artifact::write(&out, &json).expect("valid router artifact");
 
     print_latencies(&ingest, &forecast);
     eprintln!(

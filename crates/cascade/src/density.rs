@@ -34,6 +34,19 @@ impl DensityMatrix {
     ///   mismatched `group_sizes` length.
     /// * [`CascadeError::EmptyGroup`] — a group with zero users.
     pub fn from_counts(influenced: &[Vec<usize>], group_sizes: &[usize]) -> Result<Self> {
+        let rows: Vec<&[usize]> = influenced.iter().map(Vec::as_slice).collect();
+        Self::from_cumulative_rows(&rows, group_sizes)
+    }
+
+    /// Like [`DensityMatrix::from_counts`], but over borrowed rows, so a
+    /// caller holding long-lived cumulative counters (the live serving
+    /// path) can build a matrix from row prefixes without first copying
+    /// them into owned `Vec`s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DensityMatrix::from_counts`].
+    pub fn from_cumulative_rows(influenced: &[&[usize]], group_sizes: &[usize]) -> Result<Self> {
         if influenced.is_empty() || influenced[0].is_empty() {
             return Err(CascadeError::InvalidParameter {
                 name: "influenced",

@@ -5,6 +5,7 @@
 //! dlm-router --backend 127.0.0.1:7878 --backend 127.0.0.1:7879
 //!            [--addr 127.0.0.1:7900] [--replicas 64] [--replicas-data 1]
 //!            [--workers N] [--connect-timeout-ms 2000]
+//!            [--backend-transport lines|binary]
 //! ```
 //!
 //! Prints one `READY {"addr":...,"backends":N}` line once the socket is
@@ -15,13 +16,13 @@
 
 use dlm_core::evaluate::Parallelism;
 use dlm_router::{RouterConfig, RouterState};
-use dlm_serve::DlmServer;
+use dlm_serve::{DlmServer, Transport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: dlm-router --backend HOST:PORT [--backend HOST:PORT ...] \
          [--addr HOST:PORT] [--replicas N] [--replicas-data N] [--workers N] \
-         [--connect-timeout-ms MS]"
+         [--connect-timeout-ms MS] [--backend-transport lines|binary]"
     );
     std::process::exit(2);
 }
@@ -33,6 +34,7 @@ fn main() {
     let mut data_replicas = 1usize;
     let mut parallelism = Parallelism::Auto;
     let mut connect_timeout = RouterConfig::DEFAULT_CONNECT_TIMEOUT;
+    let mut backend_transport = Transport::Lines;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -72,6 +74,16 @@ fn main() {
                     .unwrap_or_else(|| usage());
                 connect_timeout = std::time::Duration::from_millis(ms);
             }
+            "--backend-transport" => {
+                // Framing negotiated on every backend connection; the
+                // client-facing socket always starts in JSON lines
+                // (clients negotiate their own framing per connection).
+                backend_transport = match value("--backend-transport").as_str() {
+                    "lines" => Transport::Lines,
+                    "binary" => Transport::Binary,
+                    _ => usage(),
+                };
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -89,6 +101,7 @@ fn main() {
         data_replicas,
         parallelism,
         connect_timeout,
+        backend_transport,
         ..RouterConfig::new(backends)
     }) {
         Ok(state) => state,

@@ -92,8 +92,8 @@ use dlm_cluster::Membership;
 use dlm_core::cache::CacheStats;
 use dlm_core::evaluate::Parallelism;
 use dlm_numerics::pool::parallel_map;
-use dlm_serve::protocol::error_response;
-use dlm_serve::{Json, LineClient, LineService, Request, Result, ServeError};
+use dlm_serve::protocol::{batch_response, error_response};
+use dlm_serve::{Json, LineClient, LineService, Request, Result, ServeError, Transport};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -123,6 +123,11 @@ pub struct RouterConfig {
     /// instead of pinning a router handler thread for the OS connect
     /// timeout. See `docs/PROTOCOL.md` §5.
     pub connect_timeout: Duration,
+    /// Framing negotiated on every backend connection
+    /// (`docs/PROTOCOL.md` §2-bis). Responses are byte-identical either
+    /// way — the binary framing only changes how the same lines ride
+    /// the socket — so relayed responses stay exact under both.
+    pub backend_transport: Transport,
 }
 
 impl RouterConfig {
@@ -139,6 +144,7 @@ impl RouterConfig {
             parallelism: Parallelism::Auto,
             max_idle_per_backend: 8,
             connect_timeout: Self::DEFAULT_CONNECT_TIMEOUT,
+            backend_transport: Transport::Lines,
         }
     }
 }
@@ -152,6 +158,9 @@ struct Backend {
     max_idle: usize,
     /// Bound on fresh dials (see [`RouterConfig::connect_timeout`]).
     connect_timeout: Duration,
+    /// Framing negotiated on every fresh dial (pooled connections have
+    /// already negotiated it).
+    transport: Transport,
     /// Requests routed to this backend (including retries' successes).
     routed: AtomicU64,
     /// Requests that failed against this backend after any retry.
@@ -159,12 +168,13 @@ struct Backend {
 }
 
 impl Backend {
-    fn new(addr: String, max_idle: usize, connect_timeout: Duration) -> Self {
+    fn new(addr: String, max_idle: usize, connect_timeout: Duration, transport: Transport) -> Self {
         Self {
             addr,
             idle: Mutex::new(Vec::new()),
             max_idle,
             connect_timeout,
+            transport,
             routed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         }
@@ -222,6 +232,7 @@ impl Backend {
         }
         let fresh = || -> dlm_serve::Result<(LineClient, String)> {
             let mut client = LineClient::connect_timeout(self.addr.as_str(), self.connect_timeout)?;
+            client.negotiate(self.transport)?;
             let response = client.send_raw(line)?;
             Ok((client, response))
         };
@@ -263,6 +274,7 @@ impl Topology {
         reuse: &[Arc<Backend>],
         max_idle: usize,
         connect_timeout: Duration,
+        transport: Transport,
     ) -> Result<Self> {
         let labels = membership.active_labels();
         let ring = HashRing::new(&labels, ring_replicas)?;
@@ -274,7 +286,12 @@ impl Topology {
                     .find(|b| &b.addr == addr)
                     .map(Arc::clone)
                     .unwrap_or_else(|| {
-                        Arc::new(Backend::new(addr.clone(), max_idle, connect_timeout))
+                        Arc::new(Backend::new(
+                            addr.clone(),
+                            max_idle,
+                            connect_timeout,
+                            transport,
+                        ))
                     })
             })
             .collect();
@@ -315,6 +332,7 @@ pub struct RouterState {
     ring_replicas: usize,
     max_idle: usize,
     connect_timeout: Duration,
+    backend_transport: Transport,
     parallelism: Parallelism,
     requests: AtomicU64,
 }
@@ -343,6 +361,7 @@ impl RouterState {
             &[],
             config.max_idle_per_backend,
             config.connect_timeout,
+            config.backend_transport,
         )?;
         Ok(Self {
             topology: RwLock::new(topology),
@@ -350,6 +369,7 @@ impl RouterState {
             ring_replicas: config.replicas,
             max_idle: config.max_idle_per_backend,
             connect_timeout: config.connect_timeout,
+            backend_transport: config.backend_transport,
             parallelism: config.parallelism,
             requests: AtomicU64::new(0),
         })
@@ -440,9 +460,67 @@ impl RouterState {
                     Ok(route_write(&owners, line))
                 }
             }
+            // A batch is unpacked at the tier: each item routes to its
+            // own shard(s) independently, and the serialized
+            // sub-responses are spliced back through the same
+            // [`batch_response`] wrapper the serving core uses — which
+            // is what keeps a routed batch byte-identical to a direct
+            // one even when its items land on different backends.
+            "batch" => {
+                let requests = value
+                    .get("requests")
+                    .ok_or_else(|| ServeError::Protocol("missing field `requests`".into()))?
+                    .as_array()
+                    .ok_or_else(|| ServeError::Protocol("`requests` must be an array".into()))?;
+                if requests.is_empty() {
+                    return Err(ServeError::Protocol(
+                        "`requests` must hold at least one request".into(),
+                    ));
+                }
+                let results: Vec<String> = requests
+                    .iter()
+                    .map(|item| self.route_batch_item(item))
+                    .collect();
+                Ok(Routed::Relayed(batch_response(&results)))
+            }
             other => Err(ServeError::Protocol(format!(
                 "unknown request type `{other}`"
             ))),
+        }
+    }
+
+    /// Routes one batch item and serializes its response. Mirrors the
+    /// serving core's per-item contract exactly: items are parsed
+    /// independently, only the cascade-scoped data verbs are allowed
+    /// (same error text as `ServerState`), and a failed item errors in
+    /// place without poisoning its neighbors.
+    fn route_batch_item(&self, item: &Json) -> String {
+        let routed = Request::from_value(item).and_then(|request| {
+            let (cascade, read) = match &request {
+                Request::Open { cascade, .. } | Request::Ingest { cascade, .. } => {
+                    (cascade.clone(), false)
+                }
+                Request::Forecast { cascade, .. } | Request::Snapshot { cascade } => {
+                    (cascade.clone(), true)
+                }
+                _ => {
+                    return Err(ServeError::Protocol(
+                        "batch items must be open/ingest/forecast/snapshot".into(),
+                    ))
+                }
+            };
+            let owners = self.topology().owners_of(&cascade, self.data_replicas);
+            let line = item.to_string();
+            Ok(if read {
+                route_read(&owners, &line)
+            } else {
+                route_write(&owners, &line)
+            })
+        });
+        match routed {
+            Ok(Routed::Relayed(raw)) => raw,
+            Ok(Routed::Synthesized(value)) => value.to_string(),
+            Err(e) => error_response(&e.to_string()).to_string(),
         }
     }
 
@@ -477,6 +555,7 @@ impl RouterState {
             &topology.backends,
             self.max_idle,
             self.connect_timeout,
+            self.backend_transport,
         )?;
         let plan = migrate_cascades(&topology, &next, self.data_replicas);
         let mut report = plan.report;

@@ -5,7 +5,7 @@
 //! dlm-serve [--addr 127.0.0.1:7878] [--scale 0.15] [--capacity 1024]
 //!           [--cascades 4096] [--cascade-ttl SECS] [--workers N]
 //!           [--no-prewarm] [--quick-lineup] [--starts N]
-//!           [--snapshot-dir DIR]
+//!           [--snapshot-dir DIR] [--front reactor|legacy] [--io-threads N]
 //! ```
 //!
 //! Prints one `READY {"addr":...}` line once the socket is bound (the
@@ -14,13 +14,13 @@
 use dlm_core::evaluate::Parallelism;
 use dlm_core::registry::ModelSpec;
 use dlm_data::{SyntheticWorld, WorldConfig};
-use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
+use dlm_serve::server::{DlmServer, FrontEnd, ServeConfig, ServerState};
 
 fn usage() -> ! {
     eprintln!(
         "usage: dlm-serve [--addr HOST:PORT] [--scale F] [--capacity N] [--cascades N] \
          [--cascade-ttl SECS] [--workers N] [--no-prewarm] [--quick-lineup] [--starts N] \
-         [--snapshot-dir DIR]"
+         [--snapshot-dir DIR] [--front reactor|legacy] [--io-threads N]"
     );
     std::process::exit(2);
 }
@@ -29,6 +29,8 @@ fn main() {
     let mut addr = "127.0.0.1:7878".to_owned();
     let mut scale = 0.15f64;
     let mut starts = 1usize;
+    let mut io_threads = 0usize;
+    let mut legacy_front = false;
     let mut config = ServeConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +68,19 @@ fn main() {
             "--starts" => {
                 starts = value("--starts").parse().unwrap_or_else(|_| usage());
             }
+            "--front" => match value("--front").as_str() {
+                // The nonblocking readiness reactor (default) vs the
+                // original thread-per-connection loop, kept for
+                // comparison runs (`serve_load --compare-fronts`).
+                "reactor" => legacy_front = false,
+                "legacy" => legacy_front = true,
+                _ => usage(),
+            },
+            "--io-threads" => {
+                // Reactor I/O worker count; 0 = one per available core
+                // (clamped). Ignored by the legacy front end.
+                io_threads = value("--io-threads").parse().unwrap_or_else(|_| usage());
+            }
             "--quick-lineup" => {
                 // The cheap half of the zoo — for latency-focused runs.
                 config.lineup = vec![
@@ -102,7 +117,13 @@ fn main() {
         SyntheticWorld::generate(WorldConfig::default().scaled(scale)).expect("world generation");
     let state = ServerState::with_world(config, world).expect("server construction");
     let lineup = state.lineup();
-    let server = DlmServer::bind(addr.as_str(), state).expect("bind");
+    let front = if legacy_front {
+        FrontEnd::ThreadPerConnection
+    } else {
+        FrontEnd::Reactor { io_threads }
+    };
+    let server =
+        DlmServer::bind_with(addr.as_str(), std::sync::Arc::new(state), front).expect("bind");
     println!(
         "READY {{\"addr\":\"{}\",\"models\":{}}}",
         server.local_addr(),

@@ -7,6 +7,7 @@
 
 use crate::error::{Result, ServeError};
 use crate::json::Json;
+use crate::wire::{self, Transport};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -31,6 +32,7 @@ use std::time::Duration;
 pub struct LineClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    transport: Transport,
 }
 
 impl LineClient {
@@ -81,7 +83,95 @@ impl LineClient {
     fn from_stream(writer: TcpStream) -> Result<Self> {
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { reader, writer })
+        Ok(Self {
+            reader,
+            writer,
+            transport: Transport::Lines,
+        })
+    }
+
+    /// The framing this connection currently speaks.
+    #[must_use]
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Negotiates the connection onto `transport` with a `hello`
+    /// exchange (`docs/PROTOCOL.md` §2-bis). Requesting the framing
+    /// already in effect is a no-op beyond the handshake line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or [`ServeError::Protocol`] when the server rejects
+    /// or garbles the negotiation — the connection is then left in its
+    /// previous framing.
+    pub fn negotiate(&mut self, transport: Transport) -> Result<()> {
+        if self.transport == transport {
+            return Ok(());
+        }
+        if self.transport == Transport::Binary {
+            return Err(ServeError::Protocol(
+                "a binary connection cannot negotiate back to lines".into(),
+            ));
+        }
+        let response = self.send(&wire::hello_line(transport))?;
+        let confirmed = response.get("ok").and_then(Json::as_bool) == Some(true)
+            && response.get("transport").and_then(Json::as_str) == Some(transport.wire_name());
+        if !confirmed {
+            return Err(ServeError::Protocol(format!(
+                "transport negotiation rejected: {response}"
+            )));
+        }
+        self.transport = transport;
+        Ok(())
+    }
+
+    /// Sends one `ingest` in the connection's cheapest encoding: the
+    /// compact binary payload on a negotiated binary connection, the
+    /// canonical JSON line otherwise. Responses are identical either
+    /// way — the server expands the binary form onto the same handling
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LineClient::send`].
+    pub fn send_ingest(
+        &mut self,
+        cascade: &str,
+        votes: &[(u64, usize)],
+        now: Option<u64>,
+    ) -> Result<Json> {
+        let raw = match self.transport {
+            Transport::Binary => {
+                let payload = wire::encode_ingest_payload(cascade, votes, now);
+                self.round_trip_frame(&payload)?
+            }
+            Transport::Lines => {
+                let line = crate::protocol::Request::Ingest {
+                    cascade: cascade.to_owned(),
+                    votes: votes.to_vec(),
+                    now,
+                }
+                .to_json()
+                .to_string();
+                self.send_raw(&line)?
+            }
+        };
+        Json::parse(&raw).map_err(|e| ServeError::Protocol(format!("bad response `{raw}`: {e}")))
+    }
+
+    /// One framed round trip: request payload out, response text back.
+    fn round_trip_frame(&mut self, payload: &[u8]) -> Result<String> {
+        self.writer.write_all(&wire::encode_frame(payload))?;
+        self.writer.flush()?;
+        let response = wire::read_frame(&mut self.reader)?.ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before a response frame",
+            ))
+        })?;
+        String::from_utf8(response)
+            .map_err(|_| ServeError::Protocol("response frame is not UTF-8".into()))
     }
 
     /// Sends one request line and returns the raw response line
@@ -92,6 +182,11 @@ impl LineClient {
     /// [`ServeError::Io`] on socket failure or a connection closed
     /// before a full response line arrived.
     pub fn send_raw(&mut self, line: &str) -> Result<String> {
+        if self.transport == Transport::Binary {
+            // On a negotiated binary connection the same request text
+            // rides a tagged frame; the response text is identical.
+            return self.round_trip_frame(&wire::encode_json_payload(line));
+        }
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;

@@ -22,13 +22,22 @@
 //!   is an LRU-ordered [`store::CascadeStore`] with an optional idle
 //!   TTL, so abandoned cascades release memory the same way fitted
 //!   models age out of the bounded cache;
-//! * [`protocol`] + [`json`] — **the front end**: JSON lines over TCP
-//!   (`std::net`, hand-rolled framing and JSON with round-trip-exact
+//! * [`protocol`] + [`json`] + [`wire`] — **the wire**: JSON lines over
+//!   TCP (`std::net`, hand-rolled framing and JSON with round-trip-exact
 //!   floats), with `open` (hop or shared-interest metric), `ingest`,
-//!   `forecast`, and `stats` requests, served by [`server::DlmServer`]
-//!   and the `dlm-serve` binary. The normative wire spec lives in
-//!   `docs/PROTOCOL.md` at the repository root; the `dlm-router` crate
-//!   speaks the same protocol in front of many backends.
+//!   `forecast`, `batch`, and `stats` requests, plus an opt-in
+//!   length-prefixed binary framing negotiated per connection
+//!   (`{"type":"hello","transport":"binary"}`) that is byte-identical
+//!   to the JSON path. The normative spec lives in `docs/PROTOCOL.md`
+//!   at the repository root; the `dlm-router` crate speaks the same
+//!   protocol in front of many backends.
+//!
+//! [`server::DlmServer`] serves it all over TCP — by default through a
+//! nonblocking, std-only readiness reactor (a fixed I/O worker pool
+//! multiplexing every connection, so thousands of connections cost
+//! buffers rather than threads), with the original
+//! thread-per-connection loop selectable via
+//! [`server::FrontEnd::ThreadPerConnection`] for comparison runs.
 //!
 //! The elastic-cluster layer rides on `dlm-cluster`'s versioned
 //! snapshot codec: [`live::LiveCascade::to_snapshot`] captures a
@@ -74,13 +83,16 @@ pub mod error;
 pub mod json;
 pub mod live;
 pub mod protocol;
+mod reactor;
 pub mod server;
 pub mod store;
+pub mod wire;
 
 pub use client::LineClient;
 pub use error::{Result, ServeError};
 pub use json::Json;
 pub use live::{IngestOutcome, LiveCascade};
 pub use protocol::{OpenMetric, Request};
-pub use server::{DlmServer, LineService, ServeConfig, ServerState};
+pub use server::{DlmServer, FrontEnd, LineService, ServeConfig, ServerState};
 pub use store::{CascadeStore, StoreStats};
+pub use wire::Transport;

@@ -26,6 +26,7 @@ use dlm_cascade::DensityMatrix;
 use dlm_cluster::CascadeSnapshot;
 use dlm_data::Vote;
 use dlm_graph::DiGraph;
+use std::sync::Arc;
 
 /// What one [`LiveCascade::ingest`] call did with the vote.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +79,19 @@ pub struct LiveCascade {
     horizon: u32,
     /// Per-hour (non-cumulative) vote increments: `counts[g][h - 1]`.
     counts: Vec<Vec<usize>>,
+    /// Persistent cumulative counters over the *closed* prefix:
+    /// `cumulative[g]` has length `closed` and holds the running sums of
+    /// `counts[g][..closed]`. Closed hours are immutable (late votes are
+    /// rejected, in-progress votes land past the watermark), so rows
+    /// only ever grow — closing an hour appends one cell per group and
+    /// never rewrites history. `matrix_through` reads prefix slices of
+    /// these rows instead of re-summing `counts` on every forecast.
+    cumulative: Vec<Vec<usize>>,
+    /// Copy-on-close matrix snapshots: `snapshots[h - 1]` memoizes the
+    /// density matrix over hours `1..=h`. Valid forever once built (the
+    /// closed prefix it covers is immutable), shared by `Arc` so the
+    /// forecast hot path hands out views without cloning the grid.
+    snapshots: Vec<Option<Arc<DensityMatrix>>>,
     /// Hours `1..=closed` are complete and queryable.
     closed: u32,
     /// Votes counted into a group/hour bucket.
@@ -129,11 +143,33 @@ impl LiveCascade {
             submit_time,
             horizon,
             counts: vec![vec![0; horizon as usize]; groups.len()],
+            cumulative: vec![Vec::new(); groups.len()],
+            snapshots: vec![None; horizon as usize],
             closed: 0,
             counted: 0,
             ignored: 0,
             hour1_voters: Vec::new(),
         })
+    }
+
+    /// Advances the closed watermark to `hour` (no-op when already
+    /// past), extending every group's persistent cumulative row over the
+    /// newly closed hours. The same left-to-right integer accumulation
+    /// the batch `cumulative_counts` performs, done once per hour close
+    /// instead of once per forecast.
+    fn close_through(&mut self, hour: u32) {
+        let hour = hour.min(self.horizon);
+        if hour <= self.closed {
+            return;
+        }
+        for (g, row) in self.cumulative.iter_mut().enumerate() {
+            let mut acc = row.last().copied().unwrap_or(0);
+            for h in self.closed as usize..hour as usize {
+                acc += self.counts[g][h];
+                row.push(acc);
+            }
+        }
+        self.closed = hour;
     }
 
     /// Creates a live cascade over the friendship-hop metric: the exact
@@ -219,7 +255,7 @@ impl LiveCascade {
         let bucket = (vote.timestamp - self.submit_time) / 3600;
         if bucket >= u64::from(self.horizon) {
             // Time has provably moved past the whole horizon.
-            self.closed = self.horizon;
+            self.close_through(self.horizon);
             self.ignored += 1;
             return Ok(IngestOutcome::Ignored);
         }
@@ -231,7 +267,7 @@ impl LiveCascade {
             });
         }
         // Hour `bucket + 1` is in progress, so hours 1..=bucket are done.
-        self.closed = self.closed.max(bucket);
+        self.close_through(bucket);
         if bucket == 0 {
             self.hour1_voters.push(vote.voter);
         }
@@ -255,7 +291,7 @@ impl LiveCascade {
     pub fn advance_to(&mut self, now: u64) -> u32 {
         if now > self.submit_time {
             let complete = ((now - self.submit_time) / 3600).min(u64::from(self.horizon)) as u32;
-            self.closed = self.closed.max(complete);
+            self.close_through(complete);
         }
         self.closed
     }
@@ -275,22 +311,40 @@ impl LiveCascade {
                 closed: self.closed,
             });
         }
-        // Cumulative-sum the per-hour increments, exactly like the batch
-        // `cumulative_counts` does before `DensityMatrix::from_counts`.
-        let cumulative: Vec<Vec<usize>> = self
-            .counts
+        // Prefix slices of the persistent cumulative rows maintained on
+        // hour close — the same sums the batch `cumulative_counts`
+        // computes, without re-accumulating them per call.
+        let rows: Vec<&[usize]> = self
+            .cumulative
             .iter()
-            .map(|row| {
-                let mut out = Vec::with_capacity(hours as usize);
-                let mut acc = 0usize;
-                for &c in &row[..hours as usize] {
-                    acc += c;
-                    out.push(acc);
-                }
-                out
-            })
+            .map(|row| &row[..hours as usize])
             .collect();
-        Ok(DensityMatrix::from_counts(&cumulative, &self.sizes)?)
+        Ok(DensityMatrix::from_cumulative_rows(&rows, &self.sizes)?)
+    }
+
+    /// The memoized, shared form of [`LiveCascade::matrix_through`]: the
+    /// matrix over hours `1..=hours` is built once when that prefix
+    /// first gets queried (its hours are closed, hence immutable) and
+    /// every later call returns the same `Arc` — the forecast hot path
+    /// does no counting and no grid allocation at all.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LiveCascade::matrix_through`].
+    pub fn matrix_snapshot(&mut self, hours: u32) -> Result<Arc<DensityMatrix>> {
+        if hours == 0 || hours > self.closed {
+            return Err(ServeError::HourNotClosed {
+                hour: hours,
+                closed: self.closed,
+            });
+        }
+        let slot = (hours - 1) as usize;
+        if let Some(snapshot) = &self.snapshots[slot] {
+            return Ok(Arc::clone(snapshot));
+        }
+        let snapshot = Arc::new(self.matrix_through(hours)?);
+        self.snapshots[slot] = Some(Arc::clone(&snapshot));
+        Ok(snapshot)
     }
 
     /// The rolling density matrix over every closed hour.
@@ -416,17 +470,26 @@ impl LiveCascade {
                 usize::try_from(v).map_err(|_| bad(format!("voter id {v} does not fit usize")))?,
             );
         }
-        Ok(Self {
+        let groups = counts.len();
+        let mut live = Self {
             group_of: snap.group_of.clone(),
             sizes,
             submit_time: snap.submit_time,
             horizon: snap.horizon,
             counts,
-            closed: snap.closed,
+            cumulative: vec![Vec::new(); groups],
+            snapshots: vec![None; snap.horizon as usize],
+            closed: 0,
             counted: snap.counted,
             ignored: snap.ignored,
             hour1_voters,
-        })
+        };
+        // Rebuild the persistent cumulative rows the snapshot's closed
+        // watermark implies — the restored twin accumulates in the same
+        // order the origin did, so the rows (and every matrix built
+        // from them) come back bit-identical.
+        live.close_through(snap.closed);
+        Ok(live)
     }
 }
 
@@ -524,6 +587,25 @@ mod tests {
         live.ingest(vote(2000, 5)).unwrap();
         live.ingest(vote(1000 + 3600, 6)).unwrap(); // hour 2
         assert_eq!(live.hour1_voters(), &[3, 999, 5]);
+    }
+
+    #[test]
+    fn matrix_snapshots_are_memoized_and_identical() {
+        let mut live = LiveCascade::new(&groups(), 1000, 5).unwrap();
+        live.ingest(vote(1000, 1)).unwrap();
+        live.ingest(vote(1000 + 3600 + 7, 4)).unwrap();
+        live.advance_to(1000 + 3 * 3600);
+        for hours in 1..=3u32 {
+            let first = live.matrix_snapshot(hours).unwrap();
+            let again = live.matrix_snapshot(hours).unwrap();
+            assert!(Arc::ptr_eq(&first, &again), "hour {hours} not memoized");
+            assert_eq!(*first, live.matrix_through(hours).unwrap());
+        }
+        assert!(live.matrix_snapshot(0).is_err());
+        assert!(live.matrix_snapshot(4).is_err());
+        // Later closes serve later prefixes from the same counters.
+        live.advance_to(1000 + 5 * 3600);
+        assert_eq!(*live.matrix_snapshot(5).unwrap(), live.matrix().unwrap());
     }
 
     #[test]

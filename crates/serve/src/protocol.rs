@@ -13,6 +13,8 @@
 //! {"type":"restore","snapshot":"444c4d53..."}
 //! {"type":"cascades"}
 //! {"type":"evict","cascade":"c1"}
+//! {"type":"batch","requests":[{"type":"ingest",...},{"type":"forecast",...}]}
+//! {"type":"hello","transport":"binary"}                       // framing switch, see `wire`
 //! ```
 //!
 //! Responses always carry `"ok": true|false`; errors add `"error"` with
@@ -130,6 +132,32 @@ pub enum Request {
         /// Cascade id.
         cascade: String,
     },
+    /// Several cascade-scoped requests on one line, answered by one
+    /// response line carrying one result per request, in order — the
+    /// round-trip amortization that makes high-volume vote streams
+    /// cheap. Items stay as raw JSON values here: each is parsed (and
+    /// answered) independently, so one malformed item errors in place
+    /// without poisoning its neighbors.
+    Batch {
+        /// The sub-request objects, in execution order. Only the
+        /// cascade-scoped data verbs (`open`, `ingest`, `forecast`,
+        /// `snapshot`) are allowed; admin verbs and nested batches are
+        /// answered with per-item errors.
+        requests: Vec<Json>,
+    },
+}
+
+/// The wrapper around batch sub-responses: both the serving core and
+/// the router splice already-serialized sub-response strings into this
+/// exact shape, which is what keeps a routed batch byte-identical to a
+/// direct one.
+#[must_use]
+pub fn batch_response(results: &[String]) -> String {
+    format!(
+        "{{\"ok\":true,\"count\":{},\"results\":[{}]}}",
+        results.len(),
+        results.join(",")
+    )
 }
 
 fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json> {
@@ -185,12 +213,23 @@ impl Request {
     /// `type`, or mistyped fields.
     pub fn parse(line: &str) -> Result<Self> {
         let value = Json::parse(line).map_err(ServeError::Protocol)?;
-        let kind = str_field(&value, "type")?;
+        Self::from_value(&value)
+    }
+
+    /// Parses one request from an already-parsed JSON value — the path
+    /// batch items take, where the containing line was parsed once and
+    /// each item is handled independently.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Request::parse`].
+    pub fn from_value(value: &Json) -> Result<Self> {
+        let kind = str_field(value, "type")?;
         match kind.as_str() {
             "open" => {
                 let hops = || -> Result<OpenMetric> {
                     Ok(OpenMetric::Hops {
-                        max_hops: opt_u32(&value, "max_hops")?.unwrap_or(5),
+                        max_hops: opt_u32(value, "max_hops")?.unwrap_or(5),
                     })
                 };
                 let metric = match value.get("metric") {
@@ -198,7 +237,7 @@ impl Request {
                     Some(v) => match v.as_str() {
                         Some("hops") => hops()?,
                         Some("interest") => OpenMetric::Interest {
-                            groups: opt_u32(&value, "groups")?.unwrap_or(5),
+                            groups: opt_u32(value, "groups")?.unwrap_or(5),
                             strategy: match value.get("strategy") {
                                 None | Some(Json::Null) => GroupingStrategy::EqualWidth,
                                 Some(v) => match v.as_str() {
@@ -220,16 +259,16 @@ impl Request {
                     },
                 };
                 Ok(Self::Open {
-                    cascade: str_field(&value, "cascade")?,
-                    initiator: opt_u64(&value, "initiator")?.map(|v| v as usize),
-                    story: opt_u32(&value, "story")?,
+                    cascade: str_field(value, "cascade")?,
+                    initiator: opt_u64(value, "initiator")?.map(|v| v as usize),
+                    story: opt_u32(value, "story")?,
                     metric,
-                    horizon: opt_u32(&value, "horizon")?.unwrap_or(50),
-                    submit_time: opt_u64(&value, "submit_time")?,
+                    horizon: opt_u32(value, "horizon")?.unwrap_or(50),
+                    submit_time: opt_u64(value, "submit_time")?,
                 })
             }
             "ingest" => {
-                let votes = field(&value, "votes")?
+                let votes = field(value, "votes")?
                     .as_array()
                     .ok_or_else(|| ServeError::Protocol("`votes` must be an array".into()))?
                     .iter()
@@ -247,9 +286,9 @@ impl Request {
                     })
                     .collect::<Result<Vec<_>>>()?;
                 Ok(Self::Ingest {
-                    cascade: str_field(&value, "cascade")?,
+                    cascade: str_field(value, "cascade")?,
                     votes,
-                    now: opt_u64(&value, "now")?,
+                    now: opt_u64(value, "now")?,
                 })
             }
             "forecast" => {
@@ -274,24 +313,37 @@ impl Request {
                     Some(v) => Some(hour_list(v, "distances")?),
                 };
                 Ok(Self::Forecast {
-                    cascade: str_field(&value, "cascade")?,
-                    hours: hour_list(field(&value, "hours")?, "hours")?,
+                    cascade: str_field(value, "cascade")?,
+                    hours: hour_list(field(value, "hours")?, "hours")?,
                     distances,
                     models,
-                    through: opt_u32(&value, "through")?,
+                    through: opt_u32(value, "through")?,
                 })
             }
             "stats" => Ok(Self::Stats),
             "snapshot" => Ok(Self::Snapshot {
-                cascade: str_field(&value, "cascade")?,
+                cascade: str_field(value, "cascade")?,
             }),
             "restore" => Ok(Self::Restore {
-                snapshot: str_field(&value, "snapshot")?,
+                snapshot: str_field(value, "snapshot")?,
             }),
             "cascades" => Ok(Self::Cascades),
             "evict" => Ok(Self::Evict {
-                cascade: str_field(&value, "cascade")?,
+                cascade: str_field(value, "cascade")?,
             }),
+            "batch" => {
+                let requests = field(value, "requests")?
+                    .as_array()
+                    .ok_or_else(|| ServeError::Protocol("`requests` must be an array".into()))?;
+                if requests.is_empty() {
+                    return Err(ServeError::Protocol(
+                        "`requests` must hold at least one request".into(),
+                    ));
+                }
+                Ok(Self::Batch {
+                    requests: requests.to_vec(),
+                })
+            }
             other => Err(ServeError::Protocol(format!(
                 "unknown request type `{other}`"
             ))),
@@ -416,6 +468,10 @@ impl Request {
                 ("type".to_owned(), Json::str("evict")),
                 ("cascade".to_owned(), Json::str(cascade.clone())),
             ]),
+            Self::Batch { requests } => Json::Obj(vec![
+                ("type".to_owned(), Json::str("batch")),
+                ("requests".to_owned(), Json::Arr(requests.clone())),
+            ]),
         }
     }
 }
@@ -497,6 +553,24 @@ mod tests {
             Request::Evict {
                 cascade: "c1".into(),
             },
+            Request::Batch {
+                requests: vec![
+                    Request::Ingest {
+                        cascade: "c1".into(),
+                        votes: vec![(1_244_000_000, 17)],
+                        now: None,
+                    }
+                    .to_json(),
+                    Request::Forecast {
+                        cascade: "c1".into(),
+                        hours: vec![2],
+                        distances: None,
+                        models: None,
+                        through: Some(1),
+                    }
+                    .to_json(),
+                ],
+            },
         ];
         for request in requests {
             let line = request.to_json().to_string();
@@ -567,6 +641,9 @@ mod tests {
             r#"{"type":"restore"}"#,
             r#"{"type":"restore","snapshot":17}"#,
             r#"{"type":"evict"}"#,
+            r#"{"type":"batch"}"#,
+            r#"{"type":"batch","requests":[]}"#,
+            r#"{"type":"batch","requests":"all"}"#,
         ] {
             assert!(
                 matches!(Request::parse(bad), Err(ServeError::Protocol(_))),

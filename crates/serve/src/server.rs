@@ -25,8 +25,9 @@
 use crate::error::{Result, ServeError};
 use crate::json::Json;
 use crate::live::LiveCascade;
-use crate::protocol::{error_response, OpenMetric, Request};
+use crate::protocol::{batch_response, error_response, OpenMetric, Request};
 use crate::store::CascadeStore;
+use crate::wire::{self, Transport};
 use dlm_cascade::interest_groups::interest_groups;
 use dlm_cluster::{hex, CascadeSnapshot};
 use dlm_core::evaluate::{FitOutcome, FittedModelCache, Parallelism};
@@ -110,9 +111,11 @@ struct Slot {
 impl Slot {
     /// The observation over hours `1..=through` — the same window the
     /// offline `EvaluationCase::forecast(_, matrix, 1, through, _)`
-    /// exposes to predictors.
-    fn observation(&self, through: u32) -> Result<Observation> {
-        let matrix = self.live.matrix_through(through)?;
+    /// exposes to predictors. The matrix comes from the cascade's
+    /// copy-on-close snapshot cache, so repeated forecasts at the same
+    /// watermark re-derive nothing.
+    fn observation(&mut self, through: u32) -> Result<Observation> {
+        let matrix = self.live.matrix_snapshot(through)?;
         let hours: Vec<u32> = (1..=through).collect();
         let observation = Observation::from_matrix(&matrix, &hours)?;
         Ok(match &self.graph {
@@ -341,10 +344,45 @@ impl ServerState {
     /// and domain errors become `{"ok":false,...}` responses.
     pub fn handle_line(&self, line: &str) -> String {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let response = Request::parse(line)
-            .and_then(|request| self.handle(&request))
-            .unwrap_or_else(|e| error_response(&e.to_string()));
-        response.to_string()
+        match Request::parse(line) {
+            // Batches are answered at the line layer: sub-responses are
+            // composed as strings so the wrapper is byte-identical to
+            // what a routing tier splices from relayed backend lines.
+            Ok(Request::Batch { requests }) => self.handle_batch(&requests),
+            Ok(request) => self
+                .handle(&request)
+                .unwrap_or_else(|e| error_response(&e.to_string()))
+                .to_string(),
+            Err(e) => error_response(&e.to_string()).to_string(),
+        }
+    }
+
+    /// Answers a `batch` line: each item is parsed and handled
+    /// independently, in order, and the serialized sub-responses are
+    /// spliced into one [`batch_response`] line. Only the
+    /// cascade-scoped data verbs may ride in a batch — admin verbs
+    /// (`stats`, `restore`, `cascades`, `evict`) and nested batches get
+    /// per-item errors, keeping batch semantics identical on a single
+    /// server and across the routing tier.
+    fn handle_batch(&self, items: &[Json]) -> String {
+        let results: Vec<String> = items
+            .iter()
+            .map(|item| {
+                Request::from_value(item)
+                    .and_then(|request| match request {
+                        Request::Open { .. }
+                        | Request::Ingest { .. }
+                        | Request::Forecast { .. }
+                        | Request::Snapshot { .. } => self.handle(&request),
+                        _ => Err(ServeError::Protocol(
+                            "batch items must be open/ingest/forecast/snapshot".into(),
+                        )),
+                    })
+                    .unwrap_or_else(|e| error_response(&e.to_string()))
+                    .to_string()
+            })
+            .collect();
+        batch_response(&results)
     }
 
     /// Handles one parsed request.
@@ -386,6 +424,11 @@ impl ServerState {
             Request::Restore { snapshot } => self.handle_restore(snapshot),
             Request::Cascades => Ok(self.handle_cascades()),
             Request::Evict { cascade } => self.handle_evict(cascade),
+            // Reachable only through direct `handle` calls —
+            // `handle_line` intercepts batches before this dispatch.
+            Request::Batch { .. } => Err(ServeError::Protocol(
+                "batch requests are answered at the line layer".into(),
+            )),
         }
     }
 
@@ -631,7 +674,7 @@ impl ServerState {
     ) -> Result<Json> {
         let slot = self.slot(cascade)?;
         let (observation, max_distance, through) = {
-            let slot = slot.lock().expect("cascade slot poisoned");
+            let mut slot = slot.lock().expect("cascade slot poisoned");
             let through = through.unwrap_or_else(|| slot.live.closed_hours());
             (
                 slot.observation(through)?,
@@ -816,13 +859,33 @@ impl LineService for ServerState {
     }
 }
 
-/// The TCP front end: an accept loop plus one handler thread per
-/// connection, all sharing one [`LineService`] (a [`ServerState`] by
-/// default; the router tier plugs in its own).
+/// Which TCP front end a [`DlmServer`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// The event-driven readiness reactor (the default): an
+    /// accept loop feeding a fixed pool of nonblocking I/O workers,
+    /// each multiplexing its share of the connections — thousands of
+    /// connections cost buffers, not threads.
+    Reactor {
+        /// I/O worker threads; `0` sizes the pool from
+        /// [`std::thread::available_parallelism`].
+        io_threads: usize,
+    },
+    /// The original one-thread-per-connection front end, kept for
+    /// apples-to-apples perf comparisons (`serve_load --legacy`, the
+    /// `serve-perf` CI job) and as a fallback.
+    ThreadPerConnection,
+}
+
+impl Default for FrontEnd {
+    fn default() -> Self {
+        Self::Reactor { io_threads: 0 }
+    }
+}
+
+/// The legacy front end's bookkeeping.
 #[derive(Debug)]
-pub struct DlmServer<S: LineService = ServerState> {
-    addr: SocketAddr,
-    state: Arc<S>,
+struct LegacyFront {
     shutdown: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
     /// Live connections by id, so shutdown can unblock blocked reads.
@@ -833,9 +896,29 @@ pub struct DlmServer<S: LineService = ServerState> {
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
+#[derive(Debug)]
+enum Front {
+    Legacy(LegacyFront),
+    Reactor(crate::reactor::ReactorHandle),
+}
+
+/// The TCP front end, serving one [`LineService`] (a [`ServerState`] by
+/// default; the router tier plugs in its own) — by default through the
+/// nonblocking readiness reactor (the private `reactor` module),
+/// optionally through the legacy thread-per-connection loop. Both front ends speak
+/// JSON lines and the negotiated binary framing of [`crate::wire`]
+/// through the same per-connection negotiation, so the choice is purely
+/// an execution-model (throughput) knob, never a protocol one.
+#[derive(Debug)]
+pub struct DlmServer<S: LineService = ServerState> {
+    addr: SocketAddr,
+    state: Arc<S>,
+    front: Front,
+}
+
 impl<S: LineService> DlmServer<S> {
     /// Binds the server (use port 0 for an OS-assigned port) and starts
-    /// accepting connections.
+    /// accepting connections on the default (reactor) front end.
     ///
     /// # Errors
     ///
@@ -851,13 +934,36 @@ impl<S: LineService> DlmServer<S> {
     ///
     /// Propagates socket errors.
     pub fn bind_shared(addr: impl ToSocketAddrs, state: Arc<S>) -> Result<Self> {
+        Self::bind_with(addr, state, FrontEnd::default())
+    }
+
+    /// Binds with an explicit front end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_with(addr: impl ToSocketAddrs, state: Arc<S>, front: FrontEnd) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let front = match front {
+            FrontEnd::Reactor { io_threads } => Front::Reactor(crate::reactor::spawn(
+                listener,
+                Arc::clone(&state),
+                io_threads,
+            )),
+            FrontEnd::ThreadPerConnection => {
+                Front::Legacy(Self::spawn_legacy(listener, Arc::clone(&state)))
+            }
+        };
+        Ok(Self { addr, state, front })
+    }
+
+    fn spawn_legacy(listener: TcpListener, state: Arc<S>) -> LegacyFront {
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let accept_state = Arc::clone(&state);
+        let accept_state = state;
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_connections = Arc::clone(&connections);
         let accept_handlers = Arc::clone(&handlers);
@@ -897,14 +1003,12 @@ impl<S: LineService> DlmServer<S> {
             }
         });
 
-        Ok(Self {
-            addr,
-            state,
+        LegacyFront {
             shutdown,
             accept_handle: Some(accept_handle),
             connections,
             handlers,
-        })
+        }
     }
 
     /// The bound address (with the OS-assigned port resolved).
@@ -923,37 +1027,43 @@ impl<S: LineService> DlmServer<S> {
     /// Stops accepting, unblocks and joins every connection handler,
     /// and joins the accept loop. Called automatically on drop.
     pub fn shutdown(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        let drain_connections = || {
-            for (_, stream) in self
-                .connections
-                .lock()
-                .expect("connection registry poisoned")
-                .drain()
-            {
-                let _ = stream.shutdown(Shutdown::Both);
+        match &mut self.front {
+            Front::Reactor(handle) => handle.shutdown(self.addr),
+            Front::Legacy(front) => {
+                if front.shutdown.swap(true, Ordering::SeqCst) {
+                    return;
+                }
+                let drain_connections = || {
+                    for (_, stream) in front
+                        .connections
+                        .lock()
+                        .expect("connection registry poisoned")
+                        .drain()
+                    {
+                        let _ = stream.shutdown(Shutdown::Both);
+                    }
+                };
+                drain_connections();
+                // Unblock the accept loop with a throwaway connection.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(handle) = front.accept_handle.take() {
+                    let _ = handle.join();
+                }
+                // A connection accepted concurrently with the first
+                // drain may have been registered after it; with the
+                // accept loop joined, nothing registers anymore, so a
+                // second drain catches every straggler before the
+                // handler joins below can block on it.
+                drain_connections();
+                for handle in front
+                    .handlers
+                    .lock()
+                    .expect("handler registry poisoned")
+                    .drain(..)
+                {
+                    let _ = handle.join();
+                }
             }
-        };
-        drain_connections();
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_handle.take() {
-            let _ = handle.join();
-        }
-        // A connection accepted concurrently with the first drain may
-        // have been registered after it; with the accept loop joined,
-        // nothing registers anymore, so a second drain catches every
-        // straggler before the handler joins below can block on it.
-        drain_connections();
-        for handle in self
-            .handlers
-            .lock()
-            .expect("handler registry poisoned")
-            .drain(..)
-        {
-            let _ = handle.join();
         }
     }
 }
@@ -968,12 +1078,12 @@ impl<S: LineService> Drop for DlmServer<S> {
 /// full-cascade ingest batch — tens of thousands of `[ts,voter]` pairs
 /// fit comfortably; a client streaming an endless unterminated "line"
 /// must not grow server memory without bound.
-const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+pub(crate) const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
 
 /// Reads one `\n`-terminated line of at most [`MAX_LINE_BYTES`].
 /// `Ok(None)` on clean EOF; `Err` on socket errors, an oversized line,
 /// or non-UTF-8 input.
-fn read_line_bounded(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+pub(crate) fn read_line_bounded(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
     let mut buffer: Vec<u8> = Vec::new();
     loop {
         let chunk = reader.fill_buf()?;
@@ -1013,21 +1123,66 @@ fn read_line_bounded(reader: &mut impl BufRead) -> std::io::Result<Option<String
 }
 
 /// Serves one connection: a request line in, a response line out, until
-/// EOF or a socket error.
+/// EOF or a socket error. A successful `hello` negotiation switches the
+/// rest of the connection to length-prefixed binary frames — the same
+/// negotiation the reactor front end performs, so both front ends
+/// present one protocol surface.
 fn serve_connection<S: LineService>(state: &S, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let write_line = |writer: &mut TcpStream, line: &str| {
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
+    // Lines phase.
+    let mut negotiated_binary = false;
     while let Ok(Some(line)) = read_line_bounded(&mut reader) {
         if line.trim().is_empty() {
             continue;
         }
-        let response = state.handle_line(&line);
+        match wire::parse_hello(&line) {
+            Some(Ok(transport)) => {
+                if !write_line(&mut writer, &wire::hello_response(transport)) {
+                    return;
+                }
+                if transport == Transport::Binary {
+                    negotiated_binary = true;
+                    break; // switch framing below
+                }
+            }
+            Some(Err(e)) => {
+                if !write_line(&mut writer, &error_response(&e.to_string()).to_string()) {
+                    return;
+                }
+            }
+            None => {
+                if !write_line(&mut writer, &state.handle_line(&line)) {
+                    return;
+                }
+            }
+        }
+    }
+    // Binary phase (only reached through a successful negotiation —
+    // an errored lines loop must not reinterpret its tail as frames).
+    if !negotiated_binary {
+        return;
+    }
+    while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
+        let response = match wire::payload_to_line(&payload) {
+            Ok(line) => state.handle_line(&line),
+            // A decode error leaves the frame boundary intact, so the
+            // connection stays usable; only framing-level corruption
+            // (oversize header, mid-frame EOF) ends it above.
+            Err(e) => error_response(&e.to_string()).to_string(),
+        };
         if writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
+            .write_all(&wire::encode_frame(response.as_bytes()))
             .and_then(|()| writer.flush())
             .is_err()
         {

@@ -1,0 +1,401 @@
+//! The opt-in binary framing layer (`docs/PROTOCOL.md` §2-bis).
+//!
+//! Every connection starts in JSON-lines mode. A client that sends the
+//! negotiation line `{"type":"hello","transport":"binary"}` and receives
+//! `{"ok":true,"transport":"binary"}` switches the connection — both
+//! directions, for its whole remaining lifetime — to length-prefixed
+//! frames:
+//!
+//! ```text
+//! frame     := length payload            length := u32, little endian
+//! request   := tag body
+//!   tag 0x00: body is the exact UTF-8 JSON request text (no newline)
+//!   tag 0x01: body is a compact binary `ingest`:
+//!             u32 id_len | id bytes (UTF-8) | u8 has_now | u64 now?
+//!             | u32 n | n × (u64 timestamp, u64 voter), all LE
+//! response  := the exact UTF-8 JSON response text (no tag, no newline)
+//! ```
+//!
+//! Decoding a binary `ingest` produces the *canonical JSON line* of the
+//! same request and hands it to the exact [`LineService`] path a JSON
+//! line would take, and response frames carry the exact bytes of the
+//! JSON-lines response — which is what makes "the binary path is
+//! byte-identical to the JSON path" a mechanically testable claim, and
+//! what lets the router relay framed responses verbatim.
+//!
+//! The frame length bound equals the line bound ([`MAX_FRAME_BYTES`]):
+//! a declared length beyond it is rejected before any allocation, so a
+//! hostile 4-byte header cannot reserve gigabytes.
+//!
+//! [`LineService`]: crate::server::LineService
+
+use crate::error::{Result, ServeError};
+use crate::json::Json;
+use crate::protocol::Request;
+use std::io::BufRead;
+
+/// The two wire framings a connection can speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// JSON lines (the default; every connection starts here).
+    #[default]
+    Lines,
+    /// Length-prefixed binary frames, after a successful negotiation.
+    Binary,
+}
+
+impl Transport {
+    /// The wire name used in `hello` lines and responses.
+    #[must_use]
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Self::Lines => "lines",
+            Self::Binary => "binary",
+        }
+    }
+}
+
+/// Upper bound on one frame's payload — the same bound the line framing
+/// enforces, so switching transports never widens what a client may ask
+/// the server to buffer.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Request payload tag: the body is JSON request text.
+pub const TAG_JSON: u8 = 0x00;
+/// Request payload tag: the body is a compact binary `ingest`.
+pub const TAG_INGEST: u8 = 0x01;
+
+/// The negotiation line a client sends to request `transport`.
+#[must_use]
+pub fn hello_line(transport: Transport) -> String {
+    format!(
+        "{{\"type\":\"hello\",\"transport\":\"{}\"}}",
+        transport.wire_name()
+    )
+}
+
+/// The response line confirming a negotiation.
+#[must_use]
+pub fn hello_response(transport: Transport) -> String {
+    format!(
+        "{{\"ok\":true,\"transport\":\"{}\"}}",
+        transport.wire_name()
+    )
+}
+
+/// Classifies a request line as a transport negotiation.
+///
+/// `None` when the line is not a `hello` at all (it is an ordinary
+/// request); `Some(Err(_))` when it is a `hello` with a missing or
+/// unknown transport — the front end answers the error and stays on
+/// lines.
+#[must_use]
+pub fn parse_hello(line: &str) -> Option<Result<Transport>> {
+    // Cheap pre-filter: a hello must carry the literal key somewhere.
+    if !line.contains("hello") {
+        return None;
+    }
+    let value = Json::parse(line).ok()?;
+    if value.get("type").and_then(Json::as_str) != Some("hello") {
+        return None;
+    }
+    Some(match value.get("transport").and_then(Json::as_str) {
+        Some("binary") => Ok(Transport::Binary),
+        Some("lines") => Ok(Transport::Lines),
+        _ => Err(ServeError::Protocol(
+            "hello `transport` must be `lines` or `binary`".into(),
+        )),
+    })
+}
+
+/// Appends one length-prefixed frame carrying `payload` to `out`.
+pub fn frame_into(payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() <= MAX_FRAME_BYTES);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Encodes one frame as an owned buffer.
+#[must_use]
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    frame_into(payload, &mut out);
+    out
+}
+
+/// The request payload for JSON request text: tag byte + the bytes.
+#[must_use]
+pub fn encode_json_payload(line: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + line.len());
+    out.push(TAG_JSON);
+    out.extend_from_slice(line.as_bytes());
+    out
+}
+
+/// The compact binary `ingest` request payload.
+#[must_use]
+pub fn encode_ingest_payload(cascade: &str, votes: &[(u64, usize)], now: Option<u64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 4 + cascade.len() + 9 + 4 + 16 * votes.len());
+    out.push(TAG_INGEST);
+    out.extend_from_slice(&(cascade.len() as u32).to_le_bytes());
+    out.extend_from_slice(cascade.as_bytes());
+    match now {
+        Some(now) => {
+            out.push(1);
+            out.extend_from_slice(&now.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+    out.extend_from_slice(&(votes.len() as u32).to_le_bytes());
+    for &(timestamp, voter) in votes {
+        out.extend_from_slice(&timestamp.to_le_bytes());
+        out.extend_from_slice(&(voter as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Tries to extract one complete frame from the front of `buf`.
+///
+/// `Ok(None)` when the frame is still incomplete; `Ok(Some((payload,
+/// consumed)))` hands back the payload range and how many bytes to drop
+/// from the buffer.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] when the header declares a length beyond
+/// [`MAX_FRAME_BYTES`] — the connection is desynchronized or hostile
+/// and must be closed; nothing was consumed.
+pub fn try_extract_frame(buf: &[u8]) -> Result<Option<(std::ops::Range<usize>, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let declared = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if declared > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "frame declares {declared} bytes, above the {MAX_FRAME_BYTES} bound"
+        )));
+    }
+    if buf.len() < 4 + declared {
+        return Ok(None);
+    }
+    Ok(Some((4..4 + declared, 4 + declared)))
+}
+
+/// Blocking frame read for the client side: `Ok(None)` on clean EOF at
+/// a frame boundary.
+///
+/// # Errors
+///
+/// I/O errors, EOF mid-frame, or a declared length beyond
+/// [`MAX_FRAME_BYTES`].
+pub fn read_frame(reader: &mut impl BufRead) -> std::io::Result<Option<Vec<u8>>> {
+    use std::io::{Error, ErrorKind};
+    let mut header = [0u8; 4];
+    // A clean EOF before the first header byte ends the connection; an
+    // EOF anywhere after it is a truncated frame.
+    match reader.read(&mut header[..1])? {
+        0 => return Ok(None),
+        _ => reader.read_exact(&mut header[1..])?,
+    }
+    let declared = u32::from_le_bytes(header) as usize;
+    if declared > MAX_FRAME_BYTES {
+        return Err(Error::new(
+            ErrorKind::InvalidData,
+            format!("frame declares {declared} bytes, above the {MAX_FRAME_BYTES} bound"),
+        ));
+    }
+    let mut payload = vec![0u8; declared];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Decodes a request frame payload into the request *line* the JSON
+/// framing would have carried — tag `0x00` is the line verbatim, tag
+/// `0x01` expands to the canonical `ingest` wire form — so every
+/// request, whatever its framing, takes the same handling path.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for an empty payload, an unknown tag,
+/// non-UTF-8 text, or a malformed binary `ingest` body (truncated
+/// fields, trailing garbage, lengths that disagree with the payload).
+pub fn payload_to_line(payload: &[u8]) -> Result<String> {
+    let (&tag, body) = payload
+        .split_first()
+        .ok_or_else(|| ServeError::Protocol("empty frame payload".into()))?;
+    match tag {
+        TAG_JSON => String::from_utf8(body.to_vec())
+            .map_err(|_| ServeError::Protocol("frame text is not UTF-8".into())),
+        TAG_INGEST => decode_ingest(body),
+        other => Err(ServeError::Protocol(format!(
+            "unknown frame payload tag 0x{other:02x}"
+        ))),
+    }
+}
+
+fn bad_ingest(what: &str) -> ServeError {
+    ServeError::Protocol(format!("malformed binary ingest: {what}"))
+}
+
+/// Takes the next `n` bytes of `body`, advancing the cursor.
+fn take<'a>(body: &'a [u8], at: &mut usize, n: usize, what: &str) -> Result<&'a [u8]> {
+    let end = at
+        .checked_add(n)
+        .filter(|&e| e <= body.len())
+        .ok_or_else(|| bad_ingest(what))?;
+    let slice = &body[*at..end];
+    *at = end;
+    Ok(slice)
+}
+
+fn take_u64(body: &[u8], at: &mut usize, what: &str) -> Result<u64> {
+    Ok(u64::from_le_bytes(
+        take(body, at, 8, what)?.try_into().expect("8-byte slice"),
+    ))
+}
+
+fn take_u32(body: &[u8], at: &mut usize, what: &str) -> Result<u32> {
+    Ok(u32::from_le_bytes(
+        take(body, at, 4, what)?.try_into().expect("4-byte slice"),
+    ))
+}
+
+/// Decodes the binary `ingest` body into its canonical JSON line.
+fn decode_ingest(body: &[u8]) -> Result<String> {
+    let at = &mut 0usize;
+    let id_len = take_u32(body, at, "truncated id length")? as usize;
+    let id = String::from_utf8(take(body, at, id_len, "truncated cascade id")?.to_vec())
+        .map_err(|_| bad_ingest("cascade id is not UTF-8"))?;
+    let now = match take(body, at, 1, "truncated now flag")?[0] {
+        0 => None,
+        1 => Some(take_u64(body, at, "truncated now")?),
+        _ => return Err(bad_ingest("now flag must be 0 or 1")),
+    };
+    let n = take_u32(body, at, "truncated vote count")? as usize;
+    // 16 bytes per vote: an inflated count cannot out-declare the
+    // already-bounded payload it arrived in.
+    if n > body.len() / 16 + 1 {
+        return Err(bad_ingest("vote count exceeds the payload"));
+    }
+    let mut votes = Vec::with_capacity(n);
+    for _ in 0..n {
+        let timestamp = take_u64(body, at, "truncated vote")?;
+        let voter = take_u64(body, at, "truncated vote")?;
+        let voter =
+            usize::try_from(voter).map_err(|_| bad_ingest("voter id does not fit usize"))?;
+        votes.push((timestamp, voter));
+    }
+    if *at != body.len() {
+        return Err(bad_ingest("trailing bytes after the vote list"));
+    }
+    Ok(Request::Ingest {
+        cascade: id,
+        votes,
+        now,
+    }
+    .to_json()
+    .to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_lines_round_trip() {
+        for t in [Transport::Lines, Transport::Binary] {
+            assert_eq!(parse_hello(&hello_line(t)).unwrap().unwrap(), t);
+        }
+        assert!(parse_hello(r#"{"type":"stats"}"#).is_none());
+        assert!(parse_hello("not json with hello inside").is_none());
+        assert!(
+            parse_hello(r#"{"type":"ingest","cascade":"hello","votes":[]}"#).is_none(),
+            "a cascade merely named hello is not a negotiation"
+        );
+        assert!(parse_hello(r#"{"type":"hello"}"#).unwrap().is_err());
+        assert!(
+            parse_hello(r#"{"type":"hello","transport":"carrier-pigeon"}"#)
+                .unwrap()
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_buffer_parser() {
+        let mut buf = Vec::new();
+        frame_into(b"abc", &mut buf);
+        frame_into(b"", &mut buf);
+        let (range, consumed) = try_extract_frame(&buf).unwrap().unwrap();
+        assert_eq!(&buf[range], b"abc");
+        let rest = &buf[consumed..];
+        let (range, consumed) = try_extract_frame(rest).unwrap().unwrap();
+        assert!(rest[range].is_empty());
+        assert_eq!(consumed, rest.len());
+    }
+
+    #[test]
+    fn partial_and_oversize_frames_are_detected() {
+        assert!(try_extract_frame(&[1, 0]).unwrap().is_none());
+        let mut buf = Vec::new();
+        frame_into(b"abcdef", &mut buf);
+        assert!(try_extract_frame(&buf[..7]).unwrap().is_none());
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        assert!(try_extract_frame(&huge).is_err());
+    }
+
+    #[test]
+    fn binary_ingest_decodes_to_the_canonical_json_line() {
+        let votes = vec![(1_244_000_000u64, 17usize), (1_244_000_700, 4)];
+        let expected = Request::Ingest {
+            cascade: "c-1".into(),
+            votes: votes.clone(),
+            now: Some(1_244_003_600),
+        }
+        .to_json()
+        .to_string();
+        let payload = encode_ingest_payload("c-1", &votes, Some(1_244_003_600));
+        assert_eq!(payload_to_line(&payload).unwrap(), expected);
+        // Without `now`, and with no votes at all.
+        let payload = encode_ingest_payload("c-1", &[], None);
+        let line = payload_to_line(&payload).unwrap();
+        assert_eq!(
+            line,
+            Request::Ingest {
+                cascade: "c-1".into(),
+                votes: vec![],
+                now: None,
+            }
+            .to_json()
+            .to_string()
+        );
+    }
+
+    #[test]
+    fn hostile_payloads_are_rejected_not_panicked() {
+        assert!(payload_to_line(&[]).is_err(), "empty payload");
+        assert!(payload_to_line(&[0xff, 1, 2]).is_err(), "unknown tag");
+        assert!(
+            payload_to_line(&[TAG_JSON, 0xff, 0xfe]).is_err(),
+            "bad utf8"
+        );
+        let good = encode_ingest_payload("c", &[(1, 2), (3, 4)], Some(9));
+        // Every truncation of a valid payload must error cleanly.
+        for cut in 1..good.len() {
+            assert!(payload_to_line(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage after a complete body.
+        let mut extended = good.clone();
+        extended.push(0);
+        assert!(payload_to_line(&extended).is_err());
+        // A vote count that out-declares the payload.
+        let mut lying = encode_ingest_payload("c", &[], None);
+        let n_at = lying.len() - 4;
+        lying[n_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(payload_to_line(&lying).is_err());
+        // A bad `now` flag.
+        let mut flagged = encode_ingest_payload("c", &[], None);
+        let flag_at = 1 + 4 + 1; // tag, id_len, "c"
+        flagged[flag_at] = 7;
+        assert!(payload_to_line(&flagged).is_err());
+    }
+}

@@ -565,3 +565,127 @@ fn protocol_errors_do_not_kill_the_connection() {
 
     server.shutdown();
 }
+
+/// The PR's acceptance gate for the serving rework: the reactor front
+/// end speaking the negotiated binary framing with batched requests
+/// serves the **full default lineup** byte-identically to the legacy
+/// thread-per-connection front end speaking plain JSON lines — over
+/// real sockets, for the complete response stream.
+#[test]
+fn reactor_batch_binary_serves_the_lineup_byte_identically_to_legacy_lines() {
+    use dlm_serve::protocol::batch_response;
+    use dlm_serve::{FrontEnd, Transport};
+
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.12)).unwrap();
+    let config = SimulationConfig {
+        hours: 8,
+        substeps: 2,
+        seed: 13,
+    };
+    let cascade = simulate_story(&world, &StoryPreset::s1(), config).unwrap();
+    let submit = cascade.submit_time();
+
+    // The logical request sequence every run replays: open, hour-by-hour
+    // ingest with clock advances, two forecasts, a snapshot.
+    let mut requests = vec![format!(
+        r#"{{"type":"open","cascade":"s1","initiator":{},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#,
+        cascade.initiator(),
+    )];
+    for hour in 1..=u64::from(HORIZON) {
+        let window: Vec<String> = cascade
+            .votes()
+            .iter()
+            .filter(|v| {
+                v.timestamp >= submit + (hour - 1) * 3600 && v.timestamp < submit + hour * 3600
+            })
+            .map(|v| format!("[{},{}]", v.timestamp, v.voter))
+            .collect();
+        requests.push(format!(
+            r#"{{"type":"ingest","cascade":"s1","votes":[{}],"now":{}}}"#,
+            window.join(","),
+            submit + hour * 3600,
+        ));
+    }
+    requests.push(format!(
+        r#"{{"type":"forecast","cascade":"s1","hours":[{}],"through":{OBSERVE_THROUGH}}}"#,
+        (OBSERVE_THROUGH + 1..=HORIZON)
+            .map(|h| h.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    ));
+    requests.push(format!(
+        r#"{{"type":"forecast","cascade":"s1","hours":[{HORIZON}],"through":{}}}"#,
+        OBSERVE_THROUGH + 1,
+    ));
+    requests.push(r#"{"type":"snapshot","cascade":"s1"}"#.to_owned());
+
+    // Replays the stream against a fresh full-lineup server; with
+    // `batch > 1`, requests ride `batch` verbs and the raw batch
+    // responses are returned alongside the per-request stream.
+    let run = |front: FrontEnd, transport: Transport, batch: usize| -> (Vec<String>, Vec<String>) {
+        let state = ServerState::with_world(
+            ServeConfig {
+                parallelism: Parallelism::Fixed(2),
+                ..ServeConfig::default()
+            },
+            world.clone(),
+        )
+        .unwrap();
+        let mut server = DlmServer::bind_with("127.0.0.1:0", Arc::new(state), front).unwrap();
+        let mut client = LineClient::connect(server.local_addr()).unwrap();
+        client.negotiate(transport).unwrap();
+        let mut responses = Vec::new();
+        let mut batch_raw = Vec::new();
+        if batch <= 1 {
+            for line in &requests {
+                responses.push(client.send_raw(line).unwrap());
+            }
+        } else {
+            for chunk in requests.chunks(batch) {
+                let line = format!(r#"{{"type":"batch","requests":[{}]}}"#, chunk.join(","));
+                let raw = client.send_raw(&line).unwrap();
+                let parsed = Json::parse(&raw).unwrap();
+                assert_eq!(
+                    parsed.get("ok").and_then(Json::as_bool),
+                    Some(true),
+                    "{raw}"
+                );
+                let results = parsed.get("results").unwrap().as_array().unwrap();
+                assert_eq!(results.len(), chunk.len());
+                batch_raw.push(raw);
+            }
+        }
+        server.shutdown();
+        (responses, batch_raw)
+    };
+
+    let (legacy, _) = run(FrontEnd::ThreadPerConnection, Transport::Lines, 1);
+    let (reactor, _) = run(FrontEnd::Reactor { io_threads: 2 }, Transport::Binary, 1);
+    let (_, batched) = run(FrontEnd::Reactor { io_threads: 2 }, Transport::Binary, 3);
+
+    // Gate 1: reactor + binary framing, request by request, serves the
+    // same bytes the legacy line front end does — and non-vacuously so.
+    assert_eq!(legacy.len(), requests.len());
+    for (i, (l, r)) in legacy.iter().zip(&reactor).enumerate() {
+        assert_eq!(
+            l, r,
+            "request {i}: reactor/binary diverged from legacy/lines"
+        );
+        assert_eq!(
+            Json::parse(l).unwrap().get("ok").and_then(Json::as_bool),
+            Some(true),
+            "request {i} failed: {l}"
+        );
+    }
+    // The big forecast response really carries the full default lineup.
+    let forecast = Json::parse(&legacy[requests.len() - 3]).unwrap();
+    assert_eq!(
+        forecast.get("models").unwrap().as_array().unwrap().len(),
+        ModelSpec::default_lineup().len(),
+    );
+
+    // Gate 2: the batched replay's raw wire bytes are exactly the
+    // per-request responses spliced through the canonical wrapper.
+    let expected: Vec<String> = legacy.chunks(3).map(batch_response).collect();
+    assert_eq!(batched, expected, "batch framing changed response bytes");
+}
