@@ -19,12 +19,14 @@
 //! ```
 //!
 //! Single-server modes write `BENCH_serve.json`
-//! (`dlm-bench/serve/v2`: one entry in `runs` per measured
-//! configuration); router mode fronts **two** backend processes' worth
-//! of server state with a `dlm-router` tier and writes
-//! `BENCH_router.json` (`dlm-bench/router/v3`). Both go through the
-//! `dlm_bench::artifact` schema registry, so a malformed artifact fails
-//! the run. Gates make every mode a CI check, not just a stopwatch:
+//! (`dlm-bench/serve/v3`: one entry in `runs` per measured
+//! configuration, each carrying server-side per-verb service-time
+//! quantiles from the scraped `metrics` histogram snapshot); router
+//! mode fronts **two** backend processes' worth of server state with a
+//! `dlm-router` tier and writes `BENCH_router.json`
+//! (`dlm-bench/router/v3`). Both go through the `dlm_bench::artifact`
+//! schema registry, so a malformed artifact fails the run. Gates make
+//! every mode a CI check, not just a stopwatch:
 //!
 //! * **protocol gate** — every request must come back `"ok": true`
 //!   (batch sub-responses are unwrapped and checked individually);
@@ -43,6 +45,11 @@
 //!   byte-identical to what the same request stream gets from a single
 //!   direct server, and the router's aggregated `stats` cache counters
 //!   must equal the sum over its backends;
+//! * **metrics gate** — after the replay each mode scrapes the
+//!   `metrics` verb over the wire and the server-side per-verb request
+//!   counters must equal the client-side counts exactly (the router
+//!   run checks its tier counters); with `DLM_OBS_SCRAPE_OUT` set, the
+//!   text exposition is written there (the CI `obs-smoke` artifact);
 //! * **elasticity gate (`--kill-one`)** — three backends with
 //!   `data_replicas: 2`: after the load phase one backend is drained
 //!   (snapshot handoff, `handoff_ms`), a second is killed outright and
@@ -359,6 +366,64 @@ fn front_name(front: FrontEnd) -> &'static str {
     }
 }
 
+/// One `metrics` scrape over the wire: the parsed response plus its
+/// structured snapshot (empty on a malformed response — the caller's
+/// counter checks then fail loudly instead of panicking mid-bench).
+fn scrape_metrics(addr: SocketAddr) -> (Json, dlm_obs::MetricsSnapshot) {
+    let mut client = Client::connect(addr);
+    let (raw, _) = client.round_trip(r#"{"type":"metrics"}"#);
+    let parsed = Json::parse(&raw).expect("metrics response parses");
+    let snapshot = parsed
+        .get("snapshot")
+        .and_then(|s| dlm_serve::snapshot_from_json(s).ok())
+        .unwrap_or_default();
+    (parsed, snapshot)
+}
+
+/// Appends one labeled text exposition to `DLM_OBS_SCRAPE_OUT` (no-op
+/// when unset); `main` truncates the file once per process, so the CI
+/// artifact holds exactly this invocation's scrapes.
+fn record_scrape(label: &str, response: &Json) {
+    let Ok(path) = std::env::var("DLM_OBS_SCRAPE_OUT") else {
+        return;
+    };
+    let exposition = response
+        .get("exposition")
+        .and_then(Json::as_str)
+        .unwrap_or_default();
+    use std::io::Write;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open scrape out");
+    write!(file, "# scrape: {label}\n{exposition}\n").expect("write scrape");
+    eprintln!("[{label}] scrape appended to {path}");
+}
+
+/// The per-verb `service_times` object for the serve artifact:
+/// server-side p50/p95 (ms) read from the scraped `dlm_service_micros`
+/// histograms, one entry per verb that recorded observations.
+fn service_times_json(snapshot: &dlm_obs::MetricsSnapshot) -> String {
+    let entries: Vec<String> = dlm_serve::telemetry::VERB_LABELS
+        .iter()
+        .filter_map(|&verb| {
+            let h = snapshot.histogram("dlm_service_micros", &[("verb", verb)])?;
+            if h.count == 0 {
+                return None;
+            }
+            let ms = |q: f64| h.quantile(q).unwrap_or(0.0) / 1e3;
+            Some(format!(
+                "\"{verb}\": {{\"count\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}}}",
+                h.count,
+                ms(0.5),
+                ms(0.95),
+            ))
+        })
+        .collect();
+    format!("{{{}}}", entries.join(", "))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| args.iter().any(|a| a == name);
@@ -445,6 +510,11 @@ fn main() {
     };
     eprintln!("replaying {replayed} votes over {horizon} hours from {clients} concurrent clients");
 
+    // Start the scrape artifact fresh; each run appends its exposition.
+    if let Ok(path) = std::env::var("DLM_OBS_SCRAPE_OUT") {
+        std::fs::write(&path, "").expect("truncate scrape out");
+    }
+
     let opts = LoadOpts { transport, batch };
     if router_mode {
         run_router_load(&world, &scenario, clients, replayed, smoke, kill_one, opts);
@@ -475,7 +545,11 @@ struct RunResult {
     ingest: Vec<f64>,
     forecast: Vec<f64>,
     cache: (u64, u64, u64),
+    /// Ready-to-embed JSON object: server-side per-verb p50/p95 from
+    /// the scraped `dlm_service_micros` histograms.
+    service_times: String,
     protocol_ok: bool,
+    metrics_ok: bool,
     identical: bool,
 }
 
@@ -486,8 +560,10 @@ impl RunResult {
              \"batch\": {batch}, \"requests\": {requests}, \"wire_lines\": {wire}, \
              \"wall_seconds\": {wall:.3}, \"throughput_rps\": {rps:.2}, \
              \"ingest_latency\": {ingest}, \"forecast_latency\": {forecast}, \
+             \"service_times\": {service_times}, \
              \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}}}, \
-             \"protocol_ok\": {protocol_ok}, \"outputs_identical\": {identical}}}",
+             \"protocol_ok\": {protocol_ok}, \"metrics_ok\": {metrics_ok}, \
+             \"outputs_identical\": {identical}}}",
             label = self.label,
             front = self.front,
             transport = self.opts.transport.wire_name(),
@@ -498,16 +574,18 @@ impl RunResult {
             rps = self.throughput,
             ingest = stats_json(&self.ingest),
             forecast = stats_json(&self.forecast),
+            service_times = self.service_times,
             hits = self.cache.0,
             misses = self.cache.1,
             evictions = self.cache.2,
             protocol_ok = self.protocol_ok,
+            metrics_ok = self.metrics_ok,
             identical = self.identical,
         )
     }
 
     fn gates_pass(&self) -> bool {
-        self.protocol_ok && self.identical
+        self.protocol_ok && self.metrics_ok && self.identical
     }
 }
 
@@ -602,6 +680,49 @@ fn run_one(
     let throughput = requests as f64 / wall_secs.max(1e-9);
     let state = server.state();
     let cache = state.cache().stats();
+
+    // Metrics gate: the server's own counters must equal the client-side
+    // counts exactly (a `metrics` request books its own counters only
+    // after its snapshot is taken, so the scrape never counts itself).
+    let (metrics_response, snapshot) = scrape_metrics(server.local_addr());
+    record_scrape(label, &metrics_response);
+    let horizon = scenario.votes_by_hour.len();
+    let batch_lines = if opts.batch > 1 {
+        clients * horizon.div_ceil(opts.batch)
+    } else {
+        0
+    };
+    let expected = [
+        ("open", clients),
+        ("ingest", clients * horizon),
+        ("forecast", clients * (horizon + 1)),
+        ("batch", batch_lines),
+        ("stats", 0),
+        ("metrics", 0),
+        ("invalid", 0),
+    ];
+    let mut metrics_ok = true;
+    for (verb, want) in expected {
+        let got = snapshot.counter("dlm_requests_total", &[("verb", verb)]);
+        if got != Some(want as u64) {
+            metrics_ok = false;
+            eprintln!(
+                "[{label}] METRICS GATE FAILED: dlm_requests_total{{verb=\"{verb}\"}} \
+                 = {got:?}, want {want}"
+            );
+        }
+    }
+    let transport = opts.transport.wire_name();
+    let wire_counted = snapshot.counter("dlm_wire_requests_total", &[("transport", transport)]);
+    if wire_counted != Some(wire_lines as u64) {
+        metrics_ok = false;
+        eprintln!(
+            "[{label}] METRICS GATE FAILED: dlm_wire_requests_total{{transport=\"{transport}\"}} \
+             = {wire_counted:?}, want {wire_lines}"
+        );
+    }
+    let service_times = service_times_json(&snapshot);
+
     print_latencies(&ingest, &forecast);
     eprintln!(
         "[{label}] {requests} requests ({wire_lines} wire lines) over {clients} connections \
@@ -619,7 +740,9 @@ fn run_one(
         ingest,
         forecast,
         cache: (cache.hits, cache.misses, cache.evictions),
+        service_times,
         protocol_ok,
+        metrics_ok,
         identical,
     }
 }
@@ -925,6 +1048,49 @@ fn run_router_load(
         .map(|arr| arr.iter().filter_map(Json::as_u64).collect())
         .unwrap_or_default();
 
+    // Metrics gate (router tier): the router's per-verb counters must
+    // equal the client-side counts. The backend aggregate's merge math
+    // is pinned by the router's own tests; the bench checks the tier
+    // view — scraped before the elasticity drill mutates the cluster.
+    let (metrics_response, merged) = scrape_metrics(front.local_addr());
+    record_scrape("router", &metrics_response);
+    let horizon = scenario.votes_by_hour.len();
+    let batch_lines = if opts.batch > 1 {
+        clients * horizon.div_ceil(opts.batch)
+    } else {
+        0
+    };
+    let expected = [
+        ("open", clients),
+        ("ingest", clients * horizon),
+        ("forecast", clients * (horizon + 1)),
+        ("batch", batch_lines),
+        ("stats", 1), // the stats gate above sent exactly one line
+        ("metrics", 0),
+        ("invalid", 0),
+    ];
+    let mut metrics_ok = true;
+    for (verb, want) in expected {
+        let got = merged.counter(
+            "dlm_router_requests_total",
+            &[("verb", verb), ("tier", "router")],
+        );
+        if got != Some(want as u64) {
+            metrics_ok = false;
+            eprintln!(
+                "METRICS GATE FAILED: dlm_router_requests_total{{verb=\"{verb}\"}} \
+                 = {got:?}, want {want}"
+            );
+        }
+    }
+    if let Some(unreachable) = metrics_response
+        .get("backends_unreachable")
+        .and_then(Json::as_u64)
+    {
+        metrics_ok = false;
+        eprintln!("METRICS GATE FAILED: scrape reported {unreachable} unreachable backend(s)");
+    }
+
     // The elasticity drill: drain one node (measured handoff), kill and
     // `remove` another (measured remap), and after every transition
     // re-probe each client's gate forecast. Replication must make the
@@ -1069,7 +1235,7 @@ fn run_router_load(
     );
     drop(front);
     drop(backends);
-    if !(protocol_ok && identical) {
+    if !(protocol_ok && metrics_ok && identical) {
         std::process::exit(1);
     }
 }

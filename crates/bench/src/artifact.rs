@@ -12,8 +12,11 @@ use dlm_serve::Json;
 /// Single-server / front-end-comparison load runs (`BENCH_serve.json`).
 /// `runs` always holds one entry per measured configuration — a plain
 /// run writes one, `--compare-fronts` writes one per front end — so
-/// consumers never branch on mode.
-pub const SERVE_SCHEMA: &str = "dlm-bench/serve/v2";
+/// consumers never branch on mode. `v3` adds `service_times`
+/// (server-side per-verb p50/p95 from the scraped `metrics` histogram
+/// snapshot) and `metrics_ok` (the scrape's counters matched the
+/// client-side counts) to every run entry.
+pub const SERVE_SCHEMA: &str = "dlm-bench/serve/v3";
 
 /// Routed load runs (`BENCH_router.json`), including the `--kill-one`
 /// elasticity drill. `v3` adds `hardware_threads` and `transport` to
@@ -38,7 +41,9 @@ pub const SERVE_RUN_KEYS: &[&str] = &[
     "throughput_rps",
     "ingest_latency",
     "forecast_latency",
+    "service_times",
     "protocol_ok",
+    "metrics_ok",
     "outputs_identical",
 ];
 
@@ -212,7 +217,8 @@ mod tests {
             "{{\"label\":\"reactor\",\"front\":\"reactor\",\"transport\":\"binary\",\
              \"batch\":64,\"requests\":100,\"wire_lines\":10,\"wall_seconds\":0.5,\
              \"throughput_rps\":200.0,\"ingest_latency\":null,\"forecast_latency\":null,\
-             \"protocol_ok\":true,\"outputs_identical\":true{run_extra}}}"
+             \"service_times\":{{\"ingest\":{{\"count\":40,\"p50_ms\":0.5,\"p95_ms\":2.0}}}},\
+             \"protocol_ok\":true,\"metrics_ok\":true,\"outputs_identical\":true{run_extra}}}"
         );
         format!(
             "{{\"schema\":\"{SERVE_SCHEMA}\",\"mode\":\"smoke\",\"hardware_threads\":8,\

@@ -1,0 +1,37 @@
+//! Zero-dependency telemetry core for the `dlm` serving stack.
+//!
+//! Two halves, both std-only:
+//!
+//! * **Metrics** — a per-instance [`Registry`] handing out lock-free
+//!   [`Counter`] / [`Gauge`] / [`Histogram`] handles. Registration
+//!   takes a mutex (cold path, once per handle); every increment after
+//!   that is a single relaxed atomic op, so instrumentation stays inert
+//!   on the data path. [`Registry::snapshot`] freezes the whole
+//!   registry into a plain-data [`MetricsSnapshot`] that merges
+//!   bucket-wise across processes and renders as Prometheus-style text
+//!   exposition ([`MetricsSnapshot::render`]).
+//! * **Logging** — a global leveled facade ([`Level`], [`log`], and the
+//!   [`error!`] / [`warn!`] / [`info!`] / [`debug!`] macros) writing
+//!   single-line records to stderr, plus [`next_id`] for cheap
+//!   process-unique connection/request ids so a slow-request line at
+//!   each hop of a routed request can be correlated by `trace` id.
+//!
+//! The registry is deliberately **not** a global static: tests bind
+//! many servers in one process, and each `ServerState` / `RouterState`
+//! owns its own registry so their counters never bleed together. Only
+//! the log level is global — there is one stderr.
+
+#![warn(missing_docs)]
+
+mod logging;
+mod metrics;
+
+pub use logging::{enabled, log, next_id, set_level, Level};
+// Macro-internal alias: the `error!`-family macros need an unambiguous
+// `$crate::` path to the level check.
+#[doc(hidden)]
+pub use logging::enabled as logging_enabled;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Series, SeriesValue,
+    HISTOGRAM_BUCKETS,
+};

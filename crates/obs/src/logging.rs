@@ -1,0 +1,174 @@
+//! The structured-log facade: one global level, single-line records on
+//! stderr, and a process-wide id well for connection/request/trace
+//! correlation.
+
+use std::fmt;
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most to least severe. The global level admits records
+/// at its own severity and above; the default is [`Level::Warn`] so
+/// servers are quiet unless something is wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error = 0,
+    /// Degraded-but-serving conditions (failovers, ring skew, slow
+    /// requests).
+    Warn = 1,
+    /// Lifecycle events (startup, topology commits).
+    Info = 2,
+    /// Per-connection / per-request chatter.
+    Debug = 3,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Self::Error => "ERROR",
+            Self::Warn => "WARN",
+            Self::Info => "INFO",
+            Self::Debug => "DEBUG",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Error => "error",
+            Self::Warn => "warn",
+            Self::Info => "info",
+            Self::Debug => "debug",
+        })
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(Self::Error),
+            "warn" => Ok(Self::Warn),
+            "info" => Ok(Self::Info),
+            "debug" => Ok(Self::Debug),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+
+/// Sets the global log level (process-wide; there is one stderr).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would be emitted. The `error!`-family
+/// macros check this before formatting so disabled levels cost one
+/// relaxed load.
+#[must_use]
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emits one single-line record to stderr:
+/// `ts=<unix-seconds> level=<level> target=<target> <msg>`.
+///
+/// Newlines in `msg` are replaced so one call is always one line — the
+/// records stay greppable even when a message interpolates wire text.
+pub fn log(level: Level, target: &str, msg: &str) {
+    if !enabled(level) {
+        return;
+    }
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0.0, |d| d.as_secs_f64());
+    let msg = if msg.contains('\n') {
+        msg.replace('\n', "\\n")
+    } else {
+        msg.to_owned()
+    };
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(
+        err,
+        "ts={ts:.3} level={} target={target} {msg}",
+        level.tag()
+    );
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A cheap process-unique id for connections and requests; logged so
+/// multiple records about one connection correlate.
+#[must_use]
+pub fn next_id() -> u64 {
+    NEXT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Logs at [`Level::Error`]; first argument is the target, the rest are
+/// `format!` arguments, formatted only when the level is enabled.
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::logging_enabled($crate::Level::Error) {
+            $crate::log($crate::Level::Error, $target, &format!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`]; see [`error!`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::logging_enabled($crate::Level::Warn) {
+            $crate::log($crate::Level::Warn, $target, &format!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`]; see [`error!`].
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::logging_enabled($crate::Level::Info) {
+            $crate::log($crate::Level::Info, $target, &format!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`]; see [`error!`].
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::logging_enabled($crate::Level::Debug) {
+            $crate::log($crate::Level::Debug, $target, &format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("warn".parse::<Level>().unwrap(), Level::Warn);
+        assert!("loud".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Debug);
+        assert_eq!(Level::Info.to_string(), "info");
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let a = next_id();
+        let b = next_id();
+        assert!(b > a);
+    }
+}

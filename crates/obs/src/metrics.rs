@@ -1,0 +1,671 @@
+//! Lock-free metrics: atomic counters/gauges, fixed log2-bucket
+//! histograms, mergeable snapshots, and the Prometheus-style text
+//! renderer.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `0` holds observations of `0`;
+/// bucket `i >= 1` holds `[2^(i-1), 2^i - 1]`; the last bucket absorbs
+/// everything above. With values in microseconds the top finite edge is
+/// `2^30 - 1` µs ≈ 18 minutes — far past any request this stack serves.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter. Cloning shares the same cell.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways. Cloning shares the
+/// same cell.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the value outright.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The log2 bucket an observed value lands in.
+#[must_use]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper edge of a bucket, as rendered in the `le` label;
+/// `None` is the `+Inf` overflow bucket.
+#[must_use]
+fn bucket_edge(i: usize) -> Option<u64> {
+    if i + 1 == HISTOGRAM_BUCKETS {
+        None
+    } else if i == 0 {
+        Some(0)
+    } else {
+        Some((1u64 << i) - 1)
+    }
+}
+
+/// A fixed log2-bucket histogram for latency-style values (canonically
+/// microseconds). Cloning shares the same cells.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.core.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        self.core.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration, in microseconds (saturating at `u64::MAX`).
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+}
+
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+impl Cell {
+    fn kind(&self) -> &'static str {
+        match self {
+            Self::Counter(_) => "counter",
+            Self::Gauge(_) => "gauge",
+            Self::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    cell: Cell,
+}
+
+/// A per-instance metrics registry. Handles are get-or-create by
+/// `(name, labels)` under a mutex — a cold path taken once per handle —
+/// and every increment afterwards is a relaxed atomic op with no lock.
+///
+/// Cloning the registry shares the underlying table, so a server can
+/// hand clones to its workers.
+#[derive(Clone, Default)]
+pub struct Registry {
+    entries: Arc<Mutex<Vec<Entry>>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len = self.entries.lock().map(|e| e.len()).unwrap_or(0);
+        f.debug_struct("Registry").field("metrics", &len).finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_entry<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Cell,
+        extract: impl Fn(&Cell) -> Option<T>,
+    ) -> T {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(entry) = entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        }) {
+            return extract(&entry.cell).unwrap_or_else(|| {
+                panic!(
+                    "metric `{name}` already registered as a {}",
+                    entry.cell.kind()
+                )
+            });
+        }
+        let cell = make();
+        let handle = extract(&cell).expect("freshly made cell matches");
+        entries.push(Entry {
+            name: name.to_owned(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+                .collect(),
+            cell,
+        });
+        handle
+    }
+
+    /// Gets or creates a counter. Panics if `(name, labels)` is already
+    /// registered as a different metric kind.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.with_entry(
+            name,
+            labels,
+            || Cell::Counter(Arc::new(AtomicU64::new(0))),
+            |cell| match cell {
+                Cell::Counter(c) => Some(Counter {
+                    cell: Arc::clone(c),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates a gauge. Panics on kind mismatch.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.with_entry(
+            name,
+            labels,
+            || Cell::Gauge(Arc::new(AtomicI64::new(0))),
+            |cell| match cell {
+                Cell::Gauge(g) => Some(Gauge {
+                    cell: Arc::clone(g),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Gets or creates a histogram. Panics on kind mismatch.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.with_entry(
+            name,
+            labels,
+            || Cell::Histogram(Arc::new(HistogramCore::new())),
+            |cell| match cell {
+                Cell::Histogram(h) => Some(Histogram {
+                    core: Arc::clone(h),
+                }),
+                _ => None,
+            },
+        )
+    }
+
+    /// Freezes every registered metric into plain data, sorted
+    /// canonically by `(name, labels)`.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut series: Vec<Series> = entries
+            .iter()
+            .map(|e| Series {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                value: match &e.cell {
+                    Cell::Counter(c) => SeriesValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => SeriesValue::Gauge(g.load(Ordering::Relaxed)),
+                    Cell::Histogram(h) => SeriesValue::Histogram(HistogramSnapshot {
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .map(|b| b.load(Ordering::Relaxed))
+                            .collect(),
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: h.sum.load(Ordering::Relaxed),
+                    }),
+                },
+            })
+            .collect();
+        drop(entries);
+        canonical_sort(&mut series);
+        MetricsSnapshot { series }
+    }
+}
+
+/// A frozen histogram: per-bucket counts, total count, and value sum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// One count per log2 bucket ([`HISTOGRAM_BUCKETS`] long).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An all-zero histogram.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Adds `other` into `self`, bucket-wise.
+    pub fn merge_from(&mut self, other: &Self) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// A conservative quantile estimate: the inclusive upper edge of the
+    /// first bucket at which the cumulative count reaches `q * count`.
+    /// Returns `None` for an empty histogram; the overflow bucket
+    /// reports its lower edge (the largest finite boundary).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(match bucket_edge(i) {
+                    Some(edge) => edge as f64,
+                    None => ((1u128 << (HISTOGRAM_BUCKETS - 1)) - 1) as f64,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// One frozen metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SeriesValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(i64),
+    /// A histogram reading.
+    Histogram(HistogramSnapshot),
+}
+
+/// One frozen series: a metric name, its label set, and the value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Metric name (e.g. `dlm_requests_total`).
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// The frozen value.
+    pub value: SeriesValue,
+}
+
+fn canonical_sort(series: &mut [Series]) {
+    series.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+}
+
+/// A frozen view of a whole registry: plain data, mergeable across
+/// processes, and renderable as text exposition. Series are kept in
+/// canonical `(name, labels)` order, which is what makes
+/// `merge(a, b) == merge(b, a)` bit-for-bit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All series, canonically sorted.
+    pub series: Vec<Series>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` into `self`: series with the same `(name, labels)`
+    /// identity combine (counters and gauges add, histograms merge
+    /// bucket-wise); everything else is unioned in. Result stays
+    /// canonically sorted.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for theirs in &other.series {
+            if let Some(mine) = self
+                .series
+                .iter_mut()
+                .find(|s| s.name == theirs.name && s.labels == theirs.labels)
+            {
+                match (&mut mine.value, &theirs.value) {
+                    (SeriesValue::Counter(a), SeriesValue::Counter(b)) => {
+                        *a = a.saturating_add(*b);
+                    }
+                    (SeriesValue::Gauge(a), SeriesValue::Gauge(b)) => {
+                        *a = a.saturating_add(*b);
+                    }
+                    (SeriesValue::Histogram(a), SeriesValue::Histogram(b)) => a.merge_from(b),
+                    // Kind mismatch across processes: keep ours; a
+                    // monitoring read must not panic a server.
+                    _ => {}
+                }
+            } else {
+                self.series.push(theirs.clone());
+            }
+        }
+        canonical_sort(&mut self.series);
+    }
+
+    /// A copy with `(key, value)` appended to every series' labels —
+    /// how the router tags each backend's snapshot with its address.
+    #[must_use]
+    pub fn with_label(&self, key: &str, value: &str) -> MetricsSnapshot {
+        let mut series: Vec<Series> = self
+            .series
+            .iter()
+            .cloned()
+            .map(|mut s| {
+                s.labels.push((key.to_owned(), value.to_owned()));
+                s
+            })
+            .collect();
+        canonical_sort(&mut series);
+        MetricsSnapshot { series }
+    }
+
+    /// Looks up one series by exact name and label set.
+    #[must_use]
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Series> {
+        self.series.iter().find(|s| {
+            s.name == name
+                && s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        })
+    }
+
+    /// The value of a counter series, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)?.value {
+            SeriesValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The frozen histogram of a histogram series, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.find(name, labels)?.value {
+            SeriesValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Renders Prometheus-style text exposition: a `# TYPE` line per
+    /// metric name (first occurrence in canonical order), then one line
+    /// per series — histograms expand to cumulative `_bucket{le=...}`
+    /// lines plus `_sum` and `_count`. Label values escape `\`, `"`,
+    /// and newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for s in &self.series {
+            if last_name != Some(s.name.as_str()) {
+                out.push_str("# TYPE ");
+                out.push_str(&s.name);
+                out.push(' ');
+                out.push_str(match s.value {
+                    SeriesValue::Counter(_) => "counter",
+                    SeriesValue::Gauge(_) => "gauge",
+                    SeriesValue::Histogram(_) => "histogram",
+                });
+                out.push('\n');
+                last_name = Some(s.name.as_str());
+            }
+            match &s.value {
+                SeriesValue::Counter(v) => {
+                    render_line(&mut out, &s.name, &s.labels, None, &v.to_string());
+                }
+                SeriesValue::Gauge(v) => {
+                    render_line(&mut out, &s.name, &s.labels, None, &v.to_string());
+                }
+                SeriesValue::Histogram(h) => {
+                    let bucket_name = format!("{}_bucket", s.name);
+                    let mut cumulative = 0u64;
+                    for (i, &n) in h.buckets.iter().enumerate() {
+                        cumulative += n;
+                        let le = match bucket_edge(i) {
+                            Some(edge) => edge.to_string(),
+                            None => "+Inf".to_owned(),
+                        };
+                        render_line(
+                            &mut out,
+                            &bucket_name,
+                            &s.labels,
+                            Some(("le", &le)),
+                            &cumulative.to_string(),
+                        );
+                    }
+                    render_line(
+                        &mut out,
+                        &format!("{}_sum", s.name),
+                        &s.labels,
+                        None,
+                        &h.sum.to_string(),
+                    );
+                    render_line(
+                        &mut out,
+                        &format!("{}_count", s.name),
+                        &s.labels,
+                        None,
+                        &h.count.to_string(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    let n_labels = labels.len() + usize::from(extra.is_some());
+    if n_labels > 0 {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra)
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            for ch in v.chars() {
+                match ch {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_covers_the_line() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every bucket's lower bound lands in that bucket.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(1u64 << (i - 1)), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_index((1u64 << i) - 1), i, "upper edge of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn handles_are_shared_and_lock_free_after_registration() {
+        let reg = Registry::new();
+        let a = reg.counter("hits", &[("verb", "open")]);
+        let b = reg.counter("hits", &[("verb", "open")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let other = reg.counter("hits", &[("verb", "ingest")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics_at_registration() {
+        let reg = Registry::new();
+        let _c = reg.counter("x", &[]);
+        let _g = reg.gauge("x", &[]);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let reg = Registry::new();
+        let g = reg.gauge("depth", &[]);
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_edges() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[]);
+        for v in [1u64, 1, 1, 1, 100, 100, 100, 10_000, 10_000, 1_000_000] {
+            h.observe(v);
+        }
+        let frozen = reg.snapshot();
+        let hist = frozen.histogram("lat", &[]).unwrap();
+        assert_eq!(hist.count, 10);
+        // p50 falls in the bucket holding 100 (bucket 7: 64..=127).
+        assert_eq!(hist.quantile(0.5), Some(127.0));
+        // p100 falls in the bucket holding 1_000_000.
+        assert_eq!(hist.quantile(1.0), Some((1u64 << 20) as f64 - 1.0));
+        assert_eq!(HistogramSnapshot::empty().quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_unions_and_adds() {
+        let r1 = Registry::new();
+        r1.counter("reqs", &[("verb", "open")]).add(3);
+        r1.histogram("lat", &[]).observe(5);
+        let r2 = Registry::new();
+        r2.counter("reqs", &[("verb", "open")]).add(4);
+        r2.counter("reqs", &[("verb", "stats")]).add(1);
+        r2.histogram("lat", &[]).observe(900);
+
+        let mut merged = r1.snapshot();
+        merged.merge(&r2.snapshot());
+        assert_eq!(merged.counter("reqs", &[("verb", "open")]), Some(7));
+        assert_eq!(merged.counter("reqs", &[("verb", "stats")]), Some(1));
+        let h = merged.histogram("lat", &[]).unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 905);
+    }
+
+    #[test]
+    fn with_label_tags_every_series() {
+        let reg = Registry::new();
+        reg.counter("reqs", &[("verb", "open")]).inc();
+        let tagged = reg.snapshot().with_label("backend", "127.0.0.1:7879");
+        assert_eq!(
+            tagged.counter("reqs", &[("verb", "open"), ("backend", "127.0.0.1:7879")]),
+            Some(1)
+        );
+        assert_eq!(tagged.counter("reqs", &[("verb", "open")]), None);
+    }
+}

@@ -1,0 +1,138 @@
+//! Pins the exposition text format with a known-answer test and the
+//! histogram/merge invariants with properties: bucket counts always sum
+//! to the observation count, and `merge(a, b) == merge(b, a)`
+//! bit-for-bit (including the rendered text).
+
+use dlm_obs::{HistogramSnapshot, Registry, SeriesValue, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+#[test]
+fn exposition_known_answer() {
+    let reg = Registry::new();
+    reg.counter("dlm_requests_total", &[("verb", "open")])
+        .add(3);
+    reg.counter("dlm_requests_total", &[("verb", "ingest")])
+        .add(40);
+    reg.gauge("dlm_active_connections", &[("worker", "0")])
+        .set(2);
+    let h = reg.histogram("dlm_service_micros", &[("verb", "open")]);
+    h.observe(0);
+    h.observe(1);
+    h.observe(3);
+    h.observe(1u64 << 40); // lands in the +Inf overflow bucket
+
+    let text = reg.snapshot().render();
+    let mut expected = String::new();
+    expected.push_str("# TYPE dlm_active_connections gauge\n");
+    expected.push_str("dlm_active_connections{worker=\"0\"} 2\n");
+    expected.push_str("# TYPE dlm_requests_total counter\n");
+    expected.push_str("dlm_requests_total{verb=\"ingest\"} 40\n");
+    expected.push_str("dlm_requests_total{verb=\"open\"} 3\n");
+    expected.push_str("# TYPE dlm_service_micros histogram\n");
+    // Cumulative buckets: {0} -> 1, [1,1] -> 2, [2,3] -> 3, then flat
+    // until the +Inf bucket absorbs the 2^40 observation.
+    let mut cumulative = 0u64;
+    for i in 0..HISTOGRAM_BUCKETS {
+        cumulative = match i {
+            0..=2 => cumulative + 1,
+            i if i == HISTOGRAM_BUCKETS - 1 => cumulative + 1,
+            _ => cumulative,
+        };
+        let le = if i == HISTOGRAM_BUCKETS - 1 {
+            "+Inf".to_owned()
+        } else if i == 0 {
+            "0".to_owned()
+        } else {
+            ((1u64 << i) - 1).to_string()
+        };
+        expected.push_str(&format!(
+            "dlm_service_micros_bucket{{verb=\"open\",le=\"{le}\"}} {cumulative}\n"
+        ));
+    }
+    expected.push_str(&format!(
+        "dlm_service_micros_sum{{verb=\"open\"}} {}\n",
+        4 + (1u64 << 40)
+    ));
+    expected.push_str("dlm_service_micros_count{verb=\"open\"} 4\n");
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn label_values_are_escaped() {
+    let reg = Registry::new();
+    reg.counter("weird", &[("path", "a\\b\"c\nd")]).inc();
+    let text = reg.snapshot().render();
+    assert!(
+        text.contains("weird{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+        "unexpected exposition:\n{text}"
+    );
+    // Still exactly one TYPE line + one sample line: the newline in the
+    // label value must not break the line-oriented format.
+    assert_eq!(text.lines().count(), 2);
+}
+
+fn observations() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..u64::MAX, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bucket_counts_sum_to_observation_count(values in observations()) {
+        let reg = Registry::new();
+        let h = reg.histogram("lat", &[]);
+        for &v in &values {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let hist = snap.histogram("lat", &[]).expect("registered");
+        let bucket_total: u64 = hist.buckets.iter().sum();
+        prop_assert_eq!(bucket_total, values.len() as u64);
+        prop_assert_eq!(hist.count, values.len() as u64);
+        if hist.count > 0 {
+            prop_assert!(hist.quantile(0.5).is_some());
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_bit_for_bit(
+        xs in observations(),
+        ys in observations(),
+        na in 0u64..1000,
+        nb in 0u64..1000,
+    ) {
+        let ra = Registry::new();
+        ra.counter("reqs", &[("verb", "open")]).add(na);
+        ra.counter("only_a", &[]).add(na);
+        let ha = ra.histogram("lat", &[]);
+        for &v in &xs {
+            ha.observe(v);
+        }
+        let rb = Registry::new();
+        rb.counter("reqs", &[("verb", "open")]).add(nb);
+        rb.gauge("only_b", &[]).set(nb as i64);
+        let hb = rb.histogram("lat", &[]);
+        for &v in &ys {
+            hb.observe(v);
+        }
+
+        let (a, b) = (ra.snapshot(), rb.snapshot());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.render(), ba.render());
+
+        // Merged histogram equals the bucket-wise sum of the parts.
+        let mut manual = HistogramSnapshot::empty();
+        if let Some(SeriesValue::Histogram(h)) = a.find("lat", &[]).map(|s| &s.value) {
+            manual.merge_from(h);
+        }
+        if let Some(SeriesValue::Histogram(h)) = b.find("lat", &[]).map(|s| &s.value) {
+            manual.merge_from(h);
+        }
+        prop_assert_eq!(ab.histogram("lat", &[]).expect("merged"), &manual);
+    }
+}

@@ -6,11 +6,13 @@
 //!            [--addr 127.0.0.1:7900] [--replicas 64] [--replicas-data 1]
 //!            [--workers N] [--connect-timeout-ms 2000]
 //!            [--backend-transport lines|binary]
+//!            [--log-level error|warn|info|debug]
 //! ```
 //!
-//! Prints one `READY {"addr":...,"backends":N}` line once the socket is
-//! bound (scripts and the load generator wait for it), then routes
-//! until killed. Backends are dialed lazily, so the router may be
+//! Prints one `READY {"addr":...,"backends":N,"version":...}` line
+//! carrying the bound address plus a one-line config summary (backend
+//! transport, ring/data replicas) once the socket is bound (scripts
+//! and the load generator wait for it), then routes until killed. Backends are dialed lazily, so the router may be
 //! started before its backends; requests to a not-yet-up backend simply
 //! surface that backend's error until it arrives.
 
@@ -22,7 +24,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: dlm-router --backend HOST:PORT [--backend HOST:PORT ...] \
          [--addr HOST:PORT] [--replicas N] [--replicas-data N] [--workers N] \
-         [--connect-timeout-ms MS] [--backend-transport lines|binary]"
+         [--connect-timeout-ms MS] [--backend-transport lines|binary] \
+         [--log-level error|warn|info|debug]"
     );
     std::process::exit(2);
 }
@@ -84,6 +87,15 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--log-level" => {
+                // Structured-log threshold on stderr; default warn.
+                let level: dlm_obs::Level =
+                    value("--log-level").parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        usage()
+                    });
+                dlm_obs::set_level(level);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -111,13 +123,20 @@ fn main() {
         }
     };
     let backend_count = state.backend_addrs().len();
+    let transport = backend_transport.wire_name();
     let server = DlmServer::bind(addr.as_str(), state).expect("bind");
     println!(
-        "READY {{\"addr\":\"{}\",\"backends\":{backend_count}}}",
+        "READY {{\"addr\":\"{}\",\"backends\":{backend_count},\"version\":\"{}\",\
+         \"backend_transport\":\"{transport}\",\"replicas\":{replicas},\
+         \"data_replicas\":{data_replicas}}}",
         server.local_addr(),
+        env!("CARGO_PKG_VERSION"),
     );
     eprintln!(
-        "routing over {backend_count} backends on {}; Ctrl-C to stop",
+        "dlm-router {} routing over {backend_count} backends on {} \
+         (transport={transport} replicas={replicas} data_replicas={data_replicas}); \
+         Ctrl-C to stop",
+        env!("CARGO_PKG_VERSION"),
         server.local_addr()
     );
     // Route until the process is killed.

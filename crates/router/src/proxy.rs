@@ -92,12 +92,35 @@ use dlm_cluster::Membership;
 use dlm_core::cache::CacheStats;
 use dlm_core::evaluate::Parallelism;
 use dlm_numerics::pool::parallel_map;
+use dlm_obs::{Counter, Histogram, MetricsSnapshot, Registry};
 use dlm_serve::protocol::{batch_response, error_response};
-use dlm_serve::{Json, LineClient, LineService, Request, Result, ServeError, Transport};
+use dlm_serve::telemetry::{response_is_error, verb_label, RequestMetrics, SLOW_REQUEST};
+use dlm_serve::{
+    metrics_response, snapshot_from_json, Json, LineClient, LineService, Request, Result,
+    ServeError, Transport,
+};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+/// Every verb label the router's request-path metrics use. The
+/// backend-scoped verbs the router rejects (`restore`, `cascades`,
+/// `evict`) count under the trailing `invalid` fallback, like any
+/// other line the tier refuses to route.
+const ROUTER_VERB_LABELS: &[&str] = &[
+    "open", "ingest", "forecast", "stats", "snapshot", "batch", "metrics", "join", "drain",
+    "remove", "invalid",
+];
+
+/// The router-tier verb label for a request `type` string.
+fn router_verb(kind: &str) -> &'static str {
+    ROUTER_VERB_LABELS
+        .iter()
+        .find(|v| **v == kind)
+        .copied()
+        .unwrap_or("invalid")
+}
 
 /// Tuning knobs for [`RouterState`].
 #[derive(Debug, Clone)]
@@ -165,10 +188,49 @@ struct Backend {
     routed: AtomicU64,
     /// Requests that failed against this backend after any retry.
     errors: AtomicU64,
+    /// Per-backend exposition counters (shared cells across topology
+    /// generations, because the `Arc<Backend>` itself is reused).
+    metrics: BackendMetrics,
+}
+
+/// Per-backend counters exposed through the router's `metrics` verb,
+/// labeled with the backend address.
+#[derive(Debug)]
+struct BackendMetrics {
+    requests: Counter,
+    errors: Counter,
+    /// Stale-pooled-connection retries on read-only requests.
+    retries: Counter,
+    /// Reads this owner failed or rejected, sending the owner walk on
+    /// to the next replica.
+    failovers: Counter,
+    /// Replicated writes that missed this owner (the relayed response
+    /// carried `"degraded":true`).
+    degraded_writes: Counter,
+}
+
+impl BackendMetrics {
+    fn new(registry: &Registry, addr: &str) -> Self {
+        let labels = [("backend", addr)];
+        Self {
+            requests: registry.counter("dlm_router_backend_requests_total", &labels),
+            errors: registry.counter("dlm_router_backend_errors_total", &labels),
+            retries: registry.counter("dlm_router_backend_retries_total", &labels),
+            failovers: registry.counter("dlm_router_backend_failovers_total", &labels),
+            degraded_writes: registry.counter("dlm_router_degraded_writes_total", &labels),
+        }
+    }
 }
 
 impl Backend {
-    fn new(addr: String, max_idle: usize, connect_timeout: Duration, transport: Transport) -> Self {
+    fn new(
+        addr: String,
+        max_idle: usize,
+        connect_timeout: Duration,
+        transport: Transport,
+        registry: &Registry,
+    ) -> Self {
+        let metrics = BackendMetrics::new(registry, &addr);
         Self {
             addr,
             idle: Mutex::new(Vec::new()),
@@ -177,6 +239,7 @@ impl Backend {
             transport,
             routed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            metrics,
         }
     }
 
@@ -209,6 +272,7 @@ impl Backend {
     /// duplicate) — the failure is surfaced as state-unknown instead.
     fn round_trip(&self, line: &str, retriable: bool) -> std::result::Result<String, String> {
         self.routed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
         // First try a pooled connection, if any survived.
         if let Some(mut client) = self.checkout() {
             match client.send_raw(line) {
@@ -220,6 +284,7 @@ impl Backend {
                     drop(client); // dead either way
                     if !retriable {
                         self.errors.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.errors.inc();
                         return Err(format!(
                             "{e} (pooled connection failed mid-request; not retried — \
                              the backend may or may not have applied it)"
@@ -227,6 +292,7 @@ impl Backend {
                     }
                     // Stale keepalive on a read-only request: retry
                     // fresh below.
+                    self.metrics.retries.inc();
                 }
             }
         }
@@ -243,6 +309,7 @@ impl Backend {
             }
             Err(e) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
+                self.metrics.errors.inc();
                 // The backend would not even accept a fresh dial —
                 // anything idling in the pool is at best stale.
                 self.close_idle();
@@ -275,6 +342,7 @@ impl Topology {
         max_idle: usize,
         connect_timeout: Duration,
         transport: Transport,
+        registry: &Registry,
     ) -> Result<Self> {
         let labels = membership.active_labels();
         let ring = HashRing::new(&labels, ring_replicas)?;
@@ -291,6 +359,7 @@ impl Topology {
                             max_idle,
                             connect_timeout,
                             transport,
+                            registry,
                         ))
                     })
             })
@@ -335,6 +404,16 @@ pub struct RouterState {
     backend_transport: Transport,
     parallelism: Parallelism,
     requests: AtomicU64,
+    /// The router's own telemetry (`dlm_router_*` series, plus whatever
+    /// the front end registers when this state is served over TCP).
+    metrics: Registry,
+    request_metrics: RequestMetrics,
+    /// Items per routed batch line (the tier's fan-out width).
+    batch_fanout: Histogram,
+    /// Wall time of each committed admin rebalance.
+    handoff_micros: Histogram,
+    /// Topology commits (ring version bumps).
+    ring_bumps: Counter,
 }
 
 impl RouterState {
@@ -355,6 +434,7 @@ impl RouterState {
             ));
         }
         let membership = Membership::new(&config.backends)?;
+        let metrics = Registry::new();
         let topology = Topology::build(
             membership,
             config.replicas,
@@ -362,8 +442,13 @@ impl RouterState {
             config.max_idle_per_backend,
             config.connect_timeout,
             config.backend_transport,
+            &metrics,
         )?;
-        Ok(Self {
+        let request_metrics = RequestMetrics::new(&metrics, "dlm_router", ROUTER_VERB_LABELS);
+        let batch_fanout = metrics.histogram("dlm_router_batch_fanout", &[]);
+        let handoff_micros = metrics.histogram("dlm_router_handoff_micros", &[]);
+        let ring_bumps = metrics.counter("dlm_router_ring_bumps_total", &[]);
+        let state = Self {
             topology: RwLock::new(topology),
             data_replicas: config.data_replicas,
             ring_replicas: config.replicas,
@@ -372,7 +457,46 @@ impl RouterState {
             backend_transport: config.backend_transport,
             parallelism: config.parallelism,
             requests: AtomicU64::new(0),
-        })
+            metrics,
+            request_metrics,
+            batch_fanout,
+            handoff_micros,
+            ring_bumps,
+        };
+        // Seed every backend with the initial ring version so their
+        // `stats` lines carry it for skew detection. Best-effort:
+        // backends may still be starting (they dial lazily).
+        state.push_ring_version();
+        Ok(state)
+    }
+
+    /// Pushes the committed ring version to every active backend so a
+    /// later `stats` scatter-gather can detect a backend that missed a
+    /// topology change. Best-effort by design — an unreachable backend
+    /// shows up as skew (or as unreachable) rather than blocking the
+    /// commit.
+    fn push_ring_version(&self) {
+        let (backends, version) = {
+            let topology = self.topology();
+            (topology.backends.clone(), topology.membership.version())
+        };
+        let line = format!("{{\"type\":\"ring\",\"version\":{version}}}");
+        for backend in backends {
+            if let Err(reason) = backend.round_trip(&line, false) {
+                dlm_obs::debug!(
+                    "dlm-router",
+                    "ring version push to {} failed: {reason}",
+                    backend.addr
+                );
+            }
+        }
+    }
+
+    /// The router's metrics registry (the `metrics` verb merges this
+    /// with every backend's snapshot).
+    #[must_use]
+    pub fn metrics_registry(&self) -> &Registry {
+        &self.metrics
     }
 
     fn topology(&self) -> std::sync::RwLockReadGuard<'_, Topology> {
@@ -411,24 +535,49 @@ impl RouterState {
     /// input becomes an `{"ok":false,...}` line, never a panic.
     pub fn handle_line(&self, line: &str) -> String {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        match self.route_line(line) {
+        let started = Instant::now();
+        let (verb, trace, routed) = match Json::parse(line) {
+            Ok(value) => {
+                let verb = value
+                    .get("type")
+                    .and_then(Json::as_str)
+                    .map_or("invalid", router_verb);
+                let trace = value.get("trace").and_then(Json::as_str).map(str::to_owned);
+                (verb, trace, self.route_value(&value, line))
+            }
+            Err(e) => ("invalid", None, Err(ServeError::Protocol(e))),
+        };
+        let response = match routed {
             // A relayed backend response is passed through untouched —
             // this is what keeps routed forecasts byte-identical to
             // direct ones.
             Ok(Routed::Relayed(raw)) => raw,
             Ok(Routed::Synthesized(value)) => value.to_string(),
             Err(e) => error_response(&e.to_string()).to_string(),
+        };
+        self.request_metrics
+            .count(verb, response_is_error(&response));
+        let elapsed = started.elapsed();
+        self.request_metrics.observe_service(verb, elapsed);
+        if elapsed >= SLOW_REQUEST {
+            dlm_obs::warn!(
+                "dlm-router",
+                "slow request verb={verb} micros={} trace={}",
+                elapsed.as_micros(),
+                trace.as_deref().unwrap_or("-")
+            );
         }
+        response
     }
 
-    fn route_line(&self, line: &str) -> Result<Routed> {
-        let value = Json::parse(line).map_err(ServeError::Protocol)?;
+    fn route_value(&self, value: &Json, line: &str) -> Result<Routed> {
         let kind = value
             .get("type")
             .and_then(Json::as_str)
             .ok_or_else(|| ServeError::Protocol("missing field `type`".into()))?;
         match kind {
             "stats" => Ok(Routed::Synthesized(self.handle_stats())),
+            "metrics" => Ok(Routed::Synthesized(self.handle_metrics())),
             "join" | "drain" | "remove" => {
                 let backend = value
                     .get("backend")
@@ -477,6 +626,7 @@ impl RouterState {
                         "`requests` must hold at least one request".into(),
                     ));
                 }
+                self.batch_fanout.observe(requests.len() as u64);
                 let results: Vec<String> = requests
                     .iter()
                     .map(|item| self.route_batch_item(item))
@@ -495,7 +645,9 @@ impl RouterState {
     /// (same error text as `ServerState`), and a failed item errors in
     /// place without poisoning its neighbors.
     fn route_batch_item(&self, item: &Json) -> String {
+        let mut verb = "invalid";
         let routed = Request::from_value(item).and_then(|request| {
+            verb = verb_label(&request);
             let (cascade, read) = match &request {
                 Request::Open { cascade, .. } | Request::Ingest { cascade, .. } => {
                     (cascade.clone(), false)
@@ -517,11 +669,16 @@ impl RouterState {
                 route_write(&owners, &line)
             })
         });
-        match routed {
+        let response = match routed {
             Ok(Routed::Relayed(raw)) => raw,
             Ok(Routed::Synthesized(value)) => value.to_string(),
             Err(e) => error_response(&e.to_string()).to_string(),
-        }
+        };
+        // Items count under their own verb, mirroring the serving
+        // core: per-verb counters track logical operations.
+        self.request_metrics
+            .count(verb, response_is_error(&response));
+        response
     }
 
     /// The admin verbs. All three run synchronously under the topology
@@ -556,6 +713,7 @@ impl RouterState {
             self.max_idle,
             self.connect_timeout,
             self.backend_transport,
+            &self.metrics,
         )?;
         let plan = migrate_cascades(&topology, &next, self.data_replicas);
         let mut report = plan.report;
@@ -599,6 +757,18 @@ impl RouterState {
                 report.evicted += 1;
             }
         }
+        // Tell every backend under the committed topology which ring
+        // version it now serves, so `stats` can detect stragglers.
+        self.push_ring_version();
+        self.ring_bumps.inc();
+        self.handoff_micros.observe_duration(start.elapsed());
+        dlm_obs::info!(
+            "dlm-router",
+            "{verb} `{label}` committed: ring_version={ring_version} migrated={} evicted={} ms={:.1}",
+            report.migrated,
+            report.evicted,
+            start.elapsed().as_secs_f64() * 1e3
+        );
         let mut fields = vec![
             ("ok".to_owned(), Json::Bool(true)),
             ("verb".to_owned(), Json::str(verb)),
@@ -650,12 +820,22 @@ impl RouterState {
         let mut models: Option<Json> = None;
         let mut reachable = 0usize;
         let mut slowest_ms = 0f64;
+        let mut skewed: Vec<String> = Vec::new();
         for (backend, (ms, outcome)) in backends_snapshot.iter().zip(gathered) {
             let mut entry = vec![("addr".to_owned(), Json::str(backend.addr.clone()))];
             match outcome {
                 Ok(stats) => {
                     reachable += 1;
                     slowest_ms = slowest_ms.max(ms);
+                    // A backend that reports a ring version (it omits the
+                    // field until a router pushes one) must agree with
+                    // the committed topology; a straggler either missed
+                    // a push or belongs to another router's ring.
+                    if let Some(reported) = stats.get("ring_version").and_then(Json::as_u64) {
+                        if reported != ring_version {
+                            skewed.push(format!("{}={reported}", backend.addr));
+                        }
+                    }
                     cache += CacheStats {
                         hits: nested_u64(&stats, "cache", "hits"),
                         misses: nested_u64(&stats, "cache", "misses"),
@@ -747,18 +927,92 @@ impl RouterState {
             ),
             ("replicas".to_owned(), Json::num(self.ring_replicas as f64)),
         ]);
-        Json::Obj(vec![
+        let mut fields = vec![
             ("ok".to_owned(), Json::Bool(true)),
             ("role".to_owned(), Json::str("router")),
             (
                 "degraded".to_owned(),
                 Json::Bool(reachable < backends_snapshot.len()),
             ),
+        ];
+        if !skewed.is_empty() {
+            dlm_obs::warn!(
+                "dlm-router",
+                "ring skew: router ring_version={ring_version}, backends disagree: {}",
+                skewed.join(", ")
+            );
+            fields.push(("ring_skew".to_owned(), Json::Bool(true)));
+        }
+        fields.extend([
             ("aggregate".to_owned(), aggregate),
             ("slowest_backend_ms".to_owned(), Json::num(slowest_ms)),
             ("router".to_owned(), router),
             ("backends".to_owned(), Json::Arr(backends)),
-        ])
+        ]);
+        Json::Obj(fields)
+    }
+
+    /// Fans `{"type":"metrics"}` out to every backend and merges the
+    /// structured snapshots into one cluster-wide exposition holding
+    /// three disjoint groups of series:
+    ///
+    /// * the **aggregate**: every backend snapshot merged identity-wise
+    ///   (counters sum, histograms merge bucket by bucket), no extra
+    ///   labels — the cluster total;
+    /// * **per-backend** series, the same snapshots tagged
+    ///   `backend="addr"` — attribution;
+    /// * the **router's own** series, tagged `tier="router"` so the
+    ///   front-end wire/reactor counters this state registers never
+    ///   fold into the backend aggregate.
+    fn handle_metrics(&self) -> Json {
+        let backends_snapshot = { self.topology().backends.clone() };
+        let indices: Vec<usize> = (0..backends_snapshot.len()).collect();
+        let line = r#"{"type":"metrics"}"#;
+        let gathered: Vec<std::result::Result<MetricsSnapshot, String>> =
+            parallel_map(self.parallelism, &indices, |_, &i| {
+                backends_snapshot[i]
+                    .round_trip(line, true)
+                    .and_then(|raw| {
+                        Json::parse(&raw).map_err(|e| format!("bad metrics response: {e}"))
+                    })
+                    .and_then(|parsed| {
+                        let snapshot = parsed
+                            .get("snapshot")
+                            .ok_or_else(|| "metrics response missing `snapshot`".to_owned())?;
+                        snapshot_from_json(snapshot).map_err(|e| e.to_string())
+                    })
+            });
+        let mut merged = self.metrics.snapshot().with_label("tier", "router");
+        let mut aggregate = MetricsSnapshot::default();
+        let mut unreachable = 0usize;
+        for (backend, outcome) in backends_snapshot.iter().zip(gathered) {
+            match outcome {
+                Ok(snapshot) => {
+                    aggregate.merge(&snapshot);
+                    merged.merge(&snapshot.with_label("backend", &backend.addr));
+                }
+                Err(reason) => {
+                    unreachable += 1;
+                    dlm_obs::warn!(
+                        "dlm-router",
+                        "metrics scrape of {} failed: {reason}",
+                        backend.addr
+                    );
+                }
+            }
+        }
+        merged.merge(&aggregate);
+        let response = metrics_response(&merged);
+        let Json::Obj(mut fields) = response else {
+            unreachable!("metrics_response builds an object");
+        };
+        if unreachable > 0 {
+            fields.push((
+                "backends_unreachable".to_owned(),
+                Json::num(unreachable as f64),
+            ));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -958,11 +1212,13 @@ fn route_read(owners: &[Arc<Backend>], line: &str) -> Routed {
                 if response_is_ok(&response) {
                     return Routed::Relayed(response);
                 }
+                backend.metrics.failovers.inc();
                 if rejected.is_none() {
                     rejected = Some(response);
                 }
             }
             Err(reason) => {
+                backend.metrics.failovers.inc();
                 if first_error.is_none() {
                     first_error = Some(reason);
                 }
@@ -995,6 +1251,7 @@ fn route_write(owners: &[Arc<Backend>], line: &str) -> Routed {
                 }
             }
             Err(reason) => {
+                backend.metrics.degraded_writes.inc();
                 missed.push(backend.addr.clone());
                 if first_error.is_none() {
                     first_error = Some(reason);
@@ -1052,6 +1309,10 @@ fn unavailable_response(primary: &str, reason: Option<String>) -> Routed {
 impl LineService for RouterState {
     fn handle_line(&self, line: &str) -> String {
         RouterState::handle_line(self, line)
+    }
+
+    fn metrics_registry(&self) -> Option<&Registry> {
+        Some(&self.metrics)
     }
 }
 

@@ -897,6 +897,234 @@ fn dials_are_bounded_by_the_connect_timeout() {
 }
 
 #[test]
+fn merged_metrics_are_the_bucket_wise_sum_of_backend_snapshots() {
+    // The router's `metrics` scatter-gather returns three disjoint
+    // series groups: the unlabeled cluster aggregate, each backend's
+    // snapshot tagged `backend=addr`, and the router's own series
+    // tagged `tier=router`. The PR's acceptance gate: the aggregate is
+    // bit-for-bit the bucket-wise sum of the embedded backend
+    // snapshots, and the deterministic counters match the traffic sent.
+    use dlm_obs::MetricsSnapshot;
+    use dlm_serve::snapshot_from_json;
+
+    let (world, submit, initiator, votes, close_at) = fixture();
+    let b0 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let b1 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let addrs = vec![b0.local_addr().to_string(), b1.local_addr().to_string()];
+    let router = Arc::new(
+        RouterState::new(RouterConfig {
+            parallelism: Parallelism::Fixed(2),
+            ..RouterConfig::new(addrs.clone())
+        })
+        .unwrap(),
+    );
+    let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).unwrap();
+    let mut routed = LineClient::connect(front.local_addr()).unwrap();
+
+    // Cascades on both shards, so both backends carry real counts.
+    let mut ids: Vec<String> = Vec::new();
+    let mut per_shard = [0usize; 2];
+    for i in 0..64 {
+        let id = format!("obs-{i}");
+        let shard = router.shard_of(&id);
+        if per_shard[shard] < 2 {
+            per_shard[shard] += 1;
+            ids.push(id);
+        }
+        if ids.len() == 4 {
+            break;
+        }
+    }
+    assert_eq!(per_shard, [2, 2], "both shards must own cascades");
+    for id in &ids {
+        for line in [
+            format!(
+                r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+            ),
+            format!(r#"{{"type":"ingest","cascade":"{id}","votes":[{votes}],"now":{close_at}}}"#),
+            format!(
+                r#"{{"type":"forecast","cascade":"{id}","hours":[{HORIZON}],"through":{OBSERVE_THROUGH}}}"#
+            ),
+        ] {
+            let response = Json::parse(&routed.send_raw(&line).unwrap()).unwrap();
+            assert_eq!(
+                response.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "{response}"
+            );
+        }
+    }
+
+    let scrape = Json::parse(&routed.send_raw(r#"{"type":"metrics"}"#).unwrap()).unwrap();
+    assert_eq!(scrape.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(
+        scrape.get("backends_unreachable").is_none(),
+        "every backend was reachable: {scrape}"
+    );
+    let exposition = scrape.get("exposition").unwrap().as_str().unwrap();
+    assert!(exposition.contains("# TYPE dlm_requests_total counter"));
+    assert!(exposition.contains("# TYPE dlm_router_requests_total counter"));
+    let merged = snapshot_from_json(scrape.get("snapshot").unwrap()).unwrap();
+
+    // Rebuild the sum from the backend-tagged copies in the same
+    // response and compare it to the unlabeled aggregate bit-for-bit
+    // (counters add, histogram buckets add element-wise via `merge`).
+    let tagged = |labels: &[(String, String)], key: &str| labels.iter().any(|(k, _)| k == key);
+    let mut summed = MetricsSnapshot::default();
+    for addr in &addrs {
+        let backend_series: Vec<_> = merged
+            .series
+            .iter()
+            .filter(|s| {
+                !tagged(&s.labels, "tier")
+                    && s.labels.iter().any(|(k, v)| k == "backend" && v == addr)
+            })
+            .cloned()
+            .map(|mut s| {
+                s.labels.retain(|(k, _)| k != "backend");
+                s
+            })
+            .collect();
+        assert!(
+            !backend_series.is_empty(),
+            "backend {addr} snapshot missing from the merge"
+        );
+        summed.merge(&MetricsSnapshot {
+            series: backend_series,
+        });
+    }
+    let aggregate = MetricsSnapshot {
+        series: merged
+            .series
+            .iter()
+            .filter(|s| !tagged(&s.labels, "backend") && !tagged(&s.labels, "tier"))
+            .cloned()
+            .collect(),
+    };
+    assert!(!aggregate.series.is_empty(), "aggregate group missing");
+    assert_eq!(
+        aggregate, summed,
+        "aggregate is not the bucket-wise sum of the backend snapshots"
+    );
+
+    // Deterministic cluster totals: one open/ingest/forecast per
+    // cascade, one startup ring push per backend, zero errors. The
+    // fan-out scrape itself counts only after its own snapshot.
+    for (verb, n) in [
+        ("open", 4),
+        ("ingest", 4),
+        ("forecast", 4),
+        ("ring", 2),
+        ("metrics", 0),
+        ("invalid", 0),
+    ] {
+        assert_eq!(
+            aggregate.counter("dlm_requests_total", &[("verb", verb)]),
+            Some(n),
+            "cluster dlm_requests_total verb={verb}"
+        );
+        assert_eq!(
+            aggregate.counter("dlm_request_errors_total", &[("verb", verb)]),
+            Some(0),
+            "cluster dlm_request_errors_total verb={verb}"
+        );
+    }
+    // The router's own tier counts the same client traffic once.
+    for (verb, n) in [("open", 4), ("ingest", 4), ("forecast", 4), ("metrics", 0)] {
+        assert_eq!(
+            merged.counter(
+                "dlm_router_requests_total",
+                &[("verb", verb), ("tier", "router")]
+            ),
+            Some(n),
+            "router dlm_router_requests_total verb={verb}"
+        );
+    }
+    for addr in &addrs {
+        let routed_to = merged
+            .counter(
+                "dlm_router_backend_requests_total",
+                &[("backend", addr), ("tier", "router")],
+            )
+            .unwrap_or_else(|| panic!("missing backend counter for {addr}"));
+        assert!(routed_to > 0, "backend {addr} should have received traffic");
+    }
+
+    drop(front);
+    drop(b0);
+    drop(b1);
+}
+
+#[test]
+fn stats_flag_ring_skew_when_a_backend_disagrees() {
+    // A backend whose ring version diverges from the router's committed
+    // epoch is routing-inconsistent; the scatter-gather `stats` must
+    // surface that as `"ring_skew":true` — and only then.
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).unwrap();
+    let b0 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let b1 = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let addrs = vec![b0.local_addr().to_string(), b1.local_addr().to_string()];
+    let router = Arc::new(
+        RouterState::new(RouterConfig {
+            parallelism: Parallelism::Fixed(2),
+            ..RouterConfig::new(addrs.clone())
+        })
+        .unwrap(),
+    );
+    let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).unwrap();
+    let mut routed = LineClient::connect(front.local_addr()).unwrap();
+
+    // Healthy cluster: the startup push aligned every backend with
+    // epoch 1, so the field is absent entirely.
+    let healthy = Json::parse(&routed.send_raw(r#"{"type":"stats"}"#).unwrap()).unwrap();
+    assert_eq!(healthy.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(
+        healthy.get("ring_skew").is_none(),
+        "aligned backends must not report skew: {healthy}"
+    );
+
+    // Push a rogue epoch directly to one backend, behind the router's
+    // back — the missed-update / split-brain shape.
+    let mut direct = LineClient::connect(addrs[0].as_str()).unwrap();
+    let rogue = Json::parse(&direct.send_raw(r#"{"type":"ring","version":99}"#).unwrap()).unwrap();
+    assert_eq!(rogue.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(rogue.get("ring_version").and_then(Json::as_u64), Some(99));
+
+    let skewed = Json::parse(&routed.send_raw(r#"{"type":"stats"}"#).unwrap()).unwrap();
+    assert_eq!(skewed.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        skewed.get("ring_skew").and_then(Json::as_bool),
+        Some(true),
+        "diverged backend must flag skew: {skewed}"
+    );
+    // The embedded per-backend stats carry the rogue epoch for triage.
+    let backends = skewed.get("backends").and_then(Json::as_array).unwrap();
+    let reported: Vec<Option<u64>> = backends
+        .iter()
+        .map(|b| {
+            b.get("stats")
+                .and_then(|s| s.get("ring_version"))
+                .and_then(Json::as_u64)
+        })
+        .collect();
+    assert_eq!(reported, vec![Some(99), Some(1)], "{skewed}");
+
+    // Re-aligning the backend clears the flag.
+    let healed_push =
+        Json::parse(&direct.send_raw(r#"{"type":"ring","version":1}"#).unwrap()).unwrap();
+    assert_eq!(healed_push.get("ok").and_then(Json::as_bool), Some(true));
+    let healed = Json::parse(&routed.send_raw(r#"{"type":"stats"}"#).unwrap()).unwrap();
+    assert!(
+        healed.get("ring_skew").is_none(),
+        "re-aligned backend must clear the flag: {healed}"
+    );
+
+    drop(front);
+    drop(b0);
+    drop(b1);
+}
+
+#[test]
 fn router_front_end_rejects_what_it_cannot_route() {
     // No live backends needed: these requests fail before any dial.
     let router = RouterState::new(RouterConfig::new(vec!["127.0.0.1:9".into()])).unwrap();

@@ -6,10 +6,13 @@
 //!           [--cascades 4096] [--cascade-ttl SECS] [--workers N]
 //!           [--no-prewarm] [--quick-lineup] [--starts N]
 //!           [--snapshot-dir DIR] [--front reactor|legacy] [--io-threads N]
+//!           [--log-level error|warn|info|debug]
 //! ```
 //!
-//! Prints one `READY {"addr":...}` line once the socket is bound (the
-//! load generator and scripts wait for it), then serves until killed.
+//! Prints one `READY {"addr":...,"version":...}` line carrying the
+//! bound address plus a one-line config summary (front end, workers,
+//! snapshot dir) once the socket is bound (the load generator and
+//! scripts wait for it), then serves until killed.
 
 use dlm_core::evaluate::Parallelism;
 use dlm_core::registry::ModelSpec;
@@ -20,7 +23,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: dlm-serve [--addr HOST:PORT] [--scale F] [--capacity N] [--cascades N] \
          [--cascade-ttl SECS] [--workers N] [--no-prewarm] [--quick-lineup] [--starts N] \
-         [--snapshot-dir DIR] [--front reactor|legacy] [--io-threads N]"
+         [--snapshot-dir DIR] [--front reactor|legacy] [--io-threads N] \
+         [--log-level error|warn|info|debug]"
     );
     std::process::exit(2);
 }
@@ -81,6 +85,16 @@ fn main() {
                 // (clamped). Ignored by the legacy front end.
                 io_threads = value("--io-threads").parse().unwrap_or_else(|_| usage());
             }
+            "--log-level" => {
+                // Structured-log threshold on stderr; default warn, so
+                // a quiet server emits nothing.
+                let level: dlm_obs::Level =
+                    value("--log-level").parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        usage()
+                    });
+                dlm_obs::set_level(level);
+            }
             "--quick-lineup" => {
                 // The cheap half of the zoo — for latency-focused runs.
                 config.lineup = vec![
@@ -115,6 +129,7 @@ fn main() {
     eprintln!("generating synthetic world (scale {scale})...");
     let world =
         SyntheticWorld::generate(WorldConfig::default().scaled(scale)).expect("world generation");
+    let config_snapshot_dir = config.snapshot_dir.clone();
     let state = ServerState::with_world(config, world).expect("server construction");
     let lineup = state.lineup();
     let front = if legacy_front {
@@ -122,15 +137,28 @@ fn main() {
     } else {
         FrontEnd::Reactor { io_threads }
     };
+    let snapshot_dir = config_snapshot_dir.clone();
+    let (front_name, workers) = match front {
+        FrontEnd::Reactor { io_threads: 0 } => ("reactor", "auto".to_owned()),
+        FrontEnd::Reactor { io_threads } => ("reactor", io_threads.to_string()),
+        FrontEnd::ThreadPerConnection => ("legacy", "per-conn".to_owned()),
+    };
     let server =
         DlmServer::bind_with(addr.as_str(), std::sync::Arc::new(state), front).expect("bind");
     println!(
-        "READY {{\"addr\":\"{}\",\"models\":{}}}",
+        "READY {{\"addr\":\"{}\",\"models\":{},\"version\":\"{}\",\"front\":\"{front_name}\",\
+         \"workers\":\"{workers}\",\"snapshot_dir\":\"{}\"}}",
         server.local_addr(),
-        lineup.len()
+        lineup.len(),
+        env!("CARGO_PKG_VERSION"),
+        snapshot_dir
+            .as_deref()
+            .map_or_else(|| "-".to_owned(), |p| p.display().to_string()),
     );
     eprintln!(
-        "serving {} models on {}; Ctrl-C to stop",
+        "dlm-serve {} serving {} models on {} (front={front_name} workers={workers}); \
+         Ctrl-C to stop",
+        env!("CARGO_PKG_VERSION"),
         lineup.len(),
         server.local_addr()
     );

@@ -86,6 +86,7 @@ pub mod protocol;
 mod reactor;
 pub mod server;
 pub mod store;
+pub mod telemetry;
 pub mod wire;
 
 pub use client::LineClient;
@@ -95,4 +96,5 @@ pub use live::{IngestOutcome, LiveCascade};
 pub use protocol::{OpenMetric, Request};
 pub use server::{DlmServer, FrontEnd, LineService, ServeConfig, ServerState};
 pub use store::{CascadeStore, StoreStats};
+pub use telemetry::{metrics_response, snapshot_from_json, snapshot_to_json};
 pub use wire::Transport;

@@ -145,6 +145,19 @@ pub enum Request {
         /// answered with per-item errors.
         requests: Vec<Json>,
     },
+    /// Requests this process's telemetry: Prometheus-style text
+    /// exposition plus the structured snapshot the router tier merges
+    /// bucket-wise across backends. The only verb through which the
+    /// instrumentation's state is visible.
+    Metrics,
+    /// Installs the routing tier's committed ring version on a backend
+    /// (pushed after every topology commit). Backends echo it back in
+    /// `stats`, which is how the router's scatter-gather detects a
+    /// stale backend after a partial rebalance (`ring_skew`).
+    Ring {
+        /// The router's current topology version.
+        version: u64,
+    },
 }
 
 /// The wrapper around batch sub-responses: both the serving core and
@@ -212,8 +225,23 @@ impl Request {
     /// [`ServeError::Protocol`] for malformed JSON, a missing/unknown
     /// `type`, or mistyped fields.
     pub fn parse(line: &str) -> Result<Self> {
+        Self::parse_with_trace(line).map(|(request, _)| request)
+    }
+
+    /// Like [`Request::parse`], additionally extracting the optional
+    /// `trace` correlation id. Every request object may carry a string
+    /// `"trace"` field; it never affects handling or the response — it
+    /// only rides into slow-request log lines, so one id correlates the
+    /// router hop with the backend hop. A non-string `trace` is ignored
+    /// rather than rejected (the field is observability, not protocol).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Request::parse`].
+    pub fn parse_with_trace(line: &str) -> Result<(Self, Option<String>)> {
         let value = Json::parse(line).map_err(ServeError::Protocol)?;
-        Self::from_value(&value)
+        let trace = value.get("trace").and_then(Json::as_str).map(str::to_owned);
+        Ok((Self::from_value(&value)?, trace))
     }
 
     /// Parses one request from an already-parsed JSON value — the path
@@ -344,6 +372,13 @@ impl Request {
                     requests: requests.to_vec(),
                 })
             }
+            "metrics" => Ok(Self::Metrics),
+            "ring" => {
+                let version = field(value, "version")?.as_u64().ok_or_else(|| {
+                    ServeError::Protocol("field `version` must be a non-negative integer".into())
+                })?;
+                Ok(Self::Ring { version })
+            }
             other => Err(ServeError::Protocol(format!(
                 "unknown request type `{other}`"
             ))),
@@ -472,6 +507,11 @@ impl Request {
                 ("type".to_owned(), Json::str("batch")),
                 ("requests".to_owned(), Json::Arr(requests.clone())),
             ]),
+            Self::Metrics => Json::Obj(vec![("type".to_owned(), Json::str("metrics"))]),
+            Self::Ring { version } => Json::Obj(vec![
+                ("type".to_owned(), Json::str("ring")),
+                ("version".to_owned(), Json::num(*version as f64)),
+            ]),
         }
     }
 }
@@ -553,6 +593,8 @@ mod tests {
             Request::Evict {
                 cascade: "c1".into(),
             },
+            Request::Metrics,
+            Request::Ring { version: 7 },
             Request::Batch {
                 requests: vec![
                     Request::Ingest {
@@ -644,12 +686,32 @@ mod tests {
             r#"{"type":"batch"}"#,
             r#"{"type":"batch","requests":[]}"#,
             r#"{"type":"batch","requests":"all"}"#,
+            r#"{"type":"ring"}"#,
+            r#"{"type":"ring","version":-1}"#,
         ] {
             assert!(
                 matches!(Request::parse(bad), Err(ServeError::Protocol(_))),
                 "`{bad}` should be a protocol error"
             );
         }
+    }
+
+    #[test]
+    fn trace_ids_ride_along_without_affecting_parsing() {
+        let (request, trace) =
+            Request::parse_with_trace(r#"{"type":"stats","trace":"req-42"}"#).unwrap();
+        assert_eq!(request, Request::Stats);
+        assert_eq!(trace.as_deref(), Some("req-42"));
+        // Absent or non-string traces are simply None.
+        let (_, trace) = Request::parse_with_trace(r#"{"type":"stats"}"#).unwrap();
+        assert_eq!(trace, None);
+        let (_, trace) = Request::parse_with_trace(r#"{"type":"stats","trace":7}"#).unwrap();
+        assert_eq!(trace, None);
+        // The plain parser sees the identical request.
+        assert_eq!(
+            Request::parse(r#"{"type":"stats","trace":"req-42"}"#).unwrap(),
+            Request::Stats
+        );
     }
 
     #[test]

@@ -31,13 +31,14 @@
 
 use crate::protocol::error_response;
 use crate::server::{LineService, MAX_LINE_BYTES};
+use crate::telemetry::{ReactorWorkerMetrics, WireMetrics};
 use crate::wire::{self, Transport};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long an idle worker parks between readiness passes. Small enough
 /// to stay invisible next to a forecast's compute, large enough that an
@@ -142,13 +143,22 @@ pub(crate) fn spawn<S: LineService>(
     let workers_n = pool_size(io_threads);
     let mut inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>> = Vec::with_capacity(workers_n);
     let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(workers_n);
-    for _ in 0..workers_n {
+    // Per-worker `accepted` counters stay with the acceptor; the rest of
+    // each worker's handles move into its loop. With no registry (plain
+    // `LineService` impls) the whole telemetry layer compiles out to
+    // `None` checks.
+    let mut accepted: Vec<Option<dlm_obs::Counter>> = Vec::with_capacity(workers_n);
+    for worker_id in 0..workers_n {
         let inbox: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
         inboxes.push(Arc::clone(&inbox));
+        let metrics = state
+            .metrics_registry()
+            .map(|r| (ReactorWorkerMetrics::new(r, worker_id), WireMetrics::new(r)));
+        accepted.push(metrics.as_ref().map(|(m, _)| m.accepted.clone()));
         let state = Arc::clone(&state);
         let shutdown = Arc::clone(&shutdown);
         workers.push(std::thread::spawn(move || {
-            worker_loop(state.as_ref(), &inbox, &shutdown);
+            worker_loop(state.as_ref(), &inbox, &shutdown, metrics.as_ref());
         }));
     }
 
@@ -168,6 +178,9 @@ pub(crate) fn spawn<S: LineService>(
             let _ = stream.set_nodelay(true);
             let worker = next % inboxes.len();
             next = next.wrapping_add(1);
+            if let Some(counter) = &accepted[worker] {
+                counter.inc();
+            }
             inboxes[worker]
                 .lock()
                 .expect("reactor inbox poisoned")
@@ -184,7 +197,12 @@ pub(crate) fn spawn<S: LineService>(
 }
 
 /// One I/O worker: level-polls its connections until shutdown.
-fn worker_loop<S: LineService>(state: &S, inbox: &Mutex<Vec<TcpStream>>, shutdown: &AtomicBool) {
+fn worker_loop<S: LineService>(
+    state: &S,
+    inbox: &Mutex<Vec<TcpStream>>,
+    shutdown: &AtomicBool,
+    metrics: Option<&(ReactorWorkerMetrics, WireMetrics)>,
+) {
     let mut conns: Vec<Conn> = Vec::new();
     let mut chunk = vec![0u8; READ_CHUNK];
     loop {
@@ -193,28 +211,49 @@ fn worker_loop<S: LineService>(state: &S, inbox: &Mutex<Vec<TcpStream>>, shutdow
         }
         {
             let mut inbox = inbox.lock().expect("reactor inbox poisoned");
+            if let Some((worker, _)) = metrics {
+                worker.inbox_depth.set(inbox.len() as i64);
+            }
             conns.extend(inbox.drain(..).map(Conn::new));
         }
         let mut progress = false;
-        conns.retain_mut(|conn| match pump(state, conn, &mut chunk) {
+        let sweep_started = (metrics.is_some() && !conns.is_empty()).then(Instant::now);
+        let wire_metrics = metrics.map(|(_, wire)| wire);
+        conns.retain_mut(|conn| match pump(state, conn, &mut chunk, wire_metrics) {
             Pump::Keep(moved) => {
                 progress |= moved;
                 true
             }
             Pump::Drop => false,
         });
+        if let Some((worker, _)) = metrics {
+            if let Some(started) = sweep_started {
+                worker.sweep.observe_duration(started.elapsed());
+            }
+            worker.active.set(conns.len() as i64);
+        }
         if !progress {
+            if let Some((worker, _)) = metrics {
+                worker.parks.inc();
+            }
             // Nothing moved: sleep until the acceptor unparks us or the
             // park times out (bounding added latency for data that
             // arrives while parked).
             std::thread::park_timeout(IDLE_PARK);
+        } else if let Some((worker, _)) = metrics {
+            worker.wakes.inc();
         }
     }
 }
 
 /// One readiness pass over one connection: flush, read, parse+handle,
 /// flush again so same-pass responses leave immediately.
-fn pump<S: LineService>(state: &S, conn: &mut Conn, chunk: &mut [u8]) -> Pump {
+fn pump<S: LineService>(
+    state: &S,
+    conn: &mut Conn,
+    chunk: &mut [u8],
+    wire_metrics: Option<&WireMetrics>,
+) -> Pump {
     let mut moved = false;
     match flush_writes(conn) {
         Ok(m) => moved |= m,
@@ -235,6 +274,9 @@ fn pump<S: LineService>(state: &S, conn: &mut Conn, chunk: &mut [u8]) -> Pump {
                 break;
             }
             Ok(n) => {
+                if let Some(wire) = wire_metrics {
+                    wire.add_rx(conn.transport, n);
+                }
                 conn.rbuf.extend_from_slice(&chunk[..n]);
                 moved = true;
             }
@@ -243,7 +285,7 @@ fn pump<S: LineService>(state: &S, conn: &mut Conn, chunk: &mut [u8]) -> Pump {
             Err(_) => return Pump::Drop,
         }
     }
-    if drain_requests(state, conn).is_err() {
+    if drain_requests(state, conn, wire_metrics).is_err() {
         conn.closing = true;
     }
     match flush_writes(conn) {
@@ -282,7 +324,11 @@ fn flush_writes(conn: &mut Conn) -> std::result::Result<bool, ()> {
 /// Cuts every complete request out of the receive buffer and queues its
 /// response. `Err(())` means the connection must close after the queued
 /// bytes flush (framing violation: oversize line/frame, bad UTF-8).
-fn drain_requests<S: LineService>(state: &S, conn: &mut Conn) -> std::result::Result<(), ()> {
+fn drain_requests<S: LineService>(
+    state: &S,
+    conn: &mut Conn,
+    wire_metrics: Option<&WireMetrics>,
+) -> std::result::Result<(), ()> {
     loop {
         match conn.transport {
             Transport::Lines => {
@@ -315,7 +361,14 @@ fn drain_requests<S: LineService>(state: &S, conn: &mut Conn) -> std::result::Re
                         // the new framing on the next loop turn.
                     }
                     Some(Err(e)) => conn.queue_line(&error_response(&e.to_string()).to_string()),
-                    None => conn.queue_line(&state.handle_line(line)),
+                    None => {
+                        let response = state.handle_line(line);
+                        if let Some(wire) = wire_metrics {
+                            wire.count_request(Transport::Lines);
+                            wire.add_tx(Transport::Lines, response.len() + 1);
+                        }
+                        conn.queue_line(&response);
+                    }
                 }
             }
             Transport::Binary => match wire::try_extract_frame(&conn.rbuf) {
@@ -327,6 +380,10 @@ fn drain_requests<S: LineService>(state: &S, conn: &mut Conn) -> std::result::Re
                         Err(e) => error_response(&e.to_string()).to_string(),
                     };
                     conn.rbuf.drain(..consumed);
+                    if let Some(wire) = wire_metrics {
+                        wire.count_request(Transport::Binary);
+                        wire.add_tx(Transport::Binary, response.len() + wire::FRAME_HEADER_BYTES);
+                    }
                     conn.queue_frame(response.as_bytes());
                 }
                 Err(e) => {

@@ -27,6 +27,10 @@ use crate::json::Json;
 use crate::live::LiveCascade;
 use crate::protocol::{batch_response, error_response, OpenMetric, Request};
 use crate::store::CascadeStore;
+use crate::telemetry::{
+    self, metrics_response, response_is_error, verb_label, RefitMetrics, RequestMetrics,
+    WireMetrics, VERB_LABELS,
+};
 use crate::wire::{self, Transport};
 use dlm_cascade::interest_groups::interest_groups;
 use dlm_cluster::{hex, CascadeSnapshot};
@@ -43,7 +47,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`ServerState`].
 #[derive(Debug, Clone)]
@@ -148,6 +152,16 @@ pub struct ServerState {
     requests: AtomicU64,
     refit_jobs: AtomicU64,
     hours_closed: AtomicU64,
+    /// The ring version last pushed by a routing tier (`ring` verb);
+    /// `0` means never pushed, and `stats` omits the field entirely so
+    /// a standalone server's responses are unchanged.
+    ring_version: AtomicU64,
+    /// Per-instance metrics registry plus the pre-registered hot-path
+    /// handles. Per-instance (not a global static) because tests bind
+    /// many servers in one process and their counters must not bleed.
+    metrics_registry: dlm_obs::Registry,
+    request_metrics: RequestMetrics,
+    refit_metrics: RefitMetrics,
 }
 
 impl ServerState {
@@ -197,6 +211,10 @@ impl ServerState {
                 let _ = std::fs::remove_file(snapshot_path(&dir, id));
             });
         }
+        let obs_registry = dlm_obs::Registry::new();
+        let request_metrics = RequestMetrics::new(&obs_registry, "dlm", VERB_LABELS);
+        let lineup_specs: Vec<String> = models.iter().map(|(s, _)| s.clone()).collect();
+        let refit_metrics = RefitMetrics::new(&obs_registry, &lineup_specs);
         let state = Self {
             models,
             registry,
@@ -209,6 +227,10 @@ impl ServerState {
             requests: AtomicU64::new(0),
             refit_jobs: AtomicU64::new(0),
             hours_closed: AtomicU64::new(0),
+            ring_version: AtomicU64::new(0),
+            metrics_registry: obs_registry,
+            request_metrics,
+            refit_metrics,
         };
         state.replay_snapshots()?;
         Ok(state)
@@ -344,17 +366,39 @@ impl ServerState {
     /// and domain errors become `{"ok":false,...}` responses.
     pub fn handle_line(&self, line: &str) -> String {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        match Request::parse(line) {
+        let started = Instant::now();
+        let (verb, trace, response) = match Request::parse_with_trace(line) {
             // Batches are answered at the line layer: sub-responses are
             // composed as strings so the wrapper is byte-identical to
             // what a routing tier splices from relayed backend lines.
-            Ok(Request::Batch { requests }) => self.handle_batch(&requests),
-            Ok(request) => self
-                .handle(&request)
-                .unwrap_or_else(|e| error_response(&e.to_string()))
-                .to_string(),
-            Err(e) => error_response(&e.to_string()).to_string(),
+            Ok((Request::Batch { requests }, trace)) => {
+                ("batch", trace, self.handle_batch(&requests))
+            }
+            Ok((request, trace)) => (
+                verb_label(&request),
+                trace,
+                self.handle(&request)
+                    .unwrap_or_else(|e| error_response(&e.to_string()))
+                    .to_string(),
+            ),
+            Err(e) => ("invalid", None, error_response(&e.to_string()).to_string()),
+        };
+        let elapsed = started.elapsed();
+        self.request_metrics
+            .count(verb, response_is_error(&response));
+        self.request_metrics.observe_service(verb, elapsed);
+        if elapsed >= telemetry::SLOW_REQUEST && dlm_obs::enabled(dlm_obs::Level::Warn) {
+            dlm_obs::log(
+                dlm_obs::Level::Warn,
+                "dlm-serve",
+                &format!(
+                    "slow request verb={verb} micros={} trace={}",
+                    elapsed.as_micros(),
+                    trace.as_deref().unwrap_or("-"),
+                ),
+            );
         }
+        response
     }
 
     /// Answers a `batch` line: each item is parsed and handled
@@ -368,18 +412,27 @@ impl ServerState {
         let results: Vec<String> = items
             .iter()
             .map(|item| {
-                Request::from_value(item)
-                    .and_then(|request| match request {
-                        Request::Open { .. }
-                        | Request::Ingest { .. }
-                        | Request::Forecast { .. }
-                        | Request::Snapshot { .. } => self.handle(&request),
-                        _ => Err(ServeError::Protocol(
-                            "batch items must be open/ingest/forecast/snapshot".into(),
-                        )),
+                let mut verb = "invalid";
+                let result = Request::from_value(item)
+                    .and_then(|request| {
+                        verb = verb_label(&request);
+                        match request {
+                            Request::Open { .. }
+                            | Request::Ingest { .. }
+                            | Request::Forecast { .. }
+                            | Request::Snapshot { .. } => self.handle(&request),
+                            _ => Err(ServeError::Protocol(
+                                "batch items must be open/ingest/forecast/snapshot".into(),
+                            )),
+                        }
                     })
                     .unwrap_or_else(|e| error_response(&e.to_string()))
-                    .to_string()
+                    .to_string();
+                // Count each item under its own verb: per-verb counters
+                // track logical operations, whether they rode a batch
+                // or their own line.
+                self.request_metrics.count(verb, response_is_error(&result));
+                result
             })
             .collect();
         batch_response(&results)
@@ -424,12 +477,62 @@ impl ServerState {
             Request::Restore { snapshot } => self.handle_restore(snapshot),
             Request::Cascades => Ok(self.handle_cascades()),
             Request::Evict { cascade } => self.handle_evict(cascade),
+            Request::Metrics => Ok(self.handle_metrics()),
+            Request::Ring { version } => Ok(self.handle_ring(*version)),
             // Reachable only through direct `handle` calls —
             // `handle_line` intercepts batches before this dispatch.
             Request::Batch { .. } => Err(ServeError::Protocol(
                 "batch requests are answered at the line layer".into(),
             )),
         }
+    }
+
+    /// The `metrics` verb: refreshes the scrape-time derived gauges
+    /// (cache and store occupancy — state that lives in its own
+    /// structures rather than in hot-path counters), freezes the
+    /// registry, and renders the response.
+    fn handle_metrics(&self) -> Json {
+        let cache = self.cache.stats();
+        let store = self.cascades.stats();
+        let set = |name: &str, v: i64| self.metrics_registry.gauge(name, &[]).set(v);
+        set("dlm_cache_hits", cache.hits as i64);
+        set("dlm_cache_misses", cache.misses as i64);
+        set("dlm_cache_evictions", cache.evictions as i64);
+        set("dlm_cache_entries", self.cache.len() as i64);
+        set("dlm_cascades_resident", self.cascades.len() as i64);
+        set("dlm_cascade_evictions", store.evictions as i64);
+        set("dlm_cascade_expirations", store.expirations as i64);
+        set(
+            "dlm_hours_closed",
+            self.hours_closed.load(Ordering::Relaxed) as i64,
+        );
+        metrics_response(&self.metrics_registry.snapshot())
+    }
+
+    /// The `ring` verb: a routing tier pushing its committed topology
+    /// version. Echoed back by `stats` so the router's scatter-gather
+    /// can detect a backend that missed a rebalance.
+    fn handle_ring(&self, version: u64) -> Json {
+        let previous = self.ring_version.swap(version, Ordering::Relaxed);
+        if previous != version && dlm_obs::enabled(dlm_obs::Level::Info) {
+            dlm_obs::log(
+                dlm_obs::Level::Info,
+                "dlm-serve",
+                &format!("ring version {previous} -> {version}"),
+            );
+        }
+        Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("ring_version".to_owned(), Json::num(version as f64)),
+        ])
+    }
+
+    /// This instance's metrics registry — how embedding tests and the
+    /// TCP front ends (which register transport metrics) reach the
+    /// telemetry without a global static.
+    #[must_use]
+    pub fn metrics_registry(&self) -> &dlm_obs::Registry {
+        &self.metrics_registry
     }
 
     fn handle_snapshot(&self, cascade: &str) -> Result<Json> {
@@ -659,9 +762,21 @@ impl ServerState {
     fn refit(&self, observation: &Observation) {
         self.refit_jobs
             .fetch_add(self.models.len() as u64, Ordering::Relaxed);
-        parallel_map(self.parallelism, &self.models, |_, (spec, predictor)| {
-            self.cache.get_or_fit(predictor.as_ref(), spec, observation)
+        self.refit_metrics
+            .fits_started
+            .add(self.models.len() as u64);
+        let outcomes = parallel_map(self.parallelism, &self.models, |i, (spec, predictor)| {
+            let started = Instant::now();
+            let outcome = self.cache.get_or_fit(predictor.as_ref(), spec, observation);
+            // Cache hits land in the lowest buckets; the histogram is a
+            // service-time distribution, not a pure solver profile.
+            self.refit_metrics.lineup_fit[i].observe_duration(started.elapsed());
+            outcome
         });
+        self.refit_metrics.fits_completed.add(outcomes.len() as u64);
+        self.refit_metrics
+            .fit_failures
+            .add(outcomes.iter().filter(|o| o.is_err()).count() as u64);
     }
 
     fn handle_forecast(
@@ -725,9 +840,22 @@ impl ServerState {
             })
             .collect();
 
+        // Fit-time histograms for the selected specs: lineup picks
+        // reuse the pre-registered handles; ad-hoc specs get-or-create
+        // (cold next to the fit itself).
+        let fit_hists: Vec<dlm_obs::Histogram> = picks
+            .iter()
+            .map(|pick| match *pick {
+                Pick::Lineup(i) => self.refit_metrics.lineup_fit[i].clone(),
+                Pick::Adhoc(i) => self.refit_metrics.fit_histogram(&adhoc[i].0),
+            })
+            .collect();
         let fits: Vec<FitOutcome> =
-            parallel_map(self.parallelism, &selected, |_, &(spec, predictor)| {
-                self.cache.get_or_fit(predictor, spec, &observation)
+            parallel_map(self.parallelism, &selected, |i, &(spec, predictor)| {
+                let started = Instant::now();
+                let outcome = self.cache.get_or_fit(predictor, spec, &observation);
+                fit_hists[i].observe_duration(started.elapsed());
+                outcome
             });
         let mut model_entries = Vec::with_capacity(selected.len());
         for (&(spec, _), fit) in selected.iter().zip(fits) {
@@ -789,7 +917,8 @@ impl ServerState {
         let stats = self.cache.stats();
         let store = self.cascades.stats();
         let cascades = self.cascades.len();
-        Json::Obj(vec![
+        let ring_version = self.ring_version.load(Ordering::Relaxed);
+        let mut fields = vec![
             ("ok".to_owned(), Json::Bool(true)),
             (
                 "cache".to_owned(),
@@ -829,7 +958,17 @@ impl ServerState {
                 "models".to_owned(),
                 Json::Arr(self.lineup().into_iter().map(Json::Str).collect()),
             ),
-        ])
+        ];
+        // Only routed backends (a router pushed a `ring` version) carry
+        // the field: a standalone server's stats line is unchanged.
+        if ring_version != 0 {
+            let at = fields.len() - 1;
+            fields.insert(
+                at,
+                ("ring_version".to_owned(), Json::num(ring_version as f64)),
+            );
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -851,11 +990,22 @@ pub trait LineService: Send + Sync + 'static {
     /// Handles one request line, returning the response line (without
     /// the trailing newline). Must never panic on malformed input.
     fn handle_line(&self, line: &str) -> String;
+
+    /// The service's metrics registry, if it keeps one. The TCP front
+    /// ends use it to register transport and reactor metrics next to
+    /// the service's own; `None` (the default) serves uninstrumented.
+    fn metrics_registry(&self) -> Option<&dlm_obs::Registry> {
+        None
+    }
 }
 
 impl LineService for ServerState {
     fn handle_line(&self, line: &str) -> String {
         ServerState::handle_line(self, line)
+    }
+
+    fn metrics_registry(&self) -> Option<&dlm_obs::Registry> {
+        Some(ServerState::metrics_registry(self))
     }
 }
 
@@ -1131,6 +1281,7 @@ fn serve_connection<S: LineService>(state: &S, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let wire_metrics = state.metrics_registry().map(WireMetrics::new);
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
     let write_line = |writer: &mut TcpStream, line: &str| {
@@ -1143,6 +1294,9 @@ fn serve_connection<S: LineService>(state: &S, stream: TcpStream) {
     // Lines phase.
     let mut negotiated_binary = false;
     while let Ok(Some(line)) = read_line_bounded(&mut reader) {
+        if let Some(wm) = &wire_metrics {
+            wm.add_rx(Transport::Lines, line.len() + 1);
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -1162,7 +1316,12 @@ fn serve_connection<S: LineService>(state: &S, stream: TcpStream) {
                 }
             }
             None => {
-                if !write_line(&mut writer, &state.handle_line(&line)) {
+                let response = state.handle_line(&line);
+                if let Some(wm) = &wire_metrics {
+                    wm.count_request(Transport::Lines);
+                    wm.add_tx(Transport::Lines, response.len() + 1);
+                }
+                if !write_line(&mut writer, &response) {
                     return;
                 }
             }
@@ -1174,6 +1333,9 @@ fn serve_connection<S: LineService>(state: &S, stream: TcpStream) {
         return;
     }
     while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
+        if let Some(wm) = &wire_metrics {
+            wm.add_rx(Transport::Binary, payload.len() + wire::FRAME_HEADER_BYTES);
+        }
         let response = match wire::payload_to_line(&payload) {
             Ok(line) => state.handle_line(&line),
             // A decode error leaves the frame boundary intact, so the
@@ -1181,8 +1343,13 @@ fn serve_connection<S: LineService>(state: &S, stream: TcpStream) {
             // (oversize header, mid-frame EOF) ends it above.
             Err(e) => error_response(&e.to_string()).to_string(),
         };
+        let frame = wire::encode_frame(response.as_bytes());
+        if let Some(wm) = &wire_metrics {
+            wm.count_request(Transport::Binary);
+            wm.add_tx(Transport::Binary, frame.len());
+        }
         if writer
-            .write_all(&wire::encode_frame(response.as_bytes()))
+            .write_all(&frame)
             .and_then(|()| writer.flush())
             .is_err()
         {

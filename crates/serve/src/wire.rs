@@ -60,6 +60,9 @@ impl Transport {
 /// the server to buffer.
 pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 
+/// Bytes in a frame's little-endian length header.
+pub const FRAME_HEADER_BYTES: usize = 4;
+
 /// Request payload tag: the body is JSON request text.
 pub const TAG_JSON: u8 = 0x00;
 /// Request payload tag: the body is a compact binary `ingest`.

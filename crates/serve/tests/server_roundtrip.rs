@@ -622,7 +622,10 @@ fn reactor_batch_binary_serves_the_lineup_byte_identically_to_legacy_lines() {
     // Replays the stream against a fresh full-lineup server; with
     // `batch > 1`, requests ride `batch` verbs and the raw batch
     // responses are returned alongside the per-request stream.
-    let run = |front: FrontEnd, transport: Transport, batch: usize| -> (Vec<String>, Vec<String>) {
+    let run = |front: FrontEnd,
+               transport: Transport,
+               batch: usize|
+     -> (Vec<String>, Vec<String>, String) {
         let state = ServerState::with_world(
             ServeConfig {
                 parallelism: Parallelism::Fixed(2),
@@ -655,13 +658,19 @@ fn reactor_batch_binary_serves_the_lineup_byte_identically_to_legacy_lines() {
                 batch_raw.push(raw);
             }
         }
+        // Scrape telemetry on the same connection before teardown; the
+        // scrape's own count lands after its snapshot, so the counters
+        // reflect exactly the replayed requests.
+        let metrics_raw = client.send_raw(r#"{"type":"metrics"}"#).unwrap();
         server.shutdown();
-        (responses, batch_raw)
+        (responses, batch_raw, metrics_raw)
     };
 
-    let (legacy, _) = run(FrontEnd::ThreadPerConnection, Transport::Lines, 1);
-    let (reactor, _) = run(FrontEnd::Reactor { io_threads: 2 }, Transport::Binary, 1);
-    let (_, batched) = run(FrontEnd::Reactor { io_threads: 2 }, Transport::Binary, 3);
+    let (legacy, _, legacy_metrics) = run(FrontEnd::ThreadPerConnection, Transport::Lines, 1);
+    let (reactor, _, reactor_metrics) =
+        run(FrontEnd::Reactor { io_threads: 2 }, Transport::Binary, 1);
+    let (_, batched, batched_metrics) =
+        run(FrontEnd::Reactor { io_threads: 2 }, Transport::Binary, 3);
 
     // Gate 1: reactor + binary framing, request by request, serves the
     // same bytes the legacy line front end does — and non-vacuously so.
@@ -688,4 +697,62 @@ fn reactor_batch_binary_serves_the_lineup_byte_identically_to_legacy_lines() {
     // per-request responses spliced through the canonical wrapper.
     let expected: Vec<String> = legacy.chunks(3).map(batch_response).collect();
     assert_eq!(batched, expected, "batch framing changed response bytes");
+
+    // Gate 3: the `metrics` scrape taken during each replay reports
+    // per-verb request counters exactly matching the requests sent —
+    // the stream is 1 open + HORIZON ingests + 2 forecasts + 1
+    // snapshot — with zero errors, on every front end and transport.
+    let ingests = u64::from(HORIZON);
+    let per_verb: &[(&str, u64)] = &[
+        ("open", 1),
+        ("ingest", ingests),
+        ("forecast", 2),
+        ("snapshot", 1),
+        ("stats", 0),
+        ("metrics", 0), // a scrape counts itself only after its snapshot
+        ("invalid", 0),
+    ];
+    let verify = |metrics_raw: &str, transport: &str, batch_lines: u64, wire_lines: u64| {
+        let parsed = Json::parse(metrics_raw).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        let exposition = parsed.get("exposition").unwrap().as_str().unwrap();
+        assert!(exposition.contains("# TYPE dlm_requests_total counter"));
+        let snap = dlm_serve::snapshot_from_json(parsed.get("snapshot").unwrap()).unwrap();
+        for &(verb, n) in per_verb.iter().chain(&[("batch", batch_lines)]) {
+            assert_eq!(
+                snap.counter("dlm_requests_total", &[("verb", verb)]),
+                Some(n),
+                "dlm_requests_total verb={verb} (transport {transport})"
+            );
+            assert_eq!(
+                snap.counter("dlm_request_errors_total", &[("verb", verb)]),
+                Some(0),
+                "dlm_request_errors_total verb={verb} (transport {transport})"
+            );
+        }
+        // Line-level service times are observed once per wire line, so
+        // the forecast histogram fills only on the unbatched replays.
+        if batch_lines == 0 {
+            let service = snap
+                .histogram("dlm_service_micros", &[("verb", "forecast")])
+                .unwrap();
+            assert_eq!(service.count, 2, "forecast service observations");
+        }
+        assert_eq!(
+            snap.counter("dlm_wire_requests_total", &[("transport", transport)]),
+            Some(wire_lines),
+            "dlm_wire_requests_total transport={transport}"
+        );
+    };
+    let total = requests.len() as u64;
+    verify(&legacy_metrics, "lines", 0, total);
+    verify(&reactor_metrics, "binary", 0, total);
+    // chunks(3) over 10 requests → 4 batch wire lines, items still
+    // counted under their own verbs.
+    verify(
+        &batched_metrics,
+        "binary",
+        total.div_ceil(3),
+        total.div_ceil(3),
+    );
 }

@@ -14,8 +14,10 @@ fn serve_fixture() -> String {
         "ingest_latency": {"n": 8, "mean_ms": 24.1, "stddev_ms": 9.0, "p50_ms": 22.0,
                            "p95_ms": 40.0, "max_ms": 41.2},
         "forecast_latency": null,
+        "service_times": {"ingest": {"count": 40, "p50_ms": 16.4, "p95_ms": 32.8},
+                          "forecast": {"count": 36, "p50_ms": 4.1, "p95_ms": 8.2}},
         "cache": {"hits": 12, "misses": 20, "evictions": 0},
-        "protocol_ok": true, "outputs_identical": true}"#;
+        "protocol_ok": true, "metrics_ok": true, "outputs_identical": true}"#;
     format!(
         r#"{{"schema": "{}", "mode": "smoke", "hardware_threads": 8, "clients": 4,
             "hours_streamed": 5, "votes_replayed_per_client": 163,
