@@ -16,6 +16,8 @@
 //! cargo bench -p dlm-bench --bench serve_load -- --router         # router + 2 backends
 //! cargo bench -p dlm-bench --bench serve_load -- --smoke --router # CI router smoke
 //! cargo bench -p dlm-bench --bench serve_load -- --router --kill-one  # elasticity drill
+//! cargo bench -p dlm-bench --bench serve_load -- --smoke --scenario broadcast --scenario storm
+//! cargo bench -p dlm-bench --bench serve_load -- --digg-dir data/digg # Digg-2009 CSV replay
 //! ```
 //!
 //! Single-server modes write `BENCH_serve.json`
@@ -50,6 +52,16 @@
 //!   counters must equal the client-side counts exactly (the router
 //!   run checks its tier counters); with `DLM_OBS_SCRAPE_OUT` set, the
 //!   text exposition is written there (the CI `obs-smoke` artifact);
+//! * **scenario soak (`--scenario <regime>`, repeatable, and/or
+//!   `--digg-dir <dir>`)** — replays `dlm-scenarios` factory cascades
+//!   (or Digg-2009-format CSVs, generating the synthetic fixture when
+//!   the directory is empty) through a graph-only direct server *and* a
+//!   routed two-backend tier, gating per regime on protocol behavior
+//!   (storm regimes' late votes must be *rejected*), routed-vs-direct
+//!   byte identity, served-vs-offline bit identity, slice
+//!   re-derivation from `(regime, seed, index)`, per-regime metrics
+//!   (`dlm_cascades_opened_total`), and an Eq.-8 accuracy floor;
+//!   writes `BENCH_scenarios.json` (`dlm-bench/scenarios/v1`);
 //! * **elasticity gate (`--kill-one`)** — three backends with
 //!   `data_replicas: 2`: after the load phase one backend is drained
 //!   (snapshot handoff, `handoff_ms`), a second is killed outright and
@@ -65,10 +77,15 @@ use dlm_cascade::hops::hop_density_matrix;
 use dlm_core::evaluate::Parallelism;
 use dlm_core::predict::{GrowthFamily, Observation, PredictionRequest};
 use dlm_core::registry::{ModelRegistry, ModelSpec};
+use dlm_core::AccuracyTable;
 use dlm_data::simulate::simulate_story;
-use dlm_data::{SimulationConfig, StoryPreset, SyntheticWorld, WorldConfig};
+use dlm_data::{DiggDataset, SimulationConfig, StoryPreset, SyntheticWorld, Vote, WorldConfig};
+use dlm_graph::DiGraph;
 use dlm_router::ring::remap_fraction;
 use dlm_router::{HashRing, RouterConfig, RouterState};
+use dlm_scenarios::{
+    digg_fixture, find_regime, generate_batch, Delivery, DiggFixtureConfig, ScenarioStream,
+};
 use dlm_serve::server::{DlmServer, FrontEnd, ServeConfig, ServerState};
 use dlm_serve::{Json, LineClient, Transport};
 use std::net::SocketAddr;
@@ -454,6 +471,19 @@ fn main() {
             std::process::exit(2);
         })
     });
+    // `--scenario` is repeatable; collect every occurrence in order.
+    let scenario_regimes: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--scenario")
+        .map(|(i, _)| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for --scenario");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let digg_dir = value_of("--digg-dir").cloned();
     assert!(
         router_mode || !kill_one,
         "--kill-one requires --router (there is nothing to fail over to)"
@@ -462,6 +492,18 @@ fn main() {
         !(router_mode && compare_fronts),
         "--compare-fronts is a single-server mode"
     );
+    if !scenario_regimes.is_empty() || digg_dir.is_some() {
+        assert!(
+            !router_mode && !compare_fronts && !legacy && batch == 1,
+            "--scenario/--digg-dir is its own mode (it drives both tiers itself; \
+             deliveries are semantic units, so --batch does not apply)"
+        );
+        if let Ok(path) = std::env::var("DLM_OBS_SCRAPE_OUT") {
+            std::fs::write(&path, "").expect("truncate scrape out");
+        }
+        run_scenario_soak(&scenario_regimes, digg_dir.as_deref(), smoke, transport);
+        return;
+    }
     let (scale, clients, horizon) = if smoke {
         (0.06, 4, 5u32)
     } else {
@@ -1236,6 +1278,706 @@ fn run_router_load(
     drop(front);
     drop(backends);
     if !(protocol_ok && metrics_ok && identical) {
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-factory soak: `--scenario <regime>` / `--digg-dir <dir>`
+// ---------------------------------------------------------------------------
+
+/// Seed of every `--scenario` stream. Recorded in the artifact so a
+/// failing cascade is nameable as `(regime, SCENARIO_SEED, index)` and
+/// re-derivable anywhere — see `docs/SCENARIOS.md`.
+const SCENARIO_SEED: u64 = 42;
+
+/// Observed hours the soak's gate forecast (and its offline mirror)
+/// fits on; gate hours are everything after, up to the horizon.
+const SOAK_OBSERVE_THROUGH: u32 = 2;
+
+/// Hours each digg story is replayed and forecast over.
+const DIGG_HORIZON: u32 = 8;
+
+/// Per-regime Eq.-8 accuracy floor for the paper's fixed-parameter DL
+/// model on the held-out hours. The factory regimes are intentionally
+/// adversarial — broadcast and storm shapes are exactly what the DL
+/// PDE does *not* model — so the floors encode "never regress below
+/// today's behavior", not the paper's 92–99%. `None` = track only.
+/// (Measured at seed 42: broadcast ≈ 0.25, viral ≈ 0.22,
+/// bridged ≈ 0.34, erdos-viral ≈ 0.17, surge ≈ 0.10, storm ≈ 0.16,
+/// digg fixture ≈ 0.23 — the floors sit at roughly half of those.)
+fn accuracy_floor(regime: &str) -> Option<f64> {
+    match regime {
+        "broadcast" => Some(0.12),
+        "viral" => Some(0.10),
+        "bridged" => Some(0.15),
+        "erdos-viral" => Some(0.08),
+        "surge" => Some(0.04),
+        "storm" => Some(0.07),
+        "digg" => Some(0.10),
+        _ => None,
+    }
+}
+
+/// One replayable cascade in wire form — a factory
+/// [`dlm_scenarios::ScenarioCascade`] or one story of a Digg dataset.
+struct SoakCascade {
+    wire_name: String,
+    regime_label: &'static str,
+    initiator: usize,
+    submit: u64,
+    horizon: u32,
+    deliveries: Vec<Delivery>,
+}
+
+impl SoakCascade {
+    /// The votes a correct server ends up counting, as batch-side
+    /// [`Vote`]s — the offline half of the identity gate.
+    fn accepted_votes(&self, story: u32) -> Vec<Vote> {
+        self.deliveries
+            .iter()
+            .filter(|d| !d.late)
+            .flat_map(|d| {
+                d.votes.iter().map(move |&(timestamp, voter)| Vote {
+                    timestamp,
+                    voter,
+                    story,
+                })
+            })
+            .collect()
+    }
+
+    fn clean_deliveries(&self) -> usize {
+        self.deliveries.iter().filter(|d| !d.late).count()
+    }
+}
+
+/// What one soak client observed.
+struct SoakRun {
+    /// Every raw response line in request order (the routed tier is
+    /// byte-compared against the direct tier through this).
+    responses: Vec<String>,
+    requests: usize,
+    /// Responses whose ok-ness contradicted the delivery schedule:
+    /// late deliveries must fail, everything else must succeed.
+    mismatches: usize,
+    late_rejections: usize,
+    ingest_latencies: Vec<f64>,
+    forecast_latencies: Vec<f64>,
+    gate_models: String,
+}
+
+fn drive_soak_client(
+    addr: SocketAddr,
+    cascade: &SoakCascade,
+    gate_hours: &[u32],
+    transport: Transport,
+) -> SoakRun {
+    let mut client = Client::connect_with(addr, transport);
+    let mut run = SoakRun {
+        responses: Vec::new(),
+        requests: 0,
+        mismatches: 0,
+        late_rejections: 0,
+        ingest_latencies: Vec::new(),
+        forecast_latencies: Vec::new(),
+        gate_models: String::new(),
+    };
+    let name = &cascade.wire_name;
+    let expect = |run: &mut SoakRun, raw: String, want_ok: bool| {
+        run.requests += 1;
+        let ok = Json::parse(&raw)
+            .ok()
+            .and_then(|v| v.get("ok").and_then(Json::as_bool))
+            == Some(true);
+        if ok != want_ok {
+            run.mismatches += 1;
+            eprintln!("[{name}] expected ok={want_ok}, got: {raw}");
+        } else if !want_ok {
+            run.late_rejections += 1;
+        }
+        run.responses.push(raw);
+    };
+
+    let (raw, _) = client.round_trip(&format!(
+        r#"{{"type":"open","cascade":"{name}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{horizon},"submit_time":{submit},"regime":"{regime}"}}"#,
+        initiator = cascade.initiator,
+        horizon = cascade.horizon,
+        submit = cascade.submit,
+        regime = cascade.regime_label,
+    ));
+    expect(&mut run, raw, true);
+
+    let mut closed = 0u32;
+    for delivery in &cascade.deliveries {
+        let body: Vec<String> = delivery
+            .votes
+            .iter()
+            .map(|&(ts, voter)| format!("[{ts},{voter}]"))
+            .collect();
+        let (raw, secs) = client.round_trip(&format!(
+            r#"{{"type":"ingest","cascade":"{name}","votes":[{}],"now":{}}}"#,
+            body.join(","),
+            delivery.now,
+        ));
+        run.ingest_latencies.push(secs);
+        expect(&mut run, raw, !delivery.late);
+        if delivery.late {
+            continue;
+        }
+        // Forecast the next hour from everything observed so far — the
+        // same online pattern the single-server replay drives.
+        closed += 1;
+        let (raw, secs) = client.round_trip(&format!(
+            r#"{{"type":"forecast","cascade":"{name}","hours":[{}]}}"#,
+            closed + 1
+        ));
+        run.forecast_latencies.push(secs);
+        expect(&mut run, raw, true);
+    }
+
+    // The gate forecast: held-out hours from a fixed observation
+    // window, compared bit-for-bit against the offline mirror.
+    let gate_list: Vec<String> = gate_hours.iter().map(ToString::to_string).collect();
+    let (raw, secs) = client.round_trip(&format!(
+        r#"{{"type":"forecast","cascade":"{name}","hours":[{}],"through":{SOAK_OBSERVE_THROUGH}}}"#,
+        gate_list.join(","),
+    ));
+    run.forecast_latencies.push(secs);
+    run.gate_models = Json::parse(&raw)
+        .ok()
+        .and_then(|v| v.get("models").map(|m| m.to_string()))
+        .unwrap_or_default();
+    expect(&mut run, raw, true);
+    run
+}
+
+/// Replays every cascade from its own concurrent connection.
+fn replay_soak(
+    addr: SocketAddr,
+    cascades: &[SoakCascade],
+    gate_hours: &[u32],
+    transport: Transport,
+) -> (Vec<SoakRun>, f64) {
+    let wall = Instant::now();
+    let runs: Vec<SoakRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cascades
+            .iter()
+            .map(|c| scope.spawn(move || drive_soak_client(addr, c, gate_hours, transport)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak client"))
+            .collect()
+    });
+    (runs, wall.elapsed().as_secs_f64())
+}
+
+/// One workload's measured outcome and gates — an entry of the
+/// scenarios artifact's `regimes` array (or its `digg` object).
+struct RegimeReport {
+    regime: String,
+    cascades: usize,
+    deliveries: usize,
+    votes_accepted: usize,
+    late_rejections: usize,
+    requests: usize,
+    wall_secs: f64,
+    throughput: f64,
+    eq8_mean: Option<f64>,
+    floor: Option<f64>,
+    accuracy_ok: bool,
+    protocol_ok: bool,
+    metrics_ok: bool,
+    identical: bool,
+    routed_identical: bool,
+    slice_identical: bool,
+}
+
+impl RegimeReport {
+    fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| v.map_or("null".to_owned(), |x| format!("{x:.6}"));
+        format!(
+            "{{\"regime\": \"{regime}\", \"cascades\": {cascades}, \"deliveries\": {deliveries}, \
+             \"votes_accepted\": {votes}, \"late_rejections\": {late}, \"requests\": {requests}, \
+             \"wall_seconds\": {wall:.3}, \"throughput_rps\": {rps:.2}, \
+             \"eq8_mean_accuracy\": {eq8}, \"accuracy_floor\": {floor}, \
+             \"accuracy_ok\": {accuracy_ok}, \"protocol_ok\": {protocol_ok}, \
+             \"metrics_ok\": {metrics_ok}, \"outputs_identical\": {identical}, \
+             \"routed_identical\": {routed}, \"slice_identical\": {slice}}}",
+            regime = self.regime,
+            cascades = self.cascades,
+            deliveries = self.deliveries,
+            votes = self.votes_accepted,
+            late = self.late_rejections,
+            requests = self.requests,
+            wall = self.wall_secs,
+            rps = self.throughput,
+            eq8 = opt(self.eq8_mean),
+            floor = opt(self.floor),
+            accuracy_ok = self.accuracy_ok,
+            protocol_ok = self.protocol_ok,
+            metrics_ok = self.metrics_ok,
+            identical = self.identical,
+            routed = self.routed_identical,
+            slice = self.slice_identical,
+        )
+    }
+
+    fn gates_pass(&self) -> bool {
+        self.accuracy_ok
+            && self.protocol_ok
+            && self.metrics_ok
+            && self.identical
+            && self.routed_identical
+            && self.slice_identical
+    }
+}
+
+/// One metrics-gate counter check; `None` reads as 0 (a counter that
+/// never incremented has no series).
+fn check_counter(
+    label: &str,
+    tier: &str,
+    series: &str,
+    got: Option<u64>,
+    want: usize,
+    ok: &mut bool,
+) {
+    if got.unwrap_or(0) != want as u64 {
+        *ok = false;
+        eprintln!("[{label}] METRICS GATE FAILED ({tier}): {series} = {got:?}, want {want}");
+    }
+}
+
+/// Replays one workload through a graph-only direct server *and* a
+/// routed two-backend tier, then runs every per-workload gate. The
+/// slice re-derivation gate is mode-specific — the caller sets it.
+fn soak_workload(
+    label: &'static str,
+    graph: &Arc<DiGraph>,
+    cascades: &[SoakCascade],
+    transport: Transport,
+) -> RegimeReport {
+    assert!(!cascades.is_empty(), "a soak workload needs cascades");
+    let horizon = cascades[0].horizon;
+    let gate_hours: Vec<u32> = (SOAK_OBSERVE_THROUGH + 1..=horizon).collect();
+    let n = cascades.len();
+    let clean: usize = cascades.iter().map(SoakCascade::clean_deliveries).sum();
+    let deliveries: usize = cascades.iter().map(|c| c.deliveries.len()).sum();
+    let late = deliveries - clean;
+    let votes_accepted: usize = cascades
+        .iter()
+        .flat_map(|c| c.deliveries.iter())
+        .filter(|d| !d.late)
+        .map(|d| d.votes.len())
+        .sum();
+
+    // Direct tier.
+    let state = ServerState::with_graph(serve_config(), graph.clone()).expect("soak server");
+    let mut server = DlmServer::bind("127.0.0.1:0", state).expect("bind soak server");
+    eprintln!(
+        "[{label}] direct tier on {} ({n} cascades, {deliveries} deliveries, horizon {horizon})",
+        server.local_addr(),
+    );
+    let (direct_runs, wall_secs) =
+        replay_soak(server.local_addr(), cascades, &gate_hours, transport);
+    let requests: usize = direct_runs.iter().map(|r| r.requests).sum();
+    let late_rejections: usize = direct_runs.iter().map(|r| r.late_rejections).sum();
+    let mut protocol_ok = direct_runs.iter().all(|r| r.mismatches == 0);
+    if late_rejections != late {
+        protocol_ok = false;
+        eprintln!("[{label}] PROTOCOL GATE FAILED: {late_rejections} late rejections, want {late}");
+    }
+
+    // Metrics gate, direct tier: per-verb counts, the late-vote error
+    // count, and the per-regime open counter must match the schedule.
+    let (metrics_response, snapshot) = scrape_metrics(server.local_addr());
+    record_scrape(label, &metrics_response);
+    let mut metrics_ok = true;
+    for (verb, want) in [
+        ("open", n),
+        ("ingest", deliveries),
+        ("forecast", clean + n),
+        ("batch", 0),
+        ("stats", 0),
+        ("metrics", 0),
+        ("invalid", 0),
+    ] {
+        check_counter(
+            label,
+            "direct",
+            &format!("dlm_requests_total{{verb=\"{verb}\"}}"),
+            snapshot.counter("dlm_requests_total", &[("verb", verb)]),
+            want,
+            &mut metrics_ok,
+        );
+    }
+    check_counter(
+        label,
+        "direct",
+        "dlm_request_errors_total{verb=\"ingest\"}",
+        snapshot.counter("dlm_request_errors_total", &[("verb", "ingest")]),
+        late,
+        &mut metrics_ok,
+    );
+    check_counter(
+        label,
+        "direct",
+        &format!("dlm_cascades_opened_total{{regime=\"{label}\"}}"),
+        snapshot.counter("dlm_cascades_opened_total", &[("regime", label)]),
+        n,
+        &mut metrics_ok,
+    );
+
+    // Served-vs-offline bit identity + Eq.-8 accuracy, per cascade.
+    let registry = ModelRegistry::with_builtins();
+    let observed_hours: Vec<u32> = (1..=SOAK_OBSERVE_THROUGH).collect();
+    let mut identical = true;
+    let mut accuracies: Vec<f64> = Vec::new();
+    for (ci, cascade) in cascades.iter().enumerate() {
+        let story = dlm_data::Cascade::from_parts(
+            ci as u32 + 1,
+            cascade.initiator,
+            cascade.submit,
+            cascade.accepted_votes(ci as u32 + 1),
+        )
+        .expect("soak cascade assembles");
+        let matrix = hop_density_matrix(graph, &story, MAX_HOPS, horizon).expect("batch matrix");
+        let observation = Observation::from_matrix(&matrix, &observed_hours).expect("observation");
+        let distances: Vec<u32> = (1..=matrix.max_distance()).collect();
+        let request =
+            PredictionRequest::new(distances.clone(), gate_hours.clone()).expect("request");
+        let parsed = Json::parse(&direct_runs[ci].gate_models).unwrap_or(Json::Null);
+        let served_models = parsed.as_array().unwrap_or(&[]);
+        for (mi, spec) in lineup().iter().enumerate() {
+            let fitted = registry
+                .build(spec)
+                .expect("registry build")
+                .fit(&observation)
+                .expect("offline fit");
+            let prediction = fitted.predict(&request).expect("offline predict");
+            if mi == 0 {
+                // The DL model is the accuracy-tracked one; the
+                // baselines ride the identity gate only.
+                if let Some(acc) = AccuracyTable::score(&prediction, &matrix)
+                    .ok()
+                    .and_then(|t| t.overall_average())
+                {
+                    accuracies.push(acc);
+                }
+            }
+            let values = served_models
+                .get(mi)
+                .and_then(|m| m.get("values"))
+                .and_then(Json::as_array);
+            for (di, &d) in distances.iter().enumerate() {
+                for (hi, &h) in gate_hours.iter().enumerate() {
+                    let served_bits = values
+                        .and_then(|v| v.get(di))
+                        .and_then(Json::as_array)
+                        .and_then(|row| row.get(hi))
+                        .and_then(Json::as_f64)
+                        .map(f64::to_bits);
+                    let offline_bits = Some(prediction.at(d, h).expect("cell").to_bits());
+                    if served_bits != offline_bits {
+                        identical = false;
+                        eprintln!(
+                            "[{label}] DETERMINISM GATE FAILED: cascade {ci} {spec} I({d},{h}) \
+                             served {served_bits:?} != offline {offline_bits:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    server.shutdown();
+
+    // Routed tier: the same replay through a router over two graph-only
+    // backends must produce byte-identical response streams.
+    let backends: Vec<DlmServer<ServerState>> = (0..ROUTER_BACKENDS)
+        .map(|_| {
+            let state =
+                ServerState::with_graph(serve_config(), graph.clone()).expect("backend state");
+            DlmServer::bind("127.0.0.1:0", state).expect("bind backend")
+        })
+        .collect();
+    let backend_addrs: Vec<String> = backends
+        .iter()
+        .map(|b| b.local_addr().to_string())
+        .collect();
+    let router = RouterState::new(RouterConfig {
+        backend_transport: transport,
+        ..RouterConfig::new(backend_addrs)
+    })
+    .expect("router state");
+    let front = DlmServer::bind("127.0.0.1:0", router).expect("bind router");
+    eprintln!("[{label}] routed tier on {}", front.local_addr());
+    let (routed_runs, _) = replay_soak(front.local_addr(), cascades, &gate_hours, transport);
+    let mut routed_identical = routed_runs.iter().all(|r| r.mismatches == 0);
+    for (ci, (routed, direct)) in routed_runs.iter().zip(&direct_runs).enumerate() {
+        if routed.responses != direct.responses {
+            routed_identical = false;
+            eprintln!("[{label}] ROUTING GATE FAILED: cascade {ci} diverges from the direct tier");
+        }
+    }
+
+    // Metrics gate, routed tier: the merged scrape's backend aggregate
+    // must add up to the same totals across the shards.
+    let (router_metrics, merged) = scrape_metrics(front.local_addr());
+    record_scrape(&format!("{label}-router"), &router_metrics);
+    for (verb, want) in [("open", n), ("ingest", deliveries), ("forecast", clean + n)] {
+        check_counter(
+            label,
+            "router",
+            &format!("dlm_requests_total{{verb=\"{verb}\"}}"),
+            merged.counter("dlm_requests_total", &[("verb", verb)]),
+            want,
+            &mut metrics_ok,
+        );
+    }
+    check_counter(
+        label,
+        "router",
+        "dlm_request_errors_total{verb=\"ingest\"}",
+        merged.counter("dlm_request_errors_total", &[("verb", "ingest")]),
+        late,
+        &mut metrics_ok,
+    );
+    check_counter(
+        label,
+        "router",
+        &format!("dlm_cascades_opened_total{{regime=\"{label}\"}}"),
+        merged.counter("dlm_cascades_opened_total", &[("regime", label)]),
+        n,
+        &mut metrics_ok,
+    );
+    if let Some(unreachable) = router_metrics
+        .get("backends_unreachable")
+        .and_then(Json::as_u64)
+    {
+        metrics_ok = false;
+        eprintln!("[{label}] METRICS GATE FAILED: {unreachable} unreachable backend(s)");
+    }
+    drop(front);
+    drop(backends);
+
+    let eq8_mean = if accuracies.is_empty() {
+        None
+    } else {
+        Some(accuracies.iter().sum::<f64>() / accuracies.len() as f64)
+    };
+    let floor = accuracy_floor(label);
+    let accuracy_ok = match (floor, eq8_mean) {
+        (None, _) => true,
+        (Some(f), Some(m)) => m >= f,
+        (Some(_), None) => false,
+    };
+    if !accuracy_ok {
+        eprintln!(
+            "[{label}] ACCURACY GATE FAILED: mean Eq.-8 accuracy {eq8_mean:?} under floor {floor:?}"
+        );
+    }
+
+    let ingest: Vec<f64> = direct_runs
+        .iter()
+        .flat_map(|r| r.ingest_latencies.clone())
+        .collect();
+    let forecast: Vec<f64> = direct_runs
+        .iter()
+        .flat_map(|r| r.forecast_latencies.clone())
+        .collect();
+    print_latencies(&ingest, &forecast);
+    let throughput = requests as f64 / wall_secs.max(1e-9);
+    eprintln!(
+        "[{label}] {requests} requests over {n} cascades in {wall_secs:.2}s -> \
+         {throughput:.1} req/s; {late_rejections} late deliveries rejected; \
+         mean Eq.-8 accuracy {}",
+        eq8_mean.map_or("undefined".to_owned(), |m| format!("{:.1}%", m * 100.0)),
+    );
+
+    RegimeReport {
+        regime: label.to_owned(),
+        cascades: n,
+        deliveries,
+        votes_accepted,
+        late_rejections,
+        requests,
+        wall_secs,
+        throughput,
+        eq8_mean,
+        floor,
+        accuracy_ok,
+        protocol_ok,
+        metrics_ok,
+        identical,
+        routed_identical,
+        slice_identical: false,
+    }
+}
+
+/// The `--digg-dir` end-to-end replay: Digg-2009-format CSVs (the
+/// synthetic fixture is generated in place when the directory has
+/// none) → loader → follower graph → the same two-tier soak as the
+/// factory regimes, one cascade per top story.
+fn run_digg_soak(dir: &str, smoke: bool, transport: Transport) -> RegimeReport {
+    let votes_path = std::path::Path::new(dir).join("digg_votes.csv");
+    let friends_path = std::path::Path::new(dir).join("digg_friends.csv");
+    if !votes_path.exists() || !friends_path.exists() {
+        std::fs::create_dir_all(dir).expect("create digg dir");
+        let fixture = digg_fixture(&DiggFixtureConfig::default()).expect("digg fixture");
+        fixture
+            .write_votes_csv(std::fs::File::create(&votes_path).expect("create votes csv"))
+            .expect("write votes csv");
+        fixture
+            .write_friends_csv(std::fs::File::create(&friends_path).expect("create friends csv"))
+            .expect("write friends csv");
+        eprintln!("[digg] no CSVs in {dir}; wrote the synthetic fixture");
+    }
+    let open = |p: &std::path::Path| std::fs::File::open(p).expect("open digg csv");
+    let dataset =
+        DiggDataset::read_csv(open(&votes_path), open(&friends_path)).expect("parse digg csvs");
+    // Loader determinism — the digg replay's slice gate: parsing the
+    // same bytes twice must build the identical dataset.
+    let reparsed =
+        DiggDataset::read_csv(open(&votes_path), open(&friends_path)).expect("parse digg csvs");
+    let slice_identical = dataset == reparsed;
+    let graph = Arc::new(dataset.follower_graph());
+    let stories: Vec<u32> = dataset
+        .stories_by_popularity()
+        .into_iter()
+        .take(if smoke { 3 } else { 8 })
+        .map(|(story, _)| story)
+        .collect();
+    eprintln!(
+        "[digg] {} votes, {} users; replaying stories {stories:?}",
+        dataset.votes().len(),
+        dataset.user_count(),
+    );
+    let soak: Vec<SoakCascade> = stories
+        .iter()
+        .map(|&story| {
+            let votes = dataset.story_votes(story);
+            let submit = votes.first().expect("story has votes").timestamp;
+            let initiator = dataset.initiator(story).expect("story initiator");
+            let mut by_hour: Vec<Vec<(u64, usize)>> = vec![Vec::new(); DIGG_HORIZON as usize];
+            let mut dropped = 0usize;
+            for v in &votes {
+                let bucket = ((v.timestamp - submit) / 3600) as usize;
+                if bucket < by_hour.len() {
+                    by_hour[bucket].push((v.timestamp, v.voter));
+                } else {
+                    dropped += 1;
+                }
+            }
+            if dropped > 0 {
+                eprintln!(
+                    "[digg] story {story}: {dropped} votes after hour {DIGG_HORIZON} not replayed"
+                );
+            }
+            let deliveries = by_hour
+                .iter()
+                .enumerate()
+                .map(|(hour0, votes)| Delivery {
+                    now: submit + (hour0 as u64 + 1) * 3600,
+                    votes: votes.clone(),
+                    late: false,
+                })
+                .collect();
+            SoakCascade {
+                wire_name: format!("digg-s{story}"),
+                regime_label: "digg",
+                initiator,
+                submit,
+                horizon: DIGG_HORIZON,
+                deliveries,
+            }
+        })
+        .collect();
+    let mut report = soak_workload("digg", &graph, &soak, transport);
+    report.slice_identical = slice_identical;
+    if !slice_identical {
+        eprintln!("[digg] SLICE GATE FAILED: re-parsing the CSVs changed the dataset");
+    }
+    report
+}
+
+/// The soak mode entry point: every requested regime (and the optional
+/// digg replay) through both tiers, one `BENCH_scenarios.json`, exit
+/// nonzero if any gate failed.
+fn run_scenario_soak(
+    regime_names: &[String],
+    digg_dir: Option<&str>,
+    smoke: bool,
+    transport: Transport,
+) {
+    let clients = if smoke { 4 } else { 8 };
+    let mut reports: Vec<RegimeReport> = Vec::new();
+    for name in regime_names {
+        let regime = match find_regime(name) {
+            Ok(regime) => regime,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        };
+        let mut stream = ScenarioStream::new(regime, SCENARIO_SEED).expect("scenario stream");
+        let graph = stream.graph().clone();
+        let generated: Vec<dlm_scenarios::ScenarioCascade> =
+            stream.by_ref().take(clients).collect();
+        let soak: Vec<SoakCascade> = generated
+            .iter()
+            .enumerate()
+            .map(|(i, c)| SoakCascade {
+                wire_name: format!("{}-c{i}", regime.name),
+                regime_label: regime.name,
+                initiator: c.initiator,
+                submit: c.submit_time,
+                horizon: c.horizon,
+                deliveries: c.deliveries.clone(),
+            })
+            .collect();
+        let mut report = soak_workload(regime.name, &graph, &soak, transport);
+        // Slice re-derivation gate: the stream's last cascade
+        // regenerated cold — fresh graph, different parallelism — must
+        // be bit-identical.
+        let last = clients as u64 - 1;
+        let rederived = generate_batch(regime, SCENARIO_SEED, last, 1, Parallelism::Fixed(2))
+            .expect("slice re-derivation");
+        report.slice_identical =
+            rederived[0].canonical_bytes() == generated[last as usize].canonical_bytes();
+        if !report.slice_identical {
+            eprintln!(
+                "[{name}] SLICE GATE FAILED: ({name}, {SCENARIO_SEED}, {last}) did not \
+                 re-derive bit-identically"
+            );
+        }
+        reports.push(report);
+    }
+
+    let digg = digg_dir.map(|dir| run_digg_soak(dir, smoke, transport));
+
+    let soak_ok = reports.iter().all(RegimeReport::gates_pass)
+        && digg.as_ref().is_none_or(RegimeReport::gates_pass);
+    let entries: Vec<String> = reports.iter().map(RegimeReport::to_json).collect();
+    let digg_json = digg
+        .as_ref()
+        .map_or("null".to_owned(), RegimeReport::to_json);
+    let json = format!(
+        "{{\n  \"schema\": \"{schema}\",\n  \"mode\": \"{mode}\",\n  \
+         \"hardware_threads\": {threads},\n  \"clients\": {clients},\n  \
+         \"seed\": {seed},\n  \"regimes\": [\n    {entries}\n  ],\n  \
+         \"digg\": {digg_json},\n  \"soak_ok\": {soak_ok}\n}}\n",
+        schema = artifact::SCENARIOS_SCHEMA,
+        mode = if smoke { "smoke" } else { "full" },
+        threads = artifact::hardware_threads(),
+        seed = SCENARIO_SEED,
+        entries = entries.join(",\n    "),
+    );
+    let out = artifact::bench_out("BENCH_scenarios.json");
+    artifact::write(&out, &json).expect("valid scenarios artifact");
+    eprintln!("wrote {out}");
+    if !soak_ok {
         std::process::exit(1);
     }
 }

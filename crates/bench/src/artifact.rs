@@ -23,6 +23,13 @@ pub const SERVE_SCHEMA: &str = "dlm-bench/serve/v3";
 /// the shared load fields.
 pub const ROUTER_SCHEMA: &str = "dlm-bench/router/v3";
 
+/// Scenario-factory soak runs (`BENCH_scenarios.json`): each requested
+/// regime replayed through the direct tier and a routed tier with
+/// per-regime Eq.-8 accuracy, served-vs-offline bit identity, and
+/// slice re-derivation gates, plus the optional `--digg-dir` CSV
+/// end-to-end replay as the `digg` object (`null` when not requested).
+pub const SCENARIOS_SCHEMA: &str = "dlm-bench/scenarios/v1";
+
 /// Offline evaluation-pipeline timings (`BENCH_evaluation.json`).
 pub const EVALUATION_SCHEMA: &str = "dlm-bench/evaluation/v1";
 
@@ -45,6 +52,27 @@ pub const SERVE_RUN_KEYS: &[&str] = &[
     "protocol_ok",
     "metrics_ok",
     "outputs_identical",
+];
+
+/// Keys every element of a scenarios artifact's `regimes` array (and
+/// its `digg` object, when present) must carry.
+pub const SCENARIO_REGIME_KEYS: &[&str] = &[
+    "regime",
+    "cascades",
+    "deliveries",
+    "votes_accepted",
+    "late_rejections",
+    "requests",
+    "wall_seconds",
+    "throughput_rps",
+    "eq8_mean_accuracy",
+    "accuracy_floor",
+    "accuracy_ok",
+    "protocol_ok",
+    "metrics_ok",
+    "outputs_identical",
+    "routed_identical",
+    "slice_identical",
 ];
 
 /// The registry: declared schema → required top-level keys. Adding a
@@ -85,6 +113,16 @@ pub fn required_keys(schema: &str) -> Option<&'static [&'static str]> {
             "lost_responses",
             "protocol_ok",
             "routed_identical",
+        ]),
+        s if s == SCENARIOS_SCHEMA => Some(&[
+            "schema",
+            "mode",
+            "hardware_threads",
+            "clients",
+            "seed",
+            "regimes",
+            "digg",
+            "soak_ok",
         ]),
         s if s == EVALUATION_SCHEMA => Some(&[
             "schema",
@@ -180,6 +218,33 @@ pub fn validate(text: &str) -> Result<(), String> {
             }
         }
     }
+    if schema == SCENARIOS_SCHEMA {
+        // `regimes` may be empty (a `--digg-dir`-only run), but every
+        // entry — and the `digg` object when it is not null — carries
+        // the full gate record.
+        let regimes = value
+            .get("regimes")
+            .and_then(Json::as_array)
+            .ok_or("`regimes` must be an array")?;
+        for (i, entry) in regimes.iter().enumerate() {
+            for key in SCENARIO_REGIME_KEYS {
+                if entry.get(key).is_none() {
+                    return Err(format!("regimes[{i}] is missing key `{key}`"));
+                }
+            }
+        }
+        let digg = value.get("digg").expect("required key checked above");
+        if !matches!(digg, Json::Null) {
+            for key in SCENARIO_REGIME_KEYS {
+                if digg.get(key).is_none() {
+                    return Err(format!("`digg` is missing key `{key}`"));
+                }
+            }
+        }
+        if regimes.is_empty() && matches!(digg, Json::Null) {
+            return Err("a scenarios artifact must record at least one replay".into());
+        }
+    }
     check_finite(&value, "$")
 }
 
@@ -227,9 +292,25 @@ mod tests {
         )
     }
 
+    const SCENARIO_ENTRY: &str = "{\"regime\":\"broadcast\",\"cascades\":4,\"deliveries\":20,\
+         \"votes_accepted\":160,\"late_rejections\":0,\"requests\":50,\
+         \"wall_seconds\":0.8,\"throughput_rps\":62.5,\"eq8_mean_accuracy\":0.91,\
+         \"accuracy_floor\":0.5,\"accuracy_ok\":true,\"protocol_ok\":true,\
+         \"metrics_ok\":true,\"outputs_identical\":true,\"routed_identical\":true,\
+         \"slice_identical\":true}";
+
+    fn scenarios_doc(regimes: &str, digg: &str) -> String {
+        format!(
+            "{{\"schema\":\"{SCENARIOS_SCHEMA}\",\"mode\":\"smoke\",\"hardware_threads\":8,\
+             \"clients\":4,\"seed\":42,\"regimes\":[{regimes}],\"digg\":{digg},\"soak_ok\":true}}"
+        )
+    }
+
     #[test]
     fn valid_artifacts_pass() {
         validate(&serve_doc("", "")).expect("serve doc validates");
+        validate(&scenarios_doc(SCENARIO_ENTRY, "null")).expect("scenarios doc validates");
+        validate(&scenarios_doc("", SCENARIO_ENTRY)).expect("digg-only scenarios doc validates");
     }
 
     #[test]
@@ -248,6 +329,24 @@ mod tests {
         assert!(validate(&missing_run_key)
             .unwrap_err()
             .contains("runs[0] is missing key `batch`"));
+    }
+
+    #[test]
+    fn scenario_regime_entries_are_validated_too() {
+        let missing = scenarios_doc(SCENARIO_ENTRY, "null").replace("\"late_rejections\":0,", "");
+        assert!(validate(&missing)
+            .unwrap_err()
+            .contains("regimes[0] is missing key `late_rejections`"));
+        // A non-null `digg` object must carry the same gate record.
+        assert!(
+            validate(&scenarios_doc(SCENARIO_ENTRY, "{\"regime\":\"digg\"}"))
+                .unwrap_err()
+                .contains("`digg` is missing key")
+        );
+        // An artifact that replayed nothing at all is a writer bug.
+        assert!(validate(&scenarios_doc("", "null"))
+            .unwrap_err()
+            .contains("at least one"));
     }
 
     #[test]

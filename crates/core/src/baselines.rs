@@ -21,6 +21,7 @@ use crate::growth::GrowthRate;
 use crate::model::Prediction;
 use dlm_graph::bfs::hop_distances;
 use dlm_graph::DiGraph;
+use dlm_numerics::mix::splitmix64_next;
 use dlm_numerics::ode::rk4;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -317,14 +318,17 @@ impl Default for EpidemicConfig {
 /// at *every* hour `1..=max_hour` — the memoizable core of the epidemic
 /// baselines.
 ///
-/// Reading densities out of a trajectory never touches the RNG, so one
-/// simulation can be resampled at any subset of its hours bit-identically
-/// to a fresh simulation *over the same horizon*. (Horizons are part of
-/// the identity: with `runs > 1`, run `n + 1` continues the RNG stream
-/// wherever run `n` left it, and that point depends on `max_hour`.) That
-/// makes the trajectory safe to cache per (graph, seeds, config, hop
-/// bound, horizon) and replay for repeated prediction requests (see
-/// [`crate::zoo::FittedEpidemic`]).
+/// Reading densities out of a trajectory never touches the RNG, and each
+/// Monte-Carlo run draws from its own independent SplitMix64-derived
+/// stream seeded by `(config.seed, run index)` — run `n` replays
+/// identically no matter how long the simulation runs or how many runs
+/// precede it. Two consequences: resampling any subset of hours is
+/// bit-identical to a fresh simulation, and **truncating a long
+/// trajectory at hour `h` is bit-identical to simulating with
+/// `max_hour = h` directly** (see [`EpidemicTrajectory::truncated`]).
+/// One long trajectory therefore serves every shorter horizon, which is
+/// what lets [`crate::zoo::FittedEpidemic`] cache per (graph, seeds,
+/// config, hop bound) instead of per horizon.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpidemicTrajectory {
     /// Users per hop group (group `g` holds distance `g + 1`).
@@ -346,6 +350,20 @@ impl EpidemicTrajectory {
     #[must_use]
     pub fn max_hour(&self) -> u32 {
         self.acc.first().map_or(0, |row| row.len() as u32)
+    }
+
+    /// The prefix trajectory over hours `1..=max_hour` — bit-identical
+    /// to simulating with that horizon directly, because every run's
+    /// RNG stream depends only on `(seed, run index)`, never on how far
+    /// the simulation ran. `max_hour` is capped at the simulated span.
+    #[must_use]
+    pub fn truncated(&self, max_hour: u32) -> Self {
+        let keep = (max_hour as usize).min(self.max_hour() as usize);
+        Self {
+            group_sizes: self.group_sizes.clone(),
+            acc: self.acc.iter().map(|row| row[..keep].to_vec()).collect(),
+            runs: self.runs,
+        }
     }
 
     /// Mean ever-infected density (percent) of hop group `distance` at
@@ -537,7 +555,6 @@ pub fn epidemic_trajectory(
 
     // Accumulated ever-infected counts [group][hour - 1] over runs.
     let mut acc = vec![vec![0.0f64; max_hour as usize]; groups.len()];
-    let mut rng = SmallRng::seed_from_u64(config.seed);
 
     // Canonical seed order: `HashSet` iteration order differs between
     // instances (per-instance hasher keys), and the spread loop draws
@@ -551,7 +568,14 @@ pub fn epidemic_trajectory(
     initial_active.sort_unstable();
     initial_active.dedup();
 
+    // One independent RNG stream per run, derived from the SplitMix64
+    // sequence over `config.seed`: run `n`'s stream is a pure function
+    // of `(seed, n)`, so no run's draws depend on `max_hour` or on how
+    // many draws earlier runs consumed — truncating a long trajectory
+    // equals simulating a shorter one.
+    let mut run_seeds = config.seed;
     for _ in 0..config.runs {
+        let mut rng = SmallRng::seed_from_u64(splitmix64_next(&mut run_seeds));
         let mut ever: HashSet<usize> = initial_active.iter().copied().collect();
         let mut active: Vec<usize> = initial_active.clone();
         let mut infected: Vec<bool> = vec![false; n];
@@ -836,6 +860,38 @@ mod tests {
             assert!(traj.density(99, 1).is_none());
             assert!(traj.prediction(&[8]).is_err());
             assert!(traj.prediction(&[]).is_err());
+        }
+    }
+
+    #[test]
+    fn truncated_trajectory_matches_direct_shorter_simulation() {
+        use dlm_graph::generators::{preferential_attachment, PreferentialAttachmentConfig};
+        let g = preferential_attachment(
+            PreferentialAttachmentConfig {
+                nodes: 150,
+                ..Default::default()
+            },
+            3,
+        )
+        .unwrap();
+        let cfg = EpidemicConfig {
+            beta: 0.15,
+            gamma: 0.25,
+            runs: 5,
+            seed: 23,
+        };
+        for with_recovery in [false, true] {
+            // Per-run RNG streams depend only on (seed, run index), so a
+            // long trajectory restricted to a prefix of hours is
+            // bit-identical to simulating that shorter horizon directly.
+            let long = epidemic_trajectory(&g, 0, &[0], 4, 9, &cfg, with_recovery).unwrap();
+            for shorter in [1u32, 3, 6, 9] {
+                let direct =
+                    epidemic_trajectory(&g, 0, &[0], 4, shorter, &cfg, with_recovery).unwrap();
+                assert_eq!(long.truncated(shorter), direct, "horizon {shorter}");
+            }
+            // Truncation past the simulated span is the identity.
+            assert_eq!(long.truncated(99), long);
         }
     }
 

@@ -742,13 +742,15 @@ impl SisPredictor {
 /// A fitted SI/SIS epidemic, bound to a cascade's graph context.
 ///
 /// Monte-Carlo trajectories are memoized per fitted model — i.e. per
-/// (graph, seeds, config) — keyed by the exact (hop bound, horizon)
-/// pair, so repeated [`FittedPredictor::predict`] calls resample the
-/// cached ever-infected counts instead of re-simulating. Within one
-/// horizon, resampling is bit-identical to a fresh simulation because
-/// the readout schedule never touches the RNG; horizons key separately
-/// because the multi-run RNG stream depends on the simulated span (see
-/// [`EpidemicTrajectory`]).
+/// (graph, seeds, config) — keyed by the hop bound alone, so repeated
+/// [`FittedPredictor::predict`] calls resample the cached ever-infected
+/// counts instead of re-simulating. Each run draws from an independent
+/// SplitMix64-derived stream seeded by `(seed, run index)`, so a
+/// trajectory simulated over a long horizon reads out bit-identically
+/// to a direct simulation at *any* shorter horizon (see
+/// [`EpidemicTrajectory`]) — one long trajectory per hop bound serves
+/// every forecast-horizon request at or below its span, and a longer
+/// request replaces the cached trajectory with a longer simulation.
 #[derive(Debug)]
 pub struct FittedEpidemic {
     name: &'static str,
@@ -759,8 +761,9 @@ pub struct FittedEpidemic {
     with_recovery: bool,
     max_distance: u32,
     initial_hour: u32,
-    /// Cached trajectories keyed by (max_hops, simulated horizon).
-    memo: Mutex<HashMap<(u32, u32), Arc<EpidemicTrajectory>>>,
+    /// Cached trajectories keyed by hop bound; the stored trajectory is
+    /// the longest simulated so far for that bound.
+    memo: Mutex<HashMap<u32, Arc<EpidemicTrajectory>>>,
     /// Monte-Carlo simulations actually run (instrumentation).
     simulations: AtomicUsize,
 }
@@ -793,21 +796,21 @@ impl FittedEpidemic {
         self.simulations.load(Ordering::Relaxed)
     }
 
-    /// The memoized trajectory for exactly (`max_hops`, `max_hour`),
-    /// simulating only on the first request for that pair. The lock is
-    /// *not* held across the simulation, so distinct (hop, horizon)
-    /// requests on a shared fitted model — a forecast-horizon sweep
-    /// under the parallel pipeline — simulate concurrently; two racers
-    /// on the same key compute identical trajectories (seeded RNG) and
-    /// the first insert wins.
+    /// The memoized trajectory for `max_hops` covering at least
+    /// `max_hour`, simulating only when no cached trajectory spans the
+    /// requested horizon. Per-run RNG streams make readouts from a
+    /// longer trajectory bit-identical to a direct shorter simulation,
+    /// so serving hour 3 from an hour-9 trajectory is exact. The lock
+    /// is *not* held across the simulation, so distinct hop bounds on a
+    /// shared fitted model — a forecast sweep under the parallel
+    /// pipeline — simulate concurrently; two racers on the same bound
+    /// keep whichever trajectory spans further (readouts agree on the
+    /// shared prefix either way).
     fn trajectory(&self, max_hops: u32, max_hour: u32) -> Result<Arc<EpidemicTrajectory>> {
-        if let Some(trajectory) = self
-            .memo
-            .lock()
-            .expect(MEMO_POISONED)
-            .get(&(max_hops, max_hour))
-        {
-            return Ok(Arc::clone(trajectory));
+        if let Some(trajectory) = self.memo.lock().expect(MEMO_POISONED).get(&max_hops) {
+            if trajectory.max_hour() >= max_hour {
+                return Ok(Arc::clone(trajectory));
+            }
         }
         let trajectory = Arc::new(epidemic_trajectory(
             &self.graph,
@@ -820,9 +823,13 @@ impl FittedEpidemic {
         )?);
         self.simulations.fetch_add(1, Ordering::Relaxed);
         let mut memo = self.memo.lock().expect(MEMO_POISONED);
-        Ok(Arc::clone(
-            memo.entry((max_hops, max_hour)).or_insert(trajectory),
-        ))
+        let entry = memo
+            .entry(max_hops)
+            .or_insert_with(|| Arc::clone(&trajectory));
+        if entry.max_hour() < trajectory.max_hour() {
+            *entry = Arc::clone(&trajectory);
+        }
+        Ok(Arc::clone(entry))
     }
 }
 
@@ -1128,16 +1135,34 @@ mod tests {
         let b = concrete.predict(&r23).unwrap();
         assert_eq!(concrete.simulations(), 1, "second predict re-simulated");
         assert_eq!(a, b);
-        // A different horizon is a distinct simulation (the multi-run
-        // RNG stream depends on the simulated span)...
+        // A horizon beyond the cached span simulates a longer
+        // trajectory (replacing the shorter one for this hop bound)...
         let r4 = PredictionRequest::new(vec![1, 2, 3], vec![4]).unwrap();
         concrete.predict(&r4).unwrap();
         assert_eq!(concrete.simulations(), 2);
-        // ...but both horizons stay cached: replaying either is free.
+        // ...and shorter readouts are served from it for free, with
+        // answers bit-identical to the dedicated short simulation.
         let c = concrete.predict(&r23).unwrap();
         concrete.predict(&r4).unwrap();
         assert_eq!(concrete.simulations(), 2);
         assert_eq!(a, c);
+        // Asking for the long horizon first means the short one reads
+        // out of the same trajectory: one simulation total, and the
+        // answers are bit-identical to the short-first order.
+        let fresh_concrete = FittedEpidemic {
+            memo: Mutex::new(HashMap::new()),
+            simulations: AtomicUsize::new(0),
+            ..concrete.clone()
+        };
+        let d = fresh_concrete.predict(&r4).unwrap();
+        let e = fresh_concrete.predict(&r23).unwrap();
+        assert_eq!(
+            fresh_concrete.simulations(),
+            1,
+            "short horizon re-simulated"
+        );
+        assert_eq!(d, concrete.predict(&r4).unwrap());
+        assert_eq!(e, a);
         // Clones carry the memo with them.
         let cloned = concrete.clone();
         cloned.predict(&r23).unwrap();

@@ -27,9 +27,30 @@ pub fn splitmix64_next(state: &mut u64) -> u64 {
     splitmix64_mix(*state)
 }
 
+/// Random access into a SplitMix64 stream: the value `splitmix64_next`
+/// would return on its `n`-th call (1-based; `n = 0` finalizes the seed
+/// itself). Because the state advances by a fixed gamma, position `n`
+/// is `mix(seed + n * gamma)` — O(1), no iteration. This is what lets
+/// scenario streams re-derive any `(seed, index)` slice without
+/// replaying the prefix.
+#[must_use]
+pub fn splitmix64_at(seed: u64, n: u64) -> u64 {
+    splitmix64_mix(seed.wrapping_add(n.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn random_access_matches_iterated_stream() {
+        let mut state = 7u64;
+        let iterated: Vec<u64> = (0..16).map(|_| splitmix64_next(&mut state)).collect();
+        let jumped: Vec<u64> = (1..=16).map(|n| splitmix64_at(7, n)).collect();
+        assert_eq!(iterated, jumped);
+        assert_eq!(splitmix64_at(0, 1), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64_at(7, 0), splitmix64_mix(7));
+    }
 
     #[test]
     fn finalizer_is_deterministic_and_bijective_looking() {

@@ -32,6 +32,6 @@ pub use logging::{enabled, log, next_id, set_level, Level};
 #[doc(hidden)]
 pub use logging::enabled as logging_enabled;
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, Series, SeriesValue,
-    HISTOGRAM_BUCKETS,
+    sanitize_label_value, Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    Series, SeriesValue, HISTOGRAM_BUCKETS,
 };

@@ -531,6 +531,32 @@ impl MetricsSnapshot {
     }
 }
 
+/// Normalizes an externally supplied string into a safe label value:
+/// ASCII alphanumerics, `-`, `_`, and `.` pass through, anything else
+/// becomes `_`, the result is truncated to 64 bytes, and an empty input
+/// maps to `"_"`. Label *keys* in this crate are static strings chosen
+/// by the instrumentation site, but values sometimes arrive off the
+/// wire (e.g. the scenario regime on `open` requests) — sanitizing at
+/// the boundary bounds series cardinality per distinct input and keeps
+/// both the text exposition and downstream scrapers free of exotic
+/// characters, whatever a client sends.
+#[must_use]
+pub fn sanitize_label_value(raw: &str) -> String {
+    let cleaned: String = raw
+        .chars()
+        .take(64)
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '-' | '_' | '.' => c,
+            _ => '_',
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_owned()
+    } else {
+        cleaned
+    }
+}
+
 fn render_line(
     out: &mut String,
     name: &str,
@@ -574,6 +600,16 @@ fn render_line(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sanitize_label_value_normalizes_hostile_input() {
+        assert_eq!(sanitize_label_value("broadcast"), "broadcast");
+        assert_eq!(sanitize_label_value("erdos-viral_2.0"), "erdos-viral_2.0");
+        assert_eq!(sanitize_label_value("a\"b\\c\nd e"), "a_b_c_d_e");
+        assert_eq!(sanitize_label_value(""), "_");
+        let long = "x".repeat(200);
+        assert_eq!(sanitize_label_value(&long).len(), 64);
+    }
 
     #[test]
     fn bucket_indexing_covers_the_line() {

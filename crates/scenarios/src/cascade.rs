@@ -1,0 +1,164 @@
+//! The generated unit of work: one cascade as a schedule of wire-level
+//! ingest deliveries, plus the pure helpers the soak harness's gates
+//! are built on.
+
+use dlm_data::Vote;
+
+/// One `ingest` call's worth of votes, as the serving tier would
+/// receive it.
+///
+/// Clean deliveries carry hour `h`'s votes with `now` at the end of
+/// that hour, so applying delivery `h` closes hour `h`. Late
+/// deliveries (storm regimes only) carry exactly one vote whose
+/// timestamp falls in an hour the preceding clean delivery already
+/// closed — the server must reject it with a `LateVote` error and
+/// leave every byte of cascade state untouched. They ride alone
+/// because the server's documented partial-apply contract stops an
+/// ingest batch at the first rejected vote; mixing a late vote into a
+/// clean batch would make the clean suffix's fate order-dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Wall-clock the client reports with the batch (`now` field);
+    /// the server closes every hour ending at or before it.
+    pub now: u64,
+    /// `(timestamp, voter)` pairs in delivery order. Storm regimes
+    /// shuffle within the hour, so this is *not* timestamp-sorted.
+    pub votes: Vec<(u64, usize)>,
+    /// Whether the server is expected to reject this delivery as late.
+    pub late: bool,
+}
+
+/// One deterministic synthetic cascade: identity, ground-truth graph
+/// coordinates, and the full delivery schedule.
+///
+/// Everything here is a pure function of `(regime, seed, index)` — see
+/// [`crate::Regime::cascade`] — which is what makes any slice of any
+/// stream independently re-derivable. [`ScenarioCascade::canonical_bytes`]
+/// is the byte form that contract is checked against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioCascade {
+    /// Catalog name of the generating regime.
+    pub regime: &'static str,
+    /// Position in the regime's stream.
+    pub index: u64,
+    /// Initiating node in the regime's graph.
+    pub initiator: usize,
+    /// Submission epoch (seconds).
+    pub submit_time: u64,
+    /// Forecast horizon in hours; clean deliveries run `1..=horizon`.
+    pub horizon: u32,
+    /// The ingest schedule, in wire order.
+    pub deliveries: Vec<Delivery>,
+}
+
+impl ScenarioCascade {
+    /// The votes a correct server ends up counting: every vote of
+    /// every non-late delivery, in delivery order. This is the pure
+    /// "batch side" of the live-vs-batch identity gate — feed it to
+    /// [`dlm_data::Cascade::from_parts`] and the offline builders.
+    #[must_use]
+    pub fn accepted_votes(&self) -> Vec<(u64, usize)> {
+        self.deliveries
+            .iter()
+            .filter(|d| !d.late)
+            .flat_map(|d| d.votes.iter().copied())
+            .collect()
+    }
+
+    /// [`ScenarioCascade::accepted_votes`] as Digg-model [`Vote`]s,
+    /// tagged with `story`.
+    #[must_use]
+    pub fn accepted_as_votes(&self, story: u32) -> Vec<Vote> {
+        self.accepted_votes()
+            .into_iter()
+            .map(|(timestamp, voter)| Vote {
+                timestamp,
+                voter,
+                story,
+            })
+            .collect()
+    }
+
+    /// Number of deliveries the server is expected to reject as late.
+    #[must_use]
+    pub fn late_deliveries(&self) -> usize {
+        self.deliveries.iter().filter(|d| d.late).count()
+    }
+
+    /// A canonical, platform-independent byte rendering of the whole
+    /// cascade. Two generation paths agree on a cascade iff they agree
+    /// on these bytes; the soak harness and the determinism proptests
+    /// compare slices through this.
+    #[must_use]
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "scenario/v1 regime={} index={} initiator={} submit={} horizon={}\n",
+            self.regime, self.index, self.initiator, self.submit_time, self.horizon
+        );
+        for d in &self.deliveries {
+            out.push_str(&format!("D now={} late={}", d.now, u8::from(d.late)));
+            for &(ts, voter) in &d.votes {
+                out.push_str(&format!(" {ts}:{voter}"));
+            }
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioCascade {
+        ScenarioCascade {
+            regime: "test",
+            index: 3,
+            initiator: 7,
+            submit_time: 1000,
+            horizon: 2,
+            deliveries: vec![
+                Delivery {
+                    now: 4600,
+                    votes: vec![(1100, 2), (1050, 4)],
+                    late: false,
+                },
+                Delivery {
+                    now: 8200,
+                    votes: vec![(1200, 9)],
+                    late: true,
+                },
+                Delivery {
+                    now: 8200,
+                    votes: vec![(5000, 5)],
+                    late: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn accepted_votes_skip_late_deliveries_and_keep_order() {
+        let c = sample();
+        assert_eq!(c.accepted_votes(), vec![(1100, 2), (1050, 4), (5000, 5)]);
+        assert_eq!(c.late_deliveries(), 1);
+        let votes = c.accepted_as_votes(42);
+        assert_eq!(votes.len(), 3);
+        assert!(votes.iter().all(|v| v.story == 42));
+    }
+
+    #[test]
+    fn canonical_bytes_round_out_every_field() {
+        let c = sample();
+        let text = String::from_utf8(c.canonical_bytes()).unwrap();
+        assert!(
+            text.starts_with("scenario/v1 regime=test index=3 initiator=7 submit=1000 horizon=2\n")
+        );
+        assert!(text.contains("D now=4600 late=0 1100:2 1050:4\n"));
+        assert!(text.contains("D now=8200 late=1 1200:9\n"));
+        // Any field change moves the bytes.
+        let mut other = c.clone();
+        other.deliveries[0].votes[0].0 += 1;
+        assert_ne!(other.canonical_bytes(), c.canonical_bytes());
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic synthetic dataset in the real Digg 2009 CSV shape.
+//!
+//! The actual crawl is non-redistributable, so CI's `--digg-dir`
+//! replay writes this fixture through [`dlm_data::DiggDataset`]'s CSV
+//! *writers*, reads it back through the CSV *readers*, and drives the
+//! result end-to-end through the serving tiers — exercising the whole
+//! loader path with bytes that regenerate identically from a seed.
+
+use dlm_data::simulate::SIMULATED_SUBMIT_TIME;
+use dlm_data::{DiggDataset, FriendLink, Vote};
+
+use crate::regime::{Diffusivity, Regime, Shape, Topology};
+use crate::Result;
+
+/// Tuning for [`digg_fixture`]. The defaults are small enough for a
+/// smoke job yet large enough that every story clears the serving
+/// tier's hop-group and accuracy machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiggFixtureConfig {
+    /// Master seed — the entire dataset is a pure function of it.
+    pub seed: u64,
+    /// Number of stories (1-based ids `1..=stories`).
+    pub stories: u32,
+    /// Users in the synthetic follower graph.
+    pub nodes: usize,
+}
+
+impl Default for DiggFixtureConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2009,
+            stories: 6,
+            nodes: 300,
+        }
+    }
+}
+
+/// Stories are spaced this many hours apart so their vote windows
+/// never overlap (real Digg stories are submitted over months).
+const STORY_SPACING_HOURS: u64 = 1000;
+
+/// Generates the synthetic Digg-format dataset: a preferential-
+/// attachment follower graph rendered as friend links, plus one vote
+/// cascade per story (alternating broadcast and viral shapes, each
+/// opened by its initiator's own vote at submission, like the real
+/// logs). Pure in `config` — regenerating with the same config is
+/// byte-identical.
+///
+/// # Errors
+///
+/// Propagates graph generation errors (config with too few nodes).
+pub fn digg_fixture(config: &DiggFixtureConfig) -> Result<DiggDataset> {
+    let base = fixture_regime("digg-fixture", Shape::Broadcast, config.nodes);
+    let graph = base.graph(config.seed)?;
+    let mut votes: Vec<Vote> = Vec::new();
+    for s in 0..config.stories {
+        let (name, shape) = if s % 2 == 0 {
+            ("digg-fixture-broadcast", Shape::Broadcast)
+        } else {
+            ("digg-fixture-viral", Shape::Viral)
+        };
+        let regime = fixture_regime(name, shape, config.nodes);
+        let cascade = regime.cascade(&graph, config.seed, u64::from(s))?;
+        let story = s + 1;
+        let offset = u64::from(s) * STORY_SPACING_HOURS * 3600;
+        // The submitter's own vote opens the story — that's how
+        // `DiggDataset::initiator` identifies it in the real logs.
+        votes.push(Vote {
+            timestamp: cascade.submit_time + offset,
+            voter: cascade.initiator,
+            story,
+        });
+        for (ts, voter) in cascade.accepted_votes() {
+            votes.push(Vote {
+                timestamp: ts + offset,
+                voter,
+                story,
+            });
+        }
+    }
+    // Friend links predate every vote; one non-mutual link per directed
+    // edge reproduces the graph exactly through `follower_graph`.
+    let link_time = SIMULATED_SUBMIT_TIME - 86_400;
+    let links: Vec<FriendLink> = graph
+        .edges()
+        .map(|(followee, follower)| FriendLink {
+            mutual: false,
+            timestamp: link_time,
+            follower,
+            followee,
+        })
+        .collect();
+    Ok(DiggDataset::new(votes, links))
+}
+
+fn fixture_regime(name: &'static str, shape: Shape, nodes: usize) -> Regime {
+    Regime {
+        name,
+        summary: "digg fixture generator",
+        topology: Topology::PreferentialAttachment {
+            nodes,
+            edges_per_node: 4,
+        },
+        shape,
+        diffusivity: Diffusivity::Constant,
+        storm: false,
+        horizon: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_pure_in_config_and_round_trips_csv() {
+        let config = DiggFixtureConfig::default();
+        let a = digg_fixture(&config).unwrap();
+        let b = digg_fixture(&config).unwrap();
+        assert_eq!(a, b);
+        let mut votes_csv = Vec::new();
+        let mut friends_csv = Vec::new();
+        a.write_votes_csv(&mut votes_csv).unwrap();
+        a.write_friends_csv(&mut friends_csv).unwrap();
+        let back = DiggDataset::read_csv(&votes_csv[..], &friends_csv[..]).unwrap();
+        assert_eq!(back, a);
+        assert_ne!(
+            digg_fixture(&DiggFixtureConfig {
+                seed: 2010,
+                ..config
+            })
+            .unwrap(),
+            a
+        );
+    }
+
+    #[test]
+    fn fixture_stories_have_initiators_and_disjoint_windows() {
+        let config = DiggFixtureConfig::default();
+        let data = digg_fixture(&config).unwrap();
+        assert_eq!(data.story_ids().len(), config.stories as usize);
+        let graph = data.follower_graph();
+        for story in data.story_ids() {
+            let initiator = data.initiator(story).unwrap();
+            assert!(graph.out_degree(initiator) > 0);
+            let story_votes = data.story_votes(story);
+            // Submitter's vote is first; everyone else follows within
+            // the 8-hour horizon.
+            let submit = story_votes[0].timestamp;
+            assert_eq!(story_votes[0].voter, initiator);
+            assert!(story_votes.len() > 8, "story {story} too sparse");
+            for v in &story_votes {
+                assert!(v.timestamp >= submit && v.timestamp < submit + 9 * 3600);
+            }
+        }
+    }
+}

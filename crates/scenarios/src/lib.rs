@@ -1,0 +1,84 @@
+//! # dlm-scenarios — deterministic cascade workload factory
+//!
+//! The serving stack's soak layer: named **regimes** that stream
+//! unbounded synthetic cascade workloads, each an iterator of
+//! [`ScenarioCascade`]s whose content is a *pure function of
+//! `(regime, seed, index)`*. Any slice of any stream can be re-derived
+//! independently — for proptest shrinking, for CI replay of a failure,
+//! or for fanning generation across threads without changing a byte
+//! (see [`generate_batch`]).
+//!
+//! A regime is the cross product of
+//!
+//! * **topology** — Erdős–Rényi, preferential attachment, or
+//!   Watts–Strogatz small-world (via [`dlm_graph::generators`]);
+//! * **shape** — *broadcast* (one hub reaches its audience directly,
+//!   deeper hops stay quiet — the dominant pattern the Twitter study in
+//!   PAPERS.md found for popular content), *viral* (a wave passes
+//!   distance by distance, the regime the DL model was built for), or
+//!   *community-bridged* (near hops saturate first, far hops light up
+//!   only after a bridge crosses mid-horizon);
+//! * **diffusivity** — constant or a mid-horizon surge;
+//! * **storm** — in-hour vote reordering plus late echoes targeting
+//!   already-closed hours, which a correct server must *reject*
+//!   deterministically.
+//!
+//! The catalog lives in [`catalog`]; `docs/SCENARIOS.md` is the
+//! narrative reference (seeding scheme, determinism contract, how to
+//! add a regime). [`digg_fixture`] generates a small synthetic dataset
+//! in the real Digg 2009 CSV shape so the `--digg-dir` replay path can
+//! be exercised end-to-end (writer → reader → serving tier) without
+//! redistributing the crawl.
+
+#![warn(missing_docs)]
+
+mod cascade;
+mod digg;
+mod regime;
+mod stream;
+
+pub use cascade::{Delivery, ScenarioCascade};
+pub use digg::{digg_fixture, DiggFixtureConfig};
+pub use regime::{catalog, find_regime, Diffusivity, Regime, Shape, Topology, SCENARIO_MAX_HOPS};
+pub use stream::{generate_batch, ScenarioStream};
+
+/// Errors from scenario construction.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// No regime with the requested name in the catalog.
+    UnknownRegime(String),
+    /// Graph generation failed (invalid catalog parameters — a bug).
+    Graph(dlm_graph::GraphError),
+    /// Hop grouping failed for every candidate initiator.
+    Cascade(dlm_cascade::CascadeError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownRegime(name) => {
+                let names: Vec<&str> = catalog().iter().map(|r| r.name).collect();
+                write!(f, "unknown regime `{name}`; catalog: {}", names.join(", "))
+            }
+            Self::Graph(e) => write!(f, "scenario graph generation: {e}"),
+            Self::Cascade(e) => write!(f, "scenario hop grouping: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<dlm_graph::GraphError> for ScenarioError {
+    fn from(e: dlm_graph::GraphError) -> Self {
+        Self::Graph(e)
+    }
+}
+
+impl From<dlm_cascade::CascadeError> for ScenarioError {
+    fn from(e: dlm_cascade::CascadeError) -> Self {
+        Self::Cascade(e)
+    }
+}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, ScenarioError>;

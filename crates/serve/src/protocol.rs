@@ -84,6 +84,12 @@ pub enum Request {
         /// synthetic cascade submits there; pass it explicitly when
         /// replaying real logs.
         submit_time: Option<u64>,
+        /// Workload regime tag (`regime` field). Pure observability:
+        /// it never affects handling, it only labels the server's
+        /// `dlm_cascades_opened_total` counter (sanitized through
+        /// [`dlm_obs::sanitize_label_value`]) so soak runs can assert
+        /// per-regime open counts across both tiers.
+        regime: Option<String>,
     },
     /// Streams vote events into a cascade.
     Ingest {
@@ -183,6 +189,16 @@ fn str_field(obj: &Json, key: &str) -> Result<String> {
         .as_str()
         .map(str::to_owned)
         .ok_or_else(|| ServeError::Protocol(format!("field `{key}` must be a string")))
+}
+
+fn opt_str(obj: &Json, key: &str) -> Result<Option<String>> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_owned()))
+            .ok_or_else(|| ServeError::Protocol(format!("field `{key}` must be a string"))),
+    }
 }
 
 fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>> {
@@ -293,6 +309,7 @@ impl Request {
                     metric,
                     horizon: opt_u32(value, "horizon")?.unwrap_or(50),
                     submit_time: opt_u64(value, "submit_time")?,
+                    regime: opt_str(value, "regime")?,
                 })
             }
             "ingest" => {
@@ -397,6 +414,7 @@ impl Request {
                 metric,
                 horizon,
                 submit_time,
+                regime,
             } => {
                 let mut fields = vec![
                     ("type".to_owned(), Json::str("open")),
@@ -429,6 +447,9 @@ impl Request {
                 fields.push(("horizon".to_owned(), Json::num(f64::from(*horizon))));
                 if let Some(t) = submit_time {
                     fields.push(("submit_time".to_owned(), Json::num(*t as f64)));
+                }
+                if let Some(r) = regime {
+                    fields.push(("regime".to_owned(), Json::str(r.clone())));
                 }
                 Json::Obj(fields)
             }
@@ -539,6 +560,7 @@ mod tests {
                 metric: OpenMetric::Hops { max_hops: 5 },
                 horizon: 24,
                 submit_time: Some(1_244_000_000),
+                regime: Some("broadcast".into()),
             },
             Request::Open {
                 cascade: "c2".into(),
@@ -547,6 +569,7 @@ mod tests {
                 metric: OpenMetric::Hops { max_hops: 4 },
                 horizon: 6,
                 submit_time: None,
+                regime: None,
             },
             Request::Open {
                 cascade: "c3".into(),
@@ -558,6 +581,7 @@ mod tests {
                 },
                 horizon: 12,
                 submit_time: None,
+                regime: None,
             },
             Request::Open {
                 cascade: "c4".into(),
@@ -569,6 +593,7 @@ mod tests {
                 },
                 horizon: 12,
                 submit_time: Some(1_244_000_000),
+                regime: None,
             },
             Request::Ingest {
                 cascade: "c1".into(),
@@ -633,6 +658,7 @@ mod tests {
                 metric: OpenMetric::Hops { max_hops: 5 },
                 horizon: 50,
                 submit_time: None,
+                regime: None,
             }
         );
         let r = Request::parse(r#"{"type":"open","cascade":"x","story":1,"metric":"interest"}"#)
@@ -649,6 +675,7 @@ mod tests {
                 },
                 horizon: 50,
                 submit_time: None,
+                regime: None,
             }
         );
         let r = Request::parse(r#"{"type":"forecast","cascade":"x","hours":[2]}"#).unwrap();
@@ -676,6 +703,7 @@ mod tests {
             r#"{"type":"forecast","cascade":"x","hours":"all"}"#,
             r#"{"type":"forecast","cascade":"x","hours":[-1]}"#,
             r#"{"type":"open","cascade":"x","horizon":"soon"}"#,
+            r#"{"type":"open","cascade":"x","initiator":3,"regime":7}"#,
             r#"{"type":"open","cascade":"x","story":1,"metric":"euclidean"}"#,
             r#"{"type":"open","cascade":"x","story":1,"metric":"interest","strategy":"median"}"#,
             r#"{"type":"open","cascade":"x","story":1,"metric":"interest","strategy":1}"#,

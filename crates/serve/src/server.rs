@@ -143,7 +143,7 @@ pub struct ServerState {
     cache: FittedModelCache,
     parallelism: Parallelism,
     prewarm: bool,
-    world: Option<(SyntheticWorld, Arc<DiGraph>)>,
+    universe: Option<Universe>,
     /// Live cascades, bounded and TTL-swept; see [`crate::store`].
     /// Slots are `Arc<Mutex<_>>` so an in-flight request keeps its
     /// cascade alive across an eviction.
@@ -164,10 +164,41 @@ pub struct ServerState {
     refit_metrics: RefitMetrics,
 }
 
+/// What the server knows about the social universe its cascades spread
+/// over. A full synthetic world enables `open` by story ordinal and the
+/// interest metric; a bare graph is enough for hop-metric opens by
+/// explicit initiator — which is all the scenario factory and real-log
+/// replay need, and spares every backend the cost (and the obligation)
+/// of regenerating a world it never uses.
+#[derive(Debug)]
+enum Universe {
+    /// Synthetic world plus its graph (shared, not re-cloned per open).
+    /// Boxed: a world is hundreds of bytes, a bare graph handle is one
+    /// pointer, and graph-only servers shouldn't pay the larger slot.
+    World(Box<SyntheticWorld>, Arc<DiGraph>),
+    /// Just a follower graph.
+    Graph(Arc<DiGraph>),
+}
+
+impl Universe {
+    fn graph(&self) -> &Arc<DiGraph> {
+        match self {
+            Self::World(_, graph) | Self::Graph(graph) => graph,
+        }
+    }
+
+    fn world(&self) -> Option<&SyntheticWorld> {
+        match self {
+            Self::World(world, _) => Some(world),
+            Self::Graph(_) => None,
+        }
+    }
+}
+
 impl ServerState {
-    /// Creates a server core without a synthetic world: cascades must be
+    /// Creates a server core without a universe: cascades must be
     /// opened with an explicit initiator via [`ServerState::insert_cascade`]
-    /// (protocol `open` by `story` or `initiator` needs a world).
+    /// (protocol `open` needs at least a graph).
     ///
     /// # Errors
     ///
@@ -185,10 +216,23 @@ impl ServerState {
     /// Propagates registry construction errors.
     pub fn with_world(config: ServeConfig, world: SyntheticWorld) -> Result<Self> {
         let graph = Arc::new(world.graph().clone());
-        Self::build(config, Some((world, graph)))
+        Self::build(config, Some(Universe::World(Box::new(world), graph)))
     }
 
-    fn build(config: ServeConfig, world: Option<(SyntheticWorld, Arc<DiGraph>)>) -> Result<Self> {
+    /// Creates a server core around a bare follower graph: protocol
+    /// `open` works with an explicit `initiator` and the hop metric —
+    /// the shape scenario replay and real-log (`--digg-dir`) replay
+    /// use. Story-ordinal and interest-metric opens still require
+    /// [`ServerState::with_world`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry construction errors.
+    pub fn with_graph(config: ServeConfig, graph: Arc<DiGraph>) -> Result<Self> {
+        Self::build(config, Some(Universe::Graph(graph)))
+    }
+
+    fn build(config: ServeConfig, universe: Option<Universe>) -> Result<Self> {
         if config.lineup.is_empty() {
             return Err(ServeError::InvalidParameter {
                 name: "lineup",
@@ -221,7 +265,7 @@ impl ServerState {
             cache: FittedModelCache::new(config.cache_capacity),
             parallelism: config.parallelism,
             prewarm: config.prewarm,
-            world,
+            universe,
             cascades,
             snapshot_dir: config.snapshot_dir,
             requests: AtomicU64::new(0),
@@ -280,22 +324,27 @@ impl ServerState {
 
     /// Resolves the graph context a snapshot's recorded initiator needs:
     /// hop-metric cascades carry `Some(initiator)` and require this
-    /// server to share the origin's world graph, or the epidemic
-    /// predictors would silently serve different forecasts.
+    /// server to share the origin's graph, or the epidemic predictors
+    /// would silently serve different forecasts.
     fn graph_context_for(&self, initiator: Option<u64>) -> Result<Option<(Arc<DiGraph>, usize)>> {
         let Some(u) = initiator else { return Ok(None) };
-        let (world, graph) = self.world.as_ref().ok_or(ServeError::InvalidParameter {
-            name: "snapshot",
-            reason: "snapshot carries a graph initiator but this server has no world".into(),
-        })?;
+        let graph =
+            self.universe
+                .as_ref()
+                .map(Universe::graph)
+                .ok_or(ServeError::InvalidParameter {
+                    name: "snapshot",
+                    reason: "snapshot carries a graph initiator but this server has no graph"
+                        .into(),
+                })?;
         let u = usize::try_from(u).map_err(|_| ServeError::InvalidParameter {
             name: "snapshot",
             reason: format!("initiator {u} does not fit usize"),
         })?;
-        if u >= world.user_count() {
+        if u >= graph.node_count() {
             return Err(ServeError::InvalidParameter {
                 name: "snapshot",
-                reason: format!("initiator {u} outside world of {}", world.user_count()),
+                reason: format!("initiator {u} outside graph of {}", graph.node_count()),
             });
         }
         Ok(Some((Arc::clone(graph), u)))
@@ -453,7 +502,16 @@ impl ServerState {
                 metric,
                 horizon,
                 submit_time,
-            } => self.handle_open(cascade, *initiator, *story, *metric, *horizon, *submit_time),
+                regime,
+            } => self.handle_open(
+                cascade,
+                *initiator,
+                *story,
+                *metric,
+                *horizon,
+                *submit_time,
+                regime.as_deref(),
+            ),
             Request::Ingest {
                 cascade,
                 votes,
@@ -604,6 +662,7 @@ impl ServerState {
         ]))
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the wire verb's field set
     fn handle_open(
         &self,
         cascade: &str,
@@ -612,17 +671,31 @@ impl ServerState {
         metric: OpenMetric,
         horizon: u32,
         submit_time: Option<u64>,
+        regime: Option<&str>,
     ) -> Result<Json> {
-        let (world, graph) = self.world.as_ref().ok_or(ServeError::InvalidParameter {
+        let universe = self.universe.as_ref().ok_or(ServeError::InvalidParameter {
             name: "open",
-            reason: "this server has no world; register cascades with insert_cascade".into(),
+            reason: "this server has no graph; register cascades with insert_cascade".into(),
         })?;
+        let graph = universe.graph();
+        // Story ordinals and the interest metric are defined in terms
+        // of the synthetic world; everything else needs only the graph.
+        let world_for = |what: &str| {
+            universe
+                .world()
+                .ok_or_else(|| ServeError::InvalidParameter {
+                    name: "open",
+                    reason: format!(
+                        "{what} requires a synthetic world, this server has only a graph"
+                    ),
+                })
+        };
         let initiator = match (initiator, story) {
             (Some(u), None) => {
-                if u >= world.user_count() {
+                if u >= graph.node_count() {
                     return Err(ServeError::InvalidParameter {
                         name: "initiator",
-                        reason: format!("user {u} outside world of {}", world.user_count()),
+                        reason: format!("user {u} outside graph of {}", graph.node_count()),
                     });
                 }
                 u
@@ -633,7 +706,7 @@ impl ServerState {
                     reason: "story ordinals are 1-based".into(),
                 })
             }
-            (None, Some(s)) => world.story_initiator((s - 1) as usize)?,
+            (None, Some(s)) => world_for("`story`")?.story_initiator((s - 1) as usize)?,
             _ => {
                 return Err(ServeError::Protocol(
                     "open needs exactly one of `initiator` or `story`".into(),
@@ -652,6 +725,7 @@ impl ServerState {
                 "hops",
             ),
             OpenMetric::Interest { groups, strategy } => {
+                let world = world_for("`metric: interest`")?;
                 let groups = interest_groups(
                     world.profile(),
                     initiator,
@@ -668,6 +742,18 @@ impl ServerState {
         };
         let distances = live.max_distance();
         self.insert_cascade(cascade, live, graph_context)?;
+        if let Some(regime) = regime {
+            // Per-regime open counts for soak runs. Sanitized so a
+            // hostile tag can't explode series cardinality shapes or
+            // corrupt the exposition; each distinct input still maps
+            // to a stable label.
+            self.metrics_registry
+                .counter(
+                    "dlm_cascades_opened_total",
+                    &[("regime", &dlm_obs::sanitize_label_value(regime))],
+                )
+                .inc();
+        }
         Ok(Json::Obj(vec![
             ("ok".to_owned(), Json::Bool(true)),
             ("cascade".to_owned(), Json::str(cascade)),

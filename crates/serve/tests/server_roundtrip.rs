@@ -756,3 +756,78 @@ fn reactor_batch_binary_serves_the_lineup_byte_identically_to_legacy_lines() {
         total.div_ceil(3),
     );
 }
+
+/// A graph-only server (no synthetic world) must serve the whole
+/// hop-metric lifecycle — that's what scenario and real-log replay
+/// build on — while story-ordinal and interest opens fail cleanly, and
+/// the `regime` tag on `open` must surface as a per-regime counter.
+#[test]
+fn graph_only_server_opens_by_initiator_and_counts_regimes() {
+    let world = SyntheticWorld::generate(WorldConfig::default().scaled(0.1)).unwrap();
+    let graph = Arc::new(world.graph().clone());
+    let state = ServerState::with_graph(ServeConfig::default(), graph.clone()).unwrap();
+    let mut server = DlmServer::bind("127.0.0.1:0", state).unwrap();
+    let mut client = Client::connect(server.local_addr());
+
+    let initiator = world.hub(0).unwrap();
+    let open = client.send(&format!(
+        r#"{{"type":"open","cascade":"g1","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":1000,"regime":"broadcast"}}"#,
+    ));
+    assert_eq!(open.get("ok").unwrap().as_bool(), Some(true), "{open}");
+    // Same regime again plus a second regime; hostile tags sanitize
+    // into their own stable label rather than erroring.
+    for (id, regime) in [("g2", "broadcast"), ("g3", "storm"), ("g4", "we ird\"")] {
+        let open = client.send(&format!(
+            r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":1000,"regime":"{}"}}"#,
+            regime.replace('"', "\\\""),
+        ));
+        assert_eq!(open.get("ok").unwrap().as_bool(), Some(true), "{open}");
+    }
+    let ingest =
+        client.send(r#"{"type":"ingest","cascade":"g1","votes":[[1100,1],[1200,2]],"now":4600}"#);
+    assert_eq!(ingest.get("ok").unwrap().as_bool(), Some(true), "{ingest}");
+    let forecast = client.send(r#"{"type":"forecast","cascade":"g1","hours":[2]}"#);
+    assert_eq!(
+        forecast.get("ok").unwrap().as_bool(),
+        Some(true),
+        "{forecast}"
+    );
+
+    // World-dependent opens fail with a clear error, not a panic.
+    for bad in [
+        r#"{"type":"open","cascade":"b1","story":1}"#,
+        r#"{"type":"open","cascade":"b2","initiator":1,"metric":"interest"}"#,
+    ] {
+        let resp = client.send(bad);
+        assert_eq!(resp.get("ok").unwrap().as_bool(), Some(false), "{resp}");
+        assert!(
+            resp.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("synthetic world"),
+            "{resp}"
+        );
+    }
+
+    let metrics = client.send(r#"{"type":"metrics"}"#);
+    let text = metrics
+        .get("exposition")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .to_owned();
+    assert!(
+        text.contains(r#"dlm_cascades_opened_total{regime="broadcast"} 2"#),
+        "{text}"
+    );
+    assert!(
+        text.contains(r#"dlm_cascades_opened_total{regime="storm"} 1"#),
+        "{text}"
+    );
+    assert!(
+        text.contains(r#"dlm_cascades_opened_total{regime="we_ird_"} 1"#),
+        "{text}"
+    );
+    server.shutdown();
+}

@@ -31,6 +31,12 @@
 //!   the consistent-hash [`cluster::HashRing`] with N-way owner walks,
 //!   and the [`cluster::Membership`] state machine behind the router's
 //!   `join`/`drain`/`remove` admin verbs;
+//! * [`scenarios`] — the deterministic workload factory: named cascade
+//!   regimes (topology × shape × diffusivity × storm) streamed as
+//!   [`scenarios::ScenarioCascade`]s whose bytes are a pure function of
+//!   `(regime, seed, index)`, plus the synthetic Digg-format fixture
+//!   behind the `--digg-dir` end-to-end replay — the soak layer every
+//!   perf and robustness change is gated against (`docs/SCENARIOS.md`);
 //! * [`router`] — the sharding tier: [`router::RouterState`] proxies a
 //!   live `ring_version`-epoch topology over pooled connections, with
 //!   opt-in N-way replicated placement (`--replicas-data`),
@@ -85,4 +91,5 @@ pub use dlm_data as data;
 pub use dlm_graph as graph;
 pub use dlm_numerics as numerics;
 pub use dlm_router as router;
+pub use dlm_scenarios as scenarios;
 pub use dlm_serve as serve;

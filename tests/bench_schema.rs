@@ -41,6 +41,27 @@ fn router_fixture() -> String {
     )
 }
 
+/// A document shaped exactly like `serve_load`'s scenario-soak writer.
+fn scenarios_fixture() -> String {
+    let entry = |regime: &str| {
+        format!(
+            r#"{{"regime": "{regime}", "cascades": 4, "deliveries": 32, "votes_accepted": 260,
+                "late_rejections": 5, "requests": 92, "wall_seconds": 0.14,
+                "throughput_rps": 650.2, "eq8_mean_accuracy": 0.163, "accuracy_floor": 0.07,
+                "accuracy_ok": true, "protocol_ok": true, "metrics_ok": true,
+                "outputs_identical": true, "routed_identical": true, "slice_identical": true}}"#
+        )
+    };
+    format!(
+        r#"{{"schema": "{}", "mode": "smoke", "hardware_threads": 8, "clients": 4,
+            "seed": 42, "regimes": [{}, {}], "digg": {}, "soak_ok": true}}"#,
+        artifact::SCENARIOS_SCHEMA,
+        entry("broadcast"),
+        entry("storm"),
+        entry("digg"),
+    )
+}
+
 /// A document shaped exactly like the evaluation bench writer.
 fn evaluation_fixture() -> String {
     let leg = r#"{"ms": 100.0, "cache_hits": 1, "cache_misses": 2, "cache_evictions": 0}"#;
@@ -73,6 +94,7 @@ fn every_writer_schema_is_registered_and_its_shape_validates() {
     for (schema, doc) in [
         (artifact::SERVE_SCHEMA, serve_fixture()),
         (artifact::ROUTER_SCHEMA, router_fixture()),
+        (artifact::SCENARIOS_SCHEMA, scenarios_fixture()),
         (artifact::EVALUATION_SCHEMA, evaluation_fixture()),
         (artifact::CALIBRATION_SCHEMA, calibration_fixture()),
     ] {
@@ -89,6 +111,7 @@ fn dropping_any_required_key_fails_validation() {
     for doc in [
         serve_fixture(),
         router_fixture(),
+        scenarios_fixture(),
         evaluation_fixture(),
         calibration_fixture(),
     ] {
