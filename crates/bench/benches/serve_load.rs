@@ -1141,6 +1141,8 @@ fn run_router_load(
     let mut lost_responses = 0usize;
     let mut remap = 0.0f64;
     let mut handoff_ms_json = "null".to_owned();
+    let mut rejoin_ms_json = "null".to_owned();
+    let mut repair_count = 0u64;
     if kill_one {
         let gate_list: Vec<String> = scenario
             .gate_hours
@@ -1228,6 +1230,43 @@ fn run_router_load(
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
         );
+
+        // 4. Auto-rejoin: the killed node restarts on its old address
+        //    and announces itself with the `rejoin` verb — the same
+        //    line a `--announce` backend sends on boot — instead of an
+        //    operator `join`. Re-admission replicates its share back
+        //    under a bumped ring, and every *unaffected* shard must
+        //    keep answering the exact pre-rejoin bytes: probe_all
+        //    compares against the recorded responses, so any remap of
+        //    a surviving shard shows up as a lost response.
+        let restarted_state =
+            ServerState::with_world(serve_config(), world.clone()).expect("restarted state");
+        let restarted =
+            DlmServer::bind(&backend_addrs[1], restarted_state).expect("rebind killed backend");
+        let (rejoin_raw, _) = admin.round_trip(&format!(
+            r#"{{"type":"rejoin","backend":"{}"}}"#,
+            backend_addrs[1]
+        ));
+        let rejoin = Json::parse(&rejoin_raw).expect("rejoin response parse");
+        if rejoin.get("ok").and_then(Json::as_bool) != Some(true) {
+            eprintln!("ELASTICITY GATE FAILED: rejoin rejected: {rejoin_raw}");
+            lost_responses += clients;
+        }
+        if let Some(ms) = rejoin.get("rejoin_ms").and_then(Json::as_f64) {
+            rejoin_ms_json = format!("{ms:.3}");
+        }
+        repair_count = rejoin.get("repaired").and_then(Json::as_u64).unwrap_or(0);
+        eprintln!(
+            "rejoined {}: repaired {repair_count} in {rejoin_ms_json} ms, ring version {}",
+            backend_addrs[1],
+            rejoin
+                .get("ring_version")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        );
+        probe_all("post-rejoin", &mut lost_responses);
+        drop(restarted);
+
         if lost_responses > 0 {
             identical = false;
             eprintln!("ELASTICITY GATE FAILED: {lost_responses} lost responses (must be 0)");
@@ -1254,6 +1293,7 @@ fn run_router_load(
          \"forecast_latency\": {forecast},\n  \"routed_per_backend\": {routed_counts:?},\n  \
          \"aggregate_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}}},\n  \
          \"remap_fraction\": {remap:.6},\n  \"handoff_ms\": {handoff_ms_json},\n  \
+         \"rejoin_ms\": {rejoin_ms_json},\n  \"repair_count\": {repair_count},\n  \
          \"lost_responses\": {lost_responses},\n  \
          \"protocol_ok\": {protocol_ok},\n  \"routed_identical\": {identical}\n}}\n",
         schema = artifact::ROUTER_SCHEMA,

@@ -19,9 +19,12 @@ use dlm_serve::Json;
 pub const SERVE_SCHEMA: &str = "dlm-bench/serve/v3";
 
 /// Routed load runs (`BENCH_router.json`), including the `--kill-one`
-/// elasticity drill. `v3` adds `hardware_threads` and `transport` to
-/// the shared load fields.
-pub const ROUTER_SCHEMA: &str = "dlm-bench/router/v3";
+/// elasticity drill. `v3` added `hardware_threads` and `transport` to
+/// the shared load fields; `v4` adds the auto-rejoin leg of the drill
+/// — `rejoin_ms` (wall time of the re-admission sweep, `null` without
+/// `--kill-one`) and `repair_count` (cascade copies re-pushed to the
+/// restarted node).
+pub const ROUTER_SCHEMA: &str = "dlm-bench/router/v4";
 
 /// Scenario-factory soak runs (`BENCH_scenarios.json`): each requested
 /// regime replayed through the direct tier and a routed tier with
@@ -110,6 +113,8 @@ pub fn required_keys(schema: &str) -> Option<&'static [&'static str]> {
             "aggregate_cache",
             "remap_fraction",
             "handoff_ms",
+            "rejoin_ms",
+            "repair_count",
             "lost_responses",
             "protocol_ok",
             "routed_identical",

@@ -11,6 +11,8 @@
 //! * [`Membership::begin_drain`] flips a node to `Draining` — the node
 //!   still owns its keys while its cascades are handed off, so **no**
 //!   bump yet;
+//! * [`Membership::abort_drain`] flips a `Draining` node back to
+//!   `Active` — a fully rolled-back drain is invisible, so no bump;
 //! * [`Membership::complete_drain`] / [`Membership::remove`] take the
 //!   node out of the active set → bump.
 //!
@@ -156,6 +158,35 @@ impl Membership {
         }
     }
 
+    /// Reverts a node marked by [`Membership::begin_drain`] back to
+    /// `Active` — the rollback half of an aborted incremental drain.
+    /// The active set returns to exactly its pre-drain shape, so the
+    /// ring version does **not** bump (it never bumped for the
+    /// `begin_drain` either; a fully aborted drain is invisible).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Membership`] if `label` is unknown or not
+    /// draining.
+    pub fn abort_drain(&mut self, label: &str) -> Result<()> {
+        match self.status(label) {
+            Some(NodeStatus::Draining) => {
+                for (l, s) in &mut self.nodes {
+                    if l == label {
+                        *s = NodeStatus::Active;
+                    }
+                }
+                Ok(())
+            }
+            Some(NodeStatus::Active) => Err(ClusterError::Membership(format!(
+                "backend `{label}` is not draining"
+            ))),
+            None => Err(ClusterError::Membership(format!(
+                "backend `{label}` is not a member"
+            ))),
+        }
+    }
+
     /// Removes a node previously marked by [`Membership::begin_drain`]
     /// and bumps the ring version.
     ///
@@ -254,6 +285,21 @@ mod tests {
         assert!(!m.contains("b1"));
         assert!(m.complete_drain("b1").is_err(), "gone means gone");
         assert!(m.complete_drain("b0").is_err(), "b0 was never draining");
+    }
+
+    #[test]
+    fn abort_drain_restores_the_exact_pre_drain_shape() {
+        let mut m = Membership::new(&labels(3)).unwrap();
+        let before = m.clone();
+        m.begin_drain("b1").unwrap();
+        m.abort_drain("b1").unwrap();
+        assert_eq!(m, before, "an aborted drain must be invisible");
+        assert_eq!(m.version(), 1);
+
+        // Only a draining node can be un-drained.
+        assert!(m.abort_drain("b1").is_err(), "b1 is active again");
+        assert!(m.abort_drain("nope").is_err());
+        assert_eq!(m.version(), 1, "failed transitions must not bump");
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Property: the router's anti-entropy checksum comparison detects
+//! **any** single-cascade divergence between replicas and repairs it
+//! back to bit-identity.
+//!
+//! The setup mirrors a real degraded-write aftermath: a cascade is
+//! opened and fed through the router (all replicas identical), then
+//! exactly one replica is mutated behind the router's back — an extra
+//! vote ingested directly into one owner, the smallest divergence the
+//! snapshot codec can represent (even an *ignored* vote moves the
+//! accounting counters, so every generated mutation perturbs the
+//! bytes). [`RouterState::repair_cascade`] must then (1) see the
+//! divergence through the batched `checksums` verb alone, and (2)
+//! converge every owner to one bit-identical copy.
+//!
+//! [`RouterState::repair_cascade`]: dlm_router::RouterState::repair_cascade
+
+use dlm_core::evaluate::Parallelism;
+use dlm_core::registry::ModelSpec;
+use dlm_router::{RouterConfig, RouterState};
+use dlm_scenarios::find_regime;
+use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
+use dlm_serve::Json;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+const SEED: u64 = 0xAE_001;
+const SUBMIT_TIME: i64 = 1_244_000_000;
+const HORIZON: u32 = 6;
+const MAX_HOPS: u32 = 4;
+
+/// One routed cluster shared by every proptest case: three socketed
+/// backends (the router dials them for `checksums` / `snapshot` /
+/// `restore`) and an in-process router front driven via `handle_line`.
+struct Harness {
+    backends: Vec<(Arc<ServerState>, DlmServer<ServerState>)>,
+    router: RouterState,
+    case: AtomicU64,
+}
+
+fn harness() -> &'static Harness {
+    static HARNESS: OnceLock<Harness> = OnceLock::new();
+    HARNESS.get_or_init(|| {
+        let regime = find_regime("broadcast").expect("catalog regime");
+        let graph = Arc::new(regime.graph(SEED).expect("regime graph"));
+        let config = || ServeConfig {
+            lineup: vec![ModelSpec::paper_hops_dl(), ModelSpec::Naive],
+            parallelism: Parallelism::Fixed(2),
+            prewarm: false,
+            ..ServeConfig::default()
+        };
+        let backends: Vec<_> = (0..3)
+            .map(|_| {
+                let state = Arc::new(
+                    ServerState::with_graph(config(), Arc::clone(&graph)).expect("backend"),
+                );
+                let server =
+                    DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&state)).expect("bind");
+                (state, server)
+            })
+            .collect();
+        let labels = backends
+            .iter()
+            .map(|(_, s)| s.local_addr().to_string())
+            .collect();
+        let router = RouterState::new(RouterConfig {
+            data_replicas: 2,
+            parallelism: Parallelism::Fixed(2),
+            ..RouterConfig::new(labels)
+        })
+        .expect("router");
+        Harness {
+            backends,
+            router,
+            case: AtomicU64::new(0),
+        }
+    })
+}
+
+fn response_ok(line: &str) -> bool {
+    Json::parse(line)
+        .expect("responses are JSON")
+        .get("ok")
+        .and_then(Json::as_bool)
+        .expect("responses carry ok")
+}
+
+/// The checksum one backend reports for `id`, if it holds a copy.
+fn replica_checksum(state: &ServerState, id: &str) -> Option<String> {
+    let line = format!(r#"{{"type":"checksums","cascades":["{id}"]}}"#);
+    let response = Json::parse(&state.handle_line(&line)).expect("checksums response");
+    let pairs = response.get("checksums")?.as_array()?;
+    pairs.iter().find_map(|pair| {
+        let pair = pair.as_array()?;
+        (pair.first()?.as_str()? == id).then(|| pair.get(1)?.as_str().map(str::to_owned))?
+    })
+}
+
+/// Checksums of every replica actually holding `id`, in backend order.
+fn held_checksums(h: &Harness, id: &str) -> Vec<(usize, String)> {
+    h.backends
+        .iter()
+        .enumerate()
+        .filter_map(|(i, (state, _))| replica_checksum(state, id).map(|sum| (i, sum)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single extra vote on any one replica is detected and
+    /// repaired to bit-identity.
+    #[test]
+    fn single_replica_divergence_is_detected_and_repaired(
+        // The honest vote stream every replica agrees on (possibly
+        // empty: a freshly opened cascade must be repairable too).
+        // All honest votes land in hours the watermark below will
+        // close; the server rejects whole requests carrying votes for
+        // already-closed hours, so ranges matter here.
+        votes in prop::collection::vec(
+            (1i64..(i64::from(HORIZON) - 1) * 3600, 0usize..64),
+            0..24,
+        ),
+        // The mutation: one extra vote in the still-open final hour,
+        // including duplicates of honest voters (an *ignored*
+        // duplicate still moves the accounting, so the bytes diverge).
+        mutation in (1i64..=1800, 0usize..64),
+        // Which of the two replicas gets mutated.
+        mutate_second in any::<bool>(),
+    ) {
+        let h = harness();
+        let id = format!("ae-{}", h.case.fetch_add(1, Ordering::SeqCst));
+        // Mid-hour watermark: hours 1..HORIZON-1 close, the final hour
+        // stays open so the mutation is accepted.
+        let now = SUBMIT_TIME + (i64::from(HORIZON) - 1) * 3600 + 1800;
+
+        let open = format!(
+            r#"{{"type":"open","cascade":"{id}","initiator":0,"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{SUBMIT_TIME}}}"#
+        );
+        prop_assert!(response_ok(&h.router.handle_line(&open)), "open failed");
+        if !votes.is_empty() {
+            let mut sorted: Vec<(i64, usize)> = votes
+                .iter()
+                .map(|&(offset, voter)| (SUBMIT_TIME + offset, voter))
+                .collect();
+            sorted.sort_unstable();
+            let body: Vec<String> = sorted
+                .iter()
+                .map(|(ts, voter)| format!("[{ts},{voter}]"))
+                .collect();
+            let ingest = format!(
+                r#"{{"type":"ingest","cascade":"{id}","votes":[{}],"now":{now}}}"#,
+                body.join(",")
+            );
+            prop_assert!(response_ok(&h.router.handle_line(&ingest)), "ingest failed");
+        }
+
+        let before = held_checksums(h, &id);
+        prop_assert_eq!(before.len(), 2, "two replicas must hold the cascade");
+        prop_assert_eq!(
+            &before[0].1, &before[1].1,
+            "replicas must agree before the mutation"
+        );
+
+        // Mutate exactly one replica behind the router's back.
+        let victim = before[usize::from(mutate_second)].0;
+        let (ts, voter) = (
+            SUBMIT_TIME + (i64::from(HORIZON) - 1) * 3600 + mutation.0,
+            mutation.1,
+        );
+        let mutate = format!(
+            r#"{{"type":"ingest","cascade":"{id}","votes":[[{ts},{voter}]],"now":{now}}}"#
+        );
+        let mutate_response = h.backends[victim].0.handle_line(&mutate);
+        prop_assert!(
+            response_ok(&mutate_response),
+            "mutation ingest failed: {}",
+            mutate_response
+        );
+        let mutated = held_checksums(h, &id);
+        prop_assert_ne!(
+            &mutated[0].1, &mutated[1].1,
+            "an extra vote must perturb the snapshot bytes"
+        );
+
+        // The property: one checksum comparison finds the diverged
+        // pair, and the repair converges it.
+        let (diverged, repaired) = h.router.repair_cascade(&id);
+        prop_assert_eq!(diverged, 1, "exactly one replica diverges from the reference");
+        prop_assert_eq!(repaired, 1, "the diverged replica must be re-pushed");
+
+        let after = held_checksums(h, &id);
+        prop_assert_eq!(after.len(), 2, "repair must not drop a replica");
+        prop_assert_eq!(
+            &after[0].1, &after[1].1,
+            "replicas must be bit-identical after repair"
+        );
+
+        // And the repaired state is no torn hybrid: the full snapshots
+        // (not just their hashes) are byte-identical.
+        let snapshot_line = format!(r#"{{"type":"snapshot","cascade":"{id}"}}"#);
+        let snaps: Vec<String> = after
+            .iter()
+            .map(|(i, _)| h.backends[*i].0.handle_line(&snapshot_line))
+            .collect();
+        prop_assert_eq!(&snaps[0], &snaps[1], "snapshots diverge after repair");
+    }
+}

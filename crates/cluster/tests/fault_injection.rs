@@ -1,0 +1,1132 @@
+//! Deterministic cluster fault-injection suite: the standing proof
+//! behind incremental rebalance, anti-entropy repair, and auto-rejoin.
+//!
+//! Every test builds the same in-process cluster — three `ServerState`
+//! backends behind a line-level fault proxy each, one `RouterState`
+//! front, and one never-failed direct twin — and replays a
+//! scenario-factory regime through the router under one named
+//! [`FaultPlan`]. A plan is a pure function of `(name, seed, request
+//! index)` through SplitMix64, the same seeding contract
+//! `dlm_scenarios` uses, so a failing plan replays byte-identically
+//! from its name and seed alone.
+//!
+//! The standing gates, asserted under every plan:
+//!
+//! * **zero lost acked writes** — every `open`/`ingest` the client got
+//!   an `ok` for is present in the cluster afterwards;
+//! * **routed ≡ direct** — after heal, `forecast` and `snapshot`
+//!   responses through the router are byte-identical to the direct
+//!   twin that saw the same acked requests and no faults;
+//! * **handoff ≡ origin** — a drain under faults commits with zero
+//!   failures and changes no response byte;
+//! * **read availability** — reads complete *during* a full-node
+//!   drain, because the chunked rebalance releases the topology lock
+//!   between chunks.
+
+use dlm_cluster::hash64;
+use dlm_core::evaluate::Parallelism;
+use dlm_core::registry::ModelSpec;
+use dlm_numerics::mix::splitmix64_at;
+use dlm_router::{RouterConfig, RouterState, REBALANCE_CHUNK};
+use dlm_scenarios::{find_regime, ScenarioCascade, ScenarioStream, SCENARIO_MAX_HOPS};
+use dlm_serve::server::{DlmServer, ServeConfig, ServerState};
+use dlm_serve::{Json, LineClient};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// One seed drives the whole suite: the regime streams, the plan
+/// schedules, and therefore every fault location.
+const SEED: u64 = 0xFA_017;
+
+/// Forecast observed-through hour; gates compare hours after it.
+const OBSERVE_THROUGH: u32 = 2;
+
+// ---------------------------------------------------------------------
+// Fault plans
+// ---------------------------------------------------------------------
+
+/// Verb class a proxied request line falls into. Faults target writes
+/// or client reads; `Other` covers the router's own machinery
+/// (`snapshot` fetches, `restore`, `checksums`, `cascades`, `ring`) so
+/// periodic plans never sabotage the repair path they are testing —
+/// only `Partition` and `Delay`, which model the node and not the
+/// verb, apply to everything.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Write,
+    Read,
+    Other,
+}
+
+fn classify(line: &str) -> Class {
+    if line.contains(r#""type":"open""#) || line.contains(r#""type":"ingest""#) {
+        Class::Write
+    } else if line.contains(r#""type":"forecast""#) {
+        Class::Read
+    } else {
+        Class::Other
+    }
+}
+
+/// What the proxy does with one request line.
+enum Action {
+    /// Relay request and response untouched.
+    Forward,
+    /// Close the connection without delivering the request — the
+    /// backend never sees it.
+    DropBefore,
+    /// Deliver the request, read the response, then close without
+    /// relaying it — the backend applied it, the router cannot know.
+    DropAfter,
+    /// Deliver the request twice, relay the first response.
+    Duplicate,
+    /// Sleep, then forward.
+    Delay(Duration),
+}
+
+/// Plan target meaning "every backend".
+const ALL_BACKENDS: usize = usize::MAX;
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Clean,
+    /// Drop every hitting write before delivery.
+    DropWrites {
+        period: u64,
+    },
+    /// Deliver every hitting write but swallow its ack.
+    AckLossWrites {
+        period: u64,
+    },
+    /// Drop every hitting forecast before delivery.
+    DropReads {
+        period: u64,
+    },
+    /// Deliver every hitting forecast twice.
+    DuplicateReads {
+        period: u64,
+    },
+    /// Swallow every line whose per-backend total index falls in
+    /// `[from, until)` — a full partition that heals on its own
+    /// schedule (drops advance the index, so the window always
+    /// closes).
+    Partition {
+        from: u64,
+        until: u64,
+    },
+    /// Delay every line by a fixed amount.
+    Delay {
+        micros: u64,
+    },
+}
+
+/// One named, deterministic fault schedule. `action` is a pure
+/// function of the plan and the request coordinates — no clocks, no
+/// RNG state — which is what makes every run of a plan identical.
+#[derive(Clone, Copy)]
+struct FaultPlan {
+    name: &'static str,
+    seed: u64,
+    /// Backend index the faults apply to ([`ALL_BACKENDS`] = all).
+    /// Plans fault a single backend so every write always has a
+    /// reachable owner: an acked-but-lost write would otherwise be the
+    /// *client's* bug to handle, not the cluster's.
+    target: usize,
+    mode: Mode,
+}
+
+impl FaultPlan {
+    const fn clean() -> Self {
+        Self {
+            name: "clean-baseline",
+            seed: SEED,
+            target: ALL_BACKENDS,
+            mode: Mode::Clean,
+        }
+    }
+
+    /// SplitMix64 decision for the `index`-th line of the faulted
+    /// class: same contract as the scenario streams — `(name, seed,
+    /// index)` fully determines the draw.
+    fn hits(&self, period: u64, index: u64) -> bool {
+        splitmix64_at(self.seed ^ hash64(self.name.as_bytes()), index).is_multiple_of(period)
+    }
+
+    fn action(&self, backend: usize, class: Class, class_index: u64, total_index: u64) -> Action {
+        if self.target != ALL_BACKENDS && self.target != backend {
+            return Action::Forward;
+        }
+        match self.mode {
+            Mode::Clean => Action::Forward,
+            Mode::DropWrites { period } if class == Class::Write => {
+                if self.hits(period, class_index) {
+                    Action::DropBefore
+                } else {
+                    Action::Forward
+                }
+            }
+            Mode::AckLossWrites { period } if class == Class::Write => {
+                if self.hits(period, class_index) {
+                    Action::DropAfter
+                } else {
+                    Action::Forward
+                }
+            }
+            Mode::DropReads { period } if class == Class::Read => {
+                if self.hits(period, class_index) {
+                    Action::DropBefore
+                } else {
+                    Action::Forward
+                }
+            }
+            Mode::DuplicateReads { period } if class == Class::Read => {
+                if self.hits(period, class_index) {
+                    Action::Duplicate
+                } else {
+                    Action::Forward
+                }
+            }
+            Mode::Partition { from, until } if (from..until).contains(&total_index) => {
+                Action::DropBefore
+            }
+            Mode::Delay { micros } => Action::Delay(Duration::from_micros(micros)),
+            _ => Action::Forward,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The fault proxy
+// ---------------------------------------------------------------------
+
+/// A line-level TCP proxy between the router and one backend. The
+/// proxy's own address is the backend's ring label, so every router
+/// connection to "the backend" passes through `FaultPlan::action`.
+/// The upstream address sits behind a mutex so a test can "restart"
+/// the backend on a new port without the label ever changing.
+struct FaultProxy {
+    addr: String,
+    upstream: Arc<Mutex<String>>,
+    /// Faults actually applied — sanity check that a plan fired.
+    faults: Arc<AtomicU64>,
+    /// The shared request indices ([write, read, other, total]) —
+    /// the same cells `FaultPlan::action` draws on, so a test can
+    /// observe exactly where a backend sits in its fault schedule.
+    counters: Arc<[AtomicU64; 4]>,
+}
+
+impl FaultProxy {
+    fn spawn(upstream_addr: String, plan: FaultPlan, backend_index: usize) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("proxy bind");
+        let addr = listener.local_addr().expect("proxy addr").to_string();
+        let upstream = Arc::new(Mutex::new(upstream_addr));
+        let faults = Arc::new(AtomicU64::new(0));
+        // Per-class request indices are shared across connections:
+        // [write, read, other, total].
+        let counters: Arc<[AtomicU64; 4]> = Arc::new(std::array::from_fn(|_| AtomicU64::new(0)));
+        {
+            let upstream = Arc::clone(&upstream);
+            let faults = Arc::clone(&faults);
+            let counters = Arc::clone(&counters);
+            thread::spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(down) = stream else { break };
+                    let upstream = Arc::clone(&upstream);
+                    let faults = Arc::clone(&faults);
+                    let counters = Arc::clone(&counters);
+                    thread::spawn(move || {
+                        proxy_connection(down, &upstream, plan, backend_index, &counters, &faults);
+                    });
+                }
+            });
+        }
+        Self {
+            addr,
+            upstream,
+            faults,
+            counters,
+        }
+    }
+
+    fn retarget(&self, new_upstream: String) {
+        *self.upstream.lock().expect("upstream lock") = new_upstream;
+    }
+
+    /// Total lines this backend has received, dropped ones included.
+    fn total_lines(&self) -> u64 {
+        self.counters[3].load(Ordering::SeqCst)
+    }
+}
+
+struct Upstream {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn dial(upstream: &Mutex<String>) -> Option<Upstream> {
+    let addr = upstream.lock().expect("upstream lock").clone();
+    let stream = TcpStream::connect(&addr).ok()?;
+    let reader = BufReader::new(stream.try_clone().ok()?);
+    Some(Upstream {
+        reader,
+        writer: stream,
+    })
+}
+
+/// One request/response exchange with the backend. `line` keeps its
+/// trailing newline from `read_line`.
+fn exchange(up: &mut Upstream, line: &str) -> Option<String> {
+    up.writer.write_all(line.as_bytes()).ok()?;
+    let mut response = String::new();
+    match up.reader.read_line(&mut response) {
+        Ok(n) if n > 0 => Some(response),
+        _ => None,
+    }
+}
+
+/// Exchange with one reconnect: a pooled proxy connection can outlive
+/// a backend restart, and the faults of this suite must be the planned
+/// ones, not stale-socket noise.
+fn exchange_retrying(
+    up: &mut Option<Upstream>,
+    upstream: &Mutex<String>,
+    line: &str,
+) -> Option<String> {
+    if let Some(u) = up.as_mut() {
+        if let Some(response) = exchange(u, line) {
+            return Some(response);
+        }
+    }
+    *up = dial(upstream);
+    exchange(up.as_mut()?, line)
+}
+
+fn proxy_connection(
+    down: TcpStream,
+    upstream: &Mutex<String>,
+    plan: FaultPlan,
+    backend_index: usize,
+    counters: &[AtomicU64; 4],
+    faults: &AtomicU64,
+) {
+    let Ok(down_read) = down.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(down_read);
+    let mut writer = down;
+    let mut up: Option<Upstream> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {}
+            _ => return,
+        }
+        let class = classify(&line);
+        let class_slot = match class {
+            Class::Write => 0,
+            Class::Read => 1,
+            Class::Other => 2,
+        };
+        let class_index = counters[class_slot].fetch_add(1, Ordering::SeqCst);
+        let total_index = counters[3].fetch_add(1, Ordering::SeqCst);
+        let action = plan.action(backend_index, class, class_index, total_index);
+        match action {
+            Action::Forward => {}
+            Action::Delay(pause) => thread::sleep(pause),
+            Action::DropBefore => {
+                faults.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            Action::DropAfter => {
+                faults.fetch_add(1, Ordering::SeqCst);
+                let _ = exchange_retrying(&mut up, upstream, &line);
+                return;
+            }
+            Action::Duplicate => {
+                faults.fetch_add(1, Ordering::SeqCst);
+                let Some(first) = exchange_retrying(&mut up, upstream, &line) else {
+                    return;
+                };
+                // Deliver again, discard the second response so the
+                // stream stays aligned.
+                if let Some(u) = up.as_mut() {
+                    let _ = exchange(u, &line);
+                }
+                if writer.write_all(first.as_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        }
+        let Some(response) = exchange_retrying(&mut up, upstream, &line) else {
+            return;
+        };
+        if writer.write_all(response.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster harness
+// ---------------------------------------------------------------------
+
+/// Three proxied backends, one router front, one direct twin. The
+/// twin is both the "never failed" comparison server and the acked-
+/// write shadow: it receives exactly the requests the router acked.
+struct Cluster {
+    backends: Vec<(Arc<ServerState>, DlmServer<ServerState>)>,
+    proxies: Vec<FaultProxy>,
+    router: Arc<RouterState>,
+    front: DlmServer<RouterState>,
+    direct: Arc<ServerState>,
+    regime: &'static dlm_scenarios::Regime,
+}
+
+/// Two cheap models: the gates compare bytes, not model quality, and
+/// the full 8-model lineup would dominate the suite's wall clock.
+fn cheap_config() -> ServeConfig {
+    ServeConfig {
+        lineup: vec![ModelSpec::paper_hops_dl(), ModelSpec::Naive],
+        parallelism: Parallelism::Fixed(2),
+        prewarm: false,
+        ..ServeConfig::default()
+    }
+}
+
+impl Cluster {
+    fn start(regime_name: &str, plan: FaultPlan) -> Self {
+        let regime = find_regime(regime_name).expect("catalog regime");
+        let graph = Arc::new(regime.graph(SEED).expect("regime graph"));
+        let mut backends = Vec::new();
+        let mut proxies = Vec::new();
+        for i in 0..3 {
+            let state = Arc::new(
+                ServerState::with_graph(cheap_config(), Arc::clone(&graph)).expect("backend state"),
+            );
+            let server = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&state)).expect("bind");
+            let proxy = FaultProxy::spawn(server.local_addr().to_string(), plan, i);
+            backends.push((state, server));
+            proxies.push(proxy);
+        }
+        let labels: Vec<String> = proxies.iter().map(|p| p.addr.clone()).collect();
+        let router = Arc::new(
+            RouterState::new(RouterConfig {
+                data_replicas: 2,
+                parallelism: Parallelism::Fixed(2),
+                ..RouterConfig::new(labels)
+            })
+            .expect("router state"),
+        );
+        let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).expect("front bind");
+        let direct = Arc::new(
+            ServerState::with_graph(cheap_config(), Arc::clone(&graph)).expect("direct twin"),
+        );
+        Self {
+            backends,
+            proxies,
+            router,
+            front,
+            direct,
+            regime,
+        }
+    }
+
+    /// Cascade ids under `prefix` whose *primary* owner on the current
+    /// ring is backend `target`. The ring hashes the proxies' OS-
+    /// assigned addresses, so which backend owns a given id changes
+    /// from run to run — a plan that faults one backend must pick ids
+    /// the target actually serves, or its schedule may never fire.
+    fn ids_owned_by(&self, prefix: &str, target: usize, count: usize) -> Vec<String> {
+        (0u64..)
+            .map(|i| format!("{prefix}-{i}"))
+            .filter(|id| self.router.shard_of(id) == target)
+            .take(count)
+            .collect()
+    }
+
+    fn client(&self) -> LineClient {
+        LineClient::connect(self.front.local_addr()).expect("client connect")
+    }
+
+    fn cascades(&self, count: usize) -> Vec<ScenarioCascade> {
+        ScenarioStream::new(self.regime, SEED)
+            .expect("scenario stream")
+            .take(count)
+            .collect()
+    }
+
+    /// Replays one cascade's schedule through the router. Every
+    /// request is mirrored to the direct twin iff the router acked it,
+    /// and the router's verdict must match the twin's — a write the
+    /// direct server accepts that the routed cluster loses (or vice
+    /// versa) fails here, which is the zero-lost-acked-writes gate in
+    /// its streaming form.
+    fn replay(&self, client: &mut LineClient, id: &str, cascade: &ScenarioCascade) {
+        for line in request_lines(id, cascade) {
+            let routed = client.send_raw(&line).expect("router reachable");
+            let routed_ok = response_ok(&routed);
+            let direct = self.direct.handle_line(&line);
+            assert_eq!(
+                routed_ok,
+                response_ok(&direct),
+                "routed and direct verdicts diverge for `{line}`:\n  routed: {routed}\n  direct: {direct}"
+            );
+        }
+    }
+
+    /// The byte-identity gate for one cascade: `forecast` and
+    /// `snapshot` through the router must equal the direct twin
+    /// byte for byte.
+    fn assert_reads_identical(&self, client: &mut LineClient, id: &str, horizon: u32) {
+        for line in [forecast_line(id, horizon), snapshot_line(id)] {
+            let routed = client.send_raw(&line).expect("router reachable");
+            let direct = self.direct.handle_line(&line);
+            assert_eq!(
+                routed, direct,
+                "routed and direct bytes diverge for `{line}`"
+            );
+        }
+    }
+
+    /// Reads one of the router's own counters out of the merged
+    /// `metrics` exposition.
+    fn router_counter(&self, client: &mut LineClient, name: &str, label_fragment: &str) -> u64 {
+        let response = client
+            .send_ok(r#"{"type":"metrics"}"#)
+            .expect("metrics verb");
+        let exposition = response
+            .get("exposition")
+            .and_then(Json::as_str)
+            .expect("exposition field");
+        exposition
+            .lines()
+            .filter(|l| l.starts_with(&format!("{name}{{")) && l.contains(label_fragment))
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+            .sum()
+    }
+}
+
+fn request_lines(id: &str, cascade: &ScenarioCascade) -> Vec<String> {
+    let mut lines = vec![format!(
+        r#"{{"type":"open","cascade":"{id}","initiator":{},"max_hops":{SCENARIO_MAX_HOPS},"horizon":{},"submit_time":{}}}"#,
+        cascade.initiator, cascade.horizon, cascade.submit_time
+    )];
+    for delivery in &cascade.deliveries {
+        let votes: Vec<String> = delivery
+            .votes
+            .iter()
+            .map(|&(ts, voter)| format!("[{ts},{voter}]"))
+            .collect();
+        lines.push(format!(
+            r#"{{"type":"ingest","cascade":"{id}","votes":[{}],"now":{}}}"#,
+            votes.join(","),
+            delivery.now
+        ));
+    }
+    lines
+}
+
+fn forecast_line(id: &str, horizon: u32) -> String {
+    let hours: Vec<String> = (OBSERVE_THROUGH + 1..=horizon)
+        .map(|h| h.to_string())
+        .collect();
+    format!(
+        r#"{{"type":"forecast","cascade":"{id}","hours":[{}],"through":{OBSERVE_THROUGH}}}"#,
+        hours.join(",")
+    )
+}
+
+fn snapshot_line(id: &str) -> String {
+    format!(r#"{{"type":"snapshot","cascade":"{id}"}}"#)
+}
+
+fn response_ok(line: &str) -> bool {
+    Json::parse(line)
+        .expect("responses are JSON")
+        .get("ok")
+        .and_then(Json::as_bool)
+        .expect("responses carry ok")
+}
+
+/// Runs the standing gates for one periodic-fault plan: replay the
+/// regime, read back after every cascade (the inline repair path must
+/// have healed any divergence by the time the degraded ack returned),
+/// and finish with a full byte-identity sweep.
+fn run_periodic_plan(regime: &str, plan: FaultPlan, count: usize) -> Cluster {
+    let cluster = Cluster::start(regime, plan);
+    let mut client = cluster.client();
+    // A single-backend plan gets ids the target primarily owns, so
+    // the faulted backend is guaranteed traffic in the faulted class
+    // regardless of where this run's ephemeral ports landed the ring.
+    let ids = if plan.target == ALL_BACKENDS {
+        (0..count).map(|i| format!("{}-{i}", plan.name)).collect()
+    } else {
+        cluster.ids_owned_by(plan.name, plan.target, count)
+    };
+    for (id, cascade) in ids.iter().zip(&cluster.cascades(count)) {
+        cluster.replay(&mut client, id, cascade);
+        cluster.assert_reads_identical(&mut client, id, cascade.horizon);
+    }
+    for (id, cascade) in ids.iter().zip(&cluster.cascades(count)) {
+        cluster.assert_reads_identical(&mut client, id, cascade.horizon);
+    }
+    cluster
+}
+
+fn total_faults(cluster: &Cluster) -> u64 {
+    cluster
+        .proxies
+        .iter()
+        .map(|p| p.faults.load(Ordering::SeqCst))
+        .sum()
+}
+
+// ---------------------------------------------------------------------
+// The named plans
+// ---------------------------------------------------------------------
+
+/// Plan 1 — `clean-baseline`: no faults. The harness itself must be
+/// transparent: every response through proxy + router is byte-identical
+/// to the direct twin, including write responses.
+#[test]
+fn plan_clean_baseline_is_byte_transparent() {
+    let plan = FaultPlan::clean();
+    let cluster = Cluster::start("storm", plan);
+    let mut client = cluster.client();
+    for (i, cascade) in cluster.cascades(6).iter().enumerate() {
+        let id = format!("{}-{i}", plan.name);
+        for line in request_lines(&id, cascade) {
+            let routed = client.send_raw(&line).expect("router reachable");
+            let direct = cluster.direct.handle_line(&line);
+            assert_eq!(
+                routed, direct,
+                "clean plan must relay exact bytes: `{line}`"
+            );
+        }
+        cluster.assert_reads_identical(&mut client, &id, cascade.horizon);
+    }
+    assert_eq!(total_faults(&cluster), 0, "clean plan must not fault");
+}
+
+/// Plan 2 — `drop-writes`: backend 1 loses every hitting write before
+/// delivery. Each miss surfaces as a degraded ack and the inline
+/// anti-entropy pass re-pushes the committed snapshot, so replicas are
+/// convergent again before the next request.
+#[test]
+fn plan_drop_writes_heals_inline() {
+    let plan = FaultPlan {
+        name: "drop-writes",
+        seed: SEED,
+        target: 1,
+        mode: Mode::DropWrites { period: 3 },
+    };
+    let cluster = run_periodic_plan("storm", plan, 8);
+    assert!(total_faults(&cluster) > 0, "plan never fired");
+    let mut client = cluster.client();
+    let repaired = cluster.router_counter(
+        &mut client,
+        "dlm_router_repairs_total",
+        r#"outcome="repaired""#,
+    );
+    assert!(
+        repaired > 0,
+        "dropped writes must drive snapshot re-pushes (repaired={repaired})"
+    );
+}
+
+/// Plan 3 — `ack-loss`: backend 1 applies every hitting write but the
+/// ack never comes back. The router must treat it as a miss — it
+/// cannot know — and the anti-entropy comparison must conclude
+/// `clean` (checksums agree) instead of re-pushing bytes.
+#[test]
+fn plan_ack_loss_counts_clean_repairs() {
+    let plan = FaultPlan {
+        name: "ack-loss",
+        seed: SEED,
+        target: 1,
+        mode: Mode::AckLossWrites { period: 3 },
+    };
+    let cluster = run_periodic_plan("viral", plan, 8);
+    assert!(total_faults(&cluster) > 0, "plan never fired");
+    let mut client = cluster.client();
+    let clean = cluster.router_counter(
+        &mut client,
+        "dlm_router_repairs_total",
+        r#"outcome="clean""#,
+    );
+    assert!(
+        clean > 0,
+        "delivered-but-unacked writes must compare clean (clean={clean})"
+    );
+}
+
+/// Plan 4 — `flaky-reads`: backend 0 drops every hitting forecast
+/// before delivery. The router's retry / owner-failover path must
+/// still return bytes identical to the direct twin.
+#[test]
+fn plan_flaky_reads_relay_identical_bytes() {
+    let plan = FaultPlan {
+        name: "flaky-reads",
+        seed: SEED,
+        target: 0,
+        mode: Mode::DropReads { period: 2 },
+    };
+    let cluster = run_periodic_plan("broadcast", plan, 8);
+    assert!(total_faults(&cluster) > 0, "plan never fired");
+}
+
+/// Plan 5 — `dup-reads`: backend 0 delivers every hitting forecast
+/// twice (a retransmission). Reads are idempotent; the relayed bytes
+/// must not change.
+#[test]
+fn plan_duplicated_reads_relay_identical_bytes() {
+    let plan = FaultPlan {
+        name: "dup-reads",
+        seed: SEED,
+        // Reads are idempotent everywhere, so duplicate at every
+        // backend — whichever owner a forecast routes to gets hit.
+        target: ALL_BACKENDS,
+        mode: Mode::DuplicateReads { period: 2 },
+    };
+    let cluster = run_periodic_plan("bridged", plan, 8);
+    assert!(total_faults(&cluster) > 0, "plan never fired");
+}
+
+/// Plan 6 — `partition-heal`: backend 1 swallows every line while its
+/// request index is inside the window, then heals. Writes during the
+/// window ack degraded off the surviving owner; repairs fail (the node
+/// is unreachable) until the `rejoin` sweep re-pushes every diverged
+/// cascade — with no membership change and no ring bump.
+const PARTITION_FROM: u64 = 10;
+const PARTITION_UNTIL: u64 = 40;
+
+#[test]
+fn plan_partition_heals_via_rejoin_sweep() {
+    let plan = FaultPlan {
+        name: "partition-heal",
+        seed: SEED,
+        target: 1,
+        mode: Mode::Partition {
+            from: PARTITION_FROM,
+            until: PARTITION_UNTIL,
+        },
+    };
+    let cluster = Cluster::start("viral", plan);
+    let mut client = cluster.client();
+    let cascades = cluster.cascades(8);
+    // Every id primarily owned by the partitioned backend: its proxy
+    // is guaranteed enough lines to walk the whole window.
+    let ids = cluster.ids_owned_by(plan.name, 1, 8);
+    for (id, cascade) in ids.iter().zip(&cascades) {
+        // No mid-run verdict or read comparison: after the window
+        // closes, the healed-but-not-yet-repaired primary answers
+        // writes with application errors (`unknown cascade`) that the
+        // router relays, even though the surviving owner applied them.
+        // Every line still reaches that survivor, so the shadow tracks
+        // the cluster's best copy and the gates run after the sweep.
+        for line in request_lines(id, cascade) {
+            let _ = client.send_raw(&line).expect("router reachable");
+            let _ = cluster.direct.handle_line(&line);
+        }
+    }
+    assert!(total_faults(&cluster) > 0, "partition window never opened");
+
+    // Drive the window shut before the sweep: drops advance the
+    // request index too, so forecasts (failing over to the survivor
+    // while the partition holds) walk the index past `until`. The
+    // sweep below must run against a healed — but still diverged —
+    // node, or its first repairs would count as `failed`.
+    let probe = forecast_line(&ids[0], cascades[0].horizon);
+    while cluster.proxies[1].total_lines() < PARTITION_UNTIL + 8 {
+        let _ = client.send_raw(&probe).expect("router reachable");
+    }
+
+    // Heal: the restarted/healed node announces itself. The label is
+    // still an active member, so this is the anti-entropy sweep — the
+    // ring version must not move.
+    let rejoin = client
+        .send_ok(&format!(
+            r#"{{"type":"rejoin","backend":"{}"}}"#,
+            cluster.proxies[1].addr
+        ))
+        .expect("rejoin verb");
+    assert_eq!(
+        rejoin.get("verb").and_then(Json::as_str),
+        Some("rejoin"),
+        "{rejoin}"
+    );
+    assert_eq!(
+        rejoin.get("ring_version").and_then(Json::as_u64),
+        Some(1),
+        "member rejoin must not bump the ring: {rejoin}"
+    );
+    assert_eq!(
+        rejoin.get("failed").and_then(Json::as_u64),
+        Some(0),
+        "{rejoin}"
+    );
+    assert!(
+        rejoin.get("repaired").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "a partitioned replica must need repairs: {rejoin}"
+    );
+    assert!(
+        rejoin.get("rejoin_ms").is_some(),
+        "rejoin must report its wall time: {rejoin}"
+    );
+
+    for (id, cascade) in ids.iter().zip(&cascades) {
+        cluster.assert_reads_identical(&mut client, id, cascade.horizon);
+    }
+}
+
+/// Plan 7 — `restart-rejoin`: backend 1 is killed mid-stream, misses
+/// writes while down (each one acked degraded off the survivor, with
+/// the repair-failure strikes exercised), then restarts from its
+/// persisted state on a new port behind the same label. One `rejoin`
+/// — the announce a `--announce` backend sends on boot — re-admits it
+/// with zero remap: no membership change, no ring bump, and its stale
+/// cascades re-pushed to bit-identity.
+#[test]
+fn plan_restart_rejoin_readmits_without_remap() {
+    let plan = FaultPlan {
+        name: "restart-rejoin",
+        seed: SEED,
+        target: 1,
+        mode: Mode::Clean,
+    };
+    let mut cluster = Cluster::start("surge", plan);
+    let mut client = cluster.client();
+    let cascades = cluster.cascades(8);
+
+    // Ids the doomed backend primarily owns, so it is certain to miss
+    // writes while down — `repaired` below must be nonzero.
+    let ids = cluster.ids_owned_by(plan.name, 1, 8);
+
+    // First half of every schedule with all three backends up.
+    let mut resumes = Vec::new();
+    for (id, cascade) in ids.iter().zip(&cascades) {
+        let mut lines = request_lines(id, cascade);
+        let half = lines.len() / 2;
+        for line in &lines[..half] {
+            let routed = client.send_raw(line).expect("router reachable");
+            let direct = cluster.direct.handle_line(line);
+            assert_eq!(response_ok(&routed), response_ok(&direct), "{line}");
+        }
+        resumes.push((id.clone(), lines.split_off(half)));
+    }
+
+    // Kill backend 1. Its ServerState Arc survives — exactly what a
+    // `--snapshot-dir` replay reconstructs: state as of the kill,
+    // missing everything that lands while it is down.
+    cluster.backends[1].1.shutdown();
+    let state1 = Arc::clone(&cluster.backends[1].0);
+
+    // Second half: every write still acks (degraded where backend 1
+    // owned a copy) and the shadow tracks the acks.
+    for (id, lines) in &resumes {
+        for line in lines {
+            let routed = client.send_raw(line).expect("router reachable");
+            let direct = cluster.direct.handle_line(line);
+            assert_eq!(
+                response_ok(&routed),
+                response_ok(&direct),
+                "write lost while a replica is down: `{line}` -> {routed}"
+            );
+        }
+        let _ = id;
+    }
+
+    // Restart on a fresh port behind the same label and announce.
+    let restarted = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&state1)).expect("restart");
+    cluster.proxies[1].retarget(restarted.local_addr().to_string());
+    let rejoin = client
+        .send_ok(&format!(
+            r#"{{"type":"rejoin","backend":"{}"}}"#,
+            cluster.proxies[1].addr
+        ))
+        .expect("rejoin verb");
+    assert_eq!(
+        rejoin.get("ring_version").and_then(Json::as_u64),
+        Some(1),
+        "restart rejoin must not remap anything: {rejoin}"
+    );
+    assert_eq!(
+        rejoin.get("failed").and_then(Json::as_u64),
+        Some(0),
+        "{rejoin}"
+    );
+    assert!(
+        rejoin.get("repaired").and_then(Json::as_u64).unwrap_or(0) > 0,
+        "the restarted replica missed writes and must be repaired: {rejoin}"
+    );
+
+    for id in &ids {
+        let routed = client
+            .send_raw(&snapshot_line(id))
+            .expect("router reachable");
+        let direct = cluster.direct.handle_line(&snapshot_line(id));
+        assert_eq!(
+            routed, direct,
+            "cascade `{id}` diverges after restart + rejoin"
+        );
+    }
+}
+
+/// Plan 8 — `slow-drain`: every line to every backend is delayed, so a
+/// full-node drain takes long enough to observe. Reads (frozen
+/// cascades) and writes (dedicated cascades) keep flowing from their
+/// own threads while the drain runs. Gates: the drain commits with
+/// zero failures; at least one read *completes* strictly inside the
+/// drain window (the chunked rebalance releases the lock between
+/// chunks — the synchronous rebalance would stall every read to the
+/// end); every concurrent read returns the frozen, byte-exact
+/// forecast; and afterwards handoff ≡ origin for every cascade,
+/// including those written mid-drain (the commit-time checksum refresh
+/// catches copies that went stale between chunks).
+#[test]
+fn plan_slow_drain_keeps_reads_available_and_bytes_exact() {
+    let plan = FaultPlan {
+        name: "slow-drain",
+        seed: SEED,
+        target: ALL_BACKENDS,
+        mode: Mode::Delay { micros: 2500 },
+    };
+    let cluster = Cluster::start("broadcast", plan);
+    let mut client = cluster.client();
+
+    // Enough cascades that the drain must take multiple chunks.
+    let frozen_count = REBALANCE_CHUNK + 8;
+    let cascades = cluster.cascades(frozen_count + 4);
+    let (frozen, writable) = cascades.split_at(frozen_count);
+    for (i, cascade) in frozen.iter().enumerate() {
+        let id = format!("{}-{i}", plan.name);
+        cluster.replay(&mut client, &id, cascade);
+    }
+    // The writable cascades start with half their schedule; the rest
+    // lands mid-drain from the writer thread.
+    let mut pending: Vec<(String, Vec<String>)> = Vec::new();
+    for (i, cascade) in writable.iter().enumerate() {
+        let id = format!("{}-w{i}", plan.name);
+        let lines = request_lines(&id, cascade);
+        let half = lines.len() / 2;
+        for line in &lines[..half] {
+            let routed = client.send_raw(line).expect("router reachable");
+            let direct = cluster.direct.handle_line(line);
+            assert_eq!(response_ok(&routed), response_ok(&direct), "{line}");
+        }
+        let mut lines = lines;
+        pending.push((id, lines.split_off(half)));
+    }
+
+    // Expected bytes for the frozen reads, precomputed off the twin.
+    let probes: Vec<(String, String)> = frozen
+        .iter()
+        .enumerate()
+        .take(6)
+        .map(|(i, cascade)| {
+            let line = forecast_line(&format!("{}-{i}", plan.name), cascade.horizon);
+            let expected = cluster.direct.handle_line(&line);
+            (line, expected)
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let probes_done = Arc::new(AtomicU64::new(0));
+    let completions: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
+    let reader = {
+        let stop = Arc::clone(&stop);
+        let probes_done = Arc::clone(&probes_done);
+        let completions = Arc::clone(&completions);
+        let addr = cluster.front.local_addr();
+        let probes = probes.clone();
+        thread::spawn(move || {
+            let mut client = LineClient::connect(addr).expect("reader connect");
+            while !stop.load(Ordering::SeqCst) {
+                for (line, expected) in &probes {
+                    let got = client.send_raw(line).expect("read during drain");
+                    assert_eq!(&got, expected, "read diverged during drain: `{line}`");
+                    completions
+                        .lock()
+                        .expect("completions lock")
+                        .push(Instant::now());
+                    probes_done.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        })
+    };
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let addr = cluster.front.local_addr();
+        let direct = Arc::clone(&cluster.direct);
+        thread::spawn(move || {
+            let mut client = LineClient::connect(addr).expect("writer connect");
+            for (_, lines) in &pending {
+                for line in lines {
+                    if stop.load(Ordering::SeqCst) {
+                        // Drain already finished; stop adding state so
+                        // the main thread owns the final writes.
+                        return pending;
+                    }
+                    let routed = client.send_raw(line).expect("write during drain");
+                    let direct_response = direct.handle_line(line);
+                    assert_eq!(
+                        response_ok(&routed),
+                        response_ok(&direct_response),
+                        "write lost during drain: `{line}`"
+                    );
+                }
+            }
+            Vec::new()
+        })
+    };
+
+    // Wait for the reader to be warmed up — connected and past its
+    // first full probe cycle — before the drain starts. Without this
+    // gate, a starved CI box can burn the whole drain window on the
+    // reader's connect, and the mid-drain completion check below
+    // measures scheduler luck instead of lock-release behavior.
+    while probes_done.load(Ordering::SeqCst) < probes.len() as u64 {
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    // The drain itself, wall-clocked. The mid-drain read check is a
+    // liveness observation: it needs the OS to schedule the reader at
+    // least once inside the window, which a saturated CI box can deny
+    // for hundreds of milliseconds at a stretch. A starved attempt is
+    // inconclusive, not a failure — re-admit the node and drain again
+    // (every attempt still asserts the deterministic gates: zero
+    // failed handoffs, exact ring version, byte-exact reads).
+    let drained_label = cluster.proxies[2].addr.clone();
+    const DRAIN_ATTEMPTS: u64 = 3;
+    let mut observed_mid_drain = false;
+    for attempt in 0..DRAIN_ATTEMPTS {
+        if attempt > 0 {
+            // The label left the membership with the last drain, so
+            // `rejoin` takes the incremental-join path and bumps the
+            // ring; the join's rebalance restocks the node.
+            let rejoin = client
+                .send_ok(&format!(
+                    r#"{{"type":"rejoin","backend":"{drained_label}"}}"#
+                ))
+                .expect("rejoin verb");
+            assert_eq!(
+                rejoin.get("ring_version").and_then(Json::as_u64),
+                Some(2 * attempt + 1),
+                "{rejoin}"
+            );
+        }
+        let drain_started = Instant::now();
+        let drain = client
+            .send_ok(&format!(
+                r#"{{"type":"drain","backend":"{drained_label}"}}"#
+            ))
+            .expect("drain verb");
+        let drain_ended = Instant::now();
+
+        assert_eq!(
+            drain.get("failed").and_then(Json::as_u64),
+            Some(0),
+            "{drain}"
+        );
+        assert_eq!(
+            drain.get("ring_version").and_then(Json::as_u64),
+            Some(2 * attempt + 2),
+            "{drain}"
+        );
+        let migrated = drain.get("migrated").and_then(Json::as_u64).unwrap_or(0);
+        assert!(migrated > 0, "a full-node drain must hand cascades off");
+        assert!(
+            drain.get("handoff_ms").is_some(),
+            "drain must report its wall time: {drain}"
+        );
+
+        // Read availability: at least one read COMPLETED strictly
+        // inside the drain window. Chunked lock release is what makes
+        // this possible; the old full-lock rebalance parks every read
+        // until the drain returns.
+        let mid_drain = completions
+            .lock()
+            .expect("completions lock")
+            .iter()
+            .filter(|t| **t > drain_started && **t < drain_ended)
+            .count();
+        if mid_drain > 0 {
+            observed_mid_drain = true;
+            break;
+        }
+        eprintln!(
+            "slow-drain attempt {attempt}: no read completed inside a {}ms drain; retrying",
+            drain_started.elapsed().as_millis()
+        );
+    }
+    stop.store(true, Ordering::SeqCst);
+    reader.join().expect("reader thread");
+    let leftover = writer.join().expect("writer thread");
+    assert!(
+        observed_mid_drain,
+        "no read completed inside any of {DRAIN_ATTEMPTS} multi-chunk drain windows"
+    );
+
+    // Finish any writes the drain outlived, through the same gate.
+    for (_, lines) in &leftover {
+        for line in lines {
+            let routed = client.send_raw(line).expect("router reachable");
+            let direct = cluster.direct.handle_line(line);
+            assert_eq!(response_ok(&routed), response_ok(&direct), "{line}");
+        }
+    }
+
+    // Handoff ≡ origin: every byte identical after the node left.
+    for (i, cascade) in frozen.iter().enumerate() {
+        let id = format!("{}-{i}", plan.name);
+        cluster.assert_reads_identical(&mut client, &id, cascade.horizon);
+    }
+    for (i, cascade) in writable.iter().enumerate() {
+        let id = format!("{}-w{i}", plan.name);
+        cluster.assert_reads_identical(&mut client, &id, cascade.horizon);
+    }
+}
+
+/// The plans themselves are deterministic: the action schedule is a
+/// pure function of (name, seed, index) — two independently built
+/// plans agree draw for draw, and a different seed disagrees
+/// somewhere.
+#[test]
+fn fault_plans_are_pure_functions_of_their_coordinates() {
+    let a = FaultPlan {
+        name: "drop-writes",
+        seed: SEED,
+        target: 1,
+        mode: Mode::DropWrites { period: 3 },
+    };
+    let b = FaultPlan {
+        name: "drop-writes",
+        seed: SEED,
+        target: 1,
+        mode: Mode::DropWrites { period: 3 },
+    };
+    let shifted = FaultPlan {
+        seed: SEED + 1,
+        ..a
+    };
+    let mut diverged = false;
+    for index in 0..512 {
+        assert_eq!(
+            a.hits(3, index),
+            b.hits(3, index),
+            "same coordinates must draw identically at {index}"
+        );
+        diverged |= a.hits(3, index) != shifted.hits(3, index);
+    }
+    assert!(diverged, "a different seed must change the schedule");
+    assert!(
+        (0..512).any(|i| a.hits(3, i)),
+        "period 3 must hit somewhere in 512 draws"
+    );
+}

@@ -71,5 +71,5 @@
 pub mod proxy;
 pub mod ring;
 
-pub use proxy::{RouterConfig, RouterState};
+pub use proxy::{RouterConfig, RouterState, REBALANCE_CHUNK};
 pub use ring::HashRing;

@@ -34,25 +34,53 @@
 //! dies mid-load, its keys' surviving replicas answer with
 //! byte-identical forecasts and no response is lost.
 //!
-//! ## Live membership: `join` / `drain` / `remove`
+//! ## Live membership: `join` / `drain` / `rejoin` / `remove`
 //!
 //! The topology (membership + ring + backend pools) lives behind one
-//! `RwLock`; requests take it for read, the admin verbs take it for
-//! write and swap in a rebuilt topology under an epoch counter
-//! (`ring_version`). `drain` streams every resident cascade's snapshot
-//! to its new owner **before** the node leaves the ring — a handoff,
-//! not a re-`open`, so watermarks and counters survive and the new
-//! owner serves bit-identical forecasts. `remove` is the fail-stop verb
-//! for a dead node: survivors re-replicate what they still hold. The
-//! rebalance is two-phase: every snapshot→restore handoff runs first,
-//! and copies are evicted from their old holders only *after* the new
-//! topology is committed — a failed `join`/`drain` rolls back the
-//! restores that landed and leaves both the topology and every
-//! cascade's placement exactly as they were. The migrate phase runs
-//! synchronously under the write lock — routing pauses for the
-//! duration (`handoff_ms` in the `drain` response measures it), which
-//! buys the strong guarantee that no request ever observes a
-//! half-migrated topology. See `docs/PROTOCOL.md` §6.
+//! `RwLock`; requests take it for read, and admin transitions are
+//! serialized by a separate admin mutex so they never interleave with
+//! each other. Planned transitions (`join`, `drain`, `rejoin` of an
+//! unknown label) rebalance **incrementally**: a drained node is
+//! marked [`dlm_cluster::NodeStatus::Draining`] in the live membership
+//! — its ring placement, and therefore every read and write, is
+//! untouched, and the ring version does not bump — the cascade
+//! inventory is split into chunks, and each chunk's snapshot→restore
+//! handoffs run with the topology write lock held only for that chunk.
+//! The lock is released between chunks, so reads interleave with a
+//! full-node handoff instead of pausing for it. Writes keep routing to
+//! the *old* owners the whole time, so a copy migrated in an early
+//! chunk can go stale; the final commit takes the write lock once,
+//! re-compares every migrated copy against its source by snapshot
+//! checksum (the `checksums` verb — one round trip per node), fetches
+//! and re-pushes the handful that changed, and only then swaps the new
+//! topology in and bumps `ring_version`. A failed chunk aborts the
+//! whole transition: landed restores are rolled back, the `Draining`
+//! marker is reverted, and both the topology and every cascade's
+//! placement are exactly as they were. `remove` is the fail-stop verb
+//! for a dead node and still runs synchronously under the write lock:
+//! survivors re-replicate what they still hold, and nothing waits on a
+//! node that cannot answer. `rejoin` is the self-service re-admission
+//! verb a restarted `--snapshot-dir` backend announces itself with
+//! (`dlm-serve --announce`): an unknown label joins through the
+//! incremental path, while a label that is still a member gets an
+//! anti-entropy sweep instead — its replayed copies are
+//! checksum-compared against their trusted replicas and refreshed
+//! where they diverge, with no ring change at all. See
+//! `docs/PROTOCOL.md` §6.
+//!
+//! ## Anti-entropy repair
+//!
+//! A replicated write that lands on some owners but not all is relayed
+//! with `"degraded":true` — and then the router repairs the divergence
+//! instead of waiting for an operator `remove`: it compares the
+//! cascade's checksum on each missed owner against the owner that
+//! holds the acked write (the miss may have been a connection that
+//! died *after* delivery, in which case the copies already agree and
+//! nothing is re-sent) and re-pushes the committed snapshot where they
+//! differ. Repair outcomes are counted in
+//! `dlm_router_repairs_total{outcome}`; a backend that fails repair
+//! `REPAIR_STRIKES` times in a row gets its idle pool closed eagerly,
+//! exactly like a backend that left the topology.
 //!
 //! ## Connection pooling and failure surfacing
 //!
@@ -88,7 +116,7 @@
 //! (its share of [`HashRing::OWNERSHIP_PROBES`] probe keys).
 
 use crate::ring::HashRing;
-use dlm_cluster::Membership;
+use dlm_cluster::{hash64, hex, Membership, NodeStatus};
 use dlm_core::cache::CacheStats;
 use dlm_core::evaluate::Parallelism;
 use dlm_numerics::pool::parallel_map;
@@ -106,12 +134,24 @@ use std::time::{Duration, Instant};
 
 /// Every verb label the router's request-path metrics use. The
 /// backend-scoped verbs the router rejects (`restore`, `cascades`,
-/// `evict`) count under the trailing `invalid` fallback, like any
-/// other line the tier refuses to route.
+/// `checksums`, `evict`) count under the trailing `invalid` fallback,
+/// like any other line the tier refuses to route.
 const ROUTER_VERB_LABELS: &[&str] = &[
     "open", "ingest", "forecast", "stats", "snapshot", "batch", "metrics", "join", "drain",
-    "remove", "invalid",
+    "rejoin", "remove", "invalid",
 ];
+
+/// Cascades migrated per chunk of an incremental rebalance. The
+/// topology write lock is held for one chunk's handoffs and released
+/// between chunks, so this bounds how long a read can queue behind a
+/// drain regardless of how many cascades the node holds.
+pub const REBALANCE_CHUNK: usize = 32;
+
+/// Consecutive anti-entropy repair failures after which a backend's
+/// idle pool is closed eagerly — the same treatment a departed backend
+/// gets, because two straight failed restores mean the pooled sockets
+/// are at best stale.
+const REPAIR_STRIKES: u64 = 2;
 
 /// The router-tier verb label for a request `type` string.
 fn router_verb(kind: &str) -> &'static str {
@@ -188,6 +228,10 @@ struct Backend {
     routed: AtomicU64,
     /// Requests that failed against this backend after any retry.
     errors: AtomicU64,
+    /// Consecutive anti-entropy repair failures; reset by any repair
+    /// success (or a clean comparison). At [`REPAIR_STRIKES`] the idle
+    /// pool is closed eagerly.
+    repair_failures: AtomicU64,
     /// Per-backend exposition counters (shared cells across topology
     /// generations, because the `Arc<Backend>` itself is reused).
     metrics: BackendMetrics,
@@ -239,6 +283,7 @@ impl Backend {
             transport,
             routed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            repair_failures: AtomicU64::new(0),
             metrics,
         }
     }
@@ -397,6 +442,12 @@ struct HandoffReport {
 #[derive(Debug)]
 pub struct RouterState {
     topology: RwLock<Topology>,
+    /// Serializes admin transitions (`join`/`drain`/`rejoin`/`remove`).
+    /// An incremental rebalance releases the topology write lock
+    /// between chunks, so the topology lock alone no longer implies
+    /// one-admin-at-a-time — this mutex does, without ever making the
+    /// data path queue behind an admin verb.
+    admin: Mutex<()>,
     data_replicas: usize,
     ring_replicas: usize,
     max_idle: usize,
@@ -414,6 +465,32 @@ pub struct RouterState {
     handoff_micros: Histogram,
     /// Topology commits (ring version bumps).
     ring_bumps: Counter,
+    /// Anti-entropy repair outcomes (`dlm_router_repairs_total`).
+    repairs: RepairCounters,
+}
+
+/// `dlm_router_repairs_total{outcome}`: what each anti-entropy
+/// comparison concluded. `clean` — the checksums already agreed (the
+/// "missed" write had in fact been delivered); `repaired` — a diverged
+/// copy was re-pushed to bit-identity; `failed` — the diverged owner
+/// could not be repaired (usually: it is down).
+#[derive(Debug)]
+struct RepairCounters {
+    clean: Counter,
+    repaired: Counter,
+    failed: Counter,
+}
+
+impl RepairCounters {
+    fn new(registry: &Registry) -> Self {
+        let of =
+            |outcome: &str| registry.counter("dlm_router_repairs_total", &[("outcome", outcome)]);
+        Self {
+            clean: of("clean"),
+            repaired: of("repaired"),
+            failed: of("failed"),
+        }
+    }
 }
 
 impl RouterState {
@@ -448,8 +525,10 @@ impl RouterState {
         let batch_fanout = metrics.histogram("dlm_router_batch_fanout", &[]);
         let handoff_micros = metrics.histogram("dlm_router_handoff_micros", &[]);
         let ring_bumps = metrics.counter("dlm_router_ring_bumps_total", &[]);
+        let repairs = RepairCounters::new(&metrics);
         let state = Self {
             topology: RwLock::new(topology),
+            admin: Mutex::new(()),
             data_replicas: config.data_replicas,
             ring_replicas: config.replicas,
             max_idle: config.max_idle_per_backend,
@@ -462,6 +541,7 @@ impl RouterState {
             batch_fanout,
             handoff_micros,
             ring_bumps,
+            repairs,
         };
         // Seed every backend with the initial ring version so their
         // `stats` lines carry it for skew detection. Best-effort:
@@ -578,7 +658,7 @@ impl RouterState {
         match kind {
             "stats" => Ok(Routed::Synthesized(self.handle_stats())),
             "metrics" => Ok(Routed::Synthesized(self.handle_metrics())),
-            "join" | "drain" | "remove" => {
+            "join" | "drain" | "rejoin" | "remove" => {
                 let backend = value
                     .get("backend")
                     .and_then(Json::as_str)
@@ -587,9 +667,10 @@ impl RouterState {
             }
             // Backend-scoped maintenance verbs make no sense through the
             // sharding tier: `restore` would need an owner decision the
-            // snapshot already encodes, and `cascades`/`evict` address
-            // one node's store, not the cluster's.
-            "restore" | "cascades" | "evict" => Err(ServeError::Protocol(format!(
+            // snapshot already encodes, and `cascades`/`checksums`/
+            // `evict` address one node's store, not the cluster's (the
+            // router issues them itself during rebalance and repair).
+            "restore" | "cascades" | "checksums" | "evict" => Err(ServeError::Protocol(format!(
                 "request type `{kind}` is backend-scoped; send it to a backend directly"
             ))),
             "open" | "ingest" | "forecast" | "snapshot" => {
@@ -606,7 +687,7 @@ impl RouterState {
                 if matches!(kind, "forecast" | "snapshot") {
                     Ok(route_read(&owners, line))
                 } else {
-                    Ok(route_write(&owners, line))
+                    Ok(self.route_write_repairing(&owners, cascade, line))
                 }
             }
             // A batch is unpacked at the tier: each item routes to its
@@ -666,7 +747,7 @@ impl RouterState {
             Ok(if read {
                 route_read(&owners, &line)
             } else {
-                route_write(&owners, &line)
+                self.route_write_repairing(&owners, &cascade, &line)
             })
         });
         let response = match routed {
@@ -681,31 +762,41 @@ impl RouterState {
         response
     }
 
-    /// The admin verbs. All three run synchronously under the topology
-    /// write lock: requests pause, the membership transition is applied
-    /// to a scratch copy, and cascades are migrated over real sockets
-    /// (snapshot → restore, no eviction yet). Only if every migration
-    /// landed — or the verb is `remove`, the best-effort fail-stop
-    /// path — is the new topology swapped in; stale copies are trimmed
-    /// strictly *after* that commit, so an aborted `join`/`drain`
-    /// leaves every cascade exactly where it was (the restores that
-    /// did land are rolled back).
+    /// Admin dispatch. `remove` keeps the original synchronous
+    /// under-write-lock rebalance (its source node is dead; reads to
+    /// its shards are failing over already, so pausing routing for the
+    /// re-replication sweep is the cheapest correct thing). The
+    /// planned transitions — `join`, `drain`, and `rejoin` of an
+    /// unknown label — run the incremental chunked path; `rejoin` of a
+    /// label that is still an active member becomes an anti-entropy
+    /// sweep with no ring change. The admin mutex serializes
+    /// transitions end-to-end so two verbs can never interleave their
+    /// chunks, without the data path ever queuing behind one.
     fn handle_admin(&self, verb: &str, label: &str) -> Result<Routed> {
+        let _admin = self.admin.lock().expect("admin lock poisoned");
+        match verb {
+            "remove" => self.admin_remove(label),
+            "join" | "drain" => self.admin_incremental(verb, label),
+            "rejoin" => {
+                if self.topology().membership.status(label) == Some(NodeStatus::Active) {
+                    self.admin_rejoin_member(label)
+                } else {
+                    self.admin_incremental(verb, label)
+                }
+            }
+            _ => unreachable!("route_value only dispatches admin verbs here"),
+        }
+    }
+
+    /// The fail-stop path: membership transition, full re-replication
+    /// sweep, and commit under one topology write-lock hold. Never
+    /// aborts — the dead node's copies are gone either way, and a
+    /// partial re-replication is strictly better than none.
+    fn admin_remove(&self, label: &str) -> Result<Routed> {
         let start = Instant::now();
         let mut topology = self.topology.write().expect("topology lock poisoned");
         let mut membership = topology.membership.clone();
-        match verb {
-            "join" => membership.join(label)?,
-            // One synchronous drain: mark the node, hand its cascades
-            // off, take it out. The Draining state never routes because
-            // the swap below is the only thing requests can observe.
-            "drain" => {
-                membership.begin_drain(label)?;
-                membership.complete_drain(label)?;
-            }
-            "remove" => membership.remove(label)?,
-            _ => unreachable!("route_line only dispatches admin verbs here"),
-        }
+        membership.remove(label)?;
         let next = Topology::build(
             membership,
             self.ring_replicas,
@@ -715,22 +806,8 @@ impl RouterState {
             self.backend_transport,
             &self.metrics,
         )?;
-        let plan = migrate_cascades(&topology, &next, self.data_replicas);
+        let plan = migrate_cascades(&topology.backends, &next, self.data_replicas);
         let mut report = plan.report;
-        if report.failed > 0 && verb != "remove" {
-            // Planned transitions must be lossless. No copy has been
-            // evicted yet (trims run only after commit), so the old
-            // topology still holds every cascade; evict the restores
-            // that did land so a retried verb does not fight stale
-            // copies, and leave the topology exactly as it was.
-            for (target, id) in plan.landed {
-                let _ = target.round_trip(&evict_line(&id), false);
-            }
-            return Ok(Routed::Synthesized(error_response(&format!(
-                "{verb} `{label}` aborted: {} cascade handoffs failed; topology unchanged",
-                report.failed
-            ))));
-        }
         let departed: Vec<Arc<Backend>> = topology
             .backends
             .iter()
@@ -741,54 +818,458 @@ impl RouterState {
         let backends = next.membership.active_labels();
         *topology = next;
         drop(topology);
-        // Eagerly close pooled connections to the departed backend —
-        // nothing will route there again under this membership, and a
-        // later `join` must start from fresh dials.
-        for backend in departed {
-            backend.close_idle();
+        self.finish_commit(departed, plan.trims, &mut report);
+        self.handoff_micros.observe_duration(start.elapsed());
+        dlm_obs::info!(
+            "dlm-router",
+            "remove `{label}` committed: ring_version={ring_version} migrated={} evicted={} ms={:.1}",
+            report.migrated,
+            report.evicted,
+            start.elapsed().as_secs_f64() * 1e3
+        );
+        Ok(admin_response(
+            "remove",
+            label,
+            ring_version,
+            backends,
+            &report,
+            start,
+        ))
+    }
+
+    /// One incremental (chunked) rebalance for a planned transition.
+    ///
+    /// 1. **Stage** (brief write-lock hold): validate the transition on
+    ///    a scratch membership, build the planned topology, and — for
+    ///    `drain` — mark the live node `Draining`. The live ring is
+    ///    untouched: reads and writes keep routing to the old owners,
+    ///    and `ring_version` does not move.
+    /// 2. **Migrate in chunks**: the old holders' inventory is walked
+    ///    [`REBALANCE_CHUNK`] cascades at a time, the write lock held
+    ///    per chunk and released between chunks, so a read queued
+    ///    behind a full-node drain waits for at most one chunk. Any
+    ///    failed handoff aborts the whole transition.
+    /// 3. **Commit** (one write-lock hold): the inventory is taken
+    ///    again — a cascade opened mid-rebalance was never staged and
+    ///    is migrated now — then every migrated copy is
+    ///    checksum-compared against its source — writes kept landing on
+    ///    the old owners between chunks, so an early-chunk copy can be
+    ///    stale — refreshed where they differ, and only then is the new
+    ///    topology swapped in and `ring_version` bumped.
+    ///
+    /// An abort evicts the restores that landed and reverts the
+    /// `Draining` marker: the topology and every cascade's placement
+    /// are exactly as they were.
+    fn admin_incremental(&self, verb: &str, label: &str) -> Result<Routed> {
+        let start = Instant::now();
+        let draining = verb == "drain";
+        let (old_backends, next) = {
+            let mut topology = self.topology.write().expect("topology lock poisoned");
+            let mut planned = topology.membership.clone();
+            if draining {
+                planned.begin_drain(label)?;
+                planned.complete_drain(label)?;
+            } else {
+                planned.join(label)?;
+            }
+            let next = Topology::build(
+                planned,
+                self.ring_replicas,
+                &topology.backends,
+                self.max_idle,
+                self.connect_timeout,
+                self.backend_transport,
+                &self.metrics,
+            )?;
+            if draining {
+                // Mark the live membership only now that the planned
+                // topology is known-buildable. The marker blocks
+                // re-entry and records the in-flight handoff; the ring
+                // — already built — keeps routing to the node.
+                topology
+                    .membership
+                    .begin_drain(label)
+                    .expect("staged drain validated above");
+            }
+            (topology.backends.clone(), next)
+        };
+
+        // Inventory runs lock-free (read-only round trips); migration
+        // holds the lock per chunk only.
+        let holders = inventory(&old_backends);
+        let entries: Vec<(&String, &Vec<Arc<Backend>>)> = holders.iter().collect();
+        let mut plan = MigratePlan::new();
+        for chunk in entries.chunks(REBALANCE_CHUNK) {
+            {
+                let _guard = self.topology.write().expect("topology lock poisoned");
+                for (id, holder_backends) in chunk {
+                    migrate_one(
+                        id,
+                        holder_backends,
+                        &next,
+                        self.data_replicas,
+                        None,
+                        &mut plan,
+                    );
+                }
+            }
+            if plan.report.failed > 0 {
+                break;
+            }
+            // Releasing the guard alone is not enough for foreground
+            // traffic: readers woken by the release race the immediate
+            // re-acquire below and can lose every round. A rebalance is
+            // background maintenance — one millisecond per chunk is
+            // noise next to the chunk's own socket work and lets the
+            // queued readers drain through.
+            std::thread::sleep(Duration::from_millis(1));
         }
-        // Trim pass, only now that the new topology is committed. Every
-        // copy it removes belongs to a cascade whose full new owner set
-        // restored successfully, so a trim can no longer strand a
-        // cascade; requests already route under the new ring, and none
-        // of them route to a trimmed (non-owner) holder.
+
+        let mut report = plan.report;
+        if report.failed == 0 {
+            let mut topology = self.topology.write().expect("topology lock poisoned");
+            // Cascades opened after the lock-free inventory snapshot
+            // were never staged — a write racing the rebalance can
+            // create one on the old owners between chunks. No write is
+            // in flight while the lock is held, so a second inventory
+            // is final: migrate the late arrivals under the same hold
+            // the refresh runs in. Their copies are fresh by
+            // construction, and `holders` keeps only pre-migration
+            // sources, so the refresh below skips them.
+            for (id, holder_backends) in &inventory(&old_backends) {
+                if !holders.contains_key(id) {
+                    migrate_one(
+                        id,
+                        holder_backends,
+                        &next,
+                        self.data_replicas,
+                        None,
+                        &mut plan,
+                    );
+                }
+            }
+            report = plan.report;
+            // No write is in flight while we hold the lock, so the
+            // sources' checksums are final.
+            let refresh = if report.failed == 0 {
+                refresh_landed(&plan, &holders)
+            } else {
+                Err(0) // a failed late handoff aborts like a failed chunk
+            };
+            match refresh {
+                Err(stale_failures) => report.failed += stale_failures,
+                Ok(refreshed) => {
+                    let departed: Vec<Arc<Backend>> = topology
+                        .backends
+                        .iter()
+                        .filter(|b| !next.membership.contains(&b.addr))
+                        .map(Arc::clone)
+                        .collect();
+                    let ring_version = next.membership.version();
+                    let backends = next.membership.active_labels();
+                    *topology = next;
+                    drop(topology);
+                    self.finish_commit(departed, plan.trims, &mut report);
+                    self.handoff_micros.observe_duration(start.elapsed());
+                    dlm_obs::info!(
+                        "dlm-router",
+                        "{verb} `{label}` committed: ring_version={ring_version} migrated={} \
+                         refreshed={refreshed} evicted={} ms={:.1}",
+                        report.migrated,
+                        report.evicted,
+                        start.elapsed().as_secs_f64() * 1e3
+                    );
+                    return Ok(admin_response(
+                        verb,
+                        label,
+                        ring_version,
+                        backends,
+                        &report,
+                        start,
+                    ));
+                }
+            }
+        }
+        // Abort. Planned transitions must be lossless: no copy has
+        // been evicted (trims run only after commit), so the old
+        // topology still holds every cascade. Evict the restores that
+        // did land so a retried verb does not fight stale copies, and
+        // revert the drain marker.
+        for (target, id) in plan.landed {
+            let _ = target.round_trip(&evict_line(&id), false);
+        }
+        if draining {
+            let mut topology = self.topology.write().expect("topology lock poisoned");
+            topology
+                .membership
+                .abort_drain(label)
+                .expect("marked draining above");
+        }
+        Ok(Routed::Synthesized(error_response(&format!(
+            "{verb} `{label}` aborted: {} cascade handoffs failed; topology unchanged",
+            report.failed
+        ))))
+    }
+
+    /// Re-admission of a label that is still an active member — the
+    /// restarted-backend case where no `remove` ever ran. The ring is
+    /// already correct, so there is no membership change and no version
+    /// bump; what the restarted node needs is anti-entropy. Its
+    /// `--snapshot-dir` replay may predate writes that landed while it
+    /// was down, so its resident copies are distrusted: every cascade
+    /// is checksum-compared against a trusted replica and re-pushed
+    /// where it diverges (or is missing), chunk by chunk under the same
+    /// per-chunk lock discipline as a drain. Finishes by re-pushing the
+    /// committed ring version — a restarted backend reports version 0,
+    /// which `stats` would otherwise flag as ring skew forever.
+    fn admin_rejoin_member(&self, label: &str) -> Result<Routed> {
+        let start = Instant::now();
+        let (backends, ring_version) = {
+            let topology = self.topology();
+            (topology.backends.clone(), topology.membership.version())
+        };
+        let rejoiner = backends
+            .iter()
+            .find(|b| b.addr == label)
+            .map(Arc::clone)
+            .expect("caller checked the label is an active member");
+        let Some(rejoiner_sums) = backend_checksums(&rejoiner) else {
+            return Ok(Routed::Synthesized(error_response(&format!(
+                "rejoin `{label}` failed: backend unreachable"
+            ))));
+        };
+        let holders = inventory(&backends);
+        let entries: Vec<(&String, &Vec<Arc<Backend>>)> = holders.iter().collect();
+        let mut plan = MigratePlan::new();
+        for chunk in entries.chunks(REBALANCE_CHUNK) {
+            {
+                // Per-chunk write-lock hold: a repair restore never
+                // races a write, and between chunks both copies advance
+                // identically (the member is in the ring, so writes
+                // reach it too).
+                let topology = self.topology.write().expect("topology lock poisoned");
+                for (id, holder_backends) in chunk {
+                    migrate_one(
+                        id,
+                        holder_backends,
+                        &topology,
+                        self.data_replicas,
+                        Some((label, &rejoiner_sums)),
+                        &mut plan,
+                    );
+                }
+            }
+            // Same foreground-traffic yield as the incremental path.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut report = plan.report;
+        // The topology did not change, so there is no commit to wait
+        // for: trim the stale copies of cascades the node no longer
+        // owns immediately.
         for (holder, id) in plan.trims {
             if holder.round_trip(&evict_line(&id), false).is_ok() {
                 report.evicted += 1;
             }
         }
-        // Tell every backend under the committed topology which ring
-        // version it now serves, so `stats` can detect stragglers.
         self.push_ring_version();
-        self.ring_bumps.inc();
         self.handoff_micros.observe_duration(start.elapsed());
         dlm_obs::info!(
             "dlm-router",
-            "{verb} `{label}` committed: ring_version={ring_version} migrated={} evicted={} ms={:.1}",
+            "rejoin `{label}` (member) repaired: ring_version={ring_version} repaired={} \
+             evicted={} failed={} ms={:.1}",
             report.migrated,
             report.evicted,
+            report.failed,
             start.elapsed().as_secs_f64() * 1e3
         );
-        let mut fields = vec![
-            ("ok".to_owned(), Json::Bool(true)),
-            ("verb".to_owned(), Json::str(verb)),
-            ("backend".to_owned(), Json::str(label)),
-            ("ring_version".to_owned(), Json::num(ring_version as f64)),
-            (
-                "backends".to_owned(),
-                Json::Arr(backends.into_iter().map(Json::Str).collect()),
-            ),
-            ("migrated".to_owned(), Json::num(report.migrated as f64)),
-            ("evicted".to_owned(), Json::num(report.evicted as f64)),
-            ("failed".to_owned(), Json::num(report.failed as f64)),
-        ];
-        if verb == "drain" {
-            fields.push((
-                "handoff_ms".to_owned(),
-                Json::num(start.elapsed().as_secs_f64() * 1e3),
-            ));
+        let backends_list = self.topology().membership.active_labels();
+        Ok(admin_response(
+            "rejoin",
+            label,
+            ring_version,
+            backends_list,
+            &report,
+            start,
+        ))
+    }
+
+    /// Post-commit tail shared by every topology-changing verb: close
+    /// departed pools eagerly (nothing routes there again under this
+    /// membership, and a later `join` must start from fresh dials),
+    /// execute the planned trims — every one belongs to a cascade whose
+    /// full new owner set is in place, so a trim can no longer strand a
+    /// cascade — and re-push the committed ring version so `stats` can
+    /// detect stragglers.
+    fn finish_commit(
+        &self,
+        departed: Vec<Arc<Backend>>,
+        trims: Vec<(Arc<Backend>, String)>,
+        report: &mut HandoffReport,
+    ) {
+        for backend in departed {
+            backend.close_idle();
         }
-        Ok(Routed::Synthesized(Json::Obj(fields)))
+        for (holder, id) in trims {
+            if holder.round_trip(&evict_line(&id), false).is_ok() {
+                report.evicted += 1;
+            }
+        }
+        self.push_ring_version();
+        self.ring_bumps.inc();
+    }
+
+    /// Routes a write and, when it lands degraded, runs the
+    /// anti-entropy repair inline: compare each missed owner's checksum
+    /// against the owner holding the acked write and re-push the
+    /// committed snapshot where they diverge. Inline (rather than
+    /// deferred) keeps healing deterministic — by the time the degraded
+    /// response reaches the client, repair has been attempted exactly
+    /// once per missed owner.
+    fn route_write_repairing(&self, owners: &[Arc<Backend>], cascade: &str, line: &str) -> Routed {
+        let outcome = route_write(owners, line);
+        if let Some(reference) = &outcome.applied {
+            if !outcome.missed.is_empty() {
+                self.repair_degraded(cascade, reference, &outcome.missed);
+            }
+        }
+        outcome.routed
+    }
+
+    /// The post-degraded-write anti-entropy pass for one cascade.
+    fn repair_degraded(&self, cascade: &str, reference: &Arc<Backend>, missed: &[Arc<Backend>]) {
+        let Some(want) = backend_checksums(reference).and_then(|m| m.get(cascade).cloned()) else {
+            // Without reference bytes there is nothing to repair from;
+            // the degraded marker on the response stands.
+            return;
+        };
+        let mut restore_line: Option<Option<String>> = None;
+        for backend in missed {
+            let have = backend_checksums(backend).and_then(|m| m.get(cascade).cloned());
+            if have.as_ref() == Some(&want) {
+                // The "missed" write was delivered after all (the
+                // connection died after the bytes landed): the copies
+                // agree, nothing to re-send.
+                self.repairs.clean.inc();
+                backend.repair_failures.store(0, Ordering::Relaxed);
+                continue;
+            }
+            let line = restore_line
+                .get_or_insert_with(|| {
+                    fetch_snapshot_hex(reference, cascade)
+                        .map(|hex| Request::Restore { snapshot: hex }.to_json().to_string())
+                })
+                .clone();
+            let repaired = line.is_some_and(|l| restore_landed(backend, &l, cascade));
+            self.note_repair(backend, repaired, cascade);
+        }
+    }
+
+    /// Counts one repair outcome and applies the two-strikes eager
+    /// idle-pool close.
+    fn note_repair(&self, backend: &Arc<Backend>, repaired: bool, cascade: &str) {
+        if repaired {
+            self.repairs.repaired.inc();
+            backend.repair_failures.store(0, Ordering::Relaxed);
+            dlm_obs::info!(
+                "dlm-router",
+                "anti-entropy repaired `{cascade}` on {}",
+                backend.addr
+            );
+        } else {
+            self.repairs.failed.inc();
+            let strikes = backend.repair_failures.fetch_add(1, Ordering::Relaxed) + 1;
+            if strikes >= REPAIR_STRIKES {
+                // The same eager close a departed backend gets: after
+                // two straight failed repairs nothing pooled to this
+                // node is trustworthy.
+                backend.close_idle();
+                dlm_obs::warn!(
+                    "dlm-router",
+                    "anti-entropy repair of `{cascade}` on {} failed {strikes} times in a row; \
+                     closing idle pool",
+                    backend.addr
+                );
+            }
+        }
+    }
+
+    /// One anti-entropy pass over `cascade`'s owner set, usable by
+    /// drills and operators (the degraded-write path runs the same
+    /// comparison automatically). Every owner's copy is
+    /// checksum-compared; when they disagree, the copy with the most
+    /// ingested state wins — votes are append-only and replicas apply
+    /// them in the same order, so the longest encoded snapshot is the
+    /// one every acked write landed in — and it is re-pushed to the
+    /// rest. Returns `(diverged, repaired)`: owners whose copy differed
+    /// from the reference (a missing copy counts), and how many of
+    /// those were restored to bit-identity.
+    pub fn repair_cascade(&self, cascade: &str) -> (usize, usize) {
+        let owners = {
+            let topology = self.topology();
+            topology.owners_of(cascade, self.data_replicas)
+        };
+        let sums: Vec<Option<String>> = owners
+            .iter()
+            .map(|b| backend_checksums(b).and_then(|m| m.get(cascade).cloned()))
+            .collect();
+        // Distinct checksums, in ring order.
+        let mut groups: Vec<(String, usize)> = Vec::new();
+        for (i, sum) in sums.iter().enumerate() {
+            if let Some(sum) = sum {
+                if !groups.iter().any(|(g, _)| g == sum) {
+                    groups.push((sum.clone(), i));
+                }
+            }
+        }
+        if groups.is_empty() {
+            // No owner holds the cascade: nothing to repair from.
+            return (0, 0);
+        }
+        if groups.len() == 1 && sums.iter().all(Option::is_some) {
+            self.repairs.clean.inc();
+            return (0, 0);
+        }
+        // Reference: the longest encoded copy among the distinct ones.
+        let mut reference: Option<(String, String)> = None; // (hex, checksum)
+        for (sum, idx) in &groups {
+            let Some(snapshot_hex) = fetch_snapshot_hex(&owners[*idx], cascade) else {
+                continue;
+            };
+            if reference
+                .as_ref()
+                .is_none_or(|(best, _)| snapshot_hex.len() > best.len())
+            {
+                reference = Some((snapshot_hex, sum.clone()));
+            }
+        }
+        let Some((snapshot_hex, ref_sum)) = reference else {
+            // Divergence detected but no copy could be fetched.
+            let first = &groups[0].0;
+            let diverged = sums
+                .iter()
+                .filter(|s| s.as_deref() != Some(first.as_str()))
+                .count();
+            return (diverged, 0);
+        };
+        let restore_line = Request::Restore {
+            snapshot: snapshot_hex,
+        }
+        .to_json()
+        .to_string();
+        let mut diverged = 0;
+        let mut repaired = 0;
+        for (owner, sum) in owners.iter().zip(&sums) {
+            if sum.as_ref() == Some(&ref_sum) {
+                continue;
+            }
+            diverged += 1;
+            let ok = restore_landed(owner, &restore_line, cascade);
+            if ok {
+                repaired += 1;
+            }
+            self.note_repair(owner, ok, cascade);
+        }
+        (diverged, repaired)
     }
 
     /// Fans `{"type":"stats"}` out to every backend and folds the shard
@@ -1028,35 +1509,24 @@ struct MigratePlan {
     trims: Vec<(Arc<Backend>, String)>,
 }
 
-/// The migrate phase of a rebalance: copies cascades to their owners
-/// under the `next` topology **without removing anything** — evictions
-/// are planned, not executed, so the caller can abort losslessly.
-///
-/// 1. **Inventory**: every reachable backend of the old topology lists
-///    its resident cascades (`cascades` verb) into a deterministic
-///    `BTreeMap<id, holders>`. A dead node simply lists nothing — its
-///    cascades are sourced from surviving replicas, which is exactly
-///    the `remove` re-replication path.
-/// 2. **Migrate**: for each cascade, the owner set under the new ring
-///    is computed; owners that do not already hold it receive a
-///    `restore` of a snapshot fetched once from the first holder that
-///    answers. The snapshot carries the full ingest state, so this is a
-///    handoff (watermark preserved), not a re-`open`.
-/// 3. **Plan trims**: holders that remain members but are no longer
-///    owners are queued for a post-commit `evict` — but only for
-///    cascades whose every restore landed, so a partially migrated
-///    cascade keeps all of its old copies. A departing node is never
-///    trimmed — it is leaving the topology anyway.
-fn migrate_cascades(old: &Topology, next: &Topology, data_replicas: usize) -> MigratePlan {
-    let mut plan = MigratePlan {
-        report: HandoffReport::default(),
-        landed: Vec::new(),
-        trims: Vec::new(),
-    };
-    // id -> indices into old.backends that hold it.
-    let mut holders: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+impl MigratePlan {
+    fn new() -> Self {
+        Self {
+            report: HandoffReport::default(),
+            landed: Vec::new(),
+            trims: Vec::new(),
+        }
+    }
+}
+
+/// Every reachable backend lists its resident cascades (`cascades`
+/// verb) into a deterministic `id → holders` map. A dead node simply
+/// lists nothing — its cascades are sourced from surviving replicas,
+/// which is exactly the `remove` re-replication path.
+fn inventory(backends: &[Arc<Backend>]) -> BTreeMap<String, Vec<Arc<Backend>>> {
+    let mut holders: BTreeMap<String, Vec<Arc<Backend>>> = BTreeMap::new();
     let list_line = Request::Cascades.to_json().to_string();
-    for (i, backend) in old.backends.iter().enumerate() {
+    for backend in backends {
         let Ok(raw) = backend.round_trip(&list_line, true) else {
             continue; // unreachable: remove-path source loss
         };
@@ -1067,80 +1537,307 @@ fn migrate_cascades(old: &Topology, next: &Topology, data_replicas: usize) -> Mi
             continue;
         };
         for id in ids.iter().filter_map(Json::as_str) {
-            holders.entry(id.to_owned()).or_default().push(i);
+            holders
+                .entry(id.to_owned())
+                .or_default()
+                .push(Arc::clone(backend));
         }
     }
+    holders
+}
 
+/// Migrates one cascade toward its owner set under `next`, appending
+/// handoffs and planned trims to `plan` — copies are added, never
+/// removed (evictions are planned, not executed), so the caller can
+/// abort losslessly. Owners that do not already hold the cascade
+/// receive a `restore` of a snapshot fetched once from the first
+/// trusted holder that answers; the snapshot carries the full ingest
+/// state, so this is a handoff (watermark preserved), not a re-`open`.
+///
+/// `distrusted` names a rejoined backend whose resident copies may be
+/// stale (its snapshot-dir replay can predate writes it missed while
+/// down): it is never used as a snapshot source, and when it is an
+/// owner-and-holder its copy is checksum-verified against the trusted
+/// bytes (the map is the rejoiner's scraped `checksums` output) and
+/// re-pushed on mismatch.
+///
+/// Trims — holders that remain members of `next` but are no longer
+/// owners — are planned only when every restore landed, so a partially
+/// migrated cascade keeps all of its old copies. A departing node is
+/// never trimmed; it is leaving the topology anyway.
+fn migrate_one(
+    id: &str,
+    holder_backends: &[Arc<Backend>],
+    next: &Topology,
+    data_replicas: usize,
+    distrusted: Option<(&str, &BTreeMap<String, String>)>,
+    plan: &mut MigratePlan,
+) {
     let next_labels = next.membership.active_labels();
-    for (id, holder_indices) in &holders {
-        let holder_addrs: Vec<&str> = holder_indices
-            .iter()
-            .map(|&i| old.backends[i].addr.as_str())
-            .collect();
-        let owner_addrs: Vec<&str> = next
-            .ring
-            .route_n(id, data_replicas)
-            .into_iter()
-            .map(|i| next_labels[i].as_str())
-            .collect();
-        let needed: Vec<&Arc<Backend>> = owner_addrs
-            .iter()
-            .filter(|addr| !holder_addrs.contains(addr))
-            .filter_map(|addr| next.backends.iter().find(|b| b.addr == *addr))
-            .collect();
-        let mut cascade_failed = false;
-        if !needed.is_empty() {
-            // Fetch the snapshot once from the first holder that
-            // answers; every holder's copy is bit-identical.
-            let fetch_line = Request::Snapshot {
-                cascade: id.clone(),
-            }
-            .to_json()
-            .to_string();
-            let snapshot_hex = holder_indices.iter().find_map(|&i| {
-                let raw = old.backends[i].round_trip(&fetch_line, true).ok()?;
-                let parsed = Json::parse(&raw).ok()?;
-                if parsed.get("ok") != Some(&Json::Bool(true)) {
-                    return None;
-                }
-                parsed
-                    .get("snapshot")
-                    .and_then(Json::as_str)
-                    .map(str::to_owned)
-            });
-            match snapshot_hex {
-                Some(snapshot) => {
-                    let restore_line = Request::Restore { snapshot }.to_json().to_string();
-                    for target in needed {
-                        if restore_landed(target, &restore_line, id) {
-                            plan.report.migrated += 1;
-                            plan.landed.push((Arc::clone(target), id.clone()));
-                        } else {
-                            plan.report.failed += 1;
-                            cascade_failed = true;
-                        }
-                    }
-                }
-                None => {
-                    plan.report.failed += needed.len() as u64;
-                    cascade_failed = true;
-                }
+    let holder_addrs: Vec<&str> = holder_backends.iter().map(|b| b.addr.as_str()).collect();
+    let owner_addrs: Vec<&str> = next
+        .ring
+        .route_n(id, data_replicas)
+        .into_iter()
+        .map(|i| next_labels[i].as_str())
+        .collect();
+    let sources: Vec<&Arc<Backend>> = holder_backends
+        .iter()
+        .filter(|b| distrusted.is_none_or(|(label, _)| b.addr != label))
+        .collect();
+    let mut needed: Vec<&Arc<Backend>> = owner_addrs
+        .iter()
+        .filter(|addr| !holder_addrs.contains(addr))
+        .filter_map(|addr| next.backends.iter().find(|b| b.addr == **addr))
+        .collect();
+    // A distrusted owner-and-holder is verified below, once reference
+    // bytes are in hand — but only if a trusted copy exists to verify
+    // against.
+    let verify = distrusted.filter(|(label, _)| {
+        owner_addrs.contains(label) && holder_addrs.contains(label) && !sources.is_empty()
+    });
+    if needed.is_empty() && verify.is_none() {
+        plan_trims(id, &holder_addrs, &owner_addrs, &next_labels, next, plan);
+        return;
+    }
+    // Fetch the snapshot once from the first trusted holder that
+    // answers (any holder when no trusted source exists — a rejoiner's
+    // copy beats no copy); every trusted copy is bit-identical.
+    let fetch_from: Vec<&Arc<Backend>> = if sources.is_empty() {
+        holder_backends.iter().collect()
+    } else {
+        sources
+    };
+    let Some(snapshot_hex) = fetch_from.iter().find_map(|b| fetch_snapshot_hex(b, id)) else {
+        plan.report.failed += (needed.len() + usize::from(verify.is_some())) as u64;
+        // Old copies are this cascade's only complete placement now;
+        // they must all survive, owners or not: no trims.
+        return;
+    };
+    if let Some((label, sums)) = verify {
+        if sums.get(id) != snapshot_hash(&snapshot_hex).as_ref() {
+            if let Some(backend) = next.backends.iter().find(|b| b.addr == label) {
+                needed.push(backend);
             }
         }
-        if cascade_failed {
-            // Old copies are this cascade's only complete placement
-            // now; they must all survive, owners or not.
-            continue;
+    }
+    let restore_line = Request::Restore {
+        snapshot: snapshot_hex,
+    }
+    .to_json()
+    .to_string();
+    let mut cascade_failed = false;
+    for target in needed {
+        if restore_landed(target, &restore_line, id) {
+            plan.report.migrated += 1;
+            plan.landed.push((Arc::clone(target), id.to_owned()));
+        } else {
+            plan.report.failed += 1;
+            cascade_failed = true;
         }
-        for &holder in &holder_addrs {
-            if next_labels.iter().any(|l| l == holder) && !owner_addrs.contains(&holder) {
-                if let Some(backend) = next.backends.iter().find(|b| b.addr == holder) {
-                    plan.trims.push((Arc::clone(backend), id.clone()));
-                }
+    }
+    if !cascade_failed {
+        plan_trims(id, &holder_addrs, &owner_addrs, &next_labels, next, plan);
+    }
+}
+
+/// Queues post-commit evictions for `id`: holders that remain members
+/// under `next` but no longer own it. Only called for cascades whose
+/// owner set is fully in place, so a trim can never strand a cascade.
+fn plan_trims(
+    id: &str,
+    holder_addrs: &[&str],
+    owner_addrs: &[&str],
+    next_labels: &[String],
+    next: &Topology,
+    plan: &mut MigratePlan,
+) {
+    for &holder in holder_addrs {
+        if next_labels.iter().any(|l| l == holder) && !owner_addrs.contains(&holder) {
+            if let Some(backend) = next.backends.iter().find(|b| b.addr == holder) {
+                plan.trims.push((Arc::clone(backend), id.to_owned()));
             }
         }
+    }
+}
+
+/// The full migrate phase of a synchronous (`remove`) rebalance:
+/// inventory the old backends, then [`migrate_one`] every cascade
+/// toward its owners under `next`, trusting every resident copy.
+fn migrate_cascades(
+    old_backends: &[Arc<Backend>],
+    next: &Topology,
+    data_replicas: usize,
+) -> MigratePlan {
+    let holders = inventory(old_backends);
+    let mut plan = MigratePlan::new();
+    for (id, holder_backends) in &holders {
+        migrate_one(id, holder_backends, next, data_replicas, None, &mut plan);
     }
     plan
+}
+
+/// Commit-time anti-entropy over an incremental rebalance's landed
+/// restores. Between chunks the topology lock was released and writes
+/// kept routing to the old owners, so a copy migrated in an early chunk
+/// may be stale. Called under the commit write-lock hold (no write is
+/// in flight, so the sources' checksums are final): compares every
+/// landed `(target, cascade)` pair against a source holder — one
+/// `checksums` round trip per distinct node, regardless of cascade
+/// count — and re-pushes the snapshot where they differ. Returns the
+/// number of copies refreshed, or `Err` with the number of failures
+/// (unreachable node, vanished source copy, failed re-push), in which
+/// case the caller aborts the transition.
+fn refresh_landed(
+    plan: &MigratePlan,
+    holders: &BTreeMap<String, Vec<Arc<Backend>>>,
+) -> std::result::Result<u64, u64> {
+    if plan.landed.is_empty() {
+        return Ok(0);
+    }
+    fn scraped<'a>(
+        sums: &'a mut BTreeMap<String, Option<BTreeMap<String, String>>>,
+        backend: &Arc<Backend>,
+    ) -> &'a Option<BTreeMap<String, String>> {
+        if !sums.contains_key(&backend.addr) {
+            sums.insert(backend.addr.clone(), backend_checksums(backend));
+        }
+        &sums[&backend.addr]
+    }
+    let mut sums: BTreeMap<String, Option<BTreeMap<String, String>>> = BTreeMap::new();
+    let mut failures = 0u64;
+    let mut refreshed = 0u64;
+    for (target, id) in &plan.landed {
+        let Some(source) = holders
+            .get(id)
+            .and_then(|hs| hs.iter().find(|h| h.addr != target.addr))
+        else {
+            // No independent source holder: the landed copy is the only
+            // lineage this cascade has; nothing to compare against.
+            continue;
+        };
+        let source_sum = scraped(&mut sums, source)
+            .as_ref()
+            .map(|m| m.get(id.as_str()).cloned());
+        let target_sum = scraped(&mut sums, target)
+            .as_ref()
+            .map(|m| m.get(id.as_str()).cloned());
+        match (source_sum, target_sum) {
+            // A node whose `checksums` scrape failed, or a source whose
+            // copy vanished mid-transition, is a failure: the copy
+            // cannot be proven fresh.
+            (None, _) | (_, None) | (Some(None), _) => failures += 1,
+            (Some(Some(s)), Some(t)) if t.as_ref() == Some(&s) => {}
+            (Some(Some(_)), Some(_)) => {
+                // The source moved on since this chunk: re-push.
+                let ok = fetch_snapshot_hex(source, id)
+                    .map(|hex| Request::Restore { snapshot: hex }.to_json().to_string())
+                    .is_some_and(|line| restore_landed(target, &line, id));
+                if ok {
+                    refreshed += 1;
+                } else {
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        Err(failures)
+    } else {
+        Ok(refreshed)
+    }
+}
+
+/// Fetches one cascade's hex-armored snapshot from `backend`, or
+/// `None` when the backend is unreachable or rejects.
+fn fetch_snapshot_hex(backend: &Arc<Backend>, id: &str) -> Option<String> {
+    let line = Request::Snapshot {
+        cascade: id.to_owned(),
+    }
+    .to_json()
+    .to_string();
+    let raw = backend.round_trip(&line, true).ok()?;
+    let parsed = Json::parse(&raw).ok()?;
+    if parsed.get("ok") != Some(&Json::Bool(true)) {
+        return None;
+    }
+    parsed
+        .get("snapshot")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+}
+
+/// One `checksums` round trip: `backend`'s resident cascades and their
+/// snapshot hashes (16-digit hex strings), or `None` when the backend
+/// is unreachable or answers something that is not a checksum listing.
+fn backend_checksums(backend: &Arc<Backend>) -> Option<BTreeMap<String, String>> {
+    let raw = backend
+        .round_trip(&Request::Checksums.to_json().to_string(), true)
+        .ok()?;
+    let parsed = Json::parse(&raw).ok()?;
+    if parsed.get("ok") != Some(&Json::Bool(true)) {
+        return None;
+    }
+    let mut map = BTreeMap::new();
+    for entry in parsed.get("checksums")?.as_array()? {
+        let pair = entry.as_array().filter(|p| p.len() == 2)?;
+        match (pair[0].as_str(), pair[1].as_str()) {
+            (Some(id), Some(sum)) => {
+                map.insert(id.to_owned(), sum.to_owned());
+            }
+            _ => return None,
+        }
+    }
+    Some(map)
+}
+
+/// The checksum a backend's `checksums` verb would report for
+/// hex-armored snapshot bytes: `hash64` over the decoded encoding,
+/// rendered as the same 16-digit hex string.
+fn snapshot_hash(snapshot_hex: &str) -> Option<String> {
+    let bytes = hex::decode(snapshot_hex).ok()?;
+    Some(format!("{:016x}", hash64(&bytes)))
+}
+
+/// The uniform admin success response. `drain` reports the transition
+/// wall time as `handoff_ms` (its historical name); `rejoin` reports
+/// the same measurement as `rejoin_ms` plus the `repaired` copy count.
+fn admin_response(
+    verb: &str,
+    label: &str,
+    ring_version: u64,
+    backends: Vec<String>,
+    report: &HandoffReport,
+    start: Instant,
+) -> Routed {
+    let mut fields = vec![
+        ("ok".to_owned(), Json::Bool(true)),
+        ("verb".to_owned(), Json::str(verb)),
+        ("backend".to_owned(), Json::str(label)),
+        ("ring_version".to_owned(), Json::num(ring_version as f64)),
+        (
+            "backends".to_owned(),
+            Json::Arr(backends.into_iter().map(Json::Str).collect()),
+        ),
+        ("migrated".to_owned(), Json::num(report.migrated as f64)),
+        ("evicted".to_owned(), Json::num(report.evicted as f64)),
+        ("failed".to_owned(), Json::num(report.failed as f64)),
+    ];
+    match verb {
+        "drain" => fields.push((
+            "handoff_ms".to_owned(),
+            Json::num(start.elapsed().as_secs_f64() * 1e3),
+        )),
+        "rejoin" => {
+            fields.push(("repaired".to_owned(), Json::num(report.migrated as f64)));
+            fields.push((
+                "rejoin_ms".to_owned(),
+                Json::num(start.elapsed().as_secs_f64() * 1e3),
+            ));
+        }
+        _ => {}
+    }
+    Routed::Synthesized(Json::Obj(fields))
 }
 
 /// Sends one `restore` to `target`, returning whether it landed. An
@@ -1231,42 +1928,53 @@ fn route_read(owners: &[Arc<Backend>], line: &str) -> Routed {
     }
 }
 
+/// What [`route_write`] produced: the response to relay, the first
+/// owner that applied the write (the anti-entropy reference), and the
+/// owners the write missed (the repair candidates).
+struct WriteOutcome {
+    routed: Routed,
+    applied: Option<Arc<Backend>>,
+    missed: Vec<Arc<Backend>>,
+}
+
 /// Routes a state-changing verb (`open`, `ingest`) to ALL owners —
 /// that is what keeps the replicas identical — relaying the first
 /// owner's response (the primary's, unless the primary is down). A
 /// write that lands on some owners but not all is surfaced, not
 /// silently reported as a clean success: the relayed response gains
-/// `"degraded":true` plus the missed addresses, because the replicas
-/// may now diverge until the missed node is `remove`d and
-/// re-replicated.
-fn route_write(owners: &[Arc<Backend>], line: &str) -> Routed {
+/// `"degraded":true` plus the missed addresses. The caller runs the
+/// anti-entropy comparison over `missed` so the divergence is healed
+/// rather than left until the missed node is `remove`d.
+fn route_write(owners: &[Arc<Backend>], line: &str) -> WriteOutcome {
     let mut relayed: Option<String> = None;
-    let mut missed: Vec<String> = Vec::new();
+    let mut applied: Option<Arc<Backend>> = None;
+    let mut missed: Vec<Arc<Backend>> = Vec::new();
     let mut first_error: Option<String> = None;
     for backend in owners {
         match backend.round_trip(line, false) {
             Ok(response) => {
                 if relayed.is_none() {
                     relayed = Some(response);
+                    applied = Some(Arc::clone(backend));
                 }
             }
             Err(reason) => {
                 backend.metrics.degraded_writes.inc();
-                missed.push(backend.addr.clone());
+                missed.push(Arc::clone(backend));
                 if first_error.is_none() {
                     first_error = Some(reason);
                 }
             }
         }
     }
-    match relayed {
+    let routed = match relayed {
         Some(response) if missed.is_empty() => Routed::Relayed(response),
         Some(response) => match Json::parse(&response) {
             Ok(Json::Obj(mut fields)) => {
                 fields.push(("degraded".to_owned(), Json::Bool(true)));
                 fields.push((
                     "missed_backends".to_owned(),
-                    Json::Arr(missed.into_iter().map(Json::Str).collect()),
+                    Json::Arr(missed.iter().map(|b| Json::str(b.addr.clone())).collect()),
                 ));
                 if let Some(reason) = first_error {
                     fields.push(("missed_error".to_owned(), Json::str(reason)));
@@ -1278,6 +1986,11 @@ fn route_write(owners: &[Arc<Backend>], line: &str) -> Routed {
             _ => Routed::Relayed(response),
         },
         None => unavailable_response(&owners[0].addr, first_error),
+    };
+    WriteOutcome {
+        routed,
+        applied,
+        missed,
     }
 }
 

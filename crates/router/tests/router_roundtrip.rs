@@ -1155,3 +1155,183 @@ fn router_front_end_rejects_what_it_cannot_route() {
         Some("127.0.0.1:9")
     );
 }
+
+#[test]
+fn admin_verbs_racing_the_data_path_keep_responses_whole() {
+    // `join` / `drain` / `rejoin` run while readers and writers soak
+    // the data path from their own connections. The contract under the
+    // race: every data-path response is a whole, parseable line that
+    // matches the direct mirror byte for byte (no torn responses, no
+    // transient errors), and the ring version observed through `stats`
+    // never regresses.
+    let (world, submit, initiator, votes, close_at) = fixture();
+    let backends: Vec<_> = (0..4)
+        .map(|_| DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap())
+        .collect();
+    let direct = DlmServer::bind("127.0.0.1:0", backend_state(&world)).unwrap();
+    let addrs: Vec<String> = backends
+        .iter()
+        .map(|b| b.local_addr().to_string())
+        .collect();
+    // The fourth backend starts outside the cluster; the admin
+    // sequence joins and drains it repeatedly while traffic flows.
+    let spare = addrs[3].clone();
+    let router = Arc::new(
+        RouterState::new(RouterConfig {
+            parallelism: Parallelism::Fixed(2),
+            data_replicas: 2,
+            ..RouterConfig::new(addrs[..3].to_vec())
+        })
+        .unwrap(),
+    );
+    let front = DlmServer::bind_shared("127.0.0.1:0", Arc::clone(&router)).unwrap();
+
+    // Seed a read-only working set and record its expected bytes.
+    let mut seeding = LineClient::connect(front.local_addr()).unwrap();
+    let mut mirror = LineClient::connect(direct.local_addr()).unwrap();
+    let mut frozen: Vec<(String, String)> = Vec::new();
+    for i in 0..12 {
+        let id = format!("race-{i}");
+        for line in [
+            format!(
+                r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+            ),
+            format!(r#"{{"type":"ingest","cascade":"{id}","votes":[{votes}],"now":{close_at}}}"#),
+        ] {
+            assert_eq!(
+                seeding.send_raw(&line).unwrap(),
+                mirror.send_raw(&line).unwrap(),
+                "seeding diverged on `{line}`"
+            );
+        }
+        let forecast = format!(
+            r#"{{"type":"forecast","cascade":"{id}","hours":[{HORIZON}],"through":{OBSERVE_THROUGH}}}"#
+        );
+        let expected = mirror.send_raw(&forecast).unwrap();
+        assert_eq!(seeding.send_raw(&forecast).unwrap(), expected);
+        frozen.push((forecast, expected));
+    }
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let front_addr = front.local_addr();
+    let reader = {
+        let stop = Arc::clone(&stop);
+        let frozen = frozen.clone();
+        std::thread::spawn(move || {
+            let mut client = LineClient::connect(front_addr).unwrap();
+            let mut served = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                for (line, expected) in &frozen {
+                    let got = client.send_raw(line).expect("read during admin verb");
+                    assert_eq!(&got, expected, "torn or diverged read: `{line}`");
+                    served += 1;
+                }
+            }
+            served
+        })
+    };
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let direct_addr = direct.local_addr();
+        let votes = votes.clone();
+        std::thread::spawn(move || {
+            let mut routed = LineClient::connect(front_addr).unwrap();
+            let mut mirror = LineClient::connect(direct_addr).unwrap();
+            let mut written = 0u64;
+            for i in 0.. {
+                if stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    break;
+                }
+                let id = format!("race-w{i}");
+                for line in [
+                    format!(
+                        r#"{{"type":"open","cascade":"{id}","initiator":{initiator},"max_hops":{MAX_HOPS},"horizon":{HORIZON},"submit_time":{submit}}}"#
+                    ),
+                    format!(
+                        r#"{{"type":"ingest","cascade":"{id}","votes":[{votes}],"now":{close_at}}}"#
+                    ),
+                ] {
+                    let via_router = routed.send_raw(&line).expect("write during admin verb");
+                    let via_mirror = mirror.send_raw(&line).unwrap();
+                    assert_eq!(
+                        via_router, via_mirror,
+                        "torn or degraded write under race: `{line}`"
+                    );
+                    written += 1;
+                }
+            }
+            written
+        })
+    };
+    let versions = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = LineClient::connect(front_addr).unwrap();
+            let mut last = 0u64;
+            let mut polls = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                let stats = Json::parse(&client.send_raw(r#"{"type":"stats"}"#).unwrap()).unwrap();
+                let version = u(stats.get("router").expect("router stats"), "ring_version");
+                assert!(
+                    version >= last,
+                    "ring version regressed mid-race: {last} -> {version}"
+                );
+                last = version;
+                polls += 1;
+            }
+            polls
+        })
+    };
+
+    // The admin storm, from the main connection: a member rejoin
+    // (anti-entropy sweep, no bump), two join/drain cycles of the
+    // spare — one of them via the `rejoin` spelling a restarted
+    // non-member announces with — each an incremental, chunked
+    // rebalance racing the threads above.
+    let mut admin = LineClient::connect(front.local_addr()).unwrap();
+    let sequence: [(String, u64); 5] = [
+        (
+            format!(r#"{{"type":"rejoin","backend":"{}"}}"#, addrs[0]),
+            1,
+        ),
+        (format!(r#"{{"type":"join","backend":"{spare}"}}"#), 2),
+        (format!(r#"{{"type":"drain","backend":"{spare}"}}"#), 3),
+        (format!(r#"{{"type":"rejoin","backend":"{spare}"}}"#), 4),
+        (format!(r#"{{"type":"drain","backend":"{spare}"}}"#), 5),
+    ];
+    for (line, want_version) in &sequence {
+        let response = Json::parse(&admin.send_raw(line).unwrap()).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "`{line}` -> {response}"
+        );
+        assert_eq!(u(&response, "failed"), 0, "{response}");
+        assert_eq!(
+            u(&response, "ring_version"),
+            *want_version,
+            "wrong epoch after `{line}`: {response}"
+        );
+    }
+
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let served = reader.join().expect("reader thread");
+    let written = writer.join().expect("writer thread");
+    let polls = versions.join().expect("version monitor thread");
+    assert!(served > 0, "reader never completed a request");
+    assert!(written > 0, "writer never completed a request");
+    assert!(polls > 0, "version monitor never polled");
+
+    // After the storm: the frozen set still serves the recorded bytes
+    // and the ring settled where the sequence left it.
+    for (line, expected) in &frozen {
+        assert_eq!(
+            &seeding.send_raw(line).unwrap(),
+            expected,
+            "post-race read diverged: `{line}`"
+        );
+    }
+    assert_eq!(router.ring_version(), 5);
+    drop(front);
+    drop(backends);
+}

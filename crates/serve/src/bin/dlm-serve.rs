@@ -6,7 +6,7 @@
 //!           [--cascades 4096] [--cascade-ttl SECS] [--workers N]
 //!           [--no-prewarm] [--quick-lineup] [--starts N]
 //!           [--snapshot-dir DIR] [--front reactor|legacy] [--io-threads N]
-//!           [--log-level error|warn|info|debug]
+//!           [--announce ROUTER_ADDR] [--log-level error|warn|info|debug]
 //! ```
 //!
 //! Prints one `READY {"addr":...,"version":...}` line carrying the
@@ -24,7 +24,7 @@ fn usage() -> ! {
         "usage: dlm-serve [--addr HOST:PORT] [--scale F] [--capacity N] [--cascades N] \
          [--cascade-ttl SECS] [--workers N] [--no-prewarm] [--quick-lineup] [--starts N] \
          [--snapshot-dir DIR] [--front reactor|legacy] [--io-threads N] \
-         [--log-level error|warn|info|debug]"
+         [--announce ROUTER_ADDR] [--log-level error|warn|info|debug]"
     );
     std::process::exit(2);
 }
@@ -35,6 +35,7 @@ fn main() {
     let mut starts = 1usize;
     let mut io_threads = 0usize;
     let mut legacy_front = false;
+    let mut announce: Option<String> = None;
     let mut config = ServeConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -84,6 +85,12 @@ fn main() {
                 // Reactor I/O worker count; 0 = one per available core
                 // (clamped). Ignored by the legacy front end.
                 io_threads = value("--io-threads").parse().unwrap_or_else(|_| usage());
+            }
+            "--announce" => {
+                // Announce this backend to a dlm-router after binding:
+                // one `rejoin` admin line, so a restarted node is
+                // re-admitted without waiting for an operator `join`.
+                announce = Some(value("--announce"));
             }
             "--log-level" => {
                 // Structured-log threshold on stderr; default warn, so
@@ -162,6 +169,23 @@ fn main() {
         lineup.len(),
         server.local_addr()
     );
+    if let Some(router) = announce {
+        // Best-effort: a router that is down right now will still admit
+        // this node when an operator issues `join`/`rejoin` later.
+        let line = format!(
+            "{{\"type\":\"rejoin\",\"backend\":\"{}\"}}",
+            server.local_addr()
+        );
+        match dlm_serve::client::LineClient::connect_timeout(
+            router.as_str(),
+            std::time::Duration::from_secs(2),
+        )
+        .and_then(|mut client| client.send_ok(&line))
+        {
+            Ok(_) => eprintln!("announced {} to router {router}", server.local_addr()),
+            Err(e) => eprintln!("announce to router {router} failed: {e}"),
+        }
+    }
     // Serve until the process is killed.
     loop {
         std::thread::park();

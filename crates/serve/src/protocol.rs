@@ -12,6 +12,7 @@
 //! {"type":"snapshot","cascade":"c1"}
 //! {"type":"restore","snapshot":"444c4d53..."}
 //! {"type":"cascades"}
+//! {"type":"checksums"}
 //! {"type":"evict","cascade":"c1"}
 //! {"type":"batch","requests":[{"type":"ingest",...},{"type":"forecast",...}]}
 //! {"type":"hello","transport":"binary"}                       // framing switch, see `wire`
@@ -133,6 +134,14 @@ pub enum Request {
     /// Lists the resident cascade ids (sorted) — how the router
     /// inventories a node before migrating its cascades.
     Cascades,
+    /// Returns one content hash per resident cascade — the anti-entropy
+    /// primitive. Each entry pairs the cascade id with
+    /// `hash64(snapshot.encode())` rendered as a 16-digit hex string
+    /// (JSON numbers are doubles, exact only to 2^53, so a `u64` hash
+    /// must ride as a string to round-trip exactly). Comparing replica
+    /// checksums is one round trip per node regardless of cascade
+    /// sizes, which is what makes post-degraded-write repair cheap.
+    Checksums,
     /// Drops a cascade by id, releasing its state (migration cleanup).
     Evict {
         /// Cascade id.
@@ -373,6 +382,7 @@ impl Request {
                 snapshot: str_field(value, "snapshot")?,
             }),
             "cascades" => Ok(Self::Cascades),
+            "checksums" => Ok(Self::Checksums),
             "evict" => Ok(Self::Evict {
                 cascade: str_field(value, "cascade")?,
             }),
@@ -520,6 +530,7 @@ impl Request {
                 ("snapshot".to_owned(), Json::str(snapshot.clone())),
             ]),
             Self::Cascades => Json::Obj(vec![("type".to_owned(), Json::str("cascades"))]),
+            Self::Checksums => Json::Obj(vec![("type".to_owned(), Json::str("checksums"))]),
             Self::Evict { cascade } => Json::Obj(vec![
                 ("type".to_owned(), Json::str("evict")),
                 ("cascade".to_owned(), Json::str(cascade.clone())),
@@ -615,6 +626,7 @@ mod tests {
                 snapshot: "444c4d53".into(),
             },
             Request::Cascades,
+            Request::Checksums,
             Request::Evict {
                 cascade: "c1".into(),
             },

@@ -33,7 +33,7 @@ use crate::telemetry::{
 };
 use crate::wire::{self, Transport};
 use dlm_cascade::interest_groups::interest_groups;
-use dlm_cluster::{hex, CascadeSnapshot};
+use dlm_cluster::{hash64, hex, CascadeSnapshot};
 use dlm_core::evaluate::{FitOutcome, FittedModelCache, Parallelism};
 use dlm_core::predict::{DiffusionPredictor, GraphContext, Observation, PredictionRequest};
 use dlm_core::registry::{ModelRegistry, ModelSpec};
@@ -534,6 +534,7 @@ impl ServerState {
             Request::Snapshot { cascade } => self.handle_snapshot(cascade),
             Request::Restore { snapshot } => self.handle_restore(snapshot),
             Request::Cascades => Ok(self.handle_cascades()),
+            Request::Checksums => self.handle_checksums(),
             Request::Evict { cascade } => self.handle_evict(cascade),
             Request::Metrics => Ok(self.handle_metrics()),
             Request::Ring { version } => Ok(self.handle_ring(*version)),
@@ -640,6 +641,35 @@ impl ServerState {
                 Json::Arr(self.cascades.ids().into_iter().map(Json::Str).collect()),
             ),
         ])
+    }
+
+    /// The `checksums` verb: one content hash per resident cascade, in
+    /// id order. Each hash is `hash64` over the cascade's encoded
+    /// snapshot bytes — the same bytes `snapshot`/`restore` carry — so
+    /// two replicas agree on a checksum exactly when a restore from one
+    /// would be a byte-identical no-op on the other. Hashes ride as
+    /// 16-digit hex strings because JSON numbers are doubles (exact
+    /// only to 2^53) and a truncated `u64` cannot be compared.
+    fn handle_checksums(&self) -> Result<Json> {
+        let mut entries = Vec::new();
+        for id in self.cascades.ids() {
+            // A cascade may be evicted between `ids()` and `slot()`;
+            // skipping it is correct — it is no longer resident.
+            let Ok(slot) = self.slot(&id) else { continue };
+            let slot = slot.lock().expect("cascade slot poisoned");
+            let initiator = slot.graph.as_ref().map(|&(_, u)| u as u64);
+            let digest = hash64(&slot.live.to_snapshot(&id, initiator).encode());
+            drop(slot);
+            entries.push(Json::Arr(vec![
+                Json::Str(id),
+                Json::Str(format!("{digest:016x}")),
+            ]));
+        }
+        Ok(Json::Obj(vec![
+            ("ok".to_owned(), Json::Bool(true)),
+            ("count".to_owned(), Json::num(entries.len() as f64)),
+            ("checksums".to_owned(), Json::Arr(entries)),
+        ]))
     }
 
     fn handle_evict(&self, cascade: &str) -> Result<Json> {

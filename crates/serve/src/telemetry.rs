@@ -23,8 +23,19 @@ pub const SLOW_REQUEST: Duration = Duration::from_millis(250);
 /// including the `invalid` bucket for lines that fail to parse. The
 /// last entry must be the fallback label.
 pub const VERB_LABELS: &[&str] = &[
-    "open", "ingest", "forecast", "stats", "snapshot", "restore", "cascades", "evict", "batch",
-    "metrics", "ring", "invalid",
+    "open",
+    "ingest",
+    "forecast",
+    "stats",
+    "snapshot",
+    "restore",
+    "cascades",
+    "checksums",
+    "evict",
+    "batch",
+    "metrics",
+    "ring",
+    "invalid",
 ];
 
 /// The verb label of a parsed request.
@@ -39,6 +50,7 @@ pub fn verb_label(request: &crate::protocol::Request) -> &'static str {
         Request::Snapshot { .. } => "snapshot",
         Request::Restore { .. } => "restore",
         Request::Cascades => "cascades",
+        Request::Checksums => "checksums",
         Request::Evict { .. } => "evict",
         Request::Batch { .. } => "batch",
         Request::Metrics => "metrics",

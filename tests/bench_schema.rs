@@ -35,7 +35,8 @@ fn router_fixture() -> String {
             "wall_seconds": 0.1, "throughput_rps": 482.7, "ingest_latency": null,
             "forecast_latency": null, "routed_per_backend": [13, 37],
             "aggregate_cache": {{"hits": 5, "misses": 40, "evictions": 0}},
-            "remap_fraction": 0.0, "handoff_ms": null, "lost_responses": 0,
+            "remap_fraction": 0.0, "handoff_ms": null, "rejoin_ms": null,
+            "repair_count": 0, "lost_responses": 0,
             "protocol_ok": true, "routed_identical": true}}"#,
         artifact::ROUTER_SCHEMA
     )
